@@ -1,0 +1,54 @@
+"""Ablation — what the F/F̄ filter matrices buy over unfiltered search.
+
+ECF's defining design choice (§V-A) is the pre-computed filter matrices: the
+constraint expression is evaluated once per (query edge, hosting edge) pair
+up front, and the tree search then intersects candidate sets instead of
+re-evaluating constraints.  The Considine–Byers-style brute-force baseline is
+exactly the same depth-first search without that stage.
+
+Expected shape: ECF touches dramatically fewer candidate placements during
+the tree search than the brute-force baseline on the same workload, at the
+price of the up-front filter-construction time — the trade the paper's §V-C
+discussion is about.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import filter_ablation_experiment
+from repro.analysis.metrics import group_summaries
+
+SEED = 22
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_filter_matrices(benchmark, cached_experiment, figure_report):
+    """Filter ablation: ECF vs unfiltered brute-force DFS on the same queries."""
+    rows = benchmark.pedantic(
+        lambda: cached_experiment(
+            "ablation-filters",
+            lambda: filter_ablation_experiment(seed=SEED, timeout=5.0)),
+        rounds=1, iterations=1)
+
+    time_series = group_summaries(rows, ("algorithm", "size"), "total_ms")
+    work_series = group_summaries(rows, ("algorithm", "size"), "candidates_considered")
+    figure_report("ablation_filters_time", time_series,
+                  "Ablation — ECF (filtered) vs brute force: first-match time")
+    figure_report("ablation_filters_candidates", work_series,
+                  "Ablation — candidate placements examined during the tree search")
+
+    assert {row["algorithm"] for row in rows} == {"ECF", "BruteForceCSP"}
+
+    candidates = {row["algorithm"]: row["mean"]
+                  for row in group_summaries(rows, ("algorithm",),
+                                             "candidates_considered")}
+    # The filters must cut the search work (candidates touched) substantially.
+    assert candidates["ECF"] < candidates["BruteForceCSP"]
+
+    # And ECF pays for it with filter construction, which the brute force skips.
+    filter_entries = {row["algorithm"]: row["mean"]
+                      for row in group_summaries(rows, ("algorithm",),
+                                                 "filter_entries")}
+    assert filter_entries["ECF"] > 0
+    assert filter_entries["BruteForceCSP"] == 0

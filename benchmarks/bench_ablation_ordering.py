@@ -1,0 +1,54 @@
+"""Ablation — what the Lemma-1 node ordering buys ECF.
+
+DESIGN.md calls out the candidate-count ordering (Lemma 1) and its
+connectivity-aware refinement as the design choices that keep the explored
+permutation tree small.  This ablation runs ECF with three orderings on the
+same PlanetLab subgraph workload:
+
+* ``connectivity`` — Lemma 1 refined to keep the visited prefix connected
+  (the library default);
+* ``candidate-count`` — plain Lemma 1 (ascending candidate counts);
+* ``natural`` — insertion order, i.e. no heuristic.
+
+Expected shape: the heuristic orderings expand (far) fewer search-tree nodes
+than the natural order, and the connectivity-aware variant never does worse
+than plain candidate-count on nodes expanded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ordering_ablation_experiment
+from repro.analysis.metrics import group_summaries
+
+SEED = 21
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_node_ordering(benchmark, cached_experiment, figure_report):
+    """Lemma-1 ordering ablation: time and expanded nodes per ordering."""
+    rows = benchmark.pedantic(
+        lambda: cached_experiment(
+            "ablation-ordering",
+            lambda: ordering_ablation_experiment(seed=SEED, timeout=5.0)),
+        rounds=1, iterations=1)
+
+    time_series = group_summaries(rows, ("ordering", "size"), "total_ms")
+    work_series = group_summaries(rows, ("ordering", "size"), "nodes_expanded")
+    figure_report("ablation_ordering_time", time_series,
+                  "Ablation — ECF first-match time per node ordering",
+                  group_field="ordering")
+    figure_report("ablation_ordering_nodes", work_series,
+                  "Ablation — ECF search-tree nodes expanded per node ordering",
+                  group_field="ordering")
+
+    assert {row["ordering"] for row in rows} == {"connectivity", "candidate-count",
+                                                 "natural"}
+
+    expanded = {row["ordering"]: row["mean"]
+                for row in group_summaries(rows, ("ordering",), "nodes_expanded")}
+    # The heuristic orderings must not expand more of the tree than the
+    # unordered search on average.
+    assert expanded["connectivity"] <= expanded["natural"] * 1.05
+    assert expanded["candidate-count"] <= expanded["natural"] * 1.5

@@ -1,0 +1,51 @@
+"""Fig. 10 — Search times for feasible versus infeasible PlanetLab queries.
+
+Paper setting: the Fig. 8 subgraph queries are rerun next to variants whose
+link attributes were rewritten to impossible values (same topology, no
+feasible embedding), and the per-algorithm time to *conclude* is compared.
+
+Reproduced shape: ECF and RWB behave very similarly on matching and
+non-matching queries (the filter stage dominates either way); LNS is slower
+overall but settles "no match" relatively quickly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import infeasible_experiment
+from repro.analysis.metrics import group_summaries
+
+SEED = 10
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_feasible_vs_infeasible(benchmark, cached_experiment, figure_report):
+    """Regenerates Fig. 10: matching vs non-matching query search times."""
+    rows = benchmark.pedantic(
+        lambda: cached_experiment(
+            "fig10", lambda: infeasible_experiment(seed=SEED, timeout=5.0)),
+        rounds=1, iterations=1)
+
+    series = group_summaries(rows, ("algorithm", "feasible", "size"), "total_ms")
+    for algorithm in ("ECF", "RWB", "LNS"):
+        subset = [row for row in series if row["algorithm"] == algorithm]
+        figure_report(f"fig10_{algorithm.lower()}", subset,
+                      f"Fig. 10 — {algorithm}: matching vs non-matching queries",
+                      x_field="size", group_field="feasible")
+
+    # Correctness of the workload itself: infeasible variants never produce a
+    # mapping, feasible ones (found by construction) do unless timed out.
+    infeasible_rows = [row for row in rows if not row["feasible"]]
+    feasible_rows = [row for row in rows if row["feasible"]]
+    assert infeasible_rows and feasible_rows
+    assert all(row["found"] == 0 for row in infeasible_rows)
+    assert all(row["found"] >= 1 or row["timed_out"] for row in feasible_rows)
+
+    # Shape: ECF decides "no match" in a time comparable to its "match" time
+    # (within an order of magnitude), as in the paper.
+    ecf_rows = group_summaries([r for r in rows if r["algorithm"] == "ECF"],
+                               ("feasible",), "total_ms")
+    times = {row["feasible"]: row["mean"] for row in ecf_rows}
+    ratio = times[True] / max(times[False], 1e-9)
+    assert 0.05 <= ratio <= 20.0

@@ -1,0 +1,53 @@
+"""Fig. 15 — Probability distribution of the three result types.
+
+Paper setting: across all experiment classes, each query's outcome is
+classified as *complete* (all feasible embeddings returned before the
+timeout), *partial* (timed out after finding some) or *inconclusive* (timed
+out with nothing found); Fig. 15 plots the probability of each outcome per
+query class and algorithm.
+
+Reproduced shape: subgraph (well-constrained) queries are overwhelmingly
+completed; regular/under-constrained classes (cliques, composites) shift mass
+towards partial results, and LNS has the better chance of returning *some*
+embedding on those classes — the trade-off §VII-E describes.  A deliberately
+tight timeout is used so the partial/inconclusive outcomes actually occur at
+benchmark scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import result_quality_distribution, result_quality_experiment
+
+SEED = 15
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_result_type_distribution(benchmark, cached_experiment, figure_report):
+    """Regenerates Fig. 15: complete/partial/inconclusive fractions per class."""
+    rows = benchmark.pedantic(
+        lambda: cached_experiment(
+            "fig15", lambda: result_quality_experiment(seed=SEED, timeout=0.75)),
+        rounds=1, iterations=1)
+
+    distribution = result_quality_distribution(rows)
+    figure_report("fig15_distribution", distribution,
+                  "Fig. 15 — probability of complete / partial / inconclusive results",
+                  pivot=False)
+
+    classes = {row["query_class"] for row in distribution}
+    assert classes == {"subgraph", "clique", "composite"}
+
+    # Each (class, algorithm) row is a probability distribution.
+    for row in distribution:
+        total = sum(row.get(status, 0.0)
+                    for status in ("complete", "partial", "inconclusive"))
+        assert total == pytest.approx(1.0)
+
+    # Shape: the probability of returning at least one embedding (complete or
+    # partial) stays high for the well-constrained subgraph class.
+    subgraph_rows = [row for row in distribution if row["query_class"] == "subgraph"]
+    for row in subgraph_rows:
+        success = row.get("complete", 0.0) + row.get("partial", 0.0)
+        assert success >= 0.5, row

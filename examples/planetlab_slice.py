@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Allocate a PlanetLab-style experiment slice through the NETEMBED service.
+
+Scenario (paper §I): a researcher wants to deploy a distributed experiment on
+a PlanetLab-like testbed.  The experiment needs an Internet-like topology of
+12 nodes whose link delays stay inside measured windows, every node running
+linux-2.6, and the whole slice reserved so a second experiment cannot grab
+the same machines.
+
+The script exercises the full service stack: synthetic all-pairs trace →
+model registry → monitoring refresh → constrained embedding → reservation →
+negotiation fallback when the constraints are too tight.
+
+Run with:  python examples/planetlab_slice.py
+"""
+
+from __future__ import annotations
+
+from repro import NetEmbedService
+from repro.constraints import ConstraintExpression
+from repro.constraints.builder import all_of, host_delay_within_query_window, \
+    node_attribute_binding
+from repro.service import MonitorConfig, NegotiationSession, with_default_demand
+from repro.topology import synthetic_planetlab_trace
+from repro.workloads import subgraph_query
+
+
+def main() -> None:
+    # 1. The infrastructure: a PlanetLab-like all-pairs delay trace.
+    planetlab = synthetic_planetlab_trace(num_sites=60, rng=2024)
+    for site in planetlab.nodes():
+        planetlab.set_capacity(site, 1.0)          # one slice slot per site
+    print(f"PlanetLab-like trace: {planetlab.num_nodes} sites, "
+          f"{planetlab.num_edges} measured links")
+
+    # 2. The service, with a monitor keeping the model fresh.
+    service = NetEmbedService(default_timeout=20.0, rng=7)
+    service.register_network(planetlab, name="planetlab")
+    monitor = service.attach_monitor("planetlab",
+                                     config=MonitorConfig(delay_jitter=0.05,
+                                                          failure_probability=0.02),
+                                     rng=9)
+    monitor.run(3)
+    print(f"monitoring: {monitor.ticks} refresh cycles, "
+          f"{len(monitor.down_nodes())} site(s) currently down\n")
+
+    # 3. The experiment request: a 12-node Internet-like topology sampled from
+    #    the linux-2.6 portion of the testbed (the experiment's OS requirement),
+    #    with ±15% delay windows around the measured delays.
+    linux_sites = planetlab.subnetwork(
+        planetlab.nodes_with_attribute("osType", "linux-2.6"), name="linux-sites")
+    workload = subgraph_query(linux_sites, 12, slack=0.15, rng=5)
+    experiment = workload.query
+    for node in experiment.nodes():
+        experiment.update_node(node, osType="linux-2.6")
+    with_default_demand(experiment, demand=1.0)
+
+    constraint = ConstraintExpression(all_of(
+        host_delay_within_query_window(),
+        node_attribute_binding("osType", "vSource", "rSource"),
+        node_attribute_binding("osType", "vTarget", "rTarget"),
+    ))
+    availability = ConstraintExpression(
+        "rNode.up == true && rNode.available_capacity >= vNode.demand")
+
+    # 4. Embed and reserve.
+    response = service.embed(experiment, constraint=constraint,
+                             node_constraint=availability,
+                             algorithm="auto", max_results=1, reserve=True)
+    print(f"algorithm chosen by the service: {response.algorithm_used}")
+    print(f"result: {response.status.value} in {response.elapsed_seconds*1000:.0f} ms")
+
+    if response.found:
+        print(f"reservation ticket: {response.reservation_id}")
+        print("slice placement:")
+        for query_node, site in sorted(response.first.items()):
+            region = planetlab.get_node_attr(site, "region")
+            print(f"  {query_node:>4} -> {site} ({region})")
+    else:
+        # 5. Negotiate: relax the delay windows until a placement exists.
+        print("no placement under the strict windows; negotiating...")
+        session = NegotiationSession(service, relaxation_step=0.5, max_rounds=4)
+        outcome = session.negotiate(experiment, constraint=constraint,
+                                    node_constraint=availability,
+                                    algorithm="LNS", max_results=1)
+        if outcome.succeeded:
+            print(f"placement found after widening windows by "
+                  f"{outcome.relaxation_used * 100:.0f}% of their width")
+        else:
+            print("no placement even after relaxation; the slice request "
+                  "must be re-dimensioned")
+
+
+if __name__ == "__main__":
+    main()

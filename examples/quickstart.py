@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Quickstart: embed a small virtual topology into a hand-built hosting network.
+
+This walks through the core NETEMBED workflow in one screenful:
+
+1. describe the *hosting network* (the real infrastructure) with measured
+   node and link attributes;
+2. describe the *query network* (the virtual topology an application wants)
+   with requested attributes;
+3. write a *constraint expression* relating the two;
+4. run the three NETEMBED algorithms (ECF, RWB, LNS) and inspect the results.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ECF, LNS, RWB, HostingNetwork, QueryNetwork, validate_mapping
+from repro.constraints import ConstraintExpression
+
+
+def build_hosting_network() -> HostingNetwork:
+    """A toy lab: six machines, seven measured links."""
+    hosting = HostingNetwork("toy-lab")
+    machines = {
+        "paris": {"osType": "linux-2.6", "cpuLoad": 0.2},
+        "lyon": {"osType": "linux-2.6", "cpuLoad": 0.4},
+        "berlin": {"osType": "linux-2.4", "cpuLoad": 0.1},
+        "madrid": {"osType": "bsd", "cpuLoad": 0.7},
+        "rome": {"osType": "linux-2.6", "cpuLoad": 0.3},
+        "oslo": {"osType": "linux-2.6", "cpuLoad": 0.5},
+    }
+    for name, attrs in machines.items():
+        hosting.add_node(name, name=name, **attrs)
+
+    links = [
+        ("paris", "lyon", 8.0), ("paris", "berlin", 22.0), ("paris", "madrid", 27.0),
+        ("lyon", "rome", 18.0), ("berlin", "oslo", 16.0), ("madrid", "rome", 32.0),
+        ("rome", "oslo", 41.0),
+    ]
+    for u, v, delay in links:
+        hosting.add_edge(u, v, avgDelay=delay, minDelay=delay * 0.9,
+                         maxDelay=delay * 1.25)
+    return hosting
+
+
+def build_query_network() -> QueryNetwork:
+    """A three-tier pipeline: source -> processor -> sink, with delay budgets."""
+    query = QueryNetwork("pipeline")
+    query.add_node("source", osType="linux-2.6")
+    query.add_node("processor", osType="linux-2.6")
+    query.add_node("sink")
+    query.add_edge("source", "processor", maxDelay=20.0)
+    query.add_edge("processor", "sink", maxDelay=45.0)
+    return query
+
+
+def main() -> None:
+    hosting = build_hosting_network()
+    query = build_query_network()
+
+    # The measured hosting delay must respect the requested budget, and the
+    # optional osType requirement must be honoured on both edge endpoints.
+    constraint = ConstraintExpression(
+        "rEdge.avgDelay <= vEdge.maxDelay"
+        " && isBoundTo(vSource.osType, rSource.osType)"
+        " && isBoundTo(vTarget.osType, rTarget.osType)")
+
+    print(f"Hosting network: {hosting.num_nodes} nodes, {hosting.num_edges} links")
+    print(f"Query network:   {query.num_nodes} nodes, {query.num_edges} links")
+    print(f"Constraint:      {constraint.source}\n")
+
+    for algorithm in (ECF(), RWB(rng=42), LNS()):
+        result = algorithm.search(query, hosting, constraint=constraint)
+        print(f"{algorithm.name}: {result.status.value}, "
+              f"{result.count} embedding(s) in {result.elapsed_seconds * 1000:.1f} ms")
+        for mapping in result.mappings[:3]:
+            rendered = ", ".join(f"{q}->{r}" for q, r in sorted(mapping.items()))
+            violations = validate_mapping(mapping, query, hosting, constraint)
+            status = "valid" if not violations else f"INVALID: {violations}"
+            print(f"    {rendered}   [{status}]")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only exists so that
+``pip install -e .`` can fall back to a legacy editable install when PEP-660
+editable wheels cannot be built (offline machines without ``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,105 @@
+"""NETEMBED reproduction: a network resource mapping (virtual network embedding) service.
+
+This package reproduces *"NETEMBED: A Network Resource Mapping Service for
+Distributed Applications"* (Londoño & Bestavros).  Given a **hosting network**
+(a real infrastructure with measured node/link attributes) and a **query
+network** (a virtual topology with constraints), NETEMBED finds one or all
+injective node mappings that preserve the query topology and satisfy a
+user-supplied constraint expression.
+
+Quick start::
+
+    from repro import (
+        HostingNetwork, QueryNetwork, ConstraintExpression, ECF, NetEmbedService,
+    )
+
+    hosting = HostingNetwork("lab")
+    for node in "abc":
+        hosting.add_node(node, osType="linux")
+    hosting.add_edge("a", "b", avgDelay=10.0)
+    hosting.add_edge("b", "c", avgDelay=50.0)
+
+    query = QueryNetwork("experiment")
+    query.add_node("x")
+    query.add_node("y")
+    query.add_edge("x", "y", maxDelay=20.0)
+
+    result = ECF().search(query, hosting,
+                          constraint="rEdge.avgDelay <= vEdge.maxDelay")
+    print(result.status, result.mappings)
+
+Subpackages
+-----------
+``repro.core``
+    The three NETEMBED algorithms (ECF, RWB, LNS), filters and results.
+``repro.graphs``
+    Attributed hosting/query networks and GraphML I/O.
+``repro.constraints``
+    The constraint expression language.
+``repro.topology``
+    PlanetLab-like, BRITE-like, regular and composite topology generators.
+``repro.workloads``
+    Query/workload generators mirroring the paper's experiments.
+``repro.service``
+    The NETEMBED service layer (registry, monitoring, reservations, sessions).
+``repro.baselines``
+    Reimplementations of the prior approaches NETEMBED is compared against.
+``repro.extensions``
+    Follow-on features sketched in §VIII (path mapping, optimisation,
+    scheduling, hierarchical embedding).
+``repro.analysis``
+    The experiment harness that regenerates every figure of §VII.
+"""
+
+from repro.constraints import ConstraintExpression
+from repro.core import (
+    ALGORITHMS,
+    ECF,
+    LNS,
+    RWB,
+    EmbeddingResult,
+    Mapping,
+    ResultStatus,
+    is_valid_mapping,
+    make_algorithm,
+    validate_mapping,
+)
+from repro.graphs import (
+    HostingNetwork,
+    Network,
+    QueryNetwork,
+    read_graphml,
+    write_graphml,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ConstraintExpression",
+    "ECF",
+    "RWB",
+    "LNS",
+    "ALGORITHMS",
+    "make_algorithm",
+    "EmbeddingResult",
+    "ResultStatus",
+    "Mapping",
+    "validate_mapping",
+    "is_valid_mapping",
+    "Network",
+    "HostingNetwork",
+    "QueryNetwork",
+    "read_graphml",
+    "write_graphml",
+    "NetEmbedService",
+]
+
+
+def __getattr__(name: str):
+    # NetEmbedService is imported lazily to keep the base import light and to
+    # avoid import cycles while the service subpackage itself imports core.
+    if name == "NetEmbedService":
+        from repro.service import NetEmbedService
+        return NetEmbedService
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,142 @@
+"""Timing statistics used by the experiment harness.
+
+The paper reports, for every figure, the *mean* response time per query size
+together with a confidence interval over the 5 queries generated per size
+(§VII-B).  These helpers compute exactly that: means, standard deviations and
+Student-t confidence intervals over small samples, plus a generic
+``summarize`` used when building the series that back each figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+try:  # scipy is available in the target environment, but keep a fallback.
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_stats = None
+
+#: Two-sided 97.5 % Student-t quantiles for small degrees of freedom, used when
+#: scipy is unavailable.  Index = degrees of freedom (1-based); beyond the
+#: table the normal quantile 1.96 is used.
+_T_TABLE = [12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+            2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+            2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+            2.048, 2.045, 2.042]
+
+
+def _t_quantile(degrees_of_freedom: int, confidence: float = 0.95) -> float:
+    if degrees_of_freedom < 1:
+        return float("nan")
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, degrees_of_freedom))
+    if confidence != 0.95:
+        # Without scipy only the 95 % table is available; fall back to normal.
+        return 1.96
+    if degrees_of_freedom <= len(_T_TABLE):
+        return _T_TABLE[degrees_of_freedom - 1]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of a sample of response times (or any numbers)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def ci_halfwidth(self) -> float:
+        """Half-width of the confidence interval around the mean."""
+        return (self.ci_high - self.ci_low) / 2.0
+
+
+def summarize(values: Iterable[float], confidence: float = 0.95) -> Summary:
+    """Mean, spread and a Student-t confidence interval of *values*.
+
+    A single observation gets a degenerate (zero-width) interval; an empty
+    sample raises ``ValueError`` because a figure point cannot be built from
+    nothing.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    mean = float(data.mean())
+    if data.size == 1:
+        return Summary(count=1, mean=mean, std=0.0, minimum=mean, maximum=mean,
+                       ci_low=mean, ci_high=mean)
+    std = float(data.std(ddof=1))
+    half = _t_quantile(data.size - 1, confidence) * std / math.sqrt(data.size)
+    return Summary(count=int(data.size), mean=mean, std=std,
+                   minimum=float(data.min()), maximum=float(data.max()),
+                   ci_low=mean - half, ci_high=mean + half)
+
+
+def group_summaries(rows: Sequence[Dict], key_fields: Sequence[str], value_field: str,
+                    confidence: float = 0.95) -> List[Dict]:
+    """Group *rows* by *key_fields* and summarise *value_field* within each group.
+
+    Rows whose value is ``None`` (e.g. time-to-first for a query with no
+    match) are dropped from that group's sample; groups that end up empty are
+    omitted.  The output rows carry the key fields plus the summary columns
+    (``mean``, ``std``, ``ci_low``, ``ci_high``, ``count``) and are sorted by
+    the key fields.
+    """
+    groups: Dict[tuple, List[float]] = {}
+    for row in rows:
+        key = tuple(row[field] for field in key_fields)
+        value = row.get(value_field)
+        if value is None:
+            continue
+        groups.setdefault(key, []).append(float(value))
+
+    out: List[Dict] = []
+    for key in sorted(groups, key=lambda k: tuple(str(part) for part in k)):
+        summary = summarize(groups[key], confidence)
+        record = {field: part for field, part in zip(key_fields, key)}
+        record.update({
+            "count": summary.count,
+            "mean": summary.mean,
+            "std": summary.std,
+            "ci_low": summary.ci_low,
+            "ci_high": summary.ci_high,
+            "min": summary.minimum,
+            "max": summary.maximum,
+        })
+        out.append(record)
+    return out
+
+
+def proportions(rows: Sequence[Dict], key_fields: Sequence[str], category_field: str
+                ) -> List[Dict]:
+    """Per-group distribution of a categorical field (used for Fig. 15).
+
+    Returns one row per group with a column per category value holding the
+    fraction of the group's rows in that category.
+    """
+    groups: Dict[tuple, List[str]] = {}
+    categories = set()
+    for row in rows:
+        key = tuple(row[field] for field in key_fields)
+        value = str(row[category_field])
+        categories.add(value)
+        groups.setdefault(key, []).append(value)
+
+    out = []
+    for key in sorted(groups, key=lambda k: tuple(str(part) for part in k)):
+        values = groups[key]
+        record = {field: part for field, part in zip(key_fields, key)}
+        record["count"] = len(values)
+        for category in sorted(categories):
+            record[category] = values.count(category) / len(values)
+        out.append(record)
+    return out

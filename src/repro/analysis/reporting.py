@@ -1,0 +1,103 @@
+"""Plain-text and CSV rendering of experiment results.
+
+The paper presents its evaluation as line plots; the reproduction prints the
+same series as aligned text tables (one row per query size, one column per
+algorithm) so ``pytest benchmarks/ --benchmark-only`` output and
+EXPERIMENTS.md can show them without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+
+def format_table(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None,
+                 float_format: str = "{:.1f}", title: Optional[str] = None) -> str:
+    """Render a list of dict rows as an aligned, pipe-separated text table."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        if value is None:
+            return "-"
+        return str(value)
+
+    table = [[render(row.get(col)) for col in columns] for row in rows]
+    widths = [max(len(str(col)), *(len(row[i]) for row in table))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(width) for col, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in table:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def pivot_series(series: Sequence[Dict], x_field: str = "size",
+                 group_field: str = "algorithm", value_field: str = "mean") -> List[Dict]:
+    """Pivot long-form series rows into one row per x value, one column per group.
+
+    This matches the visual layout of the paper's figures: x axis = query
+    size, one curve per algorithm.
+    """
+    groups = sorted({str(row[group_field]) for row in series})
+    by_x: Dict[object, Dict] = {}
+    for row in series:
+        x = row[x_field]
+        record = by_x.setdefault(x, {x_field: x})
+        record[str(row[group_field])] = row.get(value_field)
+    out = [by_x[x] for x in sorted(by_x, key=lambda v: (isinstance(v, str), v))]
+    # Ensure all group columns exist on every row (missing = None).
+    for record in out:
+        for group in groups:
+            record.setdefault(group, None)
+    return out
+
+
+def format_figure(series: Sequence[Dict], title: str, x_field: str = "size",
+                  group_field: str = "algorithm", value_field: str = "mean",
+                  unit: str = "ms") -> str:
+    """The standard per-figure rendering: pivoted table with a captioned title."""
+    pivoted = pivot_series(series, x_field=x_field, group_field=group_field,
+                           value_field=value_field)
+    caption = f"{title}  (values: {value_field} {unit})"
+    return format_table(pivoted, title=caption)
+
+
+def write_csv(rows: Sequence[Dict], path: Union[str, Path],
+              columns: Optional[Sequence[str]] = None) -> Path:
+    """Write dict rows to a CSV file; returns the path."""
+    path = Path(path)
+    if not rows:
+        path.write_text("", encoding="utf-8")
+        return path
+    if columns is None:
+        columns = list(rows[0].keys())
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def csv_string(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows to a CSV string (used by tests and examples)."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()

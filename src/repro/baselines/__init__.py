@@ -1,0 +1,39 @@
+"""Baseline mappers: the prior approaches NETEMBED is compared against (§II, §VII-F).
+
+All baselines implement the same :class:`~repro.core.base.EmbeddingAlgorithm`
+interface as ECF/RWB/LNS so the comparison benchmark can run them on
+identical workloads:
+
+* :class:`BruteForceCSP` — Considine & Byers-style unfiltered, unordered
+  constraint-satisfaction DFS (complete, but without NETEMBED's heuristics);
+* :class:`SimulatedAnnealingMapper` — Emulab ``assign``-style annealing over
+  complete assignments (incomplete, cannot prove infeasibility);
+* :class:`GeneticAlgorithmMapper` — ``wanassign``-style genetic algorithm
+  (incomplete, cannot prove infeasibility);
+* :class:`StressGreedyMapper` — Zhu & Ammar-style greedy stress-minimising
+  constructive mapper (fast, no backtracking, incomplete).
+"""
+
+from repro.baselines.annealing import SimulatedAnnealingMapper
+from repro.baselines.bruteforce import BruteForceCSP
+from repro.baselines.common import assignment_violations, random_injective_assignment
+from repro.baselines.genetic import GeneticAlgorithmMapper
+from repro.baselines.stress import StressGreedyMapper
+
+#: All baselines keyed by a short name used in benchmark reports.
+BASELINES = {
+    "bruteforce": BruteForceCSP,
+    "annealing": SimulatedAnnealingMapper,
+    "genetic": GeneticAlgorithmMapper,
+    "stress": StressGreedyMapper,
+}
+
+__all__ = [
+    "BruteForceCSP",
+    "SimulatedAnnealingMapper",
+    "GeneticAlgorithmMapper",
+    "StressGreedyMapper",
+    "BASELINES",
+    "assignment_violations",
+    "random_injective_assignment",
+]

@@ -1,0 +1,99 @@
+"""Shared machinery for the baseline mappers NETEMBED is compared against.
+
+§II and §VII-F position NETEMBED against four families of prior work:
+Emulab's ``assign`` (simulated annealing), ``wanassign`` (genetic algorithm),
+Zhu & Ammar's stress-minimising heuristic, and Considine & Byers' brute-force
+constraint-satisfaction search.  The reimplementations in this package solve
+the *same feasibility problem* as the NETEMBED algorithms — same query and
+hosting networks, same constraint expressions, same
+:class:`~repro.core.result.EmbeddingResult` return type — so they can be run
+head-to-head by the §VII-F comparison benchmark.
+
+The metaheuristic baselines (annealing, genetic) explore *complete but
+possibly invalid* assignments and try to drive a violation count to zero,
+which is how ``assign``/``wanassign`` treat mapping: an optimisation over
+penalties rather than a systematic search.  They therefore inherit the
+weaknesses the paper points out — no completeness guarantee and no ability to
+prove infeasibility.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.base import SearchContext
+from repro.graphs.network import NodeId
+
+
+def assignment_violations(context: SearchContext,
+                          assignment: Dict[NodeId, NodeId]) -> int:
+    """Number of query edges violated by a complete (injective) assignment.
+
+    A query edge is violated when its endpoints' images are not adjacent in
+    the hosting network or the constraint expression rejects the edge pair.
+    Assignments that are not injective additionally pay one violation per
+    duplicated hosting node, so zero energy implies a feasible embedding
+    (injective, topology-preserving, constraint-satisfying).
+    """
+    violations = 0
+    hosts = list(assignment.values())
+    violations += len(hosts) - len(set(hosts))
+    for q_source, q_target in context.query.edges():
+        r_source, r_target = assignment[q_source], assignment[q_target]
+        if not context.query_edge_supported(q_source, q_target, r_source, r_target):
+            violations += 1
+    return violations
+
+
+def node_level_allowed(context: SearchContext) -> Dict[NodeId, set]:
+    """Per-query-node candidate sets from the node constraint (all hosts if none)."""
+    from repro.core.filters import compute_node_candidates
+
+    return compute_node_candidates(context.query, context.hosting,
+                                   context.node_constraint)
+
+
+def random_injective_assignment(context: SearchContext, rng,
+                                allowed: Optional[Dict[NodeId, set]] = None
+                                ) -> Optional[Dict[NodeId, NodeId]]:
+    """A random injective assignment respecting per-node candidate sets.
+
+    Query nodes are placed in order of ascending candidate-set size (most
+    constrained first) so the greedy random construction rarely dead-ends;
+    returns ``None`` if it does.
+    """
+    allowed = allowed or node_level_allowed(context)
+    order = sorted(context.query.nodes(), key=lambda n: (len(allowed[n]), str(n)))
+    used: set = set()
+    assignment: Dict[NodeId, NodeId] = {}
+    for node in order:
+        candidates = [host for host in allowed[node] if host not in used]
+        if not candidates:
+            return None
+        choice = rng.choice(sorted(candidates, key=str))
+        assignment[node] = choice
+        used.add(choice)
+    return assignment
+
+
+def swap_or_move(context: SearchContext, assignment: Dict[NodeId, NodeId], rng,
+                 allowed: Dict[NodeId, set]) -> Dict[NodeId, NodeId]:
+    """A neighbouring assignment: re-place one query node, or swap two.
+
+    This is the move set of the annealing baseline and the mutation operator
+    of the genetic baseline.
+    """
+    new_assignment = dict(assignment)
+    nodes = context.query.nodes()
+    node = rng.choice(nodes)
+    used = set(new_assignment.values())
+    free_candidates = [host for host in allowed[node]
+                       if host not in used or host == new_assignment[node]]
+    if free_candidates and rng.random() < 0.5:
+        new_assignment[node] = rng.choice(sorted(free_candidates, key=str))
+        return new_assignment
+    other = rng.choice(nodes)
+    if other != node:
+        new_assignment[node], new_assignment[other] = (
+            new_assignment[other], new_assignment[node])
+    return new_assignment

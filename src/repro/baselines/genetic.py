@@ -1,0 +1,148 @@
+"""Genetic-algorithm mapper in the style of Netbed's ``wanassign`` [10].
+
+``wanassign`` evolves candidate wide-area mappings with a genetic algorithm.
+The reported evaluations handled only small networks (up to 16 nodes in [10],
+160 in [14]) with runtimes of tens of minutes, and — like all metaheuristics —
+it offers no convergence or completeness guarantee.  This reimplementation
+keeps the approach recognisable while fitting the common
+:class:`~repro.core.base.EmbeddingAlgorithm` interface:
+
+* an individual is a complete injective assignment of query nodes to hosts;
+* fitness is the number of *satisfied* query edges (topology + constraint);
+* selection is tournament-based, crossover keeps the assignment injective by
+  resolving collisions from the unused-host pool, and mutation re-places or
+  swaps nodes;
+* the first individual whose fitness equals the number of query edges is a
+  feasible embedding and is returned immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.common import (
+    assignment_violations,
+    node_level_allowed,
+    random_injective_assignment,
+    swap_or_move,
+)
+from repro.core.base import EmbeddingAlgorithm, SearchContext
+from repro.graphs.network import NodeId
+from repro.utils.rng import RandomSource, as_rng
+
+
+class GeneticAlgorithmMapper(EmbeddingAlgorithm):
+    """``wanassign``-style genetic search over complete assignments.
+
+    Parameters
+    ----------
+    population_size, generations:
+        GA population size and generation budget.
+    tournament:
+        Tournament size for parent selection.
+    crossover_rate, mutation_rate:
+        Per-offspring probabilities of crossover and mutation.
+    rng:
+        Randomness source.
+    """
+
+    name = "GA-wanassign"
+
+    def __init__(self, population_size: int = 40, generations: int = 150,
+                 tournament: int = 3, crossover_rate: float = 0.8,
+                 mutation_rate: float = 0.4, rng: RandomSource = None) -> None:
+        if population_size < 2:
+            raise ValueError(f"population_size must be >= 2, got {population_size}")
+        if generations < 1:
+            raise ValueError(f"generations must be >= 1, got {generations}")
+        if tournament < 1:
+            raise ValueError(f"tournament must be >= 1, got {tournament}")
+        for name, rate in (("crossover_rate", crossover_rate), ("mutation_rate", mutation_rate)):
+            if not 0 <= rate <= 1:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self._population_size = population_size
+        self._generations = generations
+        self._tournament = tournament
+        self._crossover_rate = crossover_rate
+        self._mutation_rate = mutation_rate
+        self._rng_source = rng
+
+    # ------------------------------------------------------------------ #
+
+    def _run(self, context: SearchContext) -> bool:
+        rng = as_rng(self._rng_source)
+        allowed = node_level_allowed(context)
+        if any(not allowed[node] for node in context.query.nodes()):
+            return True
+
+        population: List[Dict[NodeId, NodeId]] = []
+        for _ in range(self._population_size):
+            individual = random_injective_assignment(context, rng, allowed)
+            if individual is None:
+                continue
+            if assignment_violations(context, individual) == 0:
+                context.record_mapping(individual)
+                return False
+            population.append(individual)
+        if not population:
+            return False
+
+        for _generation in range(self._generations):
+            context.check_deadline()
+            next_population: List[Dict[NodeId, NodeId]] = []
+            while len(next_population) < self._population_size:
+                parent_a = self._select(context, population, rng)
+                parent_b = self._select(context, population, rng)
+                child = dict(parent_a)
+                if rng.random() < self._crossover_rate:
+                    child = self._crossover(context, parent_a, parent_b, rng, allowed)
+                if rng.random() < self._mutation_rate:
+                    child = swap_or_move(context, child, rng, allowed)
+                context.stats.candidates_considered += 1
+                if assignment_violations(context, child) == 0:
+                    context.record_mapping(child)
+                    return False
+                next_population.append(child)
+            population = next_population
+
+        context.stats.backtracks += 1   # evolution exhausted without success
+        return False
+
+    # ------------------------------------------------------------------ #
+
+    def _select(self, context: SearchContext, population, rng) -> Dict[NodeId, NodeId]:
+        """Tournament selection minimising the violation count."""
+        contenders = [population[rng.randrange(len(population))]
+                      for _ in range(min(self._tournament, len(population)))]
+        return min(contenders, key=lambda ind: assignment_violations(context, ind))
+
+    @staticmethod
+    def _crossover(context: SearchContext, parent_a, parent_b, rng, allowed
+                   ) -> Dict[NodeId, NodeId]:
+        """Uniform crossover that repairs duplicate hosting-node assignments."""
+        child: Dict[NodeId, NodeId] = {}
+        used: set = set()
+        nodes = context.query.nodes()
+        for node in nodes:
+            preferred = parent_a[node] if rng.random() < 0.5 else parent_b[node]
+            fallback = parent_b[node] if preferred == parent_a[node] else parent_a[node]
+            for choice in (preferred, fallback):
+                if choice not in used:
+                    child[node] = choice
+                    used.add(choice)
+                    break
+        # Repair nodes that lost both parental hosts to collisions.
+        for node in nodes:
+            if node in child:
+                continue
+            candidates = [host for host in sorted(allowed[node], key=str)
+                          if host not in used]
+            if not candidates:
+                # Degenerate: fall back to the first parent's host even if it
+                # collides; the fitness function will penalise it away.
+                child[node] = parent_a[node]
+                continue
+            choice = rng.choice(candidates)
+            child[node] = choice
+            used.add(choice)
+        return child

@@ -1,0 +1,107 @@
+"""Stress-minimising greedy mapper in the style of Zhu & Ammar [15].
+
+Zhu & Ammar assign substrate (hosting) resources to virtual networks so as to
+minimise *stress* — the number of virtual nodes/links already mapped onto
+each substrate node/link — thereby spreading load and leaving room for future
+virtual networks.  Their algorithm is a greedy constructive heuristic, not a
+systematic search, and the paper notes it can be adapted to the constrained
+problem "by filtering out infeasible assignments".
+
+This reimplementation follows that recipe:
+
+* query nodes are placed one at a time in descending-degree order;
+* for each node, candidate hosts are those that satisfy the node constraint,
+  are adjacent (with satisfying edges) to every already-placed neighbour and
+  are not yet used;
+* among the candidates, the host with the lowest current stress (here: the
+  node's ``cpuLoad``/``stress`` attribute plus the count of embeddings placed
+  on it in this run) is chosen greedily — no backtracking.
+
+Being greedy, it is fast but incomplete: when the greedy choice dead-ends the
+mapper simply fails (an *inconclusive* outcome), which is exactly the
+behavioural contrast with NETEMBED that §VII-F highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.baselines.common import node_level_allowed
+from repro.core.base import EmbeddingAlgorithm, SearchContext
+from repro.graphs.network import NodeId
+
+#: Hosting-node attribute treated as pre-existing stress/load if present.
+STRESS_ATTR = "stress"
+
+
+class StressGreedyMapper(EmbeddingAlgorithm):
+    """Zhu–Ammar-style greedy, stress-aware constructive mapper (no backtracking)."""
+
+    name = "Greedy-stress"
+
+    def _run(self, context: SearchContext) -> bool:
+        allowed = node_level_allowed(context)
+        if any(not allowed[node] for node in context.query.nodes()):
+            return True
+
+        placement_order = context.query.nodes_by_degree(descending=True)
+        assignment: Dict[NodeId, NodeId] = {}
+        used: set = set()
+        local_stress: Dict[NodeId, int] = {}
+
+        for node in placement_order:
+            context.check_deadline()
+            context.stats.nodes_expanded += 1
+            best_host: Optional[NodeId] = None
+            best_stress: Optional[float] = None
+            for host in sorted(allowed[node], key=str):
+                if host in used:
+                    continue
+                context.stats.candidates_considered += 1
+                if not self._consistent(context, node, host, assignment):
+                    continue
+                stress = self._stress_of(context, host, local_stress)
+                if best_stress is None or stress < best_stress:
+                    best_host, best_stress = host, stress
+            if best_host is None:
+                # Greedy dead end: give up without backtracking.  This is not a
+                # proof of infeasibility, so the search is not "exhausted".
+                context.stats.backtracks += 1
+                return False
+            assignment[node] = best_host
+            used.add(best_host)
+            local_stress[best_host] = local_stress.get(best_host, 0) + 1
+
+        context.record_mapping(assignment)
+        # Greedy construction finds at most one embedding and explores nothing
+        # else; never claim the result set is complete.
+        return False
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _consistent(context: SearchContext, node: NodeId, host: NodeId,
+                    assignment: Dict[NodeId, NodeId]) -> bool:
+        query = context.query
+        for neighbor in query.neighbors(node):
+            if neighbor not in assignment:
+                continue
+            neighbor_host = assignment[neighbor]
+            if query.has_edge(neighbor, node):
+                if not context.query_edge_supported(neighbor, node, neighbor_host, host):
+                    return False
+            if query.has_edge(node, neighbor) and (query.directed or
+                                                   not query.has_edge(neighbor, node)):
+                if not context.query_edge_supported(node, neighbor, host, neighbor_host):
+                    return False
+        return True
+
+    @staticmethod
+    def _stress_of(context: SearchContext, host: NodeId,
+                   local_stress: Dict[NodeId, int]) -> float:
+        """Pre-existing stress attribute (or cpuLoad) plus stress added in this run."""
+        attrs = context.hosting.node_attrs(host)
+        base = attrs.get(STRESS_ATTR)
+        if base is None:
+            base = attrs.get("cpuLoad", 0.0)
+        return float(base) + local_stress.get(host, 0)

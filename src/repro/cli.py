@@ -1,0 +1,166 @@
+"""Command-line interface to the NETEMBED service.
+
+Three subcommands cover the common workflows::
+
+    python -m repro embed --hosting host.graphml --query query.graphml \
+        --constraint "rEdge.avgDelay <= vEdge.maxDelay" --algorithm ECF
+
+    python -m repro generate planetlab --sites 120 --seed 7 --output pl.graphml
+
+    python -m repro experiment fig8 --seed 1 --timeout 5 --csv fig8.csv
+
+``embed`` reads both networks from GraphML, runs the requested algorithm and
+prints the embeddings (optionally as JSON); ``generate`` materialises the
+synthetic hosting networks used throughout the evaluation; ``experiment``
+runs one of the figure drivers from :mod:`repro.analysis` and prints the same
+series the paper plots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis import EXPERIMENTS, aggregate_series, format_figure, format_table, write_csv
+from repro.constraints import ConstraintExpression
+from repro.core import make_algorithm
+from repro.graphs import HostingNetwork, QueryNetwork, read_graphml, write_graphml
+from repro.topology import barabasi_albert, synthetic_planetlab_trace, transit_stub
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NETEMBED: map virtual network requests onto a hosting network.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    embed = subparsers.add_parser(
+        "embed", help="embed a GraphML query network into a GraphML hosting network")
+    embed.add_argument("--hosting", required=True, type=Path,
+                       help="GraphML file describing the hosting (real) network")
+    embed.add_argument("--query", required=True, type=Path,
+                       help="GraphML file describing the query (virtual) network")
+    embed.add_argument("--constraint", default=None,
+                       help="edge constraint expression (NETEMBED constraint language)")
+    embed.add_argument("--node-constraint", default=None,
+                       help="node constraint expression over vNode/rNode")
+    embed.add_argument("--algorithm", default="ECF", choices=["ECF", "RWB", "LNS"],
+                       help="which NETEMBED algorithm to run (default: ECF)")
+    embed.add_argument("--timeout", type=float, default=30.0,
+                       help="search budget in seconds (default: 30)")
+    embed.add_argument("--max-results", type=int, default=None,
+                       help="stop after this many embeddings (default: all)")
+    embed.add_argument("--seed", type=int, default=None,
+                       help="random seed (only used by RWB)")
+    embed.add_argument("--json", action="store_true",
+                       help="print the result as JSON instead of plain text")
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a synthetic hosting network as GraphML")
+    generate.add_argument("kind", choices=["planetlab", "brite", "transit-stub"],
+                          help="which topology family to generate")
+    generate.add_argument("--sites", type=int, default=296,
+                          help="number of nodes/sites (default: 296)")
+    generate.add_argument("--seed", type=int, default=None, help="random seed")
+    generate.add_argument("--output", type=Path, required=True,
+                          help="output GraphML path")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run one of the paper's evaluation experiments")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS),
+                            help="experiment id (figure number or ablation name)")
+    experiment.add_argument("--seed", type=int, default=0, help="random seed")
+    experiment.add_argument("--timeout", type=float, default=5.0,
+                            help="per-query timeout in seconds (default: 5)")
+    experiment.add_argument("--paper-scale", action="store_true",
+                            help="use the paper's instance sizes instead of the "
+                                 "scaled-down benchmark sizes (slow)")
+    experiment.add_argument("--csv", type=Path, default=None,
+                            help="also write the raw per-query rows to this CSV file")
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------------- #
+
+def _run_embed(args: argparse.Namespace) -> int:
+    hosting = read_graphml(args.hosting, cls=HostingNetwork)
+    query = read_graphml(args.query, cls=QueryNetwork)
+    kwargs = {"rng": args.seed} if args.algorithm == "RWB" else {}
+    algorithm = make_algorithm(args.algorithm, **kwargs)
+    constraint = ConstraintExpression(args.constraint) if args.constraint else None
+    node_constraint = (ConstraintExpression(args.node_constraint)
+                       if args.node_constraint else None)
+
+    result = algorithm.search(query, hosting, constraint=constraint,
+                              node_constraint=node_constraint,
+                              timeout=args.timeout, max_results=args.max_results)
+
+    if args.json:
+        payload = {
+            "algorithm": result.algorithm,
+            "status": result.status.value,
+            "elapsed_seconds": result.elapsed_seconds,
+            "time_to_first_seconds": result.time_to_first_seconds,
+            "mappings": [{str(q): str(r) for q, r in m.items()} for m in result.mappings],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{result.algorithm}: {result.status.value}, {result.count} embedding(s) "
+              f"in {result.elapsed_seconds * 1000:.1f} ms")
+        for index, mapping in enumerate(result.mappings):
+            rendered = ", ".join(f"{q}->{r}" for q, r in sorted(mapping.items(), key=str))
+            print(f"  [{index}] {rendered}")
+    return 0 if result.found or result.status.value == "complete" else 1
+
+
+def _run_generate(args: argparse.Namespace) -> int:
+    if args.kind == "planetlab":
+        network = synthetic_planetlab_trace(num_sites=args.sites, rng=args.seed)
+    elif args.kind == "brite":
+        network = barabasi_albert(args.sites, edges_per_node=2, rng=args.seed)
+    else:
+        network = transit_stub(rng=args.seed)
+    write_graphml(network, args.output)
+    print(f"wrote {network.num_nodes} nodes / {network.num_edges} edges to {args.output}")
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    driver = EXPERIMENTS[args.name]
+    rows = driver(seed=args.seed, scaled=not args.paper_scale, timeout=args.timeout)
+    if args.csv is not None:
+        write_csv(rows, args.csv)
+        print(f"raw rows written to {args.csv}")
+    value_field = "total_ms"
+    series = aggregate_series(rows, value_field=value_field)
+    if series:
+        print(format_figure(series, title=f"experiment {args.name}",
+                            value_field="mean"))
+    else:
+        print(format_table(rows, title=f"experiment {args.name} (raw rows)"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "embed":
+        return _run_embed(args)
+    if args.command == "generate":
+        return _run_generate(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    parser.error(f"unknown command {args.command!r}")   # pragma: no cover
+    return 2
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

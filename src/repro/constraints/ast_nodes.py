@@ -1,0 +1,177 @@
+"""Abstract syntax tree for the constraint expression language.
+
+The tree mirrors the Java-style expression grammar of §VI-B.  Every node
+knows how to render itself back to source text (:meth:`Expr.unparse`), which
+is used in error messages, in tests (parse/unparse round-trips), and by the
+interactive negotiation session when it rewrites constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class Expr:
+    """Base class of all AST nodes."""
+
+    def unparse(self) -> str:
+        """Render this subtree back to constraint-language source text."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Immediate child expressions (for generic tree walks)."""
+        return ()
+
+    def walk(self):
+        """Yield this node and all descendants (pre-order)."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __str__(self) -> str:
+        return self.unparse()
+
+
+@dataclass(frozen=True)
+class NumberLiteral(Expr):
+    """A numeric literal (int or float)."""
+
+    value: float
+
+    def unparse(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class StringLiteral(Expr):
+    """A quoted string literal."""
+
+    value: str
+
+    def unparse(self) -> str:
+        escaped = self.value.replace('"', '\\"')
+        return f'"{escaped}"'
+
+
+@dataclass(frozen=True)
+class BooleanLiteral(Expr):
+    """``true`` or ``false``."""
+
+    value: bool
+
+    def unparse(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class AttributeRef(Expr):
+    """Dotted attribute access such as ``vEdge.avgDelay``.
+
+    ``obj`` is one of the context object names of Table I (``vEdge``,
+    ``rEdge``, ``vSource``, ``vTarget``, ``rSource``, ``rTarget`` — plus
+    ``vNode``/``rNode`` in node-constraint contexts); ``attribute`` is the
+    attribute name on that object.
+    """
+
+    obj: str
+    attribute: str
+
+    def unparse(self) -> str:
+        return f"{self.obj}.{self.attribute}"
+
+
+@dataclass(frozen=True)
+class Identifier(Expr):
+    """A bare identifier (an object name used without attribute access)."""
+
+    name: str
+
+    def unparse(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary operators: logical not ``!`` and arithmetic negation ``-``."""
+
+    op: str
+    operand: Expr
+
+    def unparse(self) -> str:
+        return f"{self.op}({self.operand.unparse()})"
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Binary arithmetic (``+ - * /``) and relational (``== != < > <= >=``) operators."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    """Short-circuit boolean operators ``&&`` and ``||``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    """A call to a registered function such as ``sqrt`` or ``isBoundTo``."""
+
+    name: str
+    args: Tuple[Expr, ...]
+
+    def unparse(self) -> str:
+        rendered = ", ".join(arg.unparse() for arg in self.args)
+        return f"{self.name}({rendered})"
+
+    def children(self) -> Tuple[Expr, ...]:
+        return tuple(self.args)
+
+
+def referenced_objects(expr: Expr) -> List[str]:
+    """Distinct context-object names referenced anywhere in *expr*.
+
+    Used by the evaluator to decide whether an expression is a pure edge
+    constraint, a pure node constraint, or mixed, and by the query analyser to
+    report which attributes a query depends on.
+    """
+    names = []
+    for node in expr.walk():
+        if isinstance(node, AttributeRef) and node.obj not in names:
+            names.append(node.obj)
+        elif isinstance(node, Identifier) and node.name not in names:
+            names.append(node.name)
+    return names
+
+
+def referenced_attributes(expr: Expr) -> List[Tuple[str, str]]:
+    """Distinct ``(object, attribute)`` pairs referenced in *expr*."""
+    pairs = []
+    for node in expr.walk():
+        if isinstance(node, AttributeRef):
+            pair = (node.obj, node.attribute)
+            if pair not in pairs:
+                pairs.append(pair)
+    return pairs

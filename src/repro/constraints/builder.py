@@ -1,0 +1,141 @@
+"""Programmatic builders for common constraint expressions.
+
+The paper's experiments use a small number of recurring constraint patterns
+(delay tolerance windows, delay-within-measured-range, OS binding, explicit
+node binding, geographic distance).  These helpers generate the corresponding
+constraint-language source text so workload generators, examples and tests do
+not hand-assemble strings, and so the exact expressions used by each
+experiment are documented in one place.
+
+All builders return plain source strings; combine them with
+:func:`all_of` / :func:`any_of` and wrap the result in
+:class:`~repro.constraints.ConstraintExpression`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def all_of(*clauses: str) -> str:
+    """Conjunction of the given clauses (skipping empty ones)."""
+    parts = [c for c in clauses if c]
+    if not parts:
+        return "true"
+    if len(parts) == 1:
+        return parts[0]
+    return " && ".join(f"({c})" for c in parts)
+
+
+def any_of(*clauses: str) -> str:
+    """Disjunction of the given clauses (skipping empty ones)."""
+    parts = [c for c in clauses if c]
+    if not parts:
+        return "false"
+    if len(parts) == 1:
+        return parts[0]
+    return " || ".join(f"({c})" for c in parts)
+
+
+def delay_tolerance(fraction: float, query_attr: str = "avgDelay",
+                    host_attr: str = "avgDelay") -> str:
+    """Hosting delay within ``±fraction`` of the requested delay.
+
+    The first example of §VI-B: with ``fraction=0.10`` this renders as
+    ``vEdge.avgDelay >= 0.9*rEdge.avgDelay && vEdge.avgDelay <= 1.1*rEdge.avgDelay``.
+    """
+    if not 0 <= fraction < 1:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    low = 1.0 - fraction
+    high = 1.0 + fraction
+    return (f"vEdge.{query_attr} >= {low!r}*rEdge.{host_attr} && "
+            f"vEdge.{query_attr} <= {high!r}*rEdge.{host_attr}")
+
+
+def requested_delay_within_host_range(query_attr: str = "avgDelay",
+                                      host_min: str = "minDelay",
+                                      host_max: str = "maxDelay") -> str:
+    """The second §VI-B example: requested delay within [minDelay, maxDelay]."""
+    return (f"vEdge.{query_attr} >= rEdge.{host_min} && "
+            f"vEdge.{query_attr} <= rEdge.{host_max}")
+
+
+def host_delay_within_query_window(low_attr: str = "minDelay",
+                                   high_attr: str = "maxDelay",
+                                   host_attr: str = "avgDelay") -> str:
+    """The constraint used by the PlanetLab/BRITE experiments (§VII-B):
+    the measured hosting delay must fall inside the query's requested window."""
+    return (f"rEdge.{host_attr} >= vEdge.{low_attr} && "
+            f"rEdge.{host_attr} <= vEdge.{high_attr}")
+
+
+def absolute_delay_window(low: float, high: float, host_attr: str = "avgDelay") -> str:
+    """Hosting delay inside a fixed window, e.g. the 10–100 ms clique queries (§VII-D)."""
+    if low > high:
+        raise ValueError(f"low ({low}) must not exceed high ({high})")
+    return f"rEdge.{host_attr} >= {float(low)!r} && rEdge.{host_attr} <= {float(high)!r}"
+
+
+def node_attribute_binding(attribute: str, query_obj: str = "vSource",
+                           host_obj: str = "rSource") -> str:
+    """Optional categorical binding, e.g. ``isBoundTo(vSource.osType, rSource.osType)``."""
+    return f"isBoundTo({query_obj}.{attribute}, {host_obj}.{attribute})"
+
+
+def bind_to_named_host(bind_attr: str = "bindTo", name_attr: str = "name") -> str:
+    """Force particular query nodes onto named hosting nodes (§VI-B ``bindTo`` idiom).
+
+    Applied to both edge endpoints so the constraint works regardless of which
+    end of an edge carries the binding.
+    """
+    return all_of(
+        f"isBoundTo(vSource.{bind_attr}, rSource.{name_attr})",
+        f"isBoundTo(vTarget.{bind_attr}, rTarget.{name_attr})",
+    )
+
+
+def os_binding_both_endpoints(attribute: str = "osType") -> str:
+    """Require both endpoints of every edge to respect an optional OS binding."""
+    return all_of(
+        node_attribute_binding(attribute, "vSource", "rSource"),
+        node_attribute_binding(attribute, "vTarget", "rTarget"),
+    )
+
+
+def geographic_distance_within(limit: float,
+                               x_attr: str = "x", y_attr: str = "y",
+                               query_obj: str = "vSource",
+                               host_obj: str = "rSource") -> str:
+    """Euclidean distance between a query node's desired location and its host.
+
+    The last §VI-B example (there written between vSource and vTarget; the
+    generalised form here compares the query node's desired coordinates with
+    the hosting node's actual coordinates).
+    """
+    if limit <= 0:
+        raise ValueError(f"limit must be positive, got {limit}")
+    dx = f"({query_obj}.{x_attr} - {host_obj}.{x_attr})"
+    dy = f"({query_obj}.{y_attr} - {host_obj}.{y_attr})"
+    return f"sqrt({dx}*{dx} + {dy}*{dy}) < {float(limit)!r}"
+
+
+def minimum_bandwidth(host_attr: str = "bandwidth", query_attr: str = "bandwidth") -> str:
+    """Hosting link bandwidth at least the requested bandwidth."""
+    return f"rEdge.{host_attr} >= vEdge.{query_attr}"
+
+
+def per_level_delay_windows(level_attr: str = "level",
+                            windows: Sequence[tuple] = ((0, 75.0, 350.0), (1, 1.0, 75.0)),
+                            host_attr: str = "avgDelay") -> str:
+    """Composite-query constraint (§VII-D): a delay window per hierarchy level.
+
+    ``windows`` is a sequence of ``(level, low, high)`` triples; a query edge
+    tagged ``level == k`` must map onto a hosting link whose delay lies in
+    that level's window.
+    """
+    clauses = []
+    for level, low, high in windows:
+        clauses.append(
+            f"(vEdge.{level_attr} != {int(level)}) || "
+            f"(rEdge.{host_attr} >= {float(low)!r} && rEdge.{host_attr} <= {float(high)!r})")
+    return all_of(*clauses)

@@ -1,0 +1,80 @@
+"""Evaluation contexts: the objects visible inside a constraint expression.
+
+Table I of the paper lists the objects available when an expression is
+evaluated for a (query-edge, hosting-edge) pair:
+
+===========  ===============  ==============================
+Hosting      Virtual          Meaning
+===========  ===============  ==============================
+``rEdge``    ``vEdge``        the edge's attribute record
+``rSource``  ``vSource``      the source node's attributes
+``rTarget``  ``vTarget``      the target node's attributes
+===========  ===============  ==============================
+
+This module builds those contexts from :class:`~repro.graphs.network.Network`
+objects.  A context is simply a mapping ``object name -> attribute dict``; a
+missing attribute resolves to :data:`~repro.constraints.functions.MISSING`
+(lenient mode) or raises (strict mode) — the evaluator decides.
+
+For node-level constraints (used to pre-screen candidate nodes before any
+edge is considered, and for isolated query nodes) the objects are ``vNode``
+and ``rNode``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.graphs.network import Edge, Network, NodeId
+
+#: A context maps Table-I object names to their attribute dictionaries.
+Context = Dict[str, Mapping[str, Any]]
+
+EDGE_OBJECTS = ("vEdge", "rEdge", "vSource", "vTarget", "rSource", "rTarget")
+NODE_OBJECTS = ("vNode", "rNode")
+
+
+def edge_context(query: Network, query_edge: Edge,
+                 hosting: Network, hosting_edge: Edge) -> Context:
+    """Build the Table-I context for evaluating an edge-pair constraint.
+
+    Parameters
+    ----------
+    query, hosting:
+        The query and hosting networks.
+    query_edge:
+        ``(vSource, vTarget)`` in the query network.
+    hosting_edge:
+        ``(rSource, rTarget)`` in the hosting network.  For undirected
+        hosting networks the pair is an *orientation*: the stored edge may be
+        ``(rTarget, rSource)``.
+    """
+    q_source, q_target = query_edge
+    r_source, r_target = hosting_edge
+    return {
+        "vEdge": query.edge_attrs(q_source, q_target),
+        "vSource": query.node_attrs(q_source),
+        "vTarget": query.node_attrs(q_target),
+        "rEdge": hosting.edge_attrs(r_source, r_target),
+        "rSource": hosting.node_attrs(r_source),
+        "rTarget": hosting.node_attrs(r_target),
+    }
+
+
+def node_context(query: Network, query_node: NodeId,
+                 hosting: Network, hosting_node: NodeId) -> Context:
+    """Build the context for evaluating a node-pair constraint."""
+    return {
+        "vNode": query.node_attrs(query_node),
+        "rNode": hosting.node_attrs(hosting_node),
+    }
+
+
+def literal_context(**objects: Mapping[str, Any]) -> Context:
+    """Build a context directly from attribute mappings (used in tests/examples)."""
+    return dict(objects)
+
+
+def context_signature(context: Context) -> Tuple[str, ...]:
+    """The sorted object names present in a context (for diagnostics)."""
+    return tuple(sorted(context.keys()))

@@ -1,0 +1,48 @@
+"""Exception types for the constraint expression language."""
+
+from __future__ import annotations
+
+
+class ConstraintError(Exception):
+    """Base class for all constraint-language errors."""
+
+
+class LexError(ConstraintError):
+    """Raised when the expression text contains an unrecognised character."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class ParseError(ConstraintError):
+    """Raised when the token stream does not form a valid expression."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class EvaluationError(ConstraintError):
+    """Raised when an expression cannot be evaluated against a context.
+
+    In *strict* evaluation mode a missing attribute raises this error; in the
+    default lenient mode (the behaviour of the original NETEMBED service) a
+    missing attribute simply makes the edge pair a non-match.
+    """
+
+
+class UnknownIdentifierError(EvaluationError):
+    """Raised when an expression references an object name the context lacks."""
+
+    def __init__(self, identifier: str):
+        super().__init__(f"unknown identifier {identifier!r}")
+        self.identifier = identifier
+
+
+class UnknownFunctionError(EvaluationError):
+    """Raised when an expression calls a function that is not registered."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown function {name!r}")
+        self.name = name

@@ -1,0 +1,212 @@
+"""Tree-walking evaluator for constraint expressions.
+
+This is the *reference* semantics of the language: simple, explicit, easy to
+audit.  The compiled evaluator in :mod:`repro.constraints.compiler` must agree
+with it on every input (a property the test suite enforces with hypothesis).
+
+Missing-attribute handling
+--------------------------
+NETEMBED evaluates the constraint expression for every (query-edge,
+hosting-edge) pair; real hosting networks frequently define an attribute only
+on some elements.  Two modes are supported:
+
+* **lenient** (default, matches the original service): a missing attribute
+  makes the whole evaluation yield ``False`` — the pair simply does not match
+  — except inside ``isBoundTo`` where a missing *query* attribute means "no
+  binding requested" and therefore satisfies the constraint.
+* **strict**: a missing attribute raises
+  :class:`~repro.constraints.errors.EvaluationError`, which is useful when
+  debugging a query or validating generated workloads.
+
+Internally missingness is propagated as the :data:`MISSING` sentinel so that
+``isBoundTo`` can observe it; any other operator touching :data:`MISSING`
+short-circuits the evaluation via :class:`_MissingAbort`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.constraints.ast_nodes import (
+    AttributeRef,
+    BinaryOp,
+    BooleanLiteral,
+    BoolOp,
+    Expr,
+    FunctionCall,
+    Identifier,
+    NumberLiteral,
+    StringLiteral,
+    UnaryOp,
+)
+from repro.constraints.context import Context
+from repro.constraints.errors import EvaluationError, UnknownIdentifierError
+from repro.constraints.functions import MISSING, is_missing, lookup_function
+
+
+class _MissingAbort(Exception):
+    """Internal control-flow exception: a missing attribute reached an operator."""
+
+
+def evaluate(expr: Expr, context: Context, strict: bool = False) -> bool:
+    """Evaluate *expr* against *context* and coerce the result to a boolean.
+
+    Parameters
+    ----------
+    expr:
+        Parsed expression (see :func:`repro.constraints.parser.parse`).
+    context:
+        Mapping of object names (``vEdge``, ``rEdge``, ...) to attribute
+        mappings.
+    strict:
+        Whether missing attributes are an error instead of a non-match.
+
+    Returns
+    -------
+    bool
+        The truth value of the expression for this context.
+    """
+    try:
+        value = _eval(expr, context, strict)
+    except _MissingAbort:
+        return False
+    if is_missing(value):
+        if strict:
+            raise EvaluationError("expression evaluated to a missing attribute")
+        return False
+    return bool(value)
+
+
+def evaluate_value(expr: Expr, context: Context, strict: bool = False) -> Any:
+    """Evaluate *expr* and return its raw value (numeric, string, bool or MISSING).
+
+    Used by the negotiation/diagnostic tooling to inspect sub-expressions.
+    """
+    try:
+        return _eval(expr, context, strict)
+    except _MissingAbort:
+        return MISSING
+
+
+def _eval(expr: Expr, context: Context, strict: bool) -> Any:
+    if isinstance(expr, NumberLiteral):
+        return expr.value
+    if isinstance(expr, StringLiteral):
+        return expr.value
+    if isinstance(expr, BooleanLiteral):
+        return expr.value
+
+    if isinstance(expr, AttributeRef):
+        return _resolve_attribute(expr, context, strict)
+
+    if isinstance(expr, Identifier):
+        if expr.name not in context:
+            raise UnknownIdentifierError(expr.name)
+        return context[expr.name]
+
+    if isinstance(expr, UnaryOp):
+        operand = _require_present(_eval(expr.operand, context, strict), strict)
+        if expr.op == "!":
+            return not bool(operand)
+        if expr.op == "-":
+            _require_number(operand, "unary -")
+            return -operand
+        raise EvaluationError(f"unknown unary operator {expr.op!r}")
+
+    if isinstance(expr, BoolOp):
+        left = _require_present(_eval(expr.left, context, strict), strict)
+        if expr.op == "&&":
+            if not bool(left):
+                return False
+            return bool(_require_present(_eval(expr.right, context, strict), strict))
+        if expr.op == "||":
+            if bool(left):
+                return True
+            return bool(_require_present(_eval(expr.right, context, strict), strict))
+        raise EvaluationError(f"unknown boolean operator {expr.op!r}")
+
+    if isinstance(expr, BinaryOp):
+        left = _require_present(_eval(expr.left, context, strict), strict)
+        right = _require_present(_eval(expr.right, context, strict), strict)
+        return _apply_binary(expr.op, left, right)
+
+    if isinstance(expr, FunctionCall):
+        function = lookup_function(expr.name)
+        # Function arguments are evaluated without aborting on MISSING so
+        # isBoundTo can see the sentinel; numeric builtins validate themselves.
+        args = [_eval(arg, context, strict) for arg in expr.args]
+        return function(*args)
+
+    raise EvaluationError(f"cannot evaluate AST node {type(expr).__name__}")
+
+
+def _resolve_attribute(ref: AttributeRef, context: Context, strict: bool) -> Any:
+    if ref.obj not in context:
+        raise UnknownIdentifierError(ref.obj)
+    attrs = context[ref.obj]
+    if ref.attribute not in attrs:
+        if strict:
+            raise EvaluationError(
+                f"{ref.obj} has no attribute {ref.attribute!r}")
+        return MISSING
+    value = attrs[ref.attribute]
+    return MISSING if value is None else value
+
+
+def _require_present(value: Any, strict: bool) -> Any:
+    """Abort the evaluation when an operator receives a missing attribute."""
+    if is_missing(value):
+        if strict:
+            raise EvaluationError("operator applied to a missing attribute")
+        raise _MissingAbort()
+    return value
+
+
+def _require_number(value: Any, where: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise EvaluationError(f"{where} expects a number, got {value!r}")
+
+
+def _apply_binary(op: str, left: Any, right: Any) -> Any:
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+
+    if op in ("<", ">", "<=", ">="):
+        _require_comparable(left, right, op)
+        if op == "<":
+            return left < right
+        if op == ">":
+            return left > right
+        if op == "<=":
+            return left <= right
+        return left >= right
+
+    if op in ("+", "-", "*", "/"):
+        # '+' also concatenates strings, mirroring Java semantics.
+        if op == "+" and isinstance(left, str) and isinstance(right, str):
+            return left + right
+        _require_number(left, f"operator {op!r}")
+        _require_number(right, f"operator {op!r}")
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if right == 0:
+            raise EvaluationError("division by zero in constraint expression")
+        return left / right
+
+    raise EvaluationError(f"unknown binary operator {op!r}")
+
+
+def _require_comparable(left: Any, right: Any, op: str) -> None:
+    numeric = lambda v: isinstance(v, (int, float)) and not isinstance(v, bool)
+    if numeric(left) and numeric(right):
+        return
+    if isinstance(left, str) and isinstance(right, str):
+        return
+    raise EvaluationError(
+        f"operator {op!r} cannot compare {type(left).__name__} with {type(right).__name__}")

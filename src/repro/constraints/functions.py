@@ -1,0 +1,133 @@
+"""Built-in functions available in constraint expressions.
+
+The paper's language (§VI-B) names ``abs``, ``sqrt`` and the binding helper
+``isBoundTo``.  A few extra numeric helpers (``min``, ``max``, ``floor``,
+``ceil``, ``pow``) are provided because composite/geographic constraints need
+them and they keep the language expressive without widening its security
+surface: only functions registered here can ever be called.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict
+
+from repro.constraints.errors import EvaluationError, UnknownFunctionError
+
+
+class Missing:
+    """Sentinel for an attribute that the current context does not define.
+
+    In lenient evaluation mode a missing attribute does not abort the search;
+    it simply prevents the edge pair from matching (except inside
+    ``isBoundTo``, whose whole purpose is to express *optional* bindings).
+    """
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<missing>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The unique missing-value sentinel.
+MISSING = Missing()
+
+
+def is_missing(value: Any) -> bool:
+    """Whether *value* is the missing-attribute sentinel."""
+    return value is MISSING
+
+
+def _numeric(value: Any, function: str) -> float:
+    if is_missing(value):
+        raise EvaluationError(f"{function}() applied to a missing attribute")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise EvaluationError(
+            f"{function}() expects a numeric argument, got {value!r}")
+    return float(value)
+
+
+def fn_abs(value: Any) -> float:
+    """Absolute value."""
+    return abs(_numeric(value, "abs"))
+
+
+def fn_sqrt(value: Any) -> float:
+    """Square root; negative arguments are an evaluation error."""
+    number = _numeric(value, "sqrt")
+    if number < 0:
+        raise EvaluationError(f"sqrt() of a negative value ({number})")
+    return math.sqrt(number)
+
+
+def fn_min(*values: Any) -> float:
+    """Minimum of the numeric arguments."""
+    if not values:
+        raise EvaluationError("min() requires at least one argument")
+    return min(_numeric(v, "min") for v in values)
+
+
+def fn_max(*values: Any) -> float:
+    """Maximum of the numeric arguments."""
+    if not values:
+        raise EvaluationError("max() requires at least one argument")
+    return max(_numeric(v, "max") for v in values)
+
+
+def fn_floor(value: Any) -> float:
+    """Floor."""
+    return math.floor(_numeric(value, "floor"))
+
+
+def fn_ceil(value: Any) -> float:
+    """Ceiling."""
+    return math.ceil(_numeric(value, "ceil"))
+
+
+def fn_pow(base: Any, exponent: Any) -> float:
+    """``base ** exponent``."""
+    return _numeric(base, "pow") ** _numeric(exponent, "pow")
+
+
+def fn_is_bound_to(requirement: Any, actual: Any) -> bool:
+    """The paper's ``isBoundTo(requirement, actual)`` binding helper.
+
+    Semantics (§VI-B): when the *requirement* attribute is absent from the
+    query element the constraint is vacuously satisfied (the query simply did
+    not ask for a binding); when present, the hosting element's *actual*
+    value must exist and be equal.
+    """
+    if is_missing(requirement) or requirement is None:
+        return True
+    if is_missing(actual) or actual is None:
+        return False
+    return requirement == actual
+
+
+#: Registry of callable names available in expressions.
+BUILTIN_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "abs": fn_abs,
+    "sqrt": fn_sqrt,
+    "min": fn_min,
+    "max": fn_max,
+    "floor": fn_floor,
+    "ceil": fn_ceil,
+    "pow": fn_pow,
+    "isBoundTo": fn_is_bound_to,
+}
+
+
+def lookup_function(name: str) -> Callable[..., Any]:
+    """Return the registered function *name* or raise :class:`UnknownFunctionError`."""
+    try:
+        return BUILTIN_FUNCTIONS[name]
+    except KeyError:
+        raise UnknownFunctionError(name) from None

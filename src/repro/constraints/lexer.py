@@ -1,0 +1,180 @@
+"""Lexer for the NETEMBED constraint expression language.
+
+The original implementation used JFlex (paper §VI-B); this is an equivalent
+hand-written scanner.  The language surface is the Java boolean-expression
+subset the paper describes:
+
+* boolean operators ``&&``, ``||``, ``!``
+* relational operators ``==``, ``!=``, ``<``, ``>``, ``<=``, ``>=``
+* arithmetic operators ``+``, ``-``, ``*``, ``/``
+* parentheses, function calls with comma-separated arguments
+* dotted attribute access (``vEdge.avgDelay``)
+* numeric literals (integer and floating point, with exponents), string
+  literals in single or double quotes, and the keywords ``true`` / ``false``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.constraints.errors import LexError
+from repro.constraints.tokens import Token, TokenType
+
+_SINGLE_CHAR = {
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+}
+
+_KEYWORDS = {
+    "true": TokenType.TRUE,
+    "false": TokenType.FALSE,
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Convert *text* into a token list terminated by an ``EOF`` token.
+
+    Raises
+    ------
+    LexError
+        On any character that cannot start a token, an unterminated string
+        literal, or a malformed number.
+    """
+    tokens: List[Token] = []
+    i = 0
+    length = len(text)
+
+    while i < length:
+        ch = text[i]
+
+        if ch.isspace():
+            i += 1
+            continue
+
+        # Two-character operators first.
+        two = text[i:i + 2]
+        if two == "&&":
+            tokens.append(Token(TokenType.AND, "&&", i)); i += 2; continue
+        if two == "||":
+            tokens.append(Token(TokenType.OR, "||", i)); i += 2; continue
+        if two == "==":
+            tokens.append(Token(TokenType.EQ, "==", i)); i += 2; continue
+        if two == "!=":
+            tokens.append(Token(TokenType.NEQ, "!=", i)); i += 2; continue
+        if two == "<=":
+            tokens.append(Token(TokenType.LE, "<=", i)); i += 2; continue
+        if two == ">=":
+            tokens.append(Token(TokenType.GE, ">=", i)); i += 2; continue
+
+        if ch == "!":
+            tokens.append(Token(TokenType.NOT, "!", i)); i += 1; continue
+        if ch == "<":
+            tokens.append(Token(TokenType.LT, "<", i)); i += 1; continue
+        if ch == ">":
+            tokens.append(Token(TokenType.GT, ">", i)); i += 1; continue
+        if ch == "&" or ch == "|":
+            raise LexError(f"unexpected character {ch!r} (did you mean "
+                           f"{'&&' if ch == '&' else '||'}?)", i)
+
+        # Numbers.  A leading '.' followed by a digit is also a number, but a
+        # '.' used for attribute access is handled as the DOT token.
+        if ch.isdigit() or (ch == "." and i + 1 < length and text[i + 1].isdigit()
+                            and _previous_allows_number(tokens)):
+            i = _lex_number(text, i, tokens)
+            continue
+
+        # String literals.
+        if ch in ("'", '"'):
+            i = _lex_string(text, i, tokens)
+            continue
+
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            token_type = _KEYWORDS.get(word, TokenType.IDENTIFIER)
+            value = word if token_type is TokenType.IDENTIFIER else (word == "true")
+            tokens.append(Token(token_type, value, start))
+            continue
+
+        if ch in _SINGLE_CHAR:
+            tokens.append(Token(_SINGLE_CHAR[ch], ch, i))
+            i += 1
+            continue
+
+        raise LexError(f"unexpected character {ch!r}", i)
+
+    tokens.append(Token(TokenType.EOF, None, length))
+    return tokens
+
+
+def _previous_allows_number(tokens: List[Token]) -> bool:
+    """Whether a '.' at this point starts a numeric literal rather than attribute access."""
+    if not tokens:
+        return True
+    return tokens[-1].type is not TokenType.IDENTIFIER
+
+
+def _lex_number(text: str, start: int, tokens: List[Token]) -> int:
+    """Scan a numeric literal starting at *start*; append token; return next index."""
+    i = start
+    length = len(text)
+    seen_dot = False
+    seen_exp = False
+    while i < length:
+        ch = text[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            # Only part of the number if followed by a digit (otherwise it is
+            # attribute access on a numeric-looking identifier, which we reject
+            # later at parse time anyway).
+            if i + 1 < length and text[i + 1].isdigit():
+                seen_dot = True
+                i += 1
+            else:
+                break
+        elif ch in ("e", "E") and not seen_exp and i > start:
+            nxt = text[i + 1] if i + 1 < length else ""
+            if nxt.isdigit() or (nxt in "+-" and i + 2 < length and text[i + 2].isdigit()):
+                seen_exp = True
+                i += 2 if nxt in "+-" else 1
+            else:
+                break
+        else:
+            break
+    lexeme = text[start:i]
+    try:
+        value = float(lexeme) if (seen_dot or seen_exp) else int(lexeme)
+    except ValueError as exc:  # pragma: no cover - defensive
+        raise LexError(f"malformed number {lexeme!r}", start) from exc
+    tokens.append(Token(TokenType.NUMBER, value, start))
+    return i
+
+
+def _lex_string(text: str, start: int, tokens: List[Token]) -> int:
+    """Scan a quoted string literal; append token; return next index."""
+    quote = text[start]
+    i = start + 1
+    chars = []
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch == "\\" and i + 1 < length:
+            chars.append(text[i + 1])
+            i += 2
+            continue
+        if ch == quote:
+            tokens.append(Token(TokenType.STRING, "".join(chars), start))
+            return i + 1
+        chars.append(ch)
+        i += 1
+    raise LexError("unterminated string literal", start)

@@ -1,0 +1,194 @@
+"""Recursive-descent parser for the constraint expression language.
+
+Grammar (standard Java precedence, paper §VI-B):
+
+.. code-block:: text
+
+    expression     := or_expr
+    or_expr        := and_expr ( "||" and_expr )*
+    and_expr       := equality ( "&&" equality )*
+    equality       := relational ( ("==" | "!=") relational )*
+    relational     := additive ( ("<" | ">" | "<=" | ">=") additive )*
+    additive       := multiplicative ( ("+" | "-") multiplicative )*
+    multiplicative := unary ( ("*" | "/") unary )*
+    unary          := ("!" | "-") unary | primary
+    primary        := NUMBER | STRING | "true" | "false"
+                    | IDENTIFIER "." IDENTIFIER          (attribute access)
+                    | IDENTIFIER "(" arguments? ")"      (function call)
+                    | IDENTIFIER                          (bare identifier)
+                    | "(" expression ")"
+    arguments      := expression ( "," expression )*
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.constraints.ast_nodes import (
+    AttributeRef,
+    BinaryOp,
+    BooleanLiteral,
+    BoolOp,
+    Expr,
+    FunctionCall,
+    Identifier,
+    NumberLiteral,
+    StringLiteral,
+    UnaryOp,
+)
+from repro.constraints.errors import ParseError
+from repro.constraints.lexer import tokenize
+from repro.constraints.tokens import Token, TokenType
+
+
+def parse(text: str) -> Expr:
+    """Parse constraint-language source *text* into an AST.
+
+    Raises
+    ------
+    LexError
+        If the text contains invalid tokens.
+    ParseError
+        If the token stream is not a valid expression.
+    """
+    return _Parser(tokenize(text)).parse()
+
+
+class _Parser:
+    """Stateful recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token stream helpers ------------------------------------------- #
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _match(self, *types: TokenType) -> bool:
+        return self._current.type in types
+
+    def _expect(self, token_type: TokenType, what: str) -> Token:
+        if self._current.type is not token_type:
+            raise ParseError(
+                f"expected {what}, found {self._describe(self._current)}",
+                self._current.position)
+        return self._advance()
+
+    @staticmethod
+    def _describe(token: Token) -> str:
+        if token.type is TokenType.EOF:
+            return "end of expression"
+        return f"{token.type.name} {token.value!r}"
+
+    # -- grammar productions -------------------------------------------- #
+
+    def parse(self) -> Expr:
+        expr = self._or_expr()
+        if self._current.type is not TokenType.EOF:
+            raise ParseError(
+                f"unexpected {self._describe(self._current)} after expression",
+                self._current.position)
+        return expr
+
+    def _or_expr(self) -> Expr:
+        expr = self._and_expr()
+        while self._match(TokenType.OR):
+            self._advance()
+            expr = BoolOp("||", expr, self._and_expr())
+        return expr
+
+    def _and_expr(self) -> Expr:
+        expr = self._equality()
+        while self._match(TokenType.AND):
+            self._advance()
+            expr = BoolOp("&&", expr, self._equality())
+        return expr
+
+    def _equality(self) -> Expr:
+        expr = self._relational()
+        while self._match(TokenType.EQ, TokenType.NEQ):
+            op = "==" if self._advance().type is TokenType.EQ else "!="
+            expr = BinaryOp(op, expr, self._relational())
+        return expr
+
+    def _relational(self) -> Expr:
+        expr = self._additive()
+        ops = {TokenType.LT: "<", TokenType.GT: ">", TokenType.LE: "<=", TokenType.GE: ">="}
+        while self._current.type in ops:
+            op = ops[self._advance().type]
+            expr = BinaryOp(op, expr, self._additive())
+        return expr
+
+    def _additive(self) -> Expr:
+        expr = self._multiplicative()
+        while self._match(TokenType.PLUS, TokenType.MINUS):
+            op = "+" if self._advance().type is TokenType.PLUS else "-"
+            expr = BinaryOp(op, expr, self._multiplicative())
+        return expr
+
+    def _multiplicative(self) -> Expr:
+        expr = self._unary()
+        while self._match(TokenType.STAR, TokenType.SLASH):
+            op = "*" if self._advance().type is TokenType.STAR else "/"
+            expr = BinaryOp(op, expr, self._unary())
+        return expr
+
+    def _unary(self) -> Expr:
+        if self._match(TokenType.NOT):
+            self._advance()
+            return UnaryOp("!", self._unary())
+        if self._match(TokenType.MINUS):
+            self._advance()
+            return UnaryOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self._current
+
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return NumberLiteral(token.value)
+
+        if token.type is TokenType.STRING:
+            self._advance()
+            return StringLiteral(token.value)
+
+        if token.type in (TokenType.TRUE, TokenType.FALSE):
+            self._advance()
+            return BooleanLiteral(token.type is TokenType.TRUE)
+
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expr = self._or_expr()
+            self._expect(TokenType.RPAREN, "')'")
+            return expr
+
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            name = token.value
+            if self._match(TokenType.DOT):
+                self._advance()
+                attr = self._expect(TokenType.IDENTIFIER, "attribute name after '.'")
+                return AttributeRef(name, attr.value)
+            if self._match(TokenType.LPAREN):
+                self._advance()
+                args: List[Expr] = []
+                if not self._match(TokenType.RPAREN):
+                    args.append(self._or_expr())
+                    while self._match(TokenType.COMMA):
+                        self._advance()
+                        args.append(self._or_expr())
+                self._expect(TokenType.RPAREN, "')' to close argument list")
+                return FunctionCall(name, tuple(args))
+            return Identifier(name)
+
+        raise ParseError(f"unexpected {self._describe(token)}", token.position)

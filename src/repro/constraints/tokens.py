@@ -1,0 +1,68 @@
+"""Token model for the constraint expression language lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenType(enum.Enum):
+    """All token categories produced by the lexer."""
+
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    IDENTIFIER = "IDENTIFIER"
+    TRUE = "TRUE"
+    FALSE = "FALSE"
+
+    # Boolean operators
+    AND = "AND"            # &&
+    OR = "OR"              # ||
+    NOT = "NOT"            # !
+
+    # Relational operators
+    EQ = "EQ"              # ==
+    NEQ = "NEQ"            # !=
+    LT = "LT"              # <
+    GT = "GT"              # >
+    LE = "LE"              # <=
+    GE = "GE"              # >=
+
+    # Arithmetic operators
+    PLUS = "PLUS"
+    MINUS = "MINUS"
+    STAR = "STAR"
+    SLASH = "SLASH"
+
+    # Punctuation
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    COMMA = "COMMA"
+    DOT = "DOT"
+
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes
+    ----------
+    type:
+        The :class:`TokenType`.
+    value:
+        The semantic value: the numeric value for ``NUMBER``, the unquoted
+        text for ``STRING``, the name for ``IDENTIFIER``, otherwise the
+        source lexeme.
+    position:
+        Character offset in the source expression (for error messages).
+    """
+
+    type: TokenType
+    value: Any
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, pos={self.position})"

@@ -1,0 +1,76 @@
+"""The NETEMBED mapping algorithms (paper §V) and their shared machinery.
+
+Public surface:
+
+* :class:`ECF` — exhaustive search with constraint filtering (all embeddings);
+* :class:`RWB` — random walk with backtracking (first embedding, randomised);
+* :class:`LNS` — lazy neighborhood search (low memory, lazy constraint checks);
+* :class:`EmbeddingResult` / :class:`ResultStatus` — what a search returns;
+* :class:`Mapping` and :func:`validate_mapping` — embeddings and their
+  independent correctness oracle;
+* :func:`build_filters` / :class:`FilterMatrices` — the ECF/RWB filter stage,
+  exposed for tests, ablations and diagnostics.
+"""
+
+from repro.core.base import EmbeddingAlgorithm, SearchContext
+from repro.core.ecf import ECF
+from repro.core.filters import FilterMatrices, build_filters, compute_node_candidates
+from repro.core.lns import LNS
+from repro.core.mapping import Mapping, MappingViolation, is_valid_mapping, validate_mapping
+from repro.core.ordering import (
+    ORDERINGS,
+    candidate_count_order,
+    connectivity_aware_order,
+    lns_next_neighbor,
+    lns_seed_node,
+    natural_order,
+    permutation_tree_size,
+)
+from repro.core.result import EmbeddingResult, ResultStatus, SearchStats, classify
+from repro.core.rwb import RWB
+
+#: All three NETEMBED algorithms keyed by their paper names.
+ALGORITHMS = {
+    "ECF": ECF,
+    "RWB": RWB,
+    "LNS": LNS,
+}
+
+
+def make_algorithm(name: str, **kwargs) -> EmbeddingAlgorithm:
+    """Instantiate one of the NETEMBED algorithms by its paper name."""
+    try:
+        cls = ALGORITHMS[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; expected one of {sorted(ALGORITHMS)}") from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "ECF",
+    "RWB",
+    "LNS",
+    "ALGORITHMS",
+    "make_algorithm",
+    "EmbeddingAlgorithm",
+    "SearchContext",
+    "EmbeddingResult",
+    "ResultStatus",
+    "SearchStats",
+    "classify",
+    "Mapping",
+    "MappingViolation",
+    "validate_mapping",
+    "is_valid_mapping",
+    "FilterMatrices",
+    "build_filters",
+    "compute_node_candidates",
+    "ORDERINGS",
+    "candidate_count_order",
+    "connectivity_aware_order",
+    "natural_order",
+    "lns_seed_node",
+    "lns_next_neighbor",
+    "permutation_tree_size",
+]

@@ -1,0 +1,251 @@
+"""Common infrastructure shared by the three NETEMBED search algorithms.
+
+Every algorithm — ECF, RWB, LNS, and the baselines in :mod:`repro.baselines`
+— exposes the same interface: :meth:`EmbeddingAlgorithm.search` takes a query
+network, a hosting network, an optional edge constraint expression, an
+optional node constraint expression, a timeout and a result cap, and returns
+an :class:`~repro.core.result.EmbeddingResult`.
+
+The :class:`SearchContext` object carries the per-search mutable state
+(deadline, statistics, the embeddings discovered so far, time-to-first
+bookkeeping) so the algorithm implementations stay small and uniform, and so
+every algorithm classifies its outcome (complete / partial / inconclusive)
+with exactly the same rules.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.constraints import ConstraintExpression, edge_context
+from repro.core.mapping import Mapping
+from repro.core.result import EmbeddingResult, ResultStatus, SearchStats, classify
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.network import Edge, Network, NodeId
+from repro.graphs.query import QueryNetwork
+from repro.utils.timing import Deadline, Stopwatch, TimeoutExpired
+
+
+@dataclass
+class SearchContext:
+    """Mutable per-search state shared between an algorithm and its helpers."""
+
+    query: QueryNetwork
+    hosting: Network
+    constraint: ConstraintExpression
+    node_constraint: Optional[ConstraintExpression]
+    deadline: Deadline
+    max_results: Optional[int]
+    stats: SearchStats = field(default_factory=SearchStats)
+    mappings: List[Mapping] = field(default_factory=list)
+    time_to_first: Optional[float] = None
+    _stopwatch: Stopwatch = field(default_factory=Stopwatch)
+
+    def __post_init__(self) -> None:
+        self._stopwatch.start()
+
+    # -- bookkeeping ------------------------------------------------------ #
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the search started."""
+        return self._stopwatch.elapsed
+
+    def check_deadline(self) -> None:
+        """Raise :class:`TimeoutExpired` if the search budget is exhausted."""
+        self.deadline.check()
+
+    def record_mapping(self, assignment: Dict[NodeId, NodeId]) -> bool:
+        """Record a feasible embedding.
+
+        Returns ``True`` when the search should stop because the result cap
+        has been reached.
+        """
+        self.mappings.append(Mapping(assignment))
+        if self.time_to_first is None:
+            self.time_to_first = self.elapsed
+        return self.max_results is not None and len(self.mappings) >= self.max_results
+
+    @property
+    def reached_cap(self) -> bool:
+        """Whether the result cap has been reached."""
+        return self.max_results is not None and len(self.mappings) >= self.max_results
+
+    # -- compatibility checks used by the on-the-fly (LNS) search ---------- #
+
+    def hosting_orientation(self, r_source: NodeId, r_target: NodeId) -> Optional[Edge]:
+        """The hosting edge orientation covering ``r_source -> r_target``, or ``None``."""
+        hosting = self.hosting
+        if hosting.has_edge(r_source, r_target):
+            return (r_source, r_target)
+        if not hosting.directed and hosting.has_edge(r_target, r_source):
+            return (r_source, r_target)
+        return None
+
+    def edge_pair_matches(self, query_edge: Edge, hosting_edge: Edge) -> bool:
+        """Whether the constraint accepts mapping *query_edge* onto *hosting_edge*.
+
+        The hosting edge must already be known to exist (in the given
+        orientation for directed hosting networks).
+        """
+        if self.constraint.is_trivial:
+            return True
+        self.stats.constraint_evaluations += 1
+        return self.constraint.evaluate(
+            edge_context(self.query, query_edge, self.hosting, hosting_edge))
+
+    def query_edge_supported(self, q_source: NodeId, q_target: NodeId,
+                             r_source: NodeId, r_target: NodeId) -> bool:
+        """Topology + constraint check for a single query edge under a partial mapping."""
+        oriented = self.hosting_orientation(r_source, r_target)
+        if oriented is None:
+            return False
+        return self.edge_pair_matches((q_source, q_target), oriented)
+
+
+class EmbeddingAlgorithm(abc.ABC):
+    """Base class for all embedding search algorithms.
+
+    Subclasses implement :meth:`_run`, which performs the actual search and
+    returns whether the search space was exhausted.  The base class handles
+    argument validation, the timeout, statistics and result classification so
+    all algorithms behave identically at the interface level.
+    """
+
+    #: Human-readable algorithm name used in results and experiment reports.
+    name: str = "abstract"
+
+    def search(self, query: QueryNetwork, hosting: Network,
+               constraint: Optional[ConstraintExpression] = None,
+               node_constraint: Optional[ConstraintExpression] = None,
+               timeout: Optional[float] = None,
+               max_results: Optional[int] = None) -> EmbeddingResult:
+        """Search for feasible embeddings of *query* into *hosting*.
+
+        Parameters
+        ----------
+        query:
+            The virtual network to embed.
+        hosting:
+            The real infrastructure to embed into.
+        constraint:
+            Edge constraint expression; ``None`` means "topology only".
+            A plain string is accepted and parsed.
+        node_constraint:
+            Optional node-level constraint expression over ``vNode``/``rNode``.
+        timeout:
+            Wall-clock budget in seconds (``None`` = unlimited).
+        max_results:
+            Stop after this many embeddings (``None`` = find all that the
+            algorithm is designed to find; RWB always stops at one).
+
+        Returns
+        -------
+        EmbeddingResult
+        """
+        if not isinstance(query, QueryNetwork):
+            raise TypeError(f"query must be a QueryNetwork, got {type(query).__name__}")
+        if not isinstance(hosting, Network):
+            raise TypeError(f"hosting must be a Network, got {type(hosting).__name__}")
+        if query.directed != hosting.directed:
+            raise ValueError(
+                "query and hosting networks must agree on directedness "
+                f"(query directed={query.directed}, hosting directed={hosting.directed})")
+        if max_results is not None and max_results < 1:
+            raise ValueError(f"max_results must be >= 1 or None, got {max_results}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {timeout}")
+
+        constraint = _coerce_expression(constraint, default_true=True)
+        node_constraint = _coerce_expression(node_constraint, default_true=False)
+
+        context = SearchContext(
+            query=query,
+            hosting=hosting,
+            constraint=constraint,
+            node_constraint=node_constraint,
+            deadline=Deadline(timeout),
+            max_results=self._effective_max_results(max_results),
+        )
+
+        # Empty queries embed trivially with the empty mapping.
+        if query.num_nodes == 0:
+            context.record_mapping({})
+            return self._finalise(context, exhausted=True, timed_out=False)
+
+        # Cheap necessary-condition screen: a query that cannot embed for
+        # structural reasons is reported as a completed, empty search.
+        if query.is_obviously_infeasible(hosting):
+            return self._finalise(context, exhausted=True, timed_out=False)
+
+        timed_out = False
+        try:
+            exhausted = self._run(context)
+        except TimeoutExpired:
+            exhausted = False
+            timed_out = True
+        return self._finalise(context, exhausted=exhausted, timed_out=timed_out)
+
+    # ------------------------------------------------------------------ #
+
+    def find_first(self, query: QueryNetwork, hosting: Network,
+                   constraint: Optional[ConstraintExpression] = None,
+                   node_constraint: Optional[ConstraintExpression] = None,
+                   timeout: Optional[float] = None) -> EmbeddingResult:
+        """Convenience wrapper: stop at the first feasible embedding."""
+        return self.search(query, hosting, constraint=constraint,
+                           node_constraint=node_constraint, timeout=timeout,
+                           max_results=1)
+
+    # ------------------------------------------------------------------ #
+
+    def _effective_max_results(self, requested: Optional[int]) -> Optional[int]:
+        """Hook letting algorithms impose their own cap (RWB caps at one)."""
+        return requested
+
+    @abc.abstractmethod
+    def _run(self, context: SearchContext) -> bool:
+        """Perform the search, populating ``context.mappings``.
+
+        Returns
+        -------
+        bool
+            ``True`` if the search space was exhaustively explored (so the
+            result set is provably complete), ``False`` if the search stopped
+            early (result cap).  Deadline expiry is signalled by letting
+            :class:`TimeoutExpired` propagate.
+        """
+
+    def _finalise(self, context: SearchContext, exhausted: bool, timed_out: bool
+                  ) -> EmbeddingResult:
+        truncated = context.reached_cap and not exhausted
+        status = classify(found_any=bool(context.mappings), exhausted=exhausted,
+                          timed_out=timed_out, truncated=truncated)
+        return EmbeddingResult(
+            status=status,
+            mappings=list(context.mappings),
+            algorithm=self.name,
+            elapsed_seconds=context.elapsed,
+            time_to_first_seconds=context.time_to_first,
+            timed_out=timed_out,
+            truncated=truncated,
+            stats=context.stats,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} ({self.name})>"
+
+
+def _coerce_expression(value, default_true: bool) -> Optional[ConstraintExpression]:
+    """Accept ``None``, a source string or a ConstraintExpression uniformly."""
+    if value is None:
+        return ConstraintExpression.always_true() if default_true else None
+    if isinstance(value, ConstraintExpression):
+        return value
+    if isinstance(value, str):
+        return ConstraintExpression(value)
+    raise TypeError(
+        f"constraint must be a ConstraintExpression, a source string or None, "
+        f"got {type(value).__name__}")

@@ -1,0 +1,277 @@
+"""The ECF/RWB filter matrices and candidate-set algebra (paper §V-A).
+
+During its first stage ECF applies the constraint expression to every pair of
+(query edge, hosting edge).  Each *match* of query edge ``(q1, q2)`` against
+hosting edge ``(r1, r2)`` contributes two entries to a sparse three-dimensional
+structure ``F``::
+
+    F[q1, r1, q2] ← r2        F[q2, r2, q1] ← r1
+
+read as "if ``q1`` is mapped to ``r1``, then ``r2`` is a candidate for
+``q2``" (and symmetrically).  Non-matches are recorded in a second structure
+``F̄`` the same way.  During the tree search, the candidate set for the next
+query node is the intersection of the ``F`` cells indexed by its
+already-placed neighbours (expression (2)), or the union of all cells
+targeting it when no neighbour is placed yet (expression (1)), always minus
+hosting nodes already in use.
+
+Both structures are sparse dictionaries keyed by
+``(placed query node, placed hosting node, next query node)`` with hosting-node
+sets as values; their total entry count is the memory-footprint statistic
+reported by the ablation benchmarks (the O(n·|E_Q|·|E_R|) worst case of §V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.constraints import ConstraintExpression, edge_context, node_context
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.network import Edge, Network, NodeId
+from repro.graphs.query import QueryNetwork
+from repro.utils.timing import Stopwatch
+
+FilterKey = Tuple[NodeId, NodeId, NodeId]
+
+
+@dataclass
+class FilterMatrices:
+    """The match filter ``F``, the non-match filter ``F̄`` and per-node candidate sets."""
+
+    #: F: (placed query node, its hosting node, next query node) -> candidate hosts.
+    match: Dict[FilterKey, Set[NodeId]] = field(default_factory=dict)
+    #: F̄: same key, hosting nodes known *not* to be candidates.
+    non_match: Dict[FilterKey, Set[NodeId]] = field(default_factory=dict)
+    #: Union over all cells targeting a query node (expression (1) per node).
+    node_candidates: Dict[NodeId, Set[NodeId]] = field(default_factory=dict)
+    #: Number of edge-constraint evaluations performed while building.
+    constraint_evaluations: int = 0
+    #: Wall-clock seconds spent building the filters.
+    build_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Size accounting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def entry_count(self) -> int:
+        """Total number of candidate entries stored across both filters."""
+        return (sum(len(s) for s in self.match.values())
+                + sum(len(s) for s in self.non_match.values()))
+
+    @property
+    def cell_count(self) -> int:
+        """Number of distinct (placed, host, next) cells in the match filter."""
+        return len(self.match)
+
+    # ------------------------------------------------------------------ #
+    # Candidate-set algebra
+    # ------------------------------------------------------------------ #
+
+    def candidates_unplaced(self, query_node: NodeId) -> Set[NodeId]:
+        """Expression (1): candidates for *query_node* before any neighbour is placed."""
+        return set(self.node_candidates.get(query_node, set()))
+
+    def candidates_given(self, query_node: NodeId,
+                         placed_neighbors: Iterable[Tuple[NodeId, NodeId]],
+                         used_hosts: Iterable[NodeId]) -> Set[NodeId]:
+        """Expression (2): candidates for *query_node* given its placed neighbours.
+
+        Parameters
+        ----------
+        query_node:
+            The query node to be placed next.
+        placed_neighbors:
+            ``(query neighbour, hosting node it is mapped to)`` pairs for every
+            already-placed neighbour of *query_node*.
+        used_hosts:
+            Hosting nodes already consumed by the partial mapping.
+
+        Returns
+        -------
+        set
+            Hosting nodes that are simultaneously compatible with every placed
+            neighbour and not yet used.  Empty when any neighbour contributes
+            an empty cell — which is exactly the pruning condition of ECF.
+        """
+        placed = list(placed_neighbors)
+        if not placed:
+            result = self.candidates_unplaced(query_node)
+        else:
+            result: Optional[Set[NodeId]] = None
+            for neighbor, host in placed:
+                cell = self.match.get((neighbor, host, query_node), _EMPTY_SET)
+                if result is None:
+                    result = set(cell)
+                else:
+                    result &= cell
+                if not result:
+                    return set()
+        result -= set(used_hosts)
+        return result
+
+    def cell(self, placed_query: NodeId, placed_host: NodeId, next_query: NodeId
+             ) -> FrozenSet[NodeId]:
+        """The raw ``F`` cell (read-only view) for diagnostics and tests."""
+        return frozenset(self.match.get((placed_query, placed_host, next_query), _EMPTY_SET))
+
+    def non_match_cell(self, placed_query: NodeId, placed_host: NodeId,
+                       next_query: NodeId) -> FrozenSet[NodeId]:
+        """The raw ``F̄`` cell (read-only view)."""
+        return frozenset(self.non_match.get((placed_query, placed_host, next_query), _EMPTY_SET))
+
+
+_EMPTY_SET: Set[NodeId] = set()
+
+
+def build_filters(query: QueryNetwork, hosting: HostingNetwork,
+                  constraint: ConstraintExpression,
+                  node_constraint: Optional[ConstraintExpression] = None,
+                  record_non_matches: bool = True,
+                  deadline=None) -> FilterMatrices:
+    """Run the first stage of ECF/RWB: evaluate the constraint for every edge pair.
+
+    Parameters
+    ----------
+    query, hosting:
+        The two networks of the embedding problem.
+    constraint:
+        The edge constraint expression (``ConstraintExpression.always_true()``
+        for purely topological embedding).
+    node_constraint:
+        Optional node-level expression (``vNode`` / ``rNode``) applied to
+        restrict each query node's candidate set independently of edges.
+        Query nodes without any edges get their candidates from this filter
+        alone (or all hosting nodes if it is absent).
+    record_non_matches:
+        Whether to populate ``F̄``.  Building ``F̄`` doubles the memory
+        footprint without changing the answers; the ablation benchmark flips
+        this flag to quantify the space/time trade-off the paper discusses in
+        §V-C.
+    deadline:
+        Optional :class:`~repro.utils.timing.Deadline`; checked once per query
+        edge so a search timeout also bounds the filter-construction stage.
+    """
+    stopwatch = Stopwatch().start()
+    filters = FilterMatrices()
+    trivial = constraint.is_trivial
+
+    node_allowed = compute_node_candidates(query, hosting, node_constraint)
+
+    # Group the query's edges by unordered node pair, so that a filter cell
+    # (placed node, placed host, next node) reflects *every* constraint between
+    # the pair: a directed query may carry anti-parallel edges with different
+    # requirements, and a candidate must satisfy both simultaneously.
+    pair_edges: Dict[Tuple[NodeId, NodeId], List[Edge]] = {}
+    for q_source, q_target in query.edges():
+        qa, qb = sorted((q_source, q_target), key=str)
+        pair_edges.setdefault((qa, qb), []).append((q_source, q_target))
+
+    # Candidate ordered host placements: both orientations of every hosting
+    # edge.  For directed hosts an orientation can still be rejected below if
+    # a required arc does not exist in the needed direction.
+    def arc_attrs(r_from: NodeId, r_to: NodeId):
+        if hosting.has_edge(r_from, r_to):
+            return hosting.edge_attrs(r_from, r_to)
+        if not hosting.directed and hosting.has_edge(r_to, r_from):
+            return hosting.edge_attrs(r_to, r_from)
+        return None
+
+    host_pair_info = []
+    seen_pairs = set()
+    for r1, r2 in hosting.edges():
+        for ra, rb in ((r1, r2), (r2, r1)):
+            if ra == rb or (ra, rb) in seen_pairs:
+                continue
+            seen_pairs.add((ra, rb))
+            host_pair_info.append((ra, rb, arc_attrs(ra, rb), arc_attrs(rb, ra),
+                                   hosting.node_attrs(ra), hosting.node_attrs(rb)))
+
+    evaluate = constraint.evaluate
+    evaluations = 0
+    for (qa, qb), edges_between in pair_edges.items():
+        if deadline is not None:
+            deadline.check()
+        allowed_a = node_allowed[qa]
+        allowed_b = node_allowed[qb]
+        # Pre-build one evaluation context per query edge of the pair; the
+        # inner loop only rebinds the three hosting-side slots.
+        edge_contexts = []
+        for q_source, q_target in edges_between:
+            edge_contexts.append((q_source == qa, {
+                "vEdge": query.edge_attrs(q_source, q_target),
+                "vSource": query.node_attrs(q_source),
+                "vTarget": query.node_attrs(q_target),
+                "rEdge": None, "rSource": None, "rTarget": None,
+            }))
+        for ra, rb, attrs_ab, attrs_ba, attrs_a, attrs_b in host_pair_info:
+            matched = ra in allowed_a and rb in allowed_b
+            if matched:
+                for forward, context in edge_contexts:
+                    # The hosting arc must run in the query edge's direction
+                    # under the placement qa -> ra, qb -> rb.
+                    r_edge_attrs = attrs_ab if forward else attrs_ba
+                    if r_edge_attrs is None:
+                        matched = False
+                        break
+                    if trivial:
+                        continue
+                    evaluations += 1
+                    context["rEdge"] = r_edge_attrs
+                    context["rSource"] = attrs_a if forward else attrs_b
+                    context["rTarget"] = attrs_b if forward else attrs_a
+                    if not evaluate(context):
+                        matched = False
+                        break
+            if matched:
+                filters.match.setdefault((qa, ra, qb), set()).add(rb)
+                filters.match.setdefault((qb, rb, qa), set()).add(ra)
+                filters.node_candidates.setdefault(qb, set()).add(rb)
+                filters.node_candidates.setdefault(qa, set()).add(ra)
+            elif record_non_matches:
+                filters.non_match.setdefault((qa, ra, qb), set()).add(rb)
+                filters.non_match.setdefault((qb, rb, qa), set()).add(ra)
+
+    # Query nodes with no edges (degenerate but legal queries) fall back to the
+    # node-level candidate sets so expression (1) still has something to offer.
+    for node in query.nodes():
+        if node not in filters.node_candidates:
+            filters.node_candidates[node] = set(node_allowed[node])
+
+    filters.constraint_evaluations = evaluations
+    filters.build_seconds = stopwatch.stop()
+    return filters
+
+
+def compute_node_candidates(query: QueryNetwork, hosting: Network,
+                            node_constraint: Optional[ConstraintExpression] = None
+                            ) -> Dict[NodeId, Set[NodeId]]:
+    """Per-query-node hosting candidates from node-level constraints alone.
+
+    Without a node constraint every hosting node is a candidate for every
+    query node; with one, the expression is evaluated for every
+    (query node, hosting node) pair.  This is the node-screening step that
+    §V-A describes as "applying the constraint expression [to] determine the
+    number of possible mappings for each virtual node".
+    """
+    hosts = hosting.nodes()
+    if node_constraint is None or node_constraint.is_trivial:
+        return {node: set(hosts) for node in query.nodes()}
+    allowed: Dict[NodeId, Set[NodeId]] = {}
+    for query_node in query.nodes():
+        allowed[query_node] = {
+            host for host in hosts
+            if node_constraint.evaluate(node_context(query, query_node, hosting, host))
+        }
+    return allowed
+
+
+def _oriented_edges(network: Network) -> List[Edge]:
+    """Oriented edge list for plain :class:`Network` hosting graphs."""
+    edges: List[Edge] = []
+    for u, v in network.edges():
+        edges.append((u, v))
+        if not network.directed:
+            edges.append((v, u))
+    return edges

@@ -1,0 +1,184 @@
+"""LNS — Lazy Neighborhood Search (paper §V-C, Figs. 6–7).
+
+ECF and RWB pay an up-front cost that can be prohibitive for under-constrained
+queries over dense hosting networks: the filter matrices are
+``O(n · |E_Q| · |E_R|)`` in the worst case.  LNS avoids them entirely by
+evaluating constraints lazily, only for the edges that connect the vertex
+being placed to the vertices already placed.
+
+The algorithm maintains three sets of *query* vertices:
+
+* **Covered** — already matched (together they form a valid partial mapping);
+* **Neighbors** — adjacent to at least one covered vertex;
+* **External** — everything else.
+
+It seeds Covered with the highest-degree query vertex (so the covered region
+becomes highly connected quickly), then repeatedly:
+
+1. picks from Neighbors the vertex with the most edges into Covered
+   (maximising the conjunction of constraints the new placement must satisfy,
+   which prunes dead ends as early as possible);
+2. tries every hosting node that could host it — i.e. the hosting neighbours
+   of the already-assigned images of its covered neighbours — checking the
+   topology and the constraint expression for every connecting edge;
+3. recurses; when the Neighbors set empties and no External vertices remain,
+   the covered set is a complete feasible mapping.
+
+Queries with several connected components are handled by re-seeding on the
+highest-degree external vertex whenever Neighbors runs dry.
+
+Correctness and completeness follow the argument of the paper's appendix:
+every extension of a promising partial mapping is attempted, so if a feasible
+mapping exists some branch of the recursion constructs it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.base import EmbeddingAlgorithm, SearchContext
+from repro.core.filters import compute_node_candidates
+from repro.core.ordering import lns_next_neighbor
+from repro.graphs.network import Edge, NodeId
+
+
+class LNS(EmbeddingAlgorithm):
+    """Lazy Neighborhood Search.
+
+    Parameters
+    ----------
+    candidate_order:
+        ``"sorted"`` (deterministic, default) or ``"degree"`` — how candidate
+        hosting nodes are ordered when tried.  Ordering by descending hosting
+        degree tends to find first matches sooner on sparse hosts; the default
+        keeps runs deterministic and reproducible.
+    """
+
+    name = "LNS"
+
+    def __init__(self, candidate_order: str = "sorted") -> None:
+        if candidate_order not in ("sorted", "degree"):
+            raise ValueError(
+                f"candidate_order must be 'sorted' or 'degree', got {candidate_order!r}")
+        self._candidate_order = candidate_order
+
+    # ------------------------------------------------------------------ #
+
+    def _run(self, context: SearchContext) -> bool:
+        node_allowed = compute_node_candidates(context.query, context.hosting,
+                                               context.node_constraint)
+        if any(not node_allowed[node] for node in context.query.nodes()):
+            return True
+
+        assignment: Dict[NodeId, NodeId] = {}
+        used: Set[NodeId] = set()
+        covered: List[NodeId] = []
+        neighbors: Set[NodeId] = set()
+        external: Set[NodeId] = set(context.query.nodes())
+        return self._extend(context, node_allowed, assignment, used,
+                            covered, neighbors, external)
+
+    # ------------------------------------------------------------------ #
+
+    def _extend(self, context: SearchContext, node_allowed: Dict[NodeId, Set[NodeId]],
+                assignment: Dict[NodeId, NodeId], used: Set[NodeId],
+                covered: List[NodeId], neighbors: Set[NodeId],
+                external: Set[NodeId]) -> bool:
+        """Recursive step 5–16 of Fig. 7.  Returns ``False`` iff stopped early."""
+        context.check_deadline()
+
+        if not neighbors:
+            if not external:
+                # All query vertices are covered: a complete feasible mapping.
+                stop = context.record_mapping(dict(assignment))
+                return not stop
+            # Seed a new connected component with its highest-degree vertex.
+            current = max(external,
+                          key=lambda n: (context.query.degree(n), str(n)))
+            candidates = node_allowed[current] - used
+            connecting: List[Tuple[NodeId, NodeId]] = []
+        else:
+            current = lns_next_neighbor(context.query, covered, neighbors)
+            connecting = [(neighbor, assignment[neighbor])
+                          for neighbor in context.query.neighbors(current)
+                          if neighbor in assignment]
+            # Any feasible host for `current` must be a hosting neighbour of
+            # the image of each covered neighbour; intersecting adjacency sets
+            # before any constraint evaluation is the "lazy" pruning step.
+            candidates: Optional[Set[NodeId]] = None
+            for _, host in connecting:
+                adjacent = set(context.hosting.neighbors(host))
+                candidates = adjacent if candidates is None else candidates & adjacent
+                if not candidates:
+                    break
+            candidates = (candidates or set()) & node_allowed[current]
+            candidates -= used
+
+        context.stats.nodes_expanded += 1
+        context.stats.candidates_considered += len(candidates)
+
+        if not candidates:
+            context.stats.backtracks += 1
+            return True
+
+        query_edges = self._query_edges_to_covered(context, current, connecting)
+
+        new_covered = covered + [current]
+        new_neighbors = (neighbors | {n for n in context.query.neighbors(current)
+                                      if n in external and n != current}) - {current}
+        new_external = external - {current} - new_neighbors
+
+        for host in self._order_candidates(context, candidates):
+            if not self._connecting_edges_ok(context, query_edges, assignment,
+                                             current, host):
+                continue
+            assignment[current] = host
+            used.add(host)
+            keep_going = self._extend(context, node_allowed, assignment, used,
+                                      new_covered, new_neighbors, new_external)
+            del assignment[current]
+            used.discard(host)
+            if not keep_going:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _query_edges_to_covered(context: SearchContext, current: NodeId,
+                                connecting: List[Tuple[NodeId, NodeId]]) -> List[Edge]:
+        """The actual query edges between *current* and its covered neighbours.
+
+        For undirected queries there is one edge per covered neighbour; for
+        directed queries there may be one in each direction, and each must be
+        checked in its own orientation.
+        """
+        query = context.query
+        edges: List[Edge] = []
+        for neighbor, _host in connecting:
+            if query.has_edge(neighbor, current):
+                edges.append((neighbor, current))
+            if query.directed and query.has_edge(current, neighbor):
+                edges.append((current, neighbor))
+            if not query.directed and not query.has_edge(neighbor, current) \
+                    and query.has_edge(current, neighbor):
+                edges.append((current, neighbor))
+        return edges
+
+    @staticmethod
+    def _connecting_edges_ok(context: SearchContext, query_edges: List[Edge],
+                             assignment: Dict[NodeId, NodeId],
+                             current: NodeId, host: NodeId) -> bool:
+        """Step 7–8 of Fig. 7: every connecting edge must be supported and satisfied."""
+        for q_source, q_target in query_edges:
+            r_source = host if q_source == current else assignment[q_source]
+            r_target = host if q_target == current else assignment[q_target]
+            if not context.query_edge_supported(q_source, q_target, r_source, r_target):
+                return False
+        return True
+
+    def _order_candidates(self, context: SearchContext, candidates: Set[NodeId]) -> List[NodeId]:
+        if self._candidate_order == "degree":
+            return sorted(candidates,
+                          key=lambda n: (-context.hosting.degree(n), str(n)))
+        return sorted(candidates, key=str)

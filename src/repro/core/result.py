@@ -1,0 +1,171 @@
+"""Search results: embeddings found, how long it took, and what the answer means.
+
+Paper §VII-E classifies the outcome of a NETEMBED query into three types:
+
+* **complete** — the algorithm terminated before its timeout, so the returned
+  set is the *complete* set of feasible embeddings (possibly empty, which is a
+  proof of infeasibility);
+* **partial** — the algorithm timed out (or hit a result cap) after finding at
+  least one feasible embedding;
+* **inconclusive** — the algorithm timed out without finding any embedding, so
+  nothing can be said about feasibility.
+
+:class:`EmbeddingResult` carries that classification together with the raw
+mappings, wall-clock timings (total and time-to-first-match — the two curves
+of Figs. 8–14), and :class:`SearchStats` counters used by the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.mapping import Mapping
+
+
+class ResultStatus(enum.Enum):
+    """Outcome classification of an embedding search (paper §VII-E)."""
+
+    COMPLETE = "complete"
+    PARTIAL = "partial"
+    INCONCLUSIVE = "inconclusive"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class SearchStats:
+    """Work counters accumulated during a single search.
+
+    Attributes
+    ----------
+    nodes_expanded:
+        Search-tree nodes visited (partial assignments extended).
+    candidates_considered:
+        Candidate hosting nodes examined across all expansions.
+    constraint_evaluations:
+        Evaluations of the edge constraint expression (filter construction
+        plus on-the-fly checks).
+    backtracks:
+        Times the search retreated from a dead end.
+    filter_entries:
+        Number of (placed-node, placed-host, next-node) → candidate entries
+        stored in the filter matrices (ECF/RWB memory footprint; zero for LNS).
+    filter_build_seconds:
+        Time spent building the filter matrices before the tree search began.
+    """
+
+    nodes_expanded: int = 0
+    candidates_considered: int = 0
+    constraint_evaluations: int = 0
+    backtracks: int = 0
+    filter_entries: int = 0
+    filter_build_seconds: float = 0.0
+
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Element-wise sum of two stats records (used by experiment aggregation)."""
+        return SearchStats(
+            nodes_expanded=self.nodes_expanded + other.nodes_expanded,
+            candidates_considered=self.candidates_considered + other.candidates_considered,
+            constraint_evaluations=self.constraint_evaluations + other.constraint_evaluations,
+            backtracks=self.backtracks + other.backtracks,
+            filter_entries=self.filter_entries + other.filter_entries,
+            filter_build_seconds=self.filter_build_seconds + other.filter_build_seconds,
+        )
+
+
+@dataclass
+class EmbeddingResult:
+    """Everything a search returns.
+
+    Attributes
+    ----------
+    status:
+        The §VII-E classification (complete / partial / inconclusive).
+    mappings:
+        The feasible embeddings found, in discovery order.
+    algorithm:
+        Name of the algorithm that produced the result ("ECF", "RWB", "LNS",
+        or a baseline name).
+    elapsed_seconds:
+        Total wall-clock search time.
+    time_to_first_seconds:
+        Time until the first feasible embedding was found (``None`` if none).
+    timed_out:
+        Whether the search stopped because of its deadline.
+    truncated:
+        Whether the search stopped because it reached ``max_results``.
+    stats:
+        Work counters for this search.
+    """
+
+    status: ResultStatus
+    mappings: List[Mapping] = field(default_factory=list)
+    algorithm: str = ""
+    elapsed_seconds: float = 0.0
+    time_to_first_seconds: Optional[float] = None
+    timed_out: bool = False
+    truncated: bool = False
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    # -- convenience accessors ------------------------------------------- #
+
+    @property
+    def found(self) -> bool:
+        """Whether at least one feasible embedding was found."""
+        return bool(self.mappings)
+
+    @property
+    def count(self) -> int:
+        """Number of embeddings found."""
+        return len(self.mappings)
+
+    @property
+    def first(self) -> Optional[Mapping]:
+        """The first embedding found, or ``None``."""
+        return self.mappings[0] if self.mappings else None
+
+    @property
+    def proved_infeasible(self) -> bool:
+        """Whether the search completed and found no embedding at all."""
+        return self.status is ResultStatus.COMPLETE and not self.mappings
+
+    def __len__(self) -> int:
+        return len(self.mappings)
+
+    def __iter__(self):
+        return iter(self.mappings)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<EmbeddingResult {self.algorithm}: {self.status.value}, "
+                f"{self.count} mapping(s), {self.elapsed_seconds * 1000:.1f} ms>")
+
+
+def classify(found_any: bool, exhausted: bool, timed_out: bool, truncated: bool
+             ) -> ResultStatus:
+    """Derive the §VII-E status from how the search terminated.
+
+    Parameters
+    ----------
+    found_any:
+        Whether at least one embedding was found.
+    exhausted:
+        Whether the search space was fully explored (so the result set is
+        provably complete).
+    timed_out:
+        Whether the deadline expired.
+    truncated:
+        Whether the search stopped early because it hit ``max_results``.
+    """
+    if exhausted and not timed_out and not truncated:
+        return ResultStatus.COMPLETE
+    if found_any:
+        return ResultStatus.PARTIAL
+    if timed_out:
+        return ResultStatus.INCONCLUSIVE
+    # Not exhausted, nothing found, no timeout: a truncated search that found
+    # nothing can only happen with max_results == 0; treat it as inconclusive.
+    return ResultStatus.INCONCLUSIVE

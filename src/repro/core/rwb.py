@@ -1,0 +1,115 @@
+"""RWB — Random Walk Search with Backtracking (paper §V-B, Fig. 5).
+
+RWB is the non-deterministic sibling of ECF for applications that only need
+*one* feasible embedding (or a small random sample of them).  It uses exactly
+the same filter matrices and candidate-set expressions as ECF, but:
+
+* query nodes' candidates are tried in uniformly random order instead of a
+  deterministic order, so repeated runs explore different regions of the
+  solution space;
+* the search stops as soon as the requested number of embeddings (one by
+  default) has been found;
+* dead ends are handled by backtracking to the previous query node, exactly
+  as the paper's pseudocode keeps a per-node "discarded" list.
+
+Because backtracking is systematic, an RWB run that exhausts the space
+without finding an embedding is a proof of infeasibility, just like ECF.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.base import EmbeddingAlgorithm, SearchContext
+from repro.core.filters import FilterMatrices, build_filters
+from repro.core.ordering import ORDERINGS
+from repro.graphs.network import NodeId
+from repro.utils.rng import RandomSource, as_rng
+
+
+class RWB(EmbeddingAlgorithm):
+    """Random Walk Search with Backtracking.
+
+    Parameters
+    ----------
+    rng:
+        Seed or generator controlling the random candidate order; pass an
+        integer for reproducible runs.
+    ordering:
+        Node-visit ordering; RWB defaults to the connectivity-aware Lemma-1
+        ordering, like ECF (the randomness is in the candidate choice, not in
+        which node is expanded next).
+    """
+
+    name = "RWB"
+
+    def __init__(self, rng: RandomSource = None,
+                 ordering: str = "connectivity") -> None:
+        if ordering not in ORDERINGS:
+            raise ValueError(
+                f"unknown ordering {ordering!r}; expected one of {sorted(ORDERINGS)}")
+        self._rng_source = rng
+        self._ordering = ORDERINGS[ordering]
+
+    def _effective_max_results(self, requested: Optional[int]) -> Optional[int]:
+        # "By design it terminates as soon as it finds the first solution"
+        # (paper footnote 7).  An explicit larger cap is honoured so callers
+        # can sample several random embeddings.
+        return 1 if requested is None else requested
+
+    # ------------------------------------------------------------------ #
+
+    def _run(self, context: SearchContext) -> bool:
+        rng = as_rng(self._rng_source)
+        filters = build_filters(context.query, context.hosting, context.constraint,
+                                context.node_constraint, deadline=context.deadline)
+        context.stats.constraint_evaluations += filters.constraint_evaluations
+        context.stats.filter_entries = filters.entry_count
+        context.stats.filter_build_seconds = filters.build_seconds
+
+        if any(not filters.node_candidates.get(node)
+               for node in context.query.nodes()):
+            return True
+
+        order = self._ordering(context.query, filters)
+        assignment: Dict[NodeId, NodeId] = {}
+        used: Set[NodeId] = set()
+        return self._walk(context, filters, order, 0, assignment, used, rng)
+
+    def _walk(self, context: SearchContext, filters: FilterMatrices,
+              order: List[NodeId], depth: int,
+              assignment: Dict[NodeId, NodeId], used: Set[NodeId], rng) -> bool:
+        """Randomised depth-first walk.  Returns ``False`` iff stopped early."""
+        context.check_deadline()
+
+        if depth == len(order):
+            stop = context.record_mapping(dict(assignment))
+            return not stop
+
+        node = order[depth]
+        placed_neighbors = [(neighbor, assignment[neighbor])
+                            for neighbor in context.query.neighbors(node)
+                            if neighbor in assignment]
+        candidates = list(filters.candidates_given(node, placed_neighbors, used))
+
+        context.stats.nodes_expanded += 1
+        context.stats.candidates_considered += len(candidates)
+
+        if not candidates:
+            context.stats.backtracks += 1
+            return True
+
+        # The random walk: candidates are tried in random order; failed ones
+        # are implicitly "discarded" by the loop, which is equivalent to the
+        # paper's per-node discarded list.
+        rng.shuffle(candidates)
+        for host in candidates:
+            assignment[node] = host
+            used.add(host)
+            keep_going = self._walk(context, filters, order, depth + 1,
+                                    assignment, used, rng)
+            del assignment[node]
+            used.discard(host)
+            if not keep_going:
+                return False
+        return True

@@ -1,0 +1,173 @@
+"""Hierarchical / partitioned embedding (§VIII "decentralized implementation").
+
+"For truly large-scale networks, a complete view of the network may not be
+available to a single domain ... it is desirable in such settings for
+services such as NETEMBED to be implemented in a distributed fashion ...
+We are currently looking into a hierarchical approach."
+
+This module simulates that hierarchical approach in-process:
+
+* the hosting network is split into *domains*, either by an existing node
+  attribute (e.g. the ``region`` attribute of the PlanetLab-like trace, or
+  the ``domain`` attribute of transit-stub networks) or by a balanced
+  connected partitioning;
+* each domain runs its own embedding search over its local sub-network only
+  (what a per-domain NETEMBED server would see);
+* the coordinator tries domains in a configurable order and returns the first
+  domain that can host the whole query, falling back to a global search when
+  allowed.
+
+This models the common "place the experiment entirely inside one
+administrative domain" policy; queries that genuinely must span domains
+require the global fallback (and the coordinator reports which happened).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import networkx as nx
+
+from repro.constraints import ConstraintExpression
+from repro.core.base import EmbeddingAlgorithm
+from repro.core.ecf import ECF
+from repro.core.result import EmbeddingResult
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.network import NodeId
+from repro.graphs.query import QueryNetwork
+
+
+def partition_by_attribute(hosting: HostingNetwork, attribute: str = "region"
+                           ) -> Dict[str, List[NodeId]]:
+    """Group hosting nodes by a categorical node attribute."""
+    domains: Dict[str, List[NodeId]] = {}
+    for node in hosting.nodes():
+        value = hosting.get_node_attr(node, attribute)
+        key = str(value) if value is not None else "unassigned"
+        domains.setdefault(key, []).append(node)
+    return domains
+
+
+def partition_balanced(hosting: HostingNetwork, num_domains: int
+                       ) -> Dict[str, List[NodeId]]:
+    """Split the hosting network into *num_domains* roughly equal connected chunks.
+
+    A BFS order from an arbitrary node is sliced into contiguous chunks; each
+    chunk is connected *within the BFS tree*, which is good enough for the
+    simulation (per-domain searches only need the induced subgraph).
+    """
+    if num_domains < 1:
+        raise ValueError(f"num_domains must be >= 1, got {num_domains}")
+    nodes = hosting.nodes()
+    if not nodes:
+        return {}
+    order: List[NodeId] = []
+    seen = set()
+    for start in nodes:
+        if start in seen:
+            continue
+        for node in nx.bfs_tree(hosting.graph.to_undirected(as_view=True), start):
+            if node not in seen:
+                order.append(node)
+                seen.add(node)
+    chunk = max(1, (len(order) + num_domains - 1) // num_domains)
+    return {f"domain{i}": order[i * chunk:(i + 1) * chunk]
+            for i in range((len(order) + chunk - 1) // chunk)}
+
+
+@dataclass
+class DomainOutcome:
+    """Result of trying one domain."""
+
+    domain: str
+    result: EmbeddingResult
+
+    @property
+    def found(self) -> bool:
+        """Whether this domain could host the query."""
+        return self.result.found
+
+
+@dataclass
+class HierarchicalResult:
+    """Outcome of a hierarchical embedding attempt."""
+
+    winning_domain: Optional[str]
+    result: Optional[EmbeddingResult]
+    domain_outcomes: List[DomainOutcome] = field(default_factory=list)
+    used_global_fallback: bool = False
+
+    @property
+    def found(self) -> bool:
+        """Whether any domain (or the global fallback) hosted the query."""
+        return self.result is not None and self.result.found
+
+
+class HierarchicalEmbedder:
+    """Coordinator for per-domain embedding with optional global fallback.
+
+    Parameters
+    ----------
+    hosting:
+        The full hosting network (the coordinator's global view).
+    domains:
+        Mapping of domain name to its hosting nodes; build it with
+        :func:`partition_by_attribute` or :func:`partition_balanced`.
+    algorithm:
+        Algorithm used for every per-domain (and fallback) search.
+    """
+
+    def __init__(self, hosting: HostingNetwork, domains: Dict[str, Sequence[NodeId]],
+                 algorithm: Optional[EmbeddingAlgorithm] = None) -> None:
+        if not domains:
+            raise ValueError("at least one domain is required")
+        self.hosting = hosting
+        self._algorithm = algorithm or ECF()
+        self._domains = {name: list(nodes) for name, nodes in domains.items()}
+        self._subnetworks: Dict[str, HostingNetwork] = {}
+        for name, nodes in self._domains.items():
+            sub = hosting.subnetwork(nodes, name=f"{hosting.name}:{name}")
+            # subnetwork() preserves the class of `hosting`, i.e. HostingNetwork.
+            self._subnetworks[name] = sub  # type: ignore[assignment]
+
+    @property
+    def domain_names(self) -> List[str]:
+        """All domain names, largest domain first (the default try order)."""
+        return sorted(self._domains, key=lambda d: (-len(self._domains[d]), d))
+
+    def domain_network(self, name: str) -> HostingNetwork:
+        """The induced hosting sub-network of a domain."""
+        return self._subnetworks[name]
+
+    def embed(self, query: QueryNetwork,
+              constraint: Optional[Union[str, ConstraintExpression]] = None,
+              node_constraint: Optional[Union[str, ConstraintExpression]] = None,
+              timeout: Optional[float] = None, max_results: Optional[int] = 1,
+              domain_order: Optional[Sequence[str]] = None,
+              allow_global_fallback: bool = True) -> HierarchicalResult:
+        """Try to embed *query* inside a single domain; optionally fall back globally."""
+        outcomes: List[DomainOutcome] = []
+        order = list(domain_order) if domain_order is not None else self.domain_names
+        for name in order:
+            if name not in self._subnetworks:
+                raise KeyError(f"unknown domain {name!r}")
+            sub = self._subnetworks[name]
+            if sub.num_nodes < query.num_nodes:
+                continue
+            result = self._algorithm.search(query, sub, constraint=constraint,
+                                            node_constraint=node_constraint,
+                                            timeout=timeout, max_results=max_results)
+            outcomes.append(DomainOutcome(domain=name, result=result))
+            if result.found:
+                return HierarchicalResult(winning_domain=name, result=result,
+                                          domain_outcomes=outcomes)
+        if allow_global_fallback:
+            result = self._algorithm.search(query, self.hosting, constraint=constraint,
+                                            node_constraint=node_constraint,
+                                            timeout=timeout, max_results=max_results)
+            return HierarchicalResult(winning_domain=None if not result.found else "*global*",
+                                      result=result, domain_outcomes=outcomes,
+                                      used_global_fallback=True)
+        return HierarchicalResult(winning_domain=None, result=None,
+                                  domain_outcomes=outcomes)

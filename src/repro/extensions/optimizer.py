@@ -1,0 +1,114 @@
+"""Optimisation over the feasible set (§VIII "current and future work").
+
+NETEMBED deliberately separates feasibility from optimality: the service
+returns feasible embeddings and "the embedding of choice would be the one
+that minimizes a specific cost metric" (§II footnote 1).  This module
+provides that second stage — cost functions over mappings and a selector that
+ranks the feasible set an algorithm returned.
+
+Built-in cost functions:
+
+* :func:`total_delay_cost` — sum of the hosting delays the query edges land on
+  (latency-sensitive applications want this small);
+* :func:`load_balance_cost` — maximum hosting-node load used by the mapping
+  (spread work across lightly loaded nodes);
+* :func:`attribute_sum_cost` — generic "sum an edge attribute over mapped
+  edges" builder;
+* :func:`stress_cost` — number of embeddings already placed on the chosen
+  hosts (Zhu–Ammar-style interference minimisation), given an occupancy map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mapping import Mapping
+from repro.core.result import EmbeddingResult
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.network import Network, NodeId
+from repro.graphs.query import QueryNetwork
+
+#: A cost function maps (query, hosting, mapping) to a number to minimise.
+CostFunction = Callable[[QueryNetwork, Network, Mapping], float]
+
+
+def _mapped_edge_attr(query: QueryNetwork, hosting: Network, mapping: Mapping,
+                      attr: str, default: float) -> List[float]:
+    values = []
+    for q_source, q_target in query.edges():
+        r_source, r_target = mapping[q_source], mapping[q_target]
+        if hosting.has_edge(r_source, r_target):
+            value = hosting.get_edge_attr(r_source, r_target, attr, default)
+        elif not hosting.directed and hosting.has_edge(r_target, r_source):
+            value = hosting.get_edge_attr(r_target, r_source, attr, default)
+        else:
+            value = default
+        values.append(float(value))
+    return values
+
+
+def total_delay_cost(query: QueryNetwork, hosting: Network, mapping: Mapping,
+                     attr: str = "avgDelay") -> float:
+    """Sum of the hosting link delays used by the mapping."""
+    return sum(_mapped_edge_attr(query, hosting, mapping, attr, 0.0))
+
+
+def attribute_sum_cost(attr: str, default: float = 0.0) -> CostFunction:
+    """Build a cost function that sums hosting edge attribute *attr* over the mapping."""
+    def cost(query: QueryNetwork, hosting: Network, mapping: Mapping) -> float:
+        return sum(_mapped_edge_attr(query, hosting, mapping, attr, default))
+    cost.__name__ = f"sum_{attr}_cost"
+    return cost
+
+
+def load_balance_cost(query: QueryNetwork, hosting: Network, mapping: Mapping,
+                      attr: str = "cpuLoad") -> float:
+    """Maximum load among the hosting nodes used (smaller = better balanced)."""
+    loads = [float(hosting.get_node_attr(host, attr, 0.0))
+             for host in mapping.hosting_nodes()]
+    return max(loads) if loads else 0.0
+
+
+def stress_cost(occupancy: Dict[NodeId, int]) -> CostFunction:
+    """Cost = total pre-existing occupancy of the chosen hosting nodes.
+
+    *occupancy* maps hosting nodes to the number of embeddings already placed
+    on them (e.g. from the reservation manager); minimising it spreads new
+    virtual networks away from crowded nodes, the Zhu–Ammar objective.
+    """
+    def cost(query: QueryNetwork, hosting: Network, mapping: Mapping) -> float:
+        return float(sum(occupancy.get(host, 0) for host in mapping.hosting_nodes()))
+    cost.__name__ = "stress_cost"
+    return cost
+
+
+@dataclass(frozen=True)
+class RankedMapping:
+    """A mapping together with its cost under the chosen objective."""
+
+    mapping: Mapping
+    cost: float
+
+
+def rank_mappings(result_or_mappings, query: QueryNetwork, hosting: Network,
+                  cost: CostFunction = total_delay_cost) -> List[RankedMapping]:
+    """Rank feasible mappings by ascending cost.
+
+    Accepts either an :class:`~repro.core.result.EmbeddingResult` or a plain
+    sequence of mappings, so it composes directly with any algorithm's output.
+    """
+    if isinstance(result_or_mappings, EmbeddingResult):
+        mappings: Sequence[Mapping] = result_or_mappings.mappings
+    else:
+        mappings = list(result_or_mappings)
+    ranked = [RankedMapping(mapping=m, cost=float(cost(query, hosting, m)))
+              for m in mappings]
+    return sorted(ranked, key=lambda r: (r.cost, str(sorted(map(str, r.mapping.hosting_nodes())))))
+
+
+def best_mapping(result_or_mappings, query: QueryNetwork, hosting: Network,
+                 cost: CostFunction = total_delay_cost) -> Optional[RankedMapping]:
+    """The minimum-cost feasible mapping, or ``None`` when the set is empty."""
+    ranked = rank_mappings(result_or_mappings, query, hosting, cost)
+    return ranked[0] if ranked else None

@@ -1,0 +1,150 @@
+"""Link-to-path (many-to-one) mapping — the first §VIII follow-up.
+
+The base NETEMBED problem maps every query edge onto a *single* hosting edge.
+§VIII proposes relaxing this "by mapping a link in the query network to a
+path in the real network", which matters for sparse physical infrastructures
+(BRITE-like router graphs) where two chosen hosts are rarely directly
+adjacent.
+
+:class:`PathEmbedder` implements that relaxation on top of any base
+algorithm:
+
+1. it builds a *closure network*: a dense auxiliary hosting network whose
+   nodes are the original hosting nodes and whose edge ``(u, v)`` exists
+   whenever the hosting network has a path from ``u`` to ``v`` of at most
+   ``max_hops`` hops, annotated with the path's aggregate delay
+   (sums of ``avgDelay`` / ``minDelay`` / ``maxDelay``) and a ``hopCount``;
+2. it runs the base algorithm on the closure network with the caller's
+   constraint expression (which can now reference ``rEdge.hopCount``);
+3. it expands each returned node mapping with the concrete hosting paths that
+   realise every query edge, returning :class:`PathMapping` objects.
+
+Aggregate delays along a multi-hop path are additive, so constraints written
+against ``avgDelay`` keep their meaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.constraints import ConstraintExpression
+from repro.core.base import EmbeddingAlgorithm
+from repro.core.ecf import ECF
+from repro.core.mapping import Mapping
+from repro.core.result import EmbeddingResult
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.network import Edge, Network, NodeId
+from repro.graphs.query import QueryNetwork
+
+
+@dataclass
+class PathMapping:
+    """A node mapping plus the hosting path realising each query edge."""
+
+    node_mapping: Mapping
+    edge_paths: Dict[Edge, Tuple[NodeId, ...]] = field(default_factory=dict)
+
+    def path_for(self, query_edge: Edge) -> Tuple[NodeId, ...]:
+        """The hosting-node path realising *query_edge* (endpoints included)."""
+        return self.edge_paths[query_edge]
+
+    def total_hops(self) -> int:
+        """Total number of hosting hops used across all query edges."""
+        return sum(max(0, len(path) - 1) for path in self.edge_paths.values())
+
+
+@dataclass
+class PathEmbeddingResult:
+    """Result of a link-to-path embedding: wraps the closure-network search."""
+
+    base_result: EmbeddingResult
+    path_mappings: List[PathMapping] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        """Whether at least one path embedding was found."""
+        return bool(self.path_mappings)
+
+
+def build_closure_network(hosting: HostingNetwork, max_hops: int = 3,
+                          delay_attr: str = "avgDelay",
+                          weight_attrs: Tuple[str, ...] = ("minDelay", "avgDelay", "maxDelay"),
+                          ) -> Tuple[HostingNetwork, Dict[Edge, Tuple[NodeId, ...]]]:
+    """The closure network and the shortest paths backing its edges.
+
+    Edge ``(u, v)`` of the closure carries the summed delay attributes of the
+    minimum-``delay_attr`` path between ``u`` and ``v`` (among paths of at most
+    *max_hops* hops) plus ``hopCount``.  Node attributes are copied verbatim.
+    """
+    if max_hops < 1:
+        raise ValueError(f"max_hops must be >= 1, got {max_hops}")
+    if hosting.directed:
+        raise ValueError("path mapping currently supports undirected hosting networks")
+
+    closure = HostingNetwork(name=f"{hosting.name}-closure{max_hops}")
+    for node in hosting.nodes():
+        closure.add_node(node, **dict(hosting.node_attrs(node)))
+
+    graph = hosting.graph
+    paths: Dict[Edge, Tuple[NodeId, ...]] = {}
+    # Dijkstra from every node, cut off by hop count via BFS-limited candidates.
+    for source in hosting.nodes():
+        lengths, node_paths = nx.single_source_dijkstra(
+            graph, source, weight=lambda u, v, d: d.get(delay_attr, 1.0))
+        for target, path in node_paths.items():
+            if target == source or len(path) - 1 > max_hops:
+                continue
+            if closure.has_edge(source, target):
+                continue
+            attrs = {attr: 0.0 for attr in weight_attrs}
+            for u, v in zip(path, path[1:]):
+                for attr in weight_attrs:
+                    attrs[attr] += float(hosting.get_edge_attr(u, v, attr, 0.0))
+            attrs = {attr: round(value, 3) for attr, value in attrs.items()}
+            attrs["hopCount"] = len(path) - 1
+            closure.add_edge(source, target, **attrs)
+            paths[(source, target)] = tuple(path)
+            paths[(target, source)] = tuple(reversed(path))
+    return closure, paths
+
+
+class PathEmbedder:
+    """Embed queries whose edges may map onto multi-hop hosting paths.
+
+    Parameters
+    ----------
+    algorithm:
+        The base embedding algorithm run on the closure network (default ECF).
+    max_hops:
+        Maximum hosting-path length a single query edge may use.
+    """
+
+    def __init__(self, algorithm: Optional[EmbeddingAlgorithm] = None,
+                 max_hops: int = 3) -> None:
+        self._algorithm = algorithm or ECF()
+        self._max_hops = max_hops
+
+    def search(self, query: QueryNetwork, hosting: HostingNetwork,
+               constraint: Optional[ConstraintExpression] = None,
+               node_constraint: Optional[ConstraintExpression] = None,
+               timeout: Optional[float] = None,
+               max_results: Optional[int] = None) -> PathEmbeddingResult:
+        """Find embeddings where query edges ride hosting paths of bounded length."""
+        closure, paths = build_closure_network(hosting, max_hops=self._max_hops)
+        result = self._algorithm.search(query, closure, constraint=constraint,
+                                        node_constraint=node_constraint,
+                                        timeout=timeout, max_results=max_results)
+        path_mappings = []
+        for mapping in result.mappings:
+            edge_paths: Dict[Edge, Tuple[NodeId, ...]] = {}
+            for q_source, q_target in query.edges():
+                r_source, r_target = mapping[q_source], mapping[q_target]
+                if hosting.has_edge(r_source, r_target):
+                    edge_paths[(q_source, q_target)] = (r_source, r_target)
+                else:
+                    edge_paths[(q_source, q_target)] = paths[(r_source, r_target)]
+            path_mappings.append(PathMapping(node_mapping=mapping, edge_paths=edge_paths))
+        return PathEmbeddingResult(base_result=result, path_mappings=path_mappings)

@@ -1,0 +1,171 @@
+"""Temporal scheduling of embeddings (§VIII, snBench integration).
+
+"When used in a real application, resources once assigned would not be
+available for some amount of time. In such settings, the embedding problem
+must be tightly integrated with the scheduling problem – to find a window of
+time (or the closest window of time) in which some feasible embedding is
+available."
+
+This module implements that integration over a slotted timeline:
+
+* an :class:`EmbeddingCalendar` tracks, per time slot, which hosting nodes
+  are already held by previously scheduled embeddings;
+* :class:`EmbeddingScheduler` answers "what is the earliest window of
+  *duration* slots, starting at or after *earliest*, in which this query can
+  be embedded?" by searching each candidate start slot with a node constraint
+  that excludes busy hosts, and books the winning embedding into the calendar.
+
+The scheduler prefers reusing one embedding across the whole window (the
+common case); a request is rejected for a window only if no feasible
+embedding exists given that window's busy sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+from repro.constraints import ConstraintExpression
+from repro.core.base import EmbeddingAlgorithm
+from repro.core.lns import LNS
+from repro.core.mapping import Mapping
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.network import NodeId
+from repro.graphs.query import QueryNetwork
+
+
+@dataclass
+class ScheduledEmbedding:
+    """A booked embedding occupying its hosting nodes for [start, end) slots."""
+
+    job_id: str
+    mapping: Mapping
+    start: int
+    end: int
+
+    def overlaps(self, slot: int) -> bool:
+        """Whether the booking holds its resources during *slot*."""
+        return self.start <= slot < self.end
+
+
+class EmbeddingCalendar:
+    """Slot-indexed occupancy of hosting nodes by scheduled embeddings."""
+
+    def __init__(self) -> None:
+        self._bookings: List[ScheduledEmbedding] = []
+        self._counter = 0
+
+    def busy_nodes(self, start: int, end: int) -> Set[NodeId]:
+        """Hosting nodes held by any booking overlapping the window [start, end)."""
+        busy: Set[NodeId] = set()
+        for booking in self._bookings:
+            if booking.start < end and start < booking.end:
+                busy.update(booking.mapping.hosting_nodes())
+        return busy
+
+    def book(self, mapping: Mapping, start: int, duration: int) -> ScheduledEmbedding:
+        """Record a booking of *mapping* for *duration* slots starting at *start*."""
+        if duration < 1:
+            raise ValueError(f"duration must be >= 1, got {duration}")
+        if start < 0:
+            raise ValueError(f"start must be non-negative, got {start}")
+        self._counter += 1
+        booking = ScheduledEmbedding(job_id=f"job-{self._counter:05d}", mapping=mapping,
+                                     start=start, end=start + duration)
+        self._bookings.append(booking)
+        return booking
+
+    def cancel(self, job_id: str) -> None:
+        """Remove a booking."""
+        before = len(self._bookings)
+        self._bookings = [b for b in self._bookings if b.job_id != job_id]
+        if len(self._bookings) == before:
+            raise KeyError(f"unknown job {job_id!r}")
+
+    def bookings(self) -> List[ScheduledEmbedding]:
+        """All current bookings (copy)."""
+        return list(self._bookings)
+
+    def __len__(self) -> int:
+        return len(self._bookings)
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of a scheduling request."""
+
+    booking: Optional[ScheduledEmbedding]
+    attempted_starts: List[int] = field(default_factory=list)
+
+    @property
+    def scheduled(self) -> bool:
+        """Whether a window was found and booked."""
+        return self.booking is not None
+
+
+class EmbeddingScheduler:
+    """Find-and-book the earliest feasible window for a query network.
+
+    Parameters
+    ----------
+    hosting:
+        The hosting network (shared with the rest of the service).
+    algorithm:
+        Embedding algorithm used per candidate window (default: LNS with
+        ``max_results=1``, the cheapest way to decide feasibility).
+    horizon:
+        How many slots ahead the scheduler is willing to look.
+    """
+
+    def __init__(self, hosting: HostingNetwork,
+                 algorithm: Optional[EmbeddingAlgorithm] = None,
+                 horizon: int = 64) -> None:
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        self.hosting = hosting
+        self.calendar = EmbeddingCalendar()
+        self._algorithm = algorithm or LNS()
+        self._horizon = horizon
+
+    def schedule(self, query: QueryNetwork,
+                 constraint: Optional[Union[str, ConstraintExpression]] = None,
+                 duration: int = 1, earliest: int = 0,
+                 timeout: Optional[float] = None) -> ScheduleResult:
+        """Book the earliest window of *duration* slots in which *query* embeds.
+
+        Busy hosting nodes (held by overlapping bookings) are excluded through
+        an ``up``-style availability flag synthesised per candidate window, so
+        the embedding respects all earlier reservations.
+        """
+        if duration < 1:
+            raise ValueError(f"duration must be >= 1, got {duration}")
+        if earliest < 0:
+            raise ValueError(f"earliest must be non-negative, got {earliest}")
+        attempted = []
+        for start in range(earliest, earliest + self._horizon):
+            attempted.append(start)
+            busy = self.calendar.busy_nodes(start, start + duration)
+            mapping = self._try_window(query, constraint, busy, timeout)
+            if mapping is not None:
+                booking = self.calendar.book(mapping, start, duration)
+                return ScheduleResult(booking=booking, attempted_starts=attempted)
+        return ScheduleResult(booking=None, attempted_starts=attempted)
+
+    # ------------------------------------------------------------------ #
+
+    def _try_window(self, query: QueryNetwork, constraint, busy: Set[NodeId],
+                    timeout: Optional[float]) -> Optional[Mapping]:
+        if len(self.hosting.nodes()) - len(busy) < query.num_nodes:
+            return None
+        node_constraint = self._availability_constraint(busy)
+        result = self._algorithm.search(query, self.hosting, constraint=constraint,
+                                        node_constraint=node_constraint,
+                                        timeout=timeout, max_results=1)
+        return result.first
+
+    def _availability_constraint(self, busy: Set[NodeId]) -> Optional[ConstraintExpression]:
+        """A node constraint that rejects the busy hosting nodes by name."""
+        if not busy:
+            return None
+        clauses = [f'rNode.name != "{name}"' for name in sorted(map(str, busy))]
+        return ConstraintExpression(" && ".join(clauses))

@@ -1,0 +1,48 @@
+"""Attributed network model used by NETEMBED.
+
+The paper (§IV, §VI-A) represents both the *hosting network* (the real
+infrastructure, e.g. PlanetLab) and the *query network* (the virtual topology
+an application wants to instantiate) as graphs whose nodes and edges carry
+arbitrary typed attributes — measured metrics such as delay or bandwidth,
+and categorical classes such as the operating system of a node.  Networks are
+exchanged in GraphML.
+
+This subpackage provides:
+
+* :class:`~repro.graphs.network.Network` — the shared attributed-graph model,
+  a thin domain layer on top of :class:`networkx.Graph` /
+  :class:`networkx.DiGraph`.
+* :class:`~repro.graphs.hosting.HostingNetwork` and
+  :class:`~repro.graphs.query.QueryNetwork` — role-specific wrappers with the
+  helpers each side of the embedding needs.
+* :mod:`~repro.graphs.graphml` — GraphML reading/writing with typed
+  attribute declarations (paper §VI-A).
+* :mod:`~repro.graphs.ops` — graph utilities (connected-subgraph sampling,
+  relabeling, degree orderings) used by the workload generators and the
+  search algorithms.
+"""
+
+from repro.graphs.attributes import AttributeSchema, AttributeSpec, infer_schema
+from repro.graphs.errors import GraphError, GraphMLError, UnknownAttributeError
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.network import Network
+from repro.graphs.query import QueryNetwork
+from repro.graphs.graphml import read_graphml, write_graphml, graphml_string, parse_graphml_string
+from repro.graphs import ops
+
+__all__ = [
+    "AttributeSchema",
+    "AttributeSpec",
+    "infer_schema",
+    "GraphError",
+    "GraphMLError",
+    "UnknownAttributeError",
+    "HostingNetwork",
+    "Network",
+    "QueryNetwork",
+    "read_graphml",
+    "write_graphml",
+    "graphml_string",
+    "parse_graphml_string",
+    "ops",
+]

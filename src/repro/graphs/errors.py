@@ -1,0 +1,33 @@
+"""Exception hierarchy for the network model."""
+
+from __future__ import annotations
+
+
+class GraphError(Exception):
+    """Base class for errors raised by the :mod:`repro.graphs` package."""
+
+
+class GraphMLError(GraphError):
+    """Raised when a GraphML document cannot be parsed or serialised."""
+
+
+class UnknownAttributeError(GraphError, KeyError):
+    """Raised when an attribute referenced by a constraint does not exist.
+
+    The constraint evaluator converts this into a non-match rather than an
+    error when ``strict=False`` (the default NETEMBED behaviour: a query may
+    reference attributes only some hosting nodes expose).
+    """
+
+    def __init__(self, owner: str, attribute: str):
+        super().__init__(f"{owner} has no attribute {attribute!r}")
+        self.owner = owner
+        self.attribute = attribute
+
+
+class DuplicateNodeError(GraphError):
+    """Raised when adding a node identifier that already exists."""
+
+
+class MissingNodeError(GraphError, KeyError):
+    """Raised when referencing a node identifier that does not exist."""

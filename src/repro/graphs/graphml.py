@@ -1,0 +1,240 @@
+"""GraphML serialisation of hosting and query networks (paper §VI-A).
+
+The paper adopts GraphML as the interchange format between applications and
+the NETEMBED service precisely because it supports *arbitrary typed
+attributes* on nodes and edges.  This module implements a self-contained
+GraphML reader and writer on top of :mod:`xml.etree.ElementTree`:
+
+* ``<key>`` elements declare every attribute with its domain (node/edge),
+  name and type, mirroring :class:`~repro.graphs.attributes.AttributeSchema`;
+* ``<data>`` elements carry the values, coerced back to Python types on read;
+* defaults declared on keys are applied to elements that omit the attribute.
+
+We intentionally do not use ``networkx.write_graphml`` so the reproduction
+controls the schema handling, produces stable output for tests, and has no
+optional lxml dependency.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Optional, Type, Union
+
+from repro.graphs.attributes import AttributeSchema, AttributeSpec, graphml_type_for
+from repro.graphs.errors import GraphMLError
+from repro.graphs.network import Network
+
+GRAPHML_NS = "http://graphml.graphdrawing.org/xmlns"
+
+
+def _qualify(tag: str) -> str:
+    return f"{{{GRAPHML_NS}}}{tag}"
+
+
+# --------------------------------------------------------------------------- #
+# Writing
+# --------------------------------------------------------------------------- #
+
+def _build_document(network: Network) -> ET.Element:
+    """Build the GraphML element tree for *network*."""
+    schema = network.schema
+    root = ET.Element("graphml", {"xmlns": GRAPHML_NS})
+
+    key_ids = {}
+    counter = 0
+    for domain, table in (("node", schema.node_attrs), ("edge", schema.edge_attrs)):
+        for name, spec in sorted(table.items()):
+            key_id = f"d{counter}"
+            counter += 1
+            key_ids[(domain, name)] = key_id
+            key_el = ET.SubElement(root, "key", {
+                "id": key_id,
+                "for": domain,
+                "attr.name": name,
+                "attr.type": spec.graphml_type,
+            })
+            if spec.default is not None:
+                default_el = ET.SubElement(key_el, "default")
+                default_el.text = _format_value(spec.default)
+
+    graph_el = ET.SubElement(root, "graph", {
+        "id": network.name,
+        "edgedefault": "directed" if network.directed else "undirected",
+    })
+
+    for node in network.nodes():
+        node_el = ET.SubElement(graph_el, "node", {"id": str(node)})
+        for name, value in sorted(network.node_attrs(node).items()):
+            _append_data(node_el, key_ids, "node", name, value, root)
+
+    for index, (u, v) in enumerate(network.edges()):
+        edge_el = ET.SubElement(graph_el, "edge", {
+            "id": f"e{index}", "source": str(u), "target": str(v),
+        })
+        for name, value in sorted(network.edge_attrs(u, v).items()):
+            _append_data(edge_el, key_ids, "edge", name, value, root)
+
+    return root
+
+
+def _append_data(parent: ET.Element, key_ids: dict, domain: str, name: str,
+                 value, root: ET.Element) -> None:
+    """Append a <data> child, declaring a key on the fly for undeclared attributes."""
+    if value is None:
+        return
+    key = (domain, name)
+    if key not in key_ids:
+        key_id = f"d{len(key_ids)}x"
+        key_ids[key] = key_id
+        key_el = ET.Element("key", {
+            "id": key_id,
+            "for": domain,
+            "attr.name": name,
+            "attr.type": graphml_type_for(value),
+        })
+        # keys must precede the <graph> element
+        root.insert(0, key_el)
+    data_el = ET.SubElement(parent, "data", {"key": key_ids[key]})
+    data_el.text = _format_value(value)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def graphml_string(network: Network) -> str:
+    """Serialise *network* to a GraphML string."""
+    root = _build_document(network)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def write_graphml(network: Network, path: Union[str, Path]) -> Path:
+    """Write *network* to a GraphML file and return the path."""
+    path = Path(path)
+    path.write_text(graphml_string(network), encoding="utf-8")
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# Reading
+# --------------------------------------------------------------------------- #
+
+def parse_graphml_string(text: str, cls: Type[Network] = Network,
+                         name: Optional[str] = None) -> Network:
+    """Parse a GraphML document from a string into an instance of *cls*."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise GraphMLError(f"invalid GraphML document: {exc}") from exc
+    return _parse_root(root, cls, name)
+
+
+def read_graphml(path: Union[str, Path], cls: Type[Network] = Network,
+                 name: Optional[str] = None) -> Network:
+    """Read a GraphML file into an instance of *cls*.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    cls:
+        Which network class to construct — typically
+        :class:`~repro.graphs.hosting.HostingNetwork` or
+        :class:`~repro.graphs.query.QueryNetwork`.
+    name:
+        Overrides the graph id from the file as the network's name.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise GraphMLError(f"GraphML file {path} does not exist")
+    return parse_graphml_string(path.read_text(encoding="utf-8"), cls, name)
+
+
+def _strip(tag: str) -> str:
+    """Remove a namespace prefix from an element tag."""
+    return tag.split("}", 1)[-1]
+
+
+def _parse_root(root: ET.Element, cls: Type[Network], name: Optional[str]) -> Network:
+    if _strip(root.tag) != "graphml":
+        raise GraphMLError(f"expected <graphml> root element, got <{_strip(root.tag)}>")
+
+    schema = AttributeSchema()
+    key_specs = {}
+    key_defaults = {}
+    for key_el in root:
+        if _strip(key_el.tag) != "key":
+            continue
+        key_id = key_el.get("id")
+        domain = key_el.get("for", "all")
+        attr_name = key_el.get("attr.name")
+        attr_type = key_el.get("attr.type", "string")
+        if key_id is None or attr_name is None:
+            raise GraphMLError("<key> element missing id or attr.name")
+        domains = ("node", "edge") if domain in ("all", None) else (domain,)
+        for d in domains:
+            if d not in ("node", "edge"):
+                continue  # graph-level keys are ignored
+            spec = AttributeSpec(attr_name, d, attr_type)
+            schema.declare(spec)
+            key_specs[(key_id, d)] = spec
+        default_el = next((c for c in key_el if _strip(c.tag) == "default"), None)
+        if default_el is not None and default_el.text is not None:
+            key_defaults[key_id] = default_el.text
+
+    graph_el = next((c for c in root if _strip(c.tag) == "graph"), None)
+    if graph_el is None:
+        raise GraphMLError("GraphML document contains no <graph> element")
+
+    directed = graph_el.get("edgedefault", "undirected") == "directed"
+    net_name = name or graph_el.get("id") or "graphml"
+    network = cls(name=net_name, directed=directed, schema=schema)
+
+    def read_data(element: ET.Element, domain: str) -> dict:
+        attrs = {}
+        for data_el in element:
+            if _strip(data_el.tag) != "data":
+                continue
+            key_id = data_el.get("key")
+            spec = key_specs.get((key_id, domain))
+            raw = data_el.text if data_el.text is not None else ""
+            if spec is None:
+                attrs_name = key_id or "data"
+                attrs[attrs_name] = raw
+                continue
+            try:
+                attrs[spec.name] = spec.coerce(raw)
+            except ValueError as exc:
+                raise GraphMLError(
+                    f"cannot coerce {raw!r} to {spec.graphml_type} for "
+                    f"attribute {spec.name!r}") from exc
+        # Apply declared defaults for attributes the element omitted.
+        for (key_id, d), spec in key_specs.items():
+            if d == domain and spec.name not in attrs and key_id in key_defaults:
+                attrs[spec.name] = spec.coerce(key_defaults[key_id])
+        return attrs
+
+    for node_el in graph_el:
+        if _strip(node_el.tag) != "node":
+            continue
+        node_id = node_el.get("id")
+        if node_id is None:
+            raise GraphMLError("<node> element missing id")
+        network.add_node(node_id, **read_data(node_el, "node"))
+
+    for edge_el in graph_el:
+        if _strip(edge_el.tag) != "edge":
+            continue
+        source = edge_el.get("source")
+        target = edge_el.get("target")
+        if source is None or target is None:
+            raise GraphMLError("<edge> element missing source or target")
+        network.add_edge(source, target, **read_data(edge_el, "edge"))
+
+    return network

@@ -1,0 +1,173 @@
+"""The hosting (real) network: the embedding target.
+
+A :class:`HostingNetwork` is a :class:`~repro.graphs.network.Network` whose
+nodes represent physical resources (PlanetLab sites, routers, sensors, grid
+nodes) and whose edges carry measured link characteristics (delay ranges,
+bandwidth, loss, jitter).  It adds the accessors the search algorithms and the
+service layer need when scanning the full infrastructure:
+
+* iteration over *candidate edges* in both orientations, because an
+  undirected hosting edge ``(r1, r2)`` can host an undirected query edge in
+  either orientation (paper §V-A, footnote 3);
+* summary statistics of an attribute's distribution, used by the workload
+  generators to pick realistic constraint windows (e.g. the 10–100 ms band of
+  the clique experiment in §VII-D);
+* residual-capacity bookkeeping hooks used by the reservation manager.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.network import Edge, Network, NodeId
+
+
+class HostingNetwork(Network):
+    """The real infrastructure into which query networks are embedded."""
+
+    # ------------------------------------------------------------------ #
+    # Edge orientation handling
+    # ------------------------------------------------------------------ #
+
+    def oriented_edges(self) -> Iterator[Edge]:
+        """Iterate over edges in every orientation a query edge could map to.
+
+        For a directed hosting network this is simply every directed edge.
+        For an undirected one each stored edge ``(u, v)`` is yielded as both
+        ``(u, v)`` and ``(v, u)``, mirroring the paper's rule that an edge
+        match updates the filter cells of both endpoints.
+        """
+        for u, v in self.edges():
+            yield (u, v)
+            if not self.directed:
+                yield (v, u)
+
+    def edge_count_oriented(self) -> int:
+        """Number of oriented edges (2·|E| for undirected networks)."""
+        return self.num_edges if self.directed else 2 * self.num_edges
+
+    # ------------------------------------------------------------------ #
+    # Attribute statistics
+    # ------------------------------------------------------------------ #
+
+    def edge_attribute_values(self, name: str) -> List[float]:
+        """All defined values of edge attribute *name* across the network."""
+        values = []
+        for u, v in self.edges():
+            value = self.get_edge_attr(u, v, name)
+            if value is not None:
+                values.append(value)
+        return values
+
+    def node_attribute_values(self, name: str) -> List[Any]:
+        """All defined values of node attribute *name* across the network."""
+        values = []
+        for node in self.nodes():
+            value = self.get_node_attr(node, name)
+            if value is not None:
+                values.append(value)
+        return values
+
+    def edge_attribute_stats(self, name: str) -> Dict[str, float]:
+        """Summary statistics (min/max/mean/median/percentiles) of an edge attribute.
+
+        Used by the query generators to choose constraint windows that cover a
+        controlled fraction of the hosting links, which is how the paper
+        parameterises its under-constrained experiments (§VII-D).
+        """
+        values = np.asarray(self.edge_attribute_values(name), dtype=float)
+        if values.size == 0:
+            raise ValueError(f"no edges define attribute {name!r}")
+        return {
+            "count": int(values.size),
+            "min": float(values.min()),
+            "max": float(values.max()),
+            "mean": float(values.mean()),
+            "median": float(np.median(values)),
+            "p10": float(np.percentile(values, 10)),
+            "p25": float(np.percentile(values, 25)),
+            "p75": float(np.percentile(values, 75)),
+            "p90": float(np.percentile(values, 90)),
+        }
+
+    def edges_in_attribute_range(self, name: str, low: float, high: float) -> List[Edge]:
+        """Edges whose attribute *name* lies within ``[low, high]``."""
+        matching = []
+        for u, v in self.edges():
+            value = self.get_edge_attr(u, v, name)
+            if value is not None and low <= value <= high:
+                matching.append((u, v))
+        return matching
+
+    def fraction_of_edges_in_range(self, name: str, low: float, high: float) -> float:
+        """Fraction of edges whose attribute lies in ``[low, high]``."""
+        if self.num_edges == 0:
+            return 0.0
+        return len(self.edges_in_attribute_range(name, low, high)) / self.num_edges
+
+    # ------------------------------------------------------------------ #
+    # Capacity bookkeeping (used by the reservation manager)
+    # ------------------------------------------------------------------ #
+
+    def set_capacity(self, node: NodeId, capacity: float,
+                     attribute: str = "capacity") -> None:
+        """Declare the total capacity of *node* under attribute *attribute*."""
+        self.update_node(node, **{attribute: float(capacity),
+                                  f"available_{attribute}": float(capacity)})
+
+    def available_capacity(self, node: NodeId, attribute: str = "capacity") -> Optional[float]:
+        """Remaining capacity of *node*, or ``None`` if it has no capacity attribute."""
+        return self.get_node_attr(node, f"available_{attribute}")
+
+    def consume_capacity(self, node: NodeId, amount: float,
+                         attribute: str = "capacity") -> None:
+        """Consume *amount* units of a node's capacity.
+
+        Raises
+        ------
+        ValueError
+            If the node has no such capacity attribute or the consumption
+            would drive the remaining capacity negative.
+        """
+        key = f"available_{attribute}"
+        available = self.get_node_attr(node, key)
+        if available is None:
+            raise ValueError(f"node {node!r} has no capacity attribute {attribute!r}")
+        if amount > available + 1e-12:
+            raise ValueError(
+                f"node {node!r} has only {available} {attribute} available, "
+                f"cannot consume {amount}")
+        self.update_node(node, **{key: available - amount})
+
+    def release_capacity(self, node: NodeId, amount: float,
+                         attribute: str = "capacity") -> None:
+        """Return *amount* units of capacity to a node (bounded by total)."""
+        key = f"available_{attribute}"
+        total = self.get_node_attr(node, attribute)
+        available = self.get_node_attr(node, key)
+        if available is None or total is None:
+            raise ValueError(f"node {node!r} has no capacity attribute {attribute!r}")
+        self.update_node(node, **{key: min(total, available + amount)})
+
+    # ------------------------------------------------------------------ #
+    # Candidate pre-screening helpers
+    # ------------------------------------------------------------------ #
+
+    def nodes_with_attribute(self, name: str, value: Any = None) -> List[NodeId]:
+        """Nodes that define attribute *name* (optionally equal to *value*)."""
+        result = []
+        for node in self.nodes():
+            attrs = self.node_attrs(node)
+            if name in attrs and (value is None or attrs[name] == value):
+                result.append(node)
+        return result
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Mapping degree -> number of nodes with that degree."""
+        histogram: Dict[int, int] = {}
+        for node in self.nodes():
+            d = self.degree(node)
+            histogram[d] = histogram.get(d, 0) + 1
+        return histogram

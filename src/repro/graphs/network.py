@@ -1,0 +1,267 @@
+"""The attributed network model shared by hosting and query networks.
+
+A :class:`Network` is a thin, domain-oriented layer over
+:class:`networkx.Graph` (or :class:`networkx.DiGraph` for directed
+infrastructures).  It adds:
+
+* an :class:`~repro.graphs.attributes.AttributeSchema` describing the typed
+  node and edge attributes (so GraphML round-trips preserve types);
+* convenient accessors used heavily by the search algorithms
+  (:meth:`node_attrs`, :meth:`edge_attrs`, :meth:`neighbors`, :meth:`degree`)
+  that avoid repeatedly constructing networkx views in the inner loops;
+* validation helpers and a consistent error model.
+
+Node identifiers may be any hashable value; the generators in
+:mod:`repro.topology` use strings (e.g. ``"site03"``) or integers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.graphs.attributes import AttributeSchema, infer_schema
+from repro.graphs.errors import DuplicateNodeError, GraphError, MissingNodeError
+
+NodeId = Hashable
+Edge = Tuple[NodeId, NodeId]
+
+
+class Network:
+    """An attributed graph: the common base of hosting and query networks.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name (carried into GraphML and experiment reports).
+    directed:
+        Whether edges are directed.  The paper treats PlanetLab and BRITE
+        topologies as undirected; directed graphs are supported because the
+        filter-update rule in §V-A footnote 3 distinguishes the two cases.
+    schema:
+        Optional attribute schema.  When omitted, a schema is inferred lazily
+        whenever one is needed (e.g. when writing GraphML).
+    """
+
+    def __init__(self, name: str = "network", directed: bool = False,
+                 schema: Optional[AttributeSchema] = None) -> None:
+        self.name = name
+        self._graph: nx.Graph = nx.DiGraph() if directed else nx.Graph()
+        self._schema = schema
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, node: NodeId, **attrs: Any) -> NodeId:
+        """Add *node* with the given attributes.
+
+        Raises
+        ------
+        DuplicateNodeError
+            If the node already exists (silently merging attributes would
+            hide workload-generation bugs).
+        """
+        if node in self._graph:
+            raise DuplicateNodeError(f"node {node!r} already exists in {self.name!r}")
+        self._graph.add_node(node, **attrs)
+        return node
+
+    def add_edge(self, u: NodeId, v: NodeId, **attrs: Any) -> Edge:
+        """Add an edge between existing nodes *u* and *v* with attributes."""
+        for endpoint in (u, v):
+            if endpoint not in self._graph:
+                raise MissingNodeError(f"node {endpoint!r} does not exist in {self.name!r}")
+        if u == v:
+            raise GraphError(f"self-loop {u!r} is not a meaningful embedding target")
+        self._graph.add_edge(u, v, **attrs)
+        return (u, v)
+
+    def update_node(self, node: NodeId, **attrs: Any) -> None:
+        """Merge *attrs* into an existing node's attribute dict."""
+        if node not in self._graph:
+            raise MissingNodeError(f"node {node!r} does not exist in {self.name!r}")
+        self._graph.nodes[node].update(attrs)
+
+    def update_edge(self, u: NodeId, v: NodeId, **attrs: Any) -> None:
+        """Merge *attrs* into an existing edge's attribute dict."""
+        if not self._graph.has_edge(u, v):
+            raise MissingNodeError(f"edge ({u!r}, {v!r}) does not exist in {self.name!r}")
+        self._graph.edges[u, v].update(attrs)
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove *node* and its incident edges."""
+        if node not in self._graph:
+            raise MissingNodeError(f"node {node!r} does not exist in {self.name!r}")
+        self._graph.remove_node(node)
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> None:
+        """Remove the edge between *u* and *v*."""
+        if not self._graph.has_edge(u, v):
+            raise MissingNodeError(f"edge ({u!r}, {v!r}) does not exist in {self.name!r}")
+        self._graph.remove_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def directed(self) -> bool:
+        """Whether this network's edges are directed."""
+        return self._graph.is_directed()
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (shared, not a copy)."""
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return self._graph.number_of_edges()
+
+    def nodes(self) -> List[NodeId]:
+        """All node identifiers (list copy, stable iteration order)."""
+        return list(self._graph.nodes())
+
+    def edges(self) -> List[Edge]:
+        """All edges as ``(u, v)`` tuples."""
+        return list(self._graph.edges())
+
+    def has_node(self, node: NodeId) -> bool:
+        """Whether *node* exists."""
+        return node in self._graph
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Whether an edge ``u -> v`` (or ``u -- v`` when undirected) exists."""
+        return self._graph.has_edge(u, v)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._graph
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._graph.nodes())
+
+    def node_attrs(self, node: NodeId) -> Dict[str, Any]:
+        """The attribute dict of *node* (live reference)."""
+        try:
+            return self._graph.nodes[node]
+        except KeyError:
+            raise MissingNodeError(f"node {node!r} does not exist in {self.name!r}") from None
+
+    def edge_attrs(self, u: NodeId, v: NodeId) -> Dict[str, Any]:
+        """The attribute dict of edge ``(u, v)`` (live reference)."""
+        try:
+            return self._graph.edges[u, v]
+        except KeyError:
+            raise MissingNodeError(
+                f"edge ({u!r}, {v!r}) does not exist in {self.name!r}") from None
+
+    def get_node_attr(self, node: NodeId, name: str, default: Any = None) -> Any:
+        """A single node attribute, with a default."""
+        return self.node_attrs(node).get(name, default)
+
+    def get_edge_attr(self, u: NodeId, v: NodeId, name: str, default: Any = None) -> Any:
+        """A single edge attribute, with a default."""
+        return self.edge_attrs(u, v).get(name, default)
+
+    def neighbors(self, node: NodeId) -> List[NodeId]:
+        """Neighbors of *node* (successors+predecessors when directed)."""
+        if self.directed:
+            return list(set(self._graph.successors(node)) | set(self._graph.predecessors(node)))
+        return list(self._graph.neighbors(node))
+
+    def degree(self, node: NodeId) -> int:
+        """Degree of *node* (total degree when directed)."""
+        return int(self._graph.degree(node))
+
+    def adjacency(self) -> Dict[NodeId, List[NodeId]]:
+        """Full adjacency mapping node -> neighbor list (undirected view)."""
+        return {node: self.neighbors(node) for node in self._graph.nodes()}
+
+    def is_connected(self) -> bool:
+        """Whether the network is (weakly) connected; empty graphs count as connected."""
+        if self.num_nodes == 0:
+            return True
+        if self.directed:
+            return nx.is_weakly_connected(self._graph)
+        return nx.is_connected(self._graph)
+
+    def density(self) -> float:
+        """Edge density in [0, 1]."""
+        return nx.density(self._graph)
+
+    # ------------------------------------------------------------------ #
+    # Schema
+    # ------------------------------------------------------------------ #
+
+    @property
+    def schema(self) -> AttributeSchema:
+        """The attribute schema, inferring one from current data if unset."""
+        if self._schema is None:
+            self._schema = infer_schema(
+                (self._graph.nodes[n] for n in self._graph.nodes()),
+                (self._graph.edges[e] for e in self._graph.edges()),
+            )
+        return self._schema
+
+    @schema.setter
+    def schema(self, value: Optional[AttributeSchema]) -> None:
+        self._schema = value
+
+    def refresh_schema(self) -> AttributeSchema:
+        """Re-infer the schema from current attribute data."""
+        self._schema = None
+        return self.schema
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+
+    def copy(self, name: Optional[str] = None) -> "Network":
+        """A deep-ish copy (attribute dicts are copied, values shared)."""
+        clone = type(self)(name=name or self.name, directed=self.directed,
+                           schema=self._schema)
+        clone._graph = self._graph.copy()
+        return clone
+
+    def subnetwork(self, nodes: Iterable[NodeId], name: Optional[str] = None) -> "Network":
+        """The induced sub-network on *nodes* (attributes copied)."""
+        node_list = list(nodes)
+        missing = [n for n in node_list if n not in self._graph]
+        if missing:
+            raise MissingNodeError(f"nodes {missing!r} do not exist in {self.name!r}")
+        sub = type(self)(name=name or f"{self.name}-sub", directed=self.directed,
+                         schema=self._schema)
+        sub._graph = self._graph.subgraph(node_list).copy()
+        return sub
+
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph, name: str = "network",
+                      schema: Optional[AttributeSchema] = None) -> "Network":
+        """Wrap an existing networkx graph (copied) as a :class:`Network`."""
+        net = cls(name=name, directed=graph.is_directed(), schema=schema)
+        net._graph = graph.copy()
+        return net
+
+    def to_networkx(self) -> nx.Graph:
+        """A copy of the underlying networkx graph."""
+        return self._graph.copy()
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "directed" if self.directed else "undirected"
+        return (f"<{type(self).__name__} {self.name!r}: {self.num_nodes} nodes, "
+                f"{self.num_edges} edges, {kind}>")

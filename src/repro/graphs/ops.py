@@ -1,0 +1,203 @@
+"""Graph operations shared by the workload generators and the algorithms.
+
+The most important routine is :func:`random_connected_subgraph`, which is how
+the paper generates its PlanetLab and BRITE query workloads (§VII-A, first
+approach): a query is a random connected subgraph of the hosting network, so
+at least one feasible embedding is guaranteed to exist by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.graphs.network import Edge, Network, NodeId
+from repro.graphs.query import QueryNetwork
+from repro.utils.rng import RandomSource, as_rng
+
+
+def random_connected_node_set(network: Network, size: int,
+                              rng: RandomSource = None) -> List[NodeId]:
+    """Pick a random connected set of *size* nodes from *network*.
+
+    The set is grown frontier-style from a random seed node: at each step a
+    random node adjacent to the current set is added.  If the seed's
+    component is smaller than *size* the growth restarts from a different
+    seed; if no component is large enough a ``ValueError`` is raised.
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    if size > network.num_nodes:
+        raise ValueError(
+            f"requested {size} nodes but the network only has {network.num_nodes}")
+    rand = as_rng(rng)
+    nodes = network.nodes()
+
+    for _attempt in range(50):
+        seed = rand.choice(nodes)
+        selected = {seed}
+        frontier = set(network.neighbors(seed))
+        while len(selected) < size and frontier:
+            nxt = rand.choice(sorted(frontier, key=str))
+            selected.add(nxt)
+            frontier.discard(nxt)
+            frontier.update(n for n in network.neighbors(nxt) if n not in selected)
+        if len(selected) == size:
+            return sorted(selected, key=str)
+    raise ValueError(
+        f"could not find a connected set of {size} nodes after 50 attempts; "
+        f"the network may have no component that large")
+
+
+def random_connected_subgraph(network: Network, num_nodes: int,
+                              num_edges: Optional[int] = None,
+                              rng: RandomSource = None) -> Network:
+    """Extract a random connected subgraph of *network*.
+
+    Parameters
+    ----------
+    network:
+        The source (hosting) network.
+    num_nodes:
+        Number of nodes in the subgraph.
+    num_edges:
+        Target number of edges.  The induced subgraph on the chosen nodes may
+        have more edges than requested; in that case edges are removed at
+        random while keeping the subgraph connected (a spanning tree is always
+        preserved).  ``None`` keeps the full induced subgraph.
+    rng:
+        Seed / generator for reproducibility.
+
+    Returns
+    -------
+    Network
+        A new network of the same class as *network* (so sampling from a
+        :class:`HostingNetwork` yields a :class:`HostingNetwork`; use
+        :func:`as_query` to re-type it as a query).
+    """
+    rand = as_rng(rng)
+    nodes = random_connected_node_set(network, num_nodes, rand)
+    sub = network.subnetwork(nodes, name=f"{network.name}-sample{num_nodes}")
+
+    if num_edges is not None:
+        if num_edges < num_nodes - 1:
+            raise ValueError(
+                f"a connected graph on {num_nodes} nodes needs at least "
+                f"{num_nodes - 1} edges, got num_edges={num_edges}")
+        _thin_edges_keeping_connected(sub, num_edges, rand)
+    return sub
+
+
+def _thin_edges_keeping_connected(network: Network, target_edges: int, rand) -> None:
+    """Remove random edges from *network* until it has *target_edges* edges,
+    never disconnecting it."""
+    graph = network.graph
+    if network.num_edges <= target_edges:
+        return
+    # Edges of a spanning structure are never candidates for removal.
+    if network.directed:
+        spanning = set()
+        undirected = graph.to_undirected(as_view=True)
+        for u, v in nx.minimum_spanning_edges(undirected, data=False):
+            spanning.add((u, v))
+            spanning.add((v, u))
+    else:
+        spanning = set(nx.minimum_spanning_edges(graph, data=False))
+        spanning |= {(v, u) for u, v in spanning}
+
+    removable = [e for e in network.edges() if e not in spanning]
+    rand.shuffle(removable)
+    excess = network.num_edges - target_edges
+    for u, v in removable[:excess]:
+        network.remove_edge(u, v)
+
+
+def as_query(network: Network, name: Optional[str] = None,
+             attribute_whitelist: Optional[Iterable[str]] = None) -> QueryNetwork:
+    """Convert any network into a :class:`QueryNetwork`.
+
+    Parameters
+    ----------
+    network:
+        Source network (typically a sampled hosting subgraph).
+    name:
+        Name for the resulting query network.
+    attribute_whitelist:
+        When given, only these attribute names are copied onto the query
+        (both node and edge attributes).  This is how the workload generators
+        turn measured hosting attributes into *requested* query attributes
+        while discarding irrelevant ones.
+    """
+    whitelist = set(attribute_whitelist) if attribute_whitelist is not None else None
+    query = QueryNetwork(name=name or f"{network.name}-query", directed=network.directed)
+    for node in network.nodes():
+        attrs = network.node_attrs(node)
+        if whitelist is not None:
+            attrs = {k: v for k, v in attrs.items() if k in whitelist}
+        query.add_node(node, **attrs)
+    for u, v in network.edges():
+        attrs = network.edge_attrs(u, v)
+        if whitelist is not None:
+            attrs = {k: v for k, v in attrs.items() if k in whitelist}
+        query.add_edge(u, v, **attrs)
+    return query
+
+
+def relabel_sequential(network: Network, prefix: str = "q") -> Tuple[Network, Dict[NodeId, NodeId]]:
+    """Relabel nodes as ``prefix0, prefix1, ...`` and return (new_network, old->new map).
+
+    Query networks sampled from the hosting network keep the hosting node
+    identifiers, which makes "did the trivial identity embedding get found?"
+    ambiguities possible in tests.  Relabeling removes any identifier overlap.
+    """
+    mapping = {old: f"{prefix}{index}" for index, old in enumerate(network.nodes())}
+    relabeled = type(network)(name=network.name, directed=network.directed,
+                              schema=network.schema)
+    for old in network.nodes():
+        relabeled.add_node(mapping[old], **dict(network.node_attrs(old)))
+    for u, v in network.edges():
+        relabeled.add_edge(mapping[u], mapping[v], **dict(network.edge_attrs(u, v)))
+    return relabeled, mapping
+
+
+def degree_sorted_nodes(network: Network, descending: bool = True) -> List[NodeId]:
+    """Nodes sorted by degree (ties broken by stringified id)."""
+    return sorted(network.nodes(),
+                  key=lambda n: (-network.degree(n) if descending else network.degree(n),
+                                 str(n)))
+
+
+def edge_induced_nodes(edges: Sequence[Edge]) -> List[NodeId]:
+    """Distinct endpoints of an edge list, in first-appearance order."""
+    seen: Dict[NodeId, None] = {}
+    for u, v in edges:
+        seen.setdefault(u)
+        seen.setdefault(v)
+    return list(seen)
+
+
+def is_subgraph_embedding(query: Network, hosting: Network,
+                          assignment: Dict[NodeId, NodeId]) -> bool:
+    """Purely topological validity check of an assignment (no constraints).
+
+    True iff *assignment* covers every query node, is injective, and maps
+    every query edge onto an existing hosting edge (respecting direction for
+    directed networks).
+    """
+    if set(assignment.keys()) != set(query.nodes()):
+        return False
+    if len(set(assignment.values())) != len(assignment):
+        return False
+    for node in assignment.values():
+        if not hosting.has_node(node):
+            return False
+    for u, v in query.edges():
+        ru, rv = assignment[u], assignment[v]
+        if hosting.directed:
+            if not hosting.has_edge(ru, rv):
+                return False
+        else:
+            if not (hosting.has_edge(ru, rv) or hosting.has_edge(rv, ru)):
+                return False
+    return True

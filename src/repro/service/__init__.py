@@ -1,0 +1,45 @@
+"""The NETEMBED service layer (paper §III).
+
+Components:
+
+* :class:`NetEmbedService` — the facade applications talk to;
+* :class:`NetworkModelRegistry` — named hosting-network models;
+* :class:`SimulatedMonitor` — a stand-in for the monitoring infrastructure;
+* :class:`ReservationManager` — optional capacity reservations over accepted
+  embeddings;
+* :class:`NegotiationSession` — interactive constraint relaxation;
+* :class:`QuerySpec` / :class:`EmbeddingResponse` — the request/response types.
+"""
+
+from repro.service.model import ModelEntry, NetworkModelRegistry, UnknownNetworkError
+from repro.service.monitor import UP_ATTR, MonitorConfig, SimulatedMonitor
+from repro.service.netembed import NetEmbedService
+from repro.service.reservation import (
+    CAPACITY_NODE_CONSTRAINT,
+    Reservation,
+    ReservationError,
+    ReservationManager,
+    with_default_demand,
+)
+from repro.service.session import NegotiationOutcome, NegotiationRound, NegotiationSession
+from repro.service.spec import EmbeddingResponse, QuerySpec
+
+__all__ = [
+    "NetEmbedService",
+    "NetworkModelRegistry",
+    "ModelEntry",
+    "UnknownNetworkError",
+    "SimulatedMonitor",
+    "MonitorConfig",
+    "UP_ATTR",
+    "ReservationManager",
+    "Reservation",
+    "ReservationError",
+    "CAPACITY_NODE_CONSTRAINT",
+    "with_default_demand",
+    "NegotiationSession",
+    "NegotiationOutcome",
+    "NegotiationRound",
+    "QuerySpec",
+    "EmbeddingResponse",
+]

@@ -1,0 +1,127 @@
+"""The network model registry (§III component 1).
+
+The NETEMBED service keeps "a model of the real network that characterizes
+the resources available", maintained by a monitoring service and/or a
+resource manager.  :class:`NetworkModelRegistry` is that component: it stores
+named hosting networks, tracks a model *version* that is bumped whenever the
+monitor pushes an update, and hands out the live network objects to the
+mapping engine.
+
+Keeping the registry separate from the service facade also supports the
+paper's note that the service "can operate in a distributed fashion simply by
+keeping an up-to-date copy of the model on each server": a registry snapshot
+is exactly that copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.graphs.hosting import HostingNetwork
+
+
+class UnknownNetworkError(KeyError):
+    """Raised when a query references a hosting network that is not registered."""
+
+    def __init__(self, name: str, available: List[str]):
+        super().__init__(
+            f"no hosting network named {name!r} is registered "
+            f"(available: {sorted(available)})")
+        self.name = name
+
+
+@dataclass
+class ModelEntry:
+    """A registered hosting network plus its bookkeeping."""
+
+    network: HostingNetwork
+    version: int = 0
+    description: str = ""
+
+
+class NetworkModelRegistry:
+    """Named store of hosting-network models."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, ModelEntry] = {}
+        self._default: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+
+    def register(self, network: HostingNetwork, name: Optional[str] = None,
+                 description: str = "", default: bool = False) -> str:
+        """Register *network* under *name* (defaults to the network's own name).
+
+        The first registered network automatically becomes the default.
+        Registering an existing name replaces the model and bumps its version.
+        """
+        if not isinstance(network, HostingNetwork):
+            raise TypeError(
+                f"only HostingNetwork instances can be registered, got "
+                f"{type(network).__name__}")
+        key = name or network.name
+        if key in self._entries:
+            entry = self._entries[key]
+            entry.network = network
+            entry.version += 1
+            entry.description = description or entry.description
+        else:
+            self._entries[key] = ModelEntry(network=network, description=description)
+        if default or self._default is None:
+            self._default = key
+        return key
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered network."""
+        if name not in self._entries:
+            raise UnknownNetworkError(name, list(self._entries))
+        del self._entries[name]
+        if self._default == name:
+            self._default = next(iter(self._entries), None)
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, name: Optional[str] = None) -> HostingNetwork:
+        """The hosting network registered under *name* (or the default)."""
+        key = name or self._default
+        if key is None or key not in self._entries:
+            raise UnknownNetworkError(str(key), list(self._entries))
+        return self._entries[key].network
+
+    def entry(self, name: Optional[str] = None) -> ModelEntry:
+        """The full registry entry (network, version, description)."""
+        key = name or self._default
+        if key is None or key not in self._entries:
+            raise UnknownNetworkError(str(key), list(self._entries))
+        return self._entries[key]
+
+    def version(self, name: Optional[str] = None) -> int:
+        """Current model version of a registered network."""
+        return self.entry(name).version
+
+    def touch(self, name: Optional[str] = None) -> int:
+        """Record that the model was updated in place (monitor refresh); bump version."""
+        entry = self.entry(name)
+        entry.version += 1
+        return entry.version
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def default_name(self) -> Optional[str]:
+        """The name of the default hosting network, if any."""
+        return self._default
+
+    def names(self) -> List[str]:
+        """All registered network names."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))

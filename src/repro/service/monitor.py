@@ -1,0 +1,154 @@
+"""A simulated monitoring service feeding the network model (§III component 1).
+
+On a real deployment NETEMBED would consume a monitoring infrastructure such
+as the PlanetLab all-sites-pings daemon, CoMon or Ganglia (the paper cites
+all three).  None of those are available offline, so this module provides a
+*simulated* monitor: it perturbs link delays around their baseline, moves
+node load, and takes nodes down / brings them back up, pushing each refresh
+into a :class:`~repro.service.model.NetworkModelRegistry`.
+
+The simulation is intentionally simple (bounded multiplicative jitter and a
+two-state up/down process); its purpose is to exercise the service-side code
+paths — model versioning, re-embedding after a refresh, reservations against
+a moving model — not to model Internet dynamics faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.hosting import HostingNetwork
+from repro.service.model import NetworkModelRegistry
+from repro.utils.rng import RandomSource, as_rng
+
+#: Node attribute the monitor uses to mark availability.
+UP_ATTR = "up"
+
+
+@dataclass
+class MonitorConfig:
+    """Tuning knobs of the simulated monitor."""
+
+    #: Maximum relative change applied to avgDelay per refresh (e.g. 0.1 = ±10 %).
+    delay_jitter: float = 0.10
+    #: Probability that an up node goes down during one refresh.
+    failure_probability: float = 0.01
+    #: Probability that a down node comes back up during one refresh.
+    recovery_probability: float = 0.5
+    #: Relative change applied to node cpuLoad per refresh.
+    load_jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        for name in ("delay_jitter", "failure_probability",
+                     "recovery_probability", "load_jitter"):
+            value = getattr(self, name)
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+class SimulatedMonitor:
+    """Periodically refreshes a registered hosting-network model.
+
+    Parameters
+    ----------
+    registry:
+        The model registry to push refreshes into.
+    network_name:
+        Which registered network this monitor maintains (``None`` = default).
+    config:
+        Jitter/failure parameters.
+    rng:
+        Randomness source; seed it for reproducible monitor traces.
+    """
+
+    def __init__(self, registry: NetworkModelRegistry,
+                 network_name: Optional[str] = None,
+                 config: Optional[MonitorConfig] = None,
+                 rng: RandomSource = None) -> None:
+        self._registry = registry
+        self._network_name = network_name
+        self._config = config or MonitorConfig()
+        self._rng = as_rng(rng)
+        self._baseline_delays: Dict[Tuple, float] = {}
+        self._ticks = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ticks(self) -> int:
+        """Number of refresh cycles performed so far."""
+        return self._ticks
+
+    @property
+    def network(self) -> HostingNetwork:
+        """The hosting network this monitor maintains."""
+        return self._registry.get(self._network_name)
+
+    def tick(self) -> int:
+        """Perform one refresh cycle and return the new model version.
+
+        A refresh perturbs every link's average delay around its *baseline*
+        (the value observed on the first tick, so repeated jitter does not
+        drift unboundedly), perturbs node load, and applies the up/down
+        process.  Down nodes are flagged with ``up=False`` rather than being
+        removed, so queries can exclude them with a node constraint such as
+        ``rNode.up == true``.
+        """
+        network = self.network
+        config = self._config
+        rand = self._rng
+
+        for u, v in network.edges():
+            key = (u, v)
+            baseline = self._baseline_delays.get(key)
+            if baseline is None:
+                baseline = network.get_edge_attr(u, v, "avgDelay")
+                if baseline is None:
+                    continue
+                self._baseline_delays[key] = baseline
+            factor = 1.0 + rand.uniform(-config.delay_jitter, config.delay_jitter)
+            new_avg = max(0.1, baseline * factor)
+            min_delay = network.get_edge_attr(u, v, "minDelay", new_avg)
+            max_delay = network.get_edge_attr(u, v, "maxDelay", new_avg)
+            network.update_edge(u, v,
+                                avgDelay=round(new_avg, 3),
+                                minDelay=round(min(min_delay, new_avg), 3),
+                                maxDelay=round(max(max_delay, new_avg), 3))
+
+        for node in network.nodes():
+            attrs = network.node_attrs(node)
+            is_up = attrs.get(UP_ATTR)
+            if is_up is None:
+                # First refresh: make availability explicit so queries can
+                # filter on ``rNode.up`` without tripping over missing attributes.
+                is_up = True
+                network.update_node(node, **{UP_ATTR: True})
+            if is_up and rand.random() < config.failure_probability:
+                network.update_node(node, **{UP_ATTR: False})
+            elif not is_up and rand.random() < config.recovery_probability:
+                network.update_node(node, **{UP_ATTR: True})
+            load = attrs.get("cpuLoad")
+            if load is not None:
+                factor = 1.0 + rand.uniform(-config.load_jitter, config.load_jitter)
+                network.update_node(node, cpuLoad=round(min(1.0, max(0.0, load * factor)), 3))
+
+        self._ticks += 1
+        return self._registry.touch(self._network_name)
+
+    def run(self, cycles: int) -> int:
+        """Run several refresh cycles; returns the final model version."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        version = self._registry.version(self._network_name)
+        for _ in range(cycles):
+            version = self.tick()
+        return version
+
+    # ------------------------------------------------------------------ #
+
+    def down_nodes(self) -> List:
+        """Nodes currently marked down."""
+        network = self.network
+        return [node for node in network.nodes()
+                if network.get_node_attr(node, UP_ATTR, True) is False]

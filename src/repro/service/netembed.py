@@ -1,0 +1,185 @@
+"""The NETEMBED service facade (§III component 2).
+
+:class:`NetEmbedService` ties the pieces together: the network model registry
+(fed by monitors), the three mapping algorithms, the timeout / result
+classification policy, and the optional reservation system.  Applications
+interact with it through :class:`~repro.service.spec.QuerySpec` /
+:class:`~repro.service.spec.EmbeddingResponse`, or through the convenience
+:meth:`NetEmbedService.embed` keyword interface.
+
+Algorithm auto-selection follows the paper's own guidance (§VII-E, §VIII):
+ECF/RWB "perform well in situations where the query is tightly constrained
+and when the network density is low", whereas LNS "performs much better with
+less constrained queries and higher density networks" and is the best choice
+for regular structures when only the first match is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.constraints import ConstraintExpression
+from repro.core import ECF, LNS, RWB, EmbeddingAlgorithm
+from repro.core.result import EmbeddingResult
+from repro.graphs.graphml import read_graphml
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.query import QueryNetwork
+from repro.service.model import NetworkModelRegistry
+from repro.service.monitor import MonitorConfig, SimulatedMonitor
+from repro.service.reservation import ReservationManager
+from repro.service.spec import EmbeddingResponse, QuerySpec
+from repro.utils.rng import RandomSource
+
+
+class NetEmbedService:
+    """A complete, in-process NETEMBED service instance.
+
+    Parameters
+    ----------
+    default_timeout:
+        Timeout (seconds) applied to queries that do not set their own; the
+        paper's service always bounds searches so it can classify results as
+        complete / partial / inconclusive.
+    rng:
+        Randomness source handed to RWB instances created by the service.
+    """
+
+    def __init__(self, default_timeout: float = 30.0, rng: RandomSource = None) -> None:
+        if default_timeout <= 0:
+            raise ValueError(f"default_timeout must be positive, got {default_timeout}")
+        self.registry = NetworkModelRegistry()
+        self.reservations = ReservationManager()
+        self._default_timeout = default_timeout
+        self._rng = rng
+        self._monitors: Dict[str, SimulatedMonitor] = {}
+
+    # ------------------------------------------------------------------ #
+    # Model management
+    # ------------------------------------------------------------------ #
+
+    def register_network(self, network: HostingNetwork, name: Optional[str] = None,
+                         description: str = "", default: bool = False) -> str:
+        """Register a hosting network model; returns the name it is stored under."""
+        return self.registry.register(network, name=name, description=description,
+                                      default=default)
+
+    def register_network_from_graphml(self, path, name: Optional[str] = None,
+                                      default: bool = False) -> str:
+        """Load a hosting network from a GraphML file and register it."""
+        network = read_graphml(path, cls=HostingNetwork, name=name)
+        return self.register_network(network, name=name, default=default)
+
+    def attach_monitor(self, network_name: Optional[str] = None,
+                       config: Optional[MonitorConfig] = None,
+                       rng: RandomSource = None) -> SimulatedMonitor:
+        """Attach a simulated monitoring service to a registered network."""
+        key = network_name or self.registry.default_name
+        if key is None:
+            raise ValueError("no hosting network registered yet")
+        monitor = SimulatedMonitor(self.registry, network_name=key, config=config,
+                                   rng=rng if rng is not None else self._rng)
+        self._monitors[key] = monitor
+        return monitor
+
+    def monitor(self, network_name: Optional[str] = None) -> Optional[SimulatedMonitor]:
+        """The monitor attached to a network, if any."""
+        key = network_name or self.registry.default_name
+        return self._monitors.get(key) if key else None
+
+    # ------------------------------------------------------------------ #
+    # Embedding
+    # ------------------------------------------------------------------ #
+
+    def submit(self, spec: QuerySpec) -> EmbeddingResponse:
+        """Process a full :class:`QuerySpec` and return the response."""
+        network_name = spec.network or self.registry.default_name
+        if network_name is None:
+            raise ValueError("no hosting network registered; call register_network first")
+        hosting = self.registry.get(network_name)
+
+        algorithm = self._select_algorithm(spec, hosting)
+        timeout = spec.timeout if spec.timeout is not None else self._default_timeout
+
+        result = algorithm.search(
+            spec.query, hosting,
+            constraint=spec.constraint,
+            node_constraint=spec.node_constraint,
+            timeout=timeout,
+            max_results=spec.max_results,
+        )
+
+        reservation_id = None
+        if spec.reserve and result.found:
+            reservation = self.reservations.reserve(hosting, network_name, result.first)
+            reservation_id = reservation.reservation_id
+
+        return EmbeddingResponse(
+            spec=spec,
+            result=result,
+            network_name=network_name,
+            algorithm_used=algorithm.name,
+            reservation_id=reservation_id,
+        )
+
+    def embed(self, query: QueryNetwork,
+              constraint: Optional[Union[str, ConstraintExpression]] = None,
+              node_constraint: Optional[Union[str, ConstraintExpression]] = None,
+              algorithm: str = "auto", timeout: Optional[float] = None,
+              max_results: Optional[int] = None, network: Optional[str] = None,
+              reserve: bool = False) -> EmbeddingResponse:
+        """Keyword-style convenience wrapper around :meth:`submit`."""
+        spec = QuerySpec(query=query, constraint=constraint,
+                         node_constraint=node_constraint, algorithm=algorithm,
+                         timeout=timeout, max_results=max_results,
+                         network=network, reserve=reserve)
+        return self.submit(spec)
+
+    def release(self, reservation_id: str) -> None:
+        """Release a reservation made by an earlier embed(reserve=True) call."""
+        reservation = self.reservations.get(reservation_id)
+        network = self.registry.get(reservation.network_name)
+        self.reservations.release(reservation_id, network)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm selection
+    # ------------------------------------------------------------------ #
+
+    def _select_algorithm(self, spec: QuerySpec, hosting: HostingNetwork
+                          ) -> EmbeddingAlgorithm:
+        choice = spec.algorithm.lower()
+        if choice == "ecf":
+            return ECF()
+        if choice == "rwb":
+            return RWB(rng=self._rng)
+        if choice == "lns":
+            return LNS()
+        return self._auto_algorithm(spec, hosting)
+
+    def _auto_algorithm(self, spec: QuerySpec, hosting: HostingNetwork
+                        ) -> EmbeddingAlgorithm:
+        """Pick an algorithm following the paper's conclusions.
+
+        * Only the first match wanted, on a dense hosting network or a regular
+          query → LNS (its strength per Figs. 13–14).
+        * All matches wanted → ECF (complete enumeration is its purpose).
+        * Otherwise → RWB for a single match on sparse, constrained problems.
+        """
+        wants_single = spec.max_results == 1
+        density = hosting.density()
+        regular_query = _looks_regular(spec.query)
+
+        if wants_single and (density > 0.3 or regular_query):
+            return LNS()
+        if spec.max_results is None:
+            return ECF()
+        if wants_single:
+            return RWB(rng=self._rng)
+        return ECF()
+
+
+def _looks_regular(query: QueryNetwork) -> bool:
+    """Heuristic regularity check: all node degrees equal (ring/clique/torus-like)."""
+    if query.num_nodes <= 2:
+        return True
+    degrees = {query.degree(node) for node in query.nodes()}
+    return len(degrees) == 1

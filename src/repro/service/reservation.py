@@ -1,0 +1,155 @@
+"""Resource reservations over accepted embeddings (§III component 3).
+
+"Optionally, if a resource reservation system is in place, applications would
+allocate the selected mapping and the network model would be adjusted
+accordingly."  This module implements that optional component:
+
+* each hosting node may declare a capacity (``capacity`` /
+  ``available_capacity`` attributes, see
+  :meth:`~repro.graphs.hosting.HostingNetwork.set_capacity`);
+* reserving an embedding consumes one unit (or an explicit per-query-node
+  demand) of each mapped hosting node's capacity and records a ticket;
+* releasing the ticket returns the capacity;
+* a node-level constraint (:data:`CAPACITY_NODE_CONSTRAINT`) lets subsequent
+  queries restrict themselves to hosts with spare capacity, which is how the
+  reservation system "adjusts the network model".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.constraints import ConstraintExpression
+from repro.core.mapping import Mapping
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.network import NodeId
+
+#: Node constraint restricting candidates to hosts with at least the demanded
+#: capacity left.  Query nodes declare their demand in a ``demand`` attribute
+#: (defaulting to 1 via isBoundTo-free arithmetic is not possible, so queries
+#: without a demand attribute should use `with_default_demand`).
+CAPACITY_NODE_CONSTRAINT = ConstraintExpression(
+    "rNode.available_capacity >= vNode.demand")
+
+
+class ReservationError(Exception):
+    """Raised when a reservation cannot be made or released."""
+
+
+@dataclass
+class Reservation:
+    """A granted reservation: which embedding holds which capacity."""
+
+    reservation_id: str
+    network_name: str
+    mapping: Mapping
+    demands: Dict[NodeId, float]
+    active: bool = True
+
+
+class ReservationManager:
+    """Tracks capacity consumption of accepted embeddings on hosting networks."""
+
+    def __init__(self) -> None:
+        self._reservations: Dict[str, Reservation] = {}
+        self._counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+
+    def reserve(self, network: HostingNetwork, network_name: str, mapping: Mapping,
+                demands: Optional[Dict[NodeId, float]] = None,
+                default_demand: float = 1.0,
+                capacity_attribute: str = "capacity") -> Reservation:
+        """Consume capacity for *mapping* and return the reservation ticket.
+
+        Parameters
+        ----------
+        network, network_name:
+            The hosting network (live object) and its registry name.
+        mapping:
+            The embedding to reserve.
+        demands:
+            Per-query-node capacity demand; missing entries use *default_demand*.
+        default_demand:
+            Demand for query nodes not listed in *demands*.
+        capacity_attribute:
+            Which capacity attribute to consume.
+
+        Raises
+        ------
+        ReservationError
+            If any mapped hosting node lacks sufficient remaining capacity.
+            The operation is atomic: either all nodes are charged or none.
+        """
+        demands = dict(demands or {})
+        resolved: Dict[NodeId, float] = {}
+        for query_node, hosting_node in mapping.items():
+            demand = float(demands.get(query_node, default_demand))
+            if demand < 0:
+                raise ReservationError(
+                    f"demand for {query_node!r} must be non-negative, got {demand}")
+            resolved[query_node] = demand
+            available = network.available_capacity(hosting_node, capacity_attribute)
+            if available is None:
+                raise ReservationError(
+                    f"hosting node {hosting_node!r} declares no "
+                    f"{capacity_attribute!r} capacity")
+            if demand > available + 1e-12:
+                raise ReservationError(
+                    f"hosting node {hosting_node!r} has {available} "
+                    f"{capacity_attribute!r} left but {query_node!r} demands {demand}")
+
+        # All checks passed: apply the charges.
+        for query_node, hosting_node in mapping.items():
+            network.consume_capacity(hosting_node, resolved[query_node],
+                                     capacity_attribute)
+
+        reservation = Reservation(
+            reservation_id=f"rsv-{next(self._counter):06d}",
+            network_name=network_name,
+            mapping=mapping,
+            demands=resolved,
+        )
+        self._reservations[reservation.reservation_id] = reservation
+        return reservation
+
+    def release(self, reservation_id: str, network: HostingNetwork,
+                capacity_attribute: str = "capacity") -> None:
+        """Return the capacity held by a reservation."""
+        reservation = self._reservations.get(reservation_id)
+        if reservation is None or not reservation.active:
+            raise ReservationError(f"unknown or already-released reservation {reservation_id!r}")
+        for query_node, hosting_node in reservation.mapping.items():
+            network.release_capacity(hosting_node, reservation.demands[query_node],
+                                     capacity_attribute)
+        reservation.active = False
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, reservation_id: str) -> Reservation:
+        """Look up a reservation ticket."""
+        if reservation_id not in self._reservations:
+            raise ReservationError(f"unknown reservation {reservation_id!r}")
+        return self._reservations[reservation_id]
+
+    def active_reservations(self, network_name: Optional[str] = None) -> List[Reservation]:
+        """All active reservations, optionally filtered by hosting network."""
+        return [r for r in self._reservations.values()
+                if r.active and (network_name is None or r.network_name == network_name)]
+
+    def __len__(self) -> int:
+        return len(self.active_reservations())
+
+
+def with_default_demand(query, demand: float = 1.0, attribute: str = "demand"):
+    """Ensure every query node declares a capacity demand (in place); returns the query.
+
+    Convenience for using :data:`CAPACITY_NODE_CONSTRAINT`, whose expression
+    requires the ``demand`` attribute to exist on every query node.
+    """
+    for node in query.nodes():
+        if query.get_node_attr(node, attribute) is None:
+            query.update_node(node, **{attribute: float(demand)})
+    return query

@@ -1,0 +1,129 @@
+"""Interactive negotiation sessions (§III: "an interactive service would
+facilitate the adjustment (negotiation) of the requirements if the query
+cannot be satisfied").
+
+A :class:`NegotiationSession` wraps a :class:`~repro.service.netembed.NetEmbedService`
+and a query whose edges carry ``minDelay``/``maxDelay`` windows.  When the
+query cannot be embedded, the session *relaxes* the windows by a configurable
+factor and retries, up to a maximum number of rounds — mirroring the §VI-B
+remark that a user "may wish to begin with more stringent constraints and
+relax them if there is no compliant mapping".  The session records every
+round so applications (and tests) can inspect how much relaxation was needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.constraints import ConstraintExpression
+from repro.graphs.query import QueryNetwork
+from repro.service.netembed import NetEmbedService
+from repro.service.spec import EmbeddingResponse
+
+
+@dataclass
+class NegotiationRound:
+    """One attempt within a negotiation session."""
+
+    round_index: int
+    relaxation: float          #: total widening factor applied to the windows so far
+    response: EmbeddingResponse
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether this round found at least one embedding."""
+        return self.response.found
+
+
+@dataclass
+class NegotiationOutcome:
+    """Final result of a negotiation: the winning response (if any) and the history."""
+
+    response: Optional[EmbeddingResponse]
+    rounds: List[NegotiationRound] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether any round found an embedding."""
+        return self.response is not None
+
+    @property
+    def relaxation_used(self) -> float:
+        """The widening factor of the successful round (0 when the first try worked)."""
+        for round_ in self.rounds:
+            if round_.succeeded:
+                return round_.relaxation
+        return self.rounds[-1].relaxation if self.rounds else 0.0
+
+
+class NegotiationSession:
+    """Iterative constraint-relaxation over delay-window queries.
+
+    Parameters
+    ----------
+    service:
+        The NETEMBED service to query.
+    relaxation_step:
+        Fractional widening applied to every delay window per failed round
+        (0.25 widens each window by 25 % of its width on both sides).
+    max_rounds:
+        Total number of attempts (including the initial, unrelaxed one).
+    """
+
+    def __init__(self, service: NetEmbedService, relaxation_step: float = 0.25,
+                 max_rounds: int = 4) -> None:
+        if relaxation_step <= 0:
+            raise ValueError(f"relaxation_step must be positive, got {relaxation_step}")
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self._service = service
+        self._relaxation_step = relaxation_step
+        self._max_rounds = max_rounds
+
+    def negotiate(self, query: QueryNetwork,
+                  constraint: Optional[Union[str, ConstraintExpression]] = None,
+                  node_constraint: Optional[Union[str, ConstraintExpression]] = None,
+                  algorithm: str = "auto", timeout: Optional[float] = None,
+                  max_results: Optional[int] = 1,
+                  network: Optional[str] = None) -> NegotiationOutcome:
+        """Try to embed *query*, relaxing its delay windows on failure.
+
+        The query passed in is never modified; each round works on a widened
+        copy.  Returns the outcome with the full round history.
+        """
+        rounds: List[NegotiationRound] = []
+        for round_index in range(self._max_rounds):
+            relaxation = self._relaxation_step * round_index
+            candidate = _widen_windows(query, relaxation)
+            response = self._service.embed(
+                candidate, constraint=constraint, node_constraint=node_constraint,
+                algorithm=algorithm, timeout=timeout, max_results=max_results,
+                network=network)
+            record = NegotiationRound(round_index=round_index, relaxation=relaxation,
+                                      response=response)
+            rounds.append(record)
+            if record.succeeded:
+                return NegotiationOutcome(response=response, rounds=rounds)
+        return NegotiationOutcome(response=None, rounds=rounds)
+
+
+def _widen_windows(query: QueryNetwork, relaxation: float,
+                   low_attr: str = "minDelay", high_attr: str = "maxDelay"
+                   ) -> QueryNetwork:
+    """A copy of *query* whose delay windows are widened by *relaxation* of their width."""
+    widened = query.copy(name=f"{query.name}-relaxed{relaxation:g}")
+    if relaxation <= 0:
+        return widened
+    for u, v in widened.edges():
+        low = widened.get_edge_attr(u, v, low_attr)
+        high = widened.get_edge_attr(u, v, high_attr)
+        if low is None or high is None:
+            continue
+        width = max(high - low, 1e-9)
+        margin = width * relaxation
+        widened.update_edge(u, v, **{
+            low_attr: round(max(0.0, low - margin), 6),
+            high_attr: round(high + margin, 6),
+        })
+    return widened

@@ -1,0 +1,111 @@
+"""Request/response data types of the NETEMBED service interface.
+
+The service model of §III is request/response: an application submits a
+*query specification* — the virtual topology plus its constraints and
+service-level knobs (timeout, how many embeddings it wants, which algorithm
+to use) — and receives a *response* containing the embeddings found, the
+result classification and timing/diagnostic information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.constraints import ConstraintExpression
+from repro.core.mapping import Mapping
+from repro.core.result import EmbeddingResult, ResultStatus
+from repro.graphs.query import QueryNetwork
+
+
+@dataclass
+class QuerySpec:
+    """A complete embedding request.
+
+    Attributes
+    ----------
+    query:
+        The virtual network to embed.
+    constraint:
+        Edge constraint expression (source text or parsed); ``None`` means
+        topology-only.
+    node_constraint:
+        Optional node-level constraint expression over ``vNode``/``rNode``.
+    algorithm:
+        ``"ECF"``, ``"RWB"``, ``"LNS"`` or ``"auto"`` (the service picks based
+        on the query's characteristics, §VIII's guidance).
+    timeout:
+        Wall-clock budget in seconds (``None`` = the service default).
+    max_results:
+        Stop after this many embeddings (``None`` = all the algorithm finds).
+    reserve:
+        Whether the service should immediately reserve the first returned
+        embedding through its reservation manager.
+    network:
+        Name of the registered hosting network to embed into (``None`` = the
+        service's default network).
+    """
+
+    query: QueryNetwork
+    constraint: Optional[Union[str, ConstraintExpression]] = None
+    node_constraint: Optional[Union[str, ConstraintExpression]] = None
+    algorithm: str = "auto"
+    timeout: Optional[float] = None
+    max_results: Optional[int] = None
+    reserve: bool = False
+    network: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.query, QueryNetwork):
+            raise TypeError(
+                f"query must be a QueryNetwork, got {type(self.query).__name__}")
+        if self.algorithm.lower() not in ("auto", "ecf", "rwb", "lns"):
+            raise ValueError(
+                f"algorithm must be one of 'auto', 'ECF', 'RWB', 'LNS'; got {self.algorithm!r}")
+
+
+@dataclass
+class EmbeddingResponse:
+    """What the service returns for a :class:`QuerySpec`.
+
+    Wraps the raw :class:`~repro.core.result.EmbeddingResult` with
+    service-level context: which hosting network and algorithm were used, and
+    the reservation ticket if one was made.
+    """
+
+    spec: QuerySpec
+    result: EmbeddingResult
+    network_name: str
+    algorithm_used: str
+    reservation_id: Optional[str] = None
+
+    # -- pass-throughs for ergonomic access ------------------------------ #
+
+    @property
+    def status(self) -> ResultStatus:
+        """The complete/partial/inconclusive classification."""
+        return self.result.status
+
+    @property
+    def mappings(self) -> List[Mapping]:
+        """The embeddings found."""
+        return self.result.mappings
+
+    @property
+    def found(self) -> bool:
+        """Whether at least one embedding was found."""
+        return self.result.found
+
+    @property
+    def first(self) -> Optional[Mapping]:
+        """The first embedding found, or ``None``."""
+        return self.result.first
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total service-side search time."""
+        return self.result.elapsed_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<EmbeddingResponse {self.algorithm_used} on {self.network_name}: "
+                f"{self.status.value}, {len(self.mappings)} mapping(s)>")

@@ -1,0 +1,78 @@
+"""Topology generators for hosting and query networks.
+
+The paper's evaluation (§VII) draws its networks from three sources, all of
+which this subpackage can produce:
+
+* a PlanetLab-like all-pairs delay trace (:mod:`~repro.topology.planetlab`,
+  simulated — see DESIGN.md);
+* BRITE-like power-law Internet topologies (:mod:`~repro.topology.brite`);
+* regular and two-level composite structures used as query workloads
+  (:mod:`~repro.topology.regular`, :mod:`~repro.topology.composite`).
+
+A GT-ITM-style transit-stub generator and small random-graph helpers round
+out the family for examples and tests.
+"""
+
+from repro.topology import delays
+from repro.topology.brite import barabasi_albert, paper_hosting_networks, waxman
+from repro.topology.composite import (
+    LEVEL_ATTR,
+    CompositeSpec,
+    composite,
+    composite_series,
+    level_edges,
+)
+from repro.topology.gtitm import transit_stub
+from repro.topology.planetlab import (
+    DEFAULT_REGIONS,
+    Region,
+    delay_band_summary,
+    synthetic_planetlab_trace,
+)
+from repro.topology.random_graphs import (
+    annotate_uniform_delays,
+    connected_gnp,
+    connected_graph_with_edges,
+    random_tree,
+)
+from repro.topology.regular import (
+    REGULAR_SHAPES,
+    balanced_tree,
+    clique,
+    grid,
+    hypercube,
+    line,
+    regular_by_name,
+    ring,
+    star,
+)
+
+__all__ = [
+    "delays",
+    "barabasi_albert",
+    "waxman",
+    "paper_hosting_networks",
+    "CompositeSpec",
+    "composite",
+    "composite_series",
+    "level_edges",
+    "LEVEL_ATTR",
+    "transit_stub",
+    "synthetic_planetlab_trace",
+    "delay_band_summary",
+    "Region",
+    "DEFAULT_REGIONS",
+    "random_tree",
+    "connected_gnp",
+    "connected_graph_with_edges",
+    "annotate_uniform_delays",
+    "REGULAR_SHAPES",
+    "ring",
+    "star",
+    "clique",
+    "line",
+    "balanced_tree",
+    "grid",
+    "hypercube",
+    "regular_by_name",
+]

@@ -1,0 +1,137 @@
+"""Two-level composite topologies (paper §VII-D, Fig. 14).
+
+A *composite query* is a two-level hierarchical topology where both levels
+are regular structures: the root level (e.g. a ring, star or clique of
+groups) models wide-area, inter-site connectivity, and each group (again a
+ring, star or clique) models a local, intra-site structure.  The paper notes
+that many practical applications — multicast trees, distributed hash tables,
+replication rings — follow exactly this shape.
+
+Every edge is tagged with a ``level`` attribute: ``0`` for root-level
+(inter-group) links and ``1`` for intra-group links, so a single constraint
+expression can impose different delay windows per level (see
+:func:`repro.constraints.builder.per_level_delay_windows`) or the workload
+generator can attach explicit per-edge delay windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Type
+
+from repro.graphs.network import Network
+from repro.graphs.query import QueryNetwork
+from repro.topology.regular import REGULAR_SHAPES
+
+#: Edge attribute holding the hierarchy level (0 = root/wide-area, 1 = group/local).
+LEVEL_ATTR = "level"
+
+
+@dataclass(frozen=True)
+class CompositeSpec:
+    """Shape specification of a two-level composite topology.
+
+    Attributes
+    ----------
+    root_shape:
+        Shape of the root level: ``"ring"``, ``"star"``, ``"clique"`` or ``"line"``.
+    num_groups:
+        Number of groups (root-level vertices).
+    group_shape:
+        Shape of each group.
+    group_size:
+        Number of nodes per group.
+    """
+
+    root_shape: str = "ring"
+    num_groups: int = 4
+    group_shape: str = "star"
+    group_size: int = 4
+
+    def __post_init__(self) -> None:
+        for shape, label in ((self.root_shape, "root_shape"), (self.group_shape, "group_shape")):
+            if shape not in REGULAR_SHAPES:
+                raise ValueError(
+                    f"{label} must be one of {sorted(REGULAR_SHAPES)}, got {shape!r}")
+        if self.num_groups < 2:
+            raise ValueError(f"num_groups must be >= 2, got {self.num_groups}")
+        if self.group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {self.group_size}")
+
+    @property
+    def total_nodes(self) -> int:
+        """Total node count of the generated topology."""
+        return self.num_groups * self.group_size
+
+
+def composite(spec: CompositeSpec, cls: Type[Network] = QueryNetwork,
+              name: Optional[str] = None) -> Network:
+    """Build the two-level composite topology described by *spec*.
+
+    Nodes are labelled ``g{group}_{index}``; node ``g{k}_0`` is the group's
+    *gateway* and carries the root-level links.  Every node is annotated with
+    ``group`` (its group index) and ``gateway`` (boolean); every edge carries
+    the ``level`` attribute.
+    """
+    network = cls(name=name or
+                  f"composite-{spec.root_shape}{spec.num_groups}-{spec.group_shape}{spec.group_size}")
+
+    # Intra-group structures.
+    gateways: List[str] = []
+    for group in range(spec.num_groups):
+        prefix = f"g{group}_"
+        group_net = REGULAR_SHAPES[spec.group_shape](spec.group_size, prefix=prefix) \
+            if spec.group_size > 1 else None
+        if spec.group_size == 1:
+            node = f"{prefix}0"
+            network.add_node(node, group=group, gateway=True)
+            gateways.append(node)
+            continue
+        for node in group_net.nodes():
+            network.add_node(node, group=group, gateway=(node == f"{prefix}0"))
+        for u, v in group_net.edges():
+            network.add_edge(u, v, **{LEVEL_ATTR: 1})
+        gateways.append(f"{prefix}0")
+
+    # Root-level structure over the gateways.  A ring of two groups degenerates
+    # to a single inter-gateway link, i.e. a line.
+    root_shape = spec.root_shape
+    if root_shape == "ring" and spec.num_groups == 2:
+        root_shape = "line"
+    root_net = REGULAR_SHAPES[root_shape](spec.num_groups, prefix="r")
+    root_nodes = root_net.nodes()
+    index_of = {node: position for position, node in enumerate(root_nodes)}
+    for u, v in root_net.edges():
+        gu, gv = gateways[index_of[u]], gateways[index_of[v]]
+        if network.has_edge(gu, gv):
+            # A tiny root structure over a tiny group structure can duplicate
+            # an intra-group edge only if both endpoints are in the same
+            # group, which cannot happen: gateways are in distinct groups.
+            continue
+        network.add_edge(gu, gv, **{LEVEL_ATTR: 0})
+
+    return network
+
+
+def composite_series(total_sizes: List[int], root_shape: str = "ring",
+                     group_shape: str = "star", group_size: int = 4,
+                     cls: Type[Network] = QueryNetwork) -> List[Network]:
+    """A series of composite topologies with (approximately) the given total sizes.
+
+    Used by the Fig. 14 experiment: the number of groups is derived from each
+    requested total size while the group size stays fixed, mirroring how the
+    paper grows its composite queries.
+    """
+    networks = []
+    for total in total_sizes:
+        num_groups = max(2, round(total / group_size))
+        spec = CompositeSpec(root_shape=root_shape, num_groups=num_groups,
+                             group_shape=group_shape, group_size=group_size)
+        networks.append(composite(spec, cls=cls))
+    return networks
+
+
+def level_edges(network: Network, level: int) -> List:
+    """All edges of *network* tagged with the given hierarchy level."""
+    return [(u, v) for u, v in network.edges()
+            if network.get_edge_attr(u, v, LEVEL_ATTR) == level]

@@ -1,0 +1,89 @@
+"""Link-delay models shared by the topology generators.
+
+All generators in this package describe link latency the same way the
+PlanetLab all-pairs-ping trace does (paper §VI-A, §VII-B): each edge carries
+``minDelay``, ``avgDelay`` and ``maxDelay`` attributes in milliseconds.  The
+helpers here derive those three values either from Euclidean distance between
+node coordinates (BRITE-style generators) or from explicit base values
+(regular/composite topologies), adding a controlled amount of jitter so the
+three values are ordered and realistic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.utils.rng import RandomSource, as_rng
+
+#: Milliseconds of propagation delay per coordinate-space distance unit.
+DEFAULT_MS_PER_UNIT = 1.0
+#: Floor on any delay value, in milliseconds.
+MIN_DELAY_MS = 0.1
+
+
+def euclidean_distance(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    """Plain 2-D Euclidean distance between two coordinate pairs."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def delay_from_distance(distance: float, ms_per_unit: float = DEFAULT_MS_PER_UNIT,
+                        base_ms: float = 0.5) -> float:
+    """Propagation delay (ms) for a link spanning *distance* coordinate units."""
+    return max(MIN_DELAY_MS, base_ms + distance * ms_per_unit)
+
+
+def delay_triple(base_delay: float, rng: RandomSource = None,
+                 jitter_fraction: float = 0.15,
+                 queueing_fraction: float = 0.35) -> Dict[str, float]:
+    """Build a ``{minDelay, avgDelay, maxDelay}`` record around *base_delay*.
+
+    Parameters
+    ----------
+    base_delay:
+        The propagation (minimum) delay of the link in milliseconds.
+    rng:
+        Randomness source; the jitter is sampled so repeated calls with the
+        same seed are reproducible.
+    jitter_fraction:
+        Relative spread of the average above the minimum.
+    queueing_fraction:
+        Relative spread of the maximum above the average (bursty queueing).
+
+    Returns
+    -------
+    dict
+        ``minDelay <= avgDelay <= maxDelay`` always holds.
+    """
+    if base_delay <= 0:
+        raise ValueError(f"base_delay must be positive, got {base_delay}")
+    rand = as_rng(rng)
+    min_delay = max(MIN_DELAY_MS, base_delay)
+    avg_delay = min_delay * (1.0 + jitter_fraction * rand.random())
+    max_delay = avg_delay * (1.0 + queueing_fraction * rand.random()) + 0.5
+    return {
+        "minDelay": round(min_delay, 3),
+        "avgDelay": round(avg_delay, 3),
+        "maxDelay": round(max_delay, 3),
+    }
+
+
+def annotate_edge_delay(network, u, v, base_delay: float, rng: RandomSource = None,
+                        **extra) -> None:
+    """Attach a delay triple (plus any extra attributes) to edge ``(u, v)``."""
+    attrs = delay_triple(base_delay, rng)
+    attrs.update(extra)
+    network.update_edge(u, v, **attrs)
+
+
+def delay_between_coordinates(network, u, v, ms_per_unit: float = DEFAULT_MS_PER_UNIT,
+                              x_attr: str = "x", y_attr: str = "y") -> float:
+    """Base delay implied by the coordinates stored on two nodes."""
+    ax = network.get_node_attr(u, x_attr)
+    ay = network.get_node_attr(u, y_attr)
+    bx = network.get_node_attr(v, x_attr)
+    by = network.get_node_attr(v, y_attr)
+    if None in (ax, ay, bx, by):
+        raise ValueError(
+            f"nodes {u!r} and {v!r} must both carry {x_attr!r}/{y_attr!r} coordinates")
+    return delay_from_distance(euclidean_distance((ax, ay), (bx, by)), ms_per_unit)

@@ -1,0 +1,115 @@
+"""GT-ITM-style transit-stub hierarchical topologies.
+
+GT-ITM [19] is the other classic Internet topology generator the paper cites
+(§VI-A).  Its transit-stub model produces hierarchical graphs: a small core of
+*transit* domains, each transit node sponsoring several *stub* domains of
+leaf-ish nodes.  NETEMBED's evaluation uses BRITE rather than GT-ITM, but the
+transit-stub structure is a useful additional hosting-network family for the
+examples and for stress-testing the algorithms on strongly clustered
+infrastructure, so the reproduction includes it.
+
+Delay conventions match the rest of :mod:`repro.topology`: transit-transit
+links are slow (wide-area), transit-stub links intermediate, intra-stub links
+fast, and each edge carries the ``minDelay``/``avgDelay``/``maxDelay`` triple.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Type
+
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.network import Network
+from repro.topology.delays import delay_triple
+from repro.utils.rng import RandomSource, as_rng
+
+
+def transit_stub(num_transit_domains: int = 2, transit_size: int = 4,
+                 stubs_per_transit_node: int = 2, stub_size: int = 4,
+                 stub_edge_probability: float = 0.5,
+                 transit_edge_probability: float = 0.6,
+                 rng: RandomSource = None,
+                 cls: Type[Network] = HostingNetwork,
+                 name: Optional[str] = None) -> Network:
+    """Generate a transit-stub hosting network.
+
+    Parameters
+    ----------
+    num_transit_domains:
+        Number of transit (core) domains.
+    transit_size:
+        Nodes per transit domain.
+    stubs_per_transit_node:
+        Stub domains attached to each transit node.
+    stub_size:
+        Nodes per stub domain.
+    stub_edge_probability, transit_edge_probability:
+        Extra-edge densities inside stub and transit domains (a spanning ring
+        is always present so every domain is connected).
+    rng:
+        Randomness source.
+
+    Returns
+    -------
+    Network
+        A connected hierarchical hosting network.  Nodes carry ``tier``
+        (``"transit"`` or ``"stub"``), ``domain`` and ``name`` attributes.
+    """
+    if num_transit_domains < 1 or transit_size < 1 or stub_size < 1:
+        raise ValueError("domain counts and sizes must all be >= 1")
+    rand = as_rng(rng)
+    network = cls(name=name or "transit-stub")
+
+    def add_domain(prefix: str, size: int, tier: str, domain: str,
+                   extra_probability: float, base_delay: float) -> List[str]:
+        """A connected domain: ring backbone plus random chords."""
+        nodes = []
+        for index in range(size):
+            node = f"{prefix}{index}"
+            network.add_node(node, name=node, tier=tier, domain=domain)
+            nodes.append(node)
+        if size == 1:
+            return nodes
+        for index in range(size):
+            u, v = nodes[index], nodes[(index + 1) % size]
+            if not network.has_edge(u, v) and u != v:
+                network.add_edge(u, v, **delay_triple(base_delay * rand.uniform(0.6, 1.4), rand))
+        for i in range(size):
+            for j in range(i + 2, size):
+                if (i == 0 and j == size - 1) or network.has_edge(nodes[i], nodes[j]):
+                    continue
+                if rand.random() < extra_probability:
+                    network.add_edge(nodes[i], nodes[j],
+                                     **delay_triple(base_delay * rand.uniform(0.6, 1.4), rand))
+        return nodes
+
+    # Transit domains.
+    transit_nodes_by_domain: List[List[str]] = []
+    for t in range(num_transit_domains):
+        domain_nodes = add_domain(f"t{t}_", transit_size, "transit", f"transit{t}",
+                                  transit_edge_probability, base_delay=35.0)
+        transit_nodes_by_domain.append(domain_nodes)
+
+    # Inter-transit-domain links: connect consecutive domains (ring of domains)
+    # through their first nodes, plus one random cross link per pair.
+    for t in range(num_transit_domains):
+        if num_transit_domains == 1:
+            break
+        u = transit_nodes_by_domain[t][0]
+        v = transit_nodes_by_domain[(t + 1) % num_transit_domains][0]
+        if not network.has_edge(u, v) and u != v:
+            network.add_edge(u, v, **delay_triple(rand.uniform(60.0, 180.0), rand))
+
+    # Stub domains.
+    stub_counter = 0
+    for t, transit_domain in enumerate(transit_nodes_by_domain):
+        for transit_node in transit_domain:
+            for _ in range(stubs_per_transit_node):
+                domain_nodes = add_domain(f"s{stub_counter}_", stub_size, "stub",
+                                          f"stub{stub_counter}",
+                                          stub_edge_probability, base_delay=4.0)
+                # Uplink from the stub's first node to its transit node.
+                network.add_edge(domain_nodes[0], transit_node,
+                                 **delay_triple(rand.uniform(8.0, 25.0), rand))
+                stub_counter += 1
+
+    return network

@@ -1,0 +1,89 @@
+"""Small random-graph helpers used by tests and property-based generators.
+
+These are deliberately simple (Erdős–Rényi with a connectivity repair pass,
+random trees, random connected graphs with an exact edge budget) — they exist
+so the test suite and hypothesis strategies do not depend on the heavier
+domain generators in :mod:`repro.topology.brite` and friends.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.network import Network
+from repro.utils.rng import RandomSource, as_rng
+
+
+def random_tree(num_nodes: int, rng: RandomSource = None,
+                cls: Type[Network] = Network, prefix: str = "n") -> Network:
+    """A uniformly random labelled tree (random attachment construction)."""
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    rand = as_rng(rng)
+    network = cls(name=f"tree{num_nodes}")
+    nodes = [f"{prefix}{i}" for i in range(num_nodes)]
+    for node in nodes:
+        network.add_node(node)
+    for index in range(1, num_nodes):
+        parent = nodes[rand.randrange(index)]
+        network.add_edge(parent, nodes[index])
+    return network
+
+
+def connected_gnp(num_nodes: int, probability: float, rng: RandomSource = None,
+                  cls: Type[Network] = HostingNetwork, prefix: str = "n") -> Network:
+    """An Erdős–Rényi G(n, p) graph made connected by adding a random spanning tree.
+
+    The spanning tree is added first, then every remaining pair is linked with
+    probability *probability*, so the result is connected for every parameter
+    choice while remaining G(n, p)-like for p well above the connectivity
+    threshold.
+    """
+    if not 0 <= probability <= 1:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    rand = as_rng(rng)
+    network = random_tree(num_nodes, rand, cls=cls, prefix=prefix)
+    network.name = f"gnp{num_nodes}-{probability:g}"
+    nodes = network.nodes()
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            u, v = nodes[i], nodes[j]
+            if not network.has_edge(u, v) and rand.random() < probability:
+                network.add_edge(u, v)
+    return network
+
+
+def connected_graph_with_edges(num_nodes: int, num_edges: int,
+                               rng: RandomSource = None,
+                               cls: Type[Network] = HostingNetwork,
+                               prefix: str = "n") -> Network:
+    """A connected graph with exactly *num_edges* edges (>= num_nodes - 1)."""
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if num_edges < num_nodes - 1 or num_edges > max_edges:
+        raise ValueError(
+            f"num_edges must be in [{num_nodes - 1}, {max_edges}], got {num_edges}")
+    rand = as_rng(rng)
+    network = random_tree(num_nodes, rand, cls=cls, prefix=prefix)
+    network.name = f"connected{num_nodes}-{num_edges}"
+    nodes = network.nodes()
+    candidates = [(nodes[i], nodes[j])
+                  for i in range(num_nodes) for j in range(i + 1, num_nodes)
+                  if not network.has_edge(nodes[i], nodes[j])]
+    rand.shuffle(candidates)
+    for u, v in candidates[: num_edges - network.num_edges]:
+        network.add_edge(u, v)
+    return network
+
+
+def annotate_uniform_delays(network: Network, low: float = 1.0, high: float = 100.0,
+                            rng: RandomSource = None) -> Network:
+    """Attach uniform-random delay triples to every edge of *network* (in place)."""
+    if low <= 0 or high < low:
+        raise ValueError(f"need 0 < low <= high, got low={low}, high={high}")
+    from repro.topology.delays import delay_triple
+
+    rand = as_rng(rng)
+    for u, v in network.edges():
+        network.update_edge(u, v, **delay_triple(rand.uniform(low, high), rand))
+    return network

@@ -1,0 +1,137 @@
+"""Regular topologies: rings, stars, cliques, lines, trees, grids, hypercubes.
+
+Paper §VII-A (second approach) uses synthetically generated regular
+topologies as query networks — "typical for applications that exhibit a
+regular communication structure, as would be the case in high-performance
+grid applications".  §VII-D uses cliques and two-level composites of regular
+structures as the hard, under-constrained workloads.
+
+Every generator returns a network of the requested class (default
+:class:`~repro.graphs.query.QueryNetwork`) whose nodes are labelled
+``f"{prefix}{i}"``.  Edge/node attributes are *not* attached here; the
+workload generators in :mod:`repro.workloads` layer the delay windows and
+other constraints on top.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.graphs.network import Network
+from repro.graphs.query import QueryNetwork
+
+
+def _make(cls: Type[Network], name: str, num_nodes: int, prefix: str) -> Network:
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    network = cls(name=name)
+    for index in range(num_nodes):
+        network.add_node(f"{prefix}{index}")
+    return network
+
+
+def _node(prefix: str, index: int) -> str:
+    return f"{prefix}{index}"
+
+
+def ring(num_nodes: int, cls: Type[Network] = QueryNetwork, prefix: str = "n") -> Network:
+    """A cycle of *num_nodes* nodes (at least 3)."""
+    if num_nodes < 3:
+        raise ValueError(f"a ring needs at least 3 nodes, got {num_nodes}")
+    network = _make(cls, f"ring{num_nodes}", num_nodes, prefix)
+    for index in range(num_nodes):
+        network.add_edge(_node(prefix, index), _node(prefix, (index + 1) % num_nodes))
+    return network
+
+
+def line(num_nodes: int, cls: Type[Network] = QueryNetwork, prefix: str = "n") -> Network:
+    """A simple path of *num_nodes* nodes."""
+    if num_nodes < 2:
+        raise ValueError(f"a line needs at least 2 nodes, got {num_nodes}")
+    network = _make(cls, f"line{num_nodes}", num_nodes, prefix)
+    for index in range(num_nodes - 1):
+        network.add_edge(_node(prefix, index), _node(prefix, index + 1))
+    return network
+
+
+def star(num_leaves: int, cls: Type[Network] = QueryNetwork, prefix: str = "n") -> Network:
+    """A hub node connected to *num_leaves* leaves (node 0 is the hub)."""
+    if num_leaves < 1:
+        raise ValueError(f"a star needs at least 1 leaf, got {num_leaves}")
+    network = _make(cls, f"star{num_leaves}", num_leaves + 1, prefix)
+    hub = _node(prefix, 0)
+    for index in range(1, num_leaves + 1):
+        network.add_edge(hub, _node(prefix, index))
+    return network
+
+
+def clique(num_nodes: int, cls: Type[Network] = QueryNetwork, prefix: str = "n") -> Network:
+    """A complete graph on *num_nodes* nodes (the §VII-D worst-case query)."""
+    if num_nodes < 2:
+        raise ValueError(f"a clique needs at least 2 nodes, got {num_nodes}")
+    network = _make(cls, f"clique{num_nodes}", num_nodes, prefix)
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            network.add_edge(_node(prefix, i), _node(prefix, j))
+    return network
+
+
+def balanced_tree(branching: int, depth: int, cls: Type[Network] = QueryNetwork,
+                  prefix: str = "n") -> Network:
+    """A balanced tree with the given branching factor and depth (root at index 0)."""
+    if branching < 1 or depth < 1:
+        raise ValueError("branching and depth must both be >= 1")
+    num_nodes = sum(branching ** level for level in range(depth + 1))
+    network = _make(cls, f"tree{branching}x{depth}", num_nodes, prefix)
+    for index in range(1, num_nodes):
+        parent = (index - 1) // branching
+        network.add_edge(_node(prefix, parent), _node(prefix, index))
+    return network
+
+
+def grid(rows: int, cols: int, cls: Type[Network] = QueryNetwork,
+         prefix: str = "n") -> Network:
+    """A rows×cols mesh with 4-neighbour connectivity."""
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must both be >= 1")
+    network = _make(cls, f"grid{rows}x{cols}", rows * cols, prefix)
+    index = lambda r, c: _node(prefix, r * cols + c)
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                network.add_edge(index(r, c), index(r, c + 1))
+            if r + 1 < rows:
+                network.add_edge(index(r, c), index(r + 1, c))
+    return network
+
+
+def hypercube(dimension: int, cls: Type[Network] = QueryNetwork,
+              prefix: str = "n") -> Network:
+    """A *dimension*-dimensional hypercube (2**dimension nodes)."""
+    if dimension < 1:
+        raise ValueError(f"dimension must be >= 1, got {dimension}")
+    num_nodes = 2 ** dimension
+    network = _make(cls, f"hypercube{dimension}", num_nodes, prefix)
+    for node in range(num_nodes):
+        for bit in range(dimension):
+            other = node ^ (1 << bit)
+            if other > node:
+                network.add_edge(_node(prefix, node), _node(prefix, other))
+    return network
+
+
+#: Named constructors for the regular shapes used by composite topologies.
+REGULAR_SHAPES: Dict[str, Callable[..., Network]] = {
+    "ring": ring,
+    "line": line,
+    "star": lambda n, **kw: star(max(1, n - 1), **kw),   # n total nodes
+    "clique": clique,
+}
+
+
+def regular_by_name(shape: str, num_nodes: int, cls: Type[Network] = QueryNetwork,
+                    prefix: str = "n") -> Network:
+    """Build one of the named regular shapes with *num_nodes* total nodes."""
+    if shape not in REGULAR_SHAPES:
+        raise ValueError(f"unknown shape {shape!r}; expected one of {sorted(REGULAR_SHAPES)}")
+    return REGULAR_SHAPES[shape](num_nodes, cls=cls, prefix=prefix)

@@ -1,0 +1,30 @@
+"""Small shared utilities used across the NETEMBED reproduction.
+
+The helpers here deliberately stay free of any domain knowledge so they can be
+used by every subpackage (graphs, constraints, core algorithms, service layer,
+benchmark harness) without creating import cycles.
+"""
+
+from repro.utils.rng import RandomSource, as_rng, spawn_rngs
+from repro.utils.timing import Deadline, Stopwatch, TimeoutExpired
+from repro.utils.validation import (
+    require,
+    require_positive,
+    require_non_negative,
+    require_in_range,
+    require_type,
+)
+
+__all__ = [
+    "RandomSource",
+    "as_rng",
+    "spawn_rngs",
+    "Deadline",
+    "Stopwatch",
+    "TimeoutExpired",
+    "require",
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "require_type",
+]

@@ -1,0 +1,91 @@
+"""Deterministic random-number handling.
+
+Every stochastic component of the reproduction (topology generators, query
+samplers, the RWB algorithm, the metaheuristic baselines) accepts either an
+integer seed, a :class:`random.Random` instance, a :class:`numpy.random.Generator`
+or ``None``.  The :func:`as_rng` helper normalises all of those into a
+``random.Random`` so experiments are reproducible end to end when a seed is
+threaded through the experiment harness.
+
+We use :mod:`random` rather than numpy generators for the search algorithms
+because the candidate sets being sampled are small Python collections; numpy
+is reserved for the bulk numeric work in the topology generators.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+#: Types accepted wherever a source of randomness is expected.
+RandomSource = Union[None, int, random.Random, np.random.Generator]
+
+
+def as_rng(source: RandomSource = None) -> random.Random:
+    """Normalise *source* into a :class:`random.Random` instance.
+
+    Parameters
+    ----------
+    source:
+        ``None`` (fresh nondeterministic generator), an ``int`` seed, an
+        existing ``random.Random`` (returned as-is), or a
+        ``numpy.random.Generator`` (a derived ``random.Random`` seeded from
+        it is returned).
+
+    Returns
+    -------
+    random.Random
+        A generator usable by the pure-Python search code.
+    """
+    if source is None:
+        return random.Random()
+    if isinstance(source, random.Random):
+        return source
+    if isinstance(source, (int, np.integer)):
+        return random.Random(int(source))
+    if isinstance(source, np.random.Generator):
+        # Derive a stable 64-bit seed from the numpy generator's stream.
+        return random.Random(int(source.integers(0, 2**63 - 1)))
+    raise TypeError(f"Cannot interpret {type(source)!r} as a random source")
+
+
+def as_numpy_rng(source: RandomSource = None) -> np.random.Generator:
+    """Normalise *source* into a :class:`numpy.random.Generator`."""
+    if source is None:
+        return np.random.default_rng()
+    if isinstance(source, np.random.Generator):
+        return source
+    if isinstance(source, (int, np.integer)):
+        return np.random.default_rng(int(source))
+    if isinstance(source, random.Random):
+        return np.random.default_rng(source.getrandbits(63))
+    raise TypeError(f"Cannot interpret {type(source)!r} as a random source")
+
+
+def spawn_rngs(source: RandomSource, count: int) -> List[random.Random]:
+    """Create *count* independent generators derived from *source*.
+
+    Used by the experiment harness to give every repetition of an experiment
+    its own stream while remaining reproducible from a single top-level seed.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    base = as_rng(source)
+    return [random.Random(base.getrandbits(63)) for _ in range(count)]
+
+
+def sample_without_replacement(rng: random.Random, items: Iterable, k: int) -> list:
+    """Sample *k* distinct elements from *items* (which may be any iterable)."""
+    pool = list(items)
+    if k > len(pool):
+        raise ValueError(f"cannot sample {k} items from a pool of {len(pool)}")
+    return rng.sample(pool, k)
+
+
+def shuffled(rng: random.Random, items: Iterable) -> list:
+    """Return a new list with the elements of *items* in random order."""
+    pool = list(items)
+    rng.shuffle(pool)
+    return pool

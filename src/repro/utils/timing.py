@@ -1,0 +1,107 @@
+"""Wall-clock timing primitives: stopwatches and search deadlines.
+
+The NETEMBED service trades completeness for timely convergence via timeouts
+(paper §II point (2) and §VII-E).  The search algorithms poll a
+:class:`Deadline` object at every node expansion; when it expires the search
+raises or returns early with whatever embeddings were found so far, and the
+service classifies the result as *partial* or *inconclusive*.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class TimeoutExpired(Exception):
+    """Raised internally when a search exceeds its deadline.
+
+    The search drivers catch this and convert it into a partial or
+    inconclusive :class:`~repro.core.result.EmbeddingResult`; it never
+    escapes to users of the public API.
+    """
+
+
+@dataclass
+class Deadline:
+    """A wall-clock budget for a single embedding search.
+
+    Parameters
+    ----------
+    seconds:
+        Budget in seconds.  ``None`` or ``inf`` means "no deadline".
+    """
+
+    seconds: Optional[float] = None
+    _start: float = field(default_factory=time.perf_counter, repr=False)
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        """A deadline that never expires."""
+        return cls(seconds=None)
+
+    def restart(self) -> None:
+        """Reset the reference start time to now."""
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed since the deadline was created or restarted."""
+        return time.perf_counter() - self._start
+
+    @property
+    def remaining(self) -> float:
+        """Seconds remaining; ``inf`` for unlimited deadlines."""
+        if self.seconds is None or math.isinf(self.seconds):
+            return math.inf
+        return self.seconds - self.elapsed
+
+    def expired(self) -> bool:
+        """Whether the budget has been exhausted."""
+        return self.remaining <= 0.0
+
+    def check(self) -> None:
+        """Raise :class:`TimeoutExpired` if the budget has been exhausted."""
+        if self.expired():
+            raise TimeoutExpired(
+                f"search exceeded its {self.seconds:.3f}s budget"
+            )
+
+
+class Stopwatch:
+    """Minimal perf_counter stopwatch used for per-phase timing statistics."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed = 0.0
+
+    def start(self) -> "Stopwatch":
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        self._start = None
+        self._elapsed = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated seconds (including the running segment)."""
+        running = 0.0
+        if self._start is not None:
+            running = time.perf_counter() - self._start
+        return self._elapsed + running
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,44 @@
+"""Workload (query) generators mirroring the paper's evaluation (§VII)."""
+
+from repro.workloads.infeasible import make_globally_infeasible, tighten_random_edges
+from repro.workloads.queries import (
+    DELAY_WINDOW_CONSTRAINT,
+    Workload,
+    clique_query,
+    clique_query_series,
+    composite_query,
+    composite_query_series,
+    subgraph_query,
+    subgraph_query_series,
+)
+from repro.workloads.suites import (
+    SUITES,
+    ExperimentSuite,
+    SuiteScale,
+    brite_host,
+    build_clique_suite,
+    build_composite_suite,
+    build_subgraph_suite,
+    planetlab_host,
+)
+
+__all__ = [
+    "DELAY_WINDOW_CONSTRAINT",
+    "Workload",
+    "subgraph_query",
+    "subgraph_query_series",
+    "clique_query",
+    "clique_query_series",
+    "composite_query",
+    "composite_query_series",
+    "make_globally_infeasible",
+    "tighten_random_edges",
+    "SUITES",
+    "ExperimentSuite",
+    "SuiteScale",
+    "planetlab_host",
+    "brite_host",
+    "build_subgraph_suite",
+    "build_clique_suite",
+    "build_composite_suite",
+]

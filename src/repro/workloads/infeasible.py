@@ -1,0 +1,95 @@
+"""Infeasible-query generation (paper §VII-B, Fig. 10).
+
+The paper measures how long each algorithm takes to *conclude that no
+embedding exists*.  Its infeasible queries are "generated from the feasible
+queries by changing some of their link attributes (e.g., delays) to some
+infeasible values" — the topology is untouched, only the constraints become
+unsatisfiable.
+
+Two perturbations are provided:
+
+* :func:`make_globally_infeasible` — rewrite a few edges' delay windows to a
+  band that **no** hosting link occupies (below the global minimum delay),
+  which guarantees infeasibility regardless of topology;
+* :func:`tighten_random_edges` — shrink random windows by a large factor,
+  which usually (but not provably) makes the query infeasible; useful for
+  generating "hard but maybe feasible" instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.query import QueryNetwork
+from repro.utils.rng import RandomSource, as_rng
+from repro.workloads.queries import DELAY_WINDOW_CONSTRAINT, Workload
+
+
+def make_globally_infeasible(workload: Workload, hosting: HostingNetwork,
+                             num_edges: Optional[int] = None,
+                             delay_attr: str = "avgDelay",
+                             rng: RandomSource = None) -> Workload:
+    """Derive a provably infeasible variant of *workload*.
+
+    ``num_edges`` edges (default: one) get a requested delay window strictly
+    below the minimum delay of any hosting link, so no hosting edge can ever
+    satisfy them and the query has no feasible embedding under
+    :data:`~repro.workloads.queries.DELAY_WINDOW_CONSTRAINT`.
+
+    The query topology is copied, not shared, so the original workload stays
+    intact.
+    """
+    rand = as_rng(rng)
+    delays = hosting.edge_attribute_values(delay_attr)
+    if not delays:
+        raise ValueError(f"hosting network defines no {delay_attr!r} values")
+    global_min = min(delays)
+    # A window entirely below every measured delay (and above zero).
+    impossible_high = max(global_min * 0.5, global_min - 1.0, 1e-3)
+    impossible_low = impossible_high * 0.5
+
+    query: QueryNetwork = workload.query.copy(name=f"{workload.query.name}-infeasible")
+    edges = query.edges()
+    if not edges:
+        raise ValueError("cannot make an edgeless query infeasible by edge perturbation")
+    count = num_edges if num_edges is not None else 1
+    count = max(1, min(count, len(edges)))
+    rand.shuffle(edges)
+    for u, v in edges[:count]:
+        query.update_edge(u, v, minDelay=round(impossible_low, 6),
+                          maxDelay=round(impossible_high, 6))
+    return Workload(query=query, constraint=workload.constraint,
+                    feasible_by_construction=False,
+                    description=f"{workload.description} [infeasible x{count}]")
+
+
+def tighten_random_edges(workload: Workload, factor: float = 0.02,
+                         fraction: float = 0.3, rng: RandomSource = None) -> Workload:
+    """Shrink a fraction of the query's delay windows to *factor* of their width.
+
+    The result is usually infeasible on realistic hosting networks but is not
+    guaranteed to be — use :func:`make_globally_infeasible` when a proof is
+    needed (e.g. in tests).
+    """
+    if not 0 < factor <= 1:
+        raise ValueError(f"factor must be in (0, 1], got {factor}")
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rand = as_rng(rng)
+    query: QueryNetwork = workload.query.copy(name=f"{workload.query.name}-tight")
+    edges = query.edges()
+    rand.shuffle(edges)
+    count = max(1, int(round(fraction * len(edges))))
+    for u, v in edges[:count]:
+        low = query.get_edge_attr(u, v, "minDelay")
+        high = query.get_edge_attr(u, v, "maxDelay")
+        if low is None or high is None:
+            continue
+        center = (low + high) / 2.0
+        half_width = (high - low) * factor / 2.0
+        query.update_edge(u, v, minDelay=round(center - half_width, 6),
+                          maxDelay=round(center + half_width, 6))
+    return Workload(query=query, constraint=workload.constraint,
+                    feasible_by_construction=False,
+                    description=f"{workload.description} [tightened x{count}]")

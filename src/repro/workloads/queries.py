@@ -1,0 +1,221 @@
+"""Query-network generators mirroring the paper's experimental workloads.
+
+Three families of queries are used in §VII:
+
+* **Subgraph queries** (§VII-B, §VII-C): a random connected subgraph of the
+  hosting network whose edges request a delay window around the measured
+  delay — by construction at least one feasible embedding exists.
+* **Clique queries** (§VII-D, Fig. 13): cliques of increasing size whose only
+  constraint is an absolute end-to-end delay window (10–100 ms on PlanetLab),
+  i.e. regular, under-constrained, worst-case queries.
+* **Composite queries** (§VII-D, Fig. 14): two-level regular hierarchies with
+  either per-level delay windows ("regular constraints") or windows drawn at
+  random from a band that covers most hosting links ("irregular constraints").
+
+All generated queries encode their requirements as ``minDelay``/``maxDelay``
+edge attributes, so a single constraint expression — the hosting delay must
+fall inside the query's window, see :data:`DELAY_WINDOW_CONSTRAINT` — covers
+every workload, exactly as the paper runs "the same constraint expression in
+all cases".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.constraints import ConstraintExpression
+from repro.constraints.builder import host_delay_within_query_window
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.network import Network
+from repro.graphs.ops import as_query, random_connected_subgraph, relabel_sequential
+from repro.graphs.query import QueryNetwork
+from repro.topology.composite import LEVEL_ATTR, CompositeSpec, composite
+from repro.topology.regular import clique as make_clique
+from repro.utils.rng import RandomSource, as_rng
+
+#: The constraint expression shared by all paper workloads: the measured
+#: hosting delay must lie inside the query edge's requested window.
+DELAY_WINDOW_CONSTRAINT = ConstraintExpression(host_delay_within_query_window())
+
+
+@dataclass
+class Workload:
+    """A ready-to-run embedding problem: query + constraint (+ provenance)."""
+
+    query: QueryNetwork
+    constraint: ConstraintExpression = field(default_factory=lambda: DELAY_WINDOW_CONSTRAINT)
+    #: Whether a feasible embedding is guaranteed to exist by construction.
+    feasible_by_construction: bool = False
+    #: Free-form description used in experiment reports.
+    description: str = ""
+
+    @property
+    def num_nodes(self) -> int:
+        """Convenience: the query size (x axis of every figure)."""
+        return self.query.num_nodes
+
+
+# --------------------------------------------------------------------------- #
+# Subgraph queries (Figs. 8–12)
+# --------------------------------------------------------------------------- #
+
+def subgraph_query(hosting: HostingNetwork, num_nodes: int,
+                   num_edges: Optional[int] = None, slack: float = 0.25,
+                   delay_attr: str = "avgDelay", rng: RandomSource = None,
+                   relabel: bool = True) -> Workload:
+    """Sample a feasible query as a random connected subgraph of *hosting*.
+
+    Each sampled edge's measured delay ``d`` becomes the request window
+    ``[d·(1-slack), d·(1+slack)]`` on the query edge, so the identity
+    embedding of the sampled subgraph always satisfies
+    :data:`DELAY_WINDOW_CONSTRAINT` and the query is feasible by construction.
+
+    Parameters
+    ----------
+    hosting:
+        The hosting network to sample from.
+    num_nodes, num_edges:
+        Size of the sampled subgraph (``num_edges=None`` keeps the full
+        induced subgraph).
+    slack:
+        Relative width of the delay window around the measured delay.
+    delay_attr:
+        Which hosting edge attribute carries the measured delay.
+    rng:
+        Randomness source.
+    relabel:
+        Whether to rename query nodes ``q0, q1, ...`` (recommended; avoids
+        accidental identifier overlap with hosting nodes).
+    """
+    if slack < 0:
+        raise ValueError(f"slack must be non-negative, got {slack}")
+    rand = as_rng(rng)
+    sample = random_connected_subgraph(hosting, num_nodes, num_edges, rand)
+    query = as_query(sample, name=f"{hosting.name}-subgraph{num_nodes}",
+                     attribute_whitelist=())
+    for u, v in sample.edges():
+        measured = sample.get_edge_attr(u, v, delay_attr)
+        if measured is None:
+            raise ValueError(
+                f"hosting edge ({u!r}, {v!r}) lacks the delay attribute {delay_attr!r}")
+        query.update_edge(u, v,
+                          minDelay=round(measured * (1.0 - slack), 3),
+                          maxDelay=round(measured * (1.0 + slack), 3))
+    if relabel:
+        query, _ = relabel_sequential(query, prefix="q")
+    return Workload(query=query, constraint=DELAY_WINDOW_CONSTRAINT,
+                    feasible_by_construction=True,
+                    description=f"subgraph N={query.num_nodes} E={query.num_edges} "
+                                f"slack={slack}")
+
+
+def subgraph_query_series(hosting: HostingNetwork, sizes: Sequence[int],
+                          queries_per_size: int = 5, slack: float = 0.25,
+                          edge_factor: Optional[float] = None,
+                          rng: RandomSource = None) -> List[Workload]:
+    """The Fig. 8/11 workload: *queries_per_size* subgraph queries per size.
+
+    ``edge_factor`` (edges per node) optionally thins each sampled subgraph to
+    roughly ``edge_factor * num_nodes`` edges, which is how the paper varies
+    the number of edges per (N, E) pair.
+    """
+    rand = as_rng(rng)
+    workloads: List[Workload] = []
+    for size in sizes:
+        for _ in range(queries_per_size):
+            num_edges = None
+            if edge_factor is not None:
+                num_edges = max(size - 1, int(round(edge_factor * size)))
+            workloads.append(subgraph_query(hosting, size, num_edges=num_edges,
+                                            slack=slack, rng=rand))
+    return workloads
+
+
+# --------------------------------------------------------------------------- #
+# Clique queries (Fig. 13)
+# --------------------------------------------------------------------------- #
+
+def clique_query(size: int, delay_low: float = 10.0, delay_high: float = 100.0
+                 ) -> Workload:
+    """A clique of *size* nodes whose every edge requests the same delay window.
+
+    This is the §VII-D worst case: a regular topology with a single,
+    under-constrained window (10–100 ms covers thousands of PlanetLab links).
+    Feasibility is *not* guaranteed — whether a clique of that size exists in
+    the chosen delay band depends on the hosting network.
+    """
+    if size < 2:
+        raise ValueError(f"a clique query needs at least 2 nodes, got {size}")
+    query = make_clique(size, prefix="c")
+    for u, v in query.edges():
+        query.update_edge(u, v, minDelay=float(delay_low), maxDelay=float(delay_high))
+    return Workload(query=query, constraint=DELAY_WINDOW_CONSTRAINT,
+                    feasible_by_construction=False,
+                    description=f"clique N={size} window=[{delay_low},{delay_high}]ms")
+
+
+def clique_query_series(sizes: Sequence[int], delay_low: float = 10.0,
+                        delay_high: float = 100.0) -> List[Workload]:
+    """The Fig. 13 workload: cliques of increasing size, one fixed delay window."""
+    return [clique_query(size, delay_low, delay_high) for size in sizes]
+
+
+# --------------------------------------------------------------------------- #
+# Composite queries (Fig. 14)
+# --------------------------------------------------------------------------- #
+
+def composite_query(spec: CompositeSpec,
+                    root_window: Tuple[float, float] = (75.0, 350.0),
+                    group_window: Tuple[float, float] = (1.0, 75.0),
+                    irregular_band: Optional[Tuple[float, float]] = None,
+                    irregular_width: Tuple[float, float] = (20.0, 60.0),
+                    rng: RandomSource = None) -> Workload:
+    """A two-level composite query with per-level or randomised delay windows.
+
+    With ``irregular_band=None`` (the "regular constraints" set of Fig. 14a)
+    root-level edges request *root_window* and intra-group edges request
+    *group_window* — wide-area versus intra-site delays.
+
+    With ``irregular_band=(low, high)`` (the "irregular constraints" set of
+    Fig. 14b) every edge requests a window of random width (drawn from
+    *irregular_width*) positioned uniformly at random inside the band.
+    """
+    rand = as_rng(rng)
+    query = composite(spec)
+    for u, v in query.edges():
+        if irregular_band is None:
+            window = root_window if query.get_edge_attr(u, v, LEVEL_ATTR) == 0 else group_window
+            low, high = float(window[0]), float(window[1])
+        else:
+            band_low, band_high = irregular_band
+            width = rand.uniform(*irregular_width)
+            width = min(width, band_high - band_low)
+            start = rand.uniform(band_low, band_high - width)
+            low, high = start, start + width
+        query.update_edge(u, v, minDelay=round(low, 3), maxDelay=round(high, 3))
+    kind = "regular" if irregular_band is None else "irregular"
+    return Workload(query=query, constraint=DELAY_WINDOW_CONSTRAINT,
+                    feasible_by_construction=False,
+                    description=f"composite({kind}) N={query.num_nodes} "
+                                f"{spec.root_shape}x{spec.num_groups}/"
+                                f"{spec.group_shape}x{spec.group_size}")
+
+
+def composite_query_series(total_sizes: Sequence[int], irregular: bool = False,
+                           root_shape: str = "ring", group_shape: str = "star",
+                           group_size: int = 4,
+                           irregular_band: Tuple[float, float] = (25.0, 175.0),
+                           rng: RandomSource = None) -> List[Workload]:
+    """The Fig. 14 workload: composite queries of growing total size."""
+    rand = as_rng(rng)
+    workloads = []
+    for total in total_sizes:
+        num_groups = max(2, round(total / group_size))
+        spec = CompositeSpec(root_shape=root_shape, num_groups=num_groups,
+                             group_shape=group_shape, group_size=group_size)
+        workloads.append(composite_query(
+            spec,
+            irregular_band=irregular_band if irregular else None,
+            rng=rand))
+    return workloads

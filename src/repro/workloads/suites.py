@@ -1,0 +1,129 @@
+"""Named experiment suites: the exact workloads behind each figure of §VII.
+
+Every entry pairs a hosting-network recipe with a query-workload recipe and
+the scaled-down default sizes the benchmark harness uses.  Scaling down is
+deliberate (see DESIGN.md): the paper's PlanetLab host has 296 nodes and its
+largest BRITE host 2,500; running every algorithm to completion on those
+sizes for every figure would take hours under pytest-benchmark, so each suite
+exposes both the *paper* parameters and the *benchmark* parameters, and the
+experiment harness accepts either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.graphs.hosting import HostingNetwork
+from repro.topology.brite import barabasi_albert
+from repro.topology.planetlab import synthetic_planetlab_trace
+from repro.utils.rng import RandomSource, as_rng
+from repro.workloads.queries import (
+    Workload,
+    clique_query_series,
+    composite_query_series,
+    subgraph_query_series,
+)
+
+
+@dataclass(frozen=True)
+class SuiteScale:
+    """Size parameters for a suite at one scale (paper-faithful or benchmark)."""
+
+    hosting_nodes: int
+    query_sizes: Sequence[int]
+    queries_per_size: int = 5
+
+
+@dataclass(frozen=True)
+class ExperimentSuite:
+    """A named workload suite with paper-scale and benchmark-scale parameters."""
+
+    name: str
+    figure: str
+    paper: SuiteScale
+    benchmark: SuiteScale
+    description: str = ""
+
+    def scale(self, benchmark: bool = True) -> SuiteScale:
+        """Pick the benchmark (default) or paper scale."""
+        return self.benchmark if benchmark else self.paper
+
+
+#: Suites indexed by figure, used by the experiment harness and EXPERIMENTS.md.
+SUITES: Dict[str, ExperimentSuite] = {
+    "fig8": ExperimentSuite(
+        name="planetlab-subgraphs",
+        figure="Fig. 8/9",
+        paper=SuiteScale(hosting_nodes=296, query_sizes=tuple(range(20, 221, 20))),
+        benchmark=SuiteScale(hosting_nodes=48, query_sizes=(6, 10, 14, 18, 22),
+                             queries_per_size=2),
+        description="Random connected PlanetLab subgraph queries with delay windows"),
+    "fig10": ExperimentSuite(
+        name="planetlab-infeasible",
+        figure="Fig. 10",
+        paper=SuiteScale(hosting_nodes=296, query_sizes=tuple(range(40, 201, 20))),
+        benchmark=SuiteScale(hosting_nodes=48, query_sizes=(6, 10, 14),
+                             queries_per_size=2),
+        description="Feasible vs provably infeasible subgraph queries"),
+    "fig11": ExperimentSuite(
+        name="brite-subgraphs",
+        figure="Fig. 11/12",
+        paper=SuiteScale(hosting_nodes=1500, query_sizes=tuple(range(100, 1201, 100))),
+        benchmark=SuiteScale(hosting_nodes=90, query_sizes=(10, 20, 30, 40),
+                             queries_per_size=2),
+        description="Subgraph queries over BRITE power-law hosting networks"),
+    "fig13": ExperimentSuite(
+        name="planetlab-cliques",
+        figure="Fig. 13",
+        paper=SuiteScale(hosting_nodes=296, query_sizes=tuple(range(2, 21, 2))),
+        benchmark=SuiteScale(hosting_nodes=40, query_sizes=(2, 3, 4, 5),
+                             queries_per_size=1),
+        description="Clique queries with a single 10-100ms delay window"),
+    "fig14": ExperimentSuite(
+        name="planetlab-composites",
+        figure="Fig. 14",
+        paper=SuiteScale(hosting_nodes=296, query_sizes=(8, 16, 24, 32, 40, 48, 56, 64)),
+        benchmark=SuiteScale(hosting_nodes=48, query_sizes=(8, 12, 16),
+                             queries_per_size=1),
+        description="Two-level composite queries, regular and irregular constraints"),
+}
+
+
+# --------------------------------------------------------------------------- #
+# Hosting-network recipes
+# --------------------------------------------------------------------------- #
+
+def planetlab_host(num_sites: int, rng: RandomSource = None) -> HostingNetwork:
+    """A PlanetLab-like hosting network with *num_sites* sites."""
+    return synthetic_planetlab_trace(num_sites=num_sites, rng=rng)
+
+
+def brite_host(num_nodes: int, rng: RandomSource = None) -> HostingNetwork:
+    """A BRITE-like (Barabási–Albert, m=2) hosting network."""
+    return barabasi_albert(num_nodes, edges_per_node=2, rng=rng)
+
+
+# --------------------------------------------------------------------------- #
+# Workload recipes
+# --------------------------------------------------------------------------- #
+
+def build_subgraph_suite(hosting: HostingNetwork, scale: SuiteScale,
+                         slack: float = 0.25, rng: RandomSource = None
+                         ) -> List[Workload]:
+    """Subgraph-query workloads (Figs. 8, 9, 11, 12) at the given scale."""
+    sizes = [s for s in scale.query_sizes if s <= hosting.num_nodes]
+    return subgraph_query_series(hosting, sizes, queries_per_size=scale.queries_per_size,
+                                 slack=slack, rng=rng)
+
+
+def build_clique_suite(scale: SuiteScale, delay_low: float = 10.0,
+                       delay_high: float = 100.0) -> List[Workload]:
+    """Clique-query workloads (Fig. 13) at the given scale."""
+    return clique_query_series(scale.query_sizes, delay_low, delay_high)
+
+
+def build_composite_suite(scale: SuiteScale, irregular: bool,
+                          rng: RandomSource = None) -> List[Workload]:
+    """Composite-query workloads (Fig. 14) at the given scale."""
+    return composite_query_series(scale.query_sizes, irregular=irregular, rng=rng)

@@ -1,0 +1,190 @@
+"""Tests for the experiment harness: metrics, drivers (smoke scale) and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    aggregate_series,
+    baseline_comparison_experiment,
+    clique_experiment,
+    composite_experiment,
+    csv_string,
+    filter_ablation_experiment,
+    format_figure,
+    format_table,
+    group_summaries,
+    infeasible_experiment,
+    ordering_ablation_experiment,
+    pivot_series,
+    planetlab_subgraph_experiment,
+    proportions,
+    result_quality_distribution,
+    result_quality_experiment,
+    run_workloads,
+    summarize,
+    write_csv,
+)
+from repro.analysis.experiments import default_algorithms
+from repro.workloads import SuiteScale, build_subgraph_suite, planetlab_host
+
+
+class TestMetrics:
+    def test_summarize_basic(self):
+        summary = summarize([10.0, 12.0, 14.0])
+        assert summary.mean == pytest.approx(12.0)
+        assert summary.count == 3
+        assert summary.ci_low < summary.mean < summary.ci_high
+        assert summary.minimum == 10.0 and summary.maximum == 14.0
+
+    def test_summarize_single_value_has_zero_width_interval(self):
+        summary = summarize([5.0])
+        assert summary.ci_low == summary.ci_high == 5.0
+        assert summary.std == 0.0
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_confidence_interval_widens_with_variance(self):
+        tight = summarize([10.0, 10.1, 9.9, 10.0])
+        loose = summarize([5.0, 15.0, 2.0, 18.0])
+        assert loose.ci_halfwidth > tight.ci_halfwidth
+
+    def test_group_summaries(self):
+        rows = [
+            {"algorithm": "ECF", "size": 10, "total_ms": 5.0},
+            {"algorithm": "ECF", "size": 10, "total_ms": 7.0},
+            {"algorithm": "LNS", "size": 10, "total_ms": 1.0},
+            {"algorithm": "ECF", "size": 20, "total_ms": 9.0},
+            {"algorithm": "LNS", "size": 20, "total_ms": None},   # dropped
+        ]
+        series = group_summaries(rows, ("algorithm", "size"), "total_ms")
+        keys = {(row["algorithm"], row["size"]) for row in series}
+        assert ("LNS", 20) not in keys
+        ecf10 = next(r for r in series if r["algorithm"] == "ECF" and r["size"] == 10)
+        assert ecf10["mean"] == pytest.approx(6.0)
+        assert ecf10["count"] == 2
+
+    def test_proportions(self):
+        rows = [
+            {"cls": "clique", "algorithm": "ECF", "status": "complete"},
+            {"cls": "clique", "algorithm": "ECF", "status": "partial"},
+            {"cls": "clique", "algorithm": "ECF", "status": "partial"},
+        ]
+        dist = proportions(rows, ("cls", "algorithm"), "status")
+        assert dist[0]["partial"] == pytest.approx(2 / 3)
+        assert dist[0]["complete"] == pytest.approx(1 / 3)
+        assert dist[0]["count"] == 3
+
+
+class TestReporting:
+    ROWS = [{"size": 10, "ECF": 4.0, "LNS": 1.5}, {"size": 20, "ECF": 9.0, "LNS": None}]
+
+    def test_format_table(self):
+        text = format_table(self.ROWS, title="demo")
+        assert "demo" in text
+        assert "size" in text and "ECF" in text
+        assert "-" in text.splitlines()[-1]   # None rendered as '-'
+
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table([], title="empty")
+
+    def test_pivot_series(self):
+        series = [
+            {"algorithm": "ECF", "size": 10, "mean": 4.0},
+            {"algorithm": "LNS", "size": 10, "mean": 1.5},
+            {"algorithm": "ECF", "size": 20, "mean": 9.0},
+        ]
+        pivoted = pivot_series(series)
+        assert pivoted[0] == {"size": 10, "ECF": 4.0, "LNS": 1.5}
+        assert pivoted[1]["LNS"] is None
+
+    def test_format_figure(self):
+        series = [{"algorithm": "ECF", "size": 10, "mean": 4.0}]
+        text = format_figure(series, title="Fig. X")
+        assert "Fig. X" in text and "ECF" in text
+
+    def test_csv_round_trip(self, tmp_path):
+        path = write_csv(self.ROWS, tmp_path / "out.csv")
+        content = path.read_text()
+        assert content.splitlines()[0] == "size,ECF,LNS"
+        assert csv_string(self.ROWS).startswith("size,ECF,LNS")
+        empty = write_csv([], tmp_path / "empty.csv")
+        assert empty.read_text() == ""
+
+
+class TestRunWorkloads:
+    def test_row_schema(self):
+        hosting = planetlab_host(24, rng=3)
+        scale = SuiteScale(hosting_nodes=24, query_sizes=(4,), queries_per_size=2)
+        workloads = build_subgraph_suite(hosting, scale, rng=4)
+        rows = run_workloads(hosting, workloads, default_algorithms(5), timeout=5,
+                             max_results=1, extra_fields={"experiment": "smoke"})
+        assert len(rows) == 2 * 3
+        for row in rows:
+            assert row["experiment"] == "smoke"
+            assert row["algorithm"] in ("ECF", "RWB", "LNS")
+            assert row["size"] == 4
+            assert row["total_ms"] >= 0
+            assert row["status"] in ("complete", "partial", "inconclusive")
+
+    def test_aggregate_series(self):
+        rows = [
+            {"algorithm": "ECF", "size": 4, "total_ms": 2.0},
+            {"algorithm": "ECF", "size": 4, "total_ms": 4.0},
+        ]
+        series = aggregate_series(rows)
+        assert series[0]["mean"] == pytest.approx(3.0)
+
+
+class TestExperimentDriversSmoke:
+    """Each figure driver runs end to end at a tiny scale and yields sane rows."""
+
+    def test_fig8_driver(self):
+        rows = planetlab_subgraph_experiment(seed=1, timeout=3, max_results=1)
+        assert rows
+        assert {row["algorithm"] for row in rows} == {"ECF", "RWB", "LNS"}
+        assert all(row["experiment"] == "fig8" for row in rows)
+        # Feasible-by-construction workloads: every algorithm should find one.
+        assert all(row["found"] >= 1 or row["timed_out"] for row in rows)
+
+    def test_fig10_driver_separates_feasible_and_infeasible(self):
+        rows = infeasible_experiment(seed=2, timeout=3)
+        feasible = [r for r in rows if r["feasible"]]
+        infeasible = [r for r in rows if not r["feasible"]]
+        assert feasible and infeasible
+        assert all(r["found"] == 0 for r in infeasible)
+
+    def test_fig13_driver_modes(self):
+        rows = clique_experiment(seed=3, timeout=3)
+        modes = {row["mode"] for row in rows}
+        assert modes == {"first", "all"}
+
+    def test_fig14_driver_constraint_classes(self):
+        rows = composite_experiment(seed=4, timeout=3)
+        assert {row["constraints"] for row in rows} == {"regular", "irregular"}
+
+    def test_fig15_driver_and_distribution(self):
+        rows = result_quality_experiment(seed=5, timeout=0.5)
+        dist = result_quality_distribution(rows)
+        assert {row["query_class"] for row in dist} == {"subgraph", "clique", "composite"}
+        for row in dist:
+            total = sum(row.get(status, 0.0)
+                        for status in ("complete", "partial", "inconclusive"))
+            assert total == pytest.approx(1.0)
+
+    def test_baseline_comparison_driver(self):
+        rows = baseline_comparison_experiment(seed=6, timeout=3, query_sizes=(5,))
+        names = {row["algorithm"] for row in rows}
+        assert {"ECF", "RWB", "LNS", "BruteForceCSP", "SA-assign",
+                "GA-wanassign", "Greedy-stress"} <= names
+
+    def test_ordering_ablation_driver(self):
+        rows = ordering_ablation_experiment(seed=7, timeout=3)
+        assert {row["ordering"] for row in rows} == {"candidate-count", "connectivity",
+                                                     "natural"}
+
+    def test_filter_ablation_driver(self):
+        rows = filter_ablation_experiment(seed=8, timeout=3)
+        assert {row["algorithm"] for row in rows} == {"ECF", "BruteForceCSP"}

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import HostingNetwork, QueryNetwork, read_graphml, write_graphml
+from repro.workloads import planetlab_host, subgraph_query
+
+
+@pytest.fixture
+def graphml_pair(tmp_path, small_hosting, path_query):
+    host_path = write_graphml(small_hosting, tmp_path / "host.graphml")
+    query_path = write_graphml(path_query, tmp_path / "query.graphml")
+    return host_path, query_path
+
+
+WINDOW = "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay"
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_embed_requires_hosting_and_query(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["embed", "--hosting", "h.graphml"])
+
+    def test_experiment_rejects_unknown_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestEmbedCommand:
+    def test_plain_output(self, graphml_pair, capsys):
+        host_path, query_path = graphml_pair
+        code = main(["embed", "--hosting", str(host_path), "--query", str(query_path),
+                     "--constraint", WINDOW, "--algorithm", "ECF"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "ECF" in captured
+        assert "->" in captured
+
+    def test_json_output(self, graphml_pair, capsys):
+        host_path, query_path = graphml_pair
+        code = main(["embed", "--hosting", str(host_path), "--query", str(query_path),
+                     "--constraint", WINDOW, "--algorithm", "LNS",
+                     "--max-results", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "LNS"
+        assert payload["status"] in ("complete", "partial")
+        assert 1 <= len(payload["mappings"]) <= 2
+        assert all(isinstance(m, dict) for m in payload["mappings"])
+
+    def test_rwb_with_seed(self, graphml_pair, capsys):
+        host_path, query_path = graphml_pair
+        code = main(["embed", "--hosting", str(host_path), "--query", str(query_path),
+                     "--constraint", WINDOW, "--algorithm", "RWB", "--seed", "3"])
+        assert code == 0
+
+    def test_infeasible_query_returns_nonzero_when_inconclusive(self, tmp_path,
+                                                                small_hosting,
+                                                                capsys):
+        # A query that needs more nodes than the host has, forced through a
+        # tiny timeout: nothing can be found.
+        big = QueryNetwork("big")
+        for index in range(4):
+            big.add_node(f"q{index}")
+        big.add_edge("q0", "q1", minDelay=1.0, maxDelay=2.0)
+        big.add_edge("q1", "q2", minDelay=1.0, maxDelay=2.0)
+        big.add_edge("q2", "q3", minDelay=1.0, maxDelay=2.0)
+        host_path = write_graphml(small_hosting, tmp_path / "h.graphml")
+        query_path = write_graphml(big, tmp_path / "q.graphml")
+        code = main(["embed", "--hosting", str(host_path), "--query", str(query_path),
+                     "--constraint", WINDOW, "--algorithm", "ECF"])
+        # Proven infeasible is still a *conclusive* answer: exit code 0.
+        assert code == 0
+        assert "0 embedding(s)" in capsys.readouterr().out
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("kind,size", [("planetlab", 24), ("brite", 30)])
+    def test_generates_graphml(self, tmp_path, capsys, kind, size):
+        output = tmp_path / f"{kind}.graphml"
+        code = main(["generate", kind, "--sites", str(size), "--seed", "5",
+                     "--output", str(output)])
+        assert code == 0
+        network = read_graphml(output, cls=HostingNetwork)
+        assert network.num_nodes == size
+        assert network.num_edges > 0
+
+    def test_generates_transit_stub(self, tmp_path):
+        output = tmp_path / "ts.graphml"
+        assert main(["generate", "transit-stub", "--seed", "2",
+                     "--output", str(output)]) == 0
+        network = read_graphml(output, cls=HostingNetwork)
+        assert network.is_connected()
+
+
+class TestExperimentCommand:
+    def test_runs_a_small_experiment_and_writes_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "rows.csv"
+        code = main(["experiment", "fig13", "--seed", "3", "--timeout", "2",
+                     "--csv", str(csv_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "experiment fig13" in out
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert "algorithm" in header and "total_ms" in header

@@ -1,0 +1,121 @@
+"""Unit tests for the programmatic constraint builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import ConstraintExpression, literal_context
+from repro.constraints import builder
+
+
+def check(source: str, expected: bool, **objects) -> None:
+    assert ConstraintExpression(source).evaluate(literal_context(**objects)) is expected
+
+
+class TestCombinators:
+    def test_all_of_empty_is_true(self):
+        assert builder.all_of() == "true"
+
+    def test_any_of_empty_is_false(self):
+        assert builder.any_of() == "false"
+
+    def test_all_of_single_clause_passthrough(self):
+        assert builder.all_of("a.x > 1") == "a.x > 1"
+
+    def test_all_of_combines_with_and(self):
+        source = builder.all_of("vEdge.d > 1", "vEdge.d < 5")
+        check(source, True, vEdge={"d": 3})
+        check(source, False, vEdge={"d": 7})
+
+    def test_any_of_combines_with_or(self):
+        source = builder.any_of("vEdge.d < 1", "vEdge.d > 5")
+        check(source, True, vEdge={"d": 7})
+        check(source, False, vEdge={"d": 3})
+
+
+class TestDelayBuilders:
+    def test_delay_tolerance_matches_paper_semantics(self):
+        source = builder.delay_tolerance(0.10)
+        # hosting 105ms vs requested 100ms: within ±10%
+        check(source, True, vEdge={"avgDelay": 100.0}, rEdge={"avgDelay": 105.0})
+        check(source, False, vEdge={"avgDelay": 100.0}, rEdge={"avgDelay": 130.0})
+
+    def test_delay_tolerance_validates_fraction(self):
+        with pytest.raises(ValueError):
+            builder.delay_tolerance(1.5)
+
+    def test_requested_delay_within_host_range(self):
+        source = builder.requested_delay_within_host_range()
+        check(source, True, vEdge={"avgDelay": 30.0},
+              rEdge={"minDelay": 10.0, "maxDelay": 50.0})
+        check(source, False, vEdge={"avgDelay": 5.0},
+              rEdge={"minDelay": 10.0, "maxDelay": 50.0})
+
+    def test_host_delay_within_query_window(self):
+        source = builder.host_delay_within_query_window()
+        check(source, True, vEdge={"minDelay": 10.0, "maxDelay": 50.0},
+              rEdge={"avgDelay": 30.0})
+        check(source, False, vEdge={"minDelay": 10.0, "maxDelay": 50.0},
+              rEdge={"avgDelay": 60.0})
+
+    def test_absolute_delay_window(self):
+        source = builder.absolute_delay_window(10, 100)
+        check(source, True, rEdge={"avgDelay": 55.0})
+        check(source, False, rEdge={"avgDelay": 110.0})
+
+    def test_absolute_delay_window_validates_bounds(self):
+        with pytest.raises(ValueError):
+            builder.absolute_delay_window(100, 10)
+
+    def test_minimum_bandwidth(self):
+        source = builder.minimum_bandwidth()
+        check(source, True, rEdge={"bandwidth": 100.0}, vEdge={"bandwidth": 10.0})
+        check(source, False, rEdge={"bandwidth": 5.0}, vEdge={"bandwidth": 10.0})
+
+
+class TestBindingBuilders:
+    def test_node_attribute_binding_optional(self):
+        source = builder.node_attribute_binding("osType")
+        check(source, True, vSource={}, rSource={"osType": "linux"})
+        check(source, True, vSource={"osType": "linux"}, rSource={"osType": "linux"})
+        check(source, False, vSource={"osType": "linux"}, rSource={"osType": "bsd"})
+
+    def test_bind_to_named_host_applies_to_both_endpoints(self):
+        source = builder.bind_to_named_host()
+        ctx = dict(vSource={"bindTo": "h1"}, rSource={"name": "h1"},
+                   vTarget={}, rTarget={"name": "h2"})
+        check(source, True, **ctx)
+        ctx["rSource"] = {"name": "h9"}
+        check(source, False, **ctx)
+
+    def test_os_binding_both_endpoints(self):
+        source = builder.os_binding_both_endpoints()
+        check(source, True,
+              vSource={"osType": "linux"}, rSource={"osType": "linux"},
+              vTarget={}, rTarget={"osType": "bsd"})
+        check(source, False,
+              vSource={"osType": "linux"}, rSource={"osType": "bsd"},
+              vTarget={}, rTarget={"osType": "bsd"})
+
+
+class TestGeoAndComposite:
+    def test_geographic_distance_within(self):
+        source = builder.geographic_distance_within(100.0)
+        check(source, True, vSource={"x": 0.0, "y": 0.0}, rSource={"x": 30.0, "y": 40.0})
+        check(source, False, vSource={"x": 0.0, "y": 0.0}, rSource={"x": 300.0, "y": 0.0})
+
+    def test_geographic_distance_validates_limit(self):
+        with pytest.raises(ValueError):
+            builder.geographic_distance_within(0)
+
+    def test_per_level_delay_windows(self):
+        source = builder.per_level_delay_windows(
+            windows=((0, 75.0, 350.0), (1, 1.0, 75.0)))
+        # Root-level edge (level 0) with a wide-area delay: ok.
+        check(source, True, vEdge={"level": 0}, rEdge={"avgDelay": 200.0})
+        # Root-level edge with an intra-site delay: violates level-0 window.
+        check(source, False, vEdge={"level": 0}, rEdge={"avgDelay": 20.0})
+        # Group-level edge with an intra-site delay: ok.
+        check(source, True, vEdge={"level": 1}, rEdge={"avgDelay": 20.0})
+        # Group-level edge with a wide-area delay: violates level-1 window.
+        check(source, False, vEdge={"level": 1}, rEdge={"avgDelay": 200.0})

@@ -1,0 +1,123 @@
+"""The compiled evaluator must agree with the reference evaluator.
+
+Property-based: random expressions over a fixed vocabulary of attributes are
+evaluated by both paths against random contexts, including contexts with
+missing attributes, and the results must be identical (same boolean, or both
+raising the same error class).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import compile_expression, evaluate, literal_context
+from repro.constraints.errors import ConstraintError
+from repro.constraints.parser import parse
+
+ATTRIBUTES = ["a", "b", "c"]
+OBJECTS = ["vEdge", "rEdge", "vSource"]
+
+
+# --------------------------------------------------------------------------- #
+# Expression generator
+# --------------------------------------------------------------------------- #
+
+def _leaf():
+    numbers = st.integers(min_value=-5, max_value=20).map(str)
+    attributes = st.tuples(st.sampled_from(OBJECTS), st.sampled_from(ATTRIBUTES)).map(
+        lambda pair: f"{pair[0]}.{pair[1]}")
+    return st.one_of(numbers, attributes, st.just("true"), st.just("false"))
+
+
+def _expressions(depth: int = 3):
+    binary_numeric = st.sampled_from(["+", "-", "*"])
+    relational = st.sampled_from(["<", ">", "<=", ">=", "==", "!="])
+    boolean = st.sampled_from(["&&", "||"])
+
+    def extend(children):
+        numeric = st.builds(lambda op, l, r: f"({l} {op} {r})", binary_numeric,
+                            children, children)
+        compare = st.builds(lambda op, l, r: f"({l} {op} {r})", relational,
+                            children, children)
+        logic = st.builds(lambda op, l, r: f"({l} {op} {r})", boolean,
+                          children, children)
+        negation = st.builds(lambda e: f"!({e})", children)
+        functions = st.builds(lambda e: f"abs({e})", children)
+        return st.one_of(numeric, compare, logic, negation, functions)
+
+    return st.recursive(_leaf(), extend, max_leaves=8)
+
+
+def _contexts():
+    values = st.one_of(st.integers(min_value=-5, max_value=20),
+                       st.floats(min_value=-5, max_value=20, allow_nan=False),
+                       st.booleans())
+    attr_dict = st.dictionaries(st.sampled_from(ATTRIBUTES), values, max_size=3)
+    return st.fixed_dictionaries({obj: attr_dict for obj in OBJECTS})
+
+
+# --------------------------------------------------------------------------- #
+
+@settings(max_examples=120, deadline=None)
+@given(expression=_expressions(), context=_contexts())
+def test_compiled_agrees_with_reference(expression, context):
+    ast = parse(expression)
+    compiled = compile_expression(ast)
+
+    try:
+        expected = evaluate(ast, context)
+        expected_error = None
+    except ConstraintError as exc:
+        expected, expected_error = None, type(exc)
+
+    try:
+        actual = compiled(context)
+        actual_error = None
+    except ConstraintError as exc:
+        actual, actual_error = None, type(exc)
+
+    assert expected_error == actual_error
+    assert expected == actual
+
+
+@settings(max_examples=60, deadline=None)
+@given(expression=_expressions(), context=_contexts())
+def test_strict_mode_agreement(expression, context):
+    ast = parse(expression)
+    compiled = compile_expression(ast, strict=True)
+
+    try:
+        expected = evaluate(ast, context, strict=True)
+        expected_error = None
+    except ConstraintError as exc:
+        expected, expected_error = None, type(exc)
+
+    try:
+        actual = compiled(context)
+        actual_error = None
+    except ConstraintError as exc:
+        actual, actual_error = None, type(exc)
+
+    assert expected_error == actual_error
+    assert expected == actual
+
+
+class TestCompiledSpecifics:
+    """Direct checks on the compiled path (not just agreement)."""
+
+    def test_compiled_short_circuit(self):
+        compiled = compile_expression(parse("false && (1 / vEdge.zero == 1)"))
+        assert compiled(literal_context(vEdge={"zero": 0})) is False
+
+    def test_compiled_missing_attribute_is_false(self):
+        compiled = compile_expression(parse("vEdge.delay < 3"))
+        assert compiled(literal_context(vEdge={})) is False
+
+    def test_compiled_is_bound_to(self):
+        compiled = compile_expression(parse("isBoundTo(vSource.bindTo, rSource.name)"))
+        assert compiled(literal_context(vSource={}, rSource={"name": "h"})) is True
+        assert compiled(literal_context(vSource={"bindTo": "h"},
+                                        rSource={"name": "h"})) is True
+        assert compiled(literal_context(vSource={"bindTo": "x"},
+                                        rSource={"name": "h"})) is False

@@ -1,0 +1,193 @@
+"""Unit tests for constraint expression evaluation (reference evaluator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import (
+    ConstraintExpression,
+    MISSING,
+    evaluate,
+    evaluate_value,
+    literal_context,
+)
+from repro.constraints.errors import (
+    EvaluationError,
+    UnknownFunctionError,
+    UnknownIdentifierError,
+)
+from repro.constraints.parser import parse
+
+
+def run(expression: str, strict: bool = False, **objects) -> bool:
+    return evaluate(parse(expression), literal_context(**objects), strict=strict)
+
+
+class TestArithmeticAndComparison:
+    def test_numeric_comparison(self):
+        assert run("vEdge.delay < 10", vEdge={"delay": 5})
+        assert not run("vEdge.delay < 10", vEdge={"delay": 15})
+
+    def test_arithmetic(self):
+        assert run("vEdge.a + vEdge.b == 7", vEdge={"a": 3, "b": 4})
+        assert run("vEdge.a * 2 - 1 == 5", vEdge={"a": 3})
+        assert run("vEdge.a / 4 == 0.75", vEdge={"a": 3})
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            run("1 / vEdge.zero == 1", vEdge={"zero": 0})
+
+    def test_string_equality(self):
+        assert run("vNode.os == 'linux'", vNode={"os": "linux"})
+        assert not run("vNode.os == 'linux'", vNode={"os": "bsd"})
+
+    def test_string_concatenation_with_plus(self):
+        assert run("vNode.a + vNode.b == 'ab'", vNode={"a": "a", "b": "b"})
+
+    def test_string_ordering(self):
+        assert run("vNode.a < vNode.b", vNode={"a": "alpha", "b": "beta"})
+
+    def test_mixed_type_comparison_raises(self):
+        with pytest.raises(EvaluationError):
+            run("vNode.a < vNode.b", vNode={"a": "alpha", "b": 3})
+
+    def test_boolean_equality(self):
+        assert run("vNode.up == true", vNode={"up": True})
+        assert run("vNode.up != true", vNode={"up": False})
+
+
+class TestBooleanLogic:
+    def test_and_or_not(self):
+        ctx = {"vEdge": {"d": 50.0}}
+        assert run("vEdge.d > 10 && vEdge.d < 100", **ctx)
+        assert run("vEdge.d < 10 || vEdge.d > 40", **ctx)
+        assert run("!(vEdge.d < 10)", **ctx)
+        assert not run("vEdge.d > 10 && vEdge.d < 20", **ctx)
+
+    def test_short_circuit_and_skips_right_errors(self):
+        # The right operand would divide by zero but must not be evaluated.
+        assert not run("false && (1 / vEdge.zero == 1)", vEdge={"zero": 0})
+
+    def test_short_circuit_or_skips_right_errors(self):
+        assert run("true || (1 / vEdge.zero == 1)", vEdge={"zero": 0})
+
+
+class TestFunctions:
+    def test_abs_and_sqrt(self):
+        assert run("abs(vEdge.x) == 4", vEdge={"x": -4})
+        assert run("sqrt(vEdge.x) == 3", vEdge={"x": 9})
+
+    def test_sqrt_negative_is_error(self):
+        with pytest.raises(EvaluationError):
+            run("sqrt(vEdge.x) == 3", vEdge={"x": -9})
+
+    def test_min_max_pow(self):
+        assert run("min(vEdge.a, vEdge.b) == 2", vEdge={"a": 5, "b": 2})
+        assert run("max(vEdge.a, vEdge.b) == 5", vEdge={"a": 5, "b": 2})
+        assert run("pow(vEdge.a, 2) == 25", vEdge={"a": 5})
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(UnknownFunctionError):
+            run("mystery(1) == 1", vEdge={})
+
+    def test_is_bound_to_missing_requirement_is_satisfied(self):
+        # No bindTo attribute: no binding requested, constraint holds.
+        assert run("isBoundTo(vSource.bindTo, rSource.name)",
+                   vSource={}, rSource={"name": "host1"})
+
+    def test_is_bound_to_matching_requirement(self):
+        assert run("isBoundTo(vSource.bindTo, rSource.name)",
+                   vSource={"bindTo": "host1"}, rSource={"name": "host1"})
+
+    def test_is_bound_to_mismatched_requirement(self):
+        assert not run("isBoundTo(vSource.bindTo, rSource.name)",
+                       vSource={"bindTo": "host1"}, rSource={"name": "host2"})
+
+    def test_is_bound_to_missing_actual_fails(self):
+        assert not run("isBoundTo(vSource.bindTo, rSource.name)",
+                       vSource={"bindTo": "host1"}, rSource={})
+
+
+class TestMissingAttributes:
+    def test_lenient_missing_attribute_is_non_match(self):
+        assert not run("vEdge.delay < 10", vEdge={})
+
+    def test_lenient_missing_inside_disjunction_other_branch_still_works(self):
+        # A missing attribute aborts the whole evaluation (the pair does not
+        # match), even if the other disjunct would have been true — that is
+        # the documented, conservative semantics.
+        assert not run("vEdge.missing < 10 || vEdge.present > 0",
+                       vEdge={"present": 5})
+
+    def test_none_value_is_treated_as_missing(self):
+        assert not run("vEdge.delay < 10", vEdge={"delay": None})
+
+    def test_strict_missing_attribute_raises(self):
+        with pytest.raises(EvaluationError):
+            run("vEdge.delay < 10", strict=True, vEdge={})
+
+    def test_unknown_object_always_raises(self):
+        with pytest.raises(UnknownIdentifierError):
+            run("ghost.delay < 10", vEdge={"delay": 5})
+
+    def test_evaluate_value_returns_missing_sentinel(self):
+        value = evaluate_value(parse("vEdge.nope"), literal_context(vEdge={}))
+        assert value is MISSING
+
+
+class TestPaperExamples:
+    def test_delay_tolerance_example(self):
+        expr = ("vEdge.avgDelay>=0.90*rEdge.avgDelay && "
+                "vEdge.avgDelay<=1.10*rEdge.avgDelay")
+        assert run(expr, vEdge={"avgDelay": 100.0}, rEdge={"avgDelay": 105.0})
+        assert not run(expr, vEdge={"avgDelay": 100.0}, rEdge={"avgDelay": 140.0})
+
+    def test_delay_range_example(self):
+        expr = "vEdge.avgDelay>=rEdge.minDelay && vEdge.avgDelay<=rEdge.maxDelay"
+        assert run(expr, vEdge={"avgDelay": 30.0}, rEdge={"minDelay": 10.0, "maxDelay": 50.0})
+        assert not run(expr, vEdge={"avgDelay": 60.0}, rEdge={"minDelay": 10.0, "maxDelay": 50.0})
+
+    def test_geographic_distance_example(self):
+        expr = ("sqrt( (vSource.x-vTarget.x)*(vSource.x-vTarget.x) + "
+                "(vSource.y-vTarget.y)*(vSource.y-vTarget.y) ) < 100.0")
+        assert run(expr, vSource={"x": 0.0, "y": 0.0}, vTarget={"x": 30.0, "y": 40.0})
+        assert not run(expr, vSource={"x": 0.0, "y": 0.0}, vTarget={"x": 300.0, "y": 400.0})
+
+
+class TestConstraintExpressionFacade:
+    def test_matches_edge_against_networks(self, small_hosting, path_query,
+                                           window_constraint):
+        # Query edge (x, y) requests [5, 35]; hosting edge (a, b) has 10ms.
+        assert window_constraint.matches_edge(path_query, ("x", "y"),
+                                              small_hosting, ("a", "b"))
+        # Hosting edge (b, c) has 50ms which exceeds the window.
+        assert not window_constraint.matches_edge(path_query, ("x", "y"),
+                                                  small_hosting, ("b", "c"))
+
+    def test_combinators(self):
+        low = ConstraintExpression("vEdge.d >= 10")
+        high = ConstraintExpression("vEdge.d <= 20")
+        both = low & high
+        assert both.evaluate(literal_context(vEdge={"d": 15}))
+        assert not both.evaluate(literal_context(vEdge={"d": 25}))
+        either = low | ConstraintExpression("vEdge.d <= 5")
+        assert either.evaluate(literal_context(vEdge={"d": 3}))
+        negation = ~low
+        assert negation.evaluate(literal_context(vEdge={"d": 5}))
+
+    def test_always_true_and_false(self):
+        assert ConstraintExpression.always_true().is_trivial
+        assert ConstraintExpression.always_true().evaluate({})
+        assert not ConstraintExpression.always_false().evaluate({})
+
+    def test_equality_and_hash(self):
+        a = ConstraintExpression("vEdge.d >= 10")
+        b = ConstraintExpression("vEdge.d >= 10")
+        assert a == b and hash(a) == hash(b)
+        assert a != ConstraintExpression("vEdge.d >= 11")
+
+    def test_uses_edge_and_node_objects(self):
+        edge_expr = ConstraintExpression("rEdge.avgDelay <= vEdge.maxDelay")
+        node_expr = ConstraintExpression("rNode.up == true")
+        assert edge_expr.uses_edge_objects() and not edge_expr.uses_node_objects()
+        assert node_expr.uses_node_objects() and not node_expr.uses_edge_objects()

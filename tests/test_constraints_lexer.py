@@ -1,0 +1,138 @@
+"""Unit tests for the constraint-language lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.errors import LexError
+from repro.constraints.lexer import tokenize
+from repro.constraints.tokens import TokenType
+
+
+def types(text):
+    return [token.type for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        assert types("") == [TokenType.EOF]
+
+    def test_whitespace_only_yields_only_eof(self):
+        assert types("   \t \n ") == [TokenType.EOF]
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].type is TokenType.NUMBER
+        assert tokens[0].value == 42
+        assert isinstance(tokens[0].value, int)
+
+    def test_float_literal(self):
+        tokens = tokenize("3.14")
+        assert tokens[0].value == pytest.approx(3.14)
+        assert isinstance(tokens[0].value, float)
+
+    def test_float_with_exponent(self):
+        assert tokenize("1e3")[0].value == pytest.approx(1000.0)
+        assert tokenize("2.5e-2")[0].value == pytest.approx(0.025)
+
+    def test_string_single_and_double_quotes(self):
+        assert tokenize("'linux'")[0].value == "linux"
+        assert tokenize('"linux"')[0].value == "linux"
+
+    def test_string_with_escape(self):
+        assert tokenize(r'"a\"b"')[0].value == 'a"b'
+
+    def test_boolean_keywords(self):
+        assert types("true false") == [TokenType.TRUE, TokenType.FALSE, TokenType.EOF]
+        assert tokenize("true")[0].value is True
+        assert tokenize("false")[0].value is False
+
+    def test_identifier(self):
+        token = tokenize("vEdge")[0]
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "vEdge"
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert tokenize("avg_delay2")[0].value == "avg_delay2"
+
+
+class TestOperators:
+    def test_boolean_operators(self):
+        assert types("&& || !")[:3] == [TokenType.AND, TokenType.OR, TokenType.NOT]
+
+    def test_relational_operators(self):
+        assert types("== != < > <= >=")[:6] == [
+            TokenType.EQ, TokenType.NEQ, TokenType.LT, TokenType.GT,
+            TokenType.LE, TokenType.GE]
+
+    def test_arithmetic_operators(self):
+        assert types("+ - * /")[:4] == [
+            TokenType.PLUS, TokenType.MINUS, TokenType.STAR, TokenType.SLASH]
+
+    def test_punctuation(self):
+        assert types("( ) , .")[:4] == [
+            TokenType.LPAREN, TokenType.RPAREN, TokenType.COMMA, TokenType.DOT]
+
+
+class TestDottedAccess:
+    def test_attribute_access_produces_dot_token(self):
+        tokens = tokenize("vEdge.avgDelay")
+        assert [t.type for t in tokens[:3]] == [
+            TokenType.IDENTIFIER, TokenType.DOT, TokenType.IDENTIFIER]
+        assert tokens[2].value == "avgDelay"
+
+    def test_number_followed_by_identifier_times(self):
+        # "0.90*rEdge.avgDelay" from the paper's example
+        tokens = tokenize("0.90*rEdge.avgDelay")
+        assert tokens[0].value == pytest.approx(0.9)
+        assert tokens[1].type is TokenType.STAR
+
+
+class TestPaperExamples:
+    """The exact expressions printed in §VI-B must tokenize."""
+
+    @pytest.mark.parametrize("expression", [
+        "vEdge.avgDelay>=0.90*rEdge.avgDelay && vEdge.avgDelay<=1.10*rEdge.avgDelay",
+        "vEdge.avgDelay>=rEdge.minDelay && vEdge.avgDelay<=rEdge.maxDelay",
+        "isBoundTo(vSource.osType, rSource.osType)",
+        "isBoundTo(vSource.bindTo, rSource.name)",
+        "sqrt( (vSource.x-vTarget.x)*(vSource.x-vTarget.x) + "
+        "(vSource.y-vTarget.y)*(vSource.y-vTarget.y) ) < 100.0",
+    ])
+    def test_tokenizes_without_error(self, expression):
+        tokens = tokenize(expression)
+        assert tokens[-1].type is TokenType.EOF
+        assert len(tokens) > 3
+
+
+class TestErrors:
+    def test_single_ampersand_is_an_error(self):
+        with pytest.raises(LexError):
+            tokenize("a & b")
+
+    def test_single_pipe_is_an_error(self):
+        with pytest.raises(LexError):
+            tokenize("a | b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+    def test_error_reports_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("ab @")
+        assert excinfo.value.position == 3
+
+
+class TestPositions:
+    def test_token_positions_are_character_offsets(self):
+        tokens = tokenize("a && b")
+        assert [t.position for t in tokens[:3]] == [0, 2, 5]

@@ -1,0 +1,170 @@
+"""Unit tests for the constraint-language parser (grammar, precedence, errors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.ast_nodes import (
+    AttributeRef,
+    BinaryOp,
+    BooleanLiteral,
+    BoolOp,
+    FunctionCall,
+    Identifier,
+    NumberLiteral,
+    StringLiteral,
+    UnaryOp,
+    referenced_attributes,
+    referenced_objects,
+)
+from repro.constraints.errors import ParseError
+from repro.constraints.parser import parse
+
+
+class TestPrimaries:
+    def test_number(self):
+        node = parse("7")
+        assert isinstance(node, NumberLiteral)
+        assert node.value == 7
+
+    def test_string(self):
+        node = parse("'linux'")
+        assert isinstance(node, StringLiteral)
+        assert node.value == "linux"
+
+    def test_booleans(self):
+        assert parse("true") == BooleanLiteral(True)
+        assert parse("false") == BooleanLiteral(False)
+
+    def test_attribute_reference(self):
+        node = parse("vEdge.avgDelay")
+        assert node == AttributeRef("vEdge", "avgDelay")
+
+    def test_bare_identifier(self):
+        assert parse("vEdge") == Identifier("vEdge")
+
+    def test_function_call_no_args(self):
+        node = parse("foo()")
+        assert isinstance(node, FunctionCall)
+        assert node.name == "foo"
+        assert node.args == ()
+
+    def test_function_call_with_args(self):
+        node = parse("isBoundTo(vSource.osType, rSource.osType)")
+        assert isinstance(node, FunctionCall)
+        assert len(node.args) == 2
+        assert node.args[0] == AttributeRef("vSource", "osType")
+
+    def test_parenthesised_expression(self):
+        assert parse("(1 + 2)") == BinaryOp("+", NumberLiteral(1), NumberLiteral(2))
+
+
+class TestPrecedence:
+    def test_multiplication_binds_tighter_than_addition(self):
+        node = parse("1 + 2 * 3")
+        assert isinstance(node, BinaryOp) and node.op == "+"
+        assert isinstance(node.right, BinaryOp) and node.right.op == "*"
+
+    def test_addition_binds_tighter_than_relational(self):
+        node = parse("1 + 2 < 4")
+        assert isinstance(node, BinaryOp) and node.op == "<"
+        assert isinstance(node.left, BinaryOp) and node.left.op == "+"
+
+    def test_relational_binds_tighter_than_equality(self):
+        node = parse("a.x < 3 == true")
+        assert isinstance(node, BinaryOp) and node.op == "=="
+        assert isinstance(node.left, BinaryOp) and node.left.op == "<"
+
+    def test_equality_binds_tighter_than_and(self):
+        node = parse("a.x == 1 && b.y == 2")
+        assert isinstance(node, BoolOp) and node.op == "&&"
+
+    def test_and_binds_tighter_than_or(self):
+        node = parse("a.x || b.y && c.z")
+        assert isinstance(node, BoolOp) and node.op == "||"
+        assert isinstance(node.right, BoolOp) and node.right.op == "&&"
+
+    def test_left_associativity_of_subtraction(self):
+        node = parse("10 - 3 - 2")
+        assert node.op == "-"
+        assert isinstance(node.left, BinaryOp) and node.left.op == "-"
+        assert node.right == NumberLiteral(2)
+
+    def test_unary_not(self):
+        node = parse("!a.flag")
+        assert isinstance(node, UnaryOp) and node.op == "!"
+
+    def test_unary_minus(self):
+        node = parse("-3")
+        assert isinstance(node, UnaryOp) and node.op == "-"
+
+    def test_parentheses_override_precedence(self):
+        node = parse("(1 + 2) * 3")
+        assert node.op == "*"
+        assert isinstance(node.left, BinaryOp) and node.left.op == "+"
+
+
+class TestPaperExamples:
+    @pytest.mark.parametrize("expression", [
+        "vEdge.avgDelay>=0.90*rEdge.avgDelay && vEdge.avgDelay<=1.10*rEdge.avgDelay",
+        "vEdge.avgDelay>=rEdge.minDelay && vEdge.avgDelay<=rEdge.maxDelay",
+        "isBoundTo(vSource.osType, rSource.osType)",
+        "isBoundTo(vSource.bindTo, rSource.name)",
+        "sqrt( (vSource.x-vTarget.x)*(vSource.x-vTarget.x) + "
+        "(vSource.y-vTarget.y)*(vSource.y-vTarget.y) ) < 100.0",
+    ])
+    def test_parses(self, expression):
+        node = parse(expression)
+        assert node is not None
+
+    def test_delay_tolerance_structure(self):
+        node = parse("vEdge.avgDelay>=0.90*rEdge.avgDelay && "
+                     "vEdge.avgDelay<=1.10*rEdge.avgDelay")
+        assert isinstance(node, BoolOp) and node.op == "&&"
+        assert node.left.op == ">="
+        assert node.right.op == "<="
+
+
+class TestUnparseRoundTrip:
+    @pytest.mark.parametrize("expression", [
+        "vEdge.avgDelay >= vEdge.minDelay",
+        "(1 + 2) * 3 < 10",
+        "!(a.x == b.y) || c.z != 4",
+        "isBoundTo(vSource.osType, rSource.osType) && rEdge.bw >= 5",
+        "sqrt(abs(a.x - b.x)) <= 2.5",
+    ])
+    def test_parse_unparse_parse_is_stable(self, expression):
+        first = parse(expression)
+        second = parse(first.unparse())
+        assert first == second
+
+
+class TestIntrospection:
+    def test_referenced_objects(self):
+        node = parse("vEdge.avgDelay >= rEdge.minDelay && vSource.x < 3")
+        assert referenced_objects(node) == ["vEdge", "rEdge", "vSource"]
+
+    def test_referenced_attributes(self):
+        node = parse("vEdge.avgDelay >= rEdge.minDelay")
+        assert referenced_attributes(node) == [("vEdge", "avgDelay"), ("rEdge", "minDelay")]
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",                       # empty
+        "1 +",                    # dangling operator
+        "(1 + 2",                 # unclosed paren
+        "foo(1, )",               # trailing comma
+        "a.b.c",                  # double attribute access is not in the grammar
+        "1 2",                    # juxtaposed primaries
+        "&& a",                   # operator with no left operand
+        "a.",                     # dot with no attribute
+    ])
+    def test_invalid_expressions_raise(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_error_mentions_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("1 + ")
+        assert excinfo.value.position >= 3

@@ -1,0 +1,113 @@
+"""Tests for Mapping and the independent validation oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import ConstraintExpression
+from repro.core import Mapping, is_valid_mapping, validate_mapping
+
+
+class TestMappingValueObject:
+    def test_basic_accessors(self):
+        mapping = Mapping({"x": "a", "y": "b"})
+        assert mapping["x"] == "a"
+        assert "y" in mapping and "z" not in mapping
+        assert len(mapping) == 2
+        assert sorted(mapping.query_nodes()) == ["x", "y"]
+        assert sorted(mapping.hosting_nodes()) == ["a", "b"]
+        assert dict(mapping.items()) == {"x": "a", "y": "b"}
+
+    def test_injectivity_check(self):
+        assert Mapping({"x": "a", "y": "b"}).is_injective()
+        assert not Mapping({"x": "a", "y": "a"}).is_injective()
+
+    def test_equality_and_hash_are_structural(self):
+        first = Mapping({"x": "a", "y": "b"})
+        second = Mapping({"y": "b", "x": "a"})
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != Mapping({"x": "b", "y": "a"})
+
+    def test_immutability_from_source_dict(self):
+        source = {"x": "a"}
+        mapping = Mapping(source)
+        source["x"] = "zzz"
+        assert mapping["x"] == "a"
+
+    def test_restricted_to(self):
+        mapping = Mapping({"x": "a", "y": "b", "z": "c"})
+        assert mapping.restricted_to(["x", "z"]) == Mapping({"x": "a", "z": "c"})
+
+    def test_as_dict_is_a_copy(self):
+        mapping = Mapping({"x": "a"})
+        exported = mapping.as_dict()
+        exported["x"] = "q"
+        assert mapping["x"] == "a"
+
+
+class TestValidation:
+    def test_valid_mapping_passes(self, small_hosting, path_query, window_constraint):
+        mapping = Mapping({"x": "a", "y": "b", "z": "e"})
+        assert is_valid_mapping(mapping, path_query, small_hosting, window_constraint)
+
+    def test_missing_query_node_detected(self, small_hosting, path_query):
+        mapping = Mapping({"x": "a", "y": "b"})
+        violations = validate_mapping(mapping, path_query, small_hosting)
+        assert any(v.kind == "coverage" for v in violations)
+
+    def test_unknown_query_node_detected(self, small_hosting, path_query):
+        mapping = Mapping({"x": "a", "y": "b", "z": "e", "ghost": "f"})
+        violations = validate_mapping(mapping, path_query, small_hosting)
+        assert any(v.kind == "coverage" for v in violations)
+
+    def test_non_injective_detected(self, small_hosting, path_query):
+        mapping = Mapping({"x": "a", "y": "b", "z": "b"})
+        violations = validate_mapping(mapping, path_query, small_hosting)
+        assert any(v.kind == "injectivity" for v in violations)
+
+    def test_unknown_hosting_node_detected(self, small_hosting, path_query):
+        mapping = Mapping({"x": "a", "y": "b", "z": "mars"})
+        violations = validate_mapping(mapping, path_query, small_hosting)
+        assert any(v.kind == "node" for v in violations)
+
+    def test_missing_hosting_edge_detected(self, small_hosting, path_query):
+        # a and e are not adjacent in small_hosting.
+        mapping = Mapping({"x": "d", "y": "a", "z": "e"})
+        violations = validate_mapping(mapping, path_query, small_hosting)
+        assert any(v.kind == "topology" for v in violations)
+
+    def test_constraint_violation_detected(self, small_hosting, path_query,
+                                           window_constraint):
+        # b-c has 50ms but query edge (x, y) allows at most 35ms.
+        mapping = Mapping({"x": "b", "y": "c", "z": "f"})
+        violations = validate_mapping(mapping, path_query, small_hosting,
+                                      window_constraint)
+        assert any(v.kind == "constraint" for v in violations)
+        # Without the constraint the same mapping is topologically fine.
+        assert is_valid_mapping(mapping, path_query, small_hosting)
+
+    def test_node_constraint_violation_detected(self, small_hosting, path_query):
+        node_constraint = ConstraintExpression('rNode.osType == "linux"')
+        # e is a bsd node.
+        mapping = Mapping({"x": "a", "y": "b", "z": "e"})
+        violations = validate_mapping(mapping, path_query, small_hosting,
+                                      node_constraint=node_constraint)
+        assert any(v.kind == "node-constraint" for v in violations)
+
+    def test_violation_string_rendering(self, small_hosting, path_query):
+        violations = validate_mapping(Mapping({"x": "a"}), path_query, small_hosting)
+        assert all(str(v).startswith("[") for v in violations)
+
+    def test_directed_hosting_requires_orientation(self):
+        from repro.graphs import HostingNetwork, QueryNetwork
+        hosting = HostingNetwork("d", directed=True)
+        for node in "ab":
+            hosting.add_node(node)
+        hosting.add_edge("a", "b")
+        query = QueryNetwork("dq", directed=True)
+        for node in "xy":
+            query.add_node(node)
+        query.add_edge("x", "y")
+        assert is_valid_mapping(Mapping({"x": "a", "y": "b"}), query, hosting)
+        assert not is_valid_mapping(Mapping({"x": "b", "y": "a"}), query, hosting)

@@ -1,0 +1,77 @@
+"""Tests for result classification (§VII-E) and search statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EmbeddingResult, Mapping, ResultStatus, SearchStats, classify
+
+
+class TestClassification:
+    def test_exhausted_search_is_complete(self):
+        assert classify(found_any=True, exhausted=True, timed_out=False,
+                        truncated=False) is ResultStatus.COMPLETE
+
+    def test_exhausted_empty_search_is_complete_proof_of_infeasibility(self):
+        assert classify(found_any=False, exhausted=True, timed_out=False,
+                        truncated=False) is ResultStatus.COMPLETE
+
+    def test_timeout_with_findings_is_partial(self):
+        assert classify(found_any=True, exhausted=False, timed_out=True,
+                        truncated=False) is ResultStatus.PARTIAL
+
+    def test_timeout_without_findings_is_inconclusive(self):
+        assert classify(found_any=False, exhausted=False, timed_out=True,
+                        truncated=False) is ResultStatus.INCONCLUSIVE
+
+    def test_result_cap_is_partial(self):
+        assert classify(found_any=True, exhausted=False, timed_out=False,
+                        truncated=True) is ResultStatus.PARTIAL
+
+    def test_incomplete_metaheuristic_without_findings_is_inconclusive(self):
+        assert classify(found_any=False, exhausted=False, timed_out=False,
+                        truncated=False) is ResultStatus.INCONCLUSIVE
+
+
+class TestEmbeddingResult:
+    def test_accessors(self):
+        mapping = Mapping({"x": "a"})
+        result = EmbeddingResult(status=ResultStatus.PARTIAL, mappings=[mapping],
+                                 algorithm="ECF", elapsed_seconds=0.5,
+                                 time_to_first_seconds=0.1)
+        assert result.found and result.count == 1 and len(result) == 1
+        assert result.first == mapping
+        assert list(result) == [mapping]
+        assert not result.proved_infeasible
+
+    def test_empty_complete_result_proves_infeasibility(self):
+        result = EmbeddingResult(status=ResultStatus.COMPLETE)
+        assert result.proved_infeasible
+        assert result.first is None
+        assert not result.found
+
+    def test_status_str(self):
+        assert str(ResultStatus.COMPLETE) == "complete"
+        assert str(ResultStatus.INCONCLUSIVE) == "inconclusive"
+
+
+class TestSearchStats:
+    def test_merge_adds_counters(self):
+        a = SearchStats(nodes_expanded=2, candidates_considered=5,
+                        constraint_evaluations=7, backtracks=1, filter_entries=10,
+                        filter_build_seconds=0.5)
+        b = SearchStats(nodes_expanded=3, candidates_considered=1,
+                        constraint_evaluations=2, backtracks=0, filter_entries=4,
+                        filter_build_seconds=0.25)
+        merged = a.merge(b)
+        assert merged.nodes_expanded == 5
+        assert merged.candidates_considered == 6
+        assert merged.constraint_evaluations == 9
+        assert merged.backtracks == 1
+        assert merged.filter_entries == 14
+        assert merged.filter_build_seconds == pytest.approx(0.75)
+
+    def test_defaults_are_zero(self):
+        stats = SearchStats()
+        assert stats.nodes_expanded == 0
+        assert stats.filter_build_seconds == 0.0

@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example must run end to end.
+
+The examples are part of the public deliverable (README points users at
+them), so the suite executes each one in a subprocess and checks both the
+exit status and a couple of landmark lines of its output.  They are kept
+small enough to finish in a few seconds each.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["ECF:", "RWB:", "LNS:", "valid"]),
+    ("planetlab_slice.py", ["PlanetLab-like trace", "algorithm chosen by the service"]),
+    ("multicast_overlay.py", ["multicast tree", "selected placement"]),
+    ("grid_allocation.py", ["grid infrastructure", "link-to-path"]),
+    ("sensor_scheduling.py", ["sensor field", "time-slotted schedule"]),
+]
+
+
+@pytest.mark.parametrize("script,landmarks", CASES,
+                         ids=[case[0] for case in CASES])
+def test_example_runs_cleanly(script, landmarks):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    completed = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True, timeout=240)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    output = completed.stdout
+    for landmark in landmarks:
+        assert landmark in output, (
+            f"expected {landmark!r} in the output of {script}; got:\n{output[-2000:]}")

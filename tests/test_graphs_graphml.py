@@ -1,0 +1,204 @@
+"""GraphML serialisation tests, including property-based round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    HostingNetwork,
+    Network,
+    QueryNetwork,
+    graphml_string,
+    parse_graphml_string,
+    read_graphml,
+    write_graphml,
+)
+from repro.graphs.attributes import AttributeSchema, AttributeSpec, graphml_type_for, infer_schema
+from repro.graphs.errors import GraphMLError
+
+
+class TestAttributeSchema:
+    def test_graphml_type_for(self):
+        assert graphml_type_for(True) == "boolean"
+        assert graphml_type_for(3) == "long"
+        assert graphml_type_for(2.5) == "double"
+        assert graphml_type_for("x") == "string"
+
+    def test_spec_coercion(self):
+        spec = AttributeSpec("delay", "edge", "double")
+        assert spec.coerce("3.5") == 3.5
+        boolean = AttributeSpec("up", "node", "boolean")
+        assert boolean.coerce("true") is True
+        assert boolean.coerce("0") is False
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("x", "link", "double")
+        with pytest.raises(ValueError):
+            AttributeSpec("x", "node", "complex")
+
+    def test_infer_schema(self):
+        schema = infer_schema([{"os": "linux", "load": 0.5}], [{"delay": 3}])
+        assert schema.spec_for("node", "os").graphml_type == "string"
+        assert schema.spec_for("node", "load").graphml_type == "double"
+        assert schema.spec_for("edge", "delay").graphml_type == "long"
+
+    def test_schema_merge(self):
+        a = AttributeSchema().declare_node("x", "double")
+        b = AttributeSchema().declare_node("x", "string").declare_edge("y", "long")
+        merged = a.merge(b)
+        assert merged.spec_for("node", "x").graphml_type == "string"
+        assert ("edge", "y") in merged
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_structure_and_types(self, small_hosting):
+        text = graphml_string(small_hosting)
+        restored = parse_graphml_string(text, cls=HostingNetwork)
+        assert restored.num_nodes == small_hosting.num_nodes
+        assert restored.num_edges == small_hosting.num_edges
+        assert restored.get_node_attr("a", "osType") == "linux"
+        assert restored.get_node_attr("a", "cpuLoad") == pytest.approx(0.2)
+        assert isinstance(restored.get_node_attr("a", "cpuLoad"), float)
+        assert restored.get_edge_attr("a", "b", "avgDelay") == pytest.approx(10.0)
+        assert not restored.directed
+
+    def test_round_trip_through_file(self, small_hosting, tmp_path):
+        path = write_graphml(small_hosting, tmp_path / "host.graphml")
+        restored = read_graphml(path, cls=HostingNetwork)
+        assert restored.num_edges == small_hosting.num_edges
+        assert isinstance(restored, HostingNetwork)
+
+    def test_round_trip_directed(self):
+        net = Network("d", directed=True)
+        net.add_node("a")
+        net.add_node("b")
+        net.add_edge("a", "b", weight=1.5)
+        restored = parse_graphml_string(graphml_string(net))
+        assert restored.directed
+        assert restored.has_edge("a", "b")
+        assert not restored.has_edge("b", "a")
+
+    def test_round_trip_boolean_attribute(self):
+        net = Network("flags")
+        net.add_node("a", up=True)
+        net.add_node("b", up=False)
+        net.add_edge("a", "b")
+        restored = parse_graphml_string(graphml_string(net))
+        assert restored.get_node_attr("a", "up") is True
+        assert restored.get_node_attr("b", "up") is False
+
+    def test_query_class_is_honoured(self, path_query):
+        restored = parse_graphml_string(graphml_string(path_query), cls=QueryNetwork)
+        assert isinstance(restored, QueryNetwork)
+        assert restored.get_edge_attr("x", "y", "maxDelay") == pytest.approx(35.0)
+
+
+class TestDefaults:
+    def test_declared_default_applied_to_missing_data(self):
+        text = """<?xml version='1.0' encoding='utf-8'?>
+        <graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+          <key id="d0" for="node" attr.name="osType" attr.type="string">
+            <default>linux</default>
+          </key>
+          <graph id="g" edgedefault="undirected">
+            <node id="a"/>
+            <node id="b"><data key="d0">bsd</data></node>
+            <edge id="e0" source="a" target="b"/>
+          </graph>
+        </graphml>"""
+        net = parse_graphml_string(text)
+        assert net.get_node_attr("a", "osType") == "linux"
+        assert net.get_node_attr("b", "osType") == "bsd"
+
+
+class TestErrors:
+    def test_invalid_xml(self):
+        with pytest.raises(GraphMLError):
+            parse_graphml_string("<graphml><graph>")
+
+    def test_wrong_root_element(self):
+        with pytest.raises(GraphMLError):
+            parse_graphml_string("<notgraphml></notgraphml>")
+
+    def test_missing_graph_element(self):
+        with pytest.raises(GraphMLError):
+            parse_graphml_string(
+                '<graphml xmlns="http://graphml.graphdrawing.org/xmlns"></graphml>')
+
+    def test_edge_referencing_unknown_node(self):
+        text = """<graphml><graph id="g" edgedefault="undirected">
+            <node id="a"/>
+            <edge source="a" target="ghost"/>
+        </graph></graphml>"""
+        with pytest.raises(Exception):
+            parse_graphml_string(text)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphMLError):
+            read_graphml(tmp_path / "nope.graphml")
+
+    def test_bad_typed_value(self):
+        text = """<graphml><key id="d0" for="edge" attr.name="delay" attr.type="double"/>
+        <graph id="g" edgedefault="undirected">
+            <node id="a"/><node id="b"/>
+            <edge source="a" target="b"><data key="d0">not-a-number</data></edge>
+        </graph></graphml>"""
+        with pytest.raises(GraphMLError):
+            parse_graphml_string(text)
+
+
+# --------------------------------------------------------------------------- #
+# Property-based round trip
+# --------------------------------------------------------------------------- #
+
+_names = st.text(alphabet="abcdefghij", min_size=1, max_size=4)
+# GraphML declares one type per attribute key, so each attribute name keeps a
+# consistent value type across the whole network (as any real dataset would).
+_value_strategies = (
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.booleans(),
+    st.text(alphabet="abcxyz-_. ", max_size=8),
+)
+
+
+@st.composite
+def _attributed_networks(draw):
+    num_nodes = draw(st.integers(min_value=1, max_value=6))
+    net = Network("prop")
+    node_attr_names = draw(st.lists(_names, max_size=3, unique=True))
+    edge_attr_names = draw(st.lists(_names, max_size=3, unique=True))
+    strategy_for = {
+        name: _value_strategies[draw(st.integers(0, len(_value_strategies) - 1))]
+        for name in set(node_attr_names) | set(edge_attr_names)
+    }
+    for index in range(num_nodes):
+        attrs = {name: draw(strategy_for[name]) for name in node_attr_names
+                 if draw(st.booleans())}
+        net.add_node(f"n{index}", **attrs)
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if draw(st.booleans()):
+                attrs = {name: draw(strategy_for[name]) for name in edge_attr_names
+                         if draw(st.booleans())}
+                net.add_edge(f"n{i}", f"n{j}", **attrs)
+    return net
+
+
+@settings(max_examples=40, deadline=None)
+@given(network=_attributed_networks())
+def test_graphml_round_trip_property(network):
+    restored = parse_graphml_string(graphml_string(network))
+    assert restored.num_nodes == network.num_nodes
+    assert restored.num_edges == network.num_edges
+    assert set(map(str, restored.nodes())) == set(map(str, network.nodes()))
+    for node in network.nodes():
+        original = network.node_attrs(node)
+        roundtripped = restored.node_attrs(str(node))
+        for key, value in original.items():
+            if isinstance(value, float):
+                assert roundtripped[key] == pytest.approx(value)
+            else:
+                assert roundtripped[key] == value

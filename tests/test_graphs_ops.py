@@ -1,0 +1,118 @@
+"""Tests for graph operations: subgraph sampling, relabeling, embedding checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import HostingNetwork, QueryNetwork, ops
+from repro.topology.random_graphs import connected_gnp
+
+
+class TestRandomConnectedNodeSet:
+    def test_requested_size_is_returned(self, small_hosting):
+        nodes = ops.random_connected_node_set(small_hosting, 4, rng=1)
+        assert len(nodes) == 4
+        assert all(small_hosting.has_node(node) for node in nodes)
+
+    def test_result_induces_connected_subgraph(self, small_hosting):
+        nodes = ops.random_connected_node_set(small_hosting, 5, rng=7)
+        sub = small_hosting.subnetwork(nodes)
+        assert sub.is_connected()
+
+    def test_size_larger_than_network_raises(self, small_hosting):
+        with pytest.raises(ValueError):
+            ops.random_connected_node_set(small_hosting, 99)
+
+    def test_non_positive_size_raises(self, small_hosting):
+        with pytest.raises(ValueError):
+            ops.random_connected_node_set(small_hosting, 0)
+
+    def test_deterministic_with_seed(self, small_hosting):
+        first = ops.random_connected_node_set(small_hosting, 4, rng=42)
+        second = ops.random_connected_node_set(small_hosting, 4, rng=42)
+        assert first == second
+
+
+class TestRandomConnectedSubgraph:
+    def test_full_induced_subgraph(self, small_hosting):
+        sub = ops.random_connected_subgraph(small_hosting, 4, rng=3)
+        assert sub.num_nodes == 4
+        assert sub.is_connected()
+        assert isinstance(sub, HostingNetwork)
+
+    def test_edge_budget_respected(self, small_hosting):
+        sub = ops.random_connected_subgraph(small_hosting, 5, num_edges=4, rng=3)
+        assert sub.num_nodes == 5
+        assert sub.num_edges == 4
+        assert sub.is_connected()
+
+    def test_too_small_edge_budget_raises(self, small_hosting):
+        with pytest.raises(ValueError):
+            ops.random_connected_subgraph(small_hosting, 5, num_edges=2, rng=3)
+
+    def test_attributes_are_preserved(self, small_hosting):
+        sub = ops.random_connected_subgraph(small_hosting, 3, rng=5)
+        for u, v in sub.edges():
+            assert sub.get_edge_attr(u, v, "avgDelay") == \
+                small_hosting.get_edge_attr(u, v, "avgDelay")
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           size=st.integers(min_value=2, max_value=10))
+    def test_sampled_subgraph_always_connected(self, seed, size):
+        hosting = connected_gnp(12, 0.3, rng=seed)
+        sub = ops.random_connected_subgraph(hosting, size, rng=seed + 1)
+        assert sub.num_nodes == size
+        assert sub.is_connected()
+
+
+class TestAsQueryAndRelabel:
+    def test_as_query_converts_class_and_filters_attributes(self, small_hosting):
+        query = ops.as_query(small_hosting, attribute_whitelist=["avgDelay"])
+        assert isinstance(query, QueryNetwork)
+        assert query.num_edges == small_hosting.num_edges
+        assert query.get_edge_attr("a", "b", "avgDelay") == 10.0
+        assert query.get_edge_attr("a", "b", "minDelay") is None
+        assert query.node_attrs("a") == {}
+
+    def test_as_query_keeps_everything_without_whitelist(self, small_hosting):
+        query = ops.as_query(small_hosting)
+        assert query.get_node_attr("a", "osType") == "linux"
+
+    def test_relabel_sequential(self, small_hosting):
+        relabeled, mapping = ops.relabel_sequential(small_hosting, prefix="q")
+        assert relabeled.num_nodes == small_hosting.num_nodes
+        assert relabeled.num_edges == small_hosting.num_edges
+        assert set(relabeled.nodes()) == {f"q{i}" for i in range(6)}
+        # Attribute payloads follow the relabeling.
+        for old, new in mapping.items():
+            assert relabeled.node_attrs(new) == small_hosting.node_attrs(old)
+
+
+class TestEmbeddingCheck:
+    def test_identity_assignment_of_subgraph_is_valid(self, small_hosting):
+        sub = small_hosting.subnetwork(["a", "b", "e"])
+        query = ops.as_query(sub)
+        assignment = {node: node for node in query.nodes()}
+        assert ops.is_subgraph_embedding(query, small_hosting, assignment)
+
+    def test_non_injective_assignment_is_invalid(self, small_hosting, path_query):
+        assignment = {"x": "a", "y": "b", "z": "b"}
+        assert not ops.is_subgraph_embedding(path_query, small_hosting, assignment)
+
+    def test_missing_edge_is_invalid(self, small_hosting, path_query):
+        # a and e are not adjacent in the small hosting network.
+        assignment = {"x": "a", "y": "e", "z": "f"}
+        assert not ops.is_subgraph_embedding(path_query, small_hosting, assignment)
+
+    def test_partial_coverage_is_invalid(self, small_hosting, path_query):
+        assert not ops.is_subgraph_embedding(path_query, small_hosting, {"x": "a"})
+
+    def test_degree_sorted_nodes(self, small_hosting):
+        ordered = ops.degree_sorted_nodes(small_hosting)
+        degrees = [small_hosting.degree(node) for node in ordered]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_edge_induced_nodes(self):
+        assert ops.edge_induced_nodes([("a", "b"), ("b", "c"), ("a", "c")]) == ["a", "b", "c"]

@@ -1,0 +1,236 @@
+"""Tests for the hosting-network generators: PlanetLab-like, BRITE-like,
+transit-stub, composites and delay models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import HostingNetwork, QueryNetwork
+from repro.topology import (
+    CompositeSpec,
+    barabasi_albert,
+    composite,
+    composite_series,
+    connected_gnp,
+    connected_graph_with_edges,
+    delay_band_summary,
+    level_edges,
+    paper_hosting_networks,
+    random_tree,
+    synthetic_planetlab_trace,
+    transit_stub,
+    waxman,
+)
+from repro.topology.delays import delay_from_distance, delay_triple, euclidean_distance
+
+
+class TestDelayModel:
+    def test_delay_triple_ordering(self):
+        for seed in range(10):
+            triple = delay_triple(25.0, rng=seed)
+            assert triple["minDelay"] <= triple["avgDelay"] <= triple["maxDelay"]
+
+    def test_delay_triple_rejects_non_positive_base(self):
+        with pytest.raises(ValueError):
+            delay_triple(0.0)
+
+    def test_delay_from_distance_has_floor(self):
+        assert delay_from_distance(0.0) > 0
+
+    def test_euclidean_distance(self):
+        assert euclidean_distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(base=st.floats(min_value=0.5, max_value=500.0),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_delay_triple_property(self, base, seed):
+        triple = delay_triple(base, rng=seed)
+        assert triple["minDelay"] <= triple["avgDelay"] <= triple["maxDelay"]
+        assert triple["minDelay"] >= 0.1
+
+
+class TestPlanetLabTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return synthetic_planetlab_trace(num_sites=120, rng=42)
+
+    def test_scale_and_connectivity(self, trace):
+        assert trace.num_nodes == 120
+        # ~66% of all pairs measured: expect a dense near-clique.
+        full_clique = 120 * 119 // 2
+        assert 0.55 * full_clique <= trace.num_edges <= 0.8 * full_clique
+        assert trace.is_connected()
+        assert isinstance(trace, HostingNetwork)
+
+    def test_every_edge_has_a_delay_triple(self, trace):
+        for u, v in trace.edges():
+            attrs = trace.edge_attrs(u, v)
+            assert attrs["minDelay"] <= attrs["avgDelay"] <= attrs["maxDelay"]
+
+    def test_node_attributes_present(self, trace):
+        for node in trace.nodes():
+            attrs = trace.node_attrs(node)
+            assert attrs["region"]
+            assert attrs["osType"]
+            assert "x" in attrs and "y" in attrs
+
+    def test_delay_bands_match_paper_structure(self, trace):
+        """The bands the paper's experiments rely on must be well populated."""
+        bands = delay_band_summary(trace)
+        # 25–175 ms: the paper quotes ~70 % of links; allow a generous window.
+        assert 0.5 <= bands["25-175ms"] <= 0.95
+        # 10–100 ms (clique experiment): thousands of links, i.e. a sizeable fraction.
+        assert bands["10-100ms"] >= 0.15
+        # Both intra-site (1–75 ms) and wide-area (75–350 ms) links are abundant.
+        assert bands["1-75ms"] >= 0.15
+        assert bands["75-350ms"] >= 0.15
+
+    def test_regions_are_all_represented(self, trace):
+        regions = {trace.get_node_attr(node, "region") for node in trace.nodes()}
+        assert len(regions) >= 4
+
+    def test_reproducible_with_seed(self):
+        first = synthetic_planetlab_trace(num_sites=40, rng=7)
+        second = synthetic_planetlab_trace(num_sites=40, rng=7)
+        assert sorted(first.nodes()) == sorted(second.nodes())
+        assert sorted(first.edges()) == sorted(second.edges())
+        assert first.get_edge_attr(*first.edges()[0], "avgDelay") == \
+            second.get_edge_attr(*second.edges()[0], "avgDelay")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_planetlab_trace(num_sites=1)
+        with pytest.raises(ValueError):
+            synthetic_planetlab_trace(edge_probability=0.0)
+
+
+class TestBrite:
+    def test_barabasi_albert_scale(self):
+        net = barabasi_albert(200, edges_per_node=2, rng=3)
+        assert net.num_nodes == 200
+        # E ≈ 2N (the paper's BRITE settings): seed clique + 2 per added node.
+        assert 350 <= net.num_edges <= 450
+        assert net.is_connected()
+
+    def test_barabasi_albert_power_law_ish_degrees(self):
+        net = barabasi_albert(300, edges_per_node=2, rng=5)
+        degrees = sorted((net.degree(node) for node in net.nodes()), reverse=True)
+        # Heavy tail: the best-connected node far exceeds the median degree.
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+    def test_barabasi_albert_delay_attributes(self):
+        net = barabasi_albert(50, rng=1)
+        for u, v in net.edges():
+            attrs = net.edge_attrs(u, v)
+            assert attrs["minDelay"] <= attrs["avgDelay"] <= attrs["maxDelay"]
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, edges_per_node=5)
+        with pytest.raises(ValueError):
+            barabasi_albert(10, edges_per_node=0)
+
+    def test_waxman_connected(self):
+        net = waxman(60, rng=9)
+        assert net.num_nodes == 60
+        assert net.is_connected()
+
+    def test_waxman_validation(self):
+        with pytest.raises(ValueError):
+            waxman(10, alpha=0.0)
+        with pytest.raises(ValueError):
+            waxman(10, beta=-1.0)
+
+    def test_paper_hosting_networks_scaled(self):
+        hosts = paper_hosting_networks(rng=1, scale=0.02)
+        assert len(hosts) == 3
+        sizes = [host.num_nodes for host in hosts]
+        assert sizes == sorted(sizes)
+        assert all(host.is_connected() for host in hosts)
+
+
+class TestTransitStub:
+    def test_structure(self):
+        net = transit_stub(num_transit_domains=2, transit_size=3,
+                           stubs_per_transit_node=2, stub_size=3, rng=4)
+        assert net.is_connected()
+        tiers = {net.get_node_attr(node, "tier") for node in net.nodes()}
+        assert tiers == {"transit", "stub"}
+        transit_nodes = [n for n in net.nodes() if net.get_node_attr(n, "tier") == "transit"]
+        stub_nodes = [n for n in net.nodes() if net.get_node_attr(n, "tier") == "stub"]
+        assert len(transit_nodes) == 6
+        assert len(stub_nodes) == 6 * 2 * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transit_stub(num_transit_domains=0)
+
+
+class TestComposite:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            CompositeSpec(root_shape="torus")
+        with pytest.raises(ValueError):
+            CompositeSpec(num_groups=1)
+        with pytest.raises(ValueError):
+            CompositeSpec(group_size=0)
+
+    def test_total_nodes(self):
+        spec = CompositeSpec(root_shape="ring", num_groups=3, group_shape="star",
+                             group_size=4)
+        assert spec.total_nodes == 12
+        net = composite(spec)
+        assert net.num_nodes == 12
+
+    def test_level_attributes(self):
+        spec = CompositeSpec(root_shape="ring", num_groups=4, group_shape="clique",
+                             group_size=3)
+        net = composite(spec)
+        root = level_edges(net, 0)
+        local = level_edges(net, 1)
+        assert len(root) == 4            # ring of 4 groups
+        assert len(local) == 4 * 3       # clique of 3 per group
+        assert len(root) + len(local) == net.num_edges
+
+    def test_gateways_carry_root_level_edges(self):
+        net = composite(CompositeSpec(root_shape="ring", num_groups=3,
+                                      group_shape="star", group_size=3))
+        for u, v in level_edges(net, 0):
+            assert net.get_node_attr(u, "gateway") is True
+            assert net.get_node_attr(v, "gateway") is True
+
+    def test_single_node_groups(self):
+        net = composite(CompositeSpec(root_shape="clique", num_groups=3,
+                                      group_shape="star", group_size=1))
+        assert net.num_nodes == 3
+        assert net.num_edges == 3
+
+    def test_composite_series_sizes(self):
+        series = composite_series([8, 16, 24], group_size=4)
+        assert [net.num_nodes for net in series] == [8, 16, 24]
+        assert all(isinstance(net, QueryNetwork) for net in series)
+
+
+class TestRandomGraphHelpers:
+    def test_random_tree(self):
+        net = random_tree(10, rng=2)
+        assert net.num_edges == 9
+        assert net.is_connected()
+
+    def test_connected_gnp(self):
+        net = connected_gnp(15, 0.2, rng=3)
+        assert net.is_connected()
+        assert net.num_edges >= 14
+
+    def test_connected_graph_with_edges_exact(self):
+        net = connected_graph_with_edges(8, 12, rng=4)
+        assert net.num_nodes == 8
+        assert net.num_edges == 12
+        assert net.is_connected()
+
+    def test_connected_graph_with_edges_validation(self):
+        with pytest.raises(ValueError):
+            connected_graph_with_edges(5, 2)
+        with pytest.raises(ValueError):
+            connected_graph_with_edges(5, 100)

@@ -1,0 +1,108 @@
+"""Tests for the regular topology generators (rings, stars, cliques, ...)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import Network, QueryNetwork
+from repro.topology.regular import (
+    REGULAR_SHAPES,
+    balanced_tree,
+    clique,
+    grid,
+    hypercube,
+    line,
+    regular_by_name,
+    ring,
+    star,
+)
+
+
+class TestShapes:
+    def test_ring(self):
+        net = ring(5)
+        assert net.num_nodes == 5
+        assert net.num_edges == 5
+        assert all(net.degree(node) == 2 for node in net.nodes())
+        assert net.is_connected()
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring(2)
+
+    def test_line(self):
+        net = line(4)
+        assert net.num_nodes == 4
+        assert net.num_edges == 3
+        degrees = sorted(net.degree(node) for node in net.nodes())
+        assert degrees == [1, 1, 2, 2]
+
+    def test_star(self):
+        net = star(6)
+        assert net.num_nodes == 7
+        assert net.num_edges == 6
+        assert net.degree("n0") == 6
+        assert all(net.degree(f"n{i}") == 1 for i in range(1, 7))
+
+    def test_clique(self):
+        net = clique(5)
+        assert net.num_nodes == 5
+        assert net.num_edges == 10
+        assert all(net.degree(node) == 4 for node in net.nodes())
+
+    def test_clique_minimum_size(self):
+        with pytest.raises(ValueError):
+            clique(1)
+
+    def test_balanced_tree(self):
+        net = balanced_tree(branching=2, depth=3)
+        assert net.num_nodes == 1 + 2 + 4 + 8
+        assert net.num_edges == net.num_nodes - 1
+        assert net.is_connected()
+
+    def test_grid(self):
+        net = grid(3, 4)
+        assert net.num_nodes == 12
+        assert net.num_edges == 3 * 3 + 2 * 4   # horizontal + vertical
+        assert net.is_connected()
+
+    def test_hypercube(self):
+        net = hypercube(3)
+        assert net.num_nodes == 8
+        assert net.num_edges == 12
+        assert all(net.degree(node) == 3 for node in net.nodes())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            line(1)
+        with pytest.raises(ValueError):
+            star(0)
+        with pytest.raises(ValueError):
+            balanced_tree(0, 2)
+        with pytest.raises(ValueError):
+            grid(0, 3)
+        with pytest.raises(ValueError):
+            hypercube(0)
+
+
+class TestRegistryAndClasses:
+    def test_default_class_is_query_network(self):
+        assert isinstance(ring(4), QueryNetwork)
+
+    def test_custom_class(self):
+        net = ring(4, cls=Network)
+        assert isinstance(net, Network)
+        assert not isinstance(net, QueryNetwork)
+
+    def test_custom_prefix(self):
+        net = line(3, prefix="host")
+        assert set(net.nodes()) == {"host0", "host1", "host2"}
+
+    def test_regular_by_name_total_node_semantics(self):
+        for shape in REGULAR_SHAPES:
+            net = regular_by_name(shape, 5)
+            assert net.num_nodes == 5, shape
+
+    def test_regular_by_name_unknown_shape(self):
+        with pytest.raises(ValueError):
+            regular_by_name("torus", 5)

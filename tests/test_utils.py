@@ -1,0 +1,147 @@
+"""Tests for the shared utilities: RNG normalisation, timing, validation."""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Deadline,
+    Stopwatch,
+    TimeoutExpired,
+    as_rng,
+    require,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_type,
+    spawn_rngs,
+)
+from repro.utils.rng import as_numpy_rng, sample_without_replacement, shuffled
+
+
+class TestRng:
+    def test_as_rng_from_seed_is_deterministic(self):
+        assert as_rng(42).random() == as_rng(42).random()
+
+    def test_as_rng_passthrough(self):
+        rng = random.Random(1)
+        assert as_rng(rng) is rng
+
+    def test_as_rng_from_numpy_generator(self):
+        generator = np.random.default_rng(5)
+        rng = as_rng(generator)
+        assert isinstance(rng, random.Random)
+
+    def test_as_rng_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")
+
+    def test_as_numpy_rng_variants(self):
+        assert isinstance(as_numpy_rng(3), np.random.Generator)
+        assert isinstance(as_numpy_rng(random.Random(1)), np.random.Generator)
+        generator = np.random.default_rng(2)
+        assert as_numpy_rng(generator) is generator
+        with pytest.raises(TypeError):
+            as_numpy_rng("x")
+
+    def test_spawn_rngs_are_independent_but_reproducible(self):
+        first = [r.random() for r in spawn_rngs(7, 3)]
+        second = [r.random() for r in spawn_rngs(7, 3)]
+        assert first == second
+        assert len(set(first)) == 3
+
+    def test_spawn_rngs_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_sample_without_replacement(self):
+        sample = sample_without_replacement(random.Random(1), range(10), 4)
+        assert len(sample) == len(set(sample)) == 4
+        with pytest.raises(ValueError):
+            sample_without_replacement(random.Random(1), range(3), 5)
+
+    def test_shuffled_preserves_elements(self):
+        items = list(range(20))
+        result = shuffled(random.Random(3), items)
+        assert sorted(result) == items
+        assert items == list(range(20))   # input untouched
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        deadline = Deadline.unlimited()
+        assert not deadline.expired()
+        assert deadline.remaining == math.inf
+        deadline.check()   # must not raise
+
+    def test_expiry_and_check(self):
+        deadline = Deadline(seconds=0.01)
+        time.sleep(0.02)
+        assert deadline.expired()
+        with pytest.raises(TimeoutExpired):
+            deadline.check()
+
+    def test_restart_resets_clock(self):
+        deadline = Deadline(seconds=0.05)
+        time.sleep(0.02)
+        elapsed_before = deadline.elapsed
+        deadline.restart()
+        assert deadline.elapsed < elapsed_before
+
+    def test_remaining_decreases(self):
+        deadline = Deadline(seconds=10.0)
+        first = deadline.remaining
+        time.sleep(0.01)
+        assert deadline.remaining < first
+
+
+class TestStopwatch:
+    def test_accumulates_across_start_stop(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.01)
+        first = watch.stop()
+        watch.start()
+        time.sleep(0.01)
+        second = watch.stop()
+        assert second > first > 0
+
+    def test_context_manager(self):
+        with Stopwatch() as watch:
+            time.sleep(0.01)
+        assert watch.elapsed >= 0.01
+
+    def test_reset(self):
+        watch = Stopwatch().start()
+        watch.stop()
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+
+class TestValidationHelpers:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    def test_require_type(self):
+        require_type(3, int, "value")
+        require_type("x", (int, str), "value")
+        with pytest.raises(TypeError):
+            require_type(3.5, int, "value")
+
+    def test_numeric_requirements(self):
+        require_positive(1, "x")
+        require_non_negative(0, "x")
+        require_in_range(5, 0, 10, "x")
+        with pytest.raises(ValueError):
+            require_positive(0, "x")
+        with pytest.raises(ValueError):
+            require_non_negative(-1, "x")
+        with pytest.raises(ValueError):
+            require_in_range(11, 0, 10, "x")
