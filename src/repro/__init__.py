@@ -30,6 +30,9 @@ Quick start::
 
 Subpackages
 -----------
+``repro.api``
+    The unified request/response API: :class:`SearchRequest`/:class:`Budget`,
+    the capability-based :class:`AlgorithmRegistry` and selection policies.
 ``repro.core``
     The three NETEMBED algorithms (ECF, RWB, LNS), filters and results.
 ``repro.graphs``
@@ -51,6 +54,16 @@ Subpackages
     The experiment harness that regenerates every figure of §VII.
 """
 
+from repro.api import (
+    AlgorithmRegistry,
+    Budget,
+    Capability,
+    PaperSelectionPolicy,
+    SearchRequest,
+    SelectionPolicy,
+    default_registry,
+    register_algorithm,
+)
 from repro.constraints import ConstraintExpression
 from repro.core import (
     ALGORITHMS,
@@ -77,6 +90,14 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "ConstraintExpression",
+    "SearchRequest",
+    "Budget",
+    "Capability",
+    "AlgorithmRegistry",
+    "default_registry",
+    "register_algorithm",
+    "SelectionPolicy",
+    "PaperSelectionPolicy",
     "ECF",
     "RWB",
     "LNS",

@@ -21,7 +21,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.baselines import BASELINES
+import repro.baselines  # noqa: F401 — registers the baselines with the registry
+from repro.api import default_registry
 from repro.core import ECF, LNS, RWB, EmbeddingAlgorithm
 from repro.graphs.hosting import HostingNetwork
 from repro.analysis.metrics import group_summaries, proportions
@@ -43,7 +44,10 @@ DEFAULT_TIMEOUT = 5.0
 
 def default_algorithms(rng: RandomSource = None) -> List[EmbeddingAlgorithm]:
     """Fresh instances of the three NETEMBED algorithms (RWB seeded from *rng*)."""
-    return [ECF(), RWB(rng=as_rng(rng).getrandbits(32) if rng is not None else None), LNS()]
+    registry = default_registry()
+    seed = as_rng(rng).getrandbits(32) if rng is not None else None
+    return [registry.create("ECF"), registry.create("RWB", rng=seed),
+            registry.create("LNS")]
 
 
 # --------------------------------------------------------------------------- #
@@ -288,12 +292,15 @@ def baseline_comparison_experiment(seed: RandomSource = 0, scaled: bool = True,
         hosting, type(scale)(hosting_nodes=scale.hosting_nodes,
                              query_sizes=tuple(sizes),
                              queries_per_size=scale.queries_per_size), rng=rng)
+    registry = default_registry()
     solvers: List[EmbeddingAlgorithm] = default_algorithms(rng)
     solvers.extend([
-        BASELINES["bruteforce"](),
-        BASELINES["annealing"](max_iterations=4000, restarts=2, rng=rng.getrandbits(32)),
-        BASELINES["genetic"](population_size=24, generations=60, rng=rng.getrandbits(32)),
-        BASELINES["stress"](),
+        registry.create("bruteforce"),
+        registry.create("annealing", max_iterations=4000, restarts=2,
+                        rng=rng.getrandbits(32)),
+        registry.create("genetic", population_size=24, generations=60,
+                        rng=rng.getrandbits(32)),
+        registry.create("stress"),
     ])
     return run_workloads(hosting, workloads, solvers, timeout=timeout, max_results=1,
                          extra_fields={"experiment": "baselines"})
@@ -344,7 +351,7 @@ def filter_ablation_experiment(seed: RandomSource = 0, scaled: bool = True,
     workloads = build_subgraph_suite(
         hosting, type(scale)(hosting_nodes=scale.hosting_nodes, query_sizes=sizes,
                              queries_per_size=scale.queries_per_size), rng=rng)
-    algorithms = [ECF(), BASELINES["bruteforce"]()]
+    algorithms = [ECF(), default_registry().create("bruteforce")]
     return run_workloads(hosting, workloads, algorithms, timeout=timeout, max_results=1,
                          extra_fields={"experiment": "ablation-filters"})
 

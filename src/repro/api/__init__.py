@@ -1,0 +1,59 @@
+"""The unified embedding API: request objects, the algorithm registry and
+selection policies.
+
+This package is the stable contract between callers and algorithms:
+
+* :class:`SearchRequest` / :class:`Budget` — the immutable request model all
+  entry points funnel into (validation and constraint coercion happen once,
+  here, instead of in every algorithm);
+* :class:`AlgorithmRegistry` / :func:`register_algorithm` /
+  :class:`Capability` — capability-annotated discovery of every algorithm
+  (the three NETEMBED searchers and the four baselines register themselves);
+* :class:`SelectionPolicy` / :class:`PaperSelectionPolicy` — pluggable
+  auto-selection consulting declared capabilities plus the paper's §VII-E
+  guidance.
+
+It deliberately does **not** import :mod:`repro.core`: the algorithm modules
+import the registry to register themselves, so the dependency must point that
+way only.
+"""
+
+from repro.api.registry import (
+    AlgorithmInfo,
+    AlgorithmRegistry,
+    Capability,
+    DuplicateAlgorithmError,
+    UnknownAlgorithmError,
+    default_registry,
+    register_algorithm,
+)
+from repro.api.request import (
+    UNLIMITED,
+    Budget,
+    SearchRequest,
+    coerce_constraint,
+)
+from repro.api.selection import (
+    FixedSelectionPolicy,
+    PaperSelectionPolicy,
+    SelectionPolicy,
+    looks_regular,
+)
+
+__all__ = [
+    "SearchRequest",
+    "Budget",
+    "UNLIMITED",
+    "coerce_constraint",
+    "AlgorithmRegistry",
+    "AlgorithmInfo",
+    "Capability",
+    "DuplicateAlgorithmError",
+    "UnknownAlgorithmError",
+    "default_registry",
+    "register_algorithm",
+    "SelectionPolicy",
+    "PaperSelectionPolicy",
+    "FixedSelectionPolicy",
+    "looks_regular",
+]

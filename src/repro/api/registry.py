@@ -1,0 +1,243 @@
+"""Capability-based algorithm registry.
+
+The seed hardwired its algorithms twice: ``repro.core.ALGORITHMS`` held the
+three NETEMBED algorithms, ``repro.baselines.BASELINES`` held the four
+baselines, and the service's auto-selection was an if/elif chain over
+isinstance-style knowledge.  :class:`AlgorithmRegistry` replaces all three:
+every :class:`~repro.core.base.EmbeddingAlgorithm` subclass registers itself
+with the :func:`register_algorithm` decorator, declaring *capabilities* —
+machine-readable facts about its behaviour (complete enumeration, randomised,
+proves infeasibility, ...) — that selection policies and tooling query
+instead of hardcoding class names.
+
+The registry is deliberately independent of :mod:`repro.core` (it stores
+opaque factories) so the core algorithm modules can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Union
+
+
+class Capability(str, Enum):
+    """Declarative facts about an embedding algorithm's behaviour.
+
+    Selection policies, the CLI's ``list-algorithms`` table and tests consume
+    these instead of switching on concrete classes.
+    """
+
+    #: Enumerates every feasible embedding when given enough time.
+    COMPLETE_ENUMERATION = "complete-enumeration"
+    #: Uses randomness; repeated runs may return different embeddings.
+    RANDOMIZED = "randomized"
+    #: Same inputs always produce the same output.
+    DETERMINISTIC = "deterministic"
+    #: Designed to stop at the first feasible embedding (paper footnote 7).
+    FIRST_MATCH_ONLY = "first-match-only"
+    #: Handles directed query/hosting networks.
+    SUPPORTS_DIRECTED = "supports-directed"
+    #: An exhausted run with no results is a proof of infeasibility.
+    PROVES_INFEASIBILITY = "proves-infeasibility"
+    #: Incomplete heuristic: may fail to find an embedding that exists.
+    HEURISTIC = "heuristic"
+    #: Avoids the O(n·|E_Q|·|E_R|) filter matrices (lazy constraint checks).
+    LOW_MEMORY = "low-memory"
+    #: Accepts an ``rng``/seed argument for reproducible runs.
+    SEEDABLE = "seedable"
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        return self.value
+
+
+#: What callers may pass wherever a capability is expected.
+CapabilityLike = Union[Capability, str]
+
+
+def _coerce_capability(value: CapabilityLike) -> Capability:
+    if isinstance(value, Capability):
+        return value
+    try:
+        return Capability(value)
+    except ValueError:
+        known = sorted(c.value for c in Capability)
+        raise ValueError(
+            f"unknown capability {value!r}; expected one of {known}") from None
+
+
+class DuplicateAlgorithmError(ValueError):
+    """Raised when a name is registered twice without ``replace=True``."""
+
+
+class UnknownAlgorithmError(ValueError):
+    """Raised when a lookup names an algorithm that is not registered."""
+
+    def __init__(self, name: str, available: Iterable[str]):
+        super().__init__(
+            f"unknown algorithm {name!r}; registered algorithms: "
+            f"{sorted(available)}")
+        self.name = name
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """One registry entry: how to build an algorithm and what it can do."""
+
+    name: str
+    factory: Callable[..., object]
+    capabilities: FrozenSet[Capability] = frozenset()
+    summary: str = ""
+    tags: FrozenSet[str] = frozenset()
+
+    def has(self, *capabilities: CapabilityLike) -> bool:
+        """Whether this algorithm declares every one of *capabilities*."""
+        return all(_coerce_capability(c) in self.capabilities
+                   for c in capabilities)
+
+    def create(self, **kwargs):
+        """Instantiate the algorithm (keyword arguments go to the factory)."""
+        return self.factory(**kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        caps = ", ".join(sorted(c.value for c in self.capabilities))
+        return f"<AlgorithmInfo {self.name} [{caps}]>"
+
+
+class AlgorithmRegistry:
+    """Named, capability-annotated store of embedding-algorithm factories.
+
+    Lookups are case-insensitive (``"ecf"`` and ``"ECF"`` resolve to the same
+    entry) while :meth:`names` preserves the registered display names.  The
+    registry is thread-safe: the batch service may consult it from worker
+    threads while a plugin registers late.
+    """
+
+    def __init__(self) -> None:
+        self._infos: Dict[str, AlgorithmInfo] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+
+    def register(self, name: str, factory: Callable[..., object],
+                 capabilities: Iterable[CapabilityLike] = (),
+                 summary: str = "", tags: Iterable[str] = (),
+                 replace: bool = False) -> AlgorithmInfo:
+        """Register *factory* under *name*; returns the stored entry."""
+        if not name or not isinstance(name, str):
+            raise ValueError(f"algorithm name must be a non-empty string, got {name!r}")
+        if not callable(factory):
+            raise TypeError(f"factory must be callable, got {type(factory).__name__}")
+        info = AlgorithmInfo(
+            name=name,
+            factory=factory,
+            capabilities=frozenset(_coerce_capability(c) for c in capabilities),
+            summary=summary,
+            tags=frozenset(tags),
+        )
+        key = name.lower()
+        with self._lock:
+            if key in self._infos and not replace:
+                raise DuplicateAlgorithmError(
+                    f"algorithm {name!r} is already registered "
+                    f"(as {self._infos[key].name!r}); pass replace=True to override")
+            self._infos[key] = info
+        return info
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered algorithm (mainly for tests and plugins)."""
+        key = name.lower()
+        with self._lock:
+            if key not in self._infos:
+                raise UnknownAlgorithmError(name, self._display_names())
+            del self._infos[key]
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, name: str) -> AlgorithmInfo:
+        """The entry registered under *name* (case-insensitive)."""
+        key = name.lower() if isinstance(name, str) else name
+        with self._lock:
+            try:
+                return self._infos[key]
+            except (KeyError, TypeError, AttributeError):
+                raise UnknownAlgorithmError(str(name), self._display_names()) from None
+
+    def create(self, name: str, **kwargs):
+        """Instantiate the algorithm registered under *name*."""
+        return self.get(name).create(**kwargs)
+
+    def names(self) -> List[str]:
+        """All registered display names, sorted."""
+        with self._lock:
+            return sorted(self._display_names())
+
+    def infos(self) -> List[AlgorithmInfo]:
+        """All entries, sorted by display name."""
+        with self._lock:
+            return sorted(self._infos.values(), key=lambda info: info.name.lower())
+
+    def with_capabilities(self, *capabilities: CapabilityLike) -> List[AlgorithmInfo]:
+        """Entries declaring every one of *capabilities*."""
+        wanted = [_coerce_capability(c) for c in capabilities]
+        return [info for info in self.infos() if info.has(*wanted)]
+
+    def with_tag(self, tag: str) -> List[AlgorithmInfo]:
+        """Entries carrying *tag* (e.g. ``"core"`` vs ``"baseline"``)."""
+        return [info for info in self.infos() if tag in info.tags]
+
+    # ------------------------------------------------------------------ #
+
+    def _display_names(self) -> List[str]:
+        return [info.name for info in self._infos.values()]
+
+    def __contains__(self, name: str) -> bool:
+        return isinstance(name, str) and name.lower() in self._infos
+
+    def __len__(self) -> int:
+        return len(self._infos)
+
+    def __iter__(self) -> Iterator[AlgorithmInfo]:
+        return iter(self.infos())
+
+
+#: The process-wide registry that `@register_algorithm` populates.
+_DEFAULT_REGISTRY = AlgorithmRegistry()
+
+
+def default_registry() -> AlgorithmRegistry:
+    """The process-wide registry holding all built-in algorithms."""
+    return _DEFAULT_REGISTRY
+
+
+def register_algorithm(name: Optional[str] = None, *,
+                       capabilities: Iterable[CapabilityLike] = (),
+                       summary: Optional[str] = None,
+                       tags: Iterable[str] = (),
+                       registry: Optional[AlgorithmRegistry] = None,
+                       replace: bool = False):
+    """Class decorator registering an :class:`EmbeddingAlgorithm` subclass.
+
+    ``name`` defaults to the class's ``name`` attribute; ``summary`` defaults
+    to the first line of the class docstring.  Usage::
+
+        @register_algorithm(capabilities=[Capability.COMPLETE_ENUMERATION])
+        class ECF(EmbeddingAlgorithm):
+            ...
+    """
+
+    def decorate(cls):
+        target = registry if registry is not None else _DEFAULT_REGISTRY
+        display = name or getattr(cls, "name", None) or cls.__name__
+        doc = (cls.__doc__ or "").strip().splitlines()
+        target.register(
+            display, cls,
+            capabilities=capabilities,
+            summary=summary if summary is not None else (doc[0] if doc else ""),
+            tags=tags,
+            replace=replace,
+        )
+        return cls
+
+    return decorate

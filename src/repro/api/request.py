@@ -1,0 +1,177 @@
+"""The request/response object model of the embedding API.
+
+Historically every algorithm and baseline exposed a growing keyword list on
+:meth:`~repro.core.base.EmbeddingAlgorithm.search`, each re-validating and
+re-documenting the same arguments.  :class:`SearchRequest` centralises that:
+it is an immutable value object holding the query, the hosting network, the
+(coerced) constraint expressions and a :class:`Budget`, validated exactly
+once at construction time.  Algorithms consume it through
+:meth:`EmbeddingAlgorithm.request`; the old ``search(**kwargs)`` signature
+survives as a thin shim that builds a request.
+
+Being frozen dataclasses, requests are hashable-by-identity, safe to share
+across threads (the batch service submits the same request objects to a
+thread pool) and cheap to derive from one another via :meth:`SearchRequest.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as _dc_replace
+from typing import Optional, Union
+
+from repro.constraints import ConstraintExpression
+from repro.graphs.network import Network
+from repro.graphs.query import QueryNetwork
+
+#: What callers may pass wherever a constraint is expected.
+ConstraintLike = Union[None, str, ConstraintExpression]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Resource limits for one embedding search.
+
+    Attributes
+    ----------
+    timeout:
+        Wall-clock budget in seconds (``None`` = unlimited).
+    max_results:
+        Stop after this many embeddings (``None`` = all the algorithm is
+        designed to find).
+    """
+
+    timeout: Optional[float] = None
+    max_results: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {self.timeout}")
+        if self.max_results is not None and self.max_results < 1:
+            raise ValueError(
+                f"max_results must be >= 1 or None, got {self.max_results}")
+
+    @classmethod
+    def first_match(cls, timeout: Optional[float] = None) -> "Budget":
+        """A budget that stops at the first feasible embedding."""
+        return cls(timeout=timeout, max_results=1)
+
+    def with_default_timeout(self, default: Optional[float]) -> "Budget":
+        """This budget with *default* filled in when no timeout is set."""
+        if self.timeout is not None or default is None:
+            return self
+        return Budget(timeout=default, max_results=self.max_results)
+
+    @property
+    def wants_single(self) -> bool:
+        """Whether the caller asked for exactly one embedding."""
+        return self.max_results == 1
+
+
+#: The do-nothing budget: unlimited time, all results.
+UNLIMITED = Budget()
+
+
+def coerce_constraint(value: ConstraintLike, *,
+                      default_true: bool) -> Optional[ConstraintExpression]:
+    """Accept ``None``, a source string or a ConstraintExpression uniformly."""
+    if value is None:
+        return ConstraintExpression.always_true() if default_true else None
+    if isinstance(value, ConstraintExpression):
+        return value
+    if isinstance(value, str):
+        return ConstraintExpression(value)
+    raise TypeError(
+        f"constraint must be a ConstraintExpression, a source string or None, "
+        f"got {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """A fully validated embedding request.
+
+    Attributes
+    ----------
+    query:
+        The virtual network to embed.
+    hosting:
+        The real infrastructure to embed into.
+    constraint:
+        Edge constraint expression; strings are parsed at construction and
+        ``None`` becomes the always-true expression, so consumers always see
+        a :class:`ConstraintExpression`.
+    node_constraint:
+        Optional node-level constraint over ``vNode``/``rNode`` (``None`` is
+        preserved: "no node constraint" is cheaper than an always-true one).
+    budget:
+        Timeout and result-cap limits (:data:`UNLIMITED` by default).
+    """
+
+    query: QueryNetwork
+    hosting: Network
+    constraint: ConstraintExpression = field(
+        default_factory=ConstraintExpression.always_true)
+    node_constraint: Optional[ConstraintExpression] = None
+    budget: Budget = UNLIMITED
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.query, QueryNetwork):
+            raise TypeError(
+                f"query must be a QueryNetwork, got {type(self.query).__name__}")
+        if not isinstance(self.hosting, Network):
+            raise TypeError(
+                f"hosting must be a Network, got {type(self.hosting).__name__}")
+        if self.query.directed != self.hosting.directed:
+            raise ValueError(
+                "query and hosting networks must agree on directedness "
+                f"(query directed={self.query.directed}, "
+                f"hosting directed={self.hosting.directed})")
+        if not isinstance(self.budget, Budget):
+            raise TypeError(
+                f"budget must be a Budget, got {type(self.budget).__name__}")
+        # Coerce the constraints in place (frozen dataclass => object.__setattr__).
+        object.__setattr__(self, "constraint",
+                           coerce_constraint(self.constraint, default_true=True))
+        object.__setattr__(self, "node_constraint",
+                           coerce_constraint(self.node_constraint,
+                                             default_true=False))
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(cls, query: QueryNetwork, hosting: Network,
+              constraint: ConstraintLike = None,
+              node_constraint: ConstraintLike = None,
+              timeout: Optional[float] = None,
+              max_results: Optional[int] = None,
+              budget: Optional[Budget] = None) -> "SearchRequest":
+        """Construct a request from the legacy keyword-argument surface.
+
+        ``budget`` and the flat ``timeout``/``max_results`` pair are mutually
+        exclusive ways of expressing the same limits.
+        """
+        if budget is not None:
+            if timeout is not None or max_results is not None:
+                raise ValueError(
+                    "pass either budget or timeout/max_results, not both")
+        else:
+            budget = Budget(timeout=timeout, max_results=max_results)
+        return cls(query=query, hosting=hosting, constraint=constraint,
+                   node_constraint=node_constraint, budget=budget)
+
+    def replace(self, **changes) -> "SearchRequest":
+        """A copy of this request with *changes* applied (re-validated)."""
+        return _dc_replace(self, **changes)
+
+    @property
+    def timeout(self) -> Optional[float]:
+        """Shortcut for ``budget.timeout``."""
+        return self.budget.timeout
+
+    @property
+    def max_results(self) -> Optional[int]:
+        """Shortcut for ``budget.max_results``."""
+        return self.budget.max_results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SearchRequest {self.query.name!r} -> {self.hosting.name!r} "
+                f"timeout={self.budget.timeout} max_results={self.budget.max_results}>")

@@ -1,0 +1,156 @@
+"""Capability-driven algorithm selection policies.
+
+The service's old ``_auto_algorithm`` was an if/elif chain that named ECF,
+RWB and LNS directly.  A :class:`SelectionPolicy` instead *describes* what
+kind of algorithm a request needs — in terms of the declared
+:class:`~repro.api.registry.Capability` flags — and lets the registry answer.
+New algorithms (or replacements registered by plugins) participate in
+auto-selection simply by declaring honest capabilities; the policy never has
+to learn their names.
+
+:class:`PaperSelectionPolicy` encodes the paper's own guidance (§VII-E,
+§VIII): ECF/RWB "perform well in situations where the query is tightly
+constrained and when the network density is low", whereas LNS "performs much
+better with less constrained queries and higher density networks" and is the
+best choice for regular structures when only the first match is needed.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+from repro.api.registry import (
+    AlgorithmInfo,
+    AlgorithmRegistry,
+    Capability,
+    UnknownAlgorithmError,
+    default_registry,
+)
+from repro.graphs.network import Network
+from repro.graphs.query import QueryNetwork
+
+
+class SelectionPolicy(abc.ABC):
+    """Strategy object answering "which algorithm should serve this request?".
+
+    Policies receive the query, the hosting network and the result cap — the
+    request features §VII-E conditions on — plus the registry to choose from,
+    and return an :class:`AlgorithmInfo` (never an instance: the caller
+    decides construction arguments such as the RNG seed).
+    """
+
+    @abc.abstractmethod
+    def select(self, query: QueryNetwork, hosting: Network,
+               max_results: Optional[int] = None,
+               registry: Optional[AlgorithmRegistry] = None) -> AlgorithmInfo:
+        """Pick the algorithm for one request."""
+
+    # -- shared helpers ------------------------------------------------- #
+
+    @staticmethod
+    def candidate_pool(registry: AlgorithmRegistry, query: QueryNetwork,
+                       tag: Optional[str] = "core") -> List[AlgorithmInfo]:
+        """Selectable entries: optionally tag-filtered, directedness-capable.
+
+        Baselines are registered for benchmarking but tagged out of
+        auto-selection by default — a production service should never
+        silently pick an incomplete baseline.
+        """
+        pool = registry.with_tag(tag) if tag is not None else registry.infos()
+        if query.directed:
+            pool = [info for info in pool
+                    if info.has(Capability.SUPPORTS_DIRECTED)]
+        if not pool:
+            raise UnknownAlgorithmError(
+                "<auto>", [info.name for info in registry.infos()])
+        return pool
+
+
+def looks_regular(query: QueryNetwork) -> bool:
+    """Heuristic regularity check: all node degrees equal (ring/clique/torus-like)."""
+    if query.num_nodes <= 2:
+        return True
+    degrees = {query.degree(node) for node in query.nodes()}
+    return len(degrees) == 1
+
+
+class PaperSelectionPolicy(SelectionPolicy):
+    """§VII-E/§VIII guidance expressed over declared capabilities.
+
+    * Only the first match wanted, on a dense hosting network or a regular
+      query → the low-memory lazy searcher (LNS's strength per Figs. 13–14).
+    * All matches wanted → a complete enumerator with up-front filters (ECF).
+    * A single match on sparse, constrained problems → a randomized complete
+      searcher (RWB).
+
+    Parameters
+    ----------
+    density_threshold:
+        Hosting-network edge density above which the network counts as
+        "dense" for the first-match rule (default 0.3, the seed's value).
+    """
+
+    def __init__(self, density_threshold: float = 0.3) -> None:
+        if not 0 <= density_threshold <= 1:
+            raise ValueError(
+                f"density_threshold must be in [0, 1], got {density_threshold}")
+        self.density_threshold = density_threshold
+
+    def select(self, query: QueryNetwork, hosting: Network,
+               max_results: Optional[int] = None,
+               registry: Optional[AlgorithmRegistry] = None) -> AlgorithmInfo:
+        registry = registry if registry is not None else default_registry()
+        pool = self.candidate_pool(registry, query)
+
+        wants_single = max_results == 1
+        dense = hosting.density() > self.density_threshold
+
+        if wants_single and (dense or looks_regular(query)):
+            choice = self._first_with(
+                pool, [Capability.LOW_MEMORY, Capability.COMPLETE_ENUMERATION])
+            if choice is not None:
+                return choice
+        if max_results is None:
+            # Full enumeration: prefer the filter-based complete enumerator
+            # (deterministic, not the lazy low-memory one — §V-C's tradeoff).
+            choice = self._first_with(
+                pool, [Capability.COMPLETE_ENUMERATION, Capability.DETERMINISTIC],
+                prefer_without=Capability.LOW_MEMORY)
+            if choice is not None:
+                return choice
+        if wants_single:
+            choice = self._first_with(
+                pool, [Capability.RANDOMIZED, Capability.PROVES_INFEASIBILITY])
+            if choice is not None:
+                return choice
+        choice = self._first_with(pool, [Capability.COMPLETE_ENUMERATION])
+        return choice if choice is not None else pool[0]
+
+    @staticmethod
+    def _first_with(pool: Sequence[AlgorithmInfo],
+                    capabilities: Sequence[Capability],
+                    prefer_without: Optional[Capability] = None
+                    ) -> Optional[AlgorithmInfo]:
+        matches = [info for info in pool if info.has(*capabilities)]
+        if not matches:
+            return None
+        if prefer_without is not None:
+            preferred = [info for info in matches
+                         if not info.has(prefer_without)]
+            if preferred:
+                return preferred[0]
+        return matches[0]
+
+
+class FixedSelectionPolicy(SelectionPolicy):
+    """Always selects one named algorithm (useful for tests and pinning)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def select(self, query: QueryNetwork, hosting: Network,
+               max_results: Optional[int] = None,
+               registry: Optional[AlgorithmRegistry] = None) -> AlgorithmInfo:
+        registry = registry if registry is not None else default_registry()
+        return registry.get(self.name)

@@ -14,19 +14,17 @@ identical workloads:
   constructive mapper (fast, no backtracking, incomplete).
 """
 
+from repro.api.registry import default_registry
 from repro.baselines.annealing import SimulatedAnnealingMapper
 from repro.baselines.bruteforce import BruteForceCSP
 from repro.baselines.common import assignment_violations, random_injective_assignment
 from repro.baselines.genetic import GeneticAlgorithmMapper
 from repro.baselines.stress import StressGreedyMapper
 
-#: All baselines keyed by a short name used in benchmark reports.
-BASELINES = {
-    "bruteforce": BruteForceCSP,
-    "annealing": SimulatedAnnealingMapper,
-    "genetic": GeneticAlgorithmMapper,
-    "stress": StressGreedyMapper,
-}
+#: All baselines keyed by a short name used in benchmark reports.  Built from
+#: the capability registry (the classes register themselves on import above).
+BASELINES = {info.name: info.factory
+             for info in default_registry().with_tag("baseline")}
 
 __all__ = [
     "BruteForceCSP",

@@ -25,11 +25,24 @@ from repro.baselines.common import (
     random_injective_assignment,
     swap_or_move,
 )
+from repro.api.registry import Capability, register_algorithm
 from repro.core.base import EmbeddingAlgorithm, SearchContext
 from repro.graphs.network import NodeId
 from repro.utils.rng import RandomSource, as_rng
 
 
+@register_algorithm(
+    "annealing",
+    capabilities=[
+        Capability.RANDOMIZED,
+        Capability.FIRST_MATCH_ONLY,
+        Capability.HEURISTIC,
+        Capability.SUPPORTS_DIRECTED,
+        Capability.SEEDABLE,
+    ],
+    summary="Emulab assign-style simulated annealing (incomplete).",
+    tags=["baseline"],
+)
 class SimulatedAnnealingMapper(EmbeddingAlgorithm):
     """``assign``-style simulated annealing over complete assignments.
 

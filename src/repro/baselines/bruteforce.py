@@ -19,11 +19,23 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
+from repro.api.registry import Capability, register_algorithm
 from repro.baselines.common import node_level_allowed
 from repro.core.base import EmbeddingAlgorithm, SearchContext
 from repro.graphs.network import NodeId
 
 
+@register_algorithm(
+    "bruteforce",
+    capabilities=[
+        Capability.COMPLETE_ENUMERATION,
+        Capability.DETERMINISTIC,
+        Capability.PROVES_INFEASIBILITY,
+        Capability.SUPPORTS_DIRECTED,
+    ],
+    summary="Considine & Byers-style unfiltered, unordered CSP search.",
+    tags=["baseline"],
+)
 class BruteForceCSP(EmbeddingAlgorithm):
     """Unfiltered, unordered depth-first constraint-satisfaction search."""
 

@@ -26,11 +26,24 @@ from repro.baselines.common import (
     random_injective_assignment,
     swap_or_move,
 )
+from repro.api.registry import Capability, register_algorithm
 from repro.core.base import EmbeddingAlgorithm, SearchContext
 from repro.graphs.network import NodeId
 from repro.utils.rng import RandomSource, as_rng
 
 
+@register_algorithm(
+    "genetic",
+    capabilities=[
+        Capability.RANDOMIZED,
+        Capability.FIRST_MATCH_ONLY,
+        Capability.HEURISTIC,
+        Capability.SUPPORTS_DIRECTED,
+        Capability.SEEDABLE,
+    ],
+    summary="wanassign-style genetic algorithm (incomplete).",
+    tags=["baseline"],
+)
 class GeneticAlgorithmMapper(EmbeddingAlgorithm):
     """``wanassign``-style genetic search over complete assignments.
 

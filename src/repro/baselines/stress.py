@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.api.registry import Capability, register_algorithm
 from repro.baselines.common import node_level_allowed
 from repro.core.base import EmbeddingAlgorithm, SearchContext
 from repro.graphs.network import NodeId
@@ -34,6 +35,17 @@ from repro.graphs.network import NodeId
 STRESS_ATTR = "stress"
 
 
+@register_algorithm(
+    "stress",
+    capabilities=[
+        Capability.DETERMINISTIC,
+        Capability.FIRST_MATCH_ONLY,
+        Capability.HEURISTIC,
+        Capability.SUPPORTS_DIRECTED,
+    ],
+    summary="Zhu & Ammar-style greedy stress-minimising mapper (no backtracking).",
+    tags=["baseline"],
+)
 class StressGreedyMapper(EmbeddingAlgorithm):
     """Zhu–Ammar-style greedy, stress-aware constructive mapper (no backtracking)."""
 

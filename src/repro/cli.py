@@ -1,19 +1,25 @@
 """Command-line interface to the NETEMBED service.
 
-Three subcommands cover the common workflows::
+Five subcommands cover the common workflows::
 
     python -m repro embed --hosting host.graphml --query query.graphml \
         --constraint "rEdge.avgDelay <= vEdge.maxDelay" --algorithm ECF
+
+    python -m repro batch --hosting host.graphml --specs batch.json --json
+
+    python -m repro list-algorithms
 
     python -m repro generate planetlab --sites 120 --seed 7 --output pl.graphml
 
     python -m repro experiment fig8 --seed 1 --timeout 5 --csv fig8.csv
 
 ``embed`` reads both networks from GraphML, runs the requested algorithm and
-prints the embeddings (optionally as JSON); ``generate`` materialises the
-synthetic hosting networks used throughout the evaluation; ``experiment``
-runs one of the figure drivers from :mod:`repro.analysis` and prints the same
-series the paper plots.
+prints the embeddings (optionally as JSON); ``batch`` feeds a JSON file of
+query specs through :meth:`NetEmbedService.submit_batch`; ``list-algorithms``
+prints the capability registry; ``generate`` materialises the synthetic
+hosting networks used throughout the evaluation; ``experiment`` runs one of
+the figure drivers from :mod:`repro.analysis` and prints the same series the
+paper plots.
 """
 
 from __future__ import annotations
@@ -24,7 +30,9 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+import repro.baselines  # noqa: F401 — registers the baselines for by-name use
 from repro.analysis import EXPERIMENTS, aggregate_series, format_figure, format_table, write_csv
+from repro.api import Capability, default_registry
 from repro.constraints import ConstraintExpression
 from repro.core import make_algorithm
 from repro.graphs import HostingNetwork, QueryNetwork, read_graphml, write_graphml
@@ -38,6 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="NETEMBED: map virtual network requests onto a hosting network.")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    algorithm_names = default_registry().names()
+
     embed = subparsers.add_parser(
         "embed", help="embed a GraphML query network into a GraphML hosting network")
     embed.add_argument("--hosting", required=True, type=Path,
@@ -48,16 +58,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="edge constraint expression (NETEMBED constraint language)")
     embed.add_argument("--node-constraint", default=None,
                        help="node constraint expression over vNode/rNode")
-    embed.add_argument("--algorithm", default="ECF", choices=["ECF", "RWB", "LNS"],
-                       help="which NETEMBED algorithm to run (default: ECF)")
+    embed.add_argument("--algorithm", default="ECF", choices=algorithm_names,
+                       help="which registered algorithm to run (default: ECF)")
     embed.add_argument("--timeout", type=float, default=30.0,
                        help="search budget in seconds (default: 30)")
     embed.add_argument("--max-results", type=int, default=None,
                        help="stop after this many embeddings (default: all)")
     embed.add_argument("--seed", type=int, default=None,
-                       help="random seed (only used by RWB)")
+                       help="random seed (only used by seedable algorithms)")
     embed.add_argument("--json", action="store_true",
                        help="print the result as JSON instead of plain text")
+
+    batch = subparsers.add_parser(
+        "batch", help="run a JSON file of query specs through the batch service")
+    batch.add_argument("--hosting", required=True, type=Path,
+                       help="GraphML file registered as the batch's hosting network")
+    batch.add_argument("--specs", required=True, type=Path,
+                       help="JSON file: a list of spec objects with a 'query' "
+                            "GraphML path and optional constraint/algorithm/"
+                            "timeout/max_results/seed fields")
+    batch.add_argument("--workers", type=int, default=None,
+                       help="thread-pool size (default: executor default)")
+    batch.add_argument("--timeout", type=float, default=30.0,
+                       help="default per-query budget in seconds (default: 30)")
+    batch.add_argument("--json", action="store_true",
+                       help="print the responses as JSON instead of plain text")
+
+    list_algorithms = subparsers.add_parser(
+        "list-algorithms", help="list the registered algorithms and their capabilities")
+    list_algorithms.add_argument("--json", action="store_true",
+                                 help="print the registry as JSON")
+    list_algorithms.add_argument("--capability", action="append", default=None,
+                                 metavar="CAP",
+                                 choices=sorted(c.value for c in Capability),
+                                 help="only show algorithms declaring this "
+                                      "capability (repeatable)")
 
     generate = subparsers.add_parser(
         "generate", help="generate a synthetic hosting network as GraphML")
@@ -92,8 +127,11 @@ def build_parser() -> argparse.ArgumentParser:
 def _run_embed(args: argparse.Namespace) -> int:
     hosting = read_graphml(args.hosting, cls=HostingNetwork)
     query = read_graphml(args.query, cls=QueryNetwork)
-    kwargs = {"rng": args.seed} if args.algorithm == "RWB" else {}
-    algorithm = make_algorithm(args.algorithm, **kwargs)
+    info = default_registry().get(args.algorithm)
+    kwargs = {}
+    if args.seed is not None and info.has(Capability.SEEDABLE):
+        kwargs["rng"] = args.seed
+    algorithm = info.create(**kwargs)
     constraint = ConstraintExpression(args.constraint) if args.constraint else None
     node_constraint = (ConstraintExpression(args.node_constraint)
                        if args.node_constraint else None)
@@ -103,14 +141,7 @@ def _run_embed(args: argparse.Namespace) -> int:
                               timeout=args.timeout, max_results=args.max_results)
 
     if args.json:
-        payload = {
-            "algorithm": result.algorithm,
-            "status": result.status.value,
-            "elapsed_seconds": result.elapsed_seconds,
-            "time_to_first_seconds": result.time_to_first_seconds,
-            "mappings": [{str(q): str(r) for q, r in m.items()} for m in result.mappings],
-        }
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(_result_payload(result), indent=2))
     else:
         print(f"{result.algorithm}: {result.status.value}, {result.count} embedding(s) "
               f"in {result.elapsed_seconds * 1000:.1f} ms")
@@ -118,6 +149,91 @@ def _run_embed(args: argparse.Namespace) -> int:
             rendered = ", ".join(f"{q}->{r}" for q, r in sorted(mapping.items(), key=str))
             print(f"  [{index}] {rendered}")
     return 0 if result.found or result.status.value == "complete" else 1
+
+
+def _result_payload(result) -> dict:
+    return {
+        "algorithm": result.algorithm,
+        "status": result.status.value,
+        "elapsed_seconds": result.elapsed_seconds,
+        "time_to_first_seconds": result.time_to_first_seconds,
+        "mappings": [{str(q): str(r) for q, r in m.items()} for m in result.mappings],
+    }
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    from repro.service import NetEmbedService, QuerySpec
+
+    raw = json.loads(Path(args.specs).read_text())
+    if not isinstance(raw, list):
+        print("error: the specs file must contain a JSON list of spec objects",
+              file=sys.stderr)
+        return 2
+
+    base_dir = Path(args.specs).parent
+    with NetEmbedService(default_timeout=args.timeout,
+                         max_workers=args.workers) as service:
+        service.register_network_from_graphml(args.hosting)
+        specs = []
+        for index, entry in enumerate(raw):
+            if not isinstance(entry, dict) or "query" not in entry:
+                print(f"error: spec #{index} must be an object with a 'query' path",
+                      file=sys.stderr)
+                return 2
+            query_path = Path(entry["query"])
+            if not query_path.is_absolute():
+                query_path = base_dir / query_path
+            specs.append(QuerySpec(
+                query=read_graphml(query_path, cls=QueryNetwork),
+                constraint=entry.get("constraint"),
+                node_constraint=entry.get("node_constraint"),
+                algorithm=entry.get("algorithm", "auto"),
+                timeout=entry.get("timeout"),
+                max_results=entry.get("max_results"),
+                seed=entry.get("seed"),
+            ))
+        responses = service.submit_batch(specs)
+
+    if args.json:
+        payload = [{
+            "index": index,
+            "query": response.spec.query.name,
+            "network": response.network_name,
+            "algorithm": response.algorithm_used,
+            **_result_payload(response.result),
+        } for index, response in enumerate(responses)]
+        print(json.dumps(payload, indent=2))
+    else:
+        for index, response in enumerate(responses):
+            result = response.result
+            print(f"[{index}] {response.spec.query.name}: {response.algorithm_used} "
+                  f"{result.status.value}, {result.count} embedding(s) in "
+                  f"{result.elapsed_seconds * 1000:.1f} ms")
+    return 0 if all(r.found or r.status.value == "complete" for r in responses) else 1
+
+
+def _run_list_algorithms(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    infos = (registry.with_capabilities(*args.capability)
+             if args.capability else registry.infos())
+    if args.json:
+        payload = [{
+            "name": info.name,
+            "capabilities": sorted(c.value for c in info.capabilities),
+            "tags": sorted(info.tags),
+            "summary": info.summary,
+        } for info in infos]
+        print(json.dumps(payload, indent=2))
+        return 0
+    if not infos:
+        print("no registered algorithms match")
+        return 1
+    width = max(len(info.name) for info in infos)
+    for info in infos:
+        caps = ", ".join(sorted(c.value for c in info.capabilities))
+        print(f"{info.name:<{width}}  {info.summary}")
+        print(f"{'':<{width}}  capabilities: {caps or '(none declared)'}")
+    return 0
 
 
 def _run_generate(args: argparse.Namespace) -> int:
@@ -154,6 +270,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "embed":
         return _run_embed(args)
+    if args.command == "batch":
+        return _run_batch(args)
+    if args.command == "list-algorithms":
+        return _run_list_algorithms(args)
     if args.command == "generate":
         return _run_generate(args)
     if args.command == "experiment":

@@ -12,6 +12,7 @@ Public surface:
   exposed for tests, ablations and diagnostics.
 """
 
+from repro.api.registry import UnknownAlgorithmError, default_registry
 from repro.core.base import EmbeddingAlgorithm, SearchContext
 from repro.core.ecf import ECF
 from repro.core.filters import FilterMatrices, build_filters, compute_node_candidates
@@ -29,22 +30,20 @@ from repro.core.ordering import (
 from repro.core.result import EmbeddingResult, ResultStatus, SearchStats, classify
 from repro.core.rwb import RWB
 
-#: All three NETEMBED algorithms keyed by their paper names.
-ALGORITHMS = {
-    "ECF": ECF,
-    "RWB": RWB,
-    "LNS": LNS,
-}
+#: All three NETEMBED algorithms keyed by their paper names.  Built from the
+#: capability registry (the classes register themselves on import above);
+#: kept as a plain dict for backward compatibility.
+ALGORITHMS = {info.name: info.factory
+              for info in default_registry().with_tag("core")}
 
 
 def make_algorithm(name: str, **kwargs) -> EmbeddingAlgorithm:
-    """Instantiate one of the NETEMBED algorithms by its paper name."""
-    try:
-        cls = ALGORITHMS[name.upper()]
-    except KeyError:
-        raise ValueError(
-            f"unknown algorithm {name!r}; expected one of {sorted(ALGORITHMS)}") from None
-    return cls(**kwargs)
+    """Instantiate a registered algorithm by name (case-insensitive).
+
+    Delegates to the :mod:`repro.api` registry, so baseline names work too
+    once :mod:`repro.baselines` has been imported.
+    """
+    return default_registry().create(name, **kwargs)
 
 
 __all__ = [

@@ -1,10 +1,12 @@
 """Common infrastructure shared by the three NETEMBED search algorithms.
 
 Every algorithm — ECF, RWB, LNS, and the baselines in :mod:`repro.baselines`
-— exposes the same interface: :meth:`EmbeddingAlgorithm.search` takes a query
-network, a hosting network, an optional edge constraint expression, an
-optional node constraint expression, a timeout and a result cap, and returns
-an :class:`~repro.core.result.EmbeddingResult`.
+— exposes the same interface: :meth:`EmbeddingAlgorithm.request` consumes a
+validated :class:`~repro.api.request.SearchRequest` and returns an
+:class:`~repro.core.result.EmbeddingResult`.  The historical keyword surface
+(:meth:`EmbeddingAlgorithm.search`) survives as a thin shim that builds a
+request, so existing call sites keep working; :meth:`iter_mappings` streams
+embeddings lazily instead of materializing the full result list.
 
 The :class:`SearchContext` object carries the per-search mutable state
 (deadline, statistics, the embeddings discovered so far, time-to-first
@@ -16,9 +18,12 @@ with exactly the same rules.
 from __future__ import annotations
 
 import abc
+import queue as queue_module
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.api.request import Budget, ConstraintLike, SearchRequest
 from repro.constraints import ConstraintExpression, edge_context
 from repro.core.mapping import Mapping
 from repro.core.result import EmbeddingResult, ResultStatus, SearchStats, classify
@@ -26,6 +31,11 @@ from repro.graphs.hosting import HostingNetwork
 from repro.graphs.network import Edge, Network, NodeId
 from repro.graphs.query import QueryNetwork
 from repro.utils.timing import Deadline, Stopwatch, TimeoutExpired
+
+
+class StreamClosed(Exception):
+    """Internal control-flow signal: the consumer of a lazy mapping stream
+    went away, so the producing search should unwind immediately."""
 
 
 @dataclass
@@ -41,6 +51,12 @@ class SearchContext:
     stats: SearchStats = field(default_factory=SearchStats)
     mappings: List[Mapping] = field(default_factory=list)
     time_to_first: Optional[float] = None
+    #: Observer invoked with each feasible Mapping as it is recorded; used by
+    #: the streaming entry point.  It may raise to abort the search.
+    on_mapping: Optional[Callable[[Mapping], None]] = None
+    #: When set, the next deadline check raises StreamClosed, aborting the
+    #: search promptly even in barren regions that record no mappings.
+    cancel: Optional[threading.Event] = None
     _stopwatch: Stopwatch = field(default_factory=Stopwatch)
 
     def __post_init__(self) -> None:
@@ -55,6 +71,8 @@ class SearchContext:
 
     def check_deadline(self) -> None:
         """Raise :class:`TimeoutExpired` if the search budget is exhausted."""
+        if self.cancel is not None and self.cancel.is_set():
+            raise StreamClosed()
         self.deadline.check()
 
     def record_mapping(self, assignment: Dict[NodeId, NodeId]) -> bool:
@@ -63,9 +81,12 @@ class SearchContext:
         Returns ``True`` when the search should stop because the result cap
         has been reached.
         """
-        self.mappings.append(Mapping(assignment))
+        mapping = Mapping(assignment)
+        self.mappings.append(mapping)
         if self.time_to_first is None:
             self.time_to_first = self.elapsed
+        if self.on_mapping is not None:
+            self.on_mapping(mapping)
         return self.max_results is not None and len(self.mappings) >= self.max_results
 
     @property
@@ -110,19 +131,87 @@ class EmbeddingAlgorithm(abc.ABC):
 
     Subclasses implement :meth:`_run`, which performs the actual search and
     returns whether the search space was exhausted.  The base class handles
-    argument validation, the timeout, statistics and result classification so
-    all algorithms behave identically at the interface level.
+    the timeout, statistics and result classification so all algorithms
+    behave identically at the interface level; argument validation lives in
+    :class:`~repro.api.request.SearchRequest`.
     """
 
     #: Human-readable algorithm name used in results and experiment reports.
     name: str = "abstract"
 
+    # ------------------------------------------------------------------ #
+    # Primary entry point: the request/response model
+    # ------------------------------------------------------------------ #
+
+    def request(self, request: SearchRequest,
+                on_mapping: Optional[Callable[[Mapping], None]] = None,
+                cancel: Optional[threading.Event] = None) -> EmbeddingResult:
+        """Search for feasible embeddings described by *request*.
+
+        Parameters
+        ----------
+        request:
+            The validated request object (query, hosting, constraints,
+            budget).
+        on_mapping:
+            Optional observer called with each embedding as it is found;
+            this is how :meth:`iter_mappings` streams results.
+        cancel:
+            Optional event aborting the search (via :class:`StreamClosed`)
+            at its next deadline check; set by a departing stream consumer.
+
+        Returns
+        -------
+        EmbeddingResult
+        """
+        if not isinstance(request, SearchRequest):
+            raise TypeError(
+                f"expected a SearchRequest, got {type(request).__name__}; "
+                f"use search(...) for the keyword-argument surface")
+
+        context = SearchContext(
+            query=request.query,
+            hosting=request.hosting,
+            constraint=request.constraint,
+            node_constraint=request.node_constraint,
+            deadline=Deadline(request.budget.timeout),
+            max_results=self._effective_max_results(request.budget.max_results),
+            on_mapping=on_mapping,
+            cancel=cancel,
+        )
+
+        # Empty queries embed trivially with the empty mapping.
+        if request.query.num_nodes == 0:
+            context.record_mapping({})
+            return self._finalise(context, exhausted=True, timed_out=False)
+
+        # Cheap necessary-condition screen: a query that cannot embed for
+        # structural reasons is reported as a completed, empty search.
+        if request.query.is_obviously_infeasible(request.hosting):
+            return self._finalise(context, exhausted=True, timed_out=False)
+
+        timed_out = False
+        try:
+            exhausted = self._run(context)
+        except TimeoutExpired:
+            exhausted = False
+            timed_out = True
+        return self._finalise(context, exhausted=exhausted, timed_out=timed_out)
+
+    # ------------------------------------------------------------------ #
+    # Legacy keyword surface (thin shims over request())
+    # ------------------------------------------------------------------ #
+
     def search(self, query: QueryNetwork, hosting: Network,
-               constraint: Optional[ConstraintExpression] = None,
-               node_constraint: Optional[ConstraintExpression] = None,
+               constraint: ConstraintLike = None,
+               node_constraint: ConstraintLike = None,
                timeout: Optional[float] = None,
                max_results: Optional[int] = None) -> EmbeddingResult:
         """Search for feasible embeddings of *query* into *hosting*.
+
+        Equivalent to ``self.request(SearchRequest.build(...))``; kept so the
+        pre-request call sites (examples, benchmarks, experiments) continue
+        to work unchanged.
 
         Parameters
         ----------
@@ -145,59 +234,104 @@ class EmbeddingAlgorithm(abc.ABC):
         -------
         EmbeddingResult
         """
-        if not isinstance(query, QueryNetwork):
-            raise TypeError(f"query must be a QueryNetwork, got {type(query).__name__}")
-        if not isinstance(hosting, Network):
-            raise TypeError(f"hosting must be a Network, got {type(hosting).__name__}")
-        if query.directed != hosting.directed:
-            raise ValueError(
-                "query and hosting networks must agree on directedness "
-                f"(query directed={query.directed}, hosting directed={hosting.directed})")
-        if max_results is not None and max_results < 1:
-            raise ValueError(f"max_results must be >= 1 or None, got {max_results}")
-        if timeout is not None and timeout <= 0:
-            raise ValueError(f"timeout must be positive or None, got {timeout}")
-
-        constraint = _coerce_expression(constraint, default_true=True)
-        node_constraint = _coerce_expression(node_constraint, default_true=False)
-
-        context = SearchContext(
-            query=query,
-            hosting=hosting,
-            constraint=constraint,
-            node_constraint=node_constraint,
-            deadline=Deadline(timeout),
-            max_results=self._effective_max_results(max_results),
-        )
-
-        # Empty queries embed trivially with the empty mapping.
-        if query.num_nodes == 0:
-            context.record_mapping({})
-            return self._finalise(context, exhausted=True, timed_out=False)
-
-        # Cheap necessary-condition screen: a query that cannot embed for
-        # structural reasons is reported as a completed, empty search.
-        if query.is_obviously_infeasible(hosting):
-            return self._finalise(context, exhausted=True, timed_out=False)
-
-        timed_out = False
-        try:
-            exhausted = self._run(context)
-        except TimeoutExpired:
-            exhausted = False
-            timed_out = True
-        return self._finalise(context, exhausted=exhausted, timed_out=timed_out)
-
-    # ------------------------------------------------------------------ #
+        return self.request(SearchRequest.build(
+            query, hosting, constraint=constraint,
+            node_constraint=node_constraint, timeout=timeout,
+            max_results=max_results))
 
     def find_first(self, query: QueryNetwork, hosting: Network,
-                   constraint: Optional[ConstraintExpression] = None,
-                   node_constraint: Optional[ConstraintExpression] = None,
+                   constraint: ConstraintLike = None,
+                   node_constraint: ConstraintLike = None,
                    timeout: Optional[float] = None) -> EmbeddingResult:
         """Convenience wrapper: stop at the first feasible embedding."""
-        return self.search(query, hosting, constraint=constraint,
-                           node_constraint=node_constraint, timeout=timeout,
-                           max_results=1)
+        return self.request(SearchRequest.build(
+            query, hosting, constraint=constraint,
+            node_constraint=node_constraint,
+            budget=Budget.first_match(timeout)))
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+
+    def iter_mappings(self, query: QueryNetwork, hosting: Network,
+                      constraint: ConstraintLike = None,
+                      node_constraint: ConstraintLike = None,
+                      timeout: Optional[float] = None,
+                      max_results: Optional[int] = None,
+                      buffer_size: int = 1) -> Iterator[Mapping]:
+        """Yield feasible embeddings lazily, as the search discovers them.
+
+        The search runs in a background thread with a bounded hand-off queue
+        (*buffer_size* mappings of backpressure), so the producer pauses when
+        the consumer is slow and aborts when the generator is closed — the
+        caller never pays for embeddings it does not consume.  Exceptions
+        raised by the search (including constraint-evaluation errors)
+        re-raise in the consuming thread when the stream is drained.
+        """
+        request = SearchRequest.build(
+            query, hosting, constraint=constraint,
+            node_constraint=node_constraint, timeout=timeout,
+            max_results=max_results)
+        return self.stream(request, buffer_size=buffer_size)
+
+    def stream(self, request: SearchRequest, buffer_size: int = 1
+               ) -> Iterator[Mapping]:
+        """Generator form of :meth:`request`: lazily yields each Mapping."""
+        if buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
+        return self._stream(request, buffer_size)
+
+    def _stream(self, request: SearchRequest, buffer_size: int
+                ) -> Iterator[Mapping]:
+        handoff: queue_module.Queue = queue_module.Queue(maxsize=buffer_size)
+        closed = threading.Event()
+        sentinel = object()
+        failure: List[BaseException] = []
+
+        def push(item) -> None:
+            # Bounded blocking put that notices a departed consumer.
+            while True:
+                if closed.is_set():
+                    raise StreamClosed()
+                try:
+                    handoff.put(item, timeout=0.05)
+                    return
+                except queue_module.Full:
+                    continue
+
+        def worker() -> None:
+            try:
+                self.request(request, on_mapping=push, cancel=closed)
+            except StreamClosed:
+                pass
+            except BaseException as exc:   # re-raised on the consumer side
+                failure.append(exc)
+            finally:
+                try:
+                    push(sentinel)
+                except StreamClosed:
+                    pass
+
+        thread = threading.Thread(
+            target=worker, name=f"{self.name}-stream", daemon=True)
+        thread.start()
+        try:
+            while True:
+                item = handoff.get()
+                if item is sentinel:
+                    break
+                yield item
+        finally:
+            closed.set()
+            # Unblock a producer stuck on a full queue, then reap the thread.
+            while thread.is_alive():
+                try:
+                    handoff.get_nowait()
+                except queue_module.Empty:
+                    pass
+                thread.join(timeout=0.05)
+        if failure:
+            raise failure[0]
 
     # ------------------------------------------------------------------ #
 
@@ -236,16 +370,3 @@ class EmbeddingAlgorithm(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} ({self.name})>"
-
-
-def _coerce_expression(value, default_true: bool) -> Optional[ConstraintExpression]:
-    """Accept ``None``, a source string or a ConstraintExpression uniformly."""
-    if value is None:
-        return ConstraintExpression.always_true() if default_true else None
-    if isinstance(value, ConstraintExpression):
-        return value
-    if isinstance(value, str):
-        return ConstraintExpression(value)
-    raise TypeError(
-        f"constraint must be a ConstraintExpression, a source string or None, "
-        f"got {type(value).__name__}")

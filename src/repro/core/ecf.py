@@ -23,12 +23,24 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
+from repro.api.registry import Capability, register_algorithm
 from repro.core.base import EmbeddingAlgorithm, SearchContext
 from repro.core.filters import FilterMatrices, build_filters
 from repro.core.ordering import ORDERINGS, candidate_count_order
 from repro.graphs.network import NodeId
 
 
+@register_algorithm(
+    "ECF",
+    capabilities=[
+        Capability.COMPLETE_ENUMERATION,
+        Capability.DETERMINISTIC,
+        Capability.PROVES_INFEASIBILITY,
+        Capability.SUPPORTS_DIRECTED,
+    ],
+    summary="Exhaustive search with constraint filtering (all embeddings).",
+    tags=["core"],
+)
 class ECF(EmbeddingAlgorithm):
     """Exhaustive Search with Constraint Filtering.
 

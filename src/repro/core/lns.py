@@ -36,12 +36,25 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.api.registry import Capability, register_algorithm
 from repro.core.base import EmbeddingAlgorithm, SearchContext
 from repro.core.filters import compute_node_candidates
 from repro.core.ordering import lns_next_neighbor
 from repro.graphs.network import Edge, NodeId
 
 
+@register_algorithm(
+    "LNS",
+    capabilities=[
+        Capability.COMPLETE_ENUMERATION,
+        Capability.DETERMINISTIC,
+        Capability.PROVES_INFEASIBILITY,
+        Capability.SUPPORTS_DIRECTED,
+        Capability.LOW_MEMORY,
+    ],
+    summary="Lazy neighborhood search (low memory, lazy constraint checks).",
+    tags=["core"],
+)
 class LNS(EmbeddingAlgorithm):
     """Lazy Neighborhood Search.
 

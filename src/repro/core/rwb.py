@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from repro.api.registry import Capability, register_algorithm
 from repro.core.base import EmbeddingAlgorithm, SearchContext
 from repro.core.filters import FilterMatrices, build_filters
 from repro.core.ordering import ORDERINGS
@@ -27,6 +28,18 @@ from repro.graphs.network import NodeId
 from repro.utils.rng import RandomSource, as_rng
 
 
+@register_algorithm(
+    "RWB",
+    capabilities=[
+        Capability.RANDOMIZED,
+        Capability.FIRST_MATCH_ONLY,
+        Capability.PROVES_INFEASIBILITY,
+        Capability.SUPPORTS_DIRECTED,
+        Capability.SEEDABLE,
+    ],
+    summary="Random walk with backtracking (first embedding, randomised).",
+    tags=["core"],
+)
 class RWB(EmbeddingAlgorithm):
     """Random Walk Search with Backtracking.
 
@@ -39,15 +52,26 @@ class RWB(EmbeddingAlgorithm):
         Node-visit ordering; RWB defaults to the connectivity-aware Lemma-1
         ordering, like ECF (the randomness is in the candidate choice, not in
         which node is expanded next).
+    seed:
+        Convenience alias for ``rng`` taking an integer only, so call sites
+        that thread per-request seeds (the batch service, JSON specs) read
+        naturally.  Mutually exclusive with ``rng``.
     """
 
     name = "RWB"
 
     def __init__(self, rng: RandomSource = None,
-                 ordering: str = "connectivity") -> None:
+                 ordering: str = "connectivity",
+                 seed: Optional[int] = None) -> None:
         if ordering not in ORDERINGS:
             raise ValueError(
                 f"unknown ordering {ordering!r}; expected one of {sorted(ORDERINGS)}")
+        if seed is not None:
+            if rng is not None:
+                raise ValueError("pass either rng or seed, not both")
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+            rng = seed
         self._rng_source = rng
         self._ordering = ORDERINGS[ordering]
 
@@ -90,7 +114,11 @@ class RWB(EmbeddingAlgorithm):
         placed_neighbors = [(neighbor, assignment[neighbor])
                             for neighbor in context.query.neighbors(node)
                             if neighbor in assignment]
-        candidates = list(filters.candidates_given(node, placed_neighbors, used))
+        # Canonical order before the seeded shuffle: candidates_given returns
+        # a set, whose iteration order varies with hash randomisation, so a
+        # fixed seed would not reproduce across processes otherwise.
+        candidates = sorted(filters.candidates_given(node, placed_neighbors, used),
+                            key=str)
 
         context.stats.nodes_expanded += 1
         context.stats.candidates_considered += len(candidates)

@@ -11,6 +11,7 @@ Components:
 * :class:`QuerySpec` / :class:`EmbeddingResponse` — the request/response types.
 """
 
+from repro.api.selection import FixedSelectionPolicy, PaperSelectionPolicy, SelectionPolicy
 from repro.service.model import ModelEntry, NetworkModelRegistry, UnknownNetworkError
 from repro.service.monitor import UP_ATTR, MonitorConfig, SimulatedMonitor
 from repro.service.netembed import NetEmbedService
@@ -26,6 +27,9 @@ from repro.service.spec import EmbeddingResponse, QuerySpec
 
 __all__ = [
     "NetEmbedService",
+    "SelectionPolicy",
+    "PaperSelectionPolicy",
+    "FixedSelectionPolicy",
     "NetworkModelRegistry",
     "ModelEntry",
     "UnknownNetworkError",

@@ -21,14 +21,21 @@ from typing import Dict, Iterator, List, Optional
 from repro.graphs.hosting import HostingNetwork
 
 
-class UnknownNetworkError(KeyError):
-    """Raised when a query references a hosting network that is not registered."""
+class UnknownNetworkError(LookupError):
+    """Raised when a query references a hosting network that is not registered.
+
+    Deliberately *not* a :class:`KeyError`: a KeyError's ``str()`` is the
+    repr of its argument, which turned the helpful message into an opaque
+    quoted blob at the service boundary.  The message always lists the
+    registered names so a caller can self-correct.
+    """
 
     def __init__(self, name: str, available: List[str]):
         super().__init__(
             f"no hosting network named {name!r} is registered "
-            f"(available: {sorted(available)})")
+            f"(available: {sorted(available) or 'none — call register_network first'})")
         self.name = name
+        self.available = sorted(available)
 
 
 @dataclass

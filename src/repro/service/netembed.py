@@ -1,30 +1,39 @@
 """The NETEMBED service facade (§III component 2).
 
 :class:`NetEmbedService` ties the pieces together: the network model registry
-(fed by monitors), the three mapping algorithms, the timeout / result
-classification policy, and the optional reservation system.  Applications
-interact with it through :class:`~repro.service.spec.QuerySpec` /
-:class:`~repro.service.spec.EmbeddingResponse`, or through the convenience
-:meth:`NetEmbedService.embed` keyword interface.
+(fed by monitors), the algorithm registry and its selection policy, the
+timeout / result classification policy, and the optional reservation system.
+Applications interact with it through :class:`~repro.service.spec.QuerySpec`
+/ :class:`~repro.service.spec.EmbeddingResponse`, the convenience
+:meth:`NetEmbedService.embed` keyword interface, the streaming
+:meth:`NetEmbedService.stream`, or — for many queries at once —
+:meth:`NetEmbedService.submit_batch`, which fans specs out over a reusable
+thread pool with independent per-request deadlines.
 
-Algorithm auto-selection follows the paper's own guidance (§VII-E, §VIII):
-ECF/RWB "perform well in situations where the query is tightly constrained
-and when the network density is low", whereas LNS "performs much better with
-less constrained queries and higher density networks" and is the best choice
-for regular structures when only the first match is needed.
+Algorithm auto-selection is delegated to a pluggable
+:class:`~repro.api.selection.SelectionPolicy`; the default
+:class:`~repro.api.selection.PaperSelectionPolicy` encodes the paper's own
+guidance (§VII-E, §VIII) over the capabilities algorithms declare in the
+:mod:`repro.api` registry, instead of an isinstance/if-chain.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
+import repro.baselines  # noqa: F401 — registers the baselines for by-name use
+from repro.api.registry import AlgorithmRegistry, Capability, default_registry
+from repro.api.selection import PaperSelectionPolicy, SelectionPolicy
 from repro.constraints import ConstraintExpression
-from repro.core import ECF, LNS, RWB, EmbeddingAlgorithm
+from repro.core import EmbeddingAlgorithm
+from repro.core.mapping import Mapping
 from repro.core.result import EmbeddingResult
 from repro.graphs.graphml import read_graphml
 from repro.graphs.hosting import HostingNetwork
 from repro.graphs.query import QueryNetwork
-from repro.service.model import NetworkModelRegistry
+from repro.service.model import NetworkModelRegistry, UnknownNetworkError
 from repro.service.monitor import MonitorConfig, SimulatedMonitor
 from repro.service.reservation import ReservationManager
 from repro.service.spec import EmbeddingResponse, QuerySpec
@@ -41,17 +50,37 @@ class NetEmbedService:
         paper's service always bounds searches so it can classify results as
         complete / partial / inconclusive.
     rng:
-        Randomness source handed to RWB instances created by the service.
+        Randomness source handed to seedable algorithms created by the
+        service when a spec carries no per-request seed.
+    selection_policy:
+        How ``algorithm="auto"`` requests pick an algorithm; defaults to
+        :class:`~repro.api.selection.PaperSelectionPolicy`.
+    algorithms:
+        The algorithm registry to resolve names against; defaults to the
+        process-wide registry with all seven built-in algorithms.
+    max_workers:
+        Thread-pool size for :meth:`submit_batch` (``None`` = the
+        :class:`~concurrent.futures.ThreadPoolExecutor` default).  The pool
+        is created lazily on the first batch and reused afterwards.
     """
 
-    def __init__(self, default_timeout: float = 30.0, rng: RandomSource = None) -> None:
+    def __init__(self, default_timeout: float = 30.0, rng: RandomSource = None,
+                 selection_policy: Optional[SelectionPolicy] = None,
+                 algorithms: Optional[AlgorithmRegistry] = None,
+                 max_workers: Optional[int] = None) -> None:
         if default_timeout <= 0:
             raise ValueError(f"default_timeout must be positive, got {default_timeout}")
         self.registry = NetworkModelRegistry()
         self.reservations = ReservationManager()
+        self.algorithms = algorithms if algorithms is not None else default_registry()
+        self.selection_policy = (selection_policy if selection_policy is not None
+                                 else PaperSelectionPolicy())
         self._default_timeout = default_timeout
         self._rng = rng
         self._monitors: Dict[str, SimulatedMonitor] = {}
+        self._max_workers = max_workers
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Model management
@@ -92,21 +121,11 @@ class NetEmbedService:
 
     def submit(self, spec: QuerySpec) -> EmbeddingResponse:
         """Process a full :class:`QuerySpec` and return the response."""
-        network_name = spec.network or self.registry.default_name
-        if network_name is None:
-            raise ValueError("no hosting network registered; call register_network first")
-        hosting = self.registry.get(network_name)
-
+        network_name, hosting = self._resolve_network(spec.network)
         algorithm = self._select_algorithm(spec, hosting)
-        timeout = spec.timeout if spec.timeout is not None else self._default_timeout
+        request = spec.to_request(hosting, default_timeout=self._default_timeout)
 
-        result = algorithm.search(
-            spec.query, hosting,
-            constraint=spec.constraint,
-            node_constraint=spec.node_constraint,
-            timeout=timeout,
-            max_results=spec.max_results,
-        )
+        result = algorithm.request(request)
 
         reservation_id = None
         if spec.reserve and result.found:
@@ -126,13 +145,97 @@ class NetEmbedService:
               node_constraint: Optional[Union[str, ConstraintExpression]] = None,
               algorithm: str = "auto", timeout: Optional[float] = None,
               max_results: Optional[int] = None, network: Optional[str] = None,
-              reserve: bool = False) -> EmbeddingResponse:
+              reserve: bool = False, seed: Optional[int] = None) -> EmbeddingResponse:
         """Keyword-style convenience wrapper around :meth:`submit`."""
         spec = QuerySpec(query=query, constraint=constraint,
                          node_constraint=node_constraint, algorithm=algorithm,
                          timeout=timeout, max_results=max_results,
-                         network=network, reserve=reserve)
+                         network=network, reserve=reserve, seed=seed)
         return self.submit(spec)
+
+    def stream(self, spec: QuerySpec, buffer_size: int = 1) -> Iterator[Mapping]:
+        """Lazily yield the embeddings for *spec* as the search finds them.
+
+        Unlike :meth:`submit` this never materialises the full result list;
+        closing the generator aborts the underlying search.  Reservations are
+        not supported in streaming mode (there is no "final" result to
+        reserve against).
+        """
+        if spec.reserve:
+            raise ValueError("streaming does not support reserve=True; "
+                             "use submit() and reserve the response instead")
+        _name, hosting = self._resolve_network(spec.network)
+        algorithm = self._select_algorithm(spec, hosting)
+        request = spec.to_request(hosting, default_timeout=self._default_timeout)
+        return algorithm.stream(request, buffer_size=buffer_size)
+
+    # ------------------------------------------------------------------ #
+    # Batch execution
+    # ------------------------------------------------------------------ #
+
+    def submit_batch(self, specs: Iterable[QuerySpec],
+                     return_exceptions: bool = False
+                     ) -> List[Union[EmbeddingResponse, BaseException]]:
+        """Process many specs concurrently; responses come back in input order.
+
+        Each spec keeps its own deadline (its ``timeout`` or the service
+        default, counted from when its search *starts*), so one
+        slow or infeasible request cannot eat the budget of the others.
+
+        Parameters
+        ----------
+        specs:
+            The query specs to process.
+        return_exceptions:
+            ``False`` (default): the first failing spec re-raises after all
+            submitted work finishes.  ``True``: failures are returned in
+            their spec's slot instead (like ``asyncio.gather``), so one bad
+            spec — e.g. naming an unregistered network — cannot void the
+            whole batch.
+        """
+        specs = list(specs)
+        futures: List[Future] = [self._ensure_executor().submit(self.submit, spec)
+                                 for spec in specs]
+        results: List[Union[EmbeddingResponse, BaseException]] = []
+        first_error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as exc:        # noqa: BLE001 — collected per-slot
+                if not return_exceptions and first_error is None:
+                    first_error = exc
+                results.append(exc)
+        if first_error is not None and not return_exceptions:
+            raise first_error
+        return results
+
+    @property
+    def executor(self) -> Optional[ThreadPoolExecutor]:
+        """The batch thread pool, if one has been created yet."""
+        return self._executor
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="netembed-batch")
+            return self._executor
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Tear down the batch thread pool (no-op if none was created)."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "NetEmbedService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ #
 
     def release(self, reservation_id: str) -> None:
         """Release a reservation made by an earlier embed(reserve=True) call."""
@@ -141,45 +244,30 @@ class NetEmbedService:
         self.reservations.release(reservation_id, network)
 
     # ------------------------------------------------------------------ #
-    # Algorithm selection
+    # Resolution helpers
     # ------------------------------------------------------------------ #
+
+    def _resolve_network(self, name: Optional[str]) -> tuple:
+        """Resolve a spec's network name to ``(name, HostingNetwork)``.
+
+        Raises :class:`UnknownNetworkError` (a LookupError, never a bare
+        KeyError) whose message lists the registered names.
+        """
+        network_name = name or self.registry.default_name
+        if network_name is None:
+            raise ValueError("no hosting network registered; call register_network first")
+        return network_name, self.registry.get(network_name)
 
     def _select_algorithm(self, spec: QuerySpec, hosting: HostingNetwork
                           ) -> EmbeddingAlgorithm:
-        choice = spec.algorithm.lower()
-        if choice == "ecf":
-            return ECF()
-        if choice == "rwb":
-            return RWB(rng=self._rng)
-        if choice == "lns":
-            return LNS()
-        return self._auto_algorithm(spec, hosting)
-
-    def _auto_algorithm(self, spec: QuerySpec, hosting: HostingNetwork
-                        ) -> EmbeddingAlgorithm:
-        """Pick an algorithm following the paper's conclusions.
-
-        * Only the first match wanted, on a dense hosting network or a regular
-          query → LNS (its strength per Figs. 13–14).
-        * All matches wanted → ECF (complete enumeration is its purpose).
-        * Otherwise → RWB for a single match on sparse, constrained problems.
-        """
-        wants_single = spec.max_results == 1
-        density = hosting.density()
-        regular_query = _looks_regular(spec.query)
-
-        if wants_single and (density > 0.3 or regular_query):
-            return LNS()
-        if spec.max_results is None:
-            return ECF()
-        if wants_single:
-            return RWB(rng=self._rng)
-        return ECF()
-
-
-def _looks_regular(query: QueryNetwork) -> bool:
-    """Heuristic regularity check: all node degrees equal (ring/clique/torus-like)."""
-    if query.num_nodes <= 2:
-        return True
-    degrees = {query.degree(node) for node in query.nodes()}
-    return len(degrees) == 1
+        """Instantiate the algorithm for *spec* via the registry/policy."""
+        if spec.algorithm.lower() == "auto":
+            info = self.selection_policy.select(
+                spec.query, hosting, max_results=spec.max_results,
+                registry=self.algorithms)
+        else:
+            info = self.algorithms.get(spec.algorithm)
+        kwargs = {}
+        if info.has(Capability.SEEDABLE):
+            kwargs["rng"] = spec.seed if spec.seed is not None else self._rng
+        return info.create(**kwargs)

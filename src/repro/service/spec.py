@@ -12,9 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
+from repro.api.registry import AlgorithmRegistry, default_registry
+from repro.api.request import Budget, SearchRequest
 from repro.constraints import ConstraintExpression
 from repro.core.mapping import Mapping
 from repro.core.result import EmbeddingResult, ResultStatus
+from repro.graphs.network import Network
 from repro.graphs.query import QueryNetwork
 
 
@@ -32,8 +35,10 @@ class QuerySpec:
     node_constraint:
         Optional node-level constraint expression over ``vNode``/``rNode``.
     algorithm:
-        ``"ECF"``, ``"RWB"``, ``"LNS"`` or ``"auto"`` (the service picks based
-        on the query's characteristics, §VIII's guidance).
+        ``"auto"`` (the service's selection policy picks based on the query's
+        characteristics, §VIII's guidance) or any name registered in the
+        algorithm registry — the three NETEMBED algorithms and the four
+        baselines by default.
     timeout:
         Wall-clock budget in seconds (``None`` = the service default).
     max_results:
@@ -44,6 +49,14 @@ class QuerySpec:
     network:
         Name of the registered hosting network to embed into (``None`` = the
         service's default network).
+    seed:
+        Per-request random seed handed to seedable algorithms (RWB, the
+        metaheuristic baselines) so batch runs are reproducible per request.
+    registry:
+        Algorithm registry the ``algorithm`` name is validated against
+        (``None`` = the process-wide default registry).  Pass the same custom
+        registry the target :class:`NetEmbedService` was built with when its
+        algorithms are not in the default registry.
     """
 
     query: QueryNetwork
@@ -54,14 +67,38 @@ class QuerySpec:
     max_results: Optional[int] = None
     reserve: bool = False
     network: Optional[str] = None
+    seed: Optional[int] = None
+    registry: Optional[AlgorithmRegistry] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.query, QueryNetwork):
             raise TypeError(
                 f"query must be a QueryNetwork, got {type(self.query).__name__}")
-        if self.algorithm.lower() not in ("auto", "ecf", "rwb", "lns"):
+        if not isinstance(self.algorithm, str):
+            raise TypeError(
+                f"algorithm must be a string, got {type(self.algorithm).__name__}")
+        registry = self.registry if self.registry is not None else default_registry()
+        if self.algorithm.lower() != "auto" and self.algorithm not in registry:
             raise ValueError(
-                f"algorithm must be one of 'auto', 'ECF', 'RWB', 'LNS'; got {self.algorithm!r}")
+                f"algorithm must be 'auto' or one of {registry.names()}; "
+                f"got {self.algorithm!r}")
+        if self.seed is not None and (not isinstance(self.seed, int)
+                                      or isinstance(self.seed, bool)):
+            raise TypeError(f"seed must be an int or None, got {type(self.seed).__name__}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {self.timeout}")
+        if self.max_results is not None and self.max_results < 1:
+            raise ValueError(
+                f"max_results must be >= 1 or None, got {self.max_results}")
+
+    def to_request(self, hosting: Network,
+                   default_timeout: Optional[float] = None) -> SearchRequest:
+        """Lower this spec onto *hosting* as a validated :class:`SearchRequest`."""
+        timeout = self.timeout if self.timeout is not None else default_timeout
+        return SearchRequest.build(
+            self.query, hosting, constraint=self.constraint,
+            node_constraint=self.node_constraint,
+            budget=Budget(timeout=timeout, max_results=self.max_results))
 
 
 @dataclass
