@@ -16,6 +16,7 @@ from repro.api.registry import UnknownAlgorithmError, default_registry
 from repro.core.base import EmbeddingAlgorithm, SearchContext
 from repro.core.ecf import ECF
 from repro.core.filters import FilterMatrices, build_filters, compute_node_candidates
+from repro.core.indexing import NodeIndexer
 from repro.core.lns import LNS
 from repro.core.mapping import Mapping, MappingViolation, is_valid_mapping, validate_mapping
 from repro.core.ordering import (
@@ -63,6 +64,7 @@ __all__ = [
     "validate_mapping",
     "is_valid_mapping",
     "FilterMatrices",
+    "NodeIndexer",
     "build_filters",
     "compute_node_candidates",
     "ORDERINGS",

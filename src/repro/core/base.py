@@ -38,6 +38,25 @@ class StreamClosed(Exception):
     went away, so the producing search should unwind immediately."""
 
 
+def placed_neighbor_plan(query: QueryNetwork, order: List[NodeId]
+                         ) -> List[Tuple[NodeId, ...]]:
+    """Per-depth tuple of ``order[d]``'s neighbours placed at earlier depths.
+
+    ECF and RWB place query nodes strictly in *order*, so the set of placed
+    neighbours at depth ``d`` is a function of the order alone; hoisting it
+    out of the search loop (one adjacency scan per node, total) replaces the
+    per-expansion ``query.neighbors(...)`` + membership filtering the
+    recursive implementations paid at every step.
+    """
+    seen: set = set()
+    plan: List[Tuple[NodeId, ...]] = []
+    for node in order:
+        plan.append(tuple(neighbor for neighbor in query.neighbors(node)
+                          if neighbor in seen))
+        seen.add(node)
+    return plan
+
+
 @dataclass
 class SearchContext:
     """Mutable per-search state shared between an algorithm and its helpers."""

@@ -14,6 +14,14 @@ ECF finds *every* feasible embedding.  It works in two stages:
    in use (expression (2)); a branch is pruned the moment that set becomes
    empty.  Every leaf reached at depth ``N_Q`` is a feasible embedding.
 
+The search runs on the bitmask candidate engine: candidate sets are integer
+masks over the dense hosting-node index, intersected with ``&`` and pruned of
+consumed hosts with ``& ~used_mask``, and the depth-first expansion is an
+explicit-stack loop (one Python frame total) instead of one interpreter frame
+per query node.  Candidates are tried in ascending bit order, which is the
+``sorted(key=str)`` order of the original set-based engine, so the mapping
+stream is unchanged.
+
 Because the search only prunes branches that provably contain no feasible
 completion, ECF is complete (it finds every embedding, given enough time) and
 correct (everything it reports is feasible).
@@ -21,12 +29,12 @@ correct (everything it reports is feasible).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List
 
 from repro.api.registry import Capability, register_algorithm
-from repro.core.base import EmbeddingAlgorithm, SearchContext
+from repro.core.base import EmbeddingAlgorithm, SearchContext, placed_neighbor_plan
 from repro.core.filters import FilterMatrices, build_filters
-from repro.core.ordering import ORDERINGS, candidate_count_order
+from repro.core.ordering import ORDERINGS
 from repro.graphs.network import NodeId
 
 
@@ -87,47 +95,93 @@ class ECF(EmbeddingAlgorithm):
 
         # If any query node has no candidate at all the query is infeasible
         # and the (empty) search is complete.
-        if any(not filters.node_candidates.get(node)
+        if any(not filters.node_candidate_masks.get(node)
                for node in context.query.nodes()):
             return True
 
         order = self._ordering(context.query, filters)
+        return self._search(context, filters, order)
+
+    def _search(self, context: SearchContext, filters: FilterMatrices,
+                order: List[NodeId]) -> bool:
+        """Explicit-stack depth-first expansion over bitmask candidates.
+
+        Returns ``False`` iff the search stopped early (result cap).  Per
+        depth the loop keeps the not-yet-tried candidate mask and the bit of
+        the host currently placed there; taking the lowest set bit first
+        reproduces the canonical ``sorted(key=str)`` trial order.
+        """
+        indexer = filters.host_indexer
+        node_at = indexer.node_at
+        match_masks = filters.match_masks
+        node_masks = filters.node_candidate_masks
+        prior = placed_neighbor_plan(context.query, order)
+        stats = context.stats
+        check_deadline = context.check_deadline
+        record_mapping = context.record_mapping
+
+        n = len(order)
         assignment: Dict[NodeId, NodeId] = {}
-        used: Set[NodeId] = set()
-        return self._descend(context, filters, order, 0, assignment, used)
+        used_mask = 0
+        remaining = [0] * n    # untried candidate bits per depth
+        placed_bit = [0] * n   # bit of the host currently placed per depth
 
-    def _descend(self, context: SearchContext, filters: FilterMatrices,
-                 order: List[NodeId], depth: int,
-                 assignment: Dict[NodeId, NodeId], used: Set[NodeId]) -> bool:
-        """Depth-first expansion.  Returns ``False`` iff the search stopped early."""
-        context.check_deadline()
+        def candidates_mask(depth: int) -> int:
+            # Expression (2) over the neighbours placed at earlier depths
+            # (expression (1) when there are none), minus used hosts.
+            neighbors = prior[depth]
+            if not neighbors:
+                mask = node_masks.get(order[depth], 0)
+            else:
+                node = order[depth]
+                mask = -1
+                for neighbor in neighbors:
+                    mask &= match_masks.get((neighbor, assignment[neighbor], node), 0)
+                    if not mask:
+                        return 0
+            return mask & ~used_mask
 
-        if depth == len(order):
-            # A full-depth leaf is a feasible embedding (Fig. 4: "report
-            # mapping defined by branch from node to root").
-            stop = context.record_mapping(dict(assignment))
-            return not stop
-
-        node = order[depth]
-        placed_neighbors = [(neighbor, assignment[neighbor])
-                            for neighbor in context.query.neighbors(node)
-                            if neighbor in assignment]
-        candidates = filters.candidates_given(node, placed_neighbors, used)
-
-        context.stats.nodes_expanded += 1
-        context.stats.candidates_considered += len(candidates)
-
-        if not candidates:
-            context.stats.backtracks += 1
+        mask = candidates_mask(0)
+        stats.nodes_expanded += 1
+        stats.candidates_considered += mask.bit_count()
+        if not mask:
+            stats.backtracks += 1
             return True
+        remaining[0] = mask
 
-        for host in sorted(candidates, key=str):
-            assignment[node] = host
-            used.add(host)
-            keep_going = self._descend(context, filters, order, depth + 1,
-                                       assignment, used)
-            del assignment[node]
-            used.discard(host)
-            if not keep_going:
-                return False
+        depth = 0
+        while depth >= 0:
+            check_deadline()
+            mask = remaining[depth]
+            if not mask:
+                # Depth exhausted: undo its placement (if any) and backtrack.
+                bit = placed_bit[depth]
+                if bit:
+                    used_mask ^= bit
+                    del assignment[order[depth]]
+                    placed_bit[depth] = 0
+                depth -= 1
+                continue
+            low = mask & -mask
+            remaining[depth] = mask ^ low
+            prev = placed_bit[depth]
+            if prev:
+                used_mask ^= prev
+            placed_bit[depth] = low
+            used_mask |= low
+            assignment[order[depth]] = node_at(low.bit_length() - 1)
+            if depth + 1 == n:
+                # A full-depth leaf is a feasible embedding (Fig. 4: "report
+                # mapping defined by branch from node to root").
+                if record_mapping(dict(assignment)):
+                    return False
+                continue
+            depth += 1
+            child = candidates_mask(depth)
+            stats.nodes_expanded += 1
+            stats.candidates_considered += child.bit_count()
+            remaining[depth] = child
+            placed_bit[depth] = 0
+            if not child:
+                stats.backtracks += 1
         return True

@@ -16,9 +16,21 @@ targeting it when no neighbour is placed yet (expression (1)), always minus
 hosting nodes already in use.
 
 Both structures are sparse dictionaries keyed by
-``(placed query node, placed hosting node, next query node)`` with hosting-node
-sets as values; their total entry count is the memory-footprint statistic
-reported by the ablation benchmarks (the O(n·|E_Q|·|E_R|) worst case of §V-C).
+``(placed query node, placed hosting node, next query node)``; their total
+entry count is the memory-footprint statistic reported by the ablation
+benchmarks (the O(n·|E_Q|·|E_R|) worst case of §V-C).
+
+**Bitmask backing.**  Each cell value — and each per-node candidate set — is
+stored as an integer bitmask over the dense hosting-node index maintained by
+:class:`~repro.core.indexing.NodeIndexer`, so the search inner loop runs on
+``&`` / ``| `` / ``& ~used_mask`` instead of Python set objects.  The
+historical set-returning accessors (:meth:`FilterMatrices.cell`,
+:meth:`~FilterMatrices.candidates_given`,
+:meth:`~FilterMatrices.candidates_unplaced` and the ``match`` /
+``non_match`` / ``node_candidates`` dict views) survive as thin decode
+layers, so diagnostics, ablations and tests keep their original vocabulary.
+The set-semantics oracle the masks are tested against lives in
+:mod:`repro.core.reference`.
 """
 
 from __future__ import annotations
@@ -26,7 +38,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.constraints import ConstraintExpression, edge_context, node_context
+from repro.constraints import ConstraintExpression
+from repro.constraints.ast_nodes import referenced_attributes
+from repro.constraints.vectorizer import HAVE_NUMPY, compile_vector_kernel, np
+from repro.core.indexing import NodeIndexer
 from repro.graphs.hosting import HostingNetwork
 from repro.graphs.network import Edge, Network, NodeId
 from repro.graphs.query import QueryNetwork
@@ -37,14 +52,21 @@ FilterKey = Tuple[NodeId, NodeId, NodeId]
 
 @dataclass
 class FilterMatrices:
-    """The match filter ``F``, the non-match filter ``F̄`` and per-node candidate sets."""
+    """The match filter ``F``, the non-match filter ``F̄`` and per-node candidates.
 
-    #: F: (placed query node, its hosting node, next query node) -> candidate hosts.
-    match: Dict[FilterKey, Set[NodeId]] = field(default_factory=dict)
+    All candidate storage is bitmask-encoded over :attr:`host_indexer`; the
+    ``*_masks`` attributes are the hot-path surface consumed by ECF/RWB, and
+    the set-typed views below decode on demand for everything else.
+    """
+
+    #: Dense index over the hosting nodes; bit order == ``sorted(key=str)``.
+    host_indexer: NodeIndexer = field(default_factory=NodeIndexer)
+    #: F: (placed query node, its hosting node, next query node) -> candidate mask.
+    match_masks: Dict[FilterKey, int] = field(default_factory=dict)
     #: F̄: same key, hosting nodes known *not* to be candidates.
-    non_match: Dict[FilterKey, Set[NodeId]] = field(default_factory=dict)
+    non_match_masks: Dict[FilterKey, int] = field(default_factory=dict)
     #: Union over all cells targeting a query node (expression (1) per node).
-    node_candidates: Dict[NodeId, Set[NodeId]] = field(default_factory=dict)
+    node_candidate_masks: Dict[NodeId, int] = field(default_factory=dict)
     #: Number of edge-constraint evaluations performed while building.
     constraint_evaluations: int = 0
     #: Wall-clock seconds spent building the filters.
@@ -57,21 +79,53 @@ class FilterMatrices:
     @property
     def entry_count(self) -> int:
         """Total number of candidate entries stored across both filters."""
-        return (sum(len(s) for s in self.match.values())
-                + sum(len(s) for s in self.non_match.values()))
+        return (sum(mask.bit_count() for mask in self.match_masks.values())
+                + sum(mask.bit_count() for mask in self.non_match_masks.values()))
 
     @property
     def cell_count(self) -> int:
         """Number of distinct (placed, host, next) cells in the match filter."""
-        return len(self.match)
+        return len(self.match_masks)
+
+    def candidate_count(self, query_node: NodeId) -> int:
+        """Cardinality of expression (1)'s candidate set for *query_node*."""
+        return self.node_candidate_masks.get(query_node, 0).bit_count()
 
     # ------------------------------------------------------------------ #
-    # Candidate-set algebra
+    # Bitmask algebra (the hot path)
+    # ------------------------------------------------------------------ #
+
+    def candidates_mask_unplaced(self, query_node: NodeId) -> int:
+        """Expression (1) as a bitmask: candidates before any neighbour is placed."""
+        return self.node_candidate_masks.get(query_node, 0)
+
+    def candidates_mask_given(self, query_node: NodeId,
+                              placed_neighbors: Iterable[Tuple[NodeId, NodeId]],
+                              used_mask: int) -> int:
+        """Expression (2) as a bitmask chain.
+
+        Intersects the ``F`` cells indexed by the placed neighbours with
+        ``&`` and removes consumed hosts with ``& ~used_mask``; a missing
+        cell contributes the empty mask, pruning the branch immediately.
+        """
+        get = self.match_masks.get
+        mask: Optional[int] = None
+        for neighbor, host in placed_neighbors:
+            cell = get((neighbor, host, query_node), 0)
+            mask = cell if mask is None else mask & cell
+            if not mask:
+                return 0
+        if mask is None:
+            mask = self.node_candidate_masks.get(query_node, 0)
+        return mask & ~used_mask
+
+    # ------------------------------------------------------------------ #
+    # Candidate-set algebra (decode views over the masks)
     # ------------------------------------------------------------------ #
 
     def candidates_unplaced(self, query_node: NodeId) -> Set[NodeId]:
         """Expression (1): candidates for *query_node* before any neighbour is placed."""
-        return set(self.node_candidates.get(query_node, set()))
+        return self.host_indexer.decode_set(self.candidates_mask_unplaced(query_node))
 
     def candidates_given(self, query_node: NodeId,
                          placed_neighbors: Iterable[Tuple[NodeId, NodeId]],
@@ -95,34 +149,44 @@ class FilterMatrices:
             neighbour and not yet used.  Empty when any neighbour contributes
             an empty cell — which is exactly the pruning condition of ECF.
         """
-        placed = list(placed_neighbors)
-        if not placed:
-            result = self.candidates_unplaced(query_node)
-        else:
-            result: Optional[Set[NodeId]] = None
-            for neighbor, host in placed:
-                cell = self.match.get((neighbor, host, query_node), _EMPTY_SET)
-                if result is None:
-                    result = set(cell)
-                else:
-                    result &= cell
-                if not result:
-                    return set()
-        result -= set(used_hosts)
-        return result
+        mask = self.candidates_mask_given(query_node, list(placed_neighbors),
+                                          self.host_indexer.encode(used_hosts))
+        return self.host_indexer.decode_set(mask)
 
     def cell(self, placed_query: NodeId, placed_host: NodeId, next_query: NodeId
              ) -> FrozenSet[NodeId]:
         """The raw ``F`` cell (read-only view) for diagnostics and tests."""
-        return frozenset(self.match.get((placed_query, placed_host, next_query), _EMPTY_SET))
+        return frozenset(self.host_indexer.decode(
+            self.match_masks.get((placed_query, placed_host, next_query), 0)))
 
     def non_match_cell(self, placed_query: NodeId, placed_host: NodeId,
                        next_query: NodeId) -> FrozenSet[NodeId]:
         """The raw ``F̄`` cell (read-only view)."""
-        return frozenset(self.non_match.get((placed_query, placed_host, next_query), _EMPTY_SET))
+        return frozenset(self.host_indexer.decode(
+            self.non_match_masks.get((placed_query, placed_host, next_query), 0)))
 
+    # ------------------------------------------------------------------ #
+    # Dict-of-set views (decoded snapshots of the mask stores)
+    # ------------------------------------------------------------------ #
 
-_EMPTY_SET: Set[NodeId] = set()
+    @property
+    def match(self) -> Dict[FilterKey, Set[NodeId]]:
+        """``F`` decoded to the historical dict-of-set shape (a snapshot)."""
+        decode = self.host_indexer.decode_set
+        return {key: decode(mask) for key, mask in self.match_masks.items()}
+
+    @property
+    def non_match(self) -> Dict[FilterKey, Set[NodeId]]:
+        """``F̄`` decoded to the historical dict-of-set shape (a snapshot)."""
+        decode = self.host_indexer.decode_set
+        return {key: decode(mask) for key, mask in self.non_match_masks.items()}
+
+    @property
+    def node_candidates(self) -> Dict[NodeId, Set[NodeId]]:
+        """Per-node candidate sets decoded from the masks (a snapshot)."""
+        decode = self.host_indexer.decode_set
+        return {node: decode(mask)
+                for node, mask in self.node_candidate_masks.items()}
 
 
 def build_filters(query: QueryNetwork, hosting: HostingNetwork,
@@ -145,16 +209,18 @@ def build_filters(query: QueryNetwork, hosting: HostingNetwork,
         Query nodes without any edges get their candidates from this filter
         alone (or all hosting nodes if it is absent).
     record_non_matches:
-        Whether to populate ``F̄``.  Building ``F̄`` doubles the memory
-        footprint without changing the answers; the ablation benchmark flips
-        this flag to quantify the space/time trade-off the paper discusses in
-        §V-C.
+        Whether to populate ``F̄``.  Nothing on the search path consumes
+        ``F̄`` — it exists for diagnostics and for the ablation benchmark
+        that quantifies the space/time trade-off of §V-C — so callers that
+        only search (RWB, the perf benchmarks) pass ``False`` and skip the
+        population work entirely.
     deadline:
         Optional :class:`~repro.utils.timing.Deadline`; checked once per query
         edge so a search timeout also bounds the filter-construction stage.
     """
     stopwatch = Stopwatch().start()
-    filters = FilterMatrices()
+    indexer = NodeIndexer(hosting.nodes())
+    filters = FilterMatrices(host_indexer=indexer)
     trivial = constraint.is_trivial
 
     node_allowed = compute_node_candidates(query, hosting, node_constraint)
@@ -170,7 +236,9 @@ def build_filters(query: QueryNetwork, hosting: HostingNetwork,
 
     # Candidate ordered host placements: both orientations of every hosting
     # edge.  For directed hosts an orientation can still be rejected below if
-    # a required arc does not exist in the needed direction.
+    # a required arc does not exist in the needed direction.  Everything the
+    # inner loop needs — attribute dicts and the endpoints' bit positions —
+    # is hoisted into this list once.
     def arc_attrs(r_from: NodeId, r_to: NodeId):
         if hosting.has_edge(r_from, r_to):
             return hosting.edge_attrs(r_from, r_to)
@@ -185,8 +253,28 @@ def build_filters(query: QueryNetwork, hosting: HostingNetwork,
             if ra == rb or (ra, rb) in seen_pairs:
                 continue
             seen_pairs.add((ra, rb))
-            host_pair_info.append((ra, rb, arc_attrs(ra, rb), arc_attrs(rb, ra),
+            host_pair_info.append((ra, rb, indexer.bit(ra), indexer.bit(rb),
+                                   arc_attrs(ra, rb), arc_attrs(rb, ra),
                                    hosting.node_attrs(ra), hosting.node_attrs(rb)))
+
+    match_masks = filters.match_masks
+    non_match_masks = filters.non_match_masks
+    node_masks = filters.node_candidate_masks
+    match_get = match_masks.get
+    non_match_get = non_match_masks.get
+
+    # Fast path: evaluate the constraint for all hosting arcs at once over
+    # numpy arrays and fold the boolean results straight into the bitmasks.
+    evaluations = _build_pairs_vectorized(
+        query, hosting, constraint, node_allowed, pair_edges, host_pair_info,
+        indexer, filters, record_non_matches, deadline)
+    if evaluations is not None:
+        for node in query.nodes():
+            if node not in node_masks:
+                node_masks[node] = indexer.encode(node_allowed[node])
+        filters.constraint_evaluations = evaluations
+        filters.build_seconds = stopwatch.stop()
+        return filters
 
     evaluate = constraint.evaluate
     evaluations = 0
@@ -205,7 +293,9 @@ def build_filters(query: QueryNetwork, hosting: HostingNetwork,
                 "vTarget": query.node_attrs(q_target),
                 "rEdge": None, "rSource": None, "rTarget": None,
             }))
-        for ra, rb, attrs_ab, attrs_ba, attrs_a, attrs_b in host_pair_info:
+        mask_a = node_masks.get(qa, 0)
+        mask_b = node_masks.get(qb, 0)
+        for ra, rb, bit_a, bit_b, attrs_ab, attrs_ba, attrs_a, attrs_b in host_pair_info:
             matched = ra in allowed_a and rb in allowed_b
             if matched:
                 for forward, context in edge_contexts:
@@ -225,23 +315,226 @@ def build_filters(query: QueryNetwork, hosting: HostingNetwork,
                         matched = False
                         break
             if matched:
-                filters.match.setdefault((qa, ra, qb), set()).add(rb)
-                filters.match.setdefault((qb, rb, qa), set()).add(ra)
-                filters.node_candidates.setdefault(qb, set()).add(rb)
-                filters.node_candidates.setdefault(qa, set()).add(ra)
+                key_ab = (qa, ra, qb)
+                key_ba = (qb, rb, qa)
+                match_masks[key_ab] = match_get(key_ab, 0) | bit_b
+                match_masks[key_ba] = match_get(key_ba, 0) | bit_a
+                mask_a |= bit_a
+                mask_b |= bit_b
             elif record_non_matches:
-                filters.non_match.setdefault((qa, ra, qb), set()).add(rb)
-                filters.non_match.setdefault((qb, rb, qa), set()).add(ra)
+                key_ab = (qa, ra, qb)
+                key_ba = (qb, rb, qa)
+                non_match_masks[key_ab] = non_match_get(key_ab, 0) | bit_b
+                non_match_masks[key_ba] = non_match_get(key_ba, 0) | bit_a
+        if mask_a:
+            node_masks[qa] = mask_a
+        if mask_b:
+            node_masks[qb] = mask_b
 
-    # Query nodes with no edges (degenerate but legal queries) fall back to the
-    # node-level candidate sets so expression (1) still has something to offer.
+    # Query nodes with no filter entry (no edges, or no matching pair at all)
+    # fall back to the node-level candidate sets so expression (1) still has
+    # something to offer.
     for node in query.nodes():
-        if node not in filters.node_candidates:
-            filters.node_candidates[node] = set(node_allowed[node])
+        if node not in node_masks:
+            node_masks[node] = indexer.encode(node_allowed[node])
 
     filters.constraint_evaluations = evaluations
     filters.build_seconds = stopwatch.stop()
     return filters
+
+
+_R_OBJECTS = ("rEdge", "rSource", "rTarget")
+_V_OBJECTS = ("vEdge", "vSource", "vTarget")
+#: Above this many hosting-node-squared cells the per-pair boolean adjacency
+#: matrix becomes the dominant cost; fall back to the scalar loop instead.
+_MAX_DENSE_CELLS = 64_000_000
+
+
+def _is_plain_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _build_pairs_vectorized(query, hosting, constraint, node_allowed,
+                            pair_edges, host_pair_info, indexer, filters,
+                            record_non_matches, deadline) -> Optional[int]:
+    """Vectorized replacement for the per-(query pair, host pair) scalar loop.
+
+    Evaluates the edge constraint as a numpy batch kernel over all oriented
+    hosting arcs at once, then converts the boolean match rows into filter
+    bitmasks with ``np.packbits`` (bit order == the dense host index).
+    Returns the constraint-evaluation count on success, or ``None`` when the
+    workload is outside the vectorizable fragment (non-numeric attributes,
+    strict mode, unsupported expression shapes) — the caller then runs the
+    scalar loop, whose semantics this pass replicates exactly, including the
+    short-circuit evaluation counts.
+    """
+    if not HAVE_NUMPY or not host_pair_info:
+        return None
+    if getattr(constraint, "strict", False):
+        return None  # strict missing-attribute errors belong to the scalar path
+    trivial = constraint.is_trivial
+    kernel = None
+    keys = []
+    if not trivial:
+        kernel = compile_vector_kernel(constraint.ast)
+        if kernel is None:
+            return None
+        keys = referenced_attributes(constraint.ast)
+        if any(obj not in _R_OBJECTS and obj not in _V_OBJECTS
+               for obj, _ in keys):
+            return None
+    num_hosts = len(indexer)
+    if num_hosts * num_hosts > _MAX_DENSE_CELLS:
+        return None
+
+    rows = len(host_pair_info)
+    ra_idx = np.fromiter((indexer.index_of(info[0]) for info in host_pair_info),
+                         dtype=np.int64, count=rows)
+    rb_idx = np.fromiter((indexer.index_of(info[1]) for info in host_pair_info),
+                         dtype=np.int64, count=rows)
+    exists_fwd = np.fromiter((info[4] is not None for info in host_pair_info),
+                             dtype=bool, count=rows)
+    exists_bwd = np.fromiter((info[5] is not None for info in host_pair_info),
+                             dtype=bool, count=rows)
+
+    def column(source_index: int, attr: str):
+        """(values, missing) arrays for one attribute over one dict column."""
+        values = np.zeros(rows, dtype=np.float64)
+        missing = np.zeros(rows, dtype=bool)
+        for i, info in enumerate(host_pair_info):
+            attrs = info[source_index]
+            value = None if attrs is None else attrs.get(attr)
+            if value is None:
+                missing[i] = True
+            elif _is_plain_number(value):
+                values[i] = value
+            else:
+                return None  # non-numeric attribute: scalar semantics differ
+        return values, missing
+
+    # One (values, missing) column pair per referenced hosting-side
+    # attribute, per orientation: "forward" places (rEdge, rSource, rTarget)
+    # on (ab, a, b), "backward" on (ba, b, a) — see the scalar loop.
+    column_sources = {"rEdge": (4, 5), "rSource": (6, 7), "rTarget": (7, 6)}
+    env_fwd = {}
+    env_bwd = {}
+    for key in keys:
+        obj, attr = key
+        if obj not in column_sources:
+            continue
+        fwd_source, bwd_source = column_sources[obj]
+        fwd = column(fwd_source, attr)
+        bwd = fwd if bwd_source == fwd_source else column(bwd_source, attr)
+        if fwd is None or bwd is None:
+            return None
+        env_fwd[key] = fwd
+        env_bwd[key] = bwd
+
+    v_keys = [key for key in keys if key[0] in _V_OBJECTS]
+
+    def query_scalar(key, q_source, q_target):
+        """(value, missing) for a query-side attribute of one query edge."""
+        obj, attr = key
+        if obj == "vEdge":
+            attrs = query.edge_attrs(q_source, q_target)
+        elif obj == "vSource":
+            attrs = query.node_attrs(q_source)
+        else:
+            attrs = query.node_attrs(q_target)
+        value = attrs.get(attr)
+        if value is None:
+            return 0.0, True
+        if not _is_plain_number(value):
+            return None
+        return float(value), False
+
+    # Pre-scan the query side: every referenced attribute must be numeric or
+    # missing on every query edge, otherwise scalar error semantics apply.
+    edge_scalars = {}
+    for edges_between in pair_edges.values():
+        for q_source, q_target in edges_between:
+            bindings = {}
+            for key in v_keys:
+                scalar = query_scalar(key, q_source, q_target)
+                if scalar is None:
+                    return None
+                bindings[key] = scalar
+            edge_scalars[(q_source, q_target)] = bindings
+
+    match_masks = filters.match_masks
+    non_match_masks = filters.non_match_masks
+    node_masks = filters.node_candidate_masks
+
+    allowed_lookups = {}
+
+    def allowed_lookup(node):
+        lookup = allowed_lookups.get(node)
+        if lookup is None:
+            allowed = node_allowed[node]
+            lookup = np.zeros(num_hosts, dtype=bool)
+            if len(allowed) == num_hosts:
+                lookup[:] = True
+            else:
+                for host in allowed:
+                    lookup[indexer.index_of(host)] = True
+            allowed_lookups[node] = lookup
+        return lookup
+
+    def accumulate(masks, matched, first, second):
+        """OR the matched (r_first, r_second) rows into ``masks`` cells.
+
+        Builds the dense boolean adjacency of matched placements and packs
+        each row/column directly into the little-endian int bitmasks; also
+        returns the (row-any, column-any) bitmasks for the node candidates.
+        """
+        adjacency = np.zeros((num_hosts, num_hosts), dtype=bool)
+        adjacency[ra_idx[matched], rb_idx[matched]] = True
+        get = masks.get
+        packed = np.packbits(adjacency, axis=1, bitorder="little")
+        row_any = adjacency.any(axis=1)
+        for i in np.nonzero(row_any)[0]:
+            key = (first, indexer.node_at(i), second)
+            masks[key] = get(key, 0) | int.from_bytes(packed[i].tobytes(), "little")
+        packed_t = np.packbits(adjacency.T, axis=1, bitorder="little")
+        col_any = adjacency.any(axis=0)
+        for i in np.nonzero(col_any)[0]:
+            key = (second, indexer.node_at(i), first)
+            masks[key] = get(key, 0) | int.from_bytes(packed_t[i].tobytes(), "little")
+        return row_any, col_any
+
+    evaluations = 0
+    for (qa, qb), edges_between in pair_edges.items():
+        if deadline is not None:
+            deadline.check()
+        rows_allowed = (allowed_lookup(qa)[ra_idx]
+                        & allowed_lookup(qb)[rb_idx])
+        alive = rows_allowed
+        for q_source, q_target in edges_between:
+            forward = q_source == qa
+            evaluable = alive & (exists_fwd if forward else exists_bwd)
+            if trivial:
+                alive = evaluable
+                continue
+            evaluations += int(np.count_nonzero(evaluable))
+            env = dict(env_fwd if forward else env_bwd)
+            env.update(edge_scalars[(q_source, q_target)])
+            value, bad = kernel(env)
+            alive = evaluable & np.logical_and(value, np.logical_not(bad))
+        if alive.any():
+            row_any, col_any = accumulate(match_masks, alive, qa, qb)
+            mask_a = int.from_bytes(
+                np.packbits(row_any, bitorder="little").tobytes(), "little")
+            mask_b = int.from_bytes(
+                np.packbits(col_any, bitorder="little").tobytes(), "little")
+            if mask_a:
+                node_masks[qa] = node_masks.get(qa, 0) | mask_a
+            if mask_b:
+                node_masks[qb] = node_masks.get(qb, 0) | mask_b
+        if record_non_matches:
+            unmatched = ~alive
+            if unmatched.any():
+                accumulate(non_match_masks, unmatched, qa, qb)
+    return evaluations
 
 
 def compute_node_candidates(query: QueryNetwork, hosting: Network,
@@ -254,24 +547,23 @@ def compute_node_candidates(query: QueryNetwork, hosting: Network,
     (query node, hosting node) pair.  This is the node-screening step that
     §V-A describes as "applying the constraint expression [to] determine the
     number of possible mappings for each virtual node".
+
+    The query-side half of the evaluation context is built once per query
+    node and only the ``rNode`` slot is rebound in the inner loop, mirroring
+    the context-hoisting that :func:`build_filters` does for edges.
     """
     hosts = hosting.nodes()
     if node_constraint is None or node_constraint.is_trivial:
         return {node: set(hosts) for node in query.nodes()}
+    host_attrs = [(host, hosting.node_attrs(host)) for host in hosts]
+    evaluate = node_constraint.evaluate
     allowed: Dict[NodeId, Set[NodeId]] = {}
     for query_node in query.nodes():
-        allowed[query_node] = {
-            host for host in hosts
-            if node_constraint.evaluate(node_context(query, query_node, hosting, host))
-        }
+        context = {"vNode": query.node_attrs(query_node), "rNode": None}
+        matches: Set[NodeId] = set()
+        for host, attrs in host_attrs:
+            context["rNode"] = attrs
+            if evaluate(context):
+                matches.add(host)
+        allowed[query_node] = matches
     return allowed
-
-
-def _oriented_edges(network: Network) -> List[Edge]:
-    """Oriented edge list for plain :class:`Network` hosting graphs."""
-    edges: List[Edge] = []
-    for u, v in network.edges():
-        edges.append((u, v))
-        if not network.directed:
-            edges.append((v, u))
-    return edges

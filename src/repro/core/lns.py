@@ -34,11 +34,12 @@ mapping exists some branch of the recursion constructs it.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.api.registry import Capability, register_algorithm
 from repro.core.base import EmbeddingAlgorithm, SearchContext
 from repro.core.filters import compute_node_candidates
+from repro.core.indexing import NodeIndexer
 from repro.core.ordering import lns_next_neighbor
 from repro.graphs.network import Edge, NodeId
 
@@ -83,18 +84,37 @@ class LNS(EmbeddingAlgorithm):
         if any(not node_allowed[node] for node in context.query.nodes()):
             return True
 
+        # Same bitmask candidate algebra as ECF/RWB: allowed sets and hosting
+        # adjacency become masks over the dense host index, so the pruning
+        # intersection below is a chain of `&`.  Adjacency masks are encoded
+        # lazily, only for hosts a partial mapping actually touches.
+        indexer = NodeIndexer(context.hosting.nodes())
+        allowed_masks = {node: indexer.encode(hosts)
+                         for node, hosts in node_allowed.items()}
+        adjacency_masks: Dict[NodeId, int] = {}
+
         assignment: Dict[NodeId, NodeId] = {}
-        used: Set[NodeId] = set()
         covered: List[NodeId] = []
         neighbors: Set[NodeId] = set()
         external: Set[NodeId] = set(context.query.nodes())
-        return self._extend(context, node_allowed, assignment, used,
-                            covered, neighbors, external)
+        return self._extend(context, indexer, allowed_masks, adjacency_masks,
+                            assignment, 0, covered, neighbors, external)
 
     # ------------------------------------------------------------------ #
 
-    def _extend(self, context: SearchContext, node_allowed: Dict[NodeId, Set[NodeId]],
-                assignment: Dict[NodeId, NodeId], used: Set[NodeId],
+    def _adjacency_mask(self, context: SearchContext, indexer: NodeIndexer,
+                        adjacency_masks: Dict[NodeId, int], host: NodeId) -> int:
+        """The (memoised) bitmask of *host*'s hosting-network neighbours."""
+        mask = adjacency_masks.get(host)
+        if mask is None:
+            mask = indexer.encode(context.hosting.neighbors(host))
+            adjacency_masks[host] = mask
+        return mask
+
+    def _extend(self, context: SearchContext, indexer: NodeIndexer,
+                allowed_masks: Dict[NodeId, int],
+                adjacency_masks: Dict[NodeId, int],
+                assignment: Dict[NodeId, NodeId], used_mask: int,
                 covered: List[NodeId], neighbors: Set[NodeId],
                 external: Set[NodeId]) -> bool:
         """Recursive step 5–16 of Fig. 7.  Returns ``False`` iff stopped early."""
@@ -108,7 +128,7 @@ class LNS(EmbeddingAlgorithm):
             # Seed a new connected component with its highest-degree vertex.
             current = max(external,
                           key=lambda n: (context.query.degree(n), str(n)))
-            candidates = node_allowed[current] - used
+            candidates_mask = allowed_masks[current] & ~used_mask
             connecting: List[Tuple[NodeId, NodeId]] = []
         else:
             current = lns_next_neighbor(context.query, covered, neighbors)
@@ -116,21 +136,21 @@ class LNS(EmbeddingAlgorithm):
                           for neighbor in context.query.neighbors(current)
                           if neighbor in assignment]
             # Any feasible host for `current` must be a hosting neighbour of
-            # the image of each covered neighbour; intersecting adjacency sets
-            # before any constraint evaluation is the "lazy" pruning step.
-            candidates: Optional[Set[NodeId]] = None
+            # the image of each covered neighbour; intersecting adjacency
+            # masks before any constraint evaluation is the "lazy" pruning
+            # step.
+            candidates_mask = -1
             for _, host in connecting:
-                adjacent = set(context.hosting.neighbors(host))
-                candidates = adjacent if candidates is None else candidates & adjacent
-                if not candidates:
+                candidates_mask &= self._adjacency_mask(context, indexer,
+                                                        adjacency_masks, host)
+                if not candidates_mask:
                     break
-            candidates = (candidates or set()) & node_allowed[current]
-            candidates -= used
+            candidates_mask &= allowed_masks[current] & ~used_mask
 
         context.stats.nodes_expanded += 1
-        context.stats.candidates_considered += len(candidates)
+        context.stats.candidates_considered += candidates_mask.bit_count()
 
-        if not candidates:
+        if not candidates_mask:
             context.stats.backtracks += 1
             return True
 
@@ -141,16 +161,17 @@ class LNS(EmbeddingAlgorithm):
                                       if n in external and n != current}) - {current}
         new_external = external - {current} - new_neighbors
 
-        for host in self._order_candidates(context, candidates):
+        bit_of = indexer.bit
+        for host in self._order_candidates(context, indexer, candidates_mask):
             if not self._connecting_edges_ok(context, query_edges, assignment,
                                              current, host):
                 continue
             assignment[current] = host
-            used.add(host)
-            keep_going = self._extend(context, node_allowed, assignment, used,
+            keep_going = self._extend(context, indexer, allowed_masks,
+                                      adjacency_masks, assignment,
+                                      used_mask | bit_of(host),
                                       new_covered, new_neighbors, new_external)
             del assignment[current]
-            used.discard(host)
             if not keep_going:
                 return False
         return True
@@ -190,8 +211,10 @@ class LNS(EmbeddingAlgorithm):
                 return False
         return True
 
-    def _order_candidates(self, context: SearchContext, candidates: Set[NodeId]) -> List[NodeId]:
+    def _order_candidates(self, context: SearchContext, indexer: NodeIndexer,
+                          candidates_mask: int) -> List[NodeId]:
+        # Decoding already yields ascending str order, the "sorted" default.
+        candidates = indexer.decode(candidates_mask)
         if self._candidate_order == "degree":
-            return sorted(candidates,
-                          key=lambda n: (-context.hosting.degree(n), str(n)))
-        return sorted(candidates, key=str)
+            candidates.sort(key=lambda n: (-context.hosting.degree(n), str(n)))
+        return candidates

@@ -25,8 +25,7 @@ def candidate_count_order(query: QueryNetwork, filters: FilterMatrices) -> List[
     search — is deterministic for a given problem instance.
     """
     def key(node: NodeId):
-        count = len(filters.node_candidates.get(node, ()))
-        return (count, -query.degree(node), str(node))
+        return (filters.candidate_count(node), -query.degree(node), str(node))
 
     return sorted(query.nodes(), key=key)
 
@@ -43,16 +42,16 @@ def connectivity_aware_order(query: QueryNetwork, filters: FilterMatrices) -> Li
     """
     remaining: Set[NodeId] = set(query.nodes())
     ordered: List[NodeId] = []
-
-    def candidate_count(node: NodeId) -> int:
-        return len(filters.node_candidates.get(node, ()))
+    ordered_set: Set[NodeId] = set()
+    candidate_count = filters.candidate_count
 
     while remaining:
         adjacent = {node for node in remaining
-                    if any(neigh in ordered for neigh in query.neighbors(node))}
+                    if any(neigh in ordered_set for neigh in query.neighbors(node))}
         pool = adjacent if adjacent else remaining
         chosen = min(pool, key=lambda n: (candidate_count(n), -query.degree(n), str(n)))
         ordered.append(chosen)
+        ordered_set.add(chosen)
         remaining.discard(chosen)
     return ordered
 

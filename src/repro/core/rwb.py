@@ -18,10 +18,10 @@ without finding an embedding is a proof of infeasibility, just like ECF.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.registry import Capability, register_algorithm
-from repro.core.base import EmbeddingAlgorithm, SearchContext
+from repro.core.base import EmbeddingAlgorithm, SearchContext, placed_neighbor_plan
 from repro.core.filters import FilterMatrices, build_filters
 from repro.core.ordering import ORDERINGS
 from repro.graphs.network import NodeId
@@ -85,24 +85,28 @@ class RWB(EmbeddingAlgorithm):
 
     def _run(self, context: SearchContext) -> bool:
         rng = as_rng(self._rng_source)
+        # RWB never reads the non-match filter, so skip populating it.
         filters = build_filters(context.query, context.hosting, context.constraint,
-                                context.node_constraint, deadline=context.deadline)
+                                context.node_constraint,
+                                record_non_matches=False,
+                                deadline=context.deadline)
         context.stats.constraint_evaluations += filters.constraint_evaluations
         context.stats.filter_entries = filters.entry_count
         context.stats.filter_build_seconds = filters.build_seconds
 
-        if any(not filters.node_candidates.get(node)
+        if any(not filters.node_candidate_masks.get(node)
                for node in context.query.nodes()):
             return True
 
         order = self._ordering(context.query, filters)
+        prior = placed_neighbor_plan(context.query, order)
         assignment: Dict[NodeId, NodeId] = {}
-        used: Set[NodeId] = set()
-        return self._walk(context, filters, order, 0, assignment, used, rng)
+        return self._walk(context, filters, order, prior, 0, assignment, 0, rng)
 
     def _walk(self, context: SearchContext, filters: FilterMatrices,
-              order: List[NodeId], depth: int,
-              assignment: Dict[NodeId, NodeId], used: Set[NodeId], rng) -> bool:
+              order: List[NodeId], prior: Sequence[Tuple[NodeId, ...]],
+              depth: int, assignment: Dict[NodeId, NodeId],
+              used_mask: int, rng) -> bool:
         """Randomised depth-first walk.  Returns ``False`` iff stopped early."""
         context.check_deadline()
 
@@ -112,13 +116,12 @@ class RWB(EmbeddingAlgorithm):
 
         node = order[depth]
         placed_neighbors = [(neighbor, assignment[neighbor])
-                            for neighbor in context.query.neighbors(node)
-                            if neighbor in assignment]
-        # Canonical order before the seeded shuffle: candidates_given returns
-        # a set, whose iteration order varies with hash randomisation, so a
-        # fixed seed would not reproduce across processes otherwise.
-        candidates = sorted(filters.candidates_given(node, placed_neighbors, used),
-                            key=str)
+                            for neighbor in prior[depth]]
+        mask = filters.candidates_mask_given(node, placed_neighbors, used_mask)
+        # Decoding yields ascending bit order == the canonical str-sorted
+        # order, so the seeded shuffle below sees the same input it did under
+        # the set engine and reproduces across processes.
+        candidates = filters.host_indexer.decode(mask)
 
         context.stats.nodes_expanded += 1
         context.stats.candidates_considered += len(candidates)
@@ -131,13 +134,12 @@ class RWB(EmbeddingAlgorithm):
         # are implicitly "discarded" by the loop, which is equivalent to the
         # paper's per-node discarded list.
         rng.shuffle(candidates)
+        bit_of = filters.host_indexer.bit
         for host in candidates:
             assignment[node] = host
-            used.add(host)
-            keep_going = self._walk(context, filters, order, depth + 1,
-                                    assignment, used, rng)
+            keep_going = self._walk(context, filters, order, prior, depth + 1,
+                                    assignment, used_mask | bit_of(host), rng)
             del assignment[node]
-            used.discard(host)
             if not keep_going:
                 return False
         return True

@@ -49,6 +49,11 @@ class Network:
         self.name = name
         self._graph: nx.Graph = nx.DiGraph() if directed else nx.Graph()
         self._schema = schema
+        #: Per-node neighbour lists, filled lazily by :meth:`neighbors` and
+        #: invalidated by the mutators below.  The search algorithms call
+        #: ``neighbors`` once per expansion step, and for directed graphs the
+        #: uncached version built two sets and a union every time.
+        self._adjacency: Dict[NodeId, List[NodeId]] = {}
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -76,6 +81,8 @@ class Network:
         if u == v:
             raise GraphError(f"self-loop {u!r} is not a meaningful embedding target")
         self._graph.add_edge(u, v, **attrs)
+        self._adjacency.pop(u, None)
+        self._adjacency.pop(v, None)
         return (u, v)
 
     def update_node(self, node: NodeId, **attrs: Any) -> None:
@@ -95,12 +102,16 @@ class Network:
         if node not in self._graph:
             raise MissingNodeError(f"node {node!r} does not exist in {self.name!r}")
         self._graph.remove_node(node)
+        # Every former neighbour's adjacency changed; drop the whole cache.
+        self._adjacency.clear()
 
     def remove_edge(self, u: NodeId, v: NodeId) -> None:
         """Remove the edge between *u* and *v*."""
         if not self._graph.has_edge(u, v):
             raise MissingNodeError(f"edge ({u!r}, {v!r}) does not exist in {self.name!r}")
         self._graph.remove_edge(u, v)
+        self._adjacency.pop(u, None)
+        self._adjacency.pop(v, None)
 
     # ------------------------------------------------------------------ #
     # Inspection
@@ -175,10 +186,26 @@ class Network:
         return self.edge_attrs(u, v).get(name, default)
 
     def neighbors(self, node: NodeId) -> List[NodeId]:
-        """Neighbors of *node* (successors+predecessors when directed)."""
-        if self.directed:
-            return list(set(self._graph.successors(node)) | set(self._graph.predecessors(node)))
-        return list(self._graph.neighbors(node))
+        """Neighbors of *node* (successors+predecessors when directed).
+
+        Backed by a per-node cache invalidated by :meth:`add_edge`,
+        :meth:`remove_edge` and :meth:`remove_node` — the search algorithms
+        ask for adjacency at every expansion step.  Mutating the graph
+        through the raw :attr:`graph` handle bypasses the invalidation; use
+        the :class:`Network` mutators.  For directed graphs the order is
+        deterministic: successors first, then predecessors not already seen.
+        """
+        cached = self._adjacency.get(node)
+        if cached is None:
+            graph = self._graph
+            if graph.is_directed():
+                cached = list(graph.successors(node))
+                seen = set(cached)
+                cached += [p for p in graph.predecessors(node) if p not in seen]
+            else:
+                cached = list(graph.neighbors(node))
+            self._adjacency[node] = cached
+        return list(cached)
 
     def degree(self, node: NodeId) -> int:
         """Degree of *node* (total degree when directed)."""

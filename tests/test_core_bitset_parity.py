@@ -1,0 +1,213 @@
+"""Parity: the bitset candidate engine vs. the set-semantics reference.
+
+The bitset refactor (dense :class:`~repro.core.indexing.NodeIndexer` +
+integer-bitmask :class:`~repro.core.filters.FilterMatrices`, with a
+vectorized filter-construction pass) must be observationally identical to
+the original dict-of-set engine preserved in :mod:`repro.core.reference`:
+same filter cells, same candidate sets, same entry counts, and byte-for-byte
+identical ECF/RWB mapping streams.  This suite generates random directed and
+undirected workloads — including missing attributes, node constraints and
+non-vectorizable expressions — and checks every one of those properties.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import ConstraintExpression
+from repro.core import ECF, LNS, RWB, NodeIndexer, build_filters
+from repro.core.reference import ReferenceECF, build_filters_reference
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.query import QueryNetwork
+
+WINDOW = ConstraintExpression(
+    "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay")
+DISJUNCTION = ConstraintExpression(
+    "rEdge.avgDelay <= vEdge.maxDelay || rEdge.avgDelay >= 100.0")
+BINDING = ConstraintExpression("isBoundTo(vSource.bindTo, rSource.name)")
+NODE_OS = ConstraintExpression('rNode.osType == "linux"')
+
+CONSTRAINTS = {
+    "window": WINDOW,            # vectorized fast path
+    "disjunction": DISJUNCTION,  # vectorized, exercises ||-badness masking
+    "trivial": ConstraintExpression.always_true(),
+    "binding": BINDING,          # function call -> scalar fallback path
+}
+
+
+def build_workload(seed: int, directed: bool, constraint_name: str):
+    """A random embedding problem, deliberately messy.
+
+    Some hosting edges lack the delay attribute (or carry ``None``) to
+    exercise the missing-attribute masking, and some query edges lack their
+    window for the same reason on the query side.
+    """
+    rng = random.Random(seed)
+    num_hosts = rng.randint(4, 10)
+    hosting = HostingNetwork("hosting", directed=directed)
+    for i in range(num_hosts):
+        hosting.add_node(f"h{i}", name=f"h{i}",
+                         osType=rng.choice(["linux", "bsd"]))
+    for i in range(num_hosts):
+        for j in range(num_hosts):
+            if i == j or (not directed and i > j) or rng.random() > 0.45:
+                continue
+            if hosting.has_edge(f"h{i}", f"h{j}"):
+                continue
+            roll = rng.random()
+            if roll < 0.1:
+                hosting.add_edge(f"h{i}", f"h{j}")
+            elif roll < 0.18:
+                hosting.add_edge(f"h{i}", f"h{j}", avgDelay=None)
+            else:
+                hosting.add_edge(f"h{i}", f"h{j}", avgDelay=rng.uniform(5, 60))
+
+    num_query = rng.randint(2, 5)
+    query = QueryNetwork("query", directed=directed)
+    for i in range(num_query):
+        query.add_node(f"q{i}")
+    for i in range(num_query):
+        for j in range(num_query):
+            if i == j or (not directed and i > j) or rng.random() > 0.6:
+                continue
+            if query.has_edge(f"q{i}", f"q{j}"):
+                continue
+            if rng.random() < 0.12:
+                query.add_edge(f"q{i}", f"q{j}")
+            else:
+                query.add_edge(f"q{i}", f"q{j}",
+                               minDelay=5.0, maxDelay=rng.uniform(20, 60))
+
+    constraint = CONSTRAINTS[constraint_name]
+    node_constraint = NODE_OS if rng.random() < 0.35 else None
+    return query, hosting, constraint, node_constraint
+
+
+workload_strategy = st.tuples(
+    st.integers(min_value=0, max_value=10_000),
+    st.booleans(),
+    st.sampled_from(sorted(CONSTRAINTS)),
+)
+
+
+class TestFilterParity:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=workload_strategy, record_non_matches=st.booleans())
+    def test_filters_are_identical(self, params, record_non_matches):
+        """Cells, candidate sets and entry counts match the set engine."""
+        query, hosting, constraint, node_constraint = build_workload(*params)
+        bitset = build_filters(query, hosting, constraint, node_constraint,
+                               record_non_matches=record_non_matches)
+        reference = build_filters_reference(
+            query, hosting, constraint, node_constraint,
+            record_non_matches=record_non_matches)
+
+        assert bitset.match == reference.match
+        assert bitset.non_match == reference.non_match
+        assert bitset.node_candidates == reference.node_candidates
+        assert bitset.entry_count == reference.entry_count
+        assert bitset.cell_count == reference.cell_count
+        assert bitset.constraint_evaluations == reference.constraint_evaluations
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=workload_strategy)
+    def test_candidate_algebra_matches(self, params):
+        """candidates_given/unplaced agree cell-wise with the set engine."""
+        query, hosting, constraint, node_constraint = build_workload(*params)
+        bitset = build_filters(query, hosting, constraint, node_constraint)
+        reference = build_filters_reference(query, hosting, constraint,
+                                            node_constraint)
+        hosts = hosting.nodes()
+        rng = random.Random(params[0])
+        for node in query.nodes():
+            assert (bitset.candidates_unplaced(node)
+                    == reference.candidates_unplaced(node))
+            neighbors = [(n, rng.choice(hosts)) for n in query.neighbors(node)]
+            used = set(rng.sample(hosts, k=min(2, len(hosts))))
+            assert (bitset.candidates_given(node, neighbors, used)
+                    == reference.candidates_given(node, neighbors, used))
+
+
+class TestSearchStreamParity:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=workload_strategy)
+    def test_ecf_mapping_stream_identical(self, params):
+        """The iterative bitmask ECF reproduces the recursive set-engine
+        stream exactly: same mappings, same order, same search statistics."""
+        query, hosting, constraint, node_constraint = build_workload(*params)
+        bitset = ECF().search(query, hosting, constraint=constraint,
+                              node_constraint=node_constraint)
+        reference = ReferenceECF().search(query, hosting, constraint=constraint,
+                                          node_constraint=node_constraint)
+        assert ([m.assignment for m in bitset.mappings]
+                == [m.assignment for m in reference.mappings])
+        assert bitset.status == reference.status
+        for stat in ("nodes_expanded", "candidates_considered", "backtracks",
+                     "filter_entries"):
+            assert getattr(bitset.stats, stat) == getattr(reference.stats, stat)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=workload_strategy, seed=st.integers(0, 1000))
+    def test_rwb_is_seed_reproducible_and_feasible(self, params, seed):
+        """Same seed -> same stream; every RWB mapping is in the ECF set."""
+        query, hosting, constraint, node_constraint = build_workload(*params)
+        first = RWB(rng=seed).search(query, hosting, constraint=constraint,
+                                     node_constraint=node_constraint,
+                                     max_results=3)
+        second = RWB(rng=seed).search(query, hosting, constraint=constraint,
+                                      node_constraint=node_constraint,
+                                      max_results=3)
+        assert first.mappings == second.mappings
+        everything = ECF().search(query, hosting, constraint=constraint,
+                                  node_constraint=node_constraint)
+        assert set(first.mappings) <= set(everything.mappings)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=workload_strategy)
+    def test_lns_agrees_with_ecf(self, params):
+        """LNS on bitmask candidates finds exactly the ECF solution set."""
+        query, hosting, constraint, node_constraint = build_workload(*params)
+        lns = LNS().search(query, hosting, constraint=constraint,
+                           node_constraint=node_constraint)
+        ecf = ECF().search(query, hosting, constraint=constraint,
+                           node_constraint=node_constraint)
+        assert set(lns.mappings) == set(ecf.mappings)
+
+
+class TestNodeIndexer:
+    def test_bit_order_is_str_sorted(self):
+        indexer = NodeIndexer(["b", "a", 10, 2])
+        assert indexer.nodes == (10, 2, "a", "b")
+        assert indexer.index_of("a") == 2
+        assert indexer.node_at(0) == 10
+        assert indexer.bit("b") == 0b1000
+
+    def test_encode_decode_roundtrip(self):
+        indexer = NodeIndexer("abcdef")
+        mask = indexer.encode({"e", "a", "c"})
+        assert indexer.decode(mask) == ["a", "c", "e"]
+        assert indexer.decode_set(mask) == {"a", "c", "e"}
+        assert mask.bit_count() == 3
+
+    def test_encode_ignores_unknown_nodes(self):
+        indexer = NodeIndexer("ab")
+        assert indexer.encode({"a", "z"}) == indexer.encode({"a"})
+
+    def test_full_mask_and_membership(self):
+        indexer = NodeIndexer(["x", "y"])
+        assert indexer.full_mask == 0b11
+        assert "x" in indexer and "z" not in indexer
+        assert len(indexer) == 2
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            NodeIndexer(["a", "a"])

@@ -90,6 +90,57 @@ class TestUndirectedSemantics:
         assert sorted(net.neighbors("a")) == ["b", "c"]
 
 
+class TestAdjacencyCache:
+    """The per-node neighbour cache must never serve stale adjacency."""
+
+    def _directed_triangle(self):
+        net = Network(directed=True)
+        for node in "abc":
+            net.add_node(node)
+        net.add_edge("a", "b")
+        net.add_edge("c", "a")
+        return net
+
+    def test_repeated_calls_are_consistent(self):
+        net = self._directed_triangle()
+        assert net.neighbors("a") == net.neighbors("a")
+        assert sorted(net.neighbors("a")) == ["b", "c"]
+
+    def test_add_edge_invalidates(self):
+        net = self._directed_triangle()
+        assert sorted(net.neighbors("a")) == ["b", "c"]
+        net.add_node("d")
+        net.add_edge("a", "d")
+        assert sorted(net.neighbors("a")) == ["b", "c", "d"]
+        assert net.neighbors("d") == ["a"]
+
+    def test_remove_edge_invalidates(self):
+        net = self._directed_triangle()
+        assert sorted(net.neighbors("a")) == ["b", "c"]
+        net.remove_edge("c", "a")
+        assert net.neighbors("a") == ["b"]
+        assert net.neighbors("c") == []
+
+    def test_remove_node_invalidates_other_nodes(self):
+        net = self._directed_triangle()
+        assert sorted(net.neighbors("a")) == ["b", "c"]
+        assert net.neighbors("b") == ["a"]
+        net.remove_node("a")
+        assert net.neighbors("b") == []
+        assert net.neighbors("c") == []
+
+    def test_returned_list_is_a_copy(self):
+        net = self._directed_triangle()
+        listing = net.neighbors("a")
+        listing.append("bogus")
+        assert "bogus" not in net.neighbors("a")
+
+    def test_undirected_cache_matches_networkx(self, small_hosting):
+        for node in small_hosting.nodes():
+            assert (sorted(small_hosting.neighbors(node))
+                    == sorted(small_hosting.graph.neighbors(node)))
+
+
 class TestInspection:
     def test_len_contains_iter(self, small_hosting):
         assert len(small_hosting) == 6
