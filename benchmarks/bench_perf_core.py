@@ -40,7 +40,8 @@ from repro.analysis.perf import (
     speedup,
     write_bench_json,
 )
-from repro.core import ECF
+from repro.api import SearchRequest
+from repro.core import ECF, clear_hosting_compile
 from repro.core.reference import ReferenceECF
 from repro.utils.rng import as_rng
 from repro.workloads import SUITES, Workload, build_subgraph_suite, planetlab_host
@@ -83,14 +84,21 @@ def build_workload(scale_name: str, seed: int):
 
 def run_engine(name: str, factory, hosting, workloads: Sequence[Workload],
                timeout: Optional[float]) -> EngineRun:
-    """Run *factory*'s algorithm over every workload, full enumeration."""
+    """Run *factory*'s algorithm over every workload, full enumeration.
+
+    The hosting-compile memo is cleared before every request so the bitset
+    engine is timed at its historical per-call cost and the trajectory
+    stays comparable with the PR 2 baseline numbers; cross-request
+    amortisation is measured by ``bench_plan_cache.py`` instead.
+    """
     results = []
     streams: List[List[dict]] = []
     for workload in workloads:
+        clear_hosting_compile(hosting)
         algorithm = factory()
-        result = algorithm.search(workload.query, hosting,
-                                  constraint=workload.constraint,
-                                  timeout=timeout)
+        result = algorithm.request(SearchRequest.build(
+            workload.query, hosting, constraint=workload.constraint,
+            timeout=timeout))
         results.append(result)
         streams.append([m.assignment for m in result.mappings])
     return EngineRun(sample=PerfSample.from_results(name, results),

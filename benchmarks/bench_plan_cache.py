@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""Plan-cache trajectory: warm-cache repeated traffic vs. per-call rebuild.
+
+The NETEMBED service answers a *stream* of embedding queries against a
+slowly-drifting model, and after the bitset engine (PR 2) filter
+construction still dominates each call.  This benchmark models that traffic:
+a fixed set of distinct queries arrives repeatedly (round-robin) against an
+unchanged PlanetLab-style model, and the same arrivals are answered twice —
+
+* **per-call-rebuild** — ``ECF().request(...)`` per arrival, the one-shot
+  API: every arrival pays the per-query filter stage again (the memoised
+  hosting compile is shared, as it is for any caller of the shipped
+  engine, which makes this baseline conservative);
+* **plan-cache** — :meth:`NetEmbedService.submit` per arrival: the first
+  arrival of each query compiles an :class:`~repro.core.plan.EmbeddingPlan`,
+  every later arrival hits the version-aware cache and only runs the search.
+
+The mapping streams must be byte-identical arrival by arrival.  The run then
+applies a monitor tick and re-submits every query, verifying the cached
+plans are *provably invalidated*: the cache reports misses, and the fresh
+results equal a from-scratch search on the mutated model.  Timings go to
+``BENCH_plan.json`` via :mod:`repro.analysis.perf`.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_plan_cache.py \
+        [--scale smoke|small|planetlab] [--seed N] [--repeats N] \
+        [--max-results N] [--timeout SECONDS] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.perf import PerfSample, build_report, speedup, write_bench_json
+from repro.api import SearchRequest
+from repro.core import ECF
+from repro.service import NetEmbedService, QuerySpec
+from repro.utils.rng import as_rng
+from repro.workloads import Workload, build_subgraph_suite, planetlab_host
+from repro.workloads.suites import SuiteScale
+
+DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_plan.json"
+
+#: Suite sizes per --scale.  The delay windows use the ±10% slack of
+#: bench_perf_core's planetlab scale: service traffic asks for placements
+#: under realistic (tight) QoS windows, so the filter stage dominates each
+#: cold call — exactly the regime the plan cache amortises.
+SCALES: Dict[str, Tuple[SuiteScale, float]] = {
+    "smoke": (SuiteScale(hosting_nodes=24, query_sizes=(4, 6, 8),
+                         queries_per_size=2), 0.10),
+    "small": (SuiteScale(hosting_nodes=48, query_sizes=(4, 8, 12),
+                         queries_per_size=2), 0.10),
+    "planetlab": (SuiteScale(hosting_nodes=296,
+                             query_sizes=(8, 12, 16, 20),
+                             queries_per_size=2), 0.10),
+}
+
+
+def build_traffic(scale_name: str, seed: int):
+    """The hosting network and the distinct queries of the repeated traffic."""
+    scale, slack = SCALES[scale_name]
+    rng = as_rng(seed)
+    hosting = planetlab_host(scale.hosting_nodes, rng=rng)
+    workloads = build_subgraph_suite(hosting, scale, slack=slack, rng=rng)
+    return hosting, workloads
+
+
+def run_per_call(hosting, workloads: Sequence[Workload], repeats: int,
+                 timeout: float, max_results: Optional[int]):
+    """Answer every arrival with a fresh one-shot request()."""
+    results, streams = [], []
+    for _ in range(repeats):
+        for workload in workloads:
+            result = ECF().request(SearchRequest.build(
+                workload.query, hosting, constraint=workload.constraint,
+                timeout=timeout, max_results=max_results))
+            results.append(result)
+            streams.append([m.assignment for m in result.mappings])
+    return results, streams
+
+
+def run_plan_cache(service: NetEmbedService, workloads: Sequence[Workload],
+                   repeats: int, timeout: float, max_results: Optional[int]):
+    """Answer every arrival through the service's plan cache."""
+    results, streams = [], []
+    for _ in range(repeats):
+        for workload in workloads:
+            response = service.submit(QuerySpec(
+                query=workload.query, constraint=workload.constraint,
+                algorithm="ECF", timeout=timeout, max_results=max_results))
+            results.append(response.result)
+            streams.append([m.assignment for m in response.mappings])
+    return results, streams
+
+
+def check_invalidation(service: NetEmbedService, hosting,
+                       workloads: Sequence[Workload], timeout: float,
+                       max_results: Optional[int], seed: int) -> Dict:
+    """Monitor tick -> every cached plan must miss and re-compile fresh."""
+    monitor = service.attach_monitor(rng=seed)
+    version = monitor.tick()
+    before = service.plans.stats()
+    for workload in workloads:
+        response = service.submit(QuerySpec(
+            query=workload.query, constraint=workload.constraint,
+            algorithm="ECF", timeout=timeout, max_results=max_results))
+        fresh = ECF().request(SearchRequest.build(
+            workload.query, hosting, constraint=workload.constraint,
+            timeout=timeout, max_results=max_results))
+        if ([m.assignment for m in response.mappings]
+                != [m.assignment for m in fresh.mappings]):
+            raise AssertionError(
+                f"post-tick result for {workload.query.name!r} diverged from "
+                f"a fresh search on the mutated model")
+    after = service.plans.stats()
+    new_misses = after["misses"] - before["misses"]
+    new_hits = after["hits"] - before["hits"]
+    if new_hits or new_misses != len(workloads):
+        raise AssertionError(
+            f"expected {len(workloads)} cache misses and 0 hits after the "
+            f"monitor tick, saw {new_misses} misses / {new_hits} hits")
+    return {"model_version": version, "queries": len(workloads),
+            "misses": new_misses, "hits": new_hits,
+            "fresh_results_match": True}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke",
+                        help="workload size (default: smoke)")
+    parser.add_argument("--seed", type=int, default=8,
+                        help="workload RNG seed (default: 8)")
+    parser.add_argument("--repeats", type=int, default=20,
+                        help="arrivals per distinct query (default: 20)")
+    parser.add_argument("--max-results", type=int, default=10,
+                        help="per-arrival result cap; the service pattern is "
+                             "'give me a few placements', not full "
+                             "enumeration (default: 10)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="per-arrival budget in seconds (default: 120)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"where to write BENCH_plan.json "
+                             f"(default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    if args.repeats < 2:
+        parser.error("--repeats must be >= 2 (amortisation needs repetition)")
+
+    started = time.strftime("%Y-%m-%dT%H:%M:%S")
+    hosting, workloads = build_traffic(args.scale, args.seed)
+    arrivals = args.repeats * len(workloads)
+    print(f"traffic: scale={args.scale} seed={args.seed} "
+          f"host={hosting.num_nodes} nodes / {hosting.num_edges} edges, "
+          f"{len(workloads)} distinct queries x {args.repeats} arrivals "
+          f"= {arrivals} requests")
+
+    cold_started = time.perf_counter()
+    cold_results, cold_streams = run_per_call(
+        hosting, workloads, args.repeats, args.timeout, args.max_results)
+    cold_wall = time.perf_counter() - cold_started
+
+    service = NetEmbedService(default_timeout=args.timeout)
+    service.register_network(hosting)
+    warm_started = time.perf_counter()
+    warm_results, warm_streams = run_plan_cache(
+        service, workloads, args.repeats, args.timeout, args.max_results)
+    warm_wall = time.perf_counter() - warm_started
+
+    if cold_streams != warm_streams:
+        for index, (cold, warm) in enumerate(zip(cold_streams, warm_streams)):
+            if cold != warm:
+                raise AssertionError(
+                    f"mapping stream diverged on arrival #{index}: "
+                    f"per-call found {len(cold)}, plan-cache found {len(warm)}")
+    print("parity: mapping streams identical across all arrivals")
+
+    cache_stats = service.plans.stats()
+    expected_hits = arrivals - len(workloads)
+    if cache_stats["hits"] != expected_hits:
+        raise AssertionError(
+            f"expected {expected_hits} warm hits, cache saw "
+            f"{cache_stats['hits']} ({cache_stats})")
+
+    cold_sample = PerfSample.from_results("per-call-rebuild", cold_results)
+    warm_sample = PerfSample.from_results("plan-cache", warm_results)
+    comparison = speedup(cold_sample, warm_sample)
+    amortized = cold_wall / warm_wall if warm_wall > 0 else float("inf")
+    comparison["speedup_amortized_wall"] = amortized
+
+    print(f"per-call-rebuild: {cold_wall:8.3f}s wall "
+          f"({cold_sample.filter_build_seconds:.3f}s in filter builds)")
+    print(f"plan-cache:       {warm_wall:8.3f}s wall "
+          f"({warm_sample.filter_build_seconds:.3f}s in filter builds, "
+          f"{cache_stats['hits']} hits / {cache_stats['misses']} misses)")
+    print(f"amortized speedup: {amortized:.1f}x over {arrivals} arrivals")
+    if amortized < 5.0:
+        print("WARNING: amortized speedup below the 5x target", file=sys.stderr)
+
+    invalidation = check_invalidation(service, hosting, workloads,
+                                      args.timeout, args.max_results, args.seed)
+    print(f"invalidation: monitor tick -> model v{invalidation['model_version']}, "
+          f"{invalidation['misses']} misses / {invalidation['hits']} hits, "
+          f"fresh results match a from-scratch search")
+
+    report = build_report(
+        [cold_sample, warm_sample],
+        workload={
+            "scale": args.scale,
+            "slack": SCALES[args.scale][1],
+            "seed": args.seed,
+            "repeats": args.repeats,
+            "arrivals": arrivals,
+            "max_results": args.max_results,
+            "timeout_seconds": args.timeout,
+            "hosting_nodes": hosting.num_nodes,
+            "hosting_edges": hosting.num_edges,
+            "distinct_queries": len(workloads),
+            "query_sizes": sorted({w.num_nodes for w in workloads}),
+            "started": started,
+        },
+        comparison=comparison,
+    )
+    report["wall_seconds"] = {"per_call_rebuild": cold_wall,
+                              "plan_cache": warm_wall}
+    report["plan_cache"] = cache_stats
+    report["invalidation"] = invalidation
+    path = write_bench_json(args.output, report)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

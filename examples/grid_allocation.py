@@ -19,7 +19,7 @@ Run with:  python examples/grid_allocation.py
 
 from __future__ import annotations
 
-from repro import ECF, QueryNetwork
+from repro import ECF, QueryNetwork, SearchRequest
 from repro.extensions import PathEmbedder
 from repro.topology import barabasi_albert
 from repro.topology.regular import clique
@@ -52,8 +52,8 @@ def main() -> None:
 
     # --- tightly coupled cluster: strict edge-to-edge embedding ----------- #
     cluster = tightly_coupled_cluster()
-    result = ECF().search(cluster, grid, constraint=delay_budget,
-                          max_results=5, timeout=20)
+    result = ECF().request(SearchRequest.build(
+        cluster, grid, constraint=delay_budget, max_results=5, timeout=20))
     print(f"tightly-coupled clique of {cluster.num_nodes}: {result.status.value}, "
           f"{result.count} direct placement(s)")
     if result.found:

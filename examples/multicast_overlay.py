@@ -17,7 +17,7 @@ Run with:  python examples/multicast_overlay.py
 
 from __future__ import annotations
 
-from repro import ECF, LNS
+from repro import ECF, LNS, SearchRequest
 from repro.extensions import best_mapping, total_delay_cost
 from repro.topology import CompositeSpec, synthetic_planetlab_trace
 from repro.topology.composite import LEVEL_ATTR, level_edges
@@ -44,13 +44,15 @@ def main() -> None:
     # LNS is the paper's recommendation for regular, under-constrained queries
     # when only the first placement matters (Fig. 14); ECF then enumerates a
     # few alternatives so the application can pick the cheapest one.
-    first = LNS().search(tree, overlay, constraint=workload.constraint,
-                         max_results=1, timeout=30)
+    first = LNS().request(SearchRequest.build(
+        tree, overlay, constraint=workload.constraint,
+        max_results=1, timeout=30))
     print(f"LNS first placement: {first.status.value} in "
           f"{first.elapsed_seconds * 1000:.0f} ms")
 
-    alternatives = ECF().search(tree, overlay, constraint=workload.constraint,
-                                max_results=40, timeout=30)
+    alternatives = ECF().request(SearchRequest.build(
+        tree, overlay, constraint=workload.constraint,
+        max_results=40, timeout=30))
     print(f"ECF alternatives:    {alternatives.count} placement(s) in "
           f"{alternatives.elapsed_seconds * 1000:.0f} ms")
 

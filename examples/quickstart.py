@@ -15,7 +15,8 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import ECF, LNS, RWB, HostingNetwork, QueryNetwork, validate_mapping
+from repro import (ECF, LNS, RWB, HostingNetwork, QueryNetwork, SearchRequest,
+                   validate_mapping)
 from repro.constraints import ConstraintExpression
 
 
@@ -70,8 +71,9 @@ def main() -> None:
     print(f"Query network:   {query.num_nodes} nodes, {query.num_edges} links")
     print(f"Constraint:      {constraint.source}\n")
 
+    request = SearchRequest.build(query, hosting, constraint=constraint)
     for algorithm in (ECF(), RWB(rng=42), LNS()):
-        result = algorithm.search(query, hosting, constraint=constraint)
+        result = algorithm.request(request)
         print(f"{algorithm.name}: {result.status.value}, "
               f"{result.count} embedding(s) in {result.elapsed_seconds * 1000:.1f} ms")
         for mapping in result.mappings[:3]:

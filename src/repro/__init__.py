@@ -24,9 +24,14 @@ Quick start::
     query.add_node("y")
     query.add_edge("x", "y", maxDelay=20.0)
 
-    result = ECF().search(query, hosting,
-                          constraint="rEdge.avgDelay <= vEdge.maxDelay")
+    request = SearchRequest.build(query, hosting,
+                                  constraint="rEdge.avgDelay <= vEdge.maxDelay")
+    result = ECF().request(request)
     print(result.status, result.mappings)
+
+    # Repeated traffic against the same hosting model? Compile once, run many:
+    plan = ECF().prepare(request)
+    result = plan.execute()
 
 Subpackages
 -----------

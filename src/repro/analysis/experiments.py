@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import repro.baselines  # noqa: F401 — registers the baselines with the registry
-from repro.api import default_registry
+from repro.api import SearchRequest, default_registry
 from repro.core import ECF, LNS, RWB, EmbeddingAlgorithm
 from repro.graphs.hosting import HostingNetwork
 from repro.analysis.metrics import group_summaries, proportions
@@ -69,9 +69,9 @@ def run_workloads(hosting: HostingNetwork, workloads: Sequence[Workload],
     rows: List[Dict] = []
     for workload in workloads:
         for algorithm in algorithms:
-            result = algorithm.search(workload.query, hosting,
-                                      constraint=workload.constraint,
-                                      timeout=timeout, max_results=max_results)
+            result = algorithm.request(SearchRequest.build(
+                workload.query, hosting, constraint=workload.constraint,
+                timeout=timeout, max_results=max_results))
             row = {
                 "algorithm": algorithm.name,
                 "size": workload.query.num_nodes,
@@ -323,9 +323,9 @@ def ordering_ablation_experiment(seed: RandomSource = 0, scaled: bool = True,
     for algorithm in algorithms:
         label = f"ECF[{algorithm.ordering}]"
         for workload in workloads:
-            result = algorithm.search(workload.query, hosting,
-                                      constraint=workload.constraint,
-                                      timeout=timeout, max_results=1)
+            result = algorithm.request(SearchRequest.build(
+                workload.query, hosting, constraint=workload.constraint,
+                timeout=timeout, max_results=1))
             rows.append({
                 "algorithm": label,
                 "ordering": algorithm.ordering,

@@ -16,6 +16,7 @@ thread pool) and cheap to derive from one another via :meth:`SearchRequest.repla
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Optional, Union
 
@@ -83,6 +84,40 @@ def coerce_constraint(value: ConstraintLike, *,
     raise TypeError(
         f"constraint must be a ConstraintExpression, a source string or None, "
         f"got {type(value).__name__}")
+
+
+#: Attribute caching a query network's structure digest, keyed by its
+#: mutation epoch, so a hot request path hashes each query once rather than
+#: once per arrival.
+_QUERY_DIGEST_ATTR = "_structure_digest"
+
+
+def _query_digest(query: QueryNetwork) -> str:
+    """Digest of a query's directedness, nodes, edges and attributes.
+
+    Memoised on the query object against its
+    :attr:`~repro.graphs.network.Network.mutation_count`, so repeated
+    fingerprints of unchanged queries — the plan-cache hot path — skip the
+    full structural walk.
+    """
+    epoch = query.mutation_count
+    cached = getattr(query, _QUERY_DIGEST_ATTR, None)
+    if cached is not None and cached[0] == epoch:
+        return cached[1]
+    digest = hashlib.sha256()
+    digest.update(f"directed={query.directed};".encode())
+    for node in sorted(query.nodes(), key=str):
+        attrs = sorted((k, repr(v)) for k, v in query.node_attrs(node).items())
+        digest.update(f"n:{node!r}:{attrs!r};".encode())
+    for u, v in sorted(query.edges(), key=lambda e: (str(e[0]), str(e[1]))):
+        attrs = sorted((k, repr(v)) for k, v in query.edge_attrs(u, v).items())
+        digest.update(f"e:{u!r}->{v!r}:{attrs!r};".encode())
+    value = digest.hexdigest()
+    try:
+        setattr(query, _QUERY_DIGEST_ATTR, (epoch, value))
+    except AttributeError:  # slotted subclass: recompute next time
+        pass
+    return value
 
 
 @dataclass(frozen=True)
@@ -161,6 +196,27 @@ class SearchRequest:
     def replace(self, **changes) -> "SearchRequest":
         """A copy of this request with *changes* applied (re-validated)."""
         return _dc_replace(self, **changes)
+
+    def fingerprint(self) -> str:
+        """A stable digest of the query topology/attributes and constraints.
+
+        Two requests with equal fingerprints against the same hosting model
+        version compile interchangeable :class:`~repro.core.plan.EmbeddingPlan`
+        artifacts, which is how the service's plan cache recognises repeated
+        traffic.  The budget is deliberately excluded — timeouts and result
+        caps are per-execution concerns, applied when a plan runs — and so is
+        the hosting network, which the cache keys by (name, model version)
+        instead of by content.
+        """
+        digest = hashlib.sha256()
+        digest.update(_query_digest(self.query).encode())
+        digest.update(f"c:{self.constraint.source}"
+                      f"|{getattr(self.constraint, 'strict', False)};".encode())
+        node_constraint = self.node_constraint
+        digest.update(
+            f"nc:{None if node_constraint is None else node_constraint.source}"
+            f"|{getattr(node_constraint, 'strict', False)};".encode())
+        return digest.hexdigest()[:16]
 
     @property
     def timeout(self) -> Optional[float]:

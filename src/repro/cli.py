@@ -1,11 +1,14 @@
 """Command-line interface to the NETEMBED service.
 
-Five subcommands cover the common workflows::
+Six subcommands cover the common workflows::
 
     python -m repro embed --hosting host.graphml --query query.graphml \
         --constraint "rEdge.avgDelay <= vEdge.maxDelay" --algorithm ECF
 
     python -m repro batch --hosting host.graphml --specs batch.json --json
+
+    python -m repro plan --hosting host.graphml --query query.graphml \
+        --repeat 3 --tick 1
 
     python -m repro list-algorithms
 
@@ -15,11 +18,14 @@ Five subcommands cover the common workflows::
 
 ``embed`` reads both networks from GraphML, runs the requested algorithm and
 prints the embeddings (optionally as JSON); ``batch`` feeds a JSON file of
-query specs through :meth:`NetEmbedService.submit_batch`; ``list-algorithms``
-prints the capability registry; ``generate`` materialises the synthetic
-hosting networks used throughout the evaluation; ``experiment`` runs one of
-the figure drivers from :mod:`repro.analysis` and prints the same series the
-paper plots.
+query specs through :meth:`NetEmbedService.submit_batch`; ``plan`` compiles
+an :class:`~repro.core.plan.EmbeddingPlan`, runs it repeatedly through the
+service's version-aware plan cache and explains the cache state (hits,
+misses, per-entry statistics, invalidation after monitor ticks);
+``list-algorithms`` prints the capability registry; ``generate`` materialises
+the synthetic hosting networks used throughout the evaluation; ``experiment``
+runs one of the figure drivers from :mod:`repro.analysis` and prints the same
+series the paper plots.
 """
 
 from __future__ import annotations
@@ -32,7 +38,7 @@ from typing import List, Optional, Sequence
 
 import repro.baselines  # noqa: F401 — registers the baselines for by-name use
 from repro.analysis import EXPERIMENTS, aggregate_series, format_figure, format_table, write_csv
-from repro.api import Capability, default_registry
+from repro.api import Capability, SearchRequest, default_registry
 from repro.constraints import ConstraintExpression
 from repro.core import make_algorithm
 from repro.graphs import HostingNetwork, QueryNetwork, read_graphml, write_graphml
@@ -94,6 +100,35 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="only show algorithms declaring this "
                                       "capability (repeatable)")
 
+    plan = subparsers.add_parser(
+        "plan", help="compile an embedding plan, exercise the plan cache and "
+                     "explain its state")
+    plan.add_argument("--hosting", required=True, type=Path,
+                      help="GraphML file describing the hosting (real) network")
+    plan.add_argument("--query", required=True, type=Path,
+                      help="GraphML file describing the query (virtual) network")
+    plan.add_argument("--constraint", default=None,
+                      help="edge constraint expression")
+    plan.add_argument("--node-constraint", default=None,
+                      help="node constraint expression over vNode/rNode")
+    plan.add_argument("--algorithm", default="ECF", choices=algorithm_names,
+                      help="which registered algorithm to plan for (default: ECF)")
+    plan.add_argument("--repeat", type=int, default=3,
+                      help="how many times to run the query against the "
+                           "cache (default: 3; first run compiles, the rest hit)")
+    plan.add_argument("--tick", type=int, default=0,
+                      help="monitor refreshes applied after the repeats, "
+                           "followed by one more run, to demonstrate "
+                           "version-based invalidation (default: 0)")
+    plan.add_argument("--timeout", type=float, default=30.0,
+                      help="per-run search budget in seconds (default: 30)")
+    plan.add_argument("--max-results", type=int, default=None,
+                      help="per-run result cap (default: all)")
+    plan.add_argument("--seed", type=int, default=None,
+                      help="per-run seed for seedable algorithms and the monitor")
+    plan.add_argument("--json", action="store_true",
+                      help="print the cache explanation as JSON")
+
     generate = subparsers.add_parser(
         "generate", help="generate a synthetic hosting network as GraphML")
     generate.add_argument("kind", choices=["planetlab", "brite", "transit-stub"],
@@ -136,9 +171,9 @@ def _run_embed(args: argparse.Namespace) -> int:
     node_constraint = (ConstraintExpression(args.node_constraint)
                        if args.node_constraint else None)
 
-    result = algorithm.search(query, hosting, constraint=constraint,
-                              node_constraint=node_constraint,
-                              timeout=args.timeout, max_results=args.max_results)
+    result = algorithm.request(SearchRequest.build(
+        query, hosting, constraint=constraint, node_constraint=node_constraint,
+        timeout=args.timeout, max_results=args.max_results))
 
     if args.json:
         print(json.dumps(_result_payload(result), indent=2))
@@ -212,6 +247,97 @@ def _run_batch(args: argparse.Namespace) -> int:
     return 0 if all(r.found or r.status.value == "complete" for r in responses) else 1
 
 
+def _run_plan(args: argparse.Namespace) -> int:
+    """Warm the plan cache with repeated runs and explain the resulting state."""
+    from repro.service import NetEmbedService, QuerySpec
+
+    if args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
+
+    query = read_graphml(args.query, cls=QueryNetwork)
+    service = NetEmbedService(default_timeout=args.timeout)
+    network_name = service.register_network_from_graphml(args.hosting)
+
+    spec = QuerySpec(query=query, constraint=args.constraint,
+                     node_constraint=args.node_constraint,
+                     algorithm=args.algorithm, timeout=args.timeout,
+                     max_results=args.max_results, seed=args.seed)
+
+    def cache_label(before, after):
+        # "bypass" = the cache was never consulted (non-preparable algorithm).
+        if after["hits"] > before["hits"]:
+            return "hit"
+        if after["misses"] > before["misses"]:
+            return "miss"
+        return "bypass"
+
+    runs = []
+    for _ in range(args.repeat):
+        before = service.plans.stats()
+        response = service.submit(spec)
+        after = service.plans.stats()
+        runs.append({
+            "cache": cache_label(before, after),
+            "status": response.status.value,
+            "mappings": len(response.mappings),
+            "elapsed_ms": response.elapsed_seconds * 1000,
+        })
+
+    invalidation = None
+    if args.tick > 0:
+        monitor = service.attach_monitor(network_name, rng=args.seed)
+        version = monitor.run(args.tick)
+        before = service.plans.stats()
+        response = service.submit(spec)
+        after = service.plans.stats()
+        invalidation = {
+            "ticks": args.tick,
+            "model_version": version,
+            "cache": cache_label(before, after),
+            "mappings": len(response.mappings),
+        }
+
+    stats = service.plans.stats()
+    entries = [{
+        "network": entry.key[0],
+        "model_version": entry.key[1],
+        "signature": list(entry.key[2]),
+        "fingerprint": entry.key[3],
+        "hits": entry.hits,
+        **entry.plan.describe(),
+    } for entry in service.plans.entries()]
+
+    if args.json:
+        print(json.dumps({"cache": stats, "entries": entries, "runs": runs,
+                          "invalidation": invalidation}, indent=2))
+        return 0
+
+    print(f"plan cache: {stats['size']}/{stats['capacity']} entries, "
+          f"{stats['hits']} hits / {stats['misses']} misses "
+          f"({stats['evictions']} evictions, "
+          f"{stats['invalidations']} stale invalidations)")
+    for index, entry in enumerate(entries):
+        print(f"  [{index}] {entry['algorithm']} on {entry['network']!r} "
+              f"v{entry['model_version']} fingerprint={entry['fingerprint']}")
+        print(f"      hits={entry['hits']} executions={entry['executions']} "
+              f"filter_cells={entry['filter_cells']} "
+              f"filter_entries={entry['filter_entries']} "
+              f"prepare={entry['prepare_seconds'] * 1000:.1f}ms "
+              f"stale={'yes' if entry['stale'] else 'no'}")
+    for index, run in enumerate(runs):
+        print(f"  run {index}: cache {run['cache']:<6} {run['status']}, "
+              f"{run['mappings']} mapping(s) in {run['elapsed_ms']:.1f} ms")
+    if invalidation is not None:
+        label = invalidation["cache"]
+        if label == "miss":
+            label = "miss (plan invalidated)"
+        print(f"  after {invalidation['ticks']} monitor tick(s) -> model "
+              f"v{invalidation['model_version']}: cache {label}, "
+              f"{invalidation['mappings']} mapping(s)")
+    return 0
+
+
 def _run_list_algorithms(args: argparse.Namespace) -> int:
     registry = default_registry()
     infos = (registry.with_capabilities(*args.capability)
@@ -272,6 +398,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_embed(args)
     if args.command == "batch":
         return _run_batch(args)
+    if args.command == "plan":
+        return _run_plan(args)
     if args.command == "list-algorithms":
         return _run_list_algorithms(args)
     if args.command == "generate":

@@ -83,6 +83,31 @@ def compile_vector_kernel(expr: Expr) -> Optional[VectorKernel]:
     return kernel
 
 
+#: Attribute under which :func:`cached_vector_kernel` memoises its result on
+#: the expression object (a (kernel-or-None,) one-tuple, so a non-vectorizable
+#: expression caches its ``None`` verdict too).
+_KERNEL_CACHE_ATTR = "_vector_kernel_cache"
+
+
+def cached_vector_kernel(expression) -> Optional[VectorKernel]:
+    """The compiled batch kernel for a constraint expression, memoised.
+
+    *expression* is any object with an ``ast`` attribute (in practice a
+    :class:`~repro.constraints.ConstraintExpression`, which is immutable, so
+    caching the compiled kernel on the instance is safe).  Repeated filter
+    builds against the same expression — the plan-cache hot path — then skip
+    the AST walk entirely.
+    """
+    cached = getattr(expression, _KERNEL_CACHE_ATTR, None)
+    if cached is None:
+        cached = (compile_vector_kernel(expression.ast),)
+        try:
+            setattr(expression, _KERNEL_CACHE_ATTR, cached)
+        except AttributeError:  # slots/frozen objects: fall back to recompiling
+            pass
+    return cached[0]
+
+
 # --------------------------------------------------------------------------- #
 # Node compilers: each returns (closure, type tag) or None when unsupported.
 # --------------------------------------------------------------------------- #

@@ -9,15 +9,32 @@ Public surface:
 * :class:`Mapping` and :func:`validate_mapping` — embeddings and their
   independent correctness oracle;
 * :func:`build_filters` / :class:`FilterMatrices` — the ECF/RWB filter stage,
-  exposed for tests, ablations and diagnostics.
+  exposed for tests, ablations and diagnostics;
+* :class:`EmbeddingPlan` / :class:`PlanCache` — the two-phase
+  prepare/execute surface: compiled, reusable plans and the version-aware
+  LRU cache the service routes repeated traffic through.
 """
 
 from repro.api.registry import UnknownAlgorithmError, default_registry
 from repro.core.base import EmbeddingAlgorithm, SearchContext
 from repro.core.ecf import ECF
-from repro.core.filters import FilterMatrices, build_filters, compute_node_candidates
+from repro.core.filters import (
+    FilterMatrices,
+    HostingCompile,
+    build_filters,
+    clear_hosting_compile,
+    compile_hosting,
+    compute_node_candidates,
+)
 from repro.core.indexing import NodeIndexer
 from repro.core.lns import LNS
+from repro.core.plan import (
+    EmbeddingPlan,
+    PlanCache,
+    PlanCacheEntry,
+    PlanInvalidatedError,
+    PreparedSearch,
+)
 from repro.core.mapping import Mapping, MappingViolation, is_valid_mapping, validate_mapping
 from repro.core.ordering import (
     ORDERINGS,
@@ -64,9 +81,17 @@ __all__ = [
     "validate_mapping",
     "is_valid_mapping",
     "FilterMatrices",
+    "HostingCompile",
     "NodeIndexer",
     "build_filters",
+    "clear_hosting_compile",
+    "compile_hosting",
     "compute_node_candidates",
+    "EmbeddingPlan",
+    "PlanCache",
+    "PlanCacheEntry",
+    "PlanInvalidatedError",
+    "PreparedSearch",
     "ORDERINGS",
     "candidate_count_order",
     "connectivity_aware_order",

@@ -3,9 +3,14 @@
 Every algorithm — ECF, RWB, LNS, and the baselines in :mod:`repro.baselines`
 — exposes the same interface: :meth:`EmbeddingAlgorithm.request` consumes a
 validated :class:`~repro.api.request.SearchRequest` and returns an
-:class:`~repro.core.result.EmbeddingResult`.  The historical keyword surface
-(:meth:`EmbeddingAlgorithm.search`) survives as a thin shim that builds a
-request, so existing call sites keep working; :meth:`iter_mappings` streams
+:class:`~repro.core.result.EmbeddingResult`, and
+:meth:`EmbeddingAlgorithm.prepare` compiles the same request into a reusable
+:class:`~repro.core.plan.EmbeddingPlan` whose
+:meth:`~repro.core.plan.EmbeddingPlan.execute` amortises the compile stage
+across repeated runs.  ``request()`` is itself a thin prepare-and-execute
+under one deadline.  The historical keyword surface
+(:meth:`EmbeddingAlgorithm.search`) survives as a deprecated shim that builds
+a request, so existing call sites keep working; :meth:`iter_mappings` streams
 embeddings lazily instead of materializing the full result list.
 
 The :class:`SearchContext` object carries the per-search mutable state
@@ -19,23 +24,90 @@ from __future__ import annotations
 
 import abc
 import queue as queue_module
+import random
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.api.request import Budget, ConstraintLike, SearchRequest
 from repro.constraints import ConstraintExpression, edge_context
 from repro.core.mapping import Mapping
+from repro.core.plan import EmbeddingPlan, PreparedSearch
 from repro.core.result import EmbeddingResult, ResultStatus, SearchStats, classify
 from repro.graphs.hosting import HostingNetwork
 from repro.graphs.network import Edge, Network, NodeId
 from repro.graphs.query import QueryNetwork
+from repro.utils.rng import as_rng
 from repro.utils.timing import Deadline, Stopwatch, TimeoutExpired
 
 
 class StreamClosed(Exception):
     """Internal control-flow signal: the consumer of a lazy mapping stream
     went away, so the producing search should unwind immediately."""
+
+
+def pump_mapping_stream(run: Callable, name: str, buffer_size: int
+                        ) -> Iterator[Mapping]:
+    """Turn a callback-style search into a lazy, backpressured generator.
+
+    *run* is invoked as ``run(push, closed)`` on a background thread — it must
+    call ``push(mapping)`` for every embedding and honour *closed* (a
+    :class:`threading.Event`) as a cancellation signal, which is exactly the
+    ``on_mapping``/``cancel`` contract of :meth:`EmbeddingAlgorithm.request`
+    and :meth:`EmbeddingPlan.execute`.  The hand-off queue holds at most
+    *buffer_size* mappings, so the producer pauses when the consumer is slow
+    and aborts when the generator is closed; exceptions raised by the search
+    re-raise in the consuming thread when the stream is drained.
+    """
+    handoff: queue_module.Queue = queue_module.Queue(maxsize=buffer_size)
+    closed = threading.Event()
+    sentinel = object()
+    failure: List[BaseException] = []
+
+    def push(item) -> None:
+        # Bounded blocking put that notices a departed consumer.
+        while True:
+            if closed.is_set():
+                raise StreamClosed()
+            try:
+                handoff.put(item, timeout=0.05)
+                return
+            except queue_module.Full:
+                continue
+
+    def worker() -> None:
+        try:
+            run(push, closed)
+        except StreamClosed:
+            pass
+        except BaseException as exc:   # re-raised on the consumer side
+            failure.append(exc)
+        finally:
+            try:
+                push(sentinel)
+            except StreamClosed:
+                pass
+
+    thread = threading.Thread(target=worker, name=name, daemon=True)
+    thread.start()
+    try:
+        while True:
+            item = handoff.get()
+            if item is sentinel:
+                break
+            yield item
+    finally:
+        closed.set()
+        # Unblock a producer stuck on a full queue, then reap the thread.
+        while thread.is_alive():
+            try:
+                handoff.get_nowait()
+            except queue_module.Empty:
+                pass
+            thread.join(timeout=0.05)
+    if failure:
+        raise failure[0]
 
 
 def placed_neighbor_plan(query: QueryNetwork, order: List[NodeId]
@@ -76,6 +148,11 @@ class SearchContext:
     #: When set, the next deadline check raises StreamClosed, aborting the
     #: search promptly even in barren regions that record no mappings.
     cancel: Optional[threading.Event] = None
+    #: Per-run randomness override.  A cached :class:`EmbeddingPlan` is shared
+    #: across requests that may each carry their own seed; seedable algorithms
+    #: (RWB) consult this before falling back to their construction-time
+    #: source.  ``None`` for deterministic algorithms and direct requests.
+    rng: Optional[random.Random] = None
     _stopwatch: Stopwatch = field(default_factory=Stopwatch)
 
     def __post_init__(self) -> None:
@@ -162,10 +239,20 @@ class EmbeddingAlgorithm(abc.ABC):
     # Primary entry point: the request/response model
     # ------------------------------------------------------------------ #
 
+    #: Whether :meth:`prepare` compiles reusable artifacts for this algorithm.
+    #: ``False`` means plans still work but re-run the whole search on every
+    #: execute (no amortisation); the service only routes such algorithms
+    #: through its plan cache when this is ``True``.
+    supports_prepare: bool = False
+
     def request(self, request: SearchRequest,
                 on_mapping: Optional[Callable[[Mapping], None]] = None,
                 cancel: Optional[threading.Event] = None) -> EmbeddingResult:
         """Search for feasible embeddings described by *request*.
+
+        Equivalent to preparing a plan and executing it once, except that the
+        request's timeout spans both phases (compilation happens under the
+        search deadline, exactly as the one-shot engine always behaved).
 
         Parameters
         ----------
@@ -183,39 +270,124 @@ class EmbeddingAlgorithm(abc.ABC):
         -------
         EmbeddingResult
         """
+        self._require_request(request)
+        return self._drive(request, prepared=None, budget=request.budget,
+                           on_mapping=on_mapping, cancel=cancel, rng=None)
+
+    # ------------------------------------------------------------------ #
+    # The two-phase prepare/execute API
+    # ------------------------------------------------------------------ #
+
+    def prepare(self, request: SearchRequest,
+                deadline: Optional[Deadline] = None) -> EmbeddingPlan:
+        """Compile *request* into a reusable :class:`EmbeddingPlan`.
+
+        The plan captures everything that does not depend on the per-run
+        budget or random stream — for ECF/RWB the node indexer, the filter
+        bitmasks and the visiting order; for LNS the indexer and the
+        node-candidate masks.  Preparation is by default not bounded by the
+        request's timeout (it is hosting-side work meant to be amortised);
+        pass *deadline* to bound the compile, in which case
+        :class:`~repro.utils.timing.TimeoutExpired` may propagate.  Each
+        :meth:`EmbeddingPlan.execute` gets its own full budget for the
+        search.
+        """
+        self._require_request(request)
+        stopwatch = Stopwatch().start()
+        # Epochs are read BEFORE compiling: a mutation that lands mid-compile
+        # then makes the plan stale instead of silently half-built.
+        hosting_epoch = request.hosting.mutation_count
+        query_epoch = request.query.mutation_count
+        # The structural screens are epoch-stable (a stale plan refuses to
+        # execute), so they run once here instead of once per execute.
+        if request.query.num_nodes == 0:
+            prepared = PreparedSearch(screen="empty")
+        elif request.query.is_obviously_infeasible(request.hosting):
+            prepared = PreparedSearch(screen="infeasible")
+        else:
+            prepared = self._prepare(request, deadline=deadline)
+        return EmbeddingPlan(algorithm=self, request=request, prepared=prepared,
+                             prepare_seconds=stopwatch.stop(),
+                             hosting_epoch=hosting_epoch,
+                             query_epoch=query_epoch)
+
+    def plan_signature(self) -> Tuple:
+        """A hashable digest of this instance's search-relevant configuration.
+
+        Two instances with equal signatures compile interchangeable plans for
+        the same request, which is what lets the service's plan cache share
+        one plan across requests.  Subclasses with configuration knobs that
+        change the prepared artifacts or the search order must extend this.
+        """
+        return (self.name,)
+
+    def _require_request(self, request: SearchRequest) -> None:
         if not isinstance(request, SearchRequest):
             raise TypeError(
                 f"expected a SearchRequest, got {type(request).__name__}; "
                 f"use search(...) for the keyword-argument surface")
 
+    def _drive(self, request: SearchRequest, prepared: Optional[PreparedSearch],
+               budget: Budget, on_mapping, cancel, rng) -> EmbeddingResult:
+        """Shared execution shell behind :meth:`request` and plan executes.
+
+        When *prepared* is ``None`` the compile stage runs here, under the
+        same deadline as the search (the historical one-shot behaviour);
+        otherwise the precompiled artifacts are credited to the run's
+        statistics and only the tree search executes.
+        """
         context = SearchContext(
             query=request.query,
             hosting=request.hosting,
             constraint=request.constraint,
             node_constraint=request.node_constraint,
-            deadline=Deadline(request.budget.timeout),
-            max_results=self._effective_max_results(request.budget.max_results),
+            deadline=Deadline(budget.timeout),
+            max_results=self._effective_max_results(budget.max_results),
             on_mapping=on_mapping,
             cancel=cancel,
+            rng=None if rng is None else as_rng(rng),
         )
 
+        if prepared is None:
+            screen = None
+            if request.query.num_nodes == 0:
+                screen = "empty"
+            elif request.query.is_obviously_infeasible(request.hosting):
+                screen = "infeasible"
+        else:
+            screen = prepared.screen
+
         # Empty queries embed trivially with the empty mapping.
-        if request.query.num_nodes == 0:
+        if screen == "empty":
             context.record_mapping({})
             return self._finalise(context, exhausted=True, timed_out=False)
 
         # Cheap necessary-condition screen: a query that cannot embed for
         # structural reasons is reported as a completed, empty search.
-        if request.query.is_obviously_infeasible(request.hosting):
+        if screen == "infeasible":
             return self._finalise(context, exhausted=True, timed_out=False)
 
         timed_out = False
         try:
-            exhausted = self._run(context)
+            if prepared is None:
+                prepared = self._prepare(request, deadline=context.deadline)
+            self._credit_prepared(context, prepared)
+            if prepared.infeasible:
+                exhausted = True
+            else:
+                exhausted = self._run_prepared(context, prepared)
         except TimeoutExpired:
             exhausted = False
             timed_out = True
         return self._finalise(context, exhausted=exhausted, timed_out=timed_out)
+
+    @staticmethod
+    def _credit_prepared(context: SearchContext, prepared: PreparedSearch) -> None:
+        """Fold the prepare-stage statistics into this run's counters, so a
+        planned execute reports exactly what a fresh one-shot search would."""
+        context.stats.constraint_evaluations += prepared.constraint_evaluations
+        context.stats.filter_entries = prepared.filter_entries
+        context.stats.filter_build_seconds = prepared.filter_build_seconds
 
     # ------------------------------------------------------------------ #
     # Legacy keyword surface (thin shims over request())
@@ -253,6 +425,11 @@ class EmbeddingAlgorithm(abc.ABC):
         -------
         EmbeddingResult
         """
+        warnings.warn(
+            "EmbeddingAlgorithm.search(**kwargs) is deprecated; build a "
+            "SearchRequest and call request(), or prepare() for a reusable "
+            "EmbeddingPlan",
+            DeprecationWarning, stacklevel=2)
         return self.request(SearchRequest.build(
             query, hosting, constraint=constraint,
             node_constraint=node_constraint, timeout=timeout,
@@ -302,55 +479,10 @@ class EmbeddingAlgorithm(abc.ABC):
 
     def _stream(self, request: SearchRequest, buffer_size: int
                 ) -> Iterator[Mapping]:
-        handoff: queue_module.Queue = queue_module.Queue(maxsize=buffer_size)
-        closed = threading.Event()
-        sentinel = object()
-        failure: List[BaseException] = []
+        def run(push, closed):
+            return self.request(request, on_mapping=push, cancel=closed)
 
-        def push(item) -> None:
-            # Bounded blocking put that notices a departed consumer.
-            while True:
-                if closed.is_set():
-                    raise StreamClosed()
-                try:
-                    handoff.put(item, timeout=0.05)
-                    return
-                except queue_module.Full:
-                    continue
-
-        def worker() -> None:
-            try:
-                self.request(request, on_mapping=push, cancel=closed)
-            except StreamClosed:
-                pass
-            except BaseException as exc:   # re-raised on the consumer side
-                failure.append(exc)
-            finally:
-                try:
-                    push(sentinel)
-                except StreamClosed:
-                    pass
-
-        thread = threading.Thread(
-            target=worker, name=f"{self.name}-stream", daemon=True)
-        thread.start()
-        try:
-            while True:
-                item = handoff.get()
-                if item is sentinel:
-                    break
-                yield item
-        finally:
-            closed.set()
-            # Unblock a producer stuck on a full queue, then reap the thread.
-            while thread.is_alive():
-                try:
-                    handoff.get_nowait()
-                except queue_module.Empty:
-                    pass
-                thread.join(timeout=0.05)
-        if failure:
-            raise failure[0]
+        return pump_mapping_stream(run, f"{self.name}-stream", buffer_size)
 
     # ------------------------------------------------------------------ #
 
@@ -358,9 +490,37 @@ class EmbeddingAlgorithm(abc.ABC):
         """Hook letting algorithms impose their own cap (RWB caps at one)."""
         return requested
 
-    @abc.abstractmethod
+    def _prepare(self, request: SearchRequest, deadline: Optional[Deadline] = None
+                 ) -> PreparedSearch:
+        """Compile the request-independent-of-budget artifacts.
+
+        The default compiles nothing: :meth:`_run_prepared` then falls back
+        to :meth:`_run`, so algorithms without a separable prepare stage (the
+        baselines) keep working unchanged — their plans just re-run the whole
+        search each execute.  Two-phase algorithms override this together
+        with :meth:`_run_prepared`.
+
+        *deadline* is set when compilation happens inside a one-shot
+        :meth:`request` (the budget covers both phases) and ``None`` from
+        :meth:`prepare` (compilation is meant to be amortised).
+        """
+        return PreparedSearch()
+
+    def _run_prepared(self, context: SearchContext,
+                      prepared: PreparedSearch) -> bool:
+        """Run the search stage against prepared artifacts.
+
+        Contract as :meth:`_run`; the default ignores *prepared* and
+        delegates to :meth:`_run`.
+        """
+        return self._run(context)
+
     def _run(self, context: SearchContext) -> bool:
         """Perform the search, populating ``context.mappings``.
+
+        Subclasses implement either this method or the
+        :meth:`_prepare`/:meth:`_run_prepared` pair (in which case ``_run``
+        is never called).
 
         Returns
         -------
@@ -370,6 +530,9 @@ class EmbeddingAlgorithm(abc.ABC):
             early (result cap).  Deadline expiry is signalled by letting
             :class:`TimeoutExpired` propagate.
         """
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _run() or override "
+            f"_prepare()/_run_prepared()")
 
     def _finalise(self, context: SearchContext, exhausted: bool, timed_out: bool
                   ) -> EmbeddingResult:

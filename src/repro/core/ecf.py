@@ -29,13 +29,16 @@ correct (everything it reports is feasible).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.registry import Capability, register_algorithm
+from repro.api.request import SearchRequest
 from repro.core.base import EmbeddingAlgorithm, SearchContext, placed_neighbor_plan
 from repro.core.filters import FilterMatrices, build_filters
 from repro.core.ordering import ORDERINGS
+from repro.core.plan import PreparedSearch
 from repro.graphs.network import NodeId
+from repro.utils.timing import Deadline
 
 
 @register_algorithm(
@@ -67,6 +70,7 @@ class ECF(EmbeddingAlgorithm):
     """
 
     name = "ECF"
+    supports_prepare = True
 
     def __init__(self, ordering: str = "connectivity",
                  record_non_matches: bool = True) -> None:
@@ -82,28 +86,43 @@ class ECF(EmbeddingAlgorithm):
         """Name of the node-ordering heuristic in use."""
         return self._ordering_name
 
+    def plan_signature(self):
+        return (self.name, self._ordering_name, self._record_non_matches)
+
     # ------------------------------------------------------------------ #
 
-    def _run(self, context: SearchContext) -> bool:
-        filters = build_filters(context.query, context.hosting, context.constraint,
-                                context.node_constraint,
+    def _prepare(self, request: SearchRequest,
+                 deadline: Optional[Deadline] = None) -> PreparedSearch:
+        """Stage 1: compile the filter matrices and the visiting order."""
+        filters = build_filters(request.query, request.hosting,
+                                request.constraint, request.node_constraint,
                                 record_non_matches=self._record_non_matches,
-                                deadline=context.deadline)
-        context.stats.constraint_evaluations += filters.constraint_evaluations
-        context.stats.filter_entries = filters.entry_count
-        context.stats.filter_build_seconds = filters.build_seconds
+                                deadline=deadline)
+        prepared = PreparedSearch(
+            filters=filters,
+            constraint_evaluations=filters.constraint_evaluations,
+            filter_entries=filters.entry_count,
+            filter_build_seconds=filters.build_seconds)
 
         # If any query node has no candidate at all the query is infeasible
-        # and the (empty) search is complete.
+        # and every (empty) search against this plan is complete.
         if any(not filters.node_candidate_masks.get(node)
-               for node in context.query.nodes()):
-            return True
+               for node in request.query.nodes()):
+            prepared.infeasible = True
+            return prepared
 
-        order = self._ordering(context.query, filters)
-        return self._search(context, filters, order)
+        prepared.order = self._ordering(request.query, filters)
+        prepared.prior = placed_neighbor_plan(request.query, prepared.order)
+        return prepared
+
+    def _run_prepared(self, context: SearchContext,
+                      prepared: PreparedSearch) -> bool:
+        return self._search(context, prepared.filters, prepared.order,
+                            prepared.prior)
 
     def _search(self, context: SearchContext, filters: FilterMatrices,
-                order: List[NodeId]) -> bool:
+                order: List[NodeId],
+                prior: Sequence[Tuple[NodeId, ...]]) -> bool:
         """Explicit-stack depth-first expansion over bitmask candidates.
 
         Returns ``False`` iff the search stopped early (result cap).  Per
@@ -115,7 +134,6 @@ class ECF(EmbeddingAlgorithm):
         node_at = indexer.node_at
         match_masks = filters.match_masks
         node_masks = filters.node_candidate_masks
-        prior = placed_neighbor_plan(context.query, order)
         stats = context.stats
         check_deadline = context.check_deadline
         record_mapping = context.record_mapping

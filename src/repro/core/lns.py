@@ -34,14 +34,17 @@ mapping exists some branch of the recursion constructs it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.api.registry import Capability, register_algorithm
+from repro.api.request import SearchRequest
 from repro.core.base import EmbeddingAlgorithm, SearchContext
 from repro.core.filters import compute_node_candidates
 from repro.core.indexing import NodeIndexer
 from repro.core.ordering import lns_next_neighbor
+from repro.core.plan import PreparedSearch
 from repro.graphs.network import Edge, NodeId
+from repro.utils.timing import Deadline
 
 
 @register_algorithm(
@@ -69,6 +72,7 @@ class LNS(EmbeddingAlgorithm):
     """
 
     name = "LNS"
+    supports_prepare = True
 
     def __init__(self, candidate_order: str = "sorted") -> None:
         if candidate_order not in ("sorted", "degree"):
@@ -76,29 +80,45 @@ class LNS(EmbeddingAlgorithm):
                 f"candidate_order must be 'sorted' or 'degree', got {candidate_order!r}")
         self._candidate_order = candidate_order
 
+    def plan_signature(self):
+        return (self.name, self._candidate_order)
+
     # ------------------------------------------------------------------ #
 
-    def _run(self, context: SearchContext) -> bool:
-        node_allowed = compute_node_candidates(context.query, context.hosting,
-                                               context.node_constraint)
-        if any(not node_allowed[node] for node in context.query.nodes()):
-            return True
+    def _prepare(self, request: SearchRequest,
+                 deadline: Optional[Deadline] = None) -> PreparedSearch:
+        """Stage 1: node screening plus the dense host index.
+
+        LNS has no filter matrices — edge constraints stay lazy — so its
+        prepared artifacts are the node-constraint candidate masks and the
+        indexer.  The hosting-adjacency memo is created here too and shared
+        across executes: it is derived data, filled lazily for hosts a
+        partial mapping actually touches, and monotone (safe to share even
+        between concurrent executes of the same plan).
+        """
+        node_allowed = compute_node_candidates(request.query, request.hosting,
+                                               request.node_constraint)
+        if any(not node_allowed[node] for node in request.query.nodes()):
+            return PreparedSearch(infeasible=True)
 
         # Same bitmask candidate algebra as ECF/RWB: allowed sets and hosting
         # adjacency become masks over the dense host index, so the pruning
-        # intersection below is a chain of `&`.  Adjacency masks are encoded
-        # lazily, only for hosts a partial mapping actually touches.
-        indexer = NodeIndexer(context.hosting.nodes())
+        # intersection in the search is a chain of `&`.
+        indexer = NodeIndexer(request.hosting.nodes())
         allowed_masks = {node: indexer.encode(hosts)
                          for node, hosts in node_allowed.items()}
-        adjacency_masks: Dict[NodeId, int] = {}
+        return PreparedSearch(indexer=indexer, allowed_masks=allowed_masks,
+                              adjacency_masks={})
 
+    def _run_prepared(self, context: SearchContext,
+                      prepared: PreparedSearch) -> bool:
         assignment: Dict[NodeId, NodeId] = {}
         covered: List[NodeId] = []
         neighbors: Set[NodeId] = set()
         external: Set[NodeId] = set(context.query.nodes())
-        return self._extend(context, indexer, allowed_masks, adjacency_masks,
-                            assignment, 0, covered, neighbors, external)
+        return self._extend(context, prepared.indexer, prepared.allowed_masks,
+                            prepared.adjacency_masks, assignment, 0, covered,
+                            neighbors, external)
 
     # ------------------------------------------------------------------ #
 

@@ -21,11 +21,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.registry import Capability, register_algorithm
+from repro.api.request import SearchRequest
 from repro.core.base import EmbeddingAlgorithm, SearchContext, placed_neighbor_plan
 from repro.core.filters import FilterMatrices, build_filters
 from repro.core.ordering import ORDERINGS
+from repro.core.plan import PreparedSearch
 from repro.graphs.network import NodeId
 from repro.utils.rng import RandomSource, as_rng
+from repro.utils.timing import Deadline
 
 
 @register_algorithm(
@@ -59,6 +62,7 @@ class RWB(EmbeddingAlgorithm):
     """
 
     name = "RWB"
+    supports_prepare = True
 
     def __init__(self, rng: RandomSource = None,
                  ordering: str = "connectivity",
@@ -73,6 +77,7 @@ class RWB(EmbeddingAlgorithm):
                 raise TypeError(f"seed must be an int, got {type(seed).__name__}")
             rng = seed
         self._rng_source = rng
+        self._ordering_name = ordering
         self._ordering = ORDERINGS[ordering]
 
     def _effective_max_results(self, requested: Optional[int]) -> Optional[int]:
@@ -81,27 +86,46 @@ class RWB(EmbeddingAlgorithm):
         # can sample several random embeddings.
         return 1 if requested is None else requested
 
+    def plan_signature(self):
+        # The rng source is deliberately absent: filters and visiting order
+        # are seed-independent, so one cached plan serves requests carrying
+        # different seeds (the per-run stream arrives via execute(rng=...)).
+        return (self.name, self._ordering_name)
+
     # ------------------------------------------------------------------ #
 
-    def _run(self, context: SearchContext) -> bool:
-        rng = as_rng(self._rng_source)
-        # RWB never reads the non-match filter, so skip populating it.
-        filters = build_filters(context.query, context.hosting, context.constraint,
-                                context.node_constraint,
+    def _prepare(self, request: SearchRequest,
+                 deadline: Optional[Deadline] = None) -> PreparedSearch:
+        """Stage 1: same compile as ECF, minus the never-read ``F̄`` filter."""
+        filters = build_filters(request.query, request.hosting,
+                                request.constraint, request.node_constraint,
                                 record_non_matches=False,
-                                deadline=context.deadline)
-        context.stats.constraint_evaluations += filters.constraint_evaluations
-        context.stats.filter_entries = filters.entry_count
-        context.stats.filter_build_seconds = filters.build_seconds
+                                deadline=deadline)
+        prepared = PreparedSearch(
+            filters=filters,
+            constraint_evaluations=filters.constraint_evaluations,
+            filter_entries=filters.entry_count,
+            filter_build_seconds=filters.build_seconds)
 
         if any(not filters.node_candidate_masks.get(node)
-               for node in context.query.nodes()):
-            return True
+               for node in request.query.nodes()):
+            prepared.infeasible = True
+            return prepared
 
-        order = self._ordering(context.query, filters)
-        prior = placed_neighbor_plan(context.query, order)
+        prepared.order = self._ordering(request.query, filters)
+        prepared.prior = placed_neighbor_plan(request.query, prepared.order)
+        return prepared
+
+    def _run_prepared(self, context: SearchContext,
+                      prepared: PreparedSearch) -> bool:
+        # A per-run rng (a plan execute carrying a request seed) wins over
+        # the construction-time source; both normalise through as_rng, so a
+        # fresh search and a planned execute with the same seed walk the
+        # exact same random candidate order.
+        rng = context.rng if context.rng is not None else as_rng(self._rng_source)
         assignment: Dict[NodeId, NodeId] = {}
-        return self._walk(context, filters, order, prior, 0, assignment, 0, rng)
+        return self._walk(context, prepared.filters, prepared.order,
+                          prepared.prior, 0, assignment, 0, rng)
 
     def _walk(self, context: SearchContext, filters: FilterMatrices,
               order: List[NodeId], prior: Sequence[Tuple[NodeId, ...]],

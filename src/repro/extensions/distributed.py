@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import networkx as nx
 
+from repro.api.request import SearchRequest
 from repro.constraints import ConstraintExpression
 from repro.core.base import EmbeddingAlgorithm
 from repro.core.ecf import ECF
@@ -155,17 +156,19 @@ class HierarchicalEmbedder:
             sub = self._subnetworks[name]
             if sub.num_nodes < query.num_nodes:
                 continue
-            result = self._algorithm.search(query, sub, constraint=constraint,
-                                            node_constraint=node_constraint,
-                                            timeout=timeout, max_results=max_results)
+            result = self._algorithm.request(SearchRequest.build(
+                query, sub, constraint=constraint,
+                node_constraint=node_constraint, timeout=timeout,
+                max_results=max_results))
             outcomes.append(DomainOutcome(domain=name, result=result))
             if result.found:
                 return HierarchicalResult(winning_domain=name, result=result,
                                           domain_outcomes=outcomes)
         if allow_global_fallback:
-            result = self._algorithm.search(query, self.hosting, constraint=constraint,
-                                            node_constraint=node_constraint,
-                                            timeout=timeout, max_results=max_results)
+            result = self._algorithm.request(SearchRequest.build(
+                query, self.hosting, constraint=constraint,
+                node_constraint=node_constraint, timeout=timeout,
+                max_results=max_results))
             return HierarchicalResult(winning_domain=None if not result.found else "*global*",
                                       result=result, domain_outcomes=outcomes,
                                       used_global_fallback=True)

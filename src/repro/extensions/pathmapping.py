@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
+from repro.api.request import SearchRequest
 from repro.constraints import ConstraintExpression
 from repro.core.base import EmbeddingAlgorithm
 from repro.core.ecf import ECF
@@ -134,9 +135,10 @@ class PathEmbedder:
                max_results: Optional[int] = None) -> PathEmbeddingResult:
         """Find embeddings where query edges ride hosting paths of bounded length."""
         closure, paths = build_closure_network(hosting, max_hops=self._max_hops)
-        result = self._algorithm.search(query, closure, constraint=constraint,
-                                        node_constraint=node_constraint,
-                                        timeout=timeout, max_results=max_results)
+        result = self._algorithm.request(SearchRequest.build(
+            query, closure, constraint=constraint,
+            node_constraint=node_constraint, timeout=timeout,
+            max_results=max_results))
         path_mappings = []
         for mapping in result.mappings:
             edge_paths: Dict[Edge, Tuple[NodeId, ...]] = {}

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Union
 
+from repro.api.request import SearchRequest
 from repro.constraints import ConstraintExpression
 from repro.core.base import EmbeddingAlgorithm
 from repro.core.lns import LNS
@@ -158,9 +159,9 @@ class EmbeddingScheduler:
         if len(self.hosting.nodes()) - len(busy) < query.num_nodes:
             return None
         node_constraint = self._availability_constraint(busy)
-        result = self._algorithm.search(query, self.hosting, constraint=constraint,
-                                        node_constraint=node_constraint,
-                                        timeout=timeout, max_results=1)
+        result = self._algorithm.request(SearchRequest.build(
+            query, self.hosting, constraint=constraint,
+            node_constraint=node_constraint, timeout=timeout, max_results=1))
         return result.first
 
     def _availability_constraint(self, busy: Set[NodeId]) -> Optional[ConstraintExpression]:

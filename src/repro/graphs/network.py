@@ -54,6 +54,11 @@ class Network:
         #: ``neighbors`` once per expansion step, and for directed graphs the
         #: uncached version built two sets and a union every time.
         self._adjacency: Dict[NodeId, List[NodeId]] = {}
+        #: Monotonic mutation epoch, bumped by every mutator.  Compiled
+        #: artifacts derived from this network (hosting compiles, embedding
+        #: plans) record the epoch they were built at, so a staleness check
+        #: is a single integer comparison instead of a structural diff.
+        self._mutation_count: int = 0
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -71,6 +76,7 @@ class Network:
         if node in self._graph:
             raise DuplicateNodeError(f"node {node!r} already exists in {self.name!r}")
         self._graph.add_node(node, **attrs)
+        self._mutation_count += 1
         return node
 
     def add_edge(self, u: NodeId, v: NodeId, **attrs: Any) -> Edge:
@@ -83,6 +89,7 @@ class Network:
         self._graph.add_edge(u, v, **attrs)
         self._adjacency.pop(u, None)
         self._adjacency.pop(v, None)
+        self._mutation_count += 1
         return (u, v)
 
     def update_node(self, node: NodeId, **attrs: Any) -> None:
@@ -90,12 +97,14 @@ class Network:
         if node not in self._graph:
             raise MissingNodeError(f"node {node!r} does not exist in {self.name!r}")
         self._graph.nodes[node].update(attrs)
+        self._mutation_count += 1
 
     def update_edge(self, u: NodeId, v: NodeId, **attrs: Any) -> None:
         """Merge *attrs* into an existing edge's attribute dict."""
         if not self._graph.has_edge(u, v):
             raise MissingNodeError(f"edge ({u!r}, {v!r}) does not exist in {self.name!r}")
         self._graph.edges[u, v].update(attrs)
+        self._mutation_count += 1
 
     def remove_node(self, node: NodeId) -> None:
         """Remove *node* and its incident edges."""
@@ -104,6 +113,7 @@ class Network:
         self._graph.remove_node(node)
         # Every former neighbour's adjacency changed; drop the whole cache.
         self._adjacency.clear()
+        self._mutation_count += 1
 
     def remove_edge(self, u: NodeId, v: NodeId) -> None:
         """Remove the edge between *u* and *v*."""
@@ -112,6 +122,7 @@ class Network:
         self._graph.remove_edge(u, v)
         self._adjacency.pop(u, None)
         self._adjacency.pop(v, None)
+        self._mutation_count += 1
 
     # ------------------------------------------------------------------ #
     # Inspection
@@ -121,6 +132,16 @@ class Network:
     def directed(self) -> bool:
         """Whether this network's edges are directed."""
         return self._graph.is_directed()
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic count of mutations applied through the mutator methods.
+
+        Mutating the raw :attr:`graph` handle bypasses the counter, exactly
+        as it bypasses the adjacency-cache invalidation — use the
+        :class:`Network` mutators.
+        """
+        return self._mutation_count
 
     @property
     def graph(self) -> nx.Graph:

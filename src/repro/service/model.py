@@ -15,6 +15,7 @@ is exactly that copy.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
@@ -48,11 +49,20 @@ class ModelEntry:
 
 
 class NetworkModelRegistry:
-    """Named store of hosting-network models."""
+    """Named store of hosting-network models.
+
+    Thread-safe: the batch service's worker threads read entries and versions
+    (plan-cache keys) while a monitor concurrently ``touch``-es the model, so
+    every access to the entry table happens under one reentrant lock.  The
+    :class:`ModelEntry` objects themselves are handed out by reference —
+    version reads on a live entry are single attribute loads, which is all
+    the staleness checks need.
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[str, ModelEntry] = {}
         self._default: Optional[str] = None
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
 
@@ -68,67 +78,74 @@ class NetworkModelRegistry:
                 f"only HostingNetwork instances can be registered, got "
                 f"{type(network).__name__}")
         key = name or network.name
-        if key in self._entries:
-            entry = self._entries[key]
-            entry.network = network
-            entry.version += 1
-            entry.description = description or entry.description
-        else:
-            self._entries[key] = ModelEntry(network=network, description=description)
-        if default or self._default is None:
-            self._default = key
+        with self._lock:
+            if key in self._entries:
+                entry = self._entries[key]
+                entry.network = network
+                entry.version += 1
+                entry.description = description or entry.description
+            else:
+                self._entries[key] = ModelEntry(network=network,
+                                                description=description)
+            if default or self._default is None:
+                self._default = key
         return key
 
     def unregister(self, name: str) -> None:
         """Remove a registered network."""
-        if name not in self._entries:
-            raise UnknownNetworkError(name, list(self._entries))
-        del self._entries[name]
-        if self._default == name:
-            self._default = next(iter(self._entries), None)
+        with self._lock:
+            if name not in self._entries:
+                raise UnknownNetworkError(name, list(self._entries))
+            del self._entries[name]
+            if self._default == name:
+                self._default = next(iter(self._entries), None)
 
     # ------------------------------------------------------------------ #
 
     def get(self, name: Optional[str] = None) -> HostingNetwork:
         """The hosting network registered under *name* (or the default)."""
-        key = name or self._default
-        if key is None or key not in self._entries:
-            raise UnknownNetworkError(str(key), list(self._entries))
-        return self._entries[key].network
+        return self.entry(name).network
 
     def entry(self, name: Optional[str] = None) -> ModelEntry:
         """The full registry entry (network, version, description)."""
-        key = name or self._default
-        if key is None or key not in self._entries:
-            raise UnknownNetworkError(str(key), list(self._entries))
-        return self._entries[key]
+        with self._lock:
+            key = name or self._default
+            if key is None or key not in self._entries:
+                raise UnknownNetworkError(str(key), list(self._entries))
+            return self._entries[key]
 
     def version(self, name: Optional[str] = None) -> int:
         """Current model version of a registered network."""
-        return self.entry(name).version
+        with self._lock:
+            return self.entry(name).version
 
     def touch(self, name: Optional[str] = None) -> int:
         """Record that the model was updated in place (monitor refresh); bump version."""
-        entry = self.entry(name)
-        entry.version += 1
-        return entry.version
+        with self._lock:
+            entry = self.entry(name)
+            entry.version += 1
+            return entry.version
 
     # ------------------------------------------------------------------ #
 
     @property
     def default_name(self) -> Optional[str]:
         """The name of the default hosting network, if any."""
-        return self._default
+        with self._lock:
+            return self._default
 
     def names(self) -> List[str]:
         """All registered network names."""
-        return sorted(self._entries)
+        with self._lock:
+            return sorted(self._entries)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._entries
+        with self._lock:
+            return name in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __iter__(self) -> Iterator[str]:
-        return iter(sorted(self._entries))
+        return iter(self.names())

@@ -2,6 +2,8 @@
 
 :class:`NetEmbedService` ties the pieces together: the network model registry
 (fed by monitors), the algorithm registry and its selection policy, the
+version-aware plan cache (compiled :class:`~repro.core.plan.EmbeddingPlan`
+artifacts reused across requests hitting the same model version), the
 timeout / result classification policy, and the optional reservation system.
 Applications interact with it through :class:`~repro.service.spec.QuerySpec`
 / :class:`~repro.service.spec.EmbeddingResponse`, the convenience
@@ -24,11 +26,13 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 import repro.baselines  # noqa: F401 — registers the baselines for by-name use
-from repro.api.registry import AlgorithmRegistry, Capability, default_registry
+from repro.api.registry import AlgorithmInfo, AlgorithmRegistry, Capability, default_registry
+from repro.api.request import SearchRequest
 from repro.api.selection import PaperSelectionPolicy, SelectionPolicy
 from repro.constraints import ConstraintExpression
 from repro.core import EmbeddingAlgorithm
 from repro.core.mapping import Mapping
+from repro.core.plan import EmbeddingPlan, PlanCache, PlanInvalidatedError
 from repro.core.result import EmbeddingResult
 from repro.graphs.graphml import read_graphml
 from repro.graphs.hosting import HostingNetwork
@@ -38,6 +42,7 @@ from repro.service.monitor import MonitorConfig, SimulatedMonitor
 from repro.service.reservation import ReservationManager
 from repro.service.spec import EmbeddingResponse, QuerySpec
 from repro.utils.rng import RandomSource
+from repro.utils.timing import Deadline, TimeoutExpired
 
 
 class NetEmbedService:
@@ -62,12 +67,21 @@ class NetEmbedService:
         Thread-pool size for :meth:`submit_batch` (``None`` = the
         :class:`~concurrent.futures.ThreadPoolExecutor` default).  The pool
         is created lazily on the first batch and reused afterwards.
+    plan_cache_size:
+        Capacity of the LRU :class:`~repro.core.plan.PlanCache` that
+        :meth:`embed`/:meth:`submit`/:meth:`submit_batch`/:meth:`stream`
+        route preparable algorithms through, keyed by (network name, model
+        version, algorithm signature, request fingerprint).  Repeated
+        queries against an unchanged model skip the whole compile stage; a
+        monitor refresh (version bump) or any network mutation invalidates
+        the affected plans automatically.
     """
 
     def __init__(self, default_timeout: float = 30.0, rng: RandomSource = None,
                  selection_policy: Optional[SelectionPolicy] = None,
                  algorithms: Optional[AlgorithmRegistry] = None,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 plan_cache_size: int = 128) -> None:
         if default_timeout <= 0:
             raise ValueError(f"default_timeout must be positive, got {default_timeout}")
         self.registry = NetworkModelRegistry()
@@ -75,12 +89,18 @@ class NetEmbedService:
         self.algorithms = algorithms if algorithms is not None else default_registry()
         self.selection_policy = (selection_policy if selection_policy is not None
                                  else PaperSelectionPolicy())
+        self.plans = PlanCache(capacity=plan_cache_size)
         self._default_timeout = default_timeout
         self._rng = rng
         self._monitors: Dict[str, SimulatedMonitor] = {}
         self._max_workers = max_workers
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
+        #: Default-configured instance per algorithm name, shared by the plan
+        #: path (prepared artifacts are config- and seed-independent, and the
+        #: search stage keeps all mutable state per run) — avoids building a
+        #: throwaway instance on every warm-cache submit.
+        self._plan_algorithms: Dict[str, EmbeddingAlgorithm] = {}
 
     # ------------------------------------------------------------------ #
     # Model management
@@ -120,12 +140,35 @@ class NetEmbedService:
     # ------------------------------------------------------------------ #
 
     def submit(self, spec: QuerySpec) -> EmbeddingResponse:
-        """Process a full :class:`QuerySpec` and return the response."""
-        network_name, hosting = self._resolve_network(spec.network)
-        algorithm = self._select_algorithm(spec, hosting)
+        """Process a full :class:`QuerySpec` and return the response.
+
+        Preparable algorithms (ECF/RWB/LNS) route through the plan cache:
+        the compiled plan for this (network version, query, constraints) is
+        fetched or built, then executed under the spec's own budget — a warm
+        hit skips filter construction entirely.  Per-request seeds still
+        apply; they are threaded into the execute stage, not baked into the
+        cached plan.
+        """
+        network_name, hosting, version = self._resolve_network(spec.network)
+        info = self._algorithm_info(spec, hosting)
         request = spec.to_request(hosting, default_timeout=self._default_timeout)
 
-        result = algorithm.request(request)
+        plan = self._cached_plan(network_name, version, info, request)
+        result = None
+        if plan is not None:
+            try:
+                result = plan.execute(budget=request.budget,
+                                      rng=self._execution_rng(info, spec))
+                algorithm_used = plan.algorithm.name
+            except PlanInvalidatedError:
+                # A monitor tick landed between the cache fetch and the
+                # execute; degrade to the one-shot path against the live
+                # model instead of surfacing the internal staleness signal.
+                plan = None
+        if plan is None:
+            algorithm = self._instantiate(info, spec)
+            result = algorithm.request(request)
+            algorithm_used = algorithm.name
 
         reservation_id = None
         if spec.reserve and result.found:
@@ -136,9 +179,31 @@ class NetEmbedService:
             spec=spec,
             result=result,
             network_name=network_name,
-            algorithm_used=algorithm.name,
+            algorithm_used=algorithm_used,
             reservation_id=reservation_id,
         )
+
+    def prepare(self, spec: QuerySpec) -> EmbeddingPlan:
+        """Compile (or fetch from the plan cache) the plan for *spec*.
+
+        Lets callers warm the cache ahead of traffic, or hold a plan and
+        drive :meth:`~repro.core.plan.EmbeddingPlan.execute` themselves with
+        per-run budgets.  Algorithms without a separable prepare stage still
+        return a working plan — it just re-runs the full search per execute
+        and is not cached.  A spec carrying a seed gets a private plan bound
+        to a seeded instance (not cached — cached plans are seed-agnostic;
+        their per-request seeds arrive via ``execute(rng=...)``), so
+        ``prepare(spec).execute()`` reproduces ``submit(spec)``.
+        """
+        network_name, hosting, version = self._resolve_network(spec.network)
+        info = self._algorithm_info(spec, hosting)
+        request = spec.to_request(hosting, default_timeout=self._default_timeout)
+        if spec.seed is None or not info.has(Capability.SEEDABLE):
+            plan = self._cached_plan(network_name, version, info, request,
+                                     bounded=False)
+            if plan is not None:
+                return plan
+        return self._instantiate(info, spec).prepare(request)
 
     def embed(self, query: QueryNetwork,
               constraint: Optional[Union[str, ConstraintExpression]] = None,
@@ -164,10 +229,37 @@ class NetEmbedService:
         if spec.reserve:
             raise ValueError("streaming does not support reserve=True; "
                              "use submit() and reserve the response instead")
-        _name, hosting = self._resolve_network(spec.network)
-        algorithm = self._select_algorithm(spec, hosting)
+        network_name, hosting, version = self._resolve_network(spec.network)
+        info = self._algorithm_info(spec, hosting)
         request = spec.to_request(hosting, default_timeout=self._default_timeout)
+        plan = self._cached_plan(network_name, version, info, request)
+        if plan is not None:
+            return self._stream_plan_with_fallback(plan, request, info, spec,
+                                                   buffer_size)
+        algorithm = self._instantiate(info, spec)
         return algorithm.stream(request, buffer_size=buffer_size)
+
+    def _stream_plan_with_fallback(self, plan: EmbeddingPlan,
+                                   request: SearchRequest, info: AlgorithmInfo,
+                                   spec: QuerySpec,
+                                   buffer_size: int) -> Iterator[Mapping]:
+        """Stream from *plan*, degrading to the one-shot path on staleness.
+
+        The staleness check runs when the lazily-started search begins, which
+        may be long after the generator was created — a monitor tick in that
+        window must not surface :class:`PlanInvalidatedError` to the
+        consumer.  The check fires before any mapping is produced, so the
+        fallback never duplicates output.
+        """
+        try:
+            yield from plan.stream(budget=request.budget,
+                                   buffer_size=buffer_size,
+                                   rng=self._execution_rng(info, spec))
+            return
+        except PlanInvalidatedError:
+            pass    # raced a mutation: stream one-shot against the live model
+        algorithm = self._instantiate(info, spec)
+        yield from algorithm.stream(request, buffer_size=buffer_size)
 
     # ------------------------------------------------------------------ #
     # Batch execution
@@ -248,26 +340,87 @@ class NetEmbedService:
     # ------------------------------------------------------------------ #
 
     def _resolve_network(self, name: Optional[str]) -> tuple:
-        """Resolve a spec's network name to ``(name, HostingNetwork)``.
+        """Resolve a spec's network name to ``(name, HostingNetwork, version)``.
 
         Raises :class:`UnknownNetworkError` (a LookupError, never a bare
         KeyError) whose message lists the registered names.
+
+        The version is read *before* the network object, from one registry
+        entry.  If a concurrent re-register replaces the entry between the
+        two reads, the new network pairs with the old version — the plan
+        compiled from it lands under a key no future lookup uses (they read
+        the bumped version) and is merely recompiled, instead of the reverse
+        anomaly where the *old* network's plan is cached under the *new*
+        version key and served forever.
         """
         network_name = name or self.registry.default_name
         if network_name is None:
             raise ValueError("no hosting network registered; call register_network first")
-        return network_name, self.registry.get(network_name)
+        entry = self.registry.entry(network_name)
+        version = entry.version
+        return network_name, entry.network, version
 
-    def _select_algorithm(self, spec: QuerySpec, hosting: HostingNetwork
-                          ) -> EmbeddingAlgorithm:
-        """Instantiate the algorithm for *spec* via the registry/policy."""
+    def _algorithm_info(self, spec: QuerySpec, hosting: HostingNetwork
+                        ) -> AlgorithmInfo:
+        """The registry entry for *spec* (auto-selection or by name)."""
         if spec.algorithm.lower() == "auto":
-            info = self.selection_policy.select(
+            return self.selection_policy.select(
                 spec.query, hosting, max_results=spec.max_results,
                 registry=self.algorithms)
-        else:
-            info = self.algorithms.get(spec.algorithm)
+        return self.algorithms.get(spec.algorithm)
+
+    def _instantiate(self, info: AlgorithmInfo, spec: QuerySpec
+                     ) -> EmbeddingAlgorithm:
+        """Build an algorithm instance for the direct (non-plan) path."""
         kwargs = {}
         if info.has(Capability.SEEDABLE):
             kwargs["rng"] = spec.seed if spec.seed is not None else self._rng
         return info.create(**kwargs)
+
+    def _execution_rng(self, info: AlgorithmInfo, spec: QuerySpec):
+        """The per-run randomness source threaded into a plan execute."""
+        if not info.has(Capability.SEEDABLE):
+            return None
+        return spec.seed if spec.seed is not None else self._rng
+
+    def _cached_plan(self, network_name: str, version: int,
+                     info: AlgorithmInfo, request: SearchRequest,
+                     bounded: bool = True) -> Optional[EmbeddingPlan]:
+        """The cached (or freshly compiled and cached) plan for *request*.
+
+        Returns ``None`` for algorithms without a separable prepare stage —
+        caching their plans would only pin memory without amortising
+        anything.  Seedable-but-preparable algorithms (RWB) are cached
+        seedless: the plan's artifacts are seed-independent and the random
+        stream arrives per execute.
+
+        With *bounded* (the submit/stream path) a cold compile runs under
+        the request's own timeout; if it expires, ``None`` is returned and
+        the caller falls back to the one-shot ``request()`` path, which
+        re-runs under a fresh deadline and classifies the timeout properly
+        (worst case one spec costs two timeout budgets, never unbounded).
+        ``bounded=False`` (explicit cache warming) compiles to completion.
+
+        Two racing workers may both miss and compile the same plan; the
+        second ``put`` simply replaces the first — both plans are valid for
+        the key, so the race is benign.
+        """
+        algorithm = self._plan_algorithms.get(info.name)
+        if algorithm is None:
+            algorithm = self._plan_algorithms.setdefault(info.name,
+                                                         info.create())
+        if not algorithm.supports_prepare:
+            return None
+        key = (network_name, version,
+               algorithm.plan_signature(), request.fingerprint())
+        plan = self.plans.get(key)
+        if plan is None:
+            try:
+                plan = algorithm.prepare(
+                    request,
+                    deadline=Deadline(request.budget.timeout) if bounded
+                    else None)
+            except TimeoutExpired:
+                return None
+            self.plans.put(key, plan)
+        return plan

@@ -36,6 +36,20 @@ class Deadline:
 
     seconds: Optional[float] = None
     _start: float = field(default_factory=time.perf_counter, repr=False)
+    #: Absolute perf_counter value at which the budget runs out (``inf`` for
+    #: unlimited deadlines).  Precomputed so the hot-path :meth:`check` —
+    #: called at every search-tree expansion — is a single comparison
+    #: instead of a subtraction chain through three properties.
+    _expires_at: float = field(default=math.inf, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._recompute()
+
+    def _recompute(self) -> None:
+        if self.seconds is None or math.isinf(self.seconds):
+            self._expires_at = math.inf
+        else:
+            self._expires_at = self._start + self.seconds
 
     @classmethod
     def unlimited(cls) -> "Deadline":
@@ -45,6 +59,7 @@ class Deadline:
     def restart(self) -> None:
         """Reset the reference start time to now."""
         self._start = time.perf_counter()
+        self._recompute()
 
     @property
     def elapsed(self) -> float:
@@ -60,11 +75,11 @@ class Deadline:
 
     def expired(self) -> bool:
         """Whether the budget has been exhausted."""
-        return self.remaining <= 0.0
+        return time.perf_counter() >= self._expires_at
 
     def check(self) -> None:
         """Raise :class:`TimeoutExpired` if the budget has been exhausted."""
-        if self.expired():
+        if time.perf_counter() >= self._expires_at:
             raise TimeoutExpired(
                 f"search exceeded its {self.seconds:.3f}s budget"
             )

@@ -83,6 +83,50 @@ class TestEmbedCommand:
         assert "0 embedding(s)" in capsys.readouterr().out
 
 
+class TestPlanCommand:
+    def test_explains_cache_hits_and_entries(self, graphml_pair, capsys):
+        host_path, query_path = graphml_pair
+        code = main(["plan", "--hosting", str(host_path), "--query", str(query_path),
+                     "--constraint", WINDOW, "--algorithm", "ECF", "--repeat", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "plan cache:" in out
+        assert "2 hits / 1 misses" in out
+        assert "run 0: cache miss" in out
+        assert "run 1: cache hit" in out
+
+    def test_json_output_with_tick_invalidation(self, graphml_pair, capsys):
+        host_path, query_path = graphml_pair
+        code = main(["plan", "--hosting", str(host_path), "--query", str(query_path),
+                     "--constraint", WINDOW, "--repeat", "2", "--tick", "1",
+                     "--seed", "4", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["hits"] == 1
+        assert payload["runs"][0]["cache"] == "miss"
+        assert payload["runs"][1]["cache"] == "hit"
+        # the monitor tick bumped the model version: the re-run must miss
+        assert payload["invalidation"]["cache"] == "miss"
+        assert payload["invalidation"]["model_version"] == 1
+        assert all(entry["fingerprint"] for entry in payload["entries"])
+
+    def test_non_preparable_algorithm_reports_bypass(self, graphml_pair, capsys):
+        host_path, query_path = graphml_pair
+        code = main(["plan", "--hosting", str(host_path), "--query", str(query_path),
+                     "--constraint", WINDOW, "--algorithm", "bruteforce",
+                     "--repeat", "2", "--max-results", "1", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [run["cache"] for run in payload["runs"]] == ["bypass", "bypass"]
+        assert payload["cache"]["hits"] == 0 and payload["cache"]["misses"] == 0
+
+    def test_rejects_nonpositive_repeat(self, graphml_pair, capsys):
+        host_path, query_path = graphml_pair
+        code = main(["plan", "--hosting", str(host_path), "--query", str(query_path),
+                     "--repeat", "0"])
+        assert code == 2
+
+
 class TestGenerateCommand:
     @pytest.mark.parametrize("kind,size", [("planetlab", 24), ("brite", 30)])
     def test_generates_graphml(self, tmp_path, capsys, kind, size):

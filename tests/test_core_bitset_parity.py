@@ -18,6 +18,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.api import SearchRequest
 from repro.constraints import ConstraintExpression
 from repro.core import ECF, LNS, RWB, NodeIndexer, build_filters
 from repro.core.reference import ReferenceECF, build_filters_reference
@@ -181,6 +182,115 @@ class TestSearchStreamParity:
         ecf = ECF().search(query, hosting, constraint=constraint,
                            node_constraint=node_constraint)
         assert set(lns.mappings) == set(ecf.mappings)
+
+
+def _mutate_hosting(hosting: HostingNetwork, seed: int) -> None:
+    """Apply one random structural/attribute mutation through the mutators."""
+    rng = random.Random(seed)
+    edges = hosting.edges()
+    roll = rng.random()
+    if edges and roll < 0.4:
+        u, v = rng.choice(edges)
+        hosting.remove_edge(u, v)
+    elif edges and roll < 0.8:
+        u, v = rng.choice(edges)
+        hosting.update_edge(u, v, avgDelay=rng.uniform(5, 60))
+    else:
+        node = rng.choice(hosting.nodes())
+        hosting.update_node(node, osType=rng.choice(["linux", "bsd"]))
+
+
+COUNTER_STATS = ("nodes_expanded", "candidates_considered", "backtracks",
+                 "filter_entries", "constraint_evaluations")
+
+
+def assert_same_outcome(planned, fresh):
+    """Byte-identical mapping streams plus identical discrete statistics."""
+    assert ([m.assignment for m in planned.mappings]
+            == [m.assignment for m in fresh.mappings])
+    assert planned.status == fresh.status
+    for stat in COUNTER_STATS:
+        assert getattr(planned.stats, stat) == getattr(fresh.stats, stat)
+
+
+class TestPreparedExecuteParity:
+    """prepare().execute() must be observationally identical to a fresh
+    request(), on arbitrary workloads, repeatedly, and across plan
+    invalidation by network mutation."""
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=workload_strategy)
+    def test_ecf_plan_matches_fresh_search(self, params):
+        query, hosting, constraint, node_constraint = build_workload(*params)
+        request = SearchRequest.build(query, hosting, constraint=constraint,
+                                      node_constraint=node_constraint)
+        plan = ECF().prepare(request)
+        first = plan.execute()
+        second = plan.execute()          # plans are reusable, not one-shot
+        fresh = ECF().request(request)
+        assert_same_outcome(first, fresh)
+        assert_same_outcome(second, fresh)
+        assert plan.executions == 2
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=workload_strategy)
+    def test_lns_plan_matches_fresh_search(self, params):
+        query, hosting, constraint, node_constraint = build_workload(*params)
+        request = SearchRequest.build(query, hosting, constraint=constraint,
+                                      node_constraint=node_constraint)
+        plan = LNS().prepare(request)
+        assert_same_outcome(plan.execute(), LNS().request(request))
+        assert_same_outcome(plan.execute(), LNS().request(request))
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=workload_strategy, seed=st.integers(0, 1000))
+    def test_rwb_plan_reproduces_seeded_stream(self, params, seed):
+        """One seedless cached plan + execute(rng=seed) == RWB(rng=seed)."""
+        query, hosting, constraint, node_constraint = build_workload(*params)
+        request = SearchRequest.build(query, hosting, constraint=constraint,
+                                      node_constraint=node_constraint,
+                                      max_results=3)
+        plan = RWB().prepare(request)
+        fresh = RWB(rng=seed).request(request)
+        assert_same_outcome(plan.execute(rng=seed), fresh)
+        assert_same_outcome(plan.execute(rng=seed), fresh)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=workload_strategy, mutation_seed=st.integers(0, 1000))
+    def test_mutation_invalidates_and_reprepare_matches(self, params,
+                                                        mutation_seed):
+        """After a network mutation the stale plan refuses to run, and a
+        re-prepared plan agrees with a fresh search on the mutated network."""
+        from repro.core import PlanInvalidatedError
+
+        query, hosting, constraint, node_constraint = build_workload(*params)
+        request = SearchRequest.build(query, hosting, constraint=constraint,
+                                      node_constraint=node_constraint)
+        plan = ECF().prepare(request)
+        plan.execute()
+
+        _mutate_hosting(hosting, mutation_seed)
+        assert plan.stale
+        with pytest.raises(PlanInvalidatedError):
+            plan.execute()
+
+        refreshed = plan.refresh()
+        assert not refreshed.stale
+        assert_same_outcome(refreshed.execute(), ECF().request(request))
+
+    def test_stream_through_plan_matches_execute(self, small_hosting,
+                                                 path_query,
+                                                 window_constraint):
+        request = SearchRequest.build(path_query, small_hosting,
+                                      constraint=window_constraint)
+        plan = ECF().prepare(request)
+        streamed = [m.assignment for m in plan.iter_mappings()]
+        executed = [m.assignment for m in plan.execute().mappings]
+        assert streamed == executed and streamed
 
 
 class TestNodeIndexer:

@@ -22,6 +22,7 @@ CASES = [
     ("multicast_overlay.py", ["multicast tree", "selected placement"]),
     ("grid_allocation.py", ["grid infrastructure", "link-to-path"]),
     ("sensor_scheduling.py", ["sensor field", "time-slotted schedule"]),
+    ("plan_cache_traffic.py", ["hosting model", "monitor tick", "hit rate"]),
 ]
 
 
