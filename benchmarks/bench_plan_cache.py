@@ -237,5 +237,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+try:                         # pytest is absent in script-only environments
+    from _smoke_marker import smoke as _smoke
+except ImportError:          # pragma: no cover - running outside benchmarks/
+    def _smoke(func):
+        return func
+
+
+@_smoke
+def test_smoke(tmp_path):
+    """Tiny-scale end-to-end run (parity-checked) for pytest/CI."""
+    assert main(["--scale", "smoke",
+                 "--output", str(tmp_path / "BENCH_plan.json")]) == 0
+
+
 if __name__ == "__main__":
     raise SystemExit(main())

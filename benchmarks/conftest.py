@@ -20,6 +20,22 @@ from repro.analysis import format_figure, format_table, write_csv
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_configure(config) -> None:
+    """Register the smoke marker and guarantee the results directory.
+
+    ``smoke`` marks the tiny-scale pytest entry points of the script-style
+    benchmarks (bench_perf_core / bench_plan_cache / bench_parallel), so
+    ``pytest benchmarks -m smoke`` exercises every benchmark end to end in
+    seconds.  The results directory is created here too — committed
+    artifacts live in it, but a fresh clone running a benchmark that writes
+    there must not depend on the checkout shipping the directory.
+    """
+    config.addinivalue_line(
+        "markers",
+        "smoke: tiny-scale end-to-end run of a script-style benchmark")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+
 @pytest.fixture(scope="session")
 def experiment_cache() -> Dict[str, List[dict]]:
     """Session-wide memo of experiment-driver outputs keyed by experiment id."""

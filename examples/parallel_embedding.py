@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Sharded parallel execution: the same mapping stream, on many cores.
+
+Demonstrates the parallel execution engine end to end:
+
+1. build a mid-sized hosting network and a query whose full enumeration has
+   real work in it;
+2. compile an :class:`~repro.core.plan.EmbeddingPlan` once and execute it
+   serially and with ``parallelism=4`` — the mapping streams are verified
+   byte-identical (that is the engine's core guarantee, for any shard
+   count and any of ECF / RWB / LNS);
+3. run the same traffic through :class:`~repro.service.NetEmbedService`,
+   whose batch and streaming paths share one bounded process pool.
+
+Run with:  python examples/parallel_embedding.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro import ECF, RWB, HostingNetwork, QueryNetwork, SearchRequest
+from repro.service import NetEmbedService, QuerySpec
+
+CONSTRAINT = "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay"
+
+
+def build_networks():
+    """A 20-node mesh-ish host and a 5-node path query with delay windows."""
+    rng = random.Random(42)
+    hosting = HostingNetwork("datacenter")
+    for i in range(20):
+        hosting.add_node(f"rack{i:02d}", name=f"rack{i:02d}")
+    for i in range(20):
+        for j in range(i + 1, 20):
+            if rng.random() < 0.45:
+                hosting.add_edge(f"rack{i:02d}", f"rack{j:02d}",
+                                 avgDelay=rng.uniform(5.0, 60.0))
+
+    query = QueryNetwork("pipeline")
+    for i in range(5):
+        query.add_node(f"stage{i}")
+    for i in range(4):
+        query.add_edge(f"stage{i}", f"stage{i + 1}",
+                       minDelay=0.0, maxDelay=45.0)
+    return hosting, query
+
+
+def main() -> None:
+    hosting, query = build_networks()
+    request = SearchRequest.build(query, hosting, constraint=CONSTRAINT)
+
+    # ---- plan-level API: prepare once, execute serially or sharded -------- #
+    plan = ECF().prepare(request)
+
+    started = time.perf_counter()
+    serial = plan.execute()
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = plan.execute(parallelism=4)
+    parallel_seconds = time.perf_counter() - started
+
+    assert [m.as_dict() for m in serial.mappings] == \
+        [m.as_dict() for m in parallel.mappings], "streams must be identical"
+    print(f"ECF full enumeration: {serial.count} embeddings")
+    print(f"  serial       {serial_seconds * 1000:8.1f} ms")
+    print(f"  parallelism=4 {parallel_seconds * 1000:7.1f} ms "
+          f"(byte-identical stream; speedup depends on free cores)")
+
+    # RWB: the seeded random walk shards too — per-root derived rng streams
+    # make the parallel walk reproduce the serial one exactly.
+    rwb_plan = RWB().prepare(request)
+    first_serial = rwb_plan.execute(rng=7).first
+    first_parallel = rwb_plan.execute(rng=7, parallelism=4).first
+    assert first_serial.as_dict() == first_parallel.as_dict()
+    print(f"RWB seeded first match agrees under sharding: "
+          f"{dict(sorted(first_serial.as_dict().items()))}")
+
+    # ---- service-level API: one bounded pool for all parallel traffic ---- #
+    with NetEmbedService(parallel_workers=4) as service:
+        service.register_network(hosting, name="datacenter")
+        specs = [QuerySpec(query=query, constraint=CONSTRAINT,
+                           algorithm="ECF", parallelism=4)
+                 for _ in range(3)]
+        responses = service.submit_batch(specs)
+        counts = {response.result.count for response in responses}
+        assert counts == {serial.count}
+        print(f"service batch (3 specs, shared 4-worker pool): "
+              f"each found {serial.count} embeddings; "
+              f"plan cache stats {service.plans.stats()}")
+
+        # Streaming consumes lazily; closing early aborts the shard merge.
+        stream = service.stream(QuerySpec(query=query, constraint=CONSTRAINT,
+                                          algorithm="ECF", parallelism=2))
+        first_three = [next(stream) for _ in range(3)]
+        stream.close()
+        print(f"streamed first three embeddings then closed: "
+              f"{[dict(sorted(m.as_dict().items())) for m in first_three][0]} ...")
+
+
+if __name__ == "__main__":
+    main()

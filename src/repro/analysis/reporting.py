@@ -76,8 +76,13 @@ def format_figure(series: Sequence[Dict], title: str, x_field: str = "size",
 
 def write_csv(rows: Sequence[Dict], path: Union[str, Path],
               columns: Optional[Sequence[str]] = None) -> Path:
-    """Write dict rows to a CSV file; returns the path."""
+    """Write dict rows to a CSV file; returns the path.
+
+    The parent directory is created if needed, so benchmarks writing into
+    ``benchmarks/results/`` work on a fresh clone.
+    """
     path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     if not rows:
         path.write_text("", encoding="utf-8")
         return path

@@ -152,6 +152,25 @@ class ConstraintExpression:
         return any(obj in NODE_OBJECTS for obj in self.referenced_objects())
 
     # ------------------------------------------------------------------ #
+    # Pickling
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self) -> dict:
+        """Pickle as (source, strict) only.
+
+        The compiled evaluator and the memoised vectorizer kernel are
+        closures (unpicklable, and process-local anyway); unpickling
+        re-parses and re-compiles from source, which round-trips exactly —
+        the AST-constructed path stores its own ``unparse()`` as source.
+        Needed so plans and requests can ship to the shard worker processes
+        of :mod:`repro.core.parallel`.
+        """
+        return {"source": self._source, "strict": self._strict}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["source"], strict=state["strict"])
+
+    # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
 

@@ -12,7 +12,10 @@ Public surface:
   exposed for tests, ablations and diagnostics;
 * :class:`EmbeddingPlan` / :class:`PlanCache` — the two-phase
   prepare/execute surface: compiled, reusable plans and the version-aware
-  LRU cache the service routes repeated traffic through.
+  LRU cache the service routes repeated traffic through;
+* :func:`make_pool` / :func:`shared_pool` / :func:`shutdown_shared_pool` —
+  the process pools behind ``execute(parallelism=N)``, the sharded parallel
+  engine of :mod:`repro.core.parallel`.
 """
 
 from repro.api.registry import UnknownAlgorithmError, default_registry
@@ -36,6 +39,15 @@ from repro.core.plan import (
     PreparedSearch,
 )
 from repro.core.mapping import Mapping, MappingViolation, is_valid_mapping, validate_mapping
+from repro.core.parallel import (
+    DEFAULT_SHARD_FACTOR,
+    PlanShard,
+    ShardOutcome,
+    make_pool,
+    shared_pool,
+    shutdown_shared_pool,
+    split_contiguous,
+)
 from repro.core.ordering import (
     ORDERINGS,
     candidate_count_order,
@@ -92,6 +104,13 @@ __all__ = [
     "PlanCacheEntry",
     "PlanInvalidatedError",
     "PreparedSearch",
+    "DEFAULT_SHARD_FACTOR",
+    "PlanShard",
+    "ShardOutcome",
+    "make_pool",
+    "shared_pool",
+    "shutdown_shared_pool",
+    "split_contiguous",
     "ORDERINGS",
     "candidate_count_order",
     "connectivity_aware_order",

@@ -71,6 +71,10 @@ class ECF(EmbeddingAlgorithm):
 
     name = "ECF"
     supports_prepare = True
+    supports_sharding = True
+    #: Constraints are baked into the filter bitmasks at prepare time; a
+    #: shard needs nothing beyond the compiled artifacts.
+    _shard_ships_networks = False
 
     def __init__(self, ordering: str = "connectivity",
                  record_non_matches: bool = True) -> None:
@@ -120,15 +124,117 @@ class ECF(EmbeddingAlgorithm):
         return self._search(context, prepared.filters, prepared.order,
                             prepared.prior)
 
+    # -- sharding: contiguous blocks of assignment prefixes --------------- #
+
+    def _shard_specs(self, context: SearchContext, prepared: PreparedSearch,
+                     shards: int):
+        """Enumerate the prefix tree breadth-first until it is wide enough.
+
+        Lemma 1 puts the *fewest*-candidate node first, so splitting only
+        the root's candidates often yields one or two shards.  Instead the
+        split descends: level ``d`` holds every live assignment prefix over
+        ``order[:d]`` together with its (already computed) candidate mask
+        for ``order[d]``, in exactly the serial DFS order; levels expand
+        until at least *shards* prefixes exist (or the next level would be
+        the leaves).  Each expansion performed here is one the serial search
+        performs too, and is counted into the parent's stats exactly once —
+        workers then count only their own subtrees (see the statistics
+        convention on :meth:`EmbeddingAlgorithm._shard_specs`).
+        """
+        from repro.core.parallel import split_contiguous
+
+        filters = prepared.filters
+        order = prepared.order
+        prior = prepared.prior
+        match_masks = filters.match_masks
+        node_at = filters.host_indexer.node_at
+        stats = context.stats
+        n = len(order)
+
+        context.check_deadline()
+        root_mask = filters.candidates_mask_unplaced(order[0])
+        stats.nodes_expanded += 1
+        stats.candidates_considered += root_mask.bit_count()
+        if not root_mask:
+            stats.backtracks += 1
+            return []
+
+        #: (assignment over order[:depth], used_mask, candidate mask for
+        #: order[depth]) — the level is kept in serial DFS order.
+        depth = 0
+        level: List[Tuple[Dict[NodeId, NodeId], int, int]] = [({}, 0, root_mask)]
+        while len(level) < shards and depth + 1 < n:
+            context.check_deadline()
+            node = order[depth]
+            child_node = order[depth + 1]
+            child_prior = prior[depth + 1]
+            next_level: List[Tuple[Dict[NodeId, NodeId], int, int]] = []
+            for assignment, used_mask, mask in level:
+                while mask:
+                    low = mask & -mask
+                    mask ^= low
+                    child_assignment = dict(assignment)
+                    child_assignment[node] = node_at(low.bit_length() - 1)
+                    # Expression (2) for the child, as in _search.
+                    if not child_prior:
+                        child_mask = filters.candidates_mask_unplaced(child_node)
+                    else:
+                        child_mask = -1
+                        for neighbor in child_prior:
+                            child_mask &= match_masks.get(
+                                (neighbor, child_assignment[neighbor], child_node), 0)
+                            if not child_mask:
+                                break
+                    child_mask &= ~(used_mask | low)
+                    stats.nodes_expanded += 1
+                    stats.candidates_considered += child_mask.bit_count()
+                    if child_mask:
+                        next_level.append((child_assignment, used_mask | low,
+                                           child_mask))
+                    else:
+                        stats.backtracks += 1
+            level = next_level
+            depth += 1
+            if not level:
+                return []   # the split explored (and counted) everything
+
+        return [(depth, [(tuple(assignment.items()), used_mask, mask)
+                         for assignment, used_mask, mask in block])
+                for block in split_contiguous(level, shards)]
+
+    def _run_shard(self, context: SearchContext, prepared: PreparedSearch,
+                   spec) -> bool:
+        depth, entries = spec
+        for items, used_mask, mask in entries:
+            keep_going = self._search(context, prepared.filters,
+                                      prepared.order, prepared.prior,
+                                      start_depth=depth,
+                                      assignment=dict(items),
+                                      used_mask=used_mask, start_mask=mask)
+            if not keep_going:
+                return False
+        return True
+
     def _search(self, context: SearchContext, filters: FilterMatrices,
                 order: List[NodeId],
-                prior: Sequence[Tuple[NodeId, ...]]) -> bool:
+                prior: Sequence[Tuple[NodeId, ...]],
+                start_depth: int = 0,
+                assignment: Optional[Dict[NodeId, NodeId]] = None,
+                used_mask: int = 0,
+                start_mask: Optional[int] = None) -> bool:
         """Explicit-stack depth-first expansion over bitmask candidates.
 
         Returns ``False`` iff the search stopped early (result cap).  Per
         depth the loop keeps the not-yet-tried candidate mask and the bit of
         the host currently placed there; taking the lowest set bit first
         reproduces the canonical ``sorted(key=str)`` trial order.
+
+        A shard of the parallel engine resumes the search below an
+        assignment prefix: *start_depth* / *assignment* / *used_mask*
+        describe the prefix and *start_mask* is its precomputed (and
+        already-counted, by :meth:`_shard_specs`) candidate mask for
+        ``order[start_depth]``; backtracking bottoms out at the prefix
+        instead of the root.
         """
         indexer = filters.host_indexer
         node_at = indexer.node_at
@@ -139,8 +245,8 @@ class ECF(EmbeddingAlgorithm):
         record_mapping = context.record_mapping
 
         n = len(order)
-        assignment: Dict[NodeId, NodeId] = {}
-        used_mask = 0
+        if assignment is None:
+            assignment = {}
         remaining = [0] * n    # untried candidate bits per depth
         placed_bit = [0] * n   # bit of the host currently placed per depth
 
@@ -159,16 +265,21 @@ class ECF(EmbeddingAlgorithm):
                         return 0
             return mask & ~used_mask
 
-        mask = candidates_mask(0)
-        stats.nodes_expanded += 1
-        stats.candidates_considered += mask.bit_count()
-        if not mask:
-            stats.backtracks += 1
-            return True
-        remaining[0] = mask
+        if start_mask is None:
+            mask = candidates_mask(start_depth)
+            stats.nodes_expanded += 1
+            stats.candidates_considered += mask.bit_count()
+            if not mask:
+                stats.backtracks += 1
+                return True
+        else:
+            mask = start_mask   # expansion already counted by _shard_specs
+            if not mask:        # defensive: the split never emits empty masks
+                return True
+        remaining[start_depth] = mask
 
-        depth = 0
-        while depth >= 0:
+        depth = start_depth
+        while depth >= start_depth:
             check_deadline()
             mask = remaining[depth]
             if not mask:

@@ -1,0 +1,515 @@
+"""Sharded parallel execution of compiled embedding plans.
+
+The three NETEMBED searches are embarrassingly partitionable at the
+*root-candidate* level: the first query node's candidate set is tried in a
+deterministic order (ascending bit order for ECF, the seeded shuffle for RWB,
+the configured candidate order for LNS), and the subtree under each root
+candidate is completely independent of the others.  This module splits that
+root trial order into contiguous blocks — *shards* — executes the shards on a
+``concurrent.futures`` process pool, and merges the per-shard mapping lists
+back together **in shard order**, so the merged stream is byte-identical to a
+serial execution for any shard count.
+
+Design notes
+------------
+
+* **What ships to a worker.**  One :class:`ShardGroup` per execute — the
+  algorithm instance, the compiled :class:`~repro.core.plan.PreparedSearch`
+  artifacts, and (only for algorithms that evaluate constraints lazily, i.e.
+  LNS) the networks and constraint expressions — is pickled *once*.  Small
+  groups ride inline with each task; large ones (a planetlab-scale filter
+  set is megabytes) spill to a temporary file that each worker reads and
+  memoises once by token, so the per-task payload is just a shard index and
+  the algorithm-specific root slice no matter how many shards ship.
+* **Budgets.**  The run's wall-clock budget is shared, not divided: the
+  absolute deadline (``time.monotonic``-based, valid across local processes)
+  ships with the group, and every shard enforces the remaining time when it
+  starts.  Result caps are applied per shard (no shard can ever need to
+  contribute more than the global cap) and re-applied by the merger, whose
+  in-order commit makes the truncated stream equal serial's.
+* **Work stealing.**  The engine oversplits — ``shard_factor`` shards per
+  requested worker — and dispatches them through a sliding window of
+  ``parallelism`` in-flight tasks, so a worker that exhausts a cheap shard
+  early immediately picks up the next unfinished shard, and a single skewed
+  subtree cannot serialise the whole run.  Shards made redundant by an
+  early result-cap hit are cancelled before they start.
+* **Failure.**  Exceptions raised inside a worker (including
+  :class:`~repro.core.plan.PlanInvalidatedError`) propagate to the caller
+  with their original type, exactly as the serial engine would raise them.
+  A broken pool (a worker killed mid-run) degrades to serial execution when
+  nothing has been committed yet, and re-raises otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import tempfile
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.result import SearchStats
+from repro.utils.timing import Deadline, TimeoutExpired
+
+#: How many shards the engine targets per requested worker.  Oversplitting is
+#: the work-stealing mechanism: subtree costs are wildly skewed, and a pool
+#: worker that finishes a cheap shard pulls the next pending one.
+DEFAULT_SHARD_FACTOR = 4
+
+
+# --------------------------------------------------------------------------- #
+# Picklable work units
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class ShardGroup:
+    """The per-execute state shared by every shard (pickled once).
+
+    ``query``/``hosting``/``constraint``/``node_constraint`` are ``None``
+    for algorithms whose search stage never touches them (ECF/RWB bake the
+    constraints into the filter bitmasks at prepare time), which keeps the
+    shipped payload down to the compiled artifacts themselves.
+    """
+
+    algorithm: Any
+    prepared: Any
+    query: Any = None
+    hosting: Any = None
+    constraint: Any = None
+    node_constraint: Any = None
+    #: Per-shard result cap == the run's effective global cap.
+    max_results: Optional[int] = None
+    #: Absolute ``time.monotonic()`` deadline shared by every shard
+    #: (``None`` = unlimited).  Monotonic clocks are system-wide on the
+    #: platforms the pool runs on, so parent and workers agree on it.
+    deadline_at: Optional[float] = None
+
+
+@dataclass
+class PlanShard:
+    """One unit of sharded work: a contiguous slice of the root trial order."""
+
+    #: Merge position; shard *i*'s mappings precede shard *i+1*'s.
+    index: int
+    #: Algorithm-specific root slice (a bitmask for ECF, ``(start, hosts,
+    #: base_seed)`` for RWB, ``(root, hosts)`` for LNS).
+    spec: Any
+
+
+@dataclass
+class ShardOutcome:
+    """What a worker sends back for one shard."""
+
+    index: int
+    #: Raw node assignments in discovery order (re-recorded by the merger so
+    #: streaming callbacks and the result cap behave exactly as in serial).
+    #: Column-encoded when every mapping shares one key order (ECF/RWB place
+    #: nodes in a fixed visiting order): ``(keys, [host rows])`` pickles a
+    #: fraction of the equivalent list of dicts.  Decode with
+    #: :meth:`iter_assignments`.
+    assignments: Any = None
+    stats: SearchStats = field(default_factory=SearchStats)
+    #: Whether the shard's subtrees were exhaustively explored.
+    exhausted: bool = True
+    #: Whether the shard stopped on the shared deadline.
+    timed_out: bool = False
+
+    def iter_assignments(self):
+        """The shard's assignments as dicts, in discovery order."""
+        if self.assignments is None:
+            return
+        kind, payload = self.assignments
+        if kind == "dicts":
+            yield from payload
+        else:
+            keys, rows = payload
+            for row in rows:
+                yield dict(zip(keys, row))
+
+
+def _encode_assignments(mappings) -> Any:
+    """Column-encode a shard's mappings when their key order is uniform.
+
+    Placement order is part of the byte-identical-stream guarantee, so the
+    encoding must round-trip dict insertion order — ``dict(zip(keys, row))``
+    does, whenever every mapping was built along the same visiting order.
+    """
+    if not mappings:
+        return None
+    dicts = [mapping.as_dict() for mapping in mappings]
+    keys = tuple(dicts[0])
+    if all(tuple(d) == keys for d in dicts):
+        return ("columns", (keys, [tuple(d.values()) for d in dicts]))
+    return ("dicts", dicts)
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+
+#: Per-process memo of decoded ShardGroups, keyed by token: workers are
+#: anonymous (any task can land on any of them), but each process only pays
+#: the transport read + unpickle once.  Bounded — an execute's token dies
+#: with its run.
+_GROUP_CACHE: "Dict[str, ShardGroup]" = {}
+_GROUP_CACHE_LIMIT = 4
+
+#: Groups above this pickled size ship via a spill file instead of inline
+#: task bytes: N shards of a megabytes-sized filter set must not pay the
+#: pipe N times.
+_INLINE_GROUP_LIMIT = 128 * 1024
+
+_token_counter = itertools.count()
+
+#: Transport: ``("bytes", pickled_group, sentinel_path)`` or
+#: ``("file", spill_path, sentinel_path)``.  The sentinel is a file the
+#: parent unlinks as the run's very last act (for file transport it *is*
+#: the spill), giving in-flight shards of an already-finished run an
+#: abandonment signal regardless of how the group shipped.
+GroupTransport = Tuple[str, Any, str]
+
+
+def _decode_group(token: str, transport: GroupTransport) -> ShardGroup:
+    group = _GROUP_CACHE.get(token)
+    if group is None:
+        kind, payload, _sentinel = transport
+        if kind == "file":
+            with open(payload, "rb") as handle:
+                payload = handle.read()
+        group = pickle.loads(payload)
+        while len(_GROUP_CACHE) >= _GROUP_CACHE_LIMIT:
+            _GROUP_CACHE.pop(next(iter(_GROUP_CACHE)))
+        _GROUP_CACHE[token] = group
+    return group
+
+
+def _spill_watcher(path: str, cancel: threading.Event,
+                   stop: threading.Event) -> None:
+    """Set *cancel* when the run's spill file disappears.
+
+    The parent unlinks the spill as its very last act, so a shard still
+    running at that point has been abandoned (result cap hit, stream
+    closed, deadline fired) and its outcome will never be consumed —
+    unwinding early frees the pool worker for live runs.
+    """
+    while not stop.wait(0.1):
+        if not os.path.exists(path):
+            cancel.set()
+            return
+
+
+def _execute_shard(token: str, transport: GroupTransport, index: int,
+                   spec: Any) -> ShardOutcome:
+    """Run one shard in a worker process.
+
+    Exceptions other than the shard's own deadline expiry and the parent's
+    abandonment signal propagate to the parent through the future with
+    their original type intact.
+    """
+    # Imported lazily: base imports plan which must not import parallel first.
+    from repro.core.base import SearchContext, StreamClosed
+
+    group = _decode_group(token, transport)
+    remaining: Optional[float] = None
+    if group.deadline_at is not None:
+        remaining = group.deadline_at - time.monotonic()
+        if remaining <= 0:
+            # The shared budget ran out before this shard even started —
+            # the same outcome serial would reach at its next deadline check.
+            return ShardOutcome(index=index, exhausted=False, timed_out=True)
+    cancel = threading.Event()
+    stop_watch = threading.Event()
+    threading.Thread(target=_spill_watcher,
+                     args=(transport[2], cancel, stop_watch),
+                     daemon=True).start()
+    context = SearchContext(
+        query=group.query,
+        hosting=group.hosting,
+        constraint=group.constraint,
+        node_constraint=group.node_constraint,
+        deadline=Deadline(remaining),
+        max_results=group.max_results,
+        cancel=cancel,
+    )
+    try:
+        exhausted = group.algorithm._run_shard(context, group.prepared, spec)
+        timed_out = False
+    except TimeoutExpired:
+        exhausted, timed_out = False, True
+    except StreamClosed:
+        # Abandoned by the parent; the outcome is never consumed.
+        exhausted, timed_out = False, False
+    finally:
+        stop_watch.set()
+    return ShardOutcome(
+        index=index,
+        assignments=_encode_assignments(context.mappings),
+        stats=context.stats,
+        exhausted=exhausted,
+        timed_out=timed_out,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Pool management
+# --------------------------------------------------------------------------- #
+
+def _pool_context():
+    """The multiprocessing context used for shard pools.
+
+    The platform default is used (fork on Linux up to 3.13, forkserver from
+    3.14, spawn on macOS/Windows): the engine is routinely driven from
+    multithreaded contexts — service batch threads, every
+    ``pump_mapping_stream`` producer — where forcing fork would court the
+    fork-while-threaded deadlocks the interpreter defaults are moving away
+    from.  ``REPRO_PARALLEL_START_METHOD`` overrides the choice explicitly
+    (e.g. ``fork`` for cheapest worker start on a trusted workload).
+    """
+    import multiprocessing
+
+    method = os.environ.get("REPRO_PARALLEL_START_METHOD")
+    if method:
+        return multiprocessing.get_context(method)
+    return None
+
+
+def make_pool(max_workers: Optional[int] = None) -> ProcessPoolExecutor:
+    """A new shard process pool (callers own its shutdown)."""
+    return ProcessPoolExecutor(max_workers=max_workers,
+                               mp_context=_pool_context())
+
+
+_shared_pool: Optional[ProcessPoolExecutor] = None
+_shared_pool_lock = threading.Lock()
+
+
+def shared_pool() -> ProcessPoolExecutor:
+    """The process-wide shard pool, created lazily (``os.cpu_count`` workers).
+
+    Used by :meth:`EmbeddingPlan.execute` when the caller supplies no pool of
+    its own; the :class:`~repro.service.netembed.NetEmbedService` passes its
+    own bounded pool instead.
+    """
+    global _shared_pool
+    with _shared_pool_lock:
+        if _shared_pool is None:
+            _shared_pool = make_pool(os.cpu_count())
+        return _shared_pool
+
+
+def shutdown_shared_pool(wait_for_workers: bool = True) -> None:
+    """Tear down the process-wide shard pool (no-op if never created)."""
+    global _shared_pool
+    with _shared_pool_lock:
+        pool, _shared_pool = _shared_pool, None
+    if pool is not None:
+        pool.shutdown(wait=wait_for_workers)
+
+
+def _reset_broken_shared_pool(pool: ProcessPoolExecutor) -> None:
+    """Drop the shared pool if *pool* is it, so the next use gets a fresh one."""
+    global _shared_pool
+    with _shared_pool_lock:
+        if _shared_pool is pool:
+            _shared_pool = None
+    pool.shutdown(wait=False)
+
+
+# --------------------------------------------------------------------------- #
+# The parent-side engine
+# --------------------------------------------------------------------------- #
+
+def run_sharded(algorithm, context, prepared, parallelism: int,
+                pool: Optional[ProcessPoolExecutor] = None,
+                shard_factor: int = DEFAULT_SHARD_FACTOR) -> bool:
+    """Execute *prepared* across shards and merge deterministically.
+
+    Populates *context* (mappings, statistics, streaming callbacks) exactly
+    like :meth:`EmbeddingAlgorithm._run_prepared` would, and follows the same
+    contract: returns whether the search space was exhausted, raising
+    :class:`~repro.utils.timing.TimeoutExpired` on deadline expiry.  Falls
+    back to the serial path when the plan yields fewer than two shards.
+    """
+    if parallelism < 1:
+        raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+    specs = algorithm._shard_specs(context, prepared,
+                                   max(2, parallelism * shard_factor))
+    if specs is None:
+        return algorithm._run_prepared(context, prepared)
+    if len(specs) < 2:
+        # Too few roots to shard.  The specs are still executed (not thrown
+        # away): _shard_specs may have consumed the run's random stream (RWB),
+        # so re-entering _run_prepared would diverge from serial.
+        return run_specs_serial(algorithm, context, prepared, specs)
+
+    deadline_at = None
+    remaining = context.deadline.remaining
+    if remaining != float("inf"):
+        if remaining <= 0:
+            raise TimeoutExpired("search budget exhausted before sharding")
+        deadline_at = time.monotonic() + remaining
+
+    ships_networks = algorithm._shard_ships_networks
+    group = ShardGroup(
+        algorithm=algorithm,
+        prepared=prepared,
+        query=context.query if ships_networks else None,
+        hosting=context.hosting if ships_networks else None,
+        constraint=context.constraint if ships_networks else None,
+        node_constraint=context.node_constraint if ships_networks else None,
+        max_results=context.max_results,
+        deadline_at=deadline_at,
+    )
+    token = f"{os.getpid()}:{next(_token_counter)}"
+    blob = pickle.dumps(group, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) > _INLINE_GROUP_LIMIT:
+        fd, sentinel_path = tempfile.mkstemp(prefix="repro-shard-group-",
+                                             suffix=".pkl")
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+        transport: GroupTransport = ("file", sentinel_path, sentinel_path)
+    else:
+        # Small groups ship inline; the empty sentinel still gives in-flight
+        # shards the abandonment signal when the parent finishes early.
+        fd, sentinel_path = tempfile.mkstemp(prefix="repro-shard-run-",
+                                             suffix=".live")
+        os.close(fd)
+        transport = ("bytes", blob, sentinel_path)
+
+    owns_shared = pool is None
+    executor = shared_pool() if pool is None else pool
+
+    committed = [0]   # outcomes merged so far, visible to the except path
+    try:
+        return _dispatch_and_merge(executor, context, token, transport, specs,
+                                   window=parallelism, committed=committed)
+    except BrokenProcessPool:
+        # A worker died (OOM-killed, hard crash).  If no outcome was merged
+        # yet the run degrades to executing the shards serially in-process —
+        # byte-identical to both the parallel and the serial stream.
+        # Otherwise re-raise: a partially-committed stream must not restart.
+        if owns_shared:
+            _reset_broken_shared_pool(executor)
+        if committed[0]:
+            raise
+        return run_specs_serial(algorithm, context, prepared, specs)
+    finally:
+        # The unlink is also the abandonment signal: discarded still-running
+        # shards notice the sentinel vanish and unwind; a discarded pending
+        # task that starts afterwards fails to decode the spill, and nobody
+        # consumes its future.
+        try:
+            os.unlink(sentinel_path)
+        except OSError:
+            pass
+
+
+def _dispatch_and_merge(executor: ProcessPoolExecutor, context, token: str,
+                        transport: GroupTransport, specs: Sequence[Any],
+                        window: int, committed: List[int]) -> bool:
+    """Sliding-window dispatch plus the in-order merge loop.
+
+    ``committed[0]`` counts merged outcomes; the caller's broken-pool
+    recovery may only re-run the specs when it is still zero.
+    """
+    pending: List[Tuple[int, Any]] = [(i, spec) for i, spec in enumerate(specs)]
+    pending.reverse()   # pop() from the tail == dispatch in shard order
+    in_flight: Dict[Future, int] = {}
+    ready: Dict[int, ShardOutcome] = {}
+    next_commit = 0
+    exhausted_all = True
+
+    def submit_next() -> None:
+        index, spec = pending.pop()
+        future = executor.submit(_execute_shard, token, transport, index, spec)
+        in_flight[future] = index
+
+    try:
+        while pending and len(in_flight) < window:
+            submit_next()
+        while in_flight:
+            done, _ = wait(list(in_flight), timeout=0.1,
+                           return_when=FIRST_COMPLETED)
+            if not done:
+                # Nothing finished in this slice: honour the run's own
+                # deadline and cancellation signal while waiting.
+                context.check_deadline()
+                continue
+            for future in done:
+                index = in_flight.pop(future)
+                ready[index] = future.result()  # re-raises worker exceptions
+                if pending:
+                    submit_next()
+            # Commit every shard whose predecessors are all committed.
+            while next_commit in ready:
+                outcome = ready.pop(next_commit)
+                next_commit += 1
+                committed[0] += 1
+                _merge_stats(context.stats, outcome.stats)
+                exhausted_all = exhausted_all and outcome.exhausted
+                for assignment in outcome.iter_assignments():
+                    if context.record_mapping(assignment):
+                        return False    # global cap reached, like serial
+                if outcome.timed_out:
+                    # Serial stops the instant the deadline fires; mappings
+                    # from later shards are discarded so the committed
+                    # stream stays a prefix of some serial-order stream.
+                    raise TimeoutExpired(
+                        f"shard {outcome.index} exceeded the shared "
+                        f"search budget")
+        return exhausted_all
+    finally:
+        for future in in_flight:
+            future.cancel()
+
+
+def _merge_stats(target: SearchStats, shard: SearchStats) -> None:
+    """Fold one shard's search counters into the run's (in place)."""
+    target.nodes_expanded += shard.nodes_expanded
+    target.candidates_considered += shard.candidates_considered
+    target.constraint_evaluations += shard.constraint_evaluations
+    target.backtracks += shard.backtracks
+    # filter_entries / filter_build_seconds belong to the prepare stage and
+    # were credited once by the parent driver; shards report zeros there.
+
+
+def run_specs_serial(algorithm, context, prepared, specs: Sequence[Any]) -> bool:
+    """Execute already-computed shard specs in order, in-process.
+
+    Byte-identical to serial execution — ``_shard_specs`` has already
+    accounted for the shared (prefix/root) work in the parent's counters,
+    and each spec's subtree work is counted by ``_run_shard`` exactly as a
+    worker would.  Used when a plan yields too few shards to be worth
+    dispatching, and as the recovery path when the process pool breaks
+    before anything was committed.  An empty spec list means the split
+    itself already explored (and counted) the entire space.
+    """
+    for spec in specs:
+        if not algorithm._run_shard(context, prepared, spec):
+            return False
+    return True
+
+
+def split_contiguous(items: Sequence[Any], shards: int) -> List[Sequence[Any]]:
+    """Split *items* into at most *shards* contiguous, near-equal blocks.
+
+    Order is preserved across block boundaries — concatenating the blocks
+    reproduces *items* — which is what makes the shard-order merge equal the
+    serial trial order.
+    """
+    count = min(shards, len(items))
+    if count <= 0:
+        return []
+    size, extra = divmod(len(items), count)
+    blocks: List[Sequence[Any]] = []
+    start = 0
+    for i in range(count):
+        end = start + size + (1 if i < extra else 0)
+        blocks.append(items[start:end])
+        start = end
+    return blocks

@@ -154,7 +154,8 @@ class EmbeddingPlan:
         return self._executions
 
     def execute(self, budget: Optional[Budget] = None, *,
-                on_mapping=None, cancel=None, rng=None) -> EmbeddingResult:
+                on_mapping=None, cancel=None, rng=None,
+                parallelism: Optional[int] = None, pool=None) -> EmbeddingResult:
         """Run the search against the compiled artifacts.
 
         Parameters
@@ -169,18 +170,29 @@ class EmbeddingPlan:
             Per-run randomness source for seedable algorithms (RWB); lets a
             single cached plan serve requests carrying different seeds.
             Ignored by deterministic algorithms.
+        parallelism:
+            Shard the search across this many process-pool workers
+            (:mod:`repro.core.parallel`); the mapping stream and the
+            full-enumeration counters are identical to a serial run.
+            ``None`` defers to the prepared request's own ``parallelism``;
+            ``1`` forces serial.
+        pool:
+            Process pool for the shards (``None`` = the module-wide shared
+            pool); only consulted when parallelism is in effect.
         """
         self.check_fresh()
         run_budget = self.request.budget if budget is None else budget
         result = self.algorithm._drive(self.request, prepared=self.prepared,
                                        budget=run_budget, on_mapping=on_mapping,
-                                       cancel=cancel, rng=rng)
+                                       cancel=cancel, rng=rng,
+                                       parallelism=parallelism, pool=pool)
         with self._executions_lock:
             self._executions += 1
         return result
 
     def stream(self, budget: Optional[Budget] = None, buffer_size: int = 1,
-               rng=None) -> Iterator[Mapping]:
+               rng=None, parallelism: Optional[int] = None,
+               pool=None) -> Iterator[Mapping]:
         """Generator form of :meth:`execute`: lazily yields each Mapping."""
         if buffer_size < 1:
             raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
@@ -188,15 +200,19 @@ class EmbeddingPlan:
         from repro.core.base import pump_mapping_stream
 
         def run(push, closed):
-            return self.execute(budget, on_mapping=push, cancel=closed, rng=rng)
+            return self.execute(budget, on_mapping=push, cancel=closed,
+                                rng=rng, parallelism=parallelism, pool=pool)
 
         return pump_mapping_stream(run, f"{self.algorithm.name}-plan",
                                    buffer_size)
 
     def iter_mappings(self, budget: Optional[Budget] = None,
-                      buffer_size: int = 1, rng=None) -> Iterator[Mapping]:
+                      buffer_size: int = 1, rng=None,
+                      parallelism: Optional[int] = None,
+                      pool=None) -> Iterator[Mapping]:
         """Alias of :meth:`stream`, mirroring the algorithm-level API."""
-        return self.stream(budget=budget, buffer_size=buffer_size, rng=rng)
+        return self.stream(budget=budget, buffer_size=buffer_size, rng=rng,
+                           parallelism=parallelism, pool=pool)
 
     # ------------------------------------------------------------------ #
     # Introspection

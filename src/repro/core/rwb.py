@@ -14,10 +14,21 @@ the same filter matrices and candidate-set expressions as ECF, but:
 
 Because backtracking is systematic, an RWB run that exhausts the space
 without finding an embedding is a proof of infeasibility, just like ECF.
+
+**Random-stream discipline.**  The run's random source is consumed exactly
+twice at the top level: once to shuffle the first query node's candidates
+(the root trial order) and once to draw a 64-bit base seed.  Every root
+candidate's subtree is then walked with its own :class:`random.Random`
+derived from ``(base, root index)``.  Decorrelating the subtrees this way is
+what makes RWB shardable (see :mod:`repro.core.parallel`): a worker handed an
+arbitrary slice of the root order reproduces exactly the subtree streams a
+serial run would, so parallel and serial mapping streams are byte-identical
+for any shard count — and seeded runs reproduce across process boundaries.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.registry import Capability, register_algorithm
@@ -29,6 +40,15 @@ from repro.core.plan import PreparedSearch
 from repro.graphs.network import NodeId
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.timing import Deadline
+
+#: Weyl-sequence constant decorrelating the per-root subtree streams.
+_GOLDEN64 = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def _subtree_seed(base: int, root_index: int) -> int:
+    """The derived seed of root candidate *root_index*'s subtree walk."""
+    return (base + _GOLDEN64 * (root_index + 1)) & _MASK64
 
 
 @register_algorithm(
@@ -63,6 +83,10 @@ class RWB(EmbeddingAlgorithm):
 
     name = "RWB"
     supports_prepare = True
+    supports_sharding = True
+    #: Constraints are baked into the filter bitmasks at prepare time; a
+    #: shard needs nothing beyond the compiled artifacts and its seeds.
+    _shard_ships_networks = False
 
     def __init__(self, rng: RandomSource = None,
                  ordering: str = "connectivity",
@@ -116,16 +140,75 @@ class RWB(EmbeddingAlgorithm):
         prepared.prior = placed_neighbor_plan(request.query, prepared.order)
         return prepared
 
+    def _root_plan(self, context: SearchContext, prepared: PreparedSearch
+                   ) -> Tuple[List[NodeId], int]:
+        """The shuffled root trial order plus the subtree-stream base seed.
+
+        Consumes the run's random source exactly twice (one shuffle, one
+        64-bit draw) — the single point where serial execution and the
+        sharded engine must agree on how the stream is spent.  A per-run rng
+        (a plan execute carrying a request seed) wins over the
+        construction-time source; both normalise through as_rng, so a fresh
+        search and a planned execute with the same seed walk the exact same
+        random candidate order.
+        """
+        rng = context.rng if context.rng is not None else as_rng(self._rng_source)
+        node = prepared.order[0]
+        mask = prepared.filters.candidates_mask_unplaced(node)
+        # Decoding yields ascending bit order == the canonical str-sorted
+        # order, so the seeded shuffle below sees the same input it did under
+        # the set engine and reproduces across processes.
+        candidates = prepared.filters.host_indexer.decode(mask)
+        rng.shuffle(candidates)
+        return candidates, rng.getrandbits(64)
+
     def _run_prepared(self, context: SearchContext,
                       prepared: PreparedSearch) -> bool:
-        # A per-run rng (a plan execute carrying a request seed) wins over
-        # the construction-time source; both normalise through as_rng, so a
-        # fresh search and a planned execute with the same seed walk the
-        # exact same random candidate order.
-        rng = context.rng if context.rng is not None else as_rng(self._rng_source)
+        from repro.core.parallel import run_specs_serial
+
+        return run_specs_serial(self, context, prepared,
+                                self._shard_specs(context, prepared, 1))
+
+    # -- sharding: contiguous slices of the shuffled root order ----------- #
+
+    def _shard_specs(self, context: SearchContext, prepared: PreparedSearch,
+                     shards: int) -> List[Tuple[int, List[NodeId], int]]:
+        """Split the shuffled root order; the root expansion is counted here
+        (once, in the parent), per the base-class statistics convention."""
+        from repro.core.parallel import split_contiguous
+
+        context.check_deadline()
+        roots, base = self._root_plan(context, prepared)
+        context.stats.nodes_expanded += 1
+        context.stats.candidates_considered += len(roots)
+        if not roots:
+            context.stats.backtracks += 1
+            return []
+        specs: List[Tuple[int, List[NodeId], int]] = []
+        start = 0
+        for block in split_contiguous(roots, shards):
+            specs.append((start, list(block), base))
+            start += len(block)
+        return specs
+
+    def _run_shard(self, context: SearchContext, prepared: PreparedSearch,
+                   spec: Tuple[int, List[NodeId], int]) -> bool:
+        """Walk one slice of the root order, one derived rng per subtree."""
+        start, hosts, base = spec
+        filters = prepared.filters
+        order = prepared.order
+        node = order[0]
+        bit_of = filters.host_indexer.bit
         assignment: Dict[NodeId, NodeId] = {}
-        return self._walk(context, prepared.filters, prepared.order,
-                          prepared.prior, 0, assignment, 0, rng)
+        for offset, host in enumerate(hosts):
+            rng = random.Random(_subtree_seed(base, start + offset))
+            assignment[node] = host
+            keep_going = self._walk(context, filters, order, prepared.prior,
+                                    1, assignment, bit_of(host), rng)
+            del assignment[node]
+            if not keep_going:
+                return False
+        return True
 
     def _walk(self, context: SearchContext, filters: FilterMatrices,
               order: List[NodeId], prior: Sequence[Tuple[NodeId, ...]],
@@ -142,9 +225,6 @@ class RWB(EmbeddingAlgorithm):
         placed_neighbors = [(neighbor, assignment[neighbor])
                             for neighbor in prior[depth]]
         mask = filters.candidates_mask_given(node, placed_neighbors, used_mask)
-        # Decoding yields ascending bit order == the canonical str-sorted
-        # order, so the seeded shuffle below sees the same input it did under
-        # the set engine and reproduces across processes.
         candidates = filters.host_indexer.decode(mask)
 
         context.stats.nodes_expanded += 1

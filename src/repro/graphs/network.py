@@ -61,6 +61,24 @@ class Network:
         self._mutation_count: int = 0
 
     # ------------------------------------------------------------------ #
+    # Pickling
+    # ------------------------------------------------------------------ #
+
+    #: Derived, per-process caches memoised on the instance by other layers
+    #: (the hosting compile, the request fingerprint digest).  They are
+    #: rebuilt on demand, so pickling — notably shipping networks to the
+    #: shard workers of :mod:`repro.core.parallel` — drops them to keep the
+    #: payload lean and free of cross-process aliasing.
+    _DERIVED_CACHE_ATTRS = ("_hosting_compile", "_structure_digest")
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_adjacency"] = {}
+        for attr in self._DERIVED_CACHE_ATTRS:
+            state.pop(attr, None)
+        return state
+
+    # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 from repro.api.registry import AlgorithmRegistry, default_registry
-from repro.api.request import Budget, SearchRequest
+from repro.api.request import Budget, SearchRequest, validate_parallelism
 from repro.constraints import ConstraintExpression
 from repro.core.mapping import Mapping
 from repro.core.result import EmbeddingResult, ResultStatus
@@ -52,6 +52,11 @@ class QuerySpec:
     seed:
         Per-request random seed handed to seedable algorithms (RWB, the
         metaheuristic baselines) so batch runs are reproducible per request.
+    parallelism:
+        Shard the search stage across this many workers of the service's
+        shared process pool (``None``/``1`` = serial).  The mapping stream
+        is identical to a serial run, so this is purely a latency knob for
+        large enumerations.
     registry:
         Algorithm registry the ``algorithm`` name is validated against
         (``None`` = the process-wide default registry).  Pass the same custom
@@ -69,6 +74,7 @@ class QuerySpec:
     network: Optional[str] = None
     seed: Optional[int] = None
     registry: Optional[AlgorithmRegistry] = None
+    parallelism: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.query, QueryNetwork):
@@ -90,6 +96,7 @@ class QuerySpec:
         if self.max_results is not None and self.max_results < 1:
             raise ValueError(
                 f"max_results must be >= 1 or None, got {self.max_results}")
+        validate_parallelism(self.parallelism)
 
     def to_request(self, hosting: Network,
                    default_timeout: Optional[float] = None) -> SearchRequest:
@@ -98,7 +105,8 @@ class QuerySpec:
         return SearchRequest.build(
             self.query, hosting, constraint=self.constraint,
             node_constraint=self.node_constraint,
-            budget=Budget(timeout=timeout, max_results=self.max_results))
+            budget=Budget(timeout=timeout, max_results=self.max_results),
+            parallelism=self.parallelism)
 
 
 @dataclass

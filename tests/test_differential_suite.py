@@ -1,0 +1,171 @@
+"""Cross-algorithm differential oracle over a seeded corpus.
+
+Every algorithm in the registry — the three NETEMBED searches *and* the four
+baselines, which until now had no parity coverage — is checked against the
+frozen set-semantics engine in :mod:`repro.core.reference`:
+
+* **validity**: every mapping any algorithm returns must pass the
+  independent :func:`~repro.core.mapping.validate_mapping` checker;
+* **feasibility agreement**: an algorithm that classifies its run as
+  *complete* must agree with the reference oracle on whether the instance
+  is feasible, and complete-enumeration algorithms must return exactly the
+  oracle's mapping set;
+* **soundness on infeasible instances**: nobody may "find" an embedding
+  the oracle proves cannot exist.
+
+The corpus is small (the reference engine and the brute-force baseline are
+exponential) but seeded and diverse: random topologies, edge and node
+constraints, missing attributes, and guaranteed-infeasible instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.baselines  # noqa: F401 — registers the baselines
+from repro.api import Capability, SearchRequest, default_registry
+from repro.constraints import ConstraintExpression
+from repro.core import validate_mapping
+from repro.core.reference import ReferenceECF
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.query import QueryNetwork
+
+WINDOW = "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay"
+NODE_OS = 'rNode.osType == "linux"'
+
+#: Per-instance search budget.  Generous for these sizes: the point is that
+#: heuristic baselines time out gracefully, not that they race.
+TIMEOUT = 10.0
+
+
+def corpus_instance(seed: int):
+    """One seeded corpus entry: (query, hosting, constraint, node_constraint)."""
+    rng = random.Random(seed)
+    num_hosts = rng.randint(5, 8)
+    hosting = HostingNetwork(f"host-{seed}")
+    for i in range(num_hosts):
+        hosting.add_node(f"h{i}", name=f"h{i}",
+                         osType=rng.choice(["linux", "bsd"]))
+    for i in range(num_hosts):
+        for j in range(i + 1, num_hosts):
+            if rng.random() < 0.55:
+                attrs = {}
+                if rng.random() < 0.85:  # some edges lack the delay attribute
+                    attrs["avgDelay"] = rng.uniform(5.0, 60.0)
+                hosting.add_edge(f"h{i}", f"h{j}", **attrs)
+    query = QueryNetwork(f"query-{seed}")
+    num_query = rng.randint(2, 3)
+    for i in range(num_query):
+        query.add_node(f"q{i}")
+    for i in range(num_query - 1):
+        query.add_edge(f"q{i}", f"q{i + 1}",
+                       minDelay=0.0, maxDelay=rng.uniform(25.0, 70.0))
+    if num_query == 3 and rng.random() < 0.5:
+        query.add_edge("q0", "q2", minDelay=0.0, maxDelay=rng.uniform(25.0, 70.0))
+    constraint = WINDOW if rng.random() < 0.8 else None
+    node_constraint = NODE_OS if rng.random() < 0.4 else None
+    return query, hosting, constraint, node_constraint
+
+
+def infeasible_instance(seed: int):
+    """A query that needs more nodes than the host offers."""
+    rng = random.Random(seed)
+    hosting = HostingNetwork(f"tiny-host-{seed}")
+    for i in range(3):
+        hosting.add_node(f"h{i}", name=f"h{i}", osType="linux")
+    hosting.add_edge("h0", "h1", avgDelay=10.0)
+    hosting.add_edge("h1", "h2", avgDelay=12.0)
+    query = QueryNetwork(f"big-query-{seed}")
+    for i in range(5):
+        query.add_node(f"q{i}")
+    for i in range(4):
+        query.add_edge(f"q{i}", f"q{i + 1}", minDelay=0.0, maxDelay=50.0)
+    return query, hosting, WINDOW, None
+
+
+CORPUS = ([corpus_instance(seed) for seed in range(8)]
+          + [infeasible_instance(97)])
+
+
+def make_instance(info, seed: int):
+    """Instantiate one registered algorithm (seeded when seedable)."""
+    if info.has(Capability.SEEDABLE):
+        return info.create(rng=seed)
+    return info.create()
+
+
+@pytest.fixture(scope="module")
+def oracle_results():
+    """Reference-engine full enumerations, one per corpus entry."""
+    results = []
+    for query, hosting, constraint, node_constraint in CORPUS:
+        results.append(ReferenceECF().request(SearchRequest.build(
+            query, hosting, constraint=constraint,
+            node_constraint=node_constraint, timeout=60.0)))
+    return results
+
+
+@pytest.mark.parametrize("name", sorted(default_registry().names()))
+def test_algorithm_agrees_with_reference_oracle(name, oracle_results):
+    info = default_registry().get(name)
+    for index, (query, hosting, constraint, node_constraint) in enumerate(CORPUS):
+        oracle = oracle_results[index]
+        algorithm = make_instance(info, seed=index + 1)
+        result = algorithm.request(SearchRequest.build(
+            query, hosting, constraint=constraint,
+            node_constraint=node_constraint, timeout=TIMEOUT))
+
+        # Validity: everything returned must pass the independent checker.
+        edge_expr = None if constraint is None else ConstraintExpression(constraint)
+        node_expr = (None if node_constraint is None
+                     else ConstraintExpression(node_constraint))
+        for mapping in result.mappings:
+            violations = validate_mapping(mapping, query, hosting,
+                                          constraint=edge_expr,
+                                          node_constraint=node_expr)
+            assert not violations, (
+                f"{name} returned an invalid mapping on corpus #{index}: "
+                f"{violations}")
+
+        # Soundness: nobody finds embeddings in provably infeasible space.
+        if oracle.proved_infeasible:
+            assert not result.found, (
+                f"{name} 'found' an embedding the oracle proves impossible "
+                f"(corpus #{index})")
+
+        # Feasibility agreement on complete runs.
+        if result.status.value == "complete":
+            assert result.found == oracle.found, (
+                f"{name} complete run disagrees with the oracle on "
+                f"feasibility (corpus #{index})")
+
+        # Complete-enumeration algorithms must match the oracle's set.
+        if (info.has(Capability.COMPLETE_ENUMERATION)
+                and result.status.value == "complete"):
+            expected = {frozenset(m.items()) for m in oracle.mappings}
+            actual = {frozenset(m.items()) for m in result.mappings}
+            assert actual == expected, (
+                f"{name} enumeration diverged from the oracle on corpus "
+                f"#{index}: {len(actual)} vs {len(expected)} mappings")
+
+
+@pytest.mark.parametrize("name", sorted(default_registry().names()))
+def test_infeasibility_provers_prove_it(name, oracle_results):
+    """PROVES_INFEASIBILITY algorithms report complete-and-empty where the
+    oracle does (given an ample budget on these tiny instances)."""
+    info = default_registry().get(name)
+    if not info.has(Capability.PROVES_INFEASIBILITY):
+        pytest.skip(f"{name} does not claim infeasibility proofs")
+    for index, (query, hosting, constraint, node_constraint) in enumerate(CORPUS):
+        oracle = oracle_results[index]
+        if not oracle.proved_infeasible:
+            continue
+        algorithm = make_instance(info, seed=index + 1)
+        result = algorithm.request(SearchRequest.build(
+            query, hosting, constraint=constraint,
+            node_constraint=node_constraint, timeout=TIMEOUT))
+        assert result.proved_infeasible, (
+            f"{name} failed to prove infeasibility on corpus #{index} "
+            f"(status {result.status.value})")

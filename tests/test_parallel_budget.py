@@ -1,0 +1,216 @@
+"""Budget, deadline and failure semantics of the sharded parallel engine.
+
+Three contracts beyond stream parity (tests/test_parallel_parity.py):
+
+* a run whose shards hit the shared wall-clock deadline surfaces the same
+  budget-exhaustion accounting as serial — ``timed_out``, status
+  classification and ``proved_infeasible`` all agree;
+* result caps are enforced across shards exactly as serial enforces them
+  (``truncated`` + the stream cut at the same mapping);
+* exceptions raised inside a worker process — including
+  :class:`~repro.core.plan.PlanInvalidatedError` — propagate to the caller
+  with their original type intact.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.api import Budget, SearchRequest
+from repro.core import ECF, LNS, RWB, PlanInvalidatedError, ResultStatus
+from repro.core.parallel import split_contiguous
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.query import QueryNetwork
+
+WINDOW = "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay"
+
+#: Worker-side classes defined in this test module pickle by reference,
+#: which only resolves in workers that inherit the parent's modules — i.e.
+#: when the platform's default start method is fork (shard pools follow the
+#: platform default).
+HAVE_FORK = multiprocessing.get_start_method(allow_none=True) in (None, "fork") \
+    and "fork" in multiprocessing.get_all_start_methods()
+
+
+def dense_workload(num_hosts: int = 14, num_query: int = 5, seed: int = 2):
+    """A workload big enough that an expired deadline always fires first."""
+    rng = random.Random(seed)
+    hosting = HostingNetwork("hosting")
+    for i in range(num_hosts):
+        hosting.add_node(f"h{i}", name=f"h{i}")
+    for i in range(num_hosts):
+        for j in range(i + 1, num_hosts):
+            hosting.add_edge(f"h{i}", f"h{j}", avgDelay=rng.uniform(5.0, 60.0))
+    query = QueryNetwork("query")
+    for i in range(num_query):
+        query.add_node(f"q{i}")
+    for i in range(num_query - 1):
+        query.add_edge(f"q{i}", f"q{i + 1}", minDelay=0.0, maxDelay=70.0)
+    return query, hosting
+
+
+@pytest.mark.parametrize("name,factory", [
+    ("ECF", ECF), ("RWB", RWB), ("LNS", LNS)])
+def test_expired_deadline_classifies_like_serial(name, factory):
+    """Shards hitting the shared deadline surface serial's exhaustion state."""
+    query, hosting = dense_workload()
+    request = SearchRequest.build(query, hosting, constraint=WINDOW)
+    plan = factory().prepare(request)
+    # The budget is exhausted before any shard (or the serial loop) can try
+    # a single candidate, so both runs are deterministic.
+    budget = Budget(timeout=1e-9)
+    serial = plan.execute(budget=budget)
+    parallel = plan.refresh().execute(budget=budget, parallelism=4)
+    for result in (serial, parallel):
+        assert result.timed_out is True
+        assert result.truncated is False
+        assert result.status is ResultStatus.INCONCLUSIVE
+        assert result.count == 0
+        assert result.proved_infeasible is False
+
+
+def test_generous_deadline_never_times_out_under_sharding():
+    """The wall-clock budget is shared, not divided: N shards under one
+    generous deadline must not each burn a slice of it."""
+    query, hosting = dense_workload(num_hosts=8, num_query=3)
+    request = SearchRequest.build(query, hosting, constraint=WINDOW)
+    result = ECF().prepare(request).execute(
+        budget=Budget(timeout=60.0), parallelism=7)
+    assert result.timed_out is False
+    assert result.status is ResultStatus.COMPLETE
+
+
+@pytest.mark.parametrize("cap", [1, 3, 17])
+def test_result_cap_accounting_matches_serial(cap):
+    query, hosting = dense_workload(num_hosts=9, num_query=3)
+    request = SearchRequest.build(query, hosting, constraint=WINDOW)
+    plan = ECF().prepare(request)
+    serial = plan.execute(budget=Budget(max_results=cap))
+    parallel = plan.execute(budget=Budget(max_results=cap), parallelism=4)
+    assert [m.as_dict() for m in parallel.mappings] == \
+        [m.as_dict() for m in serial.mappings]
+    assert parallel.truncated is serial.truncated
+    assert parallel.timed_out is serial.timed_out
+    assert parallel.status is serial.status
+
+
+def test_stale_plan_raises_before_any_shard_runs():
+    query, hosting = dense_workload(num_hosts=7, num_query=3)
+    request = SearchRequest.build(query, hosting, constraint=WINDOW)
+    plan = ECF().prepare(request)
+    hosting.update_node("h0", cpuLoad=0.9)
+    with pytest.raises(PlanInvalidatedError):
+        plan.execute(parallelism=4)
+
+
+class InvalidatingECF(ECF):
+    """An ECF whose shards report staleness from inside the worker.
+
+    Simulates the race the real engine cannot reproduce on demand (worker
+    memory is a fork-time snapshot): what matters is that the exception
+    type crosses the process boundary intact.
+    """
+
+    def _run_shard(self, context, prepared, spec):
+        raise PlanInvalidatedError("model mutated under a running shard")
+
+
+class CrashingECF(ECF):
+    """An ECF whose shards raise an arbitrary application error."""
+
+    def _run_shard(self, context, prepared, spec):
+        raise ValueError("constraint evaluation exploded in a worker")
+
+
+@pytest.mark.skipif(not HAVE_FORK,
+                    reason="worker-side classes require the fork start method")
+@pytest.mark.parametrize("algorithm_cls,expected", [
+    (InvalidatingECF, PlanInvalidatedError),
+    (CrashingECF, ValueError),
+])
+def test_worker_exceptions_propagate_intact(algorithm_cls, expected):
+    query, hosting = dense_workload(num_hosts=7, num_query=3)
+    request = SearchRequest.build(query, hosting, constraint=WINDOW)
+    plan = algorithm_cls().prepare(request)
+    with pytest.raises(expected):
+        plan.execute(parallelism=2)
+
+
+def _break_pool(pool) -> None:
+    """Kill a pool's worker and wait for the executor to notice."""
+    import os
+    import time
+
+    try:
+        pool.submit(os._exit, 13)
+    except Exception:
+        pass
+    for _ in range(200):
+        if getattr(pool, "_broken", False):
+            return
+        try:
+            pool.submit(os.getpid).result(timeout=0.5)
+        except Exception:
+            return
+        time.sleep(0.02)
+
+
+@pytest.mark.skipif(not HAVE_FORK,
+                    reason="deterministic worker kill needs the fork start method")
+def test_broken_pool_degrades_to_byte_identical_serial_run():
+    """A pool that breaks before any commit falls back to in-process specs."""
+    from repro.core import make_pool
+
+    query, hosting = dense_workload(num_hosts=8, num_query=3)
+    request = SearchRequest.build(query, hosting, constraint=WINDOW)
+    plan = ECF().prepare(request)
+    expected = plan.execute()
+    pool = make_pool(1)
+    try:
+        _break_pool(pool)
+        result = plan.execute(parallelism=4, pool=pool)
+    finally:
+        pool.shutdown(wait=False)
+    assert [m.as_dict() for m in result.mappings] == \
+        [m.as_dict() for m in expected.mappings]
+    assert result.stats.nodes_expanded == expected.stats.nodes_expanded
+    assert result.status is expected.status
+
+
+@pytest.mark.skipif(not HAVE_FORK,
+                    reason="deterministic worker kill needs the fork start method")
+def test_service_replaces_broken_process_pool():
+    """One dead worker must not disable parallel execution for the service."""
+    from repro.service import NetEmbedService, QuerySpec
+
+    query, hosting = dense_workload(num_hosts=8, num_query=3)
+    with NetEmbedService(parallel_workers=1) as service:
+        service.register_network(hosting, name="net")
+        spec = QuerySpec(query=query, constraint=WINDOW, algorithm="ECF",
+                         parallelism=2)
+        expected = service.submit(QuerySpec(query=query, constraint=WINDOW,
+                                            algorithm="ECF"))
+        first_pool = service._ensure_process_pool()
+        _break_pool(first_pool)
+        # Each submit fetches the pool through _ensure_process_pool, which
+        # discards the broken executor and builds a fresh one.
+        first = service.submit(spec)
+        second = service.submit(spec)
+        assert service.process_pool is not first_pool
+        for response in (first, second):
+            assert [m.as_dict() for m in response.mappings] == \
+                [m.as_dict() for m in expected.mappings]
+
+
+def test_split_contiguous_preserves_order_and_coverage():
+    items = list(range(23))
+    for shards in (1, 2, 4, 7, 23, 40):
+        blocks = split_contiguous(items, shards)
+        assert [x for block in blocks for x in block] == items
+        assert len(blocks) == min(shards, len(items))
+        sizes = [len(block) for block in blocks]
+        assert max(sizes) - min(sizes) <= 1
+    assert split_contiguous([], 4) == []

@@ -1,0 +1,251 @@
+"""Parity: the sharded parallel engine vs. serial execution.
+
+The parallel engine (:mod:`repro.core.parallel`) promises that for any shard
+count the merged mapping stream is **byte-identical** to a serial run, and
+that full-enumeration search counters are identical too.  This suite is the
+property-based differential harness behind that promise: randomised
+workloads plus PlanetLab- and BRITE-style topologies, across ECF, RWB and
+LNS, for parallelism 2 / 4 / 7, including the post-mutation ``refresh()``
+path and the service's warm plan-cache path.
+
+Set ``REPRO_PARITY_PARALLELISM`` to restrict the sweep to one worker count
+(the CI parallelism axis does this).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import Budget, SearchRequest
+from repro.core import ECF, LNS, RWB, PlanInvalidatedError
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.query import QueryNetwork
+from repro.service import NetEmbedService, QuerySpec
+from repro.topology import barabasi_albert, synthetic_planetlab_trace
+
+_ENV_PARALLELISM = os.environ.get("REPRO_PARITY_PARALLELISM")
+PARALLELISMS = ([int(_ENV_PARALLELISM)] if _ENV_PARALLELISM
+                else [2, 4, 7])
+
+WINDOW = "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay"
+
+#: Factories keyed by algorithm name; RWB gets its seed per run via
+#: ``execute(rng=...)`` so plans stay seed-agnostic, exactly as the service
+#: drives it.
+ALGORITHMS = {
+    "ECF": lambda: ECF(),
+    "RWB": lambda: RWB(),
+    "LNS": lambda: LNS(),
+}
+
+
+def random_workload(seed: int):
+    """A small random embedding problem with delay-window constraints."""
+    rng = random.Random(seed)
+    num_hosts = rng.randint(6, 12)
+    hosting = HostingNetwork("hosting")
+    for i in range(num_hosts):
+        hosting.add_node(f"h{i}", name=f"h{i}")
+    for i in range(num_hosts):
+        for j in range(i + 1, num_hosts):
+            if rng.random() < 0.5:
+                hosting.add_edge(f"h{i}", f"h{j}",
+                                 avgDelay=rng.uniform(5.0, 60.0))
+    query = QueryNetwork("query")
+    num_query = rng.randint(2, 4)
+    for i in range(num_query):
+        query.add_node(f"q{i}")
+    for i in range(num_query - 1):
+        query.add_edge(f"q{i}", f"q{i + 1}",
+                       minDelay=0.0, maxDelay=rng.uniform(30.0, 70.0))
+    if num_query > 2 and rng.random() < 0.5:
+        query.add_edge("q0", f"q{num_query - 1}",
+                       minDelay=0.0, maxDelay=rng.uniform(30.0, 70.0))
+    return query, hosting
+
+
+def subgraph_query(hosting: HostingNetwork, size: int, seed: int,
+                   slack: float = 0.3) -> QueryNetwork:
+    """A query cut out of *hosting* (guaranteed feasible at ±slack windows)."""
+    rng = random.Random(seed)
+    nodes = [rng.choice(list(hosting.nodes()))]
+    while len(nodes) < size:
+        frontier = [n for node in nodes for n in hosting.neighbors(node)
+                    if n not in nodes]
+        if not frontier:
+            break
+        nodes.append(rng.choice(sorted(frontier, key=str)))
+    query = QueryNetwork("sub")
+    renamed = {node: f"q{i}" for i, node in enumerate(nodes)}
+    for node in nodes:
+        query.add_node(renamed[node])
+    for u in nodes:
+        for v in nodes:
+            if str(u) < str(v) and hosting.has_edge(u, v):
+                delay = hosting.edge_attrs(u, v).get("avgDelay", 10.0) or 10.0
+                query.add_edge(renamed[u], renamed[v],
+                               minDelay=delay * (1 - slack),
+                               maxDelay=delay * (1 + slack))
+    return query
+
+
+def streams_and_counters(result):
+    """The two parity observables of one run."""
+    stream = repr([m.as_dict() for m in result.mappings])
+    counters = (result.status, result.timed_out, result.truncated,
+                result.stats.nodes_expanded,
+                result.stats.candidates_considered,
+                result.stats.backtracks,
+                result.stats.constraint_evaluations)
+    return stream, counters
+
+
+def assert_parity(name: str, query, hosting, parallelism: int,
+                  constraint: str = WINDOW, budget: Budget = None,
+                  seed: int = 0, full_counters: bool = True) -> None:
+    """Serial vs. sharded execution of one (algorithm, workload) pair."""
+    budget = budget or (Budget(max_results=10 ** 6) if name == "RWB"
+                        else Budget())
+    request = SearchRequest.build(query, hosting, constraint=constraint,
+                                  budget=budget)
+    rng = seed if name == "RWB" else None
+    serial = ALGORITHMS[name]().prepare(request).execute(rng=rng)
+    plan = ALGORITHMS[name]().prepare(request)
+    parallel = plan.execute(parallelism=parallelism, rng=rng)
+    s_stream, s_counters = streams_and_counters(serial)
+    p_stream, p_counters = streams_and_counters(parallel)
+    assert s_stream == p_stream, (
+        f"{name} x{parallelism}: mapping stream diverged "
+        f"({serial.count} serial vs {parallel.count} parallel mappings)")
+    if full_counters:
+        assert s_counters == p_counters, (
+            f"{name} x{parallelism}: counters diverged "
+            f"({s_counters} vs {p_counters})")
+    else:
+        # Capped runs cannot promise identical work counters (later shards
+        # search regions serial never reached), but the result-level budget
+        # accounting must agree.
+        assert s_counters[:3] == p_counters[:3]
+
+
+# --------------------------------------------------------------------------- #
+# Property-based sweep over random workloads
+# --------------------------------------------------------------------------- #
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10 ** 6),
+       parallelism=st.sampled_from(PARALLELISMS),
+       name=st.sampled_from(sorted(ALGORITHMS)))
+def test_random_workload_stream_and_counter_parity(seed, parallelism, name):
+    query, hosting = random_workload(seed)
+    assert_parity(name, query, hosting, parallelism, seed=seed)
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10 ** 6),
+       parallelism=st.sampled_from(PARALLELISMS),
+       name=st.sampled_from(sorted(ALGORITHMS)),
+       cap=st.integers(min_value=1, max_value=5))
+def test_random_workload_capped_stream_parity(seed, parallelism, name, cap):
+    """max_results truncation falls on the same mapping as serial."""
+    query, hosting = random_workload(seed)
+    assert_parity(name, query, hosting, parallelism, seed=seed,
+                  budget=Budget(max_results=cap), full_counters=False)
+
+
+# --------------------------------------------------------------------------- #
+# Named topologies
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("parallelism", PARALLELISMS)
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_planetlab_topology_parity(name, parallelism):
+    hosting = synthetic_planetlab_trace(num_sites=18, rng=5)
+    query = subgraph_query(hosting, size=4, seed=11)
+    assert_parity(name, query, hosting, parallelism, seed=3)
+
+
+@pytest.mark.parametrize("parallelism", PARALLELISMS)
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_brite_topology_parity(name, parallelism):
+    hosting = barabasi_albert(16, edges_per_node=2, rng=7)
+    query = subgraph_query(hosting, size=3, seed=23)
+    assert_parity(name, query, hosting, parallelism, seed=9)
+
+
+# --------------------------------------------------------------------------- #
+# Mutation / refresh and cache-hit paths
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_post_mutation_refresh_keeps_parity(name):
+    """A refreshed plan is parity-checked against the *mutated* model."""
+    query, hosting = random_workload(91)
+    budget = Budget(max_results=10 ** 6) if name == "RWB" else Budget()
+    request = SearchRequest.build(query, hosting, constraint=WINDOW,
+                                  budget=budget)
+    plan = ALGORITHMS[name]().prepare(request)
+    plan.execute(parallelism=2, rng=1 if name == "RWB" else None)
+
+    edge = next(iter(hosting.edges()))
+    hosting.update_edge(*edge, avgDelay=32.5)
+    with pytest.raises(PlanInvalidatedError):
+        plan.execute(parallelism=2)
+
+    fresh = plan.refresh()
+    rng = 1 if name == "RWB" else None
+    serial = fresh.execute(rng=rng)
+    parallel = fresh.refresh().execute(parallelism=4, rng=rng)
+    assert streams_and_counters(serial) == streams_and_counters(parallel)
+
+
+@pytest.mark.parametrize("parallelism", PARALLELISMS)
+def test_service_cache_hit_path_keeps_parity(parallelism):
+    """Warm plan-cache executions shard identically to the cold path."""
+    query, hosting = random_workload(137)
+    with NetEmbedService(parallel_workers=2) as service:
+        service.register_network(hosting, name="net")
+        spec = QuerySpec(query=query, constraint=WINDOW, algorithm="ECF",
+                         parallelism=parallelism)
+        serial = service.submit(QuerySpec(query=query, constraint=WINDOW,
+                                          algorithm="ECF"))
+        cold = service.submit(spec)
+        warm = service.submit(spec)
+        assert service.plans.stats()["hits"] >= 2  # serial warmed the plan
+        expected = repr([m.as_dict() for m in serial.mappings])
+        assert repr([m.as_dict() for m in cold.mappings]) == expected
+        assert repr([m.as_dict() for m in warm.mappings]) == expected
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_streaming_surface_matches_execute(name):
+    """plan.stream(parallelism=N) yields the execute() stream lazily."""
+    query, hosting = random_workload(57)
+    budget = Budget(max_results=10 ** 6) if name == "RWB" else Budget()
+    request = SearchRequest.build(query, hosting, constraint=WINDOW,
+                                  budget=budget)
+    plan = ALGORITHMS[name]().prepare(request)
+    rng = 4 if name == "RWB" else None
+    expected = [m.as_dict() for m in plan.execute(rng=rng).mappings]
+    streamed = [m.as_dict()
+                for m in plan.stream(parallelism=2, rng=rng)]
+    assert streamed == expected
+
+
+def test_early_stream_close_aborts_parallel_search():
+    """Closing a parallel stream does not leak or deadlock."""
+    query, hosting = random_workload(3)
+    request = SearchRequest.build(query, hosting, constraint=WINDOW)
+    plan = ECF().prepare(request)
+    stream = plan.stream(parallelism=2)
+    first = next(stream)
+    stream.close()
+    serial_first = plan.execute().first
+    assert first.as_dict() == serial_first.as_dict()
