@@ -18,7 +18,6 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import baseline_comparison_experiment
-from repro.analysis.metrics import group_summaries
 
 SEED = 77
 NETEMBED = {"ECF", "RWB", "LNS"}

@@ -46,6 +46,7 @@ def test_fig14_composite_queries(benchmark, cached_experiment, figure_report):
     lns = [row for row in rows if row["algorithm"] == "LNS" and row["first_ms"]]
     others = [row for row in rows if row["algorithm"] != "LNS" and row["first_ms"]]
     if lns and others:
-        mean = lambda values: sum(values) / len(values)
+        def mean(values):
+            return sum(values) / len(values)
         assert mean([r["first_ms"] for r in lns]) <= \
             2.0 * mean([r["first_ms"] for r in others])

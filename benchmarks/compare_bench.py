@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: compare BENCH_*.json runs against baselines.
+
+The perf-smoke CI job re-runs every benchmark at smoke scale and then calls
+this script to compare the fresh reports against the committed baselines
+under ``benchmarks/results/smoke/``.  Tracked metrics are declared below per
+report file; each is either
+
+* a **ratio/scalar** metric (``kind="ratio"``): machine-independent
+  speedups.  The gate fails when the candidate falls more than
+  ``--tolerance`` (default 25 %) below the baseline.  Absolute wall-clock
+  seconds are deliberately *not* tracked — they do not transfer between
+  machines — which is why every benchmark reports normalised ratios.
+* an **exact** metric (``kind="exact"``): deterministic counts and parity
+  booleans (mappings found, streams-identical flags).  Any change fails the
+  gate, in either direction — a "regression" that *finds more mappings* is
+  a correctness bug too.
+
+Missing candidate files fail the gate (a benchmark silently dropping out of
+CI is itself a regression); missing baseline files are reported and skipped
+so a brand-new benchmark can land together with its first baseline.
+
+Usage::
+
+    python benchmarks/compare_bench.py \
+        --baseline benchmarks/results/smoke --candidate benchmarks/results \
+        [--tolerance 0.25]
+
+Exit status: 0 = all gates green, 1 = regression, 2 = usage/missing files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One tracked value inside a benchmark report."""
+
+    #: Dotted path into the JSON document (list indices allowed, e.g.
+    #: ``engines.0.mappings_found``).
+    path: str
+    #: "ratio" (tolerance-gated, higher is better) or "exact" (must match).
+    kind: str = "ratio"
+    #: Per-metric tolerance override for ratio metrics.  ``None`` uses the
+    #: CLI-wide value; metrics whose smoke-scale runs are wall-clock-noisy
+    #: (amortisation ratios over sub-second phases) declare a wider band —
+    #: a real regression dwarfs run-to-run noise anyway.
+    tolerance: Optional[float] = None
+
+    def resolve(self, document) -> Optional[object]:
+        value = document
+        for part in self.path.split("."):
+            if isinstance(value, list):
+                try:
+                    value = value[int(part)]
+                except (ValueError, IndexError):
+                    return None
+            elif isinstance(value, dict):
+                if part not in value:
+                    return None
+                value = value[part]
+            else:
+                return None
+        return value
+
+
+#: The gate's contract: which metrics of which report are protected.
+TRACKED: Dict[str, List[Metric]] = {
+    "BENCH_core.json": [
+        Metric("comparison.speedup_total", tolerance=0.40),
+        Metric("comparison.speedup_filter_build", tolerance=0.40),
+        # Both engines enumerate the same complete stream; any drift in the
+        # count is a correctness regression, not noise.
+        Metric("engines.0.mappings_found", kind="exact"),
+        Metric("engines.1.mappings_found", kind="exact"),
+    ],
+    "BENCH_plan.json": [
+        Metric("comparison.speedup_amortized_wall", tolerance=0.50),
+        Metric("engines.0.mappings_found", kind="exact"),
+        Metric("engines.1.mappings_found", kind="exact"),
+        Metric("invalidation.fresh_results_match", kind="exact"),
+    ],
+    "BENCH_parallel.json": [
+        # Wall-clock scaling is meaningless on shared CI runners; the
+        # deterministic enumeration counts are the invariant worth gating
+        # (the benchmark itself aborts on any serial/parallel stream
+        # divergence, so a written report implies byte-identical streams).
+        Metric("engines.0.mappings_found", kind="exact"),
+        Metric("engines.1.mappings_found", kind="exact"),
+    ],
+    "BENCH_churn.json": [
+        Metric("refresh.speedup_refresh", tolerance=0.40),
+        Metric("repair.speedup_repair", tolerance=0.40),
+        Metric("refresh.parity_checked", kind="exact"),
+        Metric("refresh.recompiled", kind="exact"),
+        Metric("repair.failed", kind="exact"),
+        Metric("repair.timeout", kind="exact"),
+    ],
+}
+
+
+def compare_file(name: str, baseline_dir: Path, candidate_dir: Path,
+                 tolerance: float) -> List[str]:
+    """Gate one report; returns failure messages (empty = green)."""
+    failures: List[str] = []
+    baseline_path = baseline_dir / name
+    candidate_path = candidate_dir / name
+    if not baseline_path.exists():
+        print(f"  {name}: no baseline committed yet — skipped "
+              f"(commit one under {baseline_dir})")
+        return failures
+    if not candidate_path.exists():
+        return [f"{name}: candidate report missing at {candidate_path} — "
+                f"did the benchmark run?"]
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    candidate = json.loads(candidate_path.read_text(encoding="utf-8"))
+
+    for metric in TRACKED[name]:
+        base_value = metric.resolve(baseline)
+        cand_value = metric.resolve(candidate)
+        if base_value is None:
+            print(f"  {name}: {metric.path} absent from baseline — skipped")
+            continue
+        if cand_value is None:
+            failures.append(f"{name}: {metric.path} missing from the "
+                            f"candidate report")
+            continue
+        if metric.kind == "exact":
+            ok = cand_value == base_value
+            verdict = "ok" if ok else "CHANGED"
+            print(f"  {name}: {metric.path} = {cand_value!r} "
+                  f"(baseline {base_value!r}) [{verdict}]")
+            if not ok:
+                failures.append(
+                    f"{name}: {metric.path} changed from {base_value!r} to "
+                    f"{cand_value!r} (exact metric)")
+        else:
+            band = tolerance if metric.tolerance is None else metric.tolerance
+            floor = base_value * (1.0 - band)
+            ok = cand_value >= floor
+            verdict = "ok" if ok else "REGRESSED"
+            print(f"  {name}: {metric.path} = {cand_value:.3f} "
+                  f"(baseline {base_value:.3f}, floor {floor:.3f}) [{verdict}]")
+            if not ok:
+                failures.append(
+                    f"{name}: {metric.path} regressed to {cand_value:.3f}, "
+                    f"below the {floor:.3f} floor "
+                    f"(baseline {base_value:.3f} - {band:.0%})")
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).parent / "results" / "smoke",
+                        help="directory holding the committed baseline "
+                             "BENCH_*.json files")
+    parser.add_argument("--candidate", type=Path,
+                        default=Path(__file__).parent / "results",
+                        help="directory holding the freshly produced reports")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative drop for ratio metrics "
+                             "(default: 0.25)")
+    args = parser.parse_args(argv)
+    if not 0 <= args.tolerance < 1:
+        parser.error("--tolerance must be in [0, 1)")
+    if not args.baseline.is_dir():
+        print(f"error: baseline directory {args.baseline} does not exist",
+              file=sys.stderr)
+        return 2
+
+    print(f"comparing {args.candidate} against baselines in {args.baseline} "
+          f"(tolerance {args.tolerance:.0%} on ratio metrics)")
+    failures: List[str] = []
+    for name in sorted(TRACKED):
+        failures.extend(compare_file(name, args.baseline, args.candidate,
+                                     args.tolerance))
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate: all tracked metrics green")
+    return 0
+
+
+try:                         # pytest is absent in script-only environments
+    from _smoke_marker import smoke as _smoke
+except ImportError:          # pragma: no cover - running outside benchmarks/
+    def _smoke(func):
+        return func
+
+
+@_smoke
+def test_smoke(tmp_path):
+    """The gate passes when candidate == baseline and catches regressions."""
+    baseline = tmp_path / "baseline"
+    candidate = tmp_path / "candidate"
+    baseline.mkdir()
+    candidate.mkdir()
+    report = {"refresh": {"speedup_refresh": 4.0, "parity_checked": True,
+                          "recompiled": 0},
+              "repair": {"speedup_repair": 10.0, "failed": 0, "timeout": 0}}
+    (baseline / "BENCH_churn.json").write_text(json.dumps(report))
+    (candidate / "BENCH_churn.json").write_text(json.dumps(report))
+    assert main(["--baseline", str(baseline), "--candidate", str(candidate),
+                 "--tolerance", "0.25"]) == 0
+
+    degraded = {"refresh": {"speedup_refresh": 2.0, "parity_checked": True,
+                            "recompiled": 0},
+                "repair": {"speedup_repair": 10.0, "failed": 0, "timeout": 0}}
+    (candidate / "BENCH_churn.json").write_text(json.dumps(degraded))
+    assert main(["--baseline", str(baseline), "--candidate", str(candidate),
+                 "--tolerance", "0.25"]) == 1
+
+    # A missing candidate report is a failure, not a skip.
+    (candidate / "BENCH_churn.json").unlink()
+    assert main(["--baseline", str(baseline), "--candidate", str(candidate),
+                 "--tolerance", "0.25"]) == 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

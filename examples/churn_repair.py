@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Keep reserved embeddings healthy while the network churns underneath them.
+
+Scenario (paper §III + the ``rNode.up == true`` idiom of §VI): applications
+hold *reservations* — embeddings whose capacity the service has allocated —
+while the monitoring feed keeps drifting the hosting model: link delays
+jitter, load moves, nodes go down and come back.  Tearing a reservation down
+and re-embedding from scratch on every refresh wastes both search time and
+every still-valid placement.  This example shows the incremental alternative:
+
+* sparse churn ticks mutate the model through the network's mutators, so the
+  **mutation journal** records exactly what changed;
+* re-submitted traffic hits the plan cache's **patch path**: the stranded
+  plan is brought up to date by replaying the delta instead of recompiling
+  (watch the cache's ``patched`` counter);
+* each reservation is **repaired in place** via ``service.repair()``: only
+  assignments the churn actually broke are released and re-placed by an
+  LNS-style local search, and capacity follows the moves atomically.
+
+Run with:  python examples/churn_repair.py
+"""
+
+from __future__ import annotations
+
+from repro import NetEmbedService
+from repro.service import QuerySpec
+from repro.topology import synthetic_planetlab_trace
+from repro.utils.rng import as_rng
+from repro.workloads import ChurnConfig, ChurnProcess, churn_embedding_suite
+
+
+def main() -> None:
+    rng = as_rng(11)
+
+    # 1. A PlanetLab-like hosting model with per-site reservation capacity.
+    planetlab = synthetic_planetlab_trace(num_sites=48, rng=rng)
+    for site in planetlab.nodes():
+        planetlab.set_capacity(site, 4.0)
+    service = NetEmbedService(default_timeout=30.0)
+    service.register_network(planetlab, name="planetlab")
+    print(f"hosting model: {planetlab.num_nodes} sites, "
+          f"{planetlab.num_edges} measured links, capacity 4.0 per site")
+
+    # 2. Embed and reserve three feasible virtual topologies.
+    workloads = churn_embedding_suite(planetlab, num_queries=3, query_size=7,
+                                      slack=0.3, rng=rng)
+    reservations = []
+    for workload in workloads:
+        response = service.submit(QuerySpec(
+            query=workload.query, constraint=workload.constraint,
+            algorithm="ECF", max_results=1, reserve=True))
+        reservations.append((response.reservation_id, workload))
+        print(f"reserved {response.reservation_id}: "
+              f"{workload.query.name} -> "
+              f"{sorted(response.first.hosting_nodes(), key=str)}")
+
+    # 3. Sparse churn: ~5% of links and nodes move per tick — the regime
+    #    where deltas are small and repair beats re-embedding.
+    churn = ChurnProcess(planetlab,
+                         ChurnConfig(link_fraction=0.05, node_fraction=0.05,
+                                     delay_jitter=0.25), rng=rng)
+
+    for _ in range(5):
+        tick = churn.tick()
+        service.registry.touch("planetlab")
+        print(f"\nchurn tick {tick.index}: {len(tick.touched_edges)} links "
+              f"jittered, {len(tick.touched_nodes)} nodes perturbed")
+
+        # Traffic under churn: the cached plan is patched, not recompiled.
+        service.submit(QuerySpec(query=workloads[0].query,
+                                 constraint=workloads[0].constraint,
+                                 algorithm="ECF", max_results=1))
+
+        # Self-healing reservations: repair only what broke.
+        for reservation_id, workload in reservations:
+            repair = service.repair(reservation_id)
+            if repair.status == "intact":
+                print(f"  {reservation_id}: intact")
+            else:
+                moves = ", ".join(f"{q}: {old}->{new}"
+                                  for q, (old, new) in sorted(
+                                      repair.moved.items(), key=str))
+                print(f"  {reservation_id}: {repair.status} "
+                      f"({moves or 'no moves'}) in "
+                      f"{repair.result.elapsed_seconds * 1000:.1f} ms")
+
+    cache = service.plans.stats()
+    print(f"\nplan cache after churn: {cache['hits']} hits / "
+          f"{cache['misses']} misses; refreshes: {cache['patched']} patched "
+          f"vs {cache['recompiled']} recompiled")
+    print("every reservation still holds a valid embedding")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,7 @@ from __future__ import annotations
 from repro import ECF, LNS, SearchRequest
 from repro.extensions import best_mapping, total_delay_cost
 from repro.topology import CompositeSpec, synthetic_planetlab_trace
-from repro.topology.composite import LEVEL_ATTR, level_edges
+from repro.topology.composite import level_edges
 from repro.workloads import composite_query
 
 

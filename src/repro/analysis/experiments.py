@@ -17,16 +17,14 @@ benchmark-sized parameters from :data:`repro.workloads.suites.SUITES`,
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import repro.baselines  # noqa: F401 — registers the baselines with the registry
 from repro.api import SearchRequest, default_registry
-from repro.core import ECF, LNS, RWB, EmbeddingAlgorithm
+from repro.core import ECF, EmbeddingAlgorithm
 from repro.graphs.hosting import HostingNetwork
 from repro.analysis.metrics import group_summaries, proportions
-from repro.utils.rng import RandomSource, as_rng, spawn_rngs
+from repro.utils.rng import RandomSource, as_rng
 from repro.workloads import (
     SUITES,
     Workload,

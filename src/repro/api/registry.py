@@ -17,7 +17,7 @@ opaque factories) so the core algorithm modules can import it without cycles.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Union
 

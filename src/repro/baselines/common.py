@@ -19,7 +19,7 @@ prove infeasibility.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional
 
 from repro.core.base import SearchContext
 from repro.graphs.network import NodeId

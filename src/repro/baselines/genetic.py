@@ -18,7 +18,7 @@ keeps the approach recognisable while fitting the common
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.baselines.common import (
     assignment_violations,

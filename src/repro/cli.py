@@ -1,6 +1,6 @@
 """Command-line interface to the NETEMBED service.
 
-Six subcommands cover the common workflows::
+Seven subcommands cover the common workflows::
 
     python -m repro embed --hosting host.graphml --query query.graphml \
         --constraint "rEdge.avgDelay <= vEdge.maxDelay" --algorithm ECF
@@ -9,6 +9,8 @@ Six subcommands cover the common workflows::
 
     python -m repro plan --hosting host.graphml --query query.graphml \
         --repeat 3 --tick 1
+
+    python -m repro churn --sites 60 --queries 4 --ticks 10
 
     python -m repro list-algorithms
 
@@ -22,6 +24,8 @@ query specs through :meth:`NetEmbedService.submit_batch`; ``plan`` compiles
 an :class:`~repro.core.plan.EmbeddingPlan`, runs it repeatedly through the
 service's version-aware plan cache and explains the cache state (hits,
 misses, per-entry statistics, invalidation after monitor ticks);
+``churn`` drives an embed→tick→repair loop under sparse network churn and
+reports repair-vs-reembed cost;
 ``list-algorithms`` prints the capability registry; ``generate`` materialises
 the synthetic hosting networks used throughout the evaluation; ``experiment``
 runs one of the figure drivers from :mod:`repro.analysis` and prints the same
@@ -34,13 +38,12 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import repro.baselines  # noqa: F401 — registers the baselines for by-name use
 from repro.analysis import EXPERIMENTS, aggregate_series, format_figure, format_table, write_csv
 from repro.api import Capability, SearchRequest, default_registry
 from repro.constraints import ConstraintExpression
-from repro.core import make_algorithm
 from repro.graphs import HostingNetwork, QueryNetwork, read_graphml, write_graphml
 from repro.topology import barabasi_albert, synthetic_planetlab_trace, transit_stub
 
@@ -132,6 +135,37 @@ def build_parser() -> argparse.ArgumentParser:
                       help="per-run seed for seedable algorithms and the monitor")
     plan.add_argument("--json", action="store_true",
                       help="print the cache explanation as JSON")
+
+    churn = subparsers.add_parser(
+        "churn", help="run an embed→tick→repair loop under sparse network "
+                      "churn and report repair-vs-reembed cost")
+    churn.add_argument("--hosting", type=Path, default=None,
+                       help="GraphML hosting network (default: synthetic "
+                            "PlanetLab trace with --sites sites)")
+    churn.add_argument("--sites", type=int, default=60,
+                       help="synthetic PlanetLab size when no --hosting "
+                            "file is given (default: 60)")
+    churn.add_argument("--queries", type=int, default=4,
+                       help="reserved embeddings to keep healthy (default: 4)")
+    churn.add_argument("--query-size", type=int, default=8,
+                       help="nodes per query (default: 8)")
+    churn.add_argument("--slack", type=float, default=0.35,
+                       help="delay-window slack of the generated queries "
+                            "(default: 0.35)")
+    churn.add_argument("--ticks", type=int, default=10,
+                       help="churn ticks to apply (default: 10)")
+    churn.add_argument("--link-fraction", type=float, default=0.05,
+                       help="fraction of links jittered per tick (default: 0.05)")
+    churn.add_argument("--node-fraction", type=float, default=0.05,
+                       help="fraction of nodes perturbed per tick (default: 0.05)")
+    churn.add_argument("--capacity", type=float, default=4.0,
+                       help="per-host reservation capacity (default: 4)")
+    churn.add_argument("--timeout", type=float, default=30.0,
+                       help="per-operation budget in seconds (default: 30)")
+    churn.add_argument("--seed", type=int, default=0,
+                       help="workload + churn RNG seed (default: 0)")
+    churn.add_argument("--json", action="store_true",
+                       help="print the scenario report as JSON")
 
     generate = subparsers.add_parser(
         "generate", help="generate a synthetic hosting network as GraphML")
@@ -344,6 +378,132 @@ def _run_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_churn(args: argparse.Namespace) -> int:
+    """The embed→tick→repair scenario: keep reservations healthy under churn.
+
+    Embeds and reserves a suite of feasible queries, then applies sparse
+    attribute churn tick by tick.  After every tick each reservation is
+    repaired in place (only violated assignments move) and, for comparison,
+    the same query is answered from scratch — the cost the service would pay
+    by re-embedding instead.  One cache-routed traffic query per tick also
+    demonstrates the plan cache's patched-vs-recompiled refresh path.
+    """
+    import time as _time
+
+    from repro.service import NetEmbedService
+    from repro.workloads import ChurnConfig, ChurnProcess, churn_embedding_suite
+    from repro.utils.rng import as_rng
+
+    if args.ticks < 1:
+        print("error: --ticks must be >= 1", file=sys.stderr)
+        return 2
+    rng = as_rng(args.seed)
+    if args.hosting is not None:
+        hosting = read_graphml(args.hosting, cls=HostingNetwork)
+    else:
+        from repro.topology import synthetic_planetlab_trace as _planetlab
+        hosting = _planetlab(num_sites=args.sites, rng=rng)
+    for node in hosting.nodes():
+        hosting.set_capacity(node, args.capacity)
+
+    service = NetEmbedService(default_timeout=args.timeout)
+    network_name = service.register_network(hosting, name=hosting.name)
+    workloads = churn_embedding_suite(hosting, num_queries=args.queries,
+                                      query_size=args.query_size,
+                                      slack=args.slack, rng=rng)
+
+    from repro.service import QuerySpec
+
+    reservations = []
+    for workload in workloads:
+        response = service.submit(QuerySpec(
+            query=workload.query, constraint=workload.constraint,
+            algorithm="ECF", max_results=1, reserve=True,
+            timeout=args.timeout))
+        if response.reservation_id is None:
+            print(f"error: query {workload.query.name!r} found no embedding "
+                  f"to reserve", file=sys.stderr)
+            return 1
+        reservations.append((response.reservation_id, workload))
+    traffic_spec = QuerySpec(query=workloads[0].query,
+                             constraint=workloads[0].constraint,
+                             algorithm="ECF", max_results=1,
+                             timeout=args.timeout)
+
+    churn = ChurnProcess(hosting, ChurnConfig(
+        link_fraction=args.link_fraction,
+        node_fraction=args.node_fraction), rng=rng)
+
+    totals = {"intact": 0, "repaired": 0, "failed": 0, "timeout": 0,
+              "moved_nodes": 0}
+    repair_seconds = 0.0
+    reembed_seconds = 0.0
+    ticks = []
+    for _ in range(args.ticks):
+        tick = churn.tick()
+        service.registry.touch(network_name)
+        tick_row = {"tick": tick.index,
+                    "touched_edges": len(tick.touched_edges),
+                    "touched_nodes": len(tick.touched_nodes),
+                    "repairs": []}
+        for reservation_id, workload in reservations:
+            repair = service.repair(reservation_id, timeout=args.timeout)
+            repair_seconds += repair.result.elapsed_seconds
+            started = _time.perf_counter()
+            fresh = service.submit(QuerySpec(
+                query=workload.query, constraint=workload.constraint,
+                algorithm="ECF", max_results=1, timeout=args.timeout))
+            reembed_seconds += _time.perf_counter() - started
+            totals[repair.status] = totals.get(repair.status, 0) + 1
+            totals["moved_nodes"] += len(repair.moved)
+            tick_row["repairs"].append({
+                "reservation": reservation_id,
+                "status": repair.status,
+                "moved": len(repair.moved),
+                "repair_ms": repair.result.elapsed_seconds * 1000,
+                "reembed_found": fresh.found,
+            })
+        service.submit(traffic_spec)   # exercise the plan cache under churn
+        ticks.append(tick_row)
+
+    cache = service.plans.stats()
+    ratio = reembed_seconds / repair_seconds if repair_seconds > 0 else float("inf")
+    report = {
+        "network": {"name": network_name, "nodes": hosting.num_nodes,
+                    "edges": hosting.num_edges},
+        "scenario": {"queries": len(reservations), "ticks": args.ticks,
+                     "link_fraction": args.link_fraction,
+                     "node_fraction": args.node_fraction, "seed": args.seed},
+        "repair": dict(totals),
+        "cost": {"repair_seconds": repair_seconds,
+                 "reembed_seconds": reembed_seconds,
+                 "reembed_over_repair": ratio},
+        "plan_cache": cache,
+        "ticks": ticks,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+
+    print(f"churn scenario on {network_name!r}: {hosting.num_nodes} nodes / "
+          f"{hosting.num_edges} edges, {len(reservations)} reserved "
+          f"embeddings, {args.ticks} ticks "
+          f"(link fraction {args.link_fraction}, node fraction "
+          f"{args.node_fraction})")
+    checks = sum(totals.get(k, 0) for k in ("intact", "repaired", "failed",
+                                            "timeout"))
+    print(f"repairs: {checks} checks -> {totals['intact']} intact, "
+          f"{totals['repaired']} repaired ({totals['moved_nodes']} node "
+          f"moves), {totals['failed']} failed, {totals['timeout']} timed out")
+    print(f"cost:    repair {repair_seconds * 1000:8.1f} ms total vs "
+          f"re-embed {reembed_seconds * 1000:8.1f} ms total "
+          f"({ratio:.1f}x in favour of repair)")
+    print(f"plan cache: {cache['hits']} hits / {cache['misses']} misses, "
+          f"{cache['patched']} patched vs {cache['recompiled']} recompiled "
+          f"refreshes")
+    return 0 if totals["failed"] == 0 and totals["timeout"] == 0 else 1
+
+
 def _run_list_algorithms(args: argparse.Namespace) -> int:
     registry = default_registry()
     infos = (registry.with_capabilities(*args.capability)
@@ -406,6 +566,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_batch(args)
     if args.command == "plan":
         return _run_plan(args)
+    if args.command == "churn":
+        return _run_churn(args)
     if args.command == "list-algorithms":
         return _run_list_algorithms(args)
     if args.command == "generate":

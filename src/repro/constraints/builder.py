@@ -14,7 +14,7 @@ All builders return plain source strings; combine them with
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 
 def all_of(*clauses: str) -> str:

@@ -203,7 +203,8 @@ def _apply_binary(op: str, left: Any, right: Any) -> Any:
 
 
 def _require_comparable(left: Any, right: Any, op: str) -> None:
-    numeric = lambda v: isinstance(v, (int, float)) and not isinstance(v, bool)
+    def numeric(v):
+        return isinstance(v, (int, float)) and not isinstance(v, bool)
     if numeric(left) and numeric(right):
         return
     if isinstance(left, str) and isinstance(right, str):

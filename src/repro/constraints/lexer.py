@@ -60,24 +60,42 @@ def tokenize(text: str) -> List[Token]:
         # Two-character operators first.
         two = text[i:i + 2]
         if two == "&&":
-            tokens.append(Token(TokenType.AND, "&&", i)); i += 2; continue
+            tokens.append(Token(TokenType.AND, "&&", i))
+            i += 2
+            continue
         if two == "||":
-            tokens.append(Token(TokenType.OR, "||", i)); i += 2; continue
+            tokens.append(Token(TokenType.OR, "||", i))
+            i += 2
+            continue
         if two == "==":
-            tokens.append(Token(TokenType.EQ, "==", i)); i += 2; continue
+            tokens.append(Token(TokenType.EQ, "==", i))
+            i += 2
+            continue
         if two == "!=":
-            tokens.append(Token(TokenType.NEQ, "!=", i)); i += 2; continue
+            tokens.append(Token(TokenType.NEQ, "!=", i))
+            i += 2
+            continue
         if two == "<=":
-            tokens.append(Token(TokenType.LE, "<=", i)); i += 2; continue
+            tokens.append(Token(TokenType.LE, "<=", i))
+            i += 2
+            continue
         if two == ">=":
-            tokens.append(Token(TokenType.GE, ">=", i)); i += 2; continue
+            tokens.append(Token(TokenType.GE, ">=", i))
+            i += 2
+            continue
 
         if ch == "!":
-            tokens.append(Token(TokenType.NOT, "!", i)); i += 1; continue
+            tokens.append(Token(TokenType.NOT, "!", i))
+            i += 1
+            continue
         if ch == "<":
-            tokens.append(Token(TokenType.LT, "<", i)); i += 1; continue
+            tokens.append(Token(TokenType.LT, "<", i))
+            i += 1
+            continue
         if ch == ">":
-            tokens.append(Token(TokenType.GT, ">", i)); i += 1; continue
+            tokens.append(Token(TokenType.GT, ">", i))
+            i += 1
+            continue
         if ch == "&" or ch == "|":
             raise LexError(f"unexpected character {ch!r} (did you mean "
                            f"{'&&' if ch == '&' else '||'}?)", i)

@@ -28,6 +28,8 @@ from repro.core.filters import (
     clear_hosting_compile,
     compile_hosting,
     compute_node_candidates,
+    patch_filters,
+    patch_hosting_compile,
 )
 from repro.core.indexing import NodeIndexer
 from repro.core.lns import LNS
@@ -39,6 +41,12 @@ from repro.core.plan import (
     PreparedSearch,
 )
 from repro.core.mapping import Mapping, MappingViolation, is_valid_mapping, validate_mapping
+from repro.core.repair import (
+    RepairResult,
+    RepairStats,
+    repair_mapping,
+    violated_query_nodes,
+)
 from repro.core.parallel import (
     DEFAULT_SHARD_FACTOR,
     PlanShard,
@@ -92,6 +100,10 @@ __all__ = [
     "MappingViolation",
     "validate_mapping",
     "is_valid_mapping",
+    "RepairResult",
+    "RepairStats",
+    "repair_mapping",
+    "violated_query_nodes",
     "FilterMatrices",
     "HostingCompile",
     "NodeIndexer",
@@ -99,6 +111,8 @@ __all__ = [
     "clear_hosting_compile",
     "compile_hosting",
     "compute_node_candidates",
+    "patch_filters",
+    "patch_hosting_compile",
     "EmbeddingPlan",
     "PlanCache",
     "PlanCacheEntry",

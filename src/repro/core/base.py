@@ -34,8 +34,7 @@ from repro.api.request import Budget, ConstraintLike, SearchRequest
 from repro.constraints import ConstraintExpression, edge_context
 from repro.core.mapping import Mapping
 from repro.core.plan import EmbeddingPlan, PreparedSearch
-from repro.core.result import EmbeddingResult, ResultStatus, SearchStats, classify
-from repro.graphs.hosting import HostingNetwork
+from repro.core.result import EmbeddingResult, SearchStats, classify
 from repro.graphs.network import Edge, Network, NodeId
 from repro.graphs.query import QueryNetwork
 from repro.utils.rng import as_rng
@@ -329,6 +328,92 @@ class EmbeddingAlgorithm(abc.ABC):
         change the prepared artifacts or the search order must extend this.
         """
         return (self.name,)
+
+    # ------------------------------------------------------------------ #
+    # Incremental plan repair (delta-aware recompiles)
+    # ------------------------------------------------------------------ #
+
+    def patch_plan(self, plan: EmbeddingPlan) -> Optional[EmbeddingPlan]:
+        """Bring a stale plan up to date by replaying the mutation journal.
+
+        Applies only when the query is unchanged and the hosting network's
+        journal still covers the plan's epoch with attribute-only mutations;
+        the per-algorithm :meth:`_patch_prepared` hook then patches the
+        compiled artifacts in cost proportional to the delta.  Returns a new
+        :class:`EmbeddingPlan` at the delta's target epoch — guaranteed to
+        behave exactly like a freshly prepared plan (same masks, same
+        visiting order, same mapping streams) — or ``None`` when a full
+        re-prepare is required.  *plan* itself is never mutated, so
+        concurrent executes of the old plan stay safe.
+        """
+        request = plan.request
+        if plan.query_epoch != request.query.mutation_count:
+            return None
+        delta = request.hosting.delta_since(plan.hosting_epoch)
+        if delta is None or delta.structural:
+            return None
+        if delta.empty:
+            return plan
+        stopwatch = Stopwatch().start()
+        if plan.prepared.screen is not None:
+            # The structural screens (empty query, obvious infeasibility)
+            # depend on topology and query alone — both unchanged under an
+            # attribute-only delta — and such plans hold no other artifacts.
+            prepared = plan.prepared
+        else:
+            prepared = self._patch_prepared(request, plan.prepared, delta)
+            if prepared is None:
+                return None
+        return EmbeddingPlan(algorithm=self, request=request,
+                             prepared=prepared,
+                             prepare_seconds=stopwatch.stop(),
+                             hosting_epoch=delta.target_epoch,
+                             query_epoch=plan.query_epoch)
+
+    def _patch_prepared(self, request: SearchRequest, prepared: PreparedSearch,
+                        delta) -> Optional[PreparedSearch]:
+        """Patch compiled artifacts for an attr-only hosting delta.
+
+        Contract: return a *new* :class:`PreparedSearch` whose artifacts are
+        element-identical to what :meth:`_prepare` would compile from
+        scratch on the mutated network (work statistics may differ — they
+        accumulate the patch cost instead of a rebuild's), or ``None`` when
+        patching does not apply.  The default declines: algorithms without
+        a separable prepare stage have nothing to patch.
+        """
+        return None
+
+    def _patch_filters_prepared(self, request: SearchRequest,
+                                prepared: PreparedSearch, delta,
+                                ordering) -> Optional[PreparedSearch]:
+        """Shared ECF/RWB implementation of :meth:`_patch_prepared`.
+
+        Patches the filter matrices row-wise, then recomputes the visiting
+        order from the patched candidate counts — the order is a
+        deterministic function of (query, filters), so the patched plan
+        reproduces a fresh prepare's search exactly.
+        """
+        from repro.core.filters import patch_filters
+
+        if prepared.filters is None:
+            return None
+        filters = patch_filters(prepared.filters, request.query,
+                                request.hosting, request.constraint,
+                                request.node_constraint, delta=delta)
+        if filters is None:
+            return None
+        patched = PreparedSearch(
+            filters=filters,
+            constraint_evaluations=filters.constraint_evaluations,
+            filter_entries=filters.entry_count,
+            filter_build_seconds=filters.build_seconds)
+        if any(not filters.node_candidate_masks.get(node)
+               for node in request.query.nodes()):
+            patched.infeasible = True
+            return patched
+        patched.order = ordering(request.query, filters)
+        patched.prior = placed_neighbor_plan(request.query, patched.order)
+        return patched
 
     def _require_request(self, request: SearchRequest) -> None:
         if not isinstance(request, SearchRequest):

@@ -119,6 +119,11 @@ class ECF(EmbeddingAlgorithm):
         prepared.prior = placed_neighbor_plan(request.query, prepared.order)
         return prepared
 
+    def _patch_prepared(self, request: SearchRequest,
+                        prepared: PreparedSearch, delta) -> Optional[PreparedSearch]:
+        return self._patch_filters_prepared(request, prepared, delta,
+                                            self._ordering)
+
     def _run_prepared(self, context: SearchContext,
                       prepared: PreparedSearch) -> bool:
         return self._search(context, prepared.filters, prepared.order,

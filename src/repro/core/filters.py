@@ -43,6 +43,7 @@ from repro.constraints.ast_nodes import referenced_attributes
 from repro.constraints.vectorizer import HAVE_NUMPY, cached_vector_kernel, np
 from repro.core.indexing import NodeIndexer
 from repro.graphs.hosting import HostingNetwork
+from repro.graphs.journal import NetworkDelta
 from repro.graphs.network import Edge, Network, NodeId
 from repro.graphs.query import QueryNetwork
 from repro.utils.timing import Stopwatch
@@ -71,6 +72,17 @@ class FilterMatrices:
     constraint_evaluations: int = 0
     #: Wall-clock seconds spent building the filters.
     build_seconds: float = 0.0
+    #: Node-screening result (node constraint only) per query node, encoded
+    #: over :attr:`host_indexer`.  Retained so the incremental patch path can
+    #: re-derive the expression-(1) fallback for nodes that lose every match.
+    node_allowed_masks: Dict[NodeId, int] = field(default_factory=dict)
+    #: Whether ``F̄`` was populated at build time (the patch path must keep
+    #: maintaining exactly what the original build recorded).
+    records_non_matches: bool = True
+    #: How many incremental patches produced the current state, and how many
+    #: hosting-arc rows they re-evaluated in total (0 = built from scratch).
+    patches: int = 0
+    patched_rows: int = 0
 
     # ------------------------------------------------------------------ #
     # Size accounting
@@ -217,6 +229,14 @@ class HostingCompile:
     #: array pair, or ``None`` when the attribute is non-numeric somewhere.
     _columns: Dict[Tuple[int, str], Optional[Tuple]] = field(
         default_factory=dict, repr=False)
+    #: Lazy reverse indexes from hosting node / unordered node pair to the
+    #: ``host_pair_info`` rows that read their attribute dicts — the lookup
+    #: the incremental patch paths use to turn a mutation delta into the set
+    #: of rows that must be re-evaluated.
+    _rows_by_node: Optional[Dict[NodeId, List[int]]] = field(
+        default=None, repr=False)
+    _rows_by_pair: Optional[Dict[Tuple, List[int]]] = field(
+        default=None, repr=False)
 
     @property
     def stale(self) -> bool:
@@ -275,6 +295,33 @@ class HostingCompile:
         self._columns[key] = result
         return result
 
+    def rows_for(self, nodes=(), edges=()) -> List[int]:
+        """Indices of ``host_pair_info`` rows reading the given subjects.
+
+        A node affects every row whose arc has it as an endpoint (its
+        attribute dict is hoisted into slots 6/7 and gates the node
+        screening); an edge affects both orientation rows (slots 4/5).
+        Sorted and de-duplicated.
+        """
+        if self._rows_by_node is None:
+            by_node: Dict[NodeId, List[int]] = {}
+            by_pair: Dict[Tuple, List[int]] = {}
+            for i, row in enumerate(self.host_pair_info):
+                ra, rb = row[0], row[1]
+                by_node.setdefault(ra, []).append(i)
+                by_node.setdefault(rb, []).append(i)
+                key = tuple(sorted((ra, rb), key=str))
+                by_pair.setdefault(key, []).append(i)
+            self._rows_by_node = by_node
+            self._rows_by_pair = by_pair
+        affected = set()
+        for node in nodes:
+            affected.update(self._rows_by_node.get(node, ()))
+        for u, v in edges:
+            affected.update(self._rows_by_pair.get(
+                tuple(sorted((u, v), key=str)), ()))
+        return sorted(affected)
+
 
 #: Attribute under which :func:`compile_hosting` memoises the compile on the
 #: network object itself; invalidated in O(1) via the mutation epoch.
@@ -290,8 +337,15 @@ def compile_hosting(hosting: HostingNetwork) -> HostingCompile:
     pattern of the NETEMBED service — skip the whole hosting-side scan.
     """
     cached = getattr(hosting, _COMPILE_CACHE_ATTR, None)
-    if cached is not None and cached.hosting is hosting and not cached.stale:
-        return cached
+    if cached is not None and cached.hosting is hosting:
+        if not cached.stale:
+            return cached
+        # Attribute-only churn (the monitoring case) leaves the topology —
+        # and therefore the indexer and the arc table, whose attribute dicts
+        # are live references — intact; patching the memoised vectorizer
+        # columns for the touched rows is all a recompile requires.
+        if patch_hosting_compile(cached, hosting.delta_since(cached.epoch)):
+            return cached
 
     stopwatch = Stopwatch().start()
     # Capture the epoch BEFORE scanning: a mutation that lands mid-compile
@@ -345,6 +399,67 @@ def clear_hosting_compile(hosting: HostingNetwork) -> None:
         delattr(hosting, _COMPILE_CACHE_ATTR)
 
 
+def patch_hosting_compile(compiled: HostingCompile,
+                          delta: Optional[NetworkDelta]) -> bool:
+    """Bring a stale :class:`HostingCompile` up to date for an attr-only delta.
+
+    The arc table holds *live* attribute dicts, so attribute mutations are
+    already visible to the scalar pass; the only derived state to fix is the
+    memoised vectorizer columns, whose touched rows are re-read in place.
+    ``None``-columns (non-numeric somewhere) are dropped from the memo so
+    they re-derive lazily — the offending value may have become numeric.
+
+    Returns ``True`` when the compile was patched (epoch advanced to the
+    delta's target); ``False`` when the delta is unavailable or structural,
+    in which case the caller must rebuild from scratch.
+    """
+    if delta is None or delta.structural:
+        return False
+    if not delta.empty:
+        stopwatch = Stopwatch().start()
+        info = compiled.host_pair_info
+        #: Which host_pair_info slot a column's source dict sits in: edge
+        #: orientations (4/5) re-read on edge touches, endpoint nodes (6/7)
+        #: on node touches.  Columns whose attribute the delta never wrote
+        #: are untouched — including memoised ``None`` verdicts, which can
+        #: only change when their own attribute does.
+        for key, column in list(compiled._columns.items()):
+            source_index, attr = key
+            if source_index in (4, 5):
+                subjects = [edge for edge, names
+                            in delta.touched_edge_attrs.items() if attr in names]
+                rows = compiled.rows_for(edges=subjects)
+            else:
+                subjects = [node for node, names
+                            in delta.touched_node_attrs.items() if attr in names]
+                rows = compiled.rows_for(nodes=subjects)
+            if not rows:
+                continue
+            if column is None:
+                # The offending value may have become numeric: forget the
+                # verdict and let column() re-derive it lazily.
+                del compiled._columns[key]
+                continue
+            values, missing = column
+            for i in rows:
+                attrs = info[i][source_index]
+                value = None if attrs is None else attrs.get(attr)
+                if value is None:
+                    values[i] = 0.0
+                    missing[i] = True
+                elif _is_plain_number(value):
+                    values[i] = value
+                    missing[i] = False
+                else:
+                    # Non-numeric now: the column leaves the vectorizable
+                    # fragment, exactly as a from-scratch column() would find.
+                    compiled._columns[key] = None
+                    break
+        compiled.compile_seconds += stopwatch.stop()
+    compiled.epoch = delta.target_epoch
+    return True
+
+
 def build_filters(query: QueryNetwork, hosting: HostingNetwork,
                   constraint: ConstraintExpression,
                   node_constraint: Optional[ConstraintExpression] = None,
@@ -384,10 +499,13 @@ def build_filters(query: QueryNetwork, hosting: HostingNetwork,
     if compiled is None or compiled.hosting is not hosting or compiled.stale:
         compiled = compile_hosting(hosting)
     indexer = compiled.indexer
-    filters = FilterMatrices(host_indexer=indexer)
+    filters = FilterMatrices(host_indexer=indexer,
+                             records_non_matches=record_non_matches)
     trivial = constraint.is_trivial
 
     node_allowed = compute_node_candidates(query, hosting, node_constraint)
+    filters.node_allowed_masks = {
+        node: indexer.encode(node_allowed[node]) for node in query.nodes()}
 
     # Group the query's edges by unordered node pair, so that a filter cell
     # (placed node, placed host, next node) reflects *every* constraint between
@@ -497,6 +615,48 @@ def _is_plain_number(value) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def _query_edge_scalar(query, key, q_source, q_target):
+    """(value, missing) for a query-side attribute of one query edge, or
+    ``None`` when the defined value is non-numeric (scalar semantics)."""
+    obj, attr = key
+    if obj == "vEdge":
+        attrs = query.edge_attrs(q_source, q_target)
+    elif obj == "vSource":
+        attrs = query.node_attrs(q_source)
+    else:
+        attrs = query.node_attrs(q_target)
+    value = attrs.get(attr)
+    if value is None:
+        return 0.0, True
+    if not _is_plain_number(value):
+        return None
+    return float(value), False
+
+
+def _query_edge_scalars(query, keys, pair_edges):
+    """Per-query-edge bindings of the referenced ``v*`` attributes, or
+    ``None`` when any defined value is non-numeric."""
+    v_keys = [key for key in keys if key[0] in _V_OBJECTS]
+    edge_scalars = {}
+    for edges_between in pair_edges.values():
+        for q_source, q_target in edges_between:
+            bindings = {}
+            for key in v_keys:
+                scalar = _query_edge_scalar(query, key, q_source, q_target)
+                if scalar is None:
+                    return None
+                bindings[key] = scalar
+            edge_scalars[(q_source, q_target)] = bindings
+    return edge_scalars
+
+
+def _mask_to_bool_array(mask: int, num_bits: int):
+    """Decode an int bitmask into a numpy bool lookup of length *num_bits*."""
+    data = mask.to_bytes((num_bits + 7) // 8, "little") if num_bits else b""
+    return np.unpackbits(np.frombuffer(data, dtype=np.uint8),
+                         bitorder="little", count=num_bits).astype(bool)
+
+
 def _build_pairs_vectorized(query, constraint, node_allowed,
                             pair_edges, compiled, filters,
                             record_non_matches, deadline) -> Optional[int]:
@@ -557,36 +717,11 @@ def _build_pairs_vectorized(query, constraint, node_allowed,
         env_fwd[key] = fwd
         env_bwd[key] = bwd
 
-    v_keys = [key for key in keys if key[0] in _V_OBJECTS]
-
-    def query_scalar(key, q_source, q_target):
-        """(value, missing) for a query-side attribute of one query edge."""
-        obj, attr = key
-        if obj == "vEdge":
-            attrs = query.edge_attrs(q_source, q_target)
-        elif obj == "vSource":
-            attrs = query.node_attrs(q_source)
-        else:
-            attrs = query.node_attrs(q_target)
-        value = attrs.get(attr)
-        if value is None:
-            return 0.0, True
-        if not _is_plain_number(value):
-            return None
-        return float(value), False
-
     # Pre-scan the query side: every referenced attribute must be numeric or
     # missing on every query edge, otherwise scalar error semantics apply.
-    edge_scalars = {}
-    for edges_between in pair_edges.values():
-        for q_source, q_target in edges_between:
-            bindings = {}
-            for key in v_keys:
-                scalar = query_scalar(key, q_source, q_target)
-                if scalar is None:
-                    return None
-                bindings[key] = scalar
-            edge_scalars[(q_source, q_target)] = bindings
+    edge_scalars = _query_edge_scalars(query, keys, pair_edges)
+    if edge_scalars is None:
+        return None
 
     match_masks = filters.match_masks
     non_match_masks = filters.non_match_masks
@@ -694,3 +829,323 @@ def compute_node_candidates(query: QueryNetwork, hosting: Network,
                 matches.add(host)
         allowed[query_node] = matches
     return allowed
+
+
+# --------------------------------------------------------------------------- #
+# Incremental filter patching (delta-aware recompiles)
+# --------------------------------------------------------------------------- #
+
+#: Above this fraction of re-evaluated arc rows a full (vectorizable) rebuild
+#: is usually cheaper than the scalar row patch; the patch declines and the
+#: caller rebuilds.
+PATCH_ROW_FRACTION = 0.25
+
+
+def _set_cell_bit(masks: Dict[FilterKey, int], key: FilterKey, bit: int) -> None:
+    masks[key] = masks.get(key, 0) | bit
+
+
+def _clear_cell_bit(masks: Dict[FilterKey, int], key: FilterKey, bit: int) -> None:
+    mask = masks.get(key)
+    if mask is None:
+        return
+    mask &= ~bit
+    if mask:
+        masks[key] = mask
+    else:
+        # A from-scratch build never stores empty cells; neither may a patch.
+        del masks[key]
+
+
+def _patch_pairs_vectorized(query, constraint, pair_edges, compiled,
+                            rows, allowed_masks, indexer):
+    """Batch-evaluate the affected rows for every query pair at once.
+
+    The subset analogue of :func:`_build_pairs_vectorized`: the memoised
+    hosting columns are sliced down to *rows* and the constraint kernel runs
+    over them per query edge, replicating the scalar pass's short-circuit
+    structure (a row dead after edge *k* is not evaluated at edge *k+1*).
+    Returns ``(matched-bool-array per pair, evaluation count)``, or ``None``
+    when the workload is outside the vectorizable fragment — the caller then
+    runs the scalar row loop.
+    """
+    if not HAVE_NUMPY or not rows:
+        return None
+    if getattr(constraint, "strict", False):
+        return None
+    trivial = constraint.is_trivial
+    kernel = None
+    keys = []
+    if not trivial:
+        kernel = cached_vector_kernel(constraint)
+        if kernel is None:
+            return None
+        keys = referenced_attributes(constraint.ast)
+        if any(obj not in _R_OBJECTS and obj not in _V_OBJECTS
+               for obj, _ in keys):
+            return None
+
+    ra_idx, rb_idx, exists_fwd, exists_bwd = compiled.index_arrays()
+    selection = np.asarray(rows, dtype=np.int64)
+    sub_ra = ra_idx[selection]
+    sub_rb = rb_idx[selection]
+    sub_fwd = exists_fwd[selection]
+    sub_bwd = exists_bwd[selection]
+
+    column_sources = {"rEdge": (4, 5), "rSource": (6, 7), "rTarget": (7, 6)}
+    env_fwd = {}
+    env_bwd = {}
+    for key in keys:
+        obj, attr = key
+        if obj not in column_sources:
+            continue
+        fwd_source, bwd_source = column_sources[obj]
+        fwd = compiled.column(fwd_source, attr)
+        bwd = fwd if bwd_source == fwd_source else compiled.column(bwd_source, attr)
+        if fwd is None or bwd is None:
+            return None
+        env_fwd[key] = (fwd[0][selection], fwd[1][selection])
+        env_bwd[key] = (bwd[0][selection], bwd[1][selection])
+
+    edge_scalars = _query_edge_scalars(query, keys, pair_edges)
+    if edge_scalars is None:
+        return None
+
+    num_hosts = len(indexer)
+    allowed_bools: Dict[NodeId, object] = {}
+
+    def allowed_lookup(node):
+        lookup = allowed_bools.get(node)
+        if lookup is None:
+            lookup = _mask_to_bool_array(allowed_masks.get(node, 0), num_hosts)
+            allowed_bools[node] = lookup
+        return lookup
+
+    evaluations = 0
+    matched_by_pair = {}
+    for (qa, qb), edges_between in pair_edges.items():
+        alive = allowed_lookup(qa)[sub_ra] & allowed_lookup(qb)[sub_rb]
+        for q_source, q_target in edges_between:
+            forward = q_source == qa
+            evaluable = alive & (sub_fwd if forward else sub_bwd)
+            if trivial:
+                alive = evaluable
+                continue
+            evaluations += int(np.count_nonzero(evaluable))
+            env = dict(env_fwd if forward else env_bwd)
+            env.update(edge_scalars[(q_source, q_target)])
+            value, bad = kernel(env)
+            alive = evaluable & np.logical_and(value, np.logical_not(bad))
+        matched_by_pair[(qa, qb)] = alive
+    return matched_by_pair, evaluations
+
+
+def patch_filters(filters: FilterMatrices, query: QueryNetwork,
+                  hosting: HostingNetwork, constraint: ConstraintExpression,
+                  node_constraint: Optional[ConstraintExpression] = None,
+                  compiled: Optional[HostingCompile] = None,
+                  delta: Optional[NetworkDelta] = None,
+                  max_row_fraction: Optional[float] = None,
+                  deadline=None) -> Optional[FilterMatrices]:
+    """Re-derive *filters* for an attr-only hosting delta by patching rows.
+
+    Re-evaluates the edge constraint only for the hosting-arc rows the delta
+    touched (and the node constraint only for the touched hosting nodes),
+    then fixes exactly the affected bits of the ``F``/``F̄`` cells and
+    re-derives the per-node candidate masks.  The result is **element
+    identical** to :func:`build_filters` run from scratch on the mutated
+    network — same cells, same bits, same fallbacks — which is the property
+    the test suite verifies over randomised mutation sequences.
+
+    Returns a *new* :class:`FilterMatrices` (the input is never mutated, so
+    concurrent executes against the old plan stay safe), or ``None`` when
+    patching does not apply: no delta (journal overflow), a structural
+    delta, a foreign/stale hosting compile, or a delta so large that a full
+    rebuild is cheaper (*max_row_fraction*).
+
+    Cumulative statistics: ``constraint_evaluations`` / ``build_seconds``
+    accumulate the patch work on top of the original build's, and
+    ``patches`` / ``patched_rows`` record how much incremental work produced
+    the current state.
+    """
+    if delta is None or delta.structural:
+        return None
+    if compiled is None:
+        compiled = compile_hosting(hosting)
+    if compiled.hosting is not hosting or compiled.stale:
+        return None
+    indexer = filters.host_indexer
+    if compiled.indexer.nodes != indexer.nodes:
+        return None   # dense index drifted; masks would be misaligned
+    if delta.empty:
+        return filters
+
+    # Relevance filtering: only mutations that wrote an attribute one of the
+    # expressions actually reads can flip any bit.  Everything else — load
+    # jitter under a delay constraint, bookkeeping attributes — re-derives
+    # to the exact same filters, so those rows are skipped outright.
+    trivial = constraint.is_trivial
+    edge_attrs_read: set = set()
+    node_attrs_read: set = set()
+    if not trivial:
+        for obj, attr in referenced_attributes(constraint.ast):
+            if obj == "rEdge":
+                edge_attrs_read.add(attr)
+            elif obj in ("rSource", "rTarget"):
+                node_attrs_read.add(attr)
+    screening = node_constraint is not None and not node_constraint.is_trivial
+    screen_attrs_read: set = set()
+    if screening:
+        for obj, attr in referenced_attributes(node_constraint.ast):
+            if obj == "rNode":
+                screen_attrs_read.add(attr)
+
+    relevant_edges = [edge for edge, names in delta.touched_edge_attrs.items()
+                      if names & edge_attrs_read]
+    # A re-screened host gates `matched` on every row it appears in, so
+    # screening-relevant nodes join the row set alongside rSource/rTarget
+    # reads.
+    screen_nodes = [node for node, names in delta.touched_node_attrs.items()
+                    if names & screen_attrs_read]
+    relevant_nodes = set(screen_nodes)
+    relevant_nodes.update(node for node, names
+                          in delta.touched_node_attrs.items()
+                          if names & node_attrs_read)
+
+    if not relevant_edges and not relevant_nodes:
+        return filters   # the delta never touched anything the filters read
+
+    if max_row_fraction is None:
+        max_row_fraction = PATCH_ROW_FRACTION   # resolved late: a tunable knob
+    rows = compiled.rows_for(nodes=relevant_nodes, edges=relevant_edges)
+    if len(rows) > max_row_fraction * max(1, len(compiled.host_pair_info)):
+        return None
+
+    stopwatch = Stopwatch().start()
+    patched = FilterMatrices(
+        host_indexer=indexer,
+        match_masks=dict(filters.match_masks),
+        non_match_masks=dict(filters.non_match_masks),
+        node_candidate_masks={},
+        constraint_evaluations=filters.constraint_evaluations,
+        build_seconds=filters.build_seconds,
+        node_allowed_masks=dict(filters.node_allowed_masks),
+        records_non_matches=filters.records_non_matches,
+        patches=filters.patches + 1,
+        patched_rows=filters.patched_rows + len(rows),
+    )
+
+    # Re-screen the relevantly-touched hosting nodes against the node
+    # constraint; this both gates the row re-evaluation below and refreshes
+    # the expression-(1) fallback for query nodes left without any match.
+    allowed_masks = patched.node_allowed_masks
+    if screening and screen_nodes:
+        touched_hosts = [(host, hosting.node_attrs(host), indexer.bit(host))
+                         for host in sorted(screen_nodes, key=str)
+                         if hosting.has_node(host)]
+        node_evaluate = node_constraint.evaluate
+        for query_node in query.nodes():
+            context = {"vNode": query.node_attrs(query_node), "rNode": None}
+            mask = allowed_masks.get(query_node, 0)
+            for host, attrs, bit in touched_hosts:
+                context["rNode"] = attrs
+                if node_evaluate(context):
+                    mask |= bit
+                else:
+                    mask &= ~bit
+            allowed_masks[query_node] = mask
+
+    info = compiled.host_pair_info
+    match_masks = patched.match_masks
+    non_match_masks = patched.non_match_masks
+    record_non_matches = patched.records_non_matches
+    row_info = [info[i] for i in rows]
+
+    pair_edges: Dict[Tuple[NodeId, NodeId], List[Edge]] = {}
+    for q_source, q_target in query.edges():
+        qa, qb = sorted((q_source, q_target), key=str)
+        pair_edges.setdefault((qa, qb), []).append((q_source, q_target))
+
+    def apply_verdict(qa: NodeId, qb: NodeId, row: Tuple, matched) -> None:
+        """Fix the four cell bits one row contributes to one pair."""
+        ra, rb, bit_a, bit_b = row[0], row[1], row[2], row[3]
+        key_ab = (qa, ra, qb)
+        key_ba = (qb, rb, qa)
+        if matched:
+            _set_cell_bit(match_masks, key_ab, bit_b)
+            _set_cell_bit(match_masks, key_ba, bit_a)
+            if record_non_matches:
+                _clear_cell_bit(non_match_masks, key_ab, bit_b)
+                _clear_cell_bit(non_match_masks, key_ba, bit_a)
+        else:
+            _clear_cell_bit(match_masks, key_ab, bit_b)
+            _clear_cell_bit(match_masks, key_ba, bit_a)
+            if record_non_matches:
+                _set_cell_bit(non_match_masks, key_ab, bit_b)
+                _set_cell_bit(non_match_masks, key_ba, bit_a)
+
+    # Fast path: one batch kernel evaluation over just the affected rows.
+    vectorized = _patch_pairs_vectorized(query, constraint, pair_edges,
+                                         compiled, rows, allowed_masks,
+                                         indexer)
+    if vectorized is not None:
+        matched_by_pair, evaluations = vectorized
+        for (qa, qb), matched_rows in matched_by_pair.items():
+            if deadline is not None:
+                deadline.check()
+            for row, matched in zip(row_info, matched_rows):
+                apply_verdict(qa, qb, row, matched)
+    else:
+        # Scalar fallback, mirroring the scalar pass of build_filters
+        # exactly (same contexts, same short-circuits).
+        evaluate = constraint.evaluate
+        evaluations = 0
+        for (qa, qb), edges_between in pair_edges.items():
+            if deadline is not None:
+                deadline.check()
+            allowed_a = allowed_masks.get(qa, 0)
+            allowed_b = allowed_masks.get(qb, 0)
+            edge_contexts = []
+            for q_source, q_target in edges_between:
+                edge_contexts.append((q_source == qa, {
+                    "vEdge": query.edge_attrs(q_source, q_target),
+                    "vSource": query.node_attrs(q_source),
+                    "vTarget": query.node_attrs(q_target),
+                    "rEdge": None, "rSource": None, "rTarget": None,
+                }))
+            for row in row_info:
+                ra, rb, bit_a, bit_b, attrs_ab, attrs_ba, attrs_a, attrs_b = row
+                matched = bool(allowed_a & bit_a) and bool(allowed_b & bit_b)
+                if matched:
+                    for forward, context in edge_contexts:
+                        r_edge_attrs = attrs_ab if forward else attrs_ba
+                        if r_edge_attrs is None:
+                            matched = False
+                            break
+                        if trivial:
+                            continue
+                        evaluations += 1
+                        context["rEdge"] = r_edge_attrs
+                        context["rSource"] = attrs_a if forward else attrs_b
+                        context["rTarget"] = attrs_b if forward else attrs_a
+                        if not evaluate(context):
+                            matched = False
+                            break
+                apply_verdict(qa, qb, row, matched)
+
+    # Candidate masks re-derive from the patched cells: a host is an
+    # expression-(1) candidate for a query node iff some cell it is placed
+    # in survives; nodes with no surviving match fall back to the
+    # node-screening mask, exactly as a from-scratch build does.
+    bit_of = indexer.bit
+    derived: Dict[NodeId, int] = {}
+    for (placed_query, placed_host, _next_query), mask in match_masks.items():
+        if mask:
+            derived[placed_query] = derived.get(placed_query, 0) | bit_of(placed_host)
+    node_masks = patched.node_candidate_masks
+    for node in query.nodes():
+        node_masks[node] = derived.get(node, 0) or allowed_masks.get(node, 0)
+
+    patched.constraint_evaluations += evaluations
+    patched.build_seconds += stopwatch.stop()
+    return patched

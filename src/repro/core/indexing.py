@@ -19,7 +19,7 @@ identical to the set-based engine.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import Hashable, Iterable, Iterator, List, Set, Tuple
 
 NodeId = Hashable
 

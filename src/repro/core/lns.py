@@ -114,6 +114,45 @@ class LNS(EmbeddingAlgorithm):
         return PreparedSearch(indexer=indexer, allowed_masks=allowed_masks,
                               adjacency_masks={})
 
+    def _patch_prepared(self, request: SearchRequest,
+                        prepared: PreparedSearch, delta) -> Optional[PreparedSearch]:
+        """Attr-only delta: the dense index and the hosting adjacency are
+        untouched; only the node-screening masks can shift, and only on the
+        touched hosting nodes.  Edge constraints stay lazy, so the patched
+        plan evaluates them against the live attributes exactly as a fresh
+        prepare would."""
+        indexer = prepared.indexer
+        if indexer is None:
+            # The old prepare screened out early (infeasible) and kept no
+            # artifacts to patch; a fresh LNS prepare is cheap anyway.
+            return None
+        node_constraint = request.node_constraint
+        allowed_masks = dict(prepared.allowed_masks)
+        if (node_constraint is not None and not node_constraint.is_trivial
+                and delta.touched_nodes):
+            query = request.query
+            hosting = request.hosting
+            touched_hosts = [(host, hosting.node_attrs(host), indexer.bit(host))
+                             for host in sorted(delta.touched_nodes, key=str)
+                             if hosting.has_node(host)]
+            evaluate = node_constraint.evaluate
+            for query_node in query.nodes():
+                context = {"vNode": query.node_attrs(query_node), "rNode": None}
+                mask = allowed_masks.get(query_node, 0)
+                for host, attrs, bit in touched_hosts:
+                    context["rNode"] = attrs
+                    if evaluate(context):
+                        mask |= bit
+                    else:
+                        mask &= ~bit
+                allowed_masks[query_node] = mask
+        if any(not allowed_masks.get(node) for node in request.query.nodes()):
+            return PreparedSearch(infeasible=True)
+        # The adjacency memo is purely structural and monotone: safe to keep
+        # sharing between the old and the patched plan.
+        return PreparedSearch(indexer=indexer, allowed_masks=allowed_masks,
+                              adjacency_masks=prepared.adjacency_masks)
+
     def _run_prepared(self, context: SearchContext,
                       prepared: PreparedSearch) -> bool:
         assignment: Dict[NodeId, NodeId] = {}

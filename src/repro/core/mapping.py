@@ -10,7 +10,7 @@ test suite and by the service layer before reserving resources.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping as TMapping, Optional, Tuple
 
 from repro.constraints import ConstraintExpression, edge_context, node_context

@@ -10,7 +10,7 @@ new placement is checked against as many constraints as possible at once.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set
 
 from repro.core.filters import FilterMatrices
 from repro.graphs.network import NodeId

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro.api.request import Budget, SearchRequest
@@ -116,6 +116,10 @@ class EmbeddingPlan:
                               if hosting_epoch is None else hosting_epoch)
         self.query_epoch = (request.query.mutation_count
                             if query_epoch is None else query_epoch)
+        #: How the plan came to be, when produced by :meth:`refresh`:
+        #: ``"patched"`` (delta-aware incremental patch) or ``"recompiled"``
+        #: (full prepare); ``None`` for plans prepared directly.
+        self.refresh_mode: Optional[str] = None
         self._executions = 0
         self._executions_lock = threading.Lock()
 
@@ -140,9 +144,59 @@ class EmbeddingPlan:
                 f"(hosting={self.request.hosting.mutation_count}, "
                 f"query={self.request.query.mutation_count}); re-prepare the plan")
 
-    def refresh(self) -> "EmbeddingPlan":
-        """A freshly compiled plan for the same request (current epochs)."""
-        return self.algorithm.prepare(self.request)
+    @property
+    def patchable(self) -> bool:
+        """Whether the incremental patch path *could* apply to this plan.
+
+        True when the query is unchanged and the hosting network's journal
+        still covers the plan's epoch with attribute-only mutations.  A
+        cheap (O(1), no delta materialised) necessary condition —
+        :meth:`try_patch` may still decline (e.g. the delta touches too
+        many rows) — used by the plan cache on its eviction sweep to decide
+        which stale entries are worth keeping around.
+        """
+        if self.query_epoch != self.request.query.mutation_count:
+            return False
+        return self.request.hosting.mutation_journal.can_replay_from(
+            self.hosting_epoch)
+
+    def try_patch(self) -> Optional["EmbeddingPlan"]:
+        """A delta-patched plan at the current epochs, or ``None``.
+
+        Routes through the algorithm's incremental recompile path
+        (:meth:`~repro.core.base.EmbeddingAlgorithm.patch_plan`): the
+        hosting network's mutation journal is replayed onto the compiled
+        artifacts, so the cost is proportional to the delta rather than to
+        the network.  ``None`` means "not patchable — rebuild": the journal
+        overflowed, the delta was structural, the query itself mutated, or
+        the algorithm keeps no patchable artifacts.  This plan is never
+        mutated; a returned plan is a fresh object with
+        ``refresh_mode == "patched"``.
+        """
+        patched = self.algorithm.patch_plan(self)
+        if patched is not None and patched is not self:
+            patched.refresh_mode = "patched"
+        return patched
+
+    def refresh(self, incremental: bool = True) -> "EmbeddingPlan":
+        """A plan for the same request at the current epochs.
+
+        With *incremental* (the default) a fresh plan is returned as-is, and
+        a stale one is first offered to the delta-aware patch path —
+        falling back to a full :meth:`~repro.core.base.EmbeddingAlgorithm.prepare`
+        whenever patching does not apply.  ``incremental=False`` forces the
+        historical full recompile unconditionally.  The returned plan's
+        :attr:`refresh_mode` says which route was taken.
+        """
+        if incremental:
+            if not self.stale:
+                return self
+            patched = self.try_patch()
+            if patched is not None:
+                return patched
+        plan = self.algorithm.prepare(self.request)
+        plan.refresh_mode = "recompiled"
+        return plan
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -281,6 +335,8 @@ class PlanCache:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        self._patched = 0
+        self._recompiled = 0
 
     # ------------------------------------------------------------------ #
 
@@ -301,19 +357,33 @@ class PlanCache:
             entry.hits += 1
             return entry.plan
 
-    def put(self, key: PlanKey, plan: EmbeddingPlan) -> None:
+    def put(self, key: PlanKey, plan: EmbeddingPlan,
+            refresh_mode: Optional[str] = None) -> None:
         """Insert (or replace) *key*'s plan, evicting LRU entries if needed.
 
-        Also purges every entry whose plan has gone stale: entries keyed by
-        a superseded model version become unreachable (lookups carry the new
-        version), so without the sweep they would pin their filter matrices
-        — and, after a re-register, the whole replaced network — until LRU
-        churn aged them out.  ``put`` only runs on the cold miss path, so
-        the O(size) sweep never taxes warm hits.
+        Also purges every entry whose plan has gone stale *and* is beyond
+        the reach of the incremental patch path: entries keyed by a
+        superseded model version become unreachable through :meth:`get`
+        (lookups carry the new version), so without the sweep they would pin
+        their filter matrices — and, after a re-register, the whole replaced
+        network — until LRU churn aged them out.  Stale-but-patchable
+        entries survive the sweep: they are the raw material
+        :meth:`pop_predecessor` turns into cheaply patched plans when their
+        traffic returns, and the LRU bound still caps their number.  ``put``
+        only runs on the cold miss path, so the O(size) sweep never taxes
+        warm hits.
+
+        *refresh_mode* records how a stale predecessor was brought up to
+        date for this key — ``"patched"`` (delta patch) or ``"recompiled"``
+        (full prepare) — and feeds the corresponding :meth:`stats` counters.
         """
         with self._lock:
+            if refresh_mode == "patched":
+                self._patched += 1
+            elif refresh_mode == "recompiled":
+                self._recompiled += 1
             for stale_key in [k for k, entry in self._entries.items()
-                              if entry.plan.stale]:
+                              if entry.plan.stale and not entry.plan.patchable]:
                 del self._entries[stale_key]
                 self._invalidations += 1
             if key in self._entries:
@@ -324,6 +394,26 @@ class PlanCache:
                 while len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
                     self._evictions += 1
+
+    def pop_predecessor(self, key: PlanKey) -> Optional[EmbeddingPlan]:
+        """Remove and return a superseded-version plan for *key*'s traffic.
+
+        A predecessor shares *key*'s network name, algorithm signature and
+        request fingerprint but was compiled against a different model
+        version — exactly the entry a monitor tick stranded.  The caller
+        (the service's miss path) decides whether it can be patched onto the
+        live model or must be recompiled; either way it is removed here so a
+        failed patch cannot be retried forever.  ``None`` when no such entry
+        exists.  Requires the canonical 4-tuple key shape.
+        """
+        name, _version, signature, fingerprint = key
+        with self._lock:
+            for other, entry in self._entries.items():
+                if (other != key and other[0] == name
+                        and other[2] == signature and other[3] == fingerprint):
+                    del self._entries[other]
+                    return entry.plan
+        return None
 
     def clear(self) -> None:
         """Drop every cached plan (statistics are kept)."""
@@ -342,6 +432,8 @@ class PlanCache:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "invalidations": self._invalidations,
+                "patched": self._patched,
+                "recompiled": self._recompiled,
             }
 
     def entries(self) -> List[PlanCacheEntry]:

@@ -140,6 +140,11 @@ class RWB(EmbeddingAlgorithm):
         prepared.prior = placed_neighbor_plan(request.query, prepared.order)
         return prepared
 
+    def _patch_prepared(self, request: SearchRequest,
+                        prepared: PreparedSearch, delta) -> Optional[PreparedSearch]:
+        return self._patch_filters_prepared(request, prepared, delta,
+                                            self._ordering)
+
     def _root_plan(self, context: SearchContext, prepared: PreparedSearch
                    ) -> Tuple[List[NodeId], int]:
         """The shuffled root trial order plus the subtree-stream base seed.

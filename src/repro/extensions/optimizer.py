@@ -21,11 +21,10 @@ Built-in cost functions:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.mapping import Mapping
 from repro.core.result import EmbeddingResult
-from repro.graphs.hosting import HostingNetwork
 from repro.graphs.network import Network, NodeId
 from repro.graphs.query import QueryNetwork
 

@@ -37,7 +37,7 @@ from repro.core.ecf import ECF
 from repro.core.mapping import Mapping
 from repro.core.result import EmbeddingResult
 from repro.graphs.hosting import HostingNetwork
-from repro.graphs.network import Edge, Network, NodeId
+from repro.graphs.network import Edge, NodeId
 from repro.graphs.query import QueryNetwork
 
 

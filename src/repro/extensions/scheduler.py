@@ -23,7 +23,7 @@ embedding exists given that window's busy sets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Union
+from typing import List, Optional, Set, Union
 
 from repro.api.request import SearchRequest
 from repro.constraints import ConstraintExpression

@@ -25,6 +25,7 @@ This subpackage provides:
 from repro.graphs.attributes import AttributeSchema, AttributeSpec, infer_schema
 from repro.graphs.errors import GraphError, GraphMLError, UnknownAttributeError
 from repro.graphs.hosting import HostingNetwork
+from repro.graphs.journal import MutationJournal, MutationRecord, NetworkDelta
 from repro.graphs.network import Network
 from repro.graphs.query import QueryNetwork
 from repro.graphs.graphml import read_graphml, write_graphml, graphml_string, parse_graphml_string
@@ -38,7 +39,10 @@ __all__ = [
     "GraphMLError",
     "UnknownAttributeError",
     "HostingNetwork",
+    "MutationJournal",
+    "MutationRecord",
     "Network",
+    "NetworkDelta",
     "QueryNetwork",
     "read_graphml",
     "write_graphml",

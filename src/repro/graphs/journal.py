@@ -1,0 +1,227 @@
+"""The structured mutation journal behind incremental recompilation.
+
+:attr:`~repro.graphs.network.Network.mutation_count` answers "did anything
+change?" in O(1), which is all the plan-cache *invalidation* path needs.  The
+incremental *refresh* path needs more: to patch a compiled artifact instead of
+rebuilding it, the consumer must know **what** changed — which nodes and edges
+were touched, and whether the change was structural (topology) or merely an
+attribute update (the dominant case under monitoring churn: delay jitter,
+load, up/down flags).
+
+:class:`MutationJournal` records one :class:`MutationRecord` per mutation,
+keyed by the epoch the mutation produced.  The journal is bounded: once more
+than ``capacity`` records accumulate, the oldest are dropped and deltas
+reaching back past the drop point become unavailable (``delta_since`` returns
+``None``), at which point consumers fall back to a full rebuild.  This keeps
+the journal O(capacity) no matter how long a network lives.
+
+:meth:`MutationJournal.delta_since` aggregates the records after a given
+epoch into a :class:`NetworkDelta` — the touched node/edge sets plus a
+``structural`` flag — which is the unit the incremental paths in
+:mod:`repro.core.filters` and :mod:`repro.core.plan` consume.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, Hashable, Mapping, Optional, Tuple
+
+NodeId = Hashable
+
+#: Mutation kinds.  The ``*-attrs`` kinds are patchable (the topology and
+#: therefore every dense index derived from it is unchanged); the rest are
+#: structural and force a full rebuild of compiled artifacts.
+NODE_ADDED = "node-added"
+NODE_REMOVED = "node-removed"
+EDGE_ADDED = "edge-added"
+EDGE_REMOVED = "edge-removed"
+NODE_ATTRS = "node-attrs"
+EDGE_ATTRS = "edge-attrs"
+
+STRUCTURAL_KINDS = frozenset({NODE_ADDED, NODE_REMOVED, EDGE_ADDED, EDGE_REMOVED})
+
+
+@dataclass(frozen=True)
+class MutationRecord:
+    """One journaled mutation.
+
+    Attributes
+    ----------
+    epoch:
+        The network's ``mutation_count`` *after* this mutation was applied,
+        so a record belongs to the delta of every artifact compiled at an
+        earlier epoch.
+    kind:
+        One of the module-level kind constants.
+    subject:
+        ``(node,)`` for node mutations, ``(u, v)`` for edge mutations.
+    attrs:
+        The attribute names that were written (attr kinds only; empty for
+        structural kinds).
+    """
+
+    epoch: int
+    kind: str
+    subject: Tuple[NodeId, ...]
+    attrs: Tuple[str, ...] = ()
+
+    @property
+    def structural(self) -> bool:
+        """Whether this mutation changed the topology (vs. attributes only)."""
+        return self.kind in STRUCTURAL_KINDS
+
+
+@dataclass(frozen=True)
+class NetworkDelta:
+    """The aggregate of every mutation between two epochs of one network.
+
+    ``touched_nodes`` / ``touched_edges`` are only meaningful when
+    :attr:`structural` is ``False`` — a structural delta forces a full
+    rebuild, so nobody consumes its touch sets.  Edge subjects are recorded
+    in the orientation they were mutated in; undirected consumers must match
+    either orientation (see :meth:`touches_edge`).
+    """
+
+    base_epoch: int
+    target_epoch: int
+    structural: bool
+    touched_nodes: FrozenSet[NodeId]
+    touched_edges: FrozenSet[Tuple[NodeId, NodeId]]
+    #: Which attribute names were written per touched subject — the key to
+    #: *relevance* filtering: a consumer whose compiled artifact never reads
+    #: ``cpuLoad`` can skip every record that only wrote ``cpuLoad``.
+    touched_node_attrs: Mapping[NodeId, FrozenSet[str]] = field(
+        default_factory=dict)
+    touched_edge_attrs: Mapping[Tuple[NodeId, NodeId], FrozenSet[str]] = field(
+        default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        """Whether nothing changed between the two epochs."""
+        return self.base_epoch == self.target_epoch
+
+    @property
+    def attrs_only(self) -> bool:
+        """Whether every recorded mutation was an attribute update."""
+        return not self.structural
+
+    def touches_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Whether edge ``(u, v)`` was touched (either orientation)."""
+        return (u, v) in self.touched_edges or (v, u) in self.touched_edges
+
+    def touches_node(self, node: NodeId) -> bool:
+        """Whether *node*'s attributes were touched."""
+        return node in self.touched_nodes
+
+
+#: Default journal depth.  Sized so that a few sparse monitoring ticks of a
+#: paper-scale model fit comfortably: one 3 %-of-links tick of the 296-node
+#: PlanetLab mesh is ~1.3k records, and patch consumers typically refresh
+#: every tick or two.  A record is a small frozen dataclass, so the worst
+#: case is a few hundred kilobytes per long-lived network.
+DEFAULT_JOURNAL_CAPACITY = 8192
+
+
+class MutationJournal:
+    """A bounded ring of :class:`MutationRecord` entries.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained.  Older records are dropped FIFO; the
+        journal remembers the epoch horizon below which deltas are no
+        longer reconstructible (:attr:`floor_epoch`).
+    floor_epoch:
+        The epoch before the first recordable mutation.  Fresh networks
+        start at 0; pickled networks reset the floor to their current epoch
+        so a deserialized copy never claims to know history it dropped.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_JOURNAL_CAPACITY,
+                 floor_epoch: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._floor_epoch = floor_epoch
+        self._records: Deque[MutationRecord] = deque()
+        #: Epoch of the most recent structural mutation ever recorded (kept
+        #: even after the record itself is dropped), so "anything structural
+        #: since epoch E?" is an O(1) watermark compare instead of a scan.
+        self._last_structural_epoch = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def floor_epoch(self) -> int:
+        """Oldest epoch deltas can still be computed *from*."""
+        return self._floor_epoch
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> Tuple[MutationRecord, ...]:
+        """Snapshot of the retained records, oldest first."""
+        return tuple(self._records)
+
+    # ------------------------------------------------------------------ #
+
+    def record(self, epoch: int, kind: str, subject: Tuple[NodeId, ...],
+               attrs: Tuple[str, ...] = ()) -> None:
+        """Append one mutation record, dropping the oldest past capacity."""
+        self._records.append(MutationRecord(epoch=epoch, kind=kind,
+                                            subject=subject, attrs=attrs))
+        if kind in STRUCTURAL_KINDS:
+            self._last_structural_epoch = epoch
+        while len(self._records) > self.capacity:
+            dropped = self._records.popleft()
+            # Deltas from epochs before the dropped record are now unknowable.
+            self._floor_epoch = dropped.epoch
+
+    def can_replay_from(self, epoch: int) -> bool:
+        """O(1): whether an attrs-only delta exists from *epoch* onward.
+
+        Exactly ``delta_since(epoch, now) is not None and not .structural``
+        without materialising the delta — the cheap form hot paths (the plan
+        cache's eviction sweep) use to classify stale artifacts.
+        """
+        return epoch >= self._floor_epoch and self._last_structural_epoch <= epoch
+
+    def delta_since(self, base_epoch: int, target_epoch: int
+                    ) -> Optional[NetworkDelta]:
+        """Aggregate the records in ``(base_epoch, target_epoch]``.
+
+        Returns ``None`` when the journal no longer reaches back to
+        *base_epoch* (overflow) or when *base_epoch* is from the future —
+        both mean "the caller cannot patch and must rebuild".
+        """
+        if base_epoch < self._floor_epoch or base_epoch > target_epoch:
+            return None
+        structural = False
+        node_attrs: Dict[NodeId, set] = {}
+        edge_attrs: Dict[Tuple[NodeId, NodeId], set] = {}
+        for record in self._records:
+            if record.epoch <= base_epoch or record.epoch > target_epoch:
+                continue
+            if record.structural:
+                structural = True
+            elif record.kind == NODE_ATTRS:
+                node_attrs.setdefault(record.subject[0],
+                                      set()).update(record.attrs)
+            else:
+                edge = (record.subject[0], record.subject[1])
+                edge_attrs.setdefault(edge, set()).update(record.attrs)
+        return NetworkDelta(
+            base_epoch=base_epoch, target_epoch=target_epoch,
+            structural=structural,
+            touched_nodes=frozenset(node_attrs),
+            touched_edges=frozenset(edge_attrs),
+            touched_node_attrs={node: frozenset(attrs)
+                                for node, attrs in node_attrs.items()},
+            touched_edge_attrs={edge: frozenset(attrs)
+                                for edge, attrs in edge_attrs.items()})
+
+    def clear(self, floor_epoch: int) -> None:
+        """Forget all history; deltas will only exist from *floor_epoch* on."""
+        self._records.clear()
+        self._floor_epoch = floor_epoch

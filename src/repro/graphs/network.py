@@ -17,12 +17,22 @@ Node identifiers may be any hashable value; the generators in
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 import networkx as nx
 
 from repro.graphs.attributes import AttributeSchema, infer_schema
 from repro.graphs.errors import DuplicateNodeError, GraphError, MissingNodeError
+from repro.graphs.journal import (
+    EDGE_ADDED,
+    EDGE_ATTRS,
+    EDGE_REMOVED,
+    NODE_ADDED,
+    NODE_ATTRS,
+    NODE_REMOVED,
+    MutationJournal,
+    NetworkDelta,
+)
 
 NodeId = Hashable
 Edge = Tuple[NodeId, NodeId]
@@ -59,6 +69,11 @@ class Network:
         #: plans) record the epoch they were built at, so a staleness check
         #: is a single integer comparison instead of a structural diff.
         self._mutation_count: int = 0
+        #: Bounded structured history of mutations (what changed, not just
+        #: how often).  Consumed by the incremental recompile paths via
+        #: :meth:`delta_since`; overflow simply degrades them to a full
+        #: rebuild.
+        self._journal = MutationJournal()
 
     # ------------------------------------------------------------------ #
     # Pickling
@@ -74,6 +89,12 @@ class Network:
     def __getstate__(self) -> Dict[str, Any]:
         state = dict(self.__dict__)
         state["_adjacency"] = {}
+        # The journal is history, not state: a deserialized copy (a shard
+        # worker's network) must not claim to know deltas it never saw, so
+        # it ships empty with its floor at the current epoch.
+        state["_journal"] = MutationJournal(
+            capacity=self._journal.capacity,
+            floor_epoch=self._mutation_count)
         for attr in self._DERIVED_CACHE_ATTRS:
             state.pop(attr, None)
         return state
@@ -94,7 +115,7 @@ class Network:
         if node in self._graph:
             raise DuplicateNodeError(f"node {node!r} already exists in {self.name!r}")
         self._graph.add_node(node, **attrs)
-        self._mutation_count += 1
+        self._record_mutation(NODE_ADDED, (node,))
         return node
 
     def add_edge(self, u: NodeId, v: NodeId, **attrs: Any) -> Edge:
@@ -107,7 +128,7 @@ class Network:
         self._graph.add_edge(u, v, **attrs)
         self._adjacency.pop(u, None)
         self._adjacency.pop(v, None)
-        self._mutation_count += 1
+        self._record_mutation(EDGE_ADDED, (u, v))
         return (u, v)
 
     def update_node(self, node: NodeId, **attrs: Any) -> None:
@@ -115,14 +136,14 @@ class Network:
         if node not in self._graph:
             raise MissingNodeError(f"node {node!r} does not exist in {self.name!r}")
         self._graph.nodes[node].update(attrs)
-        self._mutation_count += 1
+        self._record_mutation(NODE_ATTRS, (node,), tuple(attrs))
 
     def update_edge(self, u: NodeId, v: NodeId, **attrs: Any) -> None:
         """Merge *attrs* into an existing edge's attribute dict."""
         if not self._graph.has_edge(u, v):
             raise MissingNodeError(f"edge ({u!r}, {v!r}) does not exist in {self.name!r}")
         self._graph.edges[u, v].update(attrs)
-        self._mutation_count += 1
+        self._record_mutation(EDGE_ATTRS, (u, v), tuple(attrs))
 
     def remove_node(self, node: NodeId) -> None:
         """Remove *node* and its incident edges."""
@@ -131,7 +152,7 @@ class Network:
         self._graph.remove_node(node)
         # Every former neighbour's adjacency changed; drop the whole cache.
         self._adjacency.clear()
-        self._mutation_count += 1
+        self._record_mutation(NODE_REMOVED, (node,))
 
     def remove_edge(self, u: NodeId, v: NodeId) -> None:
         """Remove the edge between *u* and *v*."""
@@ -140,7 +161,13 @@ class Network:
         self._graph.remove_edge(u, v)
         self._adjacency.pop(u, None)
         self._adjacency.pop(v, None)
+        self._record_mutation(EDGE_REMOVED, (u, v))
+
+    def _record_mutation(self, kind: str, subject: Tuple[NodeId, ...],
+                         attrs: Tuple[str, ...] = ()) -> None:
+        """Bump the epoch and journal one mutation (every mutator funnels here)."""
         self._mutation_count += 1
+        self._journal.record(self._mutation_count, kind, subject, attrs)
 
     # ------------------------------------------------------------------ #
     # Inspection
@@ -160,6 +187,21 @@ class Network:
         :class:`Network` mutators.
         """
         return self._mutation_count
+
+    @property
+    def mutation_journal(self) -> MutationJournal:
+        """The bounded structured history behind :meth:`delta_since`."""
+        return self._journal
+
+    def delta_since(self, epoch: int) -> Optional[NetworkDelta]:
+        """What changed since *epoch*, or ``None`` when unreconstructible.
+
+        ``None`` means the journal overflowed past *epoch* (or *epoch* is
+        from the future); callers holding artifacts compiled at *epoch*
+        must then rebuild from scratch.  An empty delta means the network
+        has not mutated since *epoch*.
+        """
+        return self._journal.delta_since(epoch, self._mutation_count)
 
     @property
     def graph(self) -> nx.Graph:
@@ -301,14 +343,41 @@ class Network:
         return clone
 
     def subnetwork(self, nodes: Iterable[NodeId], name: Optional[str] = None) -> "Network":
-        """The induced sub-network on *nodes* (attributes copied)."""
+        """The induced sub-network on *nodes* (attributes copied).
+
+        Built explicitly rather than via ``networkx.Graph.subgraph(...)``:
+        the view's iteration order runs through a set and therefore varies
+        with the process's hash seed, which made sampled workloads (and
+        everything seeded from them) irreproducible across processes.  Here
+        nodes keep the caller's order and edges follow the adjacency
+        structure, so equal inputs yield identical sub-networks everywhere.
+        """
         node_list = list(nodes)
         missing = [n for n in node_list if n not in self._graph]
         if missing:
             raise MissingNodeError(f"nodes {missing!r} do not exist in {self.name!r}")
         sub = type(self)(name=name or f"{self.name}-sub", directed=self.directed,
                          schema=self._schema)
-        sub._graph = self._graph.subgraph(node_list).copy()
+        graph = self._graph
+        sub_graph = sub._graph
+        keep = set(node_list)
+        for node in node_list:
+            sub_graph.add_node(node, **dict(graph.nodes[node]))
+        if self.directed:
+            # edges(node) yields each arc exactly once, from its source.
+            for node in node_list:
+                for _, neighbor, data in graph.edges(node, data=True):
+                    if neighbor in keep:
+                        sub_graph.add_edge(node, neighbor, **dict(data))
+        else:
+            # Undirected incidence yields each edge from both endpoints.
+            seen = set()
+            for node in node_list:
+                for _, neighbor, data in graph.edges(node, data=True):
+                    if neighbor not in keep or (neighbor, node) in seen:
+                        continue
+                    seen.add((node, neighbor))
+                    sub_graph.add_edge(node, neighbor, **dict(data))
         return sub
 
     @classmethod

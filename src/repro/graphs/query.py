@@ -16,7 +16,7 @@ algorithms rely on:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List
 
 from repro.graphs.network import Edge, Network, NodeId
 

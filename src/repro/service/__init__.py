@@ -23,7 +23,7 @@ from repro.service.reservation import (
     with_default_demand,
 )
 from repro.service.session import NegotiationOutcome, NegotiationRound, NegotiationSession
-from repro.service.spec import EmbeddingResponse, QuerySpec
+from repro.service.spec import EmbeddingResponse, QuerySpec, RepairResponse
 
 __all__ = [
     "NetEmbedService",
@@ -46,4 +46,5 @@ __all__ = [
     "NegotiationRound",
     "QuerySpec",
     "EmbeddingResponse",
+    "RepairResponse",
 ]

@@ -16,7 +16,7 @@ is exactly that copy.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 from repro.graphs.hosting import HostingNetwork

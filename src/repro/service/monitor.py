@@ -15,7 +15,7 @@ a moving model — not to model Internet dynamics faithfully.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.graphs.hosting import HostingNetwork

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 import repro.baselines  # noqa: F401 — registers the baselines for by-name use
 from repro.api.registry import AlgorithmInfo, AlgorithmRegistry, Capability, default_registry
@@ -33,14 +33,14 @@ from repro.constraints import ConstraintExpression
 from repro.core import EmbeddingAlgorithm
 from repro.core.mapping import Mapping
 from repro.core.plan import EmbeddingPlan, PlanCache, PlanInvalidatedError
-from repro.core.result import EmbeddingResult
+from repro.core.repair import repair_mapping
 from repro.graphs.graphml import read_graphml
 from repro.graphs.hosting import HostingNetwork
 from repro.graphs.query import QueryNetwork
-from repro.service.model import NetworkModelRegistry, UnknownNetworkError
+from repro.service.model import NetworkModelRegistry
 from repro.service.monitor import MonitorConfig, SimulatedMonitor
-from repro.service.reservation import ReservationManager
-from repro.service.spec import EmbeddingResponse, QuerySpec
+from repro.service.reservation import ReservationError, ReservationManager
+from repro.service.spec import EmbeddingResponse, QuerySpec, RepairResponse
 from repro.utils.rng import RandomSource
 from repro.utils.timing import Deadline, TimeoutExpired
 
@@ -185,7 +185,13 @@ class NetEmbedService:
 
         reservation_id = None
         if spec.reserve and result.found:
-            reservation = self.reservations.reserve(hosting, network_name, result.first)
+            # The ticket carries the embedding problem (coerced constraint
+            # objects from the request), so it can be re-validated and
+            # repaired against the drifting model later.
+            reservation = self.reservations.reserve(
+                hosting, network_name, result.first,
+                query=spec.query, constraint=request.constraint,
+                node_constraint=request.node_constraint)
             reservation_id = reservation.reservation_id
 
         return EmbeddingResponse(
@@ -398,6 +404,91 @@ class NetEmbedService:
         network = self.registry.get(reservation.network_name)
         self.reservations.release(reservation_id, network)
 
+    def repair(self, reservation_id: str,
+               timeout: Optional[float] = None) -> RepairResponse:
+        """Re-validate a reserved embedding and heal it against the live model.
+
+        The self-healing counterpart to monitor churn: the reservation's
+        mapping is checked against the *current* network attributes, and if
+        anything broke — a link left its delay window, a host went down or
+        failed the node constraint — only the violated assignments are
+        released and re-placed by the LNS-style local search of
+        :mod:`repro.core.repair`, with every still-valid placement pinned.
+        On success the reservation is atomically rebound: capacity moves
+        from the abandoned hosts to the newly acquired ones (hosts the
+        repair keeps transfer nothing).
+
+        New hosts are only considered while they have spare reservation
+        capacity for the moving node's demand, so concurrent reservations
+        stay consistent.
+
+        Parameters
+        ----------
+        reservation_id:
+            A ticket from an earlier ``submit(reserve=True)``.  Tickets
+            reserved without their query context (direct
+            :meth:`ReservationManager.reserve` calls) cannot be repaired.
+        timeout:
+            Wall-clock budget in seconds for the repair search (``None`` =
+            the service default).
+
+        Returns
+        -------
+        RepairResponse
+            ``status`` is ``intact`` / ``repaired`` / ``failed`` /
+            ``timeout``; on ``repaired`` the reservation already holds the
+            new mapping.
+        """
+        reservation = self.reservations.get(reservation_id)
+        if not reservation.active:
+            raise ReservationError(
+                f"reservation {reservation_id!r} is no longer active")
+        if reservation.query is None:
+            raise ReservationError(
+                f"reservation {reservation_id!r} carries no query context; "
+                f"reserve through NetEmbedService.submit to enable repair")
+        network = self.registry.get(reservation.network_name)
+        demands = reservation.demands
+        attribute = reservation.capacity_attribute
+        #: Demand currently charged on each held host by this reservation;
+        #: a rebind frees it if the occupant moves away, so it counts toward
+        #: what another query node could net out on that host.
+        charged = {}
+        for query_node, host in reservation.mapping.items():
+            charged[host] = charged.get(host, 0.0) + demands.get(query_node, 1.0)
+
+        def has_spare_capacity(query_node, host) -> bool:
+            demand = demands.get(query_node, 1.0)
+            # An active reservation implies every held host declared
+            # capacity (reserve() enforces it), so a newly acquired host
+            # must declare — and have — enough spare to be chargeable.
+            available = network.available_capacity(host, attribute)
+            if available is None:
+                return False
+            # Optimistic upper bound for held hosts (their occupant may or
+            # may not move); rebind's exact net check is the backstop.
+            return available + charged.get(host, 0.0) + 1e-12 >= demand
+
+        result = repair_mapping(
+            reservation.query, network, reservation.mapping,
+            constraint=reservation.constraint,
+            node_constraint=reservation.node_constraint,
+            timeout=timeout if timeout is not None else self._default_timeout,
+            candidate_ok=has_spare_capacity)
+
+        error = None
+        if result.status == "repaired" and result.moved:
+            try:
+                self.reservations.rebind(reservation_id, network, result.mapping)
+            except ReservationError as exc:
+                # Lost a capacity race between the search and the rebind;
+                # the reservation keeps its original (broken) mapping and
+                # the caller sees why.
+                error = str(exc)
+        return RepairResponse(reservation_id=reservation_id,
+                              network_name=reservation.network_name,
+                              result=result, error=error)
+
     # ------------------------------------------------------------------ #
     # Resolution helpers
     # ------------------------------------------------------------------ #
@@ -464,6 +555,14 @@ class NetEmbedService:
         (worst case one spec costs two timeout budgets, never unbounded).
         ``bounded=False`` (explicit cache warming) compiles to completion.
 
+        On a miss caused by model churn (a monitor tick bumped the version,
+        stranding the previous plan under the old key), the superseded plan
+        is pulled back via :meth:`~repro.core.plan.PlanCache.pop_predecessor`
+        and offered to the incremental patch path first: an attribute-only
+        delta is replayed onto the compiled artifacts instead of recompiling
+        them, and the cache counts the outcome under its ``patched`` /
+        ``recompiled`` statistics.
+
         Two racing workers may both miss and compile the same plan; the
         second ``put`` simply replaces the first — both plans are valid for
         the key, so the race is benign.
@@ -477,13 +576,26 @@ class NetEmbedService:
         key = (network_name, version,
                algorithm.plan_signature(), request.fingerprint())
         plan = self.plans.get(key)
-        if plan is None:
-            try:
-                plan = algorithm.prepare(
-                    request,
-                    deadline=Deadline(request.budget.timeout) if bounded
-                    else None)
-            except TimeoutExpired:
-                return None
-            self.plans.put(key, plan)
+        if plan is not None:
+            return plan
+        refresh_mode = None
+        predecessor = self.plans.pop_predecessor(key)
+        if predecessor is not None:
+            refresh_mode = "recompiled"
+            # A predecessor compiled from a *replaced* network object (a
+            # re-register) must not be patched — its artifacts describe the
+            # old infrastructure; only same-object (monitor-churn) plans are.
+            if predecessor.request.hosting is request.hosting:
+                patched = predecessor.try_patch()
+                if patched is not None and not patched.stale:
+                    self.plans.put(key, patched, refresh_mode="patched")
+                    return patched
+        try:
+            plan = algorithm.prepare(
+                request,
+                deadline=Deadline(request.budget.timeout) if bounded
+                else None)
+        except TimeoutExpired:
+            return None
+        self.plans.put(key, plan, refresh_mode=refresh_mode)
         return plan

@@ -18,13 +18,15 @@ accordingly."  This module implements that optional component:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.constraints import ConstraintExpression
 from repro.core.mapping import Mapping
 from repro.graphs.hosting import HostingNetwork
 from repro.graphs.network import NodeId
+from repro.graphs.query import QueryNetwork
 
 #: Node constraint restricting candidates to hosts with at least the demanded
 #: capacity left.  Query nodes declare their demand in a ``demand`` attribute
@@ -40,28 +42,53 @@ class ReservationError(Exception):
 
 @dataclass
 class Reservation:
-    """A granted reservation: which embedding holds which capacity."""
+    """A granted reservation: which embedding holds which capacity.
+
+    When the reserving caller supplies the originating *query* and its
+    constraint expressions, the ticket carries enough context to be
+    re-validated — and repaired — against a drifting network model later
+    (see :meth:`NetEmbedService.repair <repro.service.netembed.NetEmbedService.repair>`).
+    """
 
     reservation_id: str
     network_name: str
     mapping: Mapping
     demands: Dict[NodeId, float]
     active: bool = True
+    #: The embedding problem this reservation answers (optional; required
+    #: for repair).
+    query: Optional["QueryNetwork"] = None
+    constraint: Optional[ConstraintExpression] = None
+    node_constraint: Optional[ConstraintExpression] = None
+    #: Which capacity attribute the demands were charged against.
+    capacity_attribute: str = "capacity"
+    #: How many times :meth:`ReservationManager.rebind` moved this ticket.
+    rebinds: int = 0
 
 
 class ReservationManager:
-    """Tracks capacity consumption of accepted embeddings on hosting networks."""
+    """Tracks capacity consumption of accepted embeddings on hosting networks.
+
+    Thread-safe: the batch service's worker threads reserve concurrently
+    (and repairs rebind concurrently with them), so every check-then-apply
+    capacity transaction runs under one lock.
+    """
 
     def __init__(self) -> None:
         self._reservations: Dict[str, Reservation] = {}
         self._counter = itertools.count(1)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
 
     def reserve(self, network: HostingNetwork, network_name: str, mapping: Mapping,
                 demands: Optional[Dict[NodeId, float]] = None,
                 default_demand: float = 1.0,
-                capacity_attribute: str = "capacity") -> Reservation:
+                capacity_attribute: str = "capacity",
+                query: Optional[QueryNetwork] = None,
+                constraint: Optional[ConstraintExpression] = None,
+                node_constraint: Optional[ConstraintExpression] = None
+                ) -> Reservation:
         """Consume capacity for *mapping* and return the reservation ticket.
 
         Parameters
@@ -76,6 +103,9 @@ class ReservationManager:
             Demand for query nodes not listed in *demands*.
         capacity_attribute:
             Which capacity attribute to consume.
+        query, constraint, node_constraint:
+            The embedding problem *mapping* answers.  Optional, but without
+            them the ticket cannot be re-validated or repaired under churn.
 
         Raises
         ------
@@ -84,47 +114,118 @@ class ReservationManager:
             The operation is atomic: either all nodes are charged or none.
         """
         demands = dict(demands or {})
-        resolved: Dict[NodeId, float] = {}
-        for query_node, hosting_node in mapping.items():
-            demand = float(demands.get(query_node, default_demand))
-            if demand < 0:
-                raise ReservationError(
-                    f"demand for {query_node!r} must be non-negative, got {demand}")
-            resolved[query_node] = demand
-            available = network.available_capacity(hosting_node, capacity_attribute)
-            if available is None:
-                raise ReservationError(
-                    f"hosting node {hosting_node!r} declares no "
-                    f"{capacity_attribute!r} capacity")
-            if demand > available + 1e-12:
-                raise ReservationError(
-                    f"hosting node {hosting_node!r} has {available} "
-                    f"{capacity_attribute!r} left but {query_node!r} demands {demand}")
+        with self._lock:
+            resolved: Dict[NodeId, float] = {}
+            for query_node, hosting_node in mapping.items():
+                demand = float(demands.get(query_node, default_demand))
+                if demand < 0:
+                    raise ReservationError(
+                        f"demand for {query_node!r} must be non-negative, got {demand}")
+                resolved[query_node] = demand
+                available = network.available_capacity(hosting_node, capacity_attribute)
+                if available is None:
+                    raise ReservationError(
+                        f"hosting node {hosting_node!r} declares no "
+                        f"{capacity_attribute!r} capacity")
+                if demand > available + 1e-12:
+                    raise ReservationError(
+                        f"hosting node {hosting_node!r} has {available} "
+                        f"{capacity_attribute!r} left but {query_node!r} demands {demand}")
 
-        # All checks passed: apply the charges.
-        for query_node, hosting_node in mapping.items():
-            network.consume_capacity(hosting_node, resolved[query_node],
-                                     capacity_attribute)
+            # All checks passed: apply the charges.
+            for query_node, hosting_node in mapping.items():
+                network.consume_capacity(hosting_node, resolved[query_node],
+                                         capacity_attribute)
 
-        reservation = Reservation(
-            reservation_id=f"rsv-{next(self._counter):06d}",
-            network_name=network_name,
-            mapping=mapping,
-            demands=resolved,
-        )
-        self._reservations[reservation.reservation_id] = reservation
-        return reservation
+            reservation = Reservation(
+                reservation_id=f"rsv-{next(self._counter):06d}",
+                network_name=network_name,
+                mapping=mapping,
+                demands=resolved,
+                query=query,
+                constraint=constraint,
+                node_constraint=node_constraint,
+                capacity_attribute=capacity_attribute,
+            )
+            self._reservations[reservation.reservation_id] = reservation
+            return reservation
+
+    def rebind(self, reservation_id: str, network: HostingNetwork,
+               new_mapping: Mapping) -> Reservation:
+        """Move an active reservation onto *new_mapping*, transferring capacity.
+
+        The net per-host capacity change is computed first and checked
+        atomically — a repair that shuffles assignments among hosts the
+        reservation already holds transfers nothing — then positive deltas
+        are consumed and negative deltas released.  Raises
+        :class:`ReservationError` (without touching any capacity) when a
+        newly-acquired host lacks the spare capacity, or when *new_mapping*
+        covers different query nodes than the original grant.
+
+        Returns the updated ticket.
+        """
+        with self._lock:
+            reservation = self._reservations.get(reservation_id)
+            if reservation is None or not reservation.active:
+                raise ReservationError(
+                    f"unknown or already-released reservation {reservation_id!r}")
+            demands = reservation.demands
+            if set(new_mapping.query_nodes()) != set(demands):
+                raise ReservationError(
+                    f"rebind of {reservation_id!r} must cover exactly the "
+                    f"originally granted query nodes")
+            attribute = reservation.capacity_attribute
+            deltas: Dict[NodeId, float] = {}
+            for query_node, host in reservation.mapping.items():
+                deltas[host] = deltas.get(host, 0.0) - demands[query_node]
+            for query_node, host in new_mapping.items():
+                deltas[host] = deltas.get(host, 0.0) + demands[query_node]
+            for host, delta in deltas.items():
+                if delta <= 1e-12:
+                    continue
+                available = network.available_capacity(host, attribute)
+                if available is None:
+                    raise ReservationError(
+                        f"hosting node {host!r} declares no {attribute!r} capacity")
+                if delta > available + 1e-12:
+                    raise ReservationError(
+                        f"hosting node {host!r} has {available} {attribute!r} left "
+                        f"but the rebind needs {delta}")
+            # Consumes first (the only step that can fail), with rollback, so
+            # the ledger is all-or-nothing even if capacity moved between the
+            # pre-check and here through a path outside this manager's lock.
+            consumed: List[NodeId] = []
+            try:
+                for host, delta in deltas.items():
+                    if delta > 1e-12:
+                        network.consume_capacity(host, delta, attribute)
+                        consumed.append(host)
+            except ValueError as exc:
+                for host in consumed:
+                    network.release_capacity(host, deltas[host], attribute)
+                raise ReservationError(str(exc)) from exc
+            for host, delta in deltas.items():
+                if delta < -1e-12 and network.has_node(host):
+                    # A host the repair is leaving may have disappeared with
+                    # the churn that triggered it; its capacity vanished too.
+                    network.release_capacity(host, -delta, attribute)
+            reservation.mapping = new_mapping
+            reservation.rebinds += 1
+            return reservation
 
     def release(self, reservation_id: str, network: HostingNetwork,
                 capacity_attribute: str = "capacity") -> None:
         """Return the capacity held by a reservation."""
-        reservation = self._reservations.get(reservation_id)
-        if reservation is None or not reservation.active:
-            raise ReservationError(f"unknown or already-released reservation {reservation_id!r}")
-        for query_node, hosting_node in reservation.mapping.items():
-            network.release_capacity(hosting_node, reservation.demands[query_node],
-                                     capacity_attribute)
-        reservation.active = False
+        with self._lock:
+            reservation = self._reservations.get(reservation_id)
+            if reservation is None or not reservation.active:
+                raise ReservationError(
+                    f"unknown or already-released reservation {reservation_id!r}")
+            for query_node, hosting_node in reservation.mapping.items():
+                network.release_capacity(hosting_node,
+                                         reservation.demands[query_node],
+                                         capacity_attribute)
+            reservation.active = False
 
     # ------------------------------------------------------------------ #
 

@@ -9,13 +9,14 @@ result classification and timing/diagnostic information.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Union
 
 from repro.api.registry import AlgorithmRegistry, default_registry
 from repro.api.request import Budget, SearchRequest, validate_parallelism
 from repro.constraints import ConstraintExpression
 from repro.core.mapping import Mapping
+from repro.core.repair import RepairResult
 from repro.core.result import EmbeddingResult, ResultStatus
 from repro.graphs.network import Network
 from repro.graphs.query import QueryNetwork
@@ -154,3 +155,46 @@ class EmbeddingResponse:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<EmbeddingResponse {self.algorithm_used} on {self.network_name}: "
                 f"{self.status.value}, {len(self.mappings)} mapping(s)>")
+
+
+@dataclass
+class RepairResponse:
+    """What :meth:`NetEmbedService.repair` returns for a reservation.
+
+    Wraps the :class:`~repro.core.repair.RepairResult` with service-level
+    context: which reservation and network were involved, and whether the
+    repaired mapping could actually be rebound (capacity transferred).
+    """
+
+    reservation_id: str
+    network_name: str
+    result: RepairResult
+    #: Set when a repaired mapping could not hold its capacity at rebind
+    #: time; the reservation then still holds its (broken) original mapping.
+    error: Optional[str] = None
+
+    # -- pass-throughs for ergonomic access ------------------------------ #
+
+    @property
+    def status(self) -> str:
+        """intact / repaired / failed / timeout (see RepairResult)."""
+        return self.result.status
+
+    @property
+    def ok(self) -> bool:
+        """Whether the reservation now holds a valid mapping."""
+        return self.error is None and self.result.ok
+
+    @property
+    def mapping(self) -> Optional[Mapping]:
+        """The valid mapping in hand, if any."""
+        return self.result.mapping
+
+    @property
+    def moved(self):
+        """Query nodes whose host changed: ``{q: (old, new)}``."""
+        return self.result.moved
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<RepairResponse {self.reservation_id} on {self.network_name}: "
+                f"{self.status}, {len(self.moved)} moved>")

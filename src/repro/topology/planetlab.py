@@ -27,7 +27,7 @@ Each node carries ``name``, ``region``, ``x``/``y`` coordinates and an
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.graphs.hosting import HostingNetwork
 from repro.topology.delays import delay_triple, euclidean_distance

@@ -8,7 +8,7 @@ domain generators in :mod:`repro.topology.brite` and friends.
 
 from __future__ import annotations
 
-from typing import Optional, Type
+from typing import Type
 
 from repro.graphs.hosting import HostingNetwork
 from repro.graphs.network import Network

@@ -15,7 +15,7 @@ other constraints on top.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Type
+from typing import Callable, Dict, Type
 
 from repro.graphs.network import Network
 from repro.graphs.query import QueryNetwork
@@ -95,7 +95,10 @@ def grid(rows: int, cols: int, cls: Type[Network] = QueryNetwork,
     if rows < 1 or cols < 1:
         raise ValueError("rows and cols must both be >= 1")
     network = _make(cls, f"grid{rows}x{cols}", rows * cols, prefix)
-    index = lambda r, c: _node(prefix, r * cols + c)
+
+    def index(r, c):
+        return _node(prefix, r * cols + c)
+
     for r in range(rows):
         for c in range(cols):
             if c + 1 < cols:

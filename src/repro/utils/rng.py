@@ -15,7 +15,7 @@ is reserved for the bulk numeric work in the topology generators.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Union
 
 import numpy as np
 

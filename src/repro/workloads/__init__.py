@@ -1,5 +1,11 @@
 """Workload (query) generators mirroring the paper's evaluation (§VII)."""
 
+from repro.workloads.churn import (
+    ChurnConfig,
+    ChurnProcess,
+    ChurnTick,
+    churn_embedding_suite,
+)
 from repro.workloads.infeasible import make_globally_infeasible, tighten_random_edges
 from repro.workloads.queries import (
     DELAY_WINDOW_CONSTRAINT,
@@ -23,6 +29,10 @@ from repro.workloads.suites import (
 )
 
 __all__ = [
+    "ChurnConfig",
+    "ChurnProcess",
+    "ChurnTick",
+    "churn_embedding_suite",
     "DELAY_WINDOW_CONSTRAINT",
     "Workload",
     "subgraph_query",

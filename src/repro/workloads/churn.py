@@ -1,0 +1,233 @@
+"""Network-churn workload generation: sparse, journal-replayable model drift.
+
+The :class:`~repro.service.monitor.SimulatedMonitor` refreshes the *whole*
+model every tick — every link jitters, every node's load moves — which is the
+right stand-in for a full monitoring sweep but the worst case for incremental
+recompilation (the delta *is* the network).  Real monitoring feeds are
+incremental: between two polls only a small fraction of links and nodes
+report changed values.  This module generates that regime:
+
+* :class:`ChurnConfig` — how much of the network moves per tick, and how;
+* :class:`ChurnProcess` — applies sparse perturbations through the
+  :class:`~repro.graphs.network.Network` mutators (so every tick lands in
+  the mutation journal and is replayable by the incremental patch paths),
+  with delay jitter anchored to first-observed baselines exactly like the
+  monitor (no unbounded drift);
+* :func:`churn_embedding_suite` — feasible-by-construction subgraph queries
+  sampled *before* any churn, the embed half of an embed→tick→repair loop.
+
+Structural churn (link failures that remove edges outright) is available
+behind :attr:`ChurnConfig.edge_failure_probability` for exercising the
+full-rebuild fallback; the default configuration is attribute-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.network import Edge, NodeId
+from repro.utils.rng import RandomSource, as_rng
+from repro.workloads.queries import Workload, subgraph_query
+
+#: Availability flag, same attribute the service's SimulatedMonitor uses
+#: (kept literal here so the workload layer does not depend on the service).
+UP_ATTR = "up"
+
+
+@dataclass
+class ChurnConfig:
+    """How much of the network one churn tick perturbs.
+
+    Fractions are of the current edge/node population; every tick touches at
+    least one link (and one node when ``node_fraction > 0``) so a tick is
+    never a silent no-op.
+    """
+
+    #: Fraction of links whose delay jitters per tick.
+    link_fraction: float = 0.05
+    #: Fraction of nodes whose load jitters (and up/down process runs) per tick.
+    node_fraction: float = 0.05
+    #: Maximum relative delay change around the *baseline* (first observed).
+    delay_jitter: float = 0.15
+    #: Relative cpuLoad change per touched node.
+    load_jitter: float = 0.2
+    #: Probability a touched up node goes down (``up=False``; attribute-only).
+    failure_probability: float = 0.0
+    #: Probability a touched down node comes back up.
+    recovery_probability: float = 0.5
+    #: Probability per tick that one link is *removed* (structural churn;
+    #: previously failed links may be restored by later ticks instead).
+    edge_failure_probability: float = 0.0
+    #: Probability per tick that one previously removed link is restored.
+    edge_recovery_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("link_fraction", "node_fraction", "delay_jitter",
+                     "load_jitter", "failure_probability",
+                     "recovery_probability", "edge_failure_probability",
+                     "edge_recovery_probability"):
+            value = getattr(self, name)
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass
+class ChurnTick:
+    """What one tick changed (the generator-side view of the journal)."""
+
+    index: int
+    touched_edges: List[Edge] = field(default_factory=list)
+    touched_nodes: List[NodeId] = field(default_factory=list)
+    went_down: List[NodeId] = field(default_factory=list)
+    came_up: List[NodeId] = field(default_factory=list)
+    removed_edges: List[Edge] = field(default_factory=list)
+    restored_edges: List[Edge] = field(default_factory=list)
+
+    @property
+    def structural(self) -> bool:
+        """Whether this tick changed the topology."""
+        return bool(self.removed_edges or self.restored_edges)
+
+
+class ChurnProcess:
+    """Applies sparse churn ticks to a hosting network.
+
+    Parameters
+    ----------
+    network:
+        The live hosting network (mutated in place through its mutators, so
+        the mutation journal records every touch).
+    config:
+        Churn intensity knobs.
+    rng:
+        Randomness source; seed it for reproducible churn traces.
+    """
+
+    def __init__(self, network: HostingNetwork,
+                 config: Optional[ChurnConfig] = None,
+                 rng: RandomSource = None) -> None:
+        self._network = network
+        self._config = config or ChurnConfig()
+        self._rng = as_rng(rng)
+        self._baseline_delays: Dict[Tuple[NodeId, NodeId], float] = {}
+        #: Links taken down by structural churn, with their attributes, so a
+        #: later tick can restore them verbatim.
+        self._failed_edges: List[Tuple[Edge, Dict]] = []
+        self._ticks = 0
+
+    @property
+    def ticks(self) -> int:
+        """Number of churn ticks applied so far."""
+        return self._ticks
+
+    @property
+    def network(self) -> HostingNetwork:
+        """The hosting network this process perturbs."""
+        return self._network
+
+    # ------------------------------------------------------------------ #
+
+    def _baseline(self, u: NodeId, v: NodeId) -> Optional[float]:
+        key = (u, v) if str(u) <= str(v) else (v, u)
+        baseline = self._baseline_delays.get(key)
+        if baseline is None:
+            baseline = self._network.get_edge_attr(u, v, "avgDelay")
+            if baseline is not None:
+                self._baseline_delays[key] = baseline
+        return baseline
+
+    def tick(self) -> ChurnTick:
+        """Apply one sparse churn tick and report what moved.
+
+        Delay jitter is multiplicative around the first-observed baseline
+        (repeated ticks do not drift), load jitter is multiplicative and
+        clamped to ``[0, 1]``, and the up/down process flags availability
+        with the monitor's ``up`` attribute rather than removing nodes.
+        """
+        network = self._network
+        config = self._config
+        rand = self._rng
+        self._ticks += 1
+        record = ChurnTick(index=self._ticks)
+
+        edges = network.edges()
+        if edges and config.link_fraction > 0:
+            count = max(1, round(config.link_fraction * len(edges)))
+            for u, v in rand.sample(edges, min(count, len(edges))):
+                baseline = self._baseline(u, v)
+                if baseline is None:
+                    continue
+                factor = 1.0 + rand.uniform(-config.delay_jitter,
+                                            config.delay_jitter)
+                new_avg = max(0.1, baseline * factor)
+                min_delay = network.get_edge_attr(u, v, "minDelay", new_avg)
+                max_delay = network.get_edge_attr(u, v, "maxDelay", new_avg)
+                network.update_edge(u, v,
+                                    avgDelay=round(new_avg, 3),
+                                    minDelay=round(min(min_delay, new_avg), 3),
+                                    maxDelay=round(max(max_delay, new_avg), 3))
+                record.touched_edges.append((u, v))
+
+        nodes = network.nodes()
+        if nodes and config.node_fraction > 0:
+            count = max(1, round(config.node_fraction * len(nodes)))
+            for node in rand.sample(nodes, min(count, len(nodes))):
+                attrs = network.node_attrs(node)
+                updates: Dict[str, object] = {}
+                is_up = attrs.get(UP_ATTR, True)
+                if is_up and rand.random() < config.failure_probability:
+                    updates[UP_ATTR] = False
+                    record.went_down.append(node)
+                elif not is_up and rand.random() < config.recovery_probability:
+                    updates[UP_ATTR] = True
+                    record.came_up.append(node)
+                load = attrs.get("cpuLoad")
+                if load is not None:
+                    factor = 1.0 + rand.uniform(-config.load_jitter,
+                                                config.load_jitter)
+                    updates["cpuLoad"] = round(min(1.0, max(0.0, load * factor)), 3)
+                if updates:
+                    network.update_node(node, **updates)
+                    record.touched_nodes.append(node)
+
+        if config.edge_failure_probability > 0:
+            if (self._failed_edges
+                    and rand.random() < config.edge_recovery_probability):
+                (u, v), attrs = self._failed_edges.pop(
+                    rand.randrange(len(self._failed_edges)))
+                if network.has_node(u) and network.has_node(v) \
+                        and not network.has_edge(u, v):
+                    network.add_edge(u, v, **attrs)
+                    record.restored_edges.append((u, v))
+            if rand.random() < config.edge_failure_probability:
+                edges = network.edges()
+                if edges:
+                    u, v = rand.choice(edges)
+                    self._failed_edges.append(
+                        ((u, v), dict(network.edge_attrs(u, v))))
+                    network.remove_edge(u, v)
+                    record.removed_edges.append((u, v))
+
+        return record
+
+    def run(self, cycles: int) -> List[ChurnTick]:
+        """Apply several ticks; returns their records."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        return [self.tick() for _ in range(cycles)]
+
+
+def churn_embedding_suite(hosting: HostingNetwork, num_queries: int = 4,
+                          query_size: int = 8, slack: float = 0.35,
+                          rng: RandomSource = None) -> List[Workload]:
+    """Feasible-by-construction queries for an embed→tick→repair loop.
+
+    Sampled as connected subgraphs *before* any churn, with *slack*-wide
+    delay windows: wide enough that a sparse jitter tick breaks only some of
+    them, which is precisely the regime where repairing beats re-embedding.
+    """
+    rand = as_rng(rng)
+    return [subgraph_query(hosting, query_size, slack=slack, rng=rand)
+            for _ in range(num_queries)]

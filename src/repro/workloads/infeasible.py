@@ -23,7 +23,7 @@ from typing import Optional
 from repro.graphs.hosting import HostingNetwork
 from repro.graphs.query import QueryNetwork
 from repro.utils.rng import RandomSource, as_rng
-from repro.workloads.queries import DELAY_WINDOW_CONSTRAINT, Workload
+from repro.workloads.queries import Workload
 
 
 def make_globally_infeasible(workload: Workload, hosting: HostingNetwork,

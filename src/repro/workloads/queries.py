@@ -27,7 +27,6 @@ from typing import List, Optional, Sequence, Tuple
 from repro.constraints import ConstraintExpression
 from repro.constraints.builder import host_delay_within_query_window
 from repro.graphs.hosting import HostingNetwork
-from repro.graphs.network import Network
 from repro.graphs.ops import as_query, random_connected_subgraph, relabel_sequential
 from repro.graphs.query import QueryNetwork
 from repro.topology.composite import LEVEL_ATTR, CompositeSpec, composite

@@ -11,13 +11,13 @@ experiment harness accepts either.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from repro.graphs.hosting import HostingNetwork
 from repro.topology.brite import barabasi_albert
 from repro.topology.planetlab import synthetic_planetlab_trace
-from repro.utils.rng import RandomSource, as_rng
+from repro.utils.rng import RandomSource
 from repro.workloads.queries import (
     Workload,
     clique_query_series,

@@ -8,7 +8,6 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.graphs import HostingNetwork, QueryNetwork, read_graphml, write_graphml
-from repro.workloads import planetlab_host, subgraph_query
 
 
 @pytest.fixture
@@ -125,6 +124,35 @@ class TestPlanCommand:
         code = main(["plan", "--hosting", str(host_path), "--query", str(query_path),
                      "--repeat", "0"])
         assert code == 2
+
+
+class TestChurnCommand:
+    def test_plain_output_reports_repair_and_cache(self, capsys):
+        code = main(["churn", "--sites", "24", "--queries", "2",
+                     "--query-size", "5", "--ticks", "3", "--seed", "4"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "churn scenario" in captured
+        assert "repairs:" in captured and "intact" in captured
+        assert "re-embed" in captured
+        assert "patched" in captured and "recompiled" in captured
+
+    def test_json_output_shape(self, capsys):
+        code = main(["churn", "--sites", "20", "--queries", "2",
+                     "--query-size", "4", "--ticks", "2", "--seed", "5",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["ticks"] == 2
+        checks = payload["repair"]
+        assert (checks["intact"] + checks["repaired"] + checks["failed"]
+                + checks["timeout"]) == 2 * 2
+        assert payload["cost"]["repair_seconds"] >= 0
+        assert "patched" in payload["plan_cache"]
+        assert len(payload["ticks"]) == 2
+
+    def test_rejects_bad_tick_count(self):
+        assert main(["churn", "--ticks", "0"]) == 2
 
 
 class TestGenerateCommand:

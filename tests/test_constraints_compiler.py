@@ -8,7 +8,6 @@ raising the same error class).
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.constraints import compile_expression, evaluate, literal_context
@@ -36,11 +35,11 @@ def _expressions(depth: int = 3):
     boolean = st.sampled_from(["&&", "||"])
 
     def extend(children):
-        numeric = st.builds(lambda op, l, r: f"({l} {op} {r})", binary_numeric,
+        numeric = st.builds(lambda op, lhs, rhs: f"({lhs} {op} {rhs})", binary_numeric,
                             children, children)
-        compare = st.builds(lambda op, l, r: f"({l} {op} {r})", relational,
+        compare = st.builds(lambda op, lhs, rhs: f"({lhs} {op} {rhs})", relational,
                             children, children)
-        logic = st.builds(lambda op, l, r: f"({l} {op} {r})", boolean,
+        logic = st.builds(lambda op, lhs, rhs: f"({lhs} {op} {rhs})", boolean,
                           children, children)
         negation = st.builds(lambda e: f"!({e})", children)
         functions = st.builds(lambda e: f"abs({e})", children)

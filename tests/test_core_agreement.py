@@ -14,18 +14,13 @@ embeddings.  These hypothesis tests check that on random instances:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.baselines import BruteForceCSP
 from repro.core import ECF, LNS, RWB, is_valid_mapping
 from repro.graphs.ops import random_connected_subgraph
 from repro.topology.random_graphs import annotate_uniform_delays, connected_gnp
-from repro.workloads import (
-    DELAY_WINDOW_CONSTRAINT,
-    make_globally_infeasible,
-    subgraph_query,
-)
+from repro.workloads import make_globally_infeasible, subgraph_query
 
 COMMON_SETTINGS = dict(max_examples=20, deadline=None,
                        suppress_health_check=[HealthCheck.too_slow])

@@ -9,7 +9,6 @@ edge orientation.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.baselines import BruteForceCSP

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.constraints import ConstraintExpression
 from repro.core import Mapping, is_valid_mapping, validate_mapping

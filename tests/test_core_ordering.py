@@ -7,7 +7,6 @@ import itertools
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.constraints import ConstraintExpression
 from repro.core import build_filters
 from repro.core.ordering import (
     candidate_count_order,

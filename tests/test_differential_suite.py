@@ -71,7 +71,6 @@ def corpus_instance(seed: int):
 
 def infeasible_instance(seed: int):
     """A query that needs more nodes than the host offers."""
-    rng = random.Random(seed)
     hosting = HostingNetwork(f"tiny-host-{seed}")
     for i in range(3):
         hosting.add_node(f"h{i}", name=f"h{i}", osType="linux")

@@ -23,6 +23,8 @@ CASES = [
     ("grid_allocation.py", ["grid infrastructure", "link-to-path"]),
     ("sensor_scheduling.py", ["sensor field", "time-slotted schedule"]),
     ("plan_cache_traffic.py", ["hosting model", "monitor tick", "hit rate"]),
+    ("churn_repair.py", ["hosting model", "churn tick", "patched",
+                         "valid embedding"]),
 ]
 
 

@@ -20,8 +20,8 @@ from repro.extensions import (
     stress_cost,
     total_delay_cost,
 )
-from repro.graphs import HostingNetwork, QueryNetwork
-from repro.workloads import planetlab_host, subgraph_query
+from repro.graphs import QueryNetwork
+from repro.workloads import planetlab_host
 
 
 # --------------------------------------------------------------------------- #

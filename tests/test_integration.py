@@ -11,7 +11,6 @@ import pytest
 
 from repro import (
     ECF,
-    LNS,
     ConstraintExpression,
     NetEmbedService,
     QueryNetwork,
@@ -27,7 +26,6 @@ from repro.constraints.builder import (
     node_attribute_binding,
 )
 from repro.extensions import best_mapping, total_delay_cost
-from repro.graphs import HostingNetwork
 from repro.service import MonitorConfig, NegotiationSession
 from repro.workloads import (
     SuiteScale,

@@ -14,8 +14,7 @@ import threading
 import pytest
 
 from repro.api import Budget, SearchRequest
-from repro.core import ECF, PlanCache, PlanInvalidatedError
-from repro.graphs.hosting import HostingNetwork
+from repro.core import ECF, PlanCache
 from repro.graphs.query import QueryNetwork
 from repro.service import NetEmbedService, NetworkModelRegistry, QuerySpec
 
@@ -136,17 +135,33 @@ class TestPlanCache:
         stats = cache.stats()
         assert stats["invalidations"] == 1 and stats["size"] == 0
 
-    def test_put_purges_unreachable_stale_entries(self, small_hosting,
-                                                  path_query, triangle_query):
+    def test_put_purges_unreachable_unpatchable_stale_entries(
+            self, small_hosting, path_query, triangle_query):
         """Entries keyed by superseded versions are unreachable by lookups;
-        the cold-path sweep in put() must free them promptly."""
+        once the patch path cannot revive them (structural delta) the
+        cold-path sweep in put() must free them promptly."""
         cache = PlanCache(capacity=8)
         cache.put(("net", 0, "a"), self._plan(small_hosting, path_query))
         cache.put(("net", 0, "b"), self._plan(small_hosting, triangle_query))
-        small_hosting.update_edge("a", "b", avgDelay=12.0)   # both now stale
+        small_hosting.remove_edge("a", "b")   # structural: both unpatchable
         cache.put(("net", 1, "a"), self._plan(small_hosting, path_query))
         assert len(cache) == 1
         assert cache.stats()["invalidations"] == 2
+
+    def test_put_keeps_patchable_stale_entries_for_the_patch_path(
+            self, small_hosting, path_query, triangle_query):
+        """Attr-only-stale entries are pop_predecessor() material: the sweep
+        must keep them so churned traffic can patch instead of recompile."""
+        cache = PlanCache(capacity=8)
+        stale_plan = self._plan(small_hosting, triangle_query)
+        cache.put(("net", 0, ("ECF",), "fp-b"), stale_plan)
+        small_hosting.update_edge("a", "b", avgDelay=12.0)   # attr-only stale
+        cache.put(("net", 1, ("ECF",), "fp-a"),
+                  self._plan(small_hosting, path_query))
+        assert len(cache) == 2
+        assert cache.pop_predecessor(("net", 1, ("ECF",), "fp-b")) is stale_plan
+        assert cache.pop_predecessor(("net", 1, ("ECF",), "fp-b")) is None
+        assert len(cache) == 1
 
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):

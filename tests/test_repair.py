@@ -1,0 +1,352 @@
+"""The embedding-repair engine and its service surface.
+
+The acceptance property: **repaired mappings pass the same validity checks
+as fresh embeddings** (:func:`~repro.core.mapping.validate_mapping` finds no
+violations), while only the assignments the churn actually broke move.
+Covers the violation classifier, the pinned-region local search with its
+rippling release set, capacity transfer on rebind, and the
+``NetEmbedService.repair`` self-healing flow under randomised churn.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import ConstraintExpression
+from repro.core import ECF, repair_mapping, validate_mapping, violated_query_nodes
+from repro.core.mapping import Mapping
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.query import QueryNetwork
+from repro.service import (
+    NetEmbedService,
+    QuerySpec,
+    ReservationError,
+    with_default_demand,
+)
+from repro.workloads import ChurnConfig, ChurnProcess, churn_embedding_suite
+from repro.workloads.suites import planetlab_host
+
+WINDOW = ConstraintExpression("rEdge.avgDelay >= vEdge.minDelay && "
+                              "rEdge.avgDelay <= vEdge.maxDelay")
+UP = ConstraintExpression("rNode.up == true")
+
+
+def line_world():
+    """A deterministic scene: hosts in a dense band, one embedded path query.
+
+    Every hosting link starts at delay 15 inside the query's [10, 20]
+    window, so the identity-style first mapping is valid and any single
+    link/node breakage has plenty of repair room.
+    """
+    hosting = HostingNetwork("host")
+    for i in range(8):
+        hosting.add_node(f"h{i}", up=True)
+    for i in range(8):
+        for j in range(i + 1, 8):
+            hosting.add_edge(f"h{i}", f"h{j}", avgDelay=15.0)
+    query = QueryNetwork("path")
+    for i in range(4):
+        query.add_node(f"q{i}")
+    for i in range(3):
+        query.add_edge(f"q{i}", f"q{i + 1}", minDelay=10.0, maxDelay=20.0)
+    mapping = Mapping({f"q{i}": f"h{i}" for i in range(4)})
+    assert validate_mapping(mapping, query, hosting, WINDOW, UP) == []
+    return hosting, query, mapping
+
+
+class TestViolationClassifier:
+    def test_valid_mapping_has_no_violated_nodes(self):
+        hosting, query, mapping = line_world()
+        assert violated_query_nodes(mapping, query, hosting, WINDOW, UP) == set()
+
+    def test_broken_edge_implicates_both_endpoints(self):
+        hosting, query, mapping = line_world()
+        hosting.update_edge("h1", "h2", avgDelay=99.0)
+        assert violated_query_nodes(mapping, query, hosting, WINDOW, UP) \
+            == {"q1", "q2"}
+
+    def test_down_host_implicates_its_node(self):
+        hosting, query, mapping = line_world()
+        hosting.update_node("h3", up=False)
+        assert violated_query_nodes(mapping, query, hosting, WINDOW, UP) \
+            == {"q3"}
+
+    def test_removed_host_and_unmapped_nodes(self):
+        hosting, query, mapping = line_world()
+        hosting.remove_node("h0")
+        partial = Mapping({"q1": "h1", "q2": "h2", "q3": "h3"})
+        assert violated_query_nodes(partial, query, hosting, WINDOW, UP) \
+            == {"q0"}
+        assert "q0" in violated_query_nodes(mapping, query, hosting,
+                                            WINDOW, UP)
+
+    def test_injectivity_collision_implicates_all_parties(self):
+        hosting, query, _ = line_world()
+        clashing = Mapping({"q0": "h0", "q1": "h1", "q2": "h1", "q3": "h2"})
+        violated = violated_query_nodes(clashing, query, hosting, None, None)
+        assert {"q1", "q2"} <= violated
+
+
+class TestRepairMapping:
+    def test_intact_mapping_is_untouched(self):
+        hosting, query, mapping = line_world()
+        result = repair_mapping(query, hosting, mapping, WINDOW, UP)
+        assert result.status == "intact"
+        assert result.mapping is mapping
+        assert result.moved == {}
+
+    def test_single_link_breakage_moves_minimally(self):
+        hosting, query, mapping = line_world()
+        hosting.update_edge("h1", "h2", avgDelay=99.0)
+        result = repair_mapping(query, hosting, mapping, WINDOW, UP)
+        assert result.status == "repaired"
+        assert result.rounds == 1
+        assert set(result.moved) <= {"q1", "q2"}
+        assert validate_mapping(result.mapping, query, hosting, WINDOW, UP) == []
+        # Unbroken assignments stay pinned.
+        assert result.mapping["q0"] == "h0" and result.mapping["q3"] == "h3"
+
+    def test_down_host_repair_respects_node_constraint(self):
+        hosting, query, mapping = line_world()
+        hosting.update_node("h2", up=False)
+        result = repair_mapping(query, hosting, mapping, WINDOW, UP)
+        assert result.status == "repaired"
+        assert result.mapping["q2"] != "h2"
+        assert validate_mapping(result.mapping, query, hosting, WINDOW, UP) == []
+
+    def test_ripple_releases_neighbors_when_needed(self):
+        """Break q1's host so that every replacement host conflicts with the
+        pinned neighbours, forcing the release set to grow."""
+        hosting = HostingNetwork("host")
+        for i in range(5):
+            hosting.add_node(f"h{i}", up=True)
+        # A 5-cycle: each host connects only to its ring neighbours.
+        for i in range(5):
+            hosting.add_edge(f"h{i}", f"h{(i + 1) % 5}", avgDelay=15.0)
+        query = QueryNetwork("path")
+        for i in range(3):
+            query.add_node(f"q{i}")
+        query.add_edge("q0", "q1", minDelay=10.0, maxDelay=20.0)
+        query.add_edge("q1", "q2", minDelay=10.0, maxDelay=20.0)
+        mapping = Mapping({"q0": "h0", "q1": "h1", "q2": "h2"})
+        assert validate_mapping(mapping, query, hosting, WINDOW, UP) == []
+        # Down h1: the only host adjacent to both h0 and h2 on the ring.
+        hosting.update_node("h1", up=False)
+        result = repair_mapping(query, hosting, mapping, WINDOW, UP)
+        assert result.status == "repaired"
+        assert result.rounds > 1
+        assert len(result.released_nodes) > 1
+        assert validate_mapping(result.mapping, query, hosting, WINDOW, UP) == []
+
+    def test_unrepairable_reports_failed_after_full_release(self):
+        hosting, query, mapping = line_world()
+        for node in hosting.nodes():
+            hosting.update_node(node, up=False)
+        result = repair_mapping(query, hosting, mapping, WINDOW, UP)
+        assert result.status == "failed"
+        assert result.mapping is None
+        assert set(result.released_nodes) == set(query.nodes())
+
+    def test_max_rounds_caps_the_ripple(self):
+        hosting, query, mapping = line_world()
+        for node in hosting.nodes():
+            hosting.update_node(node, up=False)
+        result = repair_mapping(query, hosting, mapping, WINDOW, UP,
+                                max_rounds=1)
+        assert result.status == "failed" and result.rounds == 1
+
+    def test_timeout_is_reported(self):
+        hosting, query, mapping = line_world()
+        hosting.update_edge("h1", "h2", avgDelay=99.0)
+        result = repair_mapping(query, hosting, mapping, WINDOW, UP,
+                                timeout=1e-9)
+        assert result.status == "timeout"
+        assert result.mapping is None
+
+    def test_candidate_filter_is_honoured(self):
+        hosting, query, mapping = line_world()
+        hosting.update_edge("h1", "h2", avgDelay=99.0)
+        held = set(mapping.hosting_nodes())
+        vetoed = {"h4"}
+
+        def candidate_ok(query_node, host):
+            return host in held or host not in vetoed
+
+        result = repair_mapping(query, hosting, mapping, WINDOW, UP,
+                                candidate_ok=candidate_ok)
+        assert result.status == "repaired"
+        for _, new in result.moved.values():
+            assert new not in vetoed
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10_000), ticks=st.integers(1, 5))
+    def test_repaired_mappings_validate_like_fresh_embeddings(self, seed,
+                                                              ticks):
+        """The acceptance property, under randomised sparse churn."""
+        rng = random.Random(seed)
+        hosting = planetlab_host(16, rng=rng)
+        for node in hosting.nodes():
+            hosting.update_node(node, up=True)
+        workloads = churn_embedding_suite(hosting, num_queries=2,
+                                          query_size=5, slack=0.3, rng=rng)
+        mappings = []
+        for workload in workloads:
+            result = ECF().find_first(workload.query, hosting,
+                                      constraint=workload.constraint,
+                                      node_constraint=UP)
+            assert result.found
+            mappings.append((workload, result.first))
+
+        churn = ChurnProcess(hosting, ChurnConfig(
+            link_fraction=0.1, node_fraction=0.1, delay_jitter=0.4,
+            failure_probability=0.2), rng=seed + 1)
+        for _ in range(ticks):
+            churn.tick()
+            for workload, mapping in mappings:
+                repair = repair_mapping(workload.query, hosting, mapping,
+                                        workload.constraint, UP)
+                if repair.ok:
+                    assert validate_mapping(repair.mapping, workload.query,
+                                            hosting, workload.constraint,
+                                            UP) == []
+                else:
+                    # A failed repair must mean no embedding exists at all:
+                    # a fresh complete search agrees.
+                    fresh = ECF().find_first(workload.query, hosting,
+                                             constraint=workload.constraint,
+                                             node_constraint=UP)
+                    assert not fresh.found
+
+
+class TestServiceRepair:
+    def _world(self, capacity=2.0):
+        hosting, query, _ = line_world()
+        for node in hosting.nodes():
+            hosting.set_capacity(node, capacity)
+        service = NetEmbedService(default_timeout=10.0)
+        service.register_network(hosting, name="lab")
+        with_default_demand(query)
+        response = service.submit(QuerySpec(
+            query=query, constraint=WINDOW, node_constraint=UP,
+            algorithm="ECF", max_results=1, reserve=True))
+        assert response.reservation_id is not None
+        return service, hosting, query, response
+
+    def test_intact_reservation_reports_intact(self):
+        service, _, _, response = self._world()
+        repair = service.repair(response.reservation_id)
+        assert repair.status == "intact" and repair.ok
+
+    def test_repair_rebinds_and_transfers_capacity(self):
+        service, hosting, query, response = self._world()
+        reservation = service.reservations.get(response.reservation_id)
+        old_host = reservation.mapping["q2"]
+        hosting.update_node(old_host, up=False)
+        service.registry.touch("lab")
+
+        repair = service.repair(response.reservation_id)
+        assert repair.status == "repaired" and repair.ok
+        updated = service.reservations.get(response.reservation_id)
+        assert updated.rebinds == 1
+        new_host = updated.mapping["q2"]
+        assert new_host != old_host
+        # Capacity followed the move.
+        assert hosting.available_capacity(old_host) == 2.0
+        assert hosting.available_capacity(new_host) == 1.0
+        assert validate_mapping(updated.mapping, query, hosting,
+                                WINDOW, UP) == []
+
+    def test_repair_only_moves_to_hosts_with_spare_capacity(self):
+        service, hosting, query, response = self._world(capacity=1.0)
+        reservation = service.reservations.get(response.reservation_id)
+        held = set(reservation.mapping.hosting_nodes())
+        # Exhaust every host outside the reservation except h6.
+        for node in hosting.nodes():
+            if node not in held and node != "h6":
+                hosting.consume_capacity(node, 1.0)
+        broken = reservation.mapping["q1"]
+        hosting.update_node(broken, up=False)
+        repair = service.repair(response.reservation_id)
+        assert repair.status == "repaired" and repair.ok
+        updated = service.reservations.get(response.reservation_id)
+        moved_to = {new for _, new in repair.moved.values()} - held
+        assert moved_to <= {"h6"}
+        assert hosting.available_capacity("h6") == 0.0 or not moved_to
+        assert validate_mapping(updated.mapping, query, hosting,
+                                WINDOW, UP) == []
+
+    def test_repair_without_query_context_is_rejected(self):
+        service, hosting, query, _ = self._world()
+        mapping = Mapping({f"q{i}": f"h{i + 4}" for i in range(4)})
+        bare = service.reservations.reserve(hosting, "lab", mapping)
+        with pytest.raises(ReservationError):
+            service.repair(bare.reservation_id)
+
+    def test_repair_of_released_reservation_is_rejected(self):
+        service, _, _, response = self._world()
+        service.release(response.reservation_id)
+        with pytest.raises(ReservationError):
+            service.repair(response.reservation_id)
+
+    def test_failed_repair_keeps_the_reservation_unchanged(self):
+        service, hosting, _, response = self._world()
+        before = service.reservations.get(response.reservation_id).mapping
+        for node in hosting.nodes():
+            hosting.update_node(node, up=False)
+        repair = service.repair(response.reservation_id)
+        assert repair.status == "failed" and not repair.ok
+        after = service.reservations.get(response.reservation_id)
+        assert after.mapping == before and after.rebinds == 0
+
+    def test_repair_survives_a_removed_host(self):
+        """Structural churn: a mapped host disappears outright; the repair
+        re-places its node and the vanished host's capacity is not
+        'released' anywhere."""
+        service, hosting, query, response = self._world()
+        reservation = service.reservations.get(response.reservation_id)
+        doomed = reservation.mapping["q3"]
+        hosting.remove_node(doomed)
+        service.registry.touch("lab")
+        repair = service.repair(response.reservation_id)
+        assert repair.status == "repaired" and repair.ok
+        updated = service.reservations.get(response.reservation_id)
+        assert doomed not in updated.mapping.hosting_nodes()
+        assert validate_mapping(updated.mapping, query, hosting,
+                                WINDOW, UP) == []
+
+
+class TestRebind:
+    def test_rebind_rejects_different_query_nodes(self):
+        hosting, query, mapping = line_world()
+        for node in hosting.nodes():
+            hosting.set_capacity(node, 2.0)
+        service = NetEmbedService()
+        service.register_network(hosting, name="lab")
+        reservation = service.reservations.reserve(hosting, "lab", mapping,
+                                                   query=query)
+        with pytest.raises(ReservationError):
+            service.reservations.rebind(
+                reservation.reservation_id, hosting,
+                Mapping({"q0": "h0"}))
+
+    def test_rebind_nets_out_swaps_between_held_hosts(self):
+        hosting, query, mapping = line_world()
+        for node in hosting.nodes():
+            hosting.set_capacity(node, 1.0)   # zero slack anywhere
+        service = NetEmbedService()
+        service.register_network(hosting, name="lab")
+        reservation = service.reservations.reserve(hosting, "lab", mapping,
+                                                   query=query)
+        # Swapping two held hosts needs no new capacity even at zero slack.
+        swapped = Mapping({"q0": "h1", "q1": "h0", "q2": "h2", "q3": "h3"})
+        service.reservations.rebind(reservation.reservation_id, hosting,
+                                    swapped)
+        assert service.reservations.get(
+            reservation.reservation_id).mapping == swapped
+        for host in ("h0", "h1", "h2", "h3"):
+            assert hosting.available_capacity(host) == 0.0

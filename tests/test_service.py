@@ -5,9 +5,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.constraints import ConstraintExpression
-from repro.core import ResultStatus
-from repro.graphs import HostingNetwork, QueryNetwork, write_graphml
+from repro.graphs import QueryNetwork, write_graphml
 from repro.service import (
     CAPACITY_NODE_CONSTRAINT,
     MonitorConfig,
@@ -21,7 +19,7 @@ from repro.service import (
     UnknownNetworkError,
     with_default_demand,
 )
-from repro.workloads import planetlab_host, subgraph_query
+from repro.workloads import planetlab_host
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,161 @@
+"""SimulatedMonitor tick semantics (§III component 1).
+
+Pins down the monitor contract the churn/repair machinery builds on:
+baseline-anchored delay jitter (repeated ticks never drift away from the
+first-observed delays), the two-state up/down process and its transition
+probabilities, first-tick ``up`` initialisation, delay-window consistency,
+and the registry version bump that invalidates cached plans per tick.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.hosting import HostingNetwork
+from repro.service import MonitorConfig, NetworkModelRegistry, SimulatedMonitor
+from repro.service.monitor import UP_ATTR
+
+
+def small_network(num_nodes: int = 6, delay: float = 20.0) -> HostingNetwork:
+    network = HostingNetwork("mon")
+    for i in range(num_nodes):
+        network.add_node(f"h{i}", cpuLoad=0.5)
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            network.add_edge(f"h{i}", f"h{j}", avgDelay=delay)
+    return network
+
+
+def monitored(config: MonitorConfig, seed: int = 7, **kwargs):
+    registry = NetworkModelRegistry()
+    network = small_network(**kwargs)
+    registry.register(network, name="mon")
+    monitor = SimulatedMonitor(registry, network_name="mon", config=config,
+                               rng=seed)
+    return registry, network, monitor
+
+
+class TestDelayJitter:
+    def test_jitter_is_anchored_to_the_baseline_not_the_last_tick(self):
+        """Multiplicative jitter around the previous value would drift
+        unboundedly; the monitor must stay inside the baseline band forever."""
+        config = MonitorConfig(delay_jitter=0.10, failure_probability=0.0,
+                               load_jitter=0.0)
+        _, network, monitor = monitored(config, delay=20.0)
+        for _ in range(60):
+            monitor.tick()
+            for u, v in network.edges():
+                delay = network.get_edge_attr(u, v, "avgDelay")
+                # 20.0 * (1 ± 0.1), with the monitor's 3-decimal rounding.
+                assert 17.999 <= delay <= 22.001
+
+    def test_zero_jitter_keeps_delays_at_the_baseline(self):
+        config = MonitorConfig(delay_jitter=0.0, failure_probability=0.0,
+                               load_jitter=0.0)
+        _, network, monitor = monitored(config, delay=20.0)
+        monitor.run(5)
+        assert all(network.get_edge_attr(u, v, "avgDelay") == 20.0
+                   for u, v in network.edges())
+
+    def test_delay_window_stays_consistent(self):
+        """min/max are widened to contain every observed average."""
+        config = MonitorConfig(delay_jitter=0.5, failure_probability=0.0)
+        _, network, monitor = monitored(config)
+        monitor.run(20)
+        for u, v in network.edges():
+            avg = network.get_edge_attr(u, v, "avgDelay")
+            assert network.get_edge_attr(u, v, "minDelay") <= avg
+            assert network.get_edge_attr(u, v, "maxDelay") >= avg
+
+    def test_edges_without_the_delay_attribute_are_left_alone(self):
+        registry = NetworkModelRegistry()
+        network = HostingNetwork("mon")
+        network.add_node("a")
+        network.add_node("b")
+        network.add_edge("a", "b", bandwidth=100.0)
+        registry.register(network, name="mon")
+        SimulatedMonitor(registry, "mon", rng=1).tick()
+        assert network.get_edge_attr("a", "b", "avgDelay") is None
+        assert network.get_edge_attr("a", "b", "bandwidth") == 100.0
+
+
+class TestUpDownProcess:
+    def test_first_tick_initialises_up_on_every_node(self):
+        config = MonitorConfig(failure_probability=0.0)
+        _, network, monitor = monitored(config)
+        assert all(network.get_node_attr(n, UP_ATTR) is None
+                   for n in network.nodes())
+        monitor.tick()
+        assert all(network.get_node_attr(n, UP_ATTR) is True
+                   for n in network.nodes())
+        assert monitor.down_nodes() == []
+
+    def test_certain_failure_then_certain_recovery(self):
+        config = MonitorConfig(failure_probability=1.0,
+                               recovery_probability=1.0)
+        _, network, monitor = monitored(config)
+        monitor.tick()
+        assert set(monitor.down_nodes()) == set(network.nodes())
+        monitor.tick()
+        assert monitor.down_nodes() == []
+
+    def test_zero_failure_probability_never_downs_a_node(self):
+        config = MonitorConfig(failure_probability=0.0)
+        _, _, monitor = monitored(config)
+        for _ in range(30):
+            monitor.tick()
+            assert monitor.down_nodes() == []
+
+    def test_zero_recovery_probability_keeps_nodes_down(self):
+        config = MonitorConfig(failure_probability=1.0,
+                               recovery_probability=0.0)
+        _, network, monitor = monitored(config)
+        monitor.run(5)
+        assert set(monitor.down_nodes()) == set(network.nodes())
+
+    def test_transition_frequencies_match_the_probabilities(self):
+        """Over many node-ticks the observed down fraction approaches the
+        stationary distribution p_fail / (p_fail + p_recover)."""
+        config = MonitorConfig(failure_probability=0.2,
+                               recovery_probability=0.2,
+                               delay_jitter=0.0, load_jitter=0.0)
+        _, network, monitor = monitored(config, seed=3, num_nodes=12)
+        down_observations = total = 0
+        for _ in range(200):
+            monitor.tick()
+            down_observations += len(monitor.down_nodes())
+            total += network.num_nodes
+        assert 0.35 <= down_observations / total <= 0.65   # stationary = 0.5
+
+
+class TestVersioningAndJournal:
+    def test_every_tick_bumps_the_registry_version_once(self):
+        registry, _, monitor = monitored(MonitorConfig())
+        start = registry.version("mon")
+        assert monitor.tick() == start + 1
+        assert monitor.tick() == start + 2
+        assert registry.version("mon") == start + 2
+        assert monitor.ticks == 2
+
+    def test_run_returns_the_final_version(self):
+        registry, _, monitor = monitored(MonitorConfig())
+        assert monitor.run(4) == registry.version("mon")
+        assert monitor.ticks == 4
+        with pytest.raises(ValueError):
+            monitor.run(-1)
+
+    def test_ticks_journal_as_attribute_only_mutations(self):
+        """A monitor refresh is exactly the delta the patch path consumes:
+        attribute-only, touching delay/load/up."""
+        _, network, monitor = monitored(MonitorConfig(failure_probability=0.0))
+        base = network.mutation_count
+        monitor.tick()
+        delta = network.delta_since(base)
+        assert delta is not None and delta.attrs_only and not delta.empty
+        touched_attrs = set()
+        for names in delta.touched_edge_attrs.values():
+            touched_attrs |= names
+        for names in delta.touched_node_attrs.values():
+            touched_attrs |= names
+        assert touched_attrs <= {"avgDelay", "minDelay", "maxDelay",
+                                 UP_ATTR, "cpuLoad"}

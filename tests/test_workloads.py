@@ -9,8 +9,10 @@ from repro.topology.composite import LEVEL_ATTR, CompositeSpec
 from repro.workloads import (
     DELAY_WINDOW_CONSTRAINT,
     SUITES,
-    Workload,
+    ChurnConfig,
+    ChurnProcess,
     brite_host,
+    churn_embedding_suite,
     build_clique_suite,
     build_composite_suite,
     build_subgraph_suite,
@@ -207,3 +209,84 @@ class TestSuites:
     def test_default_constraint_is_the_window_expression(self):
         assert "vEdge.minDelay" in DELAY_WINDOW_CONSTRAINT.source
         assert "vEdge.maxDelay" in DELAY_WINDOW_CONSTRAINT.source
+
+
+class TestChurnProcess:
+    def test_tick_touches_the_configured_fractions(self, host):
+        network = host.copy()
+        churn = ChurnProcess(network, ChurnConfig(link_fraction=0.1,
+                                                  node_fraction=0.25), rng=1)
+        tick = churn.tick()
+        assert tick.index == 1 and churn.ticks == 1
+        assert len(tick.touched_edges) == round(0.1 * network.num_edges)
+        assert 0 < len(tick.touched_nodes) <= round(0.25 * network.num_nodes)
+        assert not tick.structural
+
+    def test_ticks_are_journal_replayable_attr_deltas(self, host):
+        network = host.copy()
+        base = network.mutation_count
+        ChurnProcess(network, ChurnConfig(), rng=2).tick()
+        delta = network.delta_since(base)
+        assert delta is not None and delta.attrs_only and not delta.empty
+
+    def test_delay_jitter_is_baseline_anchored(self, host):
+        network = host.copy()
+        baselines = {tuple(sorted(e, key=str)):
+                     network.get_edge_attr(*e, "avgDelay")
+                     for e in network.edges()}
+        churn = ChurnProcess(network, ChurnConfig(link_fraction=1.0,
+                                                  delay_jitter=0.2), rng=3)
+        for _ in range(25):
+            churn.tick()
+        for u, v in network.edges():
+            baseline = baselines[tuple(sorted((u, v), key=str))]
+            delay = network.get_edge_attr(u, v, "avgDelay")
+            assert baseline * 0.8 - 0.001 <= delay <= baseline * 1.2 + 0.001
+
+    def test_same_seed_replays_the_same_trace(self, host):
+        ticks_a = ChurnProcess(host.copy(), ChurnConfig(), rng=4).run(5)
+        ticks_b = ChurnProcess(host.copy(), ChurnConfig(), rng=4).run(5)
+        assert [(t.touched_edges, t.touched_nodes) for t in ticks_a] \
+            == [(t.touched_edges, t.touched_nodes) for t in ticks_b]
+
+    def test_structural_churn_removes_and_restores_links(self, host):
+        network = host.copy()
+        edges_before = network.num_edges
+        churn = ChurnProcess(network, ChurnConfig(
+            link_fraction=0.0, node_fraction=0.0,
+            edge_failure_probability=1.0, edge_recovery_probability=1.0),
+            rng=5)
+        first = churn.tick()
+        assert len(first.removed_edges) == 1 and first.structural
+        assert network.num_edges == edges_before - 1
+        second = churn.tick()
+        assert len(second.restored_edges) == 1
+        # The restored link carries its original attributes.
+        (u, v) = second.restored_edges[0]
+        assert network.get_edge_attr(u, v, "avgDelay") is not None
+
+    def test_up_down_flags_are_attributes_not_removals(self, host):
+        network = host.copy()
+        nodes_before = network.num_nodes
+        churn = ChurnProcess(network, ChurnConfig(node_fraction=1.0,
+                                                  failure_probability=1.0),
+                             rng=6)
+        tick = churn.tick()
+        assert network.num_nodes == nodes_before
+        assert tick.went_down
+        assert all(network.get_node_attr(n, "up") is False
+                   for n in tick.went_down)
+
+    def test_suite_queries_are_feasible_by_construction(self, host):
+        workloads = churn_embedding_suite(host, num_queries=2, query_size=5,
+                                          rng=7)
+        assert len(workloads) == 2
+        for workload in workloads:
+            assert workload.feasible_by_construction
+            result = ECF().find_first(workload.query, host,
+                                      constraint=workload.constraint)
+            assert result.found
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(link_fraction=1.5)
