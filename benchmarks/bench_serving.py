@@ -1,0 +1,339 @@
+#!/usr/bin/env python
+"""The serving tier under open-loop Poisson load: latency, throughput, sheds.
+
+The serving-tier contract (admission control over the plan-cache engine) is
+judged the way a production front door is: requests arrive on a schedule
+fixed in advance — a seeded Poisson process replayed against the wall
+clock — regardless of whether the engine has kept up.  Closed-loop drivers
+hide overload by slowing down with the server; an open-loop driver does
+not, which is exactly the regime where an unbounded queue melts down and a
+bounded one sheds.
+
+Two tenants share the server: ``open`` (no rate limit — it sees the bounded
+queue as-is) and ``capped`` (rate-limited, so tenant-level QoS sheds appear
+even on machines fast enough never to fill the queue).  The benchmark
+reports
+
+* per-request **latency percentiles** (p50/p95/p99) and **throughput**
+  (informational: wall-clock numbers do not transfer between machines);
+* the **shed rate** and its breakdown by structured reason;
+* three deterministic invariants the regression gate protects:
+
+  - ``parity.results_match`` — every accepted response is byte-identical
+    (stringified mappings) to a direct ``NetEmbedService.submit`` of the
+    same spec, so the serving tier adds *no* result drift;
+  - ``accounting.consistent`` — offered == admitted + shed == answered:
+    every scheduled arrival got exactly one structured answer;
+  - ``metrics.consistent`` — the ``metrics`` endpoint's admission counters
+    agree with what the client observed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        [--scale smoke|small|planetlab] [--seed N] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.perf import environment_info, write_bench_json
+from repro.server import (
+    AdmissionConfig,
+    AsyncNetEmbedClient,
+    EmbeddingServer,
+    ServerConfig,
+    ServiceRegistry,
+    TenantPolicy,
+    mapping_payload,
+)
+from repro.service import NetEmbedService, QuerySpec
+from repro.utils.rng import as_rng
+from repro.workloads import poisson_arrivals, subgraph_query
+
+DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_serving.json"
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ServingScale:
+    """Scene size and offered load per --scale."""
+
+    hosting_nodes: int
+    num_workloads: int
+    query_size: int
+    slack: float
+    rate: float          # offered load, requests/second (both tenants)
+    horizon: float       # trace length in seconds
+    capped_rate: float   # admission rate limit for the ``capped`` tenant
+    engine_workers: int
+    queue_depth: int
+    max_results: int
+    deadline: float
+
+
+SCALES: Dict[str, ServingScale] = {
+    "smoke": ServingScale(hosting_nodes=24, num_workloads=3, query_size=5,
+                          slack=0.30, rate=24.0, horizon=1.5, capped_rate=3.0,
+                          engine_workers=1, queue_depth=16, max_results=4,
+                          deadline=10.0),
+    "small": ServingScale(hosting_nodes=48, num_workloads=4, query_size=6,
+                          slack=0.30, rate=40.0, horizon=3.0, capped_rate=4.0,
+                          engine_workers=2, queue_depth=32, max_results=4,
+                          deadline=10.0),
+    "planetlab": ServingScale(hosting_nodes=296, num_workloads=4, query_size=8,
+                              slack=0.30, rate=60.0, horizon=5.0,
+                              capped_rate=5.0, engine_workers=2,
+                              queue_depth=64, max_results=4, deadline=20.0),
+}
+
+
+def build_scene(scale: ServingScale, seed: int):
+    """One deterministic (hosting, workloads) scene — shared by both arms."""
+    from repro.workloads import planetlab_host
+
+    rng = as_rng(seed)
+    hosting = planetlab_host(scale.hosting_nodes, rng=rng)
+    workloads = [subgraph_query(hosting, scale.query_size, slack=scale.slack,
+                                rng=rng)
+                 for _ in range(scale.num_workloads)]
+    return hosting, workloads
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1,
+               max(0, int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+async def drive_open_loop(scale: ServingScale, seed: int) -> Dict:
+    """Replay one Poisson trace against a live server; returns raw outcomes."""
+    hosting, workloads = build_scene(scale, seed)
+    config = ServerConfig(
+        default_timeout=scale.deadline,
+        engine_workers=scale.engine_workers,
+        admission=AdmissionConfig(
+            max_queue_depth=scale.queue_depth,
+            tenants={"capped": TenantPolicy(rate=scale.capped_rate,
+                                            burst=int(scale.capped_rate))},
+        ),
+    )
+    registry = ServiceRegistry(config)
+    registry.service.register_network(hosting, name="serving-bench")
+
+    trace = list(poisson_arrivals(rate=scale.rate, horizon=scale.horizon,
+                                  tenants=["open", "capped"], rng=seed + 1))
+
+    async with EmbeddingServer(registry) as server:
+        async with await AsyncNetEmbedClient.connect(
+                server.host, server.port) as client:
+
+            async def fire(arrival):
+                await asyncio.sleep(arrival.offset)
+                workload = workloads[arrival.index % len(workloads)]
+                started = time.perf_counter()
+                response = await client.embed(
+                    workload.query, constraint=workload.constraint,
+                    algorithm="ECF", max_results=scale.max_results,
+                    tenant=arrival.tenant, deadline=scale.deadline)
+                return (arrival.index % len(workloads), arrival.tenant,
+                        time.perf_counter() - started, response)
+
+            run_started = time.perf_counter()
+            outcomes = await asyncio.gather(*(fire(a) for a in trace))
+            wall_seconds = time.perf_counter() - run_started
+            metrics = await client.metrics()
+
+    return {"workloads": workloads, "hosting": hosting, "trace": trace,
+            "outcomes": outcomes, "metrics": metrics,
+            "wall_seconds": wall_seconds}
+
+
+def run_parity_check(scale: ServingScale, seed: int, outcomes) -> Dict:
+    """Accepted server responses must equal direct engine calls, byte for byte."""
+    hosting, workloads = build_scene(scale, seed)
+    service = NetEmbedService(default_timeout=scale.deadline)
+    service.register_network(hosting, name="serving-bench")
+    expected = []
+    for workload in workloads:
+        response = service.submit(QuerySpec(
+            query=workload.query, constraint=workload.constraint,
+            algorithm="ECF", max_results=scale.max_results))
+        expected.append([mapping_payload(m) for m in response.mappings])
+
+    compared = 0
+    mismatches = 0
+    for workload_index, _tenant, _latency, response in outcomes:
+        if response["kind"] != "result":
+            continue
+        compared += 1
+        if response["mappings"] != expected[workload_index]:
+            mismatches += 1
+    return {
+        "workloads": len(workloads),
+        "responses_compared": compared,
+        "mismatches": mismatches,
+        "results_match": mismatches == 0 and compared > 0,
+    }
+
+
+def summarise(scale: ServingScale, raw: Dict) -> Dict:
+    """Fold raw outcomes into the report's latency/shed/accounting blocks."""
+    outcomes = raw["outcomes"]
+    metrics = raw["metrics"]
+    served = [o for o in outcomes if o[3]["kind"] == "result"]
+    shed = [o for o in outcomes if o[3]["kind"] == "shed"]
+    errors = [o for o in outcomes if o[3]["kind"] == "error"]
+    latencies = sorted(latency for _, _, latency, _ in served)
+    reasons: Dict[str, int] = {}
+    for _, _, _, response in shed:
+        reasons[response["reason"]] = reasons.get(response["reason"], 0) + 1
+    per_tenant: Dict[str, Dict[str, int]] = {}
+    for _, tenant, _, response in outcomes:
+        bucket = per_tenant.setdefault(tenant, {"served": 0, "shed": 0})
+        bucket["served" if response["kind"] == "result" else "shed"] += 1
+
+    admission = metrics["admission"]
+    offered = len(outcomes)
+    accounting_ok = (
+        admission["offered"] == offered
+        and admission["admitted"] + admission["shed_total"] == offered
+        and admission["completed"] == len(served)
+        and not errors)
+    metrics_ok = (
+        admission["shed_total"] == len(shed)
+        and metrics["server"]["requests"].get("embed", 0) == offered
+        and metrics["service"]["plan_cache"]["misses"] >= 1)
+
+    return {
+        "latency": {
+            "served": len(served),
+            "p50_seconds": percentile(latencies, 0.50),
+            "p95_seconds": percentile(latencies, 0.95),
+            "p99_seconds": percentile(latencies, 0.99),
+            "max_seconds": latencies[-1] if latencies else 0.0,
+        },
+        "throughput": {
+            "wall_seconds": raw["wall_seconds"],
+            "served_per_second": (len(served) / raw["wall_seconds"]
+                                  if raw["wall_seconds"] > 0 else 0.0),
+            "offered_per_second": scale.rate,
+        },
+        "shedding": {
+            "offered": offered,
+            "served": len(served),
+            "shed": len(shed),
+            "errors": len(errors),
+            "shed_rate": len(shed) / offered if offered else 0.0,
+            "reasons": reasons,
+            "per_tenant": per_tenant,
+        },
+        "accounting": {"consistent": accounting_ok},
+        "metrics": {
+            "consistent": metrics_ok,
+            "plan_cache_hits": metrics["service"]["plan_cache"]["hits"],
+            "plan_cache_misses": metrics["service"]["plan_cache"]["misses"],
+        },
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke",
+                        help="scene size and offered load (default: smoke)")
+    parser.add_argument("--seed", type=int, default=9,
+                        help="scene + trace RNG seed (default: 9)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"where to write BENCH_serving.json "
+                             f"(default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale]
+    started = time.strftime("%Y-%m-%dT%H:%M:%S")
+    print(f"serving: scale={args.scale} seed={args.seed} "
+          f"{scale.hosting_nodes} hosts, {scale.num_workloads} workloads of "
+          f"{scale.query_size} nodes; open-loop Poisson {scale.rate}/s for "
+          f"{scale.horizon}s onto {scale.engine_workers} worker(s), "
+          f"queue depth {scale.queue_depth}")
+
+    raw = asyncio.run(drive_open_loop(scale, args.seed))
+    summary = summarise(scale, raw)
+    parity = run_parity_check(scale, args.seed, raw["outcomes"])
+
+    latency = summary["latency"]
+    shedding = summary["shedding"]
+    print(f"latency: {latency['served']} served, "
+          f"p50 {latency['p50_seconds'] * 1000:.1f}ms, "
+          f"p99 {latency['p99_seconds'] * 1000:.1f}ms; "
+          f"throughput {summary['throughput']['served_per_second']:.1f}/s "
+          f"against {scale.rate:.1f}/s offered")
+    print(f"shedding: {shedding['shed']}/{shedding['offered']} "
+          f"({shedding['shed_rate']:.0%}) — "
+          + (", ".join(f"{reason} x{count}"
+                       for reason, count in sorted(shedding["reasons"].items()))
+             or "none"))
+    print(f"parity: {parity['responses_compared']} accepted responses vs "
+          f"direct engine calls, {parity['mismatches']} mismatches")
+    print(f"accounting consistent: {summary['accounting']['consistent']}; "
+          f"metrics consistent: {summary['metrics']['consistent']}")
+    if not parity["results_match"]:
+        print("WARNING: serving tier drifted from direct engine results",
+              file=sys.stderr)
+
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "workload": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "hosting_nodes": scale.hosting_nodes,
+            "num_workloads": scale.num_workloads,
+            "query_size": scale.query_size,
+            "slack": scale.slack,
+            "rate": scale.rate,
+            "horizon": scale.horizon,
+            "capped_rate": scale.capped_rate,
+            "engine_workers": scale.engine_workers,
+            "queue_depth": scale.queue_depth,
+            "max_results": scale.max_results,
+            "deadline": scale.deadline,
+            "started": started,
+        },
+        "environment": environment_info(),
+        **summary,
+        "parity": parity,
+    }
+    path = write_bench_json(args.output, report)
+    print(f"wrote {path}")
+    return 0
+
+
+try:                         # pytest is absent in script-only environments
+    from _smoke_marker import smoke as _smoke
+except ImportError:          # pragma: no cover - running outside benchmarks/
+    def _smoke(func):
+        return func
+
+
+@_smoke
+def test_smoke(tmp_path):
+    """Tiny-scale end-to-end run (parity-checked) for pytest/CI."""
+    assert main(["--scale", "smoke",
+                 "--output", str(tmp_path / "BENCH_serving.json")]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,9 @@ Subpackages
     Query/workload generators mirroring the paper's experiments.
 ``repro.service``
     The NETEMBED service layer (registry, monitoring, reservations, sessions).
+``repro.server``
+    The asyncio serving tier: admission control, multi-tenant QoS, the
+    JSON-lines front door and its async client (``repro serve``).
 ``repro.baselines``
     Reimplementations of the prior approaches NETEMBED is compared against.
 ``repro.extensions``

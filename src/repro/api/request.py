@@ -62,6 +62,23 @@ class Budget:
             return self
         return Budget(timeout=default, max_results=self.max_results)
 
+    def clamped(self, limit: Optional[float]) -> "Budget":
+        """This budget with its timeout capped at *limit* seconds.
+
+        Deadline-aware dispatch: a request that waited in a queue must run
+        under its *remaining* deadline, not its originally requested
+        timeout.  ``None`` or infinite limits leave the budget unchanged;
+        a non-positive limit is invalid (an already-expired request should
+        be shed, not executed).
+        """
+        if limit is None or limit == float("inf"):
+            return self
+        if limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        if self.timeout is not None and self.timeout <= limit:
+            return self
+        return Budget(timeout=limit, max_results=self.max_results)
+
     @property
     def wants_single(self) -> bool:
         """Whether the caller asked for exactly one embedding."""

@@ -1,6 +1,6 @@
 """Command-line interface to the NETEMBED service.
 
-Seven subcommands cover the common workflows::
+Eight subcommands cover the common workflows::
 
     python -m repro embed --hosting host.graphml --query query.graphml \
         --constraint "rEdge.avgDelay <= vEdge.maxDelay" --algorithm ECF
@@ -11,6 +11,8 @@ Seven subcommands cover the common workflows::
         --repeat 3 --tick 1
 
     python -m repro churn --sites 60 --queries 4 --ticks 10
+
+    python -m repro serve --hosting host.graphml --port 7478
 
     python -m repro list-algorithms
 
@@ -26,6 +28,9 @@ service's version-aware plan cache and explains the cache state (hits,
 misses, per-entry statistics, invalidation after monitor ticks);
 ``churn`` drives an embed→tick→repair loop under sparse network churn and
 reports repair-vs-reembed cost;
+``serve`` runs the asyncio serving tier — admission control, per-tenant
+QoS, deadline-aware shedding, and a ``metrics`` endpoint — over a
+registered hosting model (see :mod:`repro.server`);
 ``list-algorithms`` prints the capability registry; ``generate`` materialises
 the synthetic hosting networks used throughout the evaluation; ``experiment``
 runs one of the figure drivers from :mod:`repro.analysis` and prints the same
@@ -166,6 +171,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload + churn RNG seed (default: 0)")
     churn.add_argument("--json", action="store_true",
                        help="print the scenario report as JSON")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the asyncio serving tier over a hosting network")
+    serve.add_argument("--hosting", required=True, type=Path,
+                       help="GraphML file registered as the served hosting "
+                            "network (the server's default model)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default: 0 = pick a free port; the "
+                            "chosen port is announced on stdout)")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="default per-request search budget in seconds "
+                            "(default: 30)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent engine executions (default: 2)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admission queue bound; arrivals beyond it are "
+                            "shed (default: 64)")
+    serve.add_argument("--qos", type=Path, default=None,
+                       help="JSON file of tenant QoS policies: "
+                            '{"default": {...}, "tenants": {name: {...}}} '
+                            "with rate/burst/max_queued/max_inflight/"
+                            "max_plans fields")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for this many seconds then exit "
+                            "(default: run until interrupted)")
+    serve.add_argument("--json", action="store_true",
+                       help="print the final stats snapshot as JSON on exit")
 
     generate = subparsers.add_parser(
         "generate", help="generate a synthetic hosting network as GraphML")
@@ -338,7 +372,8 @@ def _run_plan(args: argparse.Namespace) -> int:
             "mappings": len(response.mappings),
         }
 
-    stats = service.plans.stats()
+    service_stats = service.stats()
+    stats = service_stats["plan_cache"]
     entries = [{
         "network": entry.key[0],
         "model_version": entry.key[1],
@@ -349,7 +384,10 @@ def _run_plan(args: argparse.Namespace) -> int:
     } for entry in service.plans.entries()]
 
     if args.json:
-        print(json.dumps({"cache": stats, "entries": entries, "runs": runs,
+        # "cache" stays for compatibility; "service" is the same
+        # consolidated snapshot the serving tier's metrics endpoint returns.
+        print(json.dumps({"cache": stats, "service": service_stats,
+                          "entries": entries, "runs": runs,
                           "invalidation": invalidation}, indent=2))
         return 0
 
@@ -504,6 +542,73 @@ def _run_churn(args: argparse.Namespace) -> int:
     return 0 if totals["failed"] == 0 and totals["timeout"] == 0 else 1
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio serving tier until interrupted (or for --duration)."""
+    import asyncio
+
+    from repro.server import (
+        AdmissionConfig,
+        EmbeddingServer,
+        ServerConfig,
+        ServiceRegistry,
+        TenantPolicy,
+    )
+
+    admission_kwargs = {"max_queue_depth": args.queue_depth}
+    if args.qos is not None:
+        try:
+            qos = json.loads(args.qos.read_text())
+            if "default" in qos:
+                admission_kwargs["default_policy"] = TenantPolicy(**qos["default"])
+            admission_kwargs["tenants"] = {
+                name: TenantPolicy(**policy)
+                for name, policy in qos.get("tenants", {}).items()}
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"error: cannot load QoS policies from {args.qos}: {exc}",
+                  file=sys.stderr)
+            return 2
+    config = ServerConfig(default_timeout=args.timeout,
+                          engine_workers=args.workers,
+                          admission=AdmissionConfig(**admission_kwargs))
+    registry = ServiceRegistry(config)
+    name = registry.service.register_network_from_graphml(args.hosting,
+                                                          default=True)
+    hosting = registry.models.get(name)
+
+    async def run() -> dict:
+        server = EmbeddingServer(registry, host=args.host, port=args.port)
+        await server.start()
+        print(f"serving {name!r} ({hosting.num_nodes} nodes, "
+              f"{hosting.num_edges} links) on {server.host}:{server.port}",
+              flush=True)
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+        return server.stats()
+
+    try:
+        stats = asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+        return 0
+    if args.json:
+        print(json.dumps(stats, indent=2))
+    else:
+        admission = stats["admission"]
+        cache = stats["service"]["plan_cache"]
+        print(f"served {admission['completed']} request(s), "
+              f"shed {admission['shed_total']} "
+              f"({json.dumps(admission['shed'])}), "
+              f"plan cache {cache['hits']} hit(s) / {cache['misses']} miss(es)")
+    return 0
+
+
 def _run_list_algorithms(args: argparse.Namespace) -> int:
     registry = default_registry()
     infos = (registry.with_capabilities(*args.capability)
@@ -568,6 +673,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_plan(args)
     if args.command == "churn":
         return _run_churn(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "list-algorithms":
         return _run_list_algorithms(args)
     if args.command == "generate":

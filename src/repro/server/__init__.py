@@ -1,0 +1,54 @@
+"""The asyncio serving tier: the service's long-running front door.
+
+Components:
+
+* :class:`ServiceRegistry` / :class:`ServerConfig` — the composition root
+  that wires service, admission controller and cost model explicitly;
+* :class:`AdmissionController` — bounded priority queue, per-tenant rate
+  limits and quotas, deadline-aware shedding (:class:`Shed` rejections);
+* :class:`EmbeddingServer` — the newline-delimited-JSON asyncio server
+  with a ``metrics`` endpoint over :meth:`NetEmbedService.stats`;
+* :class:`AsyncNetEmbedClient` — the matching async client.
+"""
+
+from repro.server.admission import (
+    PRIORITY_CLASSES,
+    AdmissionConfig,
+    AdmissionController,
+    CostModel,
+    Shed,
+    TenantPolicy,
+    Ticket,
+)
+from repro.server.app import EmbeddingServer
+from repro.server.client import AsyncNetEmbedClient, ServerClosedError
+from repro.server.protocol import (
+    MAX_MESSAGE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    mapping_payload,
+    network_payload,
+    query_from_payload,
+)
+from repro.server.registry import ServerConfig, ServiceRegistry
+
+__all__ = [
+    "PRIORITY_CLASSES",
+    "AdmissionConfig",
+    "AdmissionController",
+    "CostModel",
+    "Shed",
+    "TenantPolicy",
+    "Ticket",
+    "EmbeddingServer",
+    "AsyncNetEmbedClient",
+    "ServerClosedError",
+    "MAX_MESSAGE_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "mapping_payload",
+    "network_payload",
+    "query_from_payload",
+    "ServerConfig",
+    "ServiceRegistry",
+]

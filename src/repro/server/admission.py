@@ -1,0 +1,531 @@
+"""Admission control for the serving tier: bounded queue, QoS, shedding.
+
+The front door admits a request only when the service can plausibly answer
+it in time; everything else is *shed* immediately with a structured,
+machine-readable rejection instead of being left to time out in a queue.
+Five policies compose, checked in this order by :meth:`AdmissionController.admit`:
+
+1. **Dead-on-arrival shedding** — a request whose deadline has already
+   expired is refused outright (it must never reach the engine).
+2. **Deadline-aware shedding** — using an EWMA :class:`CostModel` of
+   observed per-workload execution cost, a request whose remaining deadline
+   cannot cover the expected queue wait plus its own expected cost is shed
+   up front (reason ``deadline-unreachable``) rather than admitted to fail.
+3. **Per-tenant rate limits** — a token bucket (``rate`` req/s sustained,
+   ``burst`` depth) per tenant; over-rate arrivals are shed with a
+   ``retry_after`` hint.
+4. **Per-tenant queue/pool quotas** — ``max_queued`` bounds a tenant's
+   share of the admission queue; ``max_inflight`` bounds its concurrent
+   executions (enforced at dispatch: over-quota tickets wait, they are not
+   re-rejected).  ``max_plans`` is the *cache* quota: a tenant past its
+   budget of distinct cached workloads is still served, but with
+   ``cache=False`` so it cannot evict other tenants' warm plans.
+5. **Bounded global queue with priority classes** — the queue never exceeds
+   ``max_queue_depth``.  When full, an arrival of a strictly higher
+   priority class preempts the worst queued ticket (which is shed with
+   reason ``preempted``); equal-or-lower-priority arrivals are shed with
+   ``queue-full``.  Dispatch order is priority class, FIFO within a class.
+
+The controller is transport-agnostic and designed to be driven from a
+single event loop (or synchronously from tests): it takes an injectable
+monotonic ``clock`` and keeps no locks of its own.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.utils.timing import Deadline
+
+#: The recognised priority classes, most important first.
+PRIORITY_CLASSES: Tuple[str, ...] = ("interactive", "standard", "batch")
+_PRIORITY_RANK: Dict[str, int] = {name: rank
+                                  for rank, name in enumerate(PRIORITY_CLASSES)}
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """QoS knobs for one tenant (all optional; ``None`` = unlimited).
+
+    Attributes
+    ----------
+    rate:
+        Sustained admission rate in requests/second (token-bucket refill).
+    burst:
+        Token-bucket depth: how many requests may arrive back-to-back
+        before the sustained rate applies.
+    max_queued:
+        Cap on the tenant's simultaneously queued requests.
+    max_inflight:
+        Cap on the tenant's concurrently executing requests (its share of
+        the engine worker pool).
+    max_plans:
+        Cap on the tenant's distinct *cached* workloads; beyond it new
+        workloads run with the plan cache bypassed.
+    """
+
+    rate: Optional[float] = None
+    burst: int = 8
+    max_queued: Optional[int] = None
+    max_inflight: Optional[int] = None
+    max_plans: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be positive or None, got {self.rate}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        for name in ("max_queued", "max_inflight", "max_plans"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 or None, got {value}")
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Global admission-control configuration.
+
+    Attributes
+    ----------
+    max_queue_depth:
+        Hard bound on the admission queue (so overload cannot grow memory).
+    default_policy:
+        The :class:`TenantPolicy` applied to tenants without an explicit one.
+    tenants:
+        Per-tenant policy overrides, keyed by tenant name.
+    shed_safety:
+        Multiplier on the expected execution cost in the deadline-aware
+        shed test; > 1 sheds more aggressively (hedging cost variance).
+    """
+
+    max_queue_depth: int = 64
+    default_policy: TenantPolicy = field(default_factory=TenantPolicy)
+    tenants: Dict[str, TenantPolicy] = field(default_factory=dict)
+    shed_safety: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+        if self.shed_safety <= 0:
+            raise ValueError(
+                f"shed_safety must be positive, got {self.shed_safety}")
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        """The effective policy for *tenant*."""
+        return self.tenants.get(tenant, self.default_policy)
+
+
+@dataclass(frozen=True)
+class Shed:
+    """A structured rejection: why a request was refused before execution.
+
+    ``reason`` is a stable machine-readable code (``deadline-expired``,
+    ``deadline-unreachable``, ``tenant-rate``, ``tenant-queue-quota``,
+    ``queue-full``, ``preempted``, ``server-shutdown``); ``retry_after``
+    (seconds) is set when retrying later could succeed (rate limits).
+    """
+
+    reason: str
+    message: str
+    retry_after: Optional[float] = None
+
+
+class Ticket:
+    """One request's admission-control state, transport-agnostic.
+
+    The serving layer attaches whatever it needs (decoded spec, response
+    future) to :attr:`payload` / :attr:`future`; the controller only reads
+    tenant, priority, deadline and cost key.
+    """
+
+    __slots__ = ("tenant", "priority", "deadline", "cost_key", "payload",
+                 "future", "cache", "shed", "cancelled", "seq",
+                 "enqueued_at", "dispatched_at")
+
+    def __init__(self, tenant: str = "default", priority: str = "standard",
+                 deadline: Optional[Deadline] = None,
+                 cost_key: Optional[object] = None,
+                 payload: Optional[object] = None) -> None:
+        if priority not in _PRIORITY_RANK:
+            raise ValueError(
+                f"priority must be one of {PRIORITY_CLASSES}, got {priority!r}")
+        self.tenant = tenant
+        self.priority = priority
+        self.deadline = deadline if deadline is not None else Deadline.unlimited()
+        self.cost_key = cost_key
+        self.payload = payload
+        self.future = None
+        #: Whether the execution may use the plan cache (cleared when the
+        #: tenant is over its cache quota).
+        self.cache = True
+        #: Set when the controller refused or evicted this ticket.
+        self.shed: Optional[Shed] = None
+        self.cancelled = False
+        self.seq = 0
+        self.enqueued_at: Optional[float] = None
+        self.dispatched_at: Optional[float] = None
+
+    @property
+    def rank(self) -> int:
+        """Numeric priority (lower = more important)."""
+        return _PRIORITY_RANK[self.priority]
+
+
+class CostModel:
+    """EWMA estimates of per-workload execution cost (seconds).
+
+    Keyed by an opaque hashable workload key (the server uses
+    ``(network, algorithm, query fingerprint)``); a global EWMA over all
+    workloads backs estimates for keys never seen before.  ``None`` means
+    "no idea yet" — the admission controller only sheds on deadlines it can
+    actually predict.
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._per_key: Dict[object, float] = {}
+        self._global: Optional[float] = None
+        self._observations = 0
+
+    def observe(self, key: object, seconds: float) -> None:
+        """Fold one completed execution's wall cost into the estimates."""
+        if seconds < 0:
+            return
+        self._observations += 1
+        previous = self._per_key.get(key)
+        self._per_key[key] = (seconds if previous is None
+                              else previous + self.alpha * (seconds - previous))
+        self._global = (seconds if self._global is None
+                        else self._global + self.alpha * (seconds - self._global))
+
+    def estimate(self, key: object) -> Optional[float]:
+        """Expected cost for *key* (falls back to the global EWMA)."""
+        value = self._per_key.get(key)
+        return value if value is not None else self._global
+
+    @property
+    def global_estimate(self) -> Optional[float]:
+        """The cross-workload EWMA (used for queue-wait predictions)."""
+        return self._global
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "observations": self._observations,
+            "tracked_keys": len(self._per_key),
+            "global_estimate_seconds": self._global,
+        }
+
+
+class AdmissionController:
+    """The bounded, QoS-aware admission queue in front of the engine.
+
+    Drive it from one thread (the server's event loop): :meth:`admit` on
+    arrival, :meth:`pop_ready` whenever an engine worker frees up,
+    :meth:`finish` on completion.  Evictions caused by priority preemption
+    are collected via :meth:`take_evicted` so the transport can answer the
+    evicted requests too.
+    """
+
+    def __init__(self, config: Optional[AdmissionConfig] = None,
+                 cost_model: Optional[CostModel] = None,
+                 workers: int = 1, clock=time.monotonic) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.config = config if config is not None else AdmissionConfig()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.workers = workers
+        self._clock = clock
+        self._seq = itertools.count(1)
+        #: Min-heap of (priority rank, seq, ticket); cancelled tickets stay
+        #: until popped (lazy deletion).
+        self._heap: List[Tuple[int, int, Ticket]] = []
+        self._queued = 0
+        self._queued_per_tenant: Dict[str, int] = {}
+        self._inflight = 0
+        self._inflight_per_tenant: Dict[str, int] = {}
+        self._buckets: Dict[str, Tuple[float, float]] = {}  # tokens, stamp
+        self._plan_keys: Dict[str, Set[object]] = {}
+        self._evicted: List[Ticket] = []
+        # Lifetime counters (served verbatim by the metrics endpoint).
+        self._offered = 0
+        self._admitted = 0
+        self._executed = 0
+        self._completed = 0
+        self._cache_bypassed = 0
+        self._shed: Dict[str, int] = {}
+        self._per_tenant: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Arrival
+    # ------------------------------------------------------------------ #
+
+    def admit(self, ticket: Ticket) -> Optional[Shed]:
+        """Admit *ticket* to the queue, or return why it was shed.
+
+        A returned :class:`Shed` is also stored on ``ticket.shed``.  May
+        preempt a lower-priority queued ticket; collect those through
+        :meth:`take_evicted` and answer them.
+        """
+        self._offered += 1
+        tenant = ticket.tenant
+        self._tenant_counters(tenant)["offered"] += 1
+        policy = self.config.policy_for(tenant)
+
+        decision = (self._check_deadline(ticket)
+                    or self._check_rate(tenant, policy)
+                    or self._check_tenant_queue(tenant, policy)
+                    or self._check_global_queue(ticket))
+        if decision is not None:
+            return self._refuse(ticket, decision)
+
+        self._consume_token(tenant, policy)
+        self._apply_cache_quota(ticket, policy)
+        ticket.seq = next(self._seq)
+        ticket.enqueued_at = self._clock()
+        heapq.heappush(self._heap, (ticket.rank, ticket.seq, ticket))
+        self._queued += 1
+        self._queued_per_tenant[tenant] = self._queued_per_tenant.get(tenant, 0) + 1
+        self._admitted += 1
+        self._tenant_counters(tenant)["admitted"] += 1
+        return None
+
+    def _check_deadline(self, ticket: Ticket) -> Optional[Shed]:
+        remaining = ticket.deadline.remaining
+        if remaining <= 0:
+            return Shed("deadline-expired",
+                        "deadline expired before admission")
+        estimate = self.cost_model.estimate(ticket.cost_key)
+        if estimate is None:
+            return None
+        backlog = self.cost_model.global_estimate
+        wait = 0.0
+        if backlog is not None:
+            waiting = self._queued + max(0, self._inflight - self.workers + 1)
+            wait = backlog * waiting / self.workers
+        needed = self.config.shed_safety * estimate + wait
+        if remaining < needed:
+            return Shed("deadline-unreachable",
+                        f"remaining deadline {remaining:.3f}s cannot cover "
+                        f"expected cost {needed:.3f}s "
+                        f"(execution {estimate:.3f}s + queue wait {wait:.3f}s)")
+        return None
+
+    def _check_rate(self, tenant: str, policy: TenantPolicy) -> Optional[Shed]:
+        if policy.rate is None:
+            return None
+        tokens = self._refill(tenant, policy)
+        if tokens >= 1.0:
+            return None
+        return Shed("tenant-rate",
+                    f"tenant {tenant!r} exceeded {policy.rate:g} req/s "
+                    f"(burst {policy.burst})",
+                    retry_after=(1.0 - tokens) / policy.rate)
+
+    def _check_tenant_queue(self, tenant: str,
+                            policy: TenantPolicy) -> Optional[Shed]:
+        if policy.max_queued is None:
+            return None
+        if self._queued_per_tenant.get(tenant, 0) < policy.max_queued:
+            return None
+        return Shed("tenant-queue-quota",
+                    f"tenant {tenant!r} already has {policy.max_queued} "
+                    f"request(s) queued")
+
+    def _check_global_queue(self, ticket: Ticket) -> Optional[Shed]:
+        if self._queued < self.config.max_queue_depth:
+            return None
+        victim = self._worst_queued()
+        if victim is not None and ticket.rank < victim.rank:
+            self._evict(victim)
+            return None
+        return Shed("queue-full",
+                    f"admission queue is full "
+                    f"({self.config.max_queue_depth} deep)")
+
+    def _worst_queued(self) -> Optional[Ticket]:
+        worst: Optional[Ticket] = None
+        for _, _, candidate in self._heap:
+            if candidate.cancelled:
+                continue
+            if (worst is None or (candidate.rank, candidate.seq)
+                    > (worst.rank, worst.seq)):
+                worst = candidate
+        return worst
+
+    def _evict(self, victim: Ticket) -> None:
+        victim.cancelled = True
+        victim.shed = Shed("preempted",
+                           "evicted from a full queue by a higher-priority "
+                           "arrival")
+        self._dequeued(victim)
+        self._count_shed(victim, victim.shed)
+        self._evicted.append(victim)
+
+    def _refuse(self, ticket: Ticket, decision: Shed) -> Shed:
+        ticket.shed = decision
+        self._count_shed(ticket, decision)
+        return decision
+
+    # ------------------------------------------------------------------ #
+    # Dispatch / completion
+    # ------------------------------------------------------------------ #
+
+    def pop_ready(self) -> Optional[Ticket]:
+        """The next ticket to act on, in (priority, FIFO) order.
+
+        Returns a ticket whose ``shed`` is set when its deadline expired
+        while queued — the caller must answer it and **not** execute it.
+        Tickets of tenants at their ``max_inflight`` quota are left queued.
+        Returns ``None`` when nothing is dispatchable right now.
+        """
+        blocked: List[Tuple[int, int, Ticket]] = []
+        found: Optional[Ticket] = None
+        while self._heap:
+            rank, seq, ticket = heapq.heappop(self._heap)
+            if ticket.cancelled:
+                continue
+            if ticket.deadline.remaining <= 0:
+                ticket.shed = Shed("deadline-expired",
+                                   "deadline expired while queued")
+                self._dequeued(ticket)
+                self._count_shed(ticket, ticket.shed)
+                found = ticket
+                break
+            policy = self.config.policy_for(ticket.tenant)
+            if (policy.max_inflight is not None
+                    and self._inflight_per_tenant.get(ticket.tenant, 0)
+                    >= policy.max_inflight):
+                blocked.append((rank, seq, ticket))
+                continue
+            self._dequeued(ticket)
+            self._inflight += 1
+            self._inflight_per_tenant[ticket.tenant] = (
+                self._inflight_per_tenant.get(ticket.tenant, 0) + 1)
+            self._executed += 1
+            ticket.dispatched_at = self._clock()
+            found = ticket
+            break
+        for item in blocked:
+            heapq.heappush(self._heap, item)
+        return found
+
+    def finish(self, ticket: Ticket,
+               cost_seconds: Optional[float] = None) -> None:
+        """Record the completion of a dispatched ticket."""
+        self._inflight -= 1
+        count = self._inflight_per_tenant.get(ticket.tenant, 0) - 1
+        if count > 0:
+            self._inflight_per_tenant[ticket.tenant] = count
+        else:
+            self._inflight_per_tenant.pop(ticket.tenant, None)
+        self._completed += 1
+        self._tenant_counters(ticket.tenant)["completed"] += 1
+        if cost_seconds is not None:
+            self.cost_model.observe(ticket.cost_key, cost_seconds)
+
+    def take_evicted(self) -> List[Ticket]:
+        """Tickets preempted since the last call (answer them as shed)."""
+        evicted, self._evicted = self._evicted, []
+        return evicted
+
+    def drain(self, reason: str = "server-shutdown") -> List[Ticket]:
+        """Shed everything still queued (shutdown path); returns the tickets."""
+        drained: List[Ticket] = []
+        while self._heap:
+            _, _, ticket = heapq.heappop(self._heap)
+            if ticket.cancelled:
+                continue
+            ticket.cancelled = True
+            ticket.shed = Shed(reason, "server is shutting down")
+            self._dequeued(ticket)
+            self._count_shed(ticket, ticket.shed)
+            drained.append(ticket)
+        return drained
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _dequeued(self, ticket: Ticket) -> None:
+        self._queued -= 1
+        count = self._queued_per_tenant.get(ticket.tenant, 0) - 1
+        if count > 0:
+            self._queued_per_tenant[ticket.tenant] = count
+        else:
+            self._queued_per_tenant.pop(ticket.tenant, None)
+
+    def _refill(self, tenant: str, policy: TenantPolicy) -> float:
+        now = self._clock()
+        tokens, stamp = self._buckets.get(tenant, (float(policy.burst), now))
+        tokens = min(float(policy.burst), tokens + policy.rate * (now - stamp))
+        self._buckets[tenant] = (tokens, now)
+        return tokens
+
+    def _consume_token(self, tenant: str, policy: TenantPolicy) -> None:
+        if policy.rate is None:
+            return
+        tokens, stamp = self._buckets[tenant]
+        self._buckets[tenant] = (tokens - 1.0, stamp)
+
+    def _apply_cache_quota(self, ticket: Ticket, policy: TenantPolicy) -> None:
+        if policy.max_plans is None or ticket.cost_key is None:
+            return
+        keys = self._plan_keys.setdefault(ticket.tenant, set())
+        if ticket.cost_key in keys:
+            return
+        if len(keys) < policy.max_plans:
+            keys.add(ticket.cost_key)
+            return
+        ticket.cache = False
+        self._cache_bypassed += 1
+        self._tenant_counters(ticket.tenant)["cache_bypassed"] += 1
+
+    def _count_shed(self, ticket: Ticket, decision: Shed) -> None:
+        self._shed[decision.reason] = self._shed.get(decision.reason, 0) + 1
+        self._tenant_counters(ticket.tenant)["shed"] += 1
+
+    def _tenant_counters(self, tenant: str) -> Dict[str, int]:
+        counters = self._per_tenant.get(tenant)
+        if counters is None:
+            counters = self._per_tenant[tenant] = {
+                "offered": 0, "admitted": 0, "completed": 0,
+                "shed": 0, "cache_bypassed": 0,
+            }
+        return counters
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def queued(self) -> int:
+        """Live queue depth (excluding cancelled tickets)."""
+        return self._queued
+
+    @property
+    def inflight(self) -> int:
+        """Currently executing tickets."""
+        return self._inflight
+
+    def stats(self) -> Dict[str, object]:
+        """Lifetime admission counters (a JSON-serialisable snapshot)."""
+        return {
+            "offered": self._offered,
+            "admitted": self._admitted,
+            "executed": self._executed,
+            "completed": self._completed,
+            "shed": dict(self._shed),
+            "shed_total": sum(self._shed.values()),
+            "cache_bypassed": self._cache_bypassed,
+            "queued": self._queued,
+            "inflight": self._inflight,
+            "max_queue_depth": self.config.max_queue_depth,
+            "tenants": {name: dict(counters)
+                        for name, counters in self._per_tenant.items()},
+            "cost_model": self.cost_model.stats(),
+        }

@@ -1,0 +1,172 @@
+"""Async client for the serving tier, used by tests, examples and benches.
+
+:class:`AsyncNetEmbedClient` speaks the newline-delimited-JSON protocol of
+:mod:`repro.server.protocol` over one connection.  Requests are correlated
+by id, so many may be in flight at once (the open-loop load generators fire
+them without waiting) and responses are routed back to their callers even
+when the server answers out of order — which it does whenever admission
+control reorders by priority.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.graphs.query import QueryNetwork
+from repro.server.protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    network_payload,
+    read_message,
+    write_message,
+)
+
+
+class ServerClosedError(ConnectionError):
+    """The server hung up while requests were still outstanding."""
+
+
+class AsyncNetEmbedClient:
+    """One connection to an :class:`~repro.server.app.EmbeddingServer`.
+
+    Use as an async context manager::
+
+        async with await AsyncNetEmbedClient.connect("127.0.0.1", port) as c:
+            response = await c.embed(query, constraint="...", deadline=2.0)
+
+    Every call returns the raw response dict (``kind`` is ``result`` /
+    ``shed`` / ``error``); :meth:`embed` never raises on a shed — shedding
+    is an expected answer under load, not an exception.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncNetEmbedClient":
+        """Open a connection to the server at ``host:port``."""
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_MESSAGE_BYTES)
+        return cls(reader, writer)
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+
+    async def embed(self, query: QueryNetwork,
+                    constraint: Optional[str] = None,
+                    node_constraint: Optional[str] = None,
+                    algorithm: str = "auto",
+                    network: Optional[str] = None,
+                    timeout: Optional[float] = None,
+                    max_results: Optional[int] = None,
+                    seed: Optional[int] = None,
+                    tenant: str = "default",
+                    priority: str = "standard",
+                    deadline: Optional[float] = None) -> Dict[str, Any]:
+        """Submit one embedding request; returns the raw response dict.
+
+        ``deadline`` is the total seconds this request may spend —
+        queueing included; the server sheds it rather than let it rot in
+        the queue.  ``timeout`` is the search budget once running (clamped
+        to whatever deadline remains at dispatch).
+        """
+        message: Dict[str, Any] = {
+            "op": "embed",
+            "query": network_payload(query),
+            "algorithm": algorithm,
+            "tenant": tenant,
+            "priority": priority,
+        }
+        if constraint is not None:
+            # Accept parsed ConstraintExpression objects as well as source
+            # text; the wire format is always the source string.
+            message["constraint"] = getattr(constraint, "source", constraint)
+        if node_constraint is not None:
+            message["node_constraint"] = getattr(node_constraint, "source",
+                                                 node_constraint)
+        if network is not None:
+            message["network"] = network
+        if timeout is not None:
+            message["timeout"] = timeout
+        if max_results is not None:
+            message["max_results"] = max_results
+        if seed is not None:
+            message["seed"] = seed
+        if deadline is not None:
+            message["deadline"] = deadline
+        return await self.request(message)
+
+    async def metrics(self) -> Dict[str, Any]:
+        """Fetch the server's metrics document (the stats snapshot)."""
+        response = await self.request({"op": "metrics"})
+        return response.get("stats", response)
+
+    async def ping(self) -> Dict[str, Any]:
+        """Round-trip a ping (returns the pong with the protocol version)."""
+        return await self.request({"op": "ping"})
+
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw protocol message and await its response."""
+        if self._closed:
+            raise ServerClosedError("client is closed")
+        request_id = next(self._ids)
+        message = dict(message)
+        message["id"] = request_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            await write_message(self._writer, message)
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+
+    # ------------------------------------------------------------------ #
+
+    async def _read_loop(self) -> None:
+        error: BaseException = ServerClosedError("server closed the connection")
+        try:
+            while True:
+                message = await read_message(self._reader)
+                if message is None:
+                    break
+                future = self._pending.get(message.get("id"))
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (ProtocolError, ConnectionError, OSError) as exc:
+            error = exc
+        except asyncio.CancelledError:
+            error = ServerClosedError("client closed")
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    async def close(self) -> None:
+        """Close the connection and fail any outstanding requests."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+    async def __aenter__(self) -> "AsyncNetEmbedClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,135 @@
+"""Wire protocol of the asyncio serving tier: newline-delimited JSON.
+
+Each message is one JSON object on one line (UTF-8, ``\\n`` terminated).
+Requests carry an ``op`` (``embed`` / ``metrics`` / ``ping``) and a
+client-chosen ``id`` echoed verbatim in the response, so responses may be
+delivered out of order (a queued ``embed`` must not block a ``metrics``
+probe on the same connection).  Responses carry a ``kind``:
+
+* ``result`` — an accepted embed, with the stringified mappings;
+* ``shed`` — a structured admission rejection (``reason``, ``message``,
+  optional ``retry_after``);
+* ``metrics`` / ``pong`` — endpoint payloads;
+* ``error`` — malformed input or server-side failure.
+
+Query networks travel as explicit node/edge lists (attributes must be
+JSON-representable, which every paper workload's are), not as opaque
+pickles — the protocol stays language-agnostic and the server never
+unpickles untrusted bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.core.mapping import Mapping
+from repro.graphs.network import Network
+from repro.graphs.query import QueryNetwork
+
+#: Bumped on incompatible changes; echoed by ``ping``.
+PROTOCOL_VERSION = 1
+
+#: One message may not exceed this many bytes on the wire (keeps a rogue
+#: client from ballooning server memory before admission control even runs).
+MAX_MESSAGE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """Raised on malformed frames (bad JSON, oversized line, wrong shape)."""
+
+
+# --------------------------------------------------------------------------- #
+# Network <-> JSON
+# --------------------------------------------------------------------------- #
+
+def network_payload(network: Network) -> Dict[str, Any]:
+    """Encode *network* as a JSON-ready dict of node/edge lists."""
+    return {
+        "name": network.name,
+        "directed": network.directed,
+        "nodes": [[node, network.node_attrs(node)]
+                  for node in network.nodes()],
+        "edges": [[u, v, network.edge_attrs(u, v)]
+                  for u, v in network.edges()],
+    }
+
+
+def query_from_payload(payload: Dict[str, Any]) -> QueryNetwork:
+    """Decode a :func:`network_payload` dict into a :class:`QueryNetwork`."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"query must be an object, got {type(payload).__name__}")
+    try:
+        query = QueryNetwork(name=str(payload.get("name", "query")),
+                             directed=bool(payload.get("directed", False)))
+        for node, attrs in payload.get("nodes", []):
+            query.add_node(_node_id(node), **dict(attrs or {}))
+        for u, v, attrs in payload.get("edges", []):
+            query.add_edge(_node_id(u), _node_id(v), **dict(attrs or {}))
+    except ProtocolError:
+        raise
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ProtocolError(f"malformed query payload: {exc}") from exc
+    if query.num_nodes == 0:
+        raise ProtocolError("query payload contains no nodes")
+    return query
+
+
+def _node_id(value: Any) -> Any:
+    """Validate a JSON-carried node id (strings and ints survive JSON)."""
+    if isinstance(value, bool) or not isinstance(value, (str, int)):
+        raise ProtocolError(
+            f"node ids must be strings or integers, got {value!r}")
+    return value
+
+
+def mapping_payload(mapping: Mapping) -> Dict[str, str]:
+    """Encode a mapping exactly like the CLI's JSON output (stringified)."""
+    return {str(q): str(r) for q, r in mapping.items()}
+
+
+# --------------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------------- #
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """Serialise one message to its wire frame."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one wire frame; raises :class:`ProtocolError` on junk."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frames must be JSON objects, got {type(message).__name__}")
+    return message
+
+
+async def read_message(reader) -> Optional[Dict[str, Any]]:
+    """Read one message from an asyncio stream; ``None`` on clean EOF."""
+    import asyncio
+
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        # readline signals an over-limit line as ValueError; both streams in
+        # this package are opened with limit=MAX_MESSAGE_BYTES.
+        raise ProtocolError(f"frame exceeds stream limit: {exc}") from exc
+    if not line:
+        return None
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte limit")
+    return decode_message(line)
+
+
+async def write_message(writer, message: Dict[str, Any]) -> None:
+    """Write one message to an asyncio stream and drain it."""
+    writer.write(encode_message(message))
+    await writer.drain()

@@ -165,7 +165,8 @@ class NetEmbedService:
         request = spec.to_request(hosting, default_timeout=self._default_timeout)
 
         parallelism, shard_pool = self._shard_plan_for(spec)
-        plan = self._cached_plan(network_name, version, info, request)
+        plan = (self._cached_plan(network_name, version, info, request)
+                if spec.cache else None)
         result = None
         if plan is not None:
             try:
@@ -254,7 +255,8 @@ class NetEmbedService:
         info = self._algorithm_info(spec, hosting)
         request = spec.to_request(hosting, default_timeout=self._default_timeout)
         parallelism, shard_pool = self._shard_plan_for(spec)
-        plan = self._cached_plan(network_name, version, info, request)
+        plan = (self._cached_plan(network_name, version, info, request)
+                if spec.cache else None)
         if plan is not None:
             return self._stream_plan_with_fallback(plan, request, info, spec,
                                                    buffer_size, parallelism,
@@ -395,6 +397,57 @@ class NetEmbedService:
 
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, object]:
+        """One JSON-serialisable snapshot of every service-level counter.
+
+        Folds together the statistics that previously had to be collected
+        from four places — the plan cache, the reservation ledger, each
+        registered model's mutation journal, and the execution pools — so a
+        metrics endpoint (or ``repro plan --json``) can serve a single
+        consistent document.  Values are plain ints/strings/bools; the
+        snapshot never holds references into live service state.
+        """
+        networks = {}
+        for name in self.registry.names():
+            entry = self.registry.entry(name)
+            network = entry.network
+            journal = network.mutation_journal
+            monitor = self._monitors.get(name)
+            networks[name] = {
+                "version": entry.version,
+                "nodes": network.num_nodes,
+                "edges": network.num_edges,
+                "mutation_epoch": network.mutation_count,
+                "journal": {
+                    "entries": len(journal),
+                    "capacity": journal.capacity,
+                    "floor_epoch": journal.floor_epoch,
+                },
+                "monitor_ticks": monitor.ticks if monitor is not None else None,
+            }
+        executor = self._executor
+        process_pool = self._process_pool
+        return {
+            "default_timeout": self._default_timeout,
+            "plan_cache": self.plans.stats(),
+            "reservations": self.reservations.stats(),
+            "networks": networks,
+            "pools": {
+                "batch_threads": {
+                    "created": executor is not None,
+                    "max_workers": getattr(executor, "_max_workers", None),
+                },
+                "shard_processes": {
+                    "created": process_pool is not None,
+                    "max_workers": getattr(process_pool, "_max_workers", None),
+                },
+            },
+        }
 
     # ------------------------------------------------------------------ #
 

@@ -243,6 +243,23 @@ class ReservationManager:
     def __len__(self) -> int:
         return len(self.active_reservations())
 
+    def stats(self) -> Dict[str, int]:
+        """Lifetime reservation counters (a snapshot, safe to serialise).
+
+        ``granted`` counts every ticket ever issued, ``active`` the ones
+        still holding capacity, ``released`` the returned ones, and
+        ``rebinds`` how many times repairs moved capacity between hosts.
+        """
+        with self._lock:
+            reservations = list(self._reservations.values())
+            active = sum(1 for r in reservations if r.active)
+            return {
+                "granted": len(reservations),
+                "active": active,
+                "released": len(reservations) - active,
+                "rebinds": sum(r.rebinds for r in reservations),
+            }
+
 
 def with_default_demand(query, demand: float = 1.0, attribute: str = "demand"):
     """Ensure every query node declares a capacity demand (in place); returns the query.

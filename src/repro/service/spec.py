@@ -63,6 +63,11 @@ class QuerySpec:
         (``None`` = the process-wide default registry).  Pass the same custom
         registry the target :class:`NetEmbedService` was built with when its
         algorithms are not in the default registry.
+    cache:
+        Whether this request may consult (and populate) the service's plan
+        cache.  ``False`` forces the one-shot prepare-and-search path; the
+        serving tier uses it to enforce per-tenant cache quotas without
+        refusing the request outright.
     """
 
     query: QueryNetwork
@@ -76,6 +81,7 @@ class QuerySpec:
     seed: Optional[int] = None
     registry: Optional[AlgorithmRegistry] = None
     parallelism: Optional[int] = None
+    cache: bool = True
 
     def __post_init__(self) -> None:
         if not isinstance(self.query, QueryNetwork):

@@ -1,5 +1,12 @@
 """Workload (query) generators mirroring the paper's evaluation (§VII)."""
 
+from repro.workloads.arrivals import (
+    Arrival,
+    arrival_schedule,
+    diurnal_rate,
+    inhomogeneous_poisson_arrivals,
+    poisson_arrivals,
+)
 from repro.workloads.churn import (
     ChurnConfig,
     ChurnProcess,
@@ -29,6 +36,11 @@ from repro.workloads.suites import (
 )
 
 __all__ = [
+    "Arrival",
+    "arrival_schedule",
+    "diurnal_rate",
+    "inhomogeneous_poisson_arrivals",
+    "poisson_arrivals",
     "ChurnConfig",
     "ChurnProcess",
     "ChurnTick",

@@ -1,0 +1,143 @@
+"""Open-loop request arrival processes for load-testing the serving tier.
+
+The serving tier is judged under *open-loop* traffic: requests arrive on a
+schedule fixed in advance (a Poisson process), regardless of whether the
+server has kept up — exactly the regime in which an unbounded queue melts
+down and admission control earns its keep.  Two generators are provided:
+
+* :func:`poisson_arrivals` — a homogeneous Poisson process with rate λ
+  (exponential inter-arrival gaps);
+* :func:`inhomogeneous_poisson_arrivals` — a time-varying rate λ(t)
+  simulated by Lewis & Shedler thinning: candidate arrivals are drawn from
+  a homogeneous process at the envelope rate ``rate_max`` and accepted with
+  probability ``λ(t)/rate_max``, which reproduces the target process
+  exactly as long as ``λ(t) <= rate_max`` everywhere (checked at runtime).
+
+:func:`diurnal_rate` builds the classic day/night rate curve used by the
+trace-harness scenarios, so benchmarks can ask for "PlanetLab under a
+morning ramp" in one line.
+
+All generators are deterministic under a seeded rng and yield absolute
+arrival *offsets* (seconds since the start of the run) in increasing order,
+which is what an open-loop driver replays against a wall clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from repro.utils.rng import RandomSource, as_rng
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request arrival of an open-loop trace.
+
+    Attributes
+    ----------
+    offset:
+        Seconds after the start of the run at which the request fires.
+    index:
+        Position in the trace (0-based, increasing with ``offset``).
+    tenant:
+        The tenant issuing the request (round-robined over the generator's
+        ``tenants`` sequence; ``"default"`` when none was given).
+    """
+
+    offset: float
+    index: int
+    tenant: str = "default"
+
+
+def poisson_arrivals(rate: float, horizon: float,
+                     tenants: Optional[Sequence[str]] = None,
+                     rng: RandomSource = None) -> Iterator[Arrival]:
+    """Yield a homogeneous Poisson arrival trace.
+
+    Parameters
+    ----------
+    rate:
+        Mean arrival rate λ in requests/second (must be positive).
+    horizon:
+        Length of the trace in seconds; arrivals beyond it are not emitted.
+    tenants:
+        Tenant names assigned round-robin; ``None`` = all ``"default"``.
+    rng:
+        Seed or generator for reproducible traces.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    generator = as_rng(rng)
+    names = list(tenants) if tenants else ["default"]
+    now = 0.0
+    index = 0
+    while True:
+        now += generator.expovariate(rate)
+        if now >= horizon:
+            return
+        yield Arrival(offset=now, index=index, tenant=names[index % len(names)])
+        index += 1
+
+
+def inhomogeneous_poisson_arrivals(rate_fn: Callable[[float], float],
+                                   horizon: float, rate_max: float,
+                                   tenants: Optional[Sequence[str]] = None,
+                                   rng: RandomSource = None) -> Iterator[Arrival]:
+    """Yield an inhomogeneous Poisson trace with rate ``λ(t) = rate_fn(t)``.
+
+    Uses Lewis–Shedler thinning against the constant envelope ``rate_max``;
+    a ``rate_fn`` value above the envelope (or below zero) raises, since the
+    thinned process would silently stop being Poisson.
+    """
+    if rate_max <= 0:
+        raise ValueError(f"rate_max must be positive, got {rate_max}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    generator = as_rng(rng)
+    names = list(tenants) if tenants else ["default"]
+    now = 0.0
+    index = 0
+    while True:
+        now += generator.expovariate(rate_max)
+        if now >= horizon:
+            return
+        rate = rate_fn(now)
+        if rate < 0 or rate > rate_max * (1 + 1e-9):
+            raise ValueError(
+                f"rate_fn({now:.3f}) = {rate} outside [0, rate_max={rate_max}]; "
+                f"thinning requires 0 <= λ(t) <= rate_max")
+        if generator.random() * rate_max < rate:
+            yield Arrival(offset=now, index=index,
+                          tenant=names[index % len(names)])
+            index += 1
+
+
+def diurnal_rate(base: float, peak: float,
+                 period: float = 86400.0) -> Callable[[float], float]:
+    """A smooth day/night rate curve oscillating between *base* and *peak*.
+
+    ``λ(t) = base + (peak - base) * (1 - cos(2πt/period)) / 2`` — the curve
+    starts at *base* (t=0 is "night"), crests at *peak* half a period in,
+    and is bounded by ``peak``, so it can be thinned with
+    ``rate_max=peak``.
+    """
+    if base < 0 or peak < base:
+        raise ValueError(
+            f"need 0 <= base <= peak, got base={base}, peak={peak}")
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    span = peak - base
+
+    def rate(t: float) -> float:
+        return base + span * (1.0 - math.cos(2.0 * math.pi * t / period)) / 2.0
+
+    return rate
+
+
+def arrival_schedule(arrivals: Iterator[Arrival]) -> List[Arrival]:
+    """Materialise an arrival iterator (convenience for replay/inspection)."""
+    return list(arrivals)

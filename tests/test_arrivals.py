@@ -1,0 +1,125 @@
+"""Tests for the open-loop Poisson arrival generators."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.workloads import (
+    Arrival,
+    arrival_schedule,
+    diurnal_rate,
+    inhomogeneous_poisson_arrivals,
+    poisson_arrivals,
+)
+
+
+class TestPoissonArrivals:
+    def test_deterministic_under_seed(self):
+        first = arrival_schedule(poisson_arrivals(10.0, 5.0, rng=42))
+        second = arrival_schedule(poisson_arrivals(10.0, 5.0, rng=42))
+        assert first == second
+        assert first != arrival_schedule(poisson_arrivals(10.0, 5.0, rng=43))
+
+    def test_offsets_increase_within_horizon(self):
+        trace = arrival_schedule(poisson_arrivals(20.0, 3.0, rng=1))
+        offsets = [a.offset for a in trace]
+        assert offsets == sorted(offsets)
+        assert all(0.0 < offset < 3.0 for offset in offsets)
+        assert [a.index for a in trace] == list(range(len(trace)))
+
+    def test_mean_rate_roughly_lambda(self):
+        # λ=50 over 20s → 1000 expected arrivals; 3 sigma ≈ ±95.
+        trace = arrival_schedule(poisson_arrivals(50.0, 20.0, rng=7))
+        assert 1000 - 100 <= len(trace) <= 1000 + 100
+        gaps = [b.offset - a.offset for a, b in zip(trace, trace[1:])]
+        assert statistics.mean(gaps) == pytest.approx(1 / 50.0, rel=0.15)
+
+    def test_tenants_round_robin(self):
+        trace = arrival_schedule(
+            poisson_arrivals(30.0, 2.0, tenants=["a", "b", "c"], rng=3))
+        assert [a.tenant for a in trace[:6]] == ["a", "b", "c", "a", "b", "c"]
+
+    def test_default_tenant(self):
+        trace = arrival_schedule(poisson_arrivals(30.0, 1.0, rng=3))
+        assert all(a.tenant == "default" for a in trace)
+
+    @pytest.mark.parametrize("rate,horizon", [(0.0, 1.0), (-1.0, 1.0),
+                                              (1.0, 0.0), (1.0, -2.0)])
+    def test_invalid_parameters(self, rate, horizon):
+        with pytest.raises(ValueError):
+            next(poisson_arrivals(rate, horizon))
+
+
+class TestInhomogeneousArrivals:
+    def test_constant_rate_fn_matches_homogeneous_statistics(self):
+        trace = arrival_schedule(inhomogeneous_poisson_arrivals(
+            lambda t: 40.0, horizon=20.0, rate_max=40.0, rng=11))
+        assert 800 - 90 <= len(trace) <= 800 + 90
+        offsets = [a.offset for a in trace]
+        assert offsets == sorted(offsets)
+
+    def test_thinning_tracks_the_rate_curve(self):
+        # Rate 5 in the first half, 50 in the second: the second half must
+        # hold the overwhelming majority of arrivals.
+        step = lambda t: 5.0 if t < 10.0 else 50.0  # noqa: E731
+        trace = arrival_schedule(inhomogeneous_poisson_arrivals(
+            step, horizon=20.0, rate_max=50.0, rng=5))
+        early = sum(a.offset < 10.0 for a in trace)
+        late = len(trace) - early
+        assert late > 5 * early
+
+    def test_rate_above_envelope_raises(self):
+        with pytest.raises(ValueError, match="rate_max"):
+            arrival_schedule(inhomogeneous_poisson_arrivals(
+                lambda t: 100.0, horizon=10.0, rate_max=10.0, rng=0))
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ValueError, match="thinning"):
+            arrival_schedule(inhomogeneous_poisson_arrivals(
+                lambda t: -1.0, horizon=10.0, rate_max=10.0, rng=0))
+
+    def test_zero_rate_yields_nothing(self):
+        trace = arrival_schedule(inhomogeneous_poisson_arrivals(
+            lambda t: 0.0, horizon=5.0, rate_max=10.0, rng=0))
+        assert trace == []
+
+    def test_indices_are_contiguous_despite_thinning(self):
+        trace = arrival_schedule(inhomogeneous_poisson_arrivals(
+            diurnal_rate(5.0, 30.0, period=10.0), horizon=10.0,
+            rate_max=30.0, tenants=["x", "y"], rng=9))
+        assert [a.index for a in trace] == list(range(len(trace)))
+        assert all(a.tenant == ("x" if a.index % 2 == 0 else "y")
+                   for a in trace)
+
+
+class TestDiurnalRate:
+    def test_curve_bounds_and_shape(self):
+        rate = diurnal_rate(2.0, 10.0, period=100.0)
+        assert rate(0.0) == pytest.approx(2.0)       # night
+        assert rate(50.0) == pytest.approx(10.0)     # peak, half a period in
+        assert rate(100.0) == pytest.approx(2.0)     # back to night
+        samples = [rate(t) for t in range(0, 100)]
+        assert min(samples) >= 2.0 - 1e-9
+        assert max(samples) <= 10.0 + 1e-9
+
+    def test_period_wraps(self):
+        rate = diurnal_rate(1.0, 3.0, period=7.0)
+        assert rate(1.0) == pytest.approx(rate(8.0))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            diurnal_rate(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            diurnal_rate(5.0, 1.0)
+        with pytest.raises(ValueError):
+            diurnal_rate(1.0, 5.0, period=0.0)
+
+
+def test_arrival_is_frozen():
+    arrival = Arrival(offset=1.0, index=0)
+    with pytest.raises(Exception):
+        arrival.offset = 2.0
+    assert math.isclose(arrival.offset, 1.0)

@@ -185,3 +185,82 @@ class TestExperimentCommand:
         assert csv_path.exists()
         header = csv_path.read_text().splitlines()[0]
         assert "algorithm" in header and "total_ms" in header
+
+class TestServeCommand:
+    def test_requires_hosting(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serves_for_duration_and_prints_summary(self, graphml_pair,
+                                                    capsys):
+        host_path, _ = graphml_pair
+        code = main(["serve", "--hosting", str(host_path),
+                     "--duration", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving 'small-host' (6 nodes, 7 edges" in out \
+            or "serving 'small-host' (6 nodes, 7 links" in out
+        assert "served 0 request(s), shed 0" in out
+
+    def test_json_stats_shape(self, graphml_pair, capsys):
+        host_path, _ = graphml_pair
+        code = main(["serve", "--hosting", str(host_path),
+                     "--duration", "0.1", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        stats = json.loads(out[out.index("{"):])
+        assert set(stats) == {"service", "admission", "server"}
+        assert "small-host" in stats["service"]["networks"]
+        assert stats["admission"]["offered"] == 0
+
+    def test_rejects_bad_qos_file(self, graphml_pair, tmp_path, capsys):
+        host_path, _ = graphml_pair
+        qos = tmp_path / "qos.json"
+        qos.write_text('{"default": {"no_such_knob": 1}}')
+        code = main(["serve", "--hosting", str(host_path),
+                     "--duration", "0.1", "--qos", str(qos)])
+        assert code == 2
+        assert "cannot load QoS policies" in capsys.readouterr().err
+
+    def test_end_to_end_over_the_socket(self, graphml_pair, path_query):
+        """Serve on a real port and drive it with the async client."""
+        import asyncio
+        import socket
+        import threading
+
+        from repro.server import AsyncNetEmbedClient
+
+        host_path, _ = graphml_pair
+        with socket.socket() as probe:  # find a free port to pass in
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        thread = threading.Thread(target=main, args=(
+            ["serve", "--hosting", str(host_path), "--port", str(port),
+             "--duration", "1.5"],), daemon=True)
+        thread.start()
+
+        async def drive():
+            for _ in range(100):  # wait for the listener to come up
+                try:
+                    client = await AsyncNetEmbedClient.connect("127.0.0.1",
+                                                               port)
+                    break
+                except OSError:
+                    await asyncio.sleep(0.02)
+            else:
+                raise AssertionError("server never came up")
+            async with client:
+                response = await client.embed(
+                    path_query,
+                    constraint="rEdge.avgDelay <= vEdge.maxDelay",
+                    algorithm="ecf")
+                metrics = await client.metrics()
+            return response, metrics
+
+        response, metrics = asyncio.run(drive())
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert response["kind"] == "result" and response["mappings"]
+        assert metrics["admission"]["completed"] >= 1
+        assert metrics["server"]["requests"]["embed"] == 1

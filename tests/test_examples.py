@@ -25,6 +25,8 @@ CASES = [
     ("plan_cache_traffic.py", ["hosting model", "monitor tick", "hit rate"]),
     ("churn_repair.py", ["hosting model", "churn tick", "patched",
                          "valid embedding"]),
+    ("serve_async.py", ["serving tier up", "open-loop Poisson trace",
+                        "shed reasons", "accounting consistent: True"]),
 ]
 
 

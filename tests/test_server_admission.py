@@ -1,0 +1,308 @@
+"""Unit tests for the serving tier's admission controller.
+
+The controller is driven synchronously with a fake monotonic clock, so
+every rate-limit and deadline scenario is deterministic: no sleeps, no real
+wall time, no event loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.admission import (
+    PRIORITY_CLASSES,
+    AdmissionConfig,
+    AdmissionController,
+    CostModel,
+    TenantPolicy,
+    Ticket,
+)
+from repro.utils.timing import Deadline
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_controller(clock=None, workers=1, **config_kwargs):
+    return AdmissionController(AdmissionConfig(**config_kwargs),
+                               clock=clock if clock is not None else FakeClock(),
+                               workers=workers)
+
+
+def ticket(tenant="default", priority="standard", deadline=None, key="w0"):
+    return Ticket(tenant=tenant, priority=priority,
+                  deadline=Deadline(deadline) if deadline is not None else None,
+                  cost_key=key)
+
+
+# --------------------------------------------------------------------------- #
+# Basic admission / dispatch
+# --------------------------------------------------------------------------- #
+
+class TestBasicFlow:
+    def test_admit_then_dispatch_then_finish(self):
+        controller = make_controller()
+        t = ticket()
+        assert controller.admit(t) is None
+        assert controller.queued == 1
+        popped = controller.pop_ready()
+        assert popped is t and popped.shed is None
+        assert controller.queued == 0 and controller.inflight == 1
+        controller.finish(popped, cost_seconds=0.5)
+        assert controller.inflight == 0
+        stats = controller.stats()
+        assert stats["offered"] == stats["admitted"] == 1
+        assert stats["completed"] == 1 and stats["shed_total"] == 0
+
+    def test_fifo_within_priority_class(self):
+        controller = make_controller()
+        tickets = [ticket(key=f"w{i}") for i in range(3)]
+        for t in tickets:
+            assert controller.admit(t) is None
+        assert [controller.pop_ready() for _ in range(3)] == tickets
+
+    def test_pop_empty_queue_returns_none(self):
+        assert make_controller().pop_ready() is None
+
+    def test_unknown_priority_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="priority"):
+            Ticket(priority="vip")
+        assert PRIORITY_CLASSES == ("interactive", "standard", "batch")
+
+
+# --------------------------------------------------------------------------- #
+# Queue bound and priority classes
+# --------------------------------------------------------------------------- #
+
+class TestBoundedQueue:
+    def test_queue_full_rejection(self):
+        controller = make_controller(max_queue_depth=2)
+        assert controller.admit(ticket()) is None
+        assert controller.admit(ticket()) is None
+        decision = controller.admit(ticket())
+        assert decision is not None and decision.reason == "queue-full"
+        assert controller.queued == 2
+        assert controller.stats()["shed"]["queue-full"] == 1
+
+    def test_higher_priority_preempts_when_full(self):
+        controller = make_controller(max_queue_depth=2)
+        keeper = ticket(priority="standard")
+        victim = ticket(priority="batch")
+        assert controller.admit(keeper) is None
+        assert controller.admit(victim) is None
+        vip = ticket(priority="interactive")
+        assert controller.admit(vip) is None      # preempts the batch ticket
+        evicted = controller.take_evicted()
+        assert evicted == [victim]
+        assert victim.shed is not None and victim.shed.reason == "preempted"
+        assert controller.queued == 2
+        # The evicted ticket never dispatches; the queue drains vip first.
+        assert controller.pop_ready() is vip
+        assert controller.pop_ready() is keeper
+        assert controller.pop_ready() is None
+
+    def test_equal_priority_does_not_preempt(self):
+        controller = make_controller(max_queue_depth=1)
+        assert controller.admit(ticket(priority="interactive")) is None
+        decision = controller.admit(ticket(priority="interactive"))
+        assert decision is not None and decision.reason == "queue-full"
+        assert controller.take_evicted() == []
+
+    def test_priority_ordering_on_dispatch(self):
+        controller = make_controller()
+        batch = ticket(priority="batch")
+        standard = ticket(priority="standard")
+        interactive = ticket(priority="interactive")
+        for t in (batch, standard, interactive):
+            assert controller.admit(t) is None
+        order = [controller.pop_ready() for _ in range(3)]
+        assert order == [interactive, standard, batch]
+
+
+# --------------------------------------------------------------------------- #
+# Per-tenant QoS
+# --------------------------------------------------------------------------- #
+
+class TestTenantQoS:
+    def test_rate_limit_sheds_and_refills(self):
+        clock = FakeClock()
+        controller = make_controller(
+            clock=clock,
+            default_policy=TenantPolicy(rate=1.0, burst=2))
+        assert controller.admit(ticket(tenant="a")) is None
+        assert controller.admit(ticket(tenant="a")) is None
+        decision = controller.admit(ticket(tenant="a"))
+        assert decision is not None and decision.reason == "tenant-rate"
+        assert decision.retry_after == pytest.approx(1.0)
+        # Other tenants have their own buckets.
+        assert controller.admit(ticket(tenant="b")) is None
+        # After a second the bucket holds one token again.
+        clock.advance(1.0)
+        assert controller.admit(ticket(tenant="a")) is None
+
+    def test_tenant_queue_quota(self):
+        controller = make_controller(
+            tenants={"small": TenantPolicy(max_queued=1)})
+        assert controller.admit(ticket(tenant="small")) is None
+        decision = controller.admit(ticket(tenant="small"))
+        assert decision is not None and decision.reason == "tenant-queue-quota"
+        # The default policy is unlimited: other tenants are unaffected.
+        for _ in range(5):
+            assert controller.admit(ticket(tenant="big")) is None
+
+    def test_tenant_inflight_quota_defers_not_sheds(self):
+        controller = make_controller(
+            workers=4,
+            tenants={"t": TenantPolicy(max_inflight=1)})
+        first, second = ticket(tenant="t"), ticket(tenant="t")
+        other = ticket(tenant="other")
+        for t in (first, second, other):
+            assert controller.admit(t) is None
+        assert controller.pop_ready() is first
+        # t is at its pool quota: its second ticket is skipped, not shed,
+        # and the other tenant's work proceeds.
+        assert controller.pop_ready() is other
+        assert controller.pop_ready() is None
+        assert second.shed is None and controller.queued == 1
+        controller.finish(first)
+        assert controller.pop_ready() is second
+
+    def test_cache_quota_bypasses_cache_beyond_budget(self):
+        controller = make_controller(
+            tenants={"t": TenantPolicy(max_plans=2)})
+        a = ticket(tenant="t", key="w-a")
+        b = ticket(tenant="t", key="w-b")
+        c = ticket(tenant="t", key="w-c")
+        a2 = ticket(tenant="t", key="w-a")
+        for t in (a, b, c, a2):
+            assert controller.admit(t) is None
+        assert a.cache and b.cache
+        assert not c.cache                 # third distinct workload: bypass
+        assert a2.cache                    # repeats of budgeted workloads hit
+        assert controller.stats()["cache_bypassed"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# Deadline-aware shedding
+# --------------------------------------------------------------------------- #
+
+class TestDeadlineShedding:
+    def test_expired_deadline_shed_at_admission(self):
+        controller = make_controller()
+        dead = Ticket(deadline=Deadline(1e-9))
+        while dead.deadline.remaining > 0:
+            pass
+        decision = controller.admit(dead)
+        assert decision is not None and decision.reason == "deadline-expired"
+        assert controller.queued == 0
+        # It must never reach dispatch.
+        assert controller.pop_ready() is None
+
+    def test_expired_in_queue_shed_at_dispatch_never_executes(self):
+        controller = make_controller()
+        doomed = ticket(deadline=0.05)   # alive at admission...
+        assert controller.admit(doomed) is None
+        while doomed.deadline.remaining > 0:   # ...expired by dispatch
+            pass
+        popped = controller.pop_ready()
+        assert popped is doomed
+        assert popped.shed is not None
+        assert popped.shed.reason == "deadline-expired"
+        # Shed-at-dispatch tickets are not counted as executing.
+        assert controller.inflight == 0
+        assert controller.stats()["executed"] == 0
+
+    def test_unreachable_deadline_shed_by_cost_model(self):
+        controller = make_controller()
+        controller.cost_model.observe("w0", 10.0)
+        decision = controller.admit(ticket(deadline=1.0, key="w0"))
+        assert decision is not None
+        assert decision.reason == "deadline-unreachable"
+        # A generous deadline for the same workload is admitted.
+        assert controller.admit(ticket(deadline=60.0, key="w0")) is None
+
+    def test_unknown_cost_admits(self):
+        controller = make_controller()
+        assert controller.admit(ticket(deadline=0.001, key="never-seen",
+                                       )) is None
+
+    def test_queue_wait_counts_against_deadline(self):
+        controller = make_controller(workers=1)
+        controller.cost_model.observe("w0", 1.0)
+        # Fill the queue with work worth ~3s of backlog.
+        for _ in range(3):
+            assert controller.admit(ticket(deadline=60.0, key="w0")) is None
+        # 2s deadline cannot cover ~3s backlog + 1s own cost.
+        decision = controller.admit(ticket(deadline=2.0, key="w0"))
+        assert decision is not None
+        assert decision.reason == "deadline-unreachable"
+
+
+# --------------------------------------------------------------------------- #
+# Cost model
+# --------------------------------------------------------------------------- #
+
+class TestCostModel:
+    def test_ewma_converges(self):
+        model = CostModel(alpha=0.5)
+        assert model.estimate("k") is None
+        model.observe("k", 1.0)
+        assert model.estimate("k") == pytest.approx(1.0)
+        model.observe("k", 2.0)
+        assert model.estimate("k") == pytest.approx(1.5)
+
+    def test_global_fallback_for_unknown_keys(self):
+        model = CostModel()
+        model.observe("a", 2.0)
+        assert model.estimate("b") == pytest.approx(2.0)
+        assert model.global_estimate == pytest.approx(2.0)
+
+    def test_negative_observations_ignored(self):
+        model = CostModel()
+        model.observe("k", -1.0)
+        assert model.estimate("k") is None
+
+
+# --------------------------------------------------------------------------- #
+# Shutdown / accounting
+# --------------------------------------------------------------------------- #
+
+class TestAccounting:
+    def test_drain_sheds_everything_queued(self):
+        controller = make_controller()
+        tickets = [ticket(key=f"w{i}") for i in range(4)]
+        for t in tickets:
+            controller.admit(t)
+        drained = controller.drain()
+        assert set(drained) == set(tickets)
+        assert all(t.shed is not None and t.shed.reason == "server-shutdown"
+                   for t in tickets)
+        assert controller.queued == 0
+
+    def test_offered_equals_admitted_plus_shed(self):
+        controller = make_controller(max_queue_depth=2)
+        for index in range(5):
+            controller.admit(ticket(key=f"w{index}"))
+        stats = controller.stats()
+        assert stats["offered"] == 5
+        assert stats["admitted"] + stats["shed_total"] == 5
+        tenant = stats["tenants"]["default"]
+        assert tenant["offered"] == 5
+        assert tenant["admitted"] + tenant["shed"] == 5
+
+    def test_stats_are_json_serialisable(self):
+        import json
+
+        controller = make_controller()
+        controller.admit(ticket())
+        json.dumps(controller.stats())
