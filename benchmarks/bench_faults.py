@@ -1,0 +1,337 @@
+#!/usr/bin/env python
+"""The serving tier under a seeded fault plan: availability, parity, recovery.
+
+A closed-loop client drives a live server while the deterministic fault
+injector (:mod:`repro.faults`) fires a fixed schedule of engine timeouts
+and connection drops plus a seeded-Poisson sprinkle of admission slowdowns.
+The client runs the full resilience stack — :class:`RetryPolicy` with
+``retry_errors`` on, per-request idempotency keys, automatic reconnect —
+and the benchmark reports the invariants that make fault tolerance a
+*contract* rather than a hope:
+
+* ``availability.availability`` — every request must end in a ``result``
+  (the gate pins it at 1.0: injected faults never cost an answer);
+* ``faults.fired_counts`` — the same seed fires the same faults, run after
+  run (exact-gated, the determinism proof);
+* ``parity.results_match`` — answers under faults are byte-identical to a
+  fault-free direct engine run: retries and idempotent replays add zero
+  result drift;
+* ``wal.state_match`` / ``wal.orphans`` — the reservation WAL written
+  during the faulted run replays into exactly the live ledger, and every
+  active reservation is one a client actually holds a ticket for.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py \
+        [--scale smoke|small] [--seed N] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import faults
+from repro.analysis.perf import environment_info, write_bench_json
+from repro.faults import FaultPlan, FaultSpec
+from repro.server import (
+    AdmissionConfig,
+    AsyncNetEmbedClient,
+    EmbeddingServer,
+    RetryPolicy,
+    ServerConfig,
+    ServiceRegistry,
+    mapping_payload,
+)
+from repro.service import NetEmbedService, QuerySpec
+from repro.utils.rng import as_rng
+from repro.workloads import planetlab_host, subgraph_query
+
+DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_faults.json"
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FaultScale:
+    """Scene size, request count and fault schedule per --scale."""
+
+    hosting_nodes: int
+    num_workloads: int
+    query_size: int
+    slack: float
+    requests: int
+    max_results: int
+    deadline: float
+    reserve_every: int           # every n-th request also reserves
+    timeout_hits: Tuple[int, ...]   # service.submit engine-timeout schedule
+    drop_hits: Tuple[int, ...]      # server.reply connection-drop schedule
+    slow_rate: float             # admission.admit seeded-Poisson slow-calls
+
+
+SCALES: Dict[str, FaultScale] = {
+    "smoke": FaultScale(hosting_nodes=16, num_workloads=3, query_size=4,
+                        slack=0.30, requests=12, max_results=2, deadline=30.0,
+                        reserve_every=3, timeout_hits=(3, 8), drop_hits=(5,),
+                        slow_rate=0.25),
+    "small": FaultScale(hosting_nodes=32, num_workloads=4, query_size=5,
+                        slack=0.30, requests=40, max_results=2, deadline=30.0,
+                        reserve_every=4, timeout_hits=(3, 11, 27),
+                        drop_hits=(6, 22), slow_rate=0.20),
+}
+
+
+def build_scene(scale: FaultScale, seed: int):
+    """One deterministic (hosting, workloads) scene — shared by both arms."""
+    rng = as_rng(seed)
+    hosting = planetlab_host(scale.hosting_nodes, rng=rng)
+    for node in hosting.nodes():
+        # Ample per-host capacity: reservations must be limited by the
+        # workload, not by an accidental capacity cliff mid-benchmark.
+        hosting.set_capacity(node, float(scale.requests))
+    workloads = [subgraph_query(hosting, scale.query_size, slack=scale.slack,
+                                rng=rng)
+                 for _ in range(scale.num_workloads)]
+    return hosting, workloads
+
+
+def build_plan(scale: FaultScale, seed: int) -> FaultPlan:
+    """The fault schedule: fixed hits plus one seeded Poisson spec."""
+    return FaultPlan.fixed(
+        FaultSpec("service.submit", "engine-timeout",
+                  hits=scale.timeout_hits),
+        FaultSpec("server.reply", "connection-drop", hits=scale.drop_hits),
+        FaultSpec.poisson("admission.admit", "slow-call",
+                          rate=scale.slow_rate, horizon=float(scale.requests),
+                          seed=seed + 2, delay=0.01),
+    )
+
+
+async def drive_closed_loop(scale: FaultScale, seed: int,
+                            wal_path: Path) -> Dict:
+    """Run the faulted arm; returns raw outcomes + fault/WAL observables."""
+    hosting, workloads = build_scene(scale, seed)
+    config = ServerConfig(
+        default_timeout=scale.deadline, engine_workers=1,
+        admission=AdmissionConfig(max_queue_depth=max(16, scale.requests)))
+    registry = ServiceRegistry(config)
+    registry.service.register_network(hosting, name="faults-bench")
+    registry.service.attach_wal(wal_path)
+    plan = build_plan(scale, seed)
+    retry = RetryPolicy(max_attempts=6, base_delay=0.02, max_delay=0.5,
+                        retry_errors=True)
+
+    outcomes: List[Tuple[int, int, Dict]] = []
+    run_started = time.perf_counter()
+    with faults.injecting(plan) as injector:
+        async with EmbeddingServer(registry) as server:
+            client = await AsyncNetEmbedClient.connect(
+                server.host, server.port)
+            try:
+                for i in range(scale.requests):
+                    workload = workloads[i % len(workloads)]
+                    response = await client.embed(
+                        workload.query, constraint=workload.constraint,
+                        algorithm="ECF", max_results=scale.max_results,
+                        reserve=(i % scale.reserve_every == 0),
+                        idempotency_key=f"req-{i:04d}",
+                        retry=retry, rng=seed + i)
+                    outcomes.append((i, i % len(workloads), response))
+                metrics = await client.metrics()
+                reconnects = client.reconnects
+            finally:
+                await client.close()
+        fault_stats = injector.stats()
+    wall_seconds = time.perf_counter() - run_started
+
+    live_snapshot = [entry for entry in
+                     registry.service.reservations.snapshot()
+                     if entry["active"]]
+    registry.service.shutdown()     # closes the WAL cleanly
+    return {"outcomes": outcomes, "metrics": metrics,
+            "reconnects": reconnects, "fault_stats": fault_stats,
+            "live_snapshot": live_snapshot, "wall_seconds": wall_seconds}
+
+
+def run_parity_check(scale: FaultScale, seed: int, outcomes) -> Dict:
+    """Faulted-run answers must equal a fault-free direct engine run."""
+    hosting, workloads = build_scene(scale, seed)
+    service = NetEmbedService(default_timeout=scale.deadline)
+    service.register_network(hosting, name="faults-bench")
+    expected = []
+    for workload in workloads:
+        response = service.submit(QuerySpec(
+            query=workload.query, constraint=workload.constraint,
+            algorithm="ECF", max_results=scale.max_results))
+        expected.append([mapping_payload(m) for m in response.mappings])
+    service.shutdown()
+
+    compared = 0
+    mismatches = 0
+    for _, workload_index, response in outcomes:
+        if response.get("kind") != "result":
+            continue
+        compared += 1
+        if response["mappings"] != expected[workload_index]:
+            mismatches += 1
+    return {
+        "responses_compared": compared,
+        "mismatches": mismatches,
+        "results_match": mismatches == 0 and compared > 0,
+    }
+
+
+def run_recovery_check(scale: FaultScale, seed: int, wal_path: Path,
+                       live_snapshot, acknowledged) -> Dict:
+    """Replay the WAL into a fresh service; the ledgers must be identical."""
+    hosting, _ = build_scene(scale, seed)
+    service = NetEmbedService(default_timeout=scale.deadline)
+    service.register_network(hosting, name="faults-bench")
+    report = service.attach_wal(wal_path)
+    recovered = [entry for entry in service.reservations.snapshot()
+                 if entry["active"]]
+    service.shutdown()
+
+    recovered_ids = {entry["id"] for entry in recovered}
+    acknowledged_ids = set(acknowledged)
+    state_match = (json.dumps(recovered, sort_keys=True)
+                   == json.dumps(live_snapshot, sort_keys=True))
+    return {
+        "records": report["records"],
+        "skipped": report["skipped"],
+        "acknowledged": len(acknowledged_ids),
+        "active": len(recovered),
+        # An orphan would be capacity held with no client ticket; a lost
+        # ticket the reverse.  Both must be zero under every fault plan.
+        "orphans": len(recovered_ids - acknowledged_ids),
+        "lost": len(acknowledged_ids - recovered_ids),
+        "state_match": state_match,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke",
+                        help="scene size and fault schedule (default: smoke)")
+    parser.add_argument("--seed", type=int, default=9,
+                        help="scene + fault-plan RNG seed (default: 9)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"where to write BENCH_faults.json "
+                             f"(default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale]
+    started = time.strftime("%Y-%m-%dT%H:%M:%S")
+    plan = build_plan(scale, args.seed)
+    print(f"faults: scale={args.scale} seed={args.seed} "
+          f"{scale.requests} closed-loop requests over "
+          f"{scale.hosting_nodes} hosts; plan fires "
+          f"{sum(len(s.hits) for s in plan.specs)} fault(s) across "
+          f"{', '.join(plan.sites())}")
+
+    with tempfile.TemporaryDirectory(prefix="bench-faults-") as tmp:
+        wal_path = Path(tmp) / "reservations.wal"
+        raw = asyncio.run(drive_closed_loop(scale, args.seed, wal_path))
+
+        outcomes = raw["outcomes"]
+        results = [o for o in outcomes if o[2].get("kind") == "result"]
+        sheds = [o for o in outcomes if o[2].get("kind") == "shed"]
+        errors = [o for o in outcomes if o[2].get("kind") == "error"]
+        replays = sum(1 for o in outcomes if o[2].get("idempotent_replay"))
+        acknowledged = [o[2]["reservation_id"] for o in results
+                        if o[2].get("reservation_id")]
+
+        parity = run_parity_check(scale, args.seed, outcomes)
+        wal = run_recovery_check(scale, args.seed, wal_path,
+                                 raw["live_snapshot"], acknowledged)
+
+    availability = {
+        "requests": scale.requests,
+        "answered": len(outcomes),
+        "results": len(results),
+        "sheds": len(sheds),
+        "errors_final": len(errors),
+        "availability": (len(results) / scale.requests
+                         if scale.requests else 0.0),
+        "idempotent_replays": replays,
+        "reconnects": raw["reconnects"],
+        "wall_seconds": raw["wall_seconds"],
+    }
+
+    fired = raw["fault_stats"]
+    print(f"availability: {availability['results']}/{scale.requests} "
+          f"results ({availability['availability']:.1%}), "
+          f"{availability['reconnects']} reconnect(s), "
+          f"{availability['idempotent_replays']} idempotent replay(s)")
+    print(f"faults fired: {fired['total_fired']} "
+          f"({json.dumps(fired['fired_counts'], sort_keys=True)})")
+    print(f"parity: {parity['responses_compared']} responses vs fault-free "
+          f"direct engine calls, {parity['mismatches']} mismatches")
+    print(f"wal: {wal['records']} record(s) replayed, "
+          f"{wal['active']} active reservation(s), "
+          f"{wal['orphans']} orphan(s), {wal['lost']} lost, "
+          f"state_match={wal['state_match']}")
+    if availability["availability"] < 0.99:
+        print("WARNING: availability under faults fell below 99%",
+              file=sys.stderr)
+    if not parity["results_match"] or not wal["state_match"]:
+        print("WARNING: fault run drifted from the fault-free reference",
+              file=sys.stderr)
+
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "workload": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "hosting_nodes": scale.hosting_nodes,
+            "num_workloads": scale.num_workloads,
+            "query_size": scale.query_size,
+            "slack": scale.slack,
+            "requests": scale.requests,
+            "max_results": scale.max_results,
+            "reserve_every": scale.reserve_every,
+            "fault_plan": plan.payload(),
+            "started": started,
+        },
+        "environment": environment_info(),
+        "availability": availability,
+        "faults": {
+            "total_fired": fired["total_fired"],
+            "fired_counts": fired["fired_counts"],
+            "invocations": fired["invocations"],
+        },
+        "parity": parity,
+        "wal": wal,
+    }
+    path = write_bench_json(args.output, report)
+    print(f"wrote {path}")
+    return 0
+
+
+try:                         # pytest is absent in script-only environments
+    from _smoke_marker import smoke as _smoke
+except ImportError:          # pragma: no cover - running outside benchmarks/
+    def _smoke(func):
+        return func
+
+
+@_smoke
+def test_smoke(tmp_path):
+    """Tiny-scale end-to-end fault run (parity + recovery) for pytest/CI."""
+    assert main(["--scale", "smoke",
+                 "--output", str(tmp_path / "BENCH_faults.json")]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -103,6 +103,25 @@ TRACKED: Dict[str, List[Metric]] = {
         Metric("repair.failed", kind="exact"),
         Metric("repair.timeout", kind="exact"),
     ],
+    "BENCH_faults.json": [
+        # The fault benchmark is deterministic end to end: the seeded plan
+        # fires the same faults every run, the resilience stack answers
+        # every request, and the WAL replays to the exact live ledger.
+        # All of it is exact-gated — any drift is a robustness regression.
+        Metric("availability.availability", kind="exact"),
+        Metric("availability.answered", kind="exact"),
+        Metric("availability.results", kind="exact"),
+        Metric("availability.errors_final", kind="exact"),
+        Metric("faults.total_fired", kind="exact"),
+        Metric("faults.fired_counts.engine-timeout", kind="exact"),
+        Metric("faults.fired_counts.connection-drop", kind="exact"),
+        Metric("faults.fired_counts.slow-call", kind="exact"),
+        Metric("parity.results_match", kind="exact"),
+        Metric("parity.mismatches", kind="exact"),
+        Metric("wal.orphans", kind="exact"),
+        Metric("wal.lost", kind="exact"),
+        Metric("wal.state_match", kind="exact"),
+    ],
     "BENCH_serving.json": [
         # Latency percentiles and shed counts are load/host dependent; the
         # gate protects the serving tier's deterministic invariants: zero

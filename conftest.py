@@ -1,0 +1,72 @@
+"""Root conftest: a per-test timeout for the whole suite.
+
+The fault-tolerance tests exercise hang-prone machinery on purpose —
+dropped connections, killed workers, drained queues — so the suite pins a
+hard per-test wall-clock budget (the ``timeout`` ini option, set in
+pyproject.toml).  When the real ``pytest-timeout`` plugin is installed (CI
+installs it) it owns the option and this file stays out of the way.  When
+it is not — the offline dev container ships without it — a minimal
+SIGALRM-based fallback below enforces the same budget: a test that
+exceeds it fails with a ``TimeoutError`` instead of wedging the run.
+
+The fallback is deliberately conservative: it only arms on platforms with
+``SIGALRM``, only from the main thread, and restores the previous handler
+and timer around every test.  Per-test overrides use the same marker
+pytest-timeout defines: ``@pytest.mark.timeout(seconds)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401 — the real plugin owns "timeout"
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+if not _HAVE_PYTEST_TIMEOUT:
+    import signal
+    import threading
+
+    def pytest_addoption(parser):
+        parser.addini("timeout",
+                      "per-test timeout in seconds (SIGALRM fallback shim; "
+                      "install pytest-timeout for the full plugin)",
+                      default="0")
+
+    def pytest_configure(config):
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): per-test timeout override "
+            "(pytest-timeout-compatible)")
+
+    def _budget_for(item) -> float:
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            return float(marker.args[0])
+        try:
+            return float(item.config.getini("timeout") or 0)
+        except (TypeError, ValueError):
+            return 0.0
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        seconds = _budget_for(item)
+        if (seconds <= 0 or not hasattr(signal, "SIGALRM")
+                or threading.current_thread() is not threading.main_thread()):
+            yield
+            return
+
+        def on_alarm(signum, frame):
+            raise TimeoutError(
+                f"test exceeded the {seconds:g}s per-test timeout "
+                f"(SIGALRM fallback; see conftest.py)")
+
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)

@@ -198,8 +198,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=None,
                        help="serve for this many seconds then exit "
                             "(default: run until interrupted)")
+    serve.add_argument("--wal", type=Path, default=None,
+                       help="journal reservations to this write-ahead log; "
+                            "an existing log is replayed on startup so the "
+                            "server resumes with its pre-crash reservations")
+    serve.add_argument("--fault-plan", type=Path, default=None,
+                       help="JSON fault plan installed for the server's "
+                            "lifetime (deterministic fault injection; see "
+                            "repro.faults.FaultPlan)")
     serve.add_argument("--json", action="store_true",
                        help="print the final stats snapshot as JSON on exit")
+
+    recover = subparsers.add_parser(
+        "recover", help="replay a reservation write-ahead log and report "
+                        "the recovered state")
+    recover.add_argument("--wal", required=True, type=Path,
+                         help="write-ahead log to replay")
+    recover.add_argument("--hosting", required=True, type=Path,
+                         help="GraphML hosting network the reservations "
+                              "were granted against")
+    recover.add_argument("--compact", action="store_true",
+                         help="after replay, rewrite the log keeping only "
+                              "records for still-active reservations")
+    recover.add_argument("--json", action="store_true",
+                         help="print the recovery report as JSON")
 
     generate = subparsers.add_parser(
         "generate", help="generate a synthetic hosting network as GraphML")
@@ -575,6 +597,28 @@ def _run_serve(args: argparse.Namespace) -> int:
                                                           default=True)
     hosting = registry.models.get(name)
 
+    if args.wal is not None:
+        from repro.service.wal import WALError
+        try:
+            report = registry.service.attach_wal(args.wal)
+        except (WALError, OSError, ValueError) as exc:
+            print(f"error: cannot recover WAL {args.wal}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wal: replayed {report['records']} record(s) from "
+              f"{args.wal} ({report['active']} active reservation(s), "
+              f"{report['skipped']} torn line(s) skipped)", flush=True)
+
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro import faults
+        try:
+            fault_plan = faults.FaultPlan.from_json(args.fault_plan)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load fault plan from {args.fault_plan}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+
     async def run() -> dict:
         server = EmbeddingServer(registry, host=args.host, port=args.port)
         await server.start()
@@ -593,7 +637,17 @@ def _run_serve(args: argparse.Namespace) -> int:
         return server.stats()
 
     try:
-        stats = asyncio.run(run())
+        if fault_plan is not None:
+            from repro import faults
+            with faults.injecting(fault_plan):
+                stats = asyncio.run(run())
+                fault_stats = faults.active()
+                fired = fault_stats.stats() if fault_stats else None
+            if fired is not None:
+                print(f"faults: fired {fired['total_fired']} "
+                      f"({json.dumps(fired['fired_counts'])})", flush=True)
+        else:
+            stats = asyncio.run(run())
     except KeyboardInterrupt:
         print("interrupted; shutting down", file=sys.stderr)
         return 0
@@ -606,6 +660,39 @@ def _run_serve(args: argparse.Namespace) -> int:
               f"shed {admission['shed_total']} "
               f"({json.dumps(admission['shed'])}), "
               f"plan cache {cache['hits']} hit(s) / {cache['misses']} miss(es)")
+    return 0
+
+
+def _run_recover(args: argparse.Namespace) -> int:
+    """Replay a reservation WAL against a hosting network and report."""
+    from repro.service import NetEmbedService
+    from repro.service.wal import WALError
+
+    service = NetEmbedService()
+    name = service.register_network_from_graphml(args.hosting, default=True)
+    try:
+        report = service.attach_wal(args.wal)
+    except (WALError, OSError, ValueError) as exc:
+        print(f"error: cannot recover WAL {args.wal}: {exc}", file=sys.stderr)
+        return 2
+    report["network"] = name
+    report["reservations"] = service.reservations.snapshot()
+    if args.compact:
+        report["compacted_records"] = service.reservations.compact_wal()
+    service.shutdown()
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    applied = report["applied"]
+    print(f"replayed {report['records']} record(s) from {args.wal}: "
+          f"{applied['reserve']} reserve / {applied['rebind']} rebind / "
+          f"{applied['release']} release, {report['active']} active "
+          f"reservation(s), {report['skipped']} torn line(s) skipped")
+    for entry in report["reservations"]:
+        print(f"  {entry['id']}: {len(entry['mapping'])} node(s) on "
+              f"{entry['network']} ({entry['rebinds']} rebind(s))")
+    if args.compact:
+        print(f"compacted log to {report['compacted_records']} record(s)")
     return 0
 
 
@@ -675,6 +762,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_churn(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "recover":
+        return _run_recover(args)
     if args.command == "list-algorithms":
         return _run_list_algorithms(args)
     if args.command == "generate":

@@ -36,8 +36,17 @@ Design notes
 * **Failure.**  Exceptions raised inside a worker (including
   :class:`~repro.core.plan.PlanInvalidatedError`) propagate to the caller
   with their original type, exactly as the serial engine would raise them.
-  A broken pool (a worker killed mid-run) degrades to serial execution when
-  nothing has been committed yet, and re-raises otherwise.
+  A broken pool (a worker killed mid-run) is *supervised*: because the
+  merge commits shard outcomes strictly in order, every uncommitted shard
+  can safely be resubmitted to a fresh pool — the committed prefix of the
+  stream is never touched — so worker death costs a capped-exponential
+  backoff and a retry, not the run.  After ``max_pool_restarts`` failures
+  inside one run the remaining shards execute in-process (still
+  byte-identical); after ``trip_threshold`` *consecutive* failed runs the
+  :class:`PoolSupervisor`'s circuit breaker opens and new runs go straight
+  to in-process execution until the cooldown lapses.  Every one of these
+  transitions is counted and reported by :meth:`PoolSupervisor.stats` —
+  the degraded mode is observable, not silent.
 """
 
 from __future__ import annotations
@@ -53,6 +62,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.core.result import SearchStats
 from repro.utils.timing import Deadline, TimeoutExpired
 
@@ -321,12 +331,160 @@ def _reset_broken_shared_pool(pool: ProcessPoolExecutor) -> None:
 
 
 # --------------------------------------------------------------------------- #
+# Supervision: retries, circuit breaker, observable degradation
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class ShardRetryPolicy:
+    """How a single run reacts to its process pool breaking mid-merge."""
+
+    #: Fresh pools tried per run before degrading to in-process execution.
+    max_pool_restarts: int = 2
+    #: Backoff before restart *n* is ``min(cap, base * 2**(n-1))`` seconds.
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+
+    def backoff(self, attempt: int) -> float:
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+
+
+class PoolSupervisor:
+    """Counts pool failures across runs and trips a circuit breaker.
+
+    One module-level instance (see :func:`default_supervisor`) supervises
+    every ``run_sharded`` call by default.  Repeated *consecutive* pool
+    failures — a host whose workers keep getting OOM-killed — open the
+    breaker: new runs skip the pool entirely and execute in-process until
+    ``cooldown`` seconds pass, after which the next run is allowed through
+    as a probe (half-open) and a success closes the breaker again.  All
+    transitions are counted; :meth:`stats` is the observability contract.
+    """
+
+    def __init__(self, retry: ShardRetryPolicy = ShardRetryPolicy(),
+                 trip_threshold: int = 3, cooldown: float = 30.0,
+                 clock=time.monotonic) -> None:
+        if trip_threshold < 1:
+            raise ValueError(f"trip_threshold must be >= 1, got {trip_threshold}")
+        self.retry = retry
+        self.trip_threshold = trip_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._consecutive = 0
+        self._open_until: Optional[float] = None
+        self._counters = {
+            "pool_failures": 0,     # BrokenProcessPool raised into a merge
+            "shard_retries": 0,     # uncommitted shards resubmitted
+            "serial_degradations": 0,  # runs finished in-process after failures
+            "breaker_trips": 0,     # closed -> open transitions
+            "short_circuits": 0,    # runs refused a pool while open
+        }
+
+    # -- state machine ------------------------------------------------- #
+
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half-open`` (cooldown lapsed)."""
+        with self._lock:
+            if self._open_until is None:
+                return "closed"
+            return "open" if self._clock() < self._open_until else "half-open"
+
+    def allow_pool(self) -> bool:
+        """Whether a run may use a process pool right now."""
+        with self._lock:
+            if self._open_until is None or self._clock() >= self._open_until:
+                return True
+            self._counters["short_circuits"] += 1
+            return False
+
+    def record_pool_failure(self) -> None:
+        with self._lock:
+            self._counters["pool_failures"] += 1
+            self._consecutive += 1
+            if self._consecutive >= self.trip_threshold:
+                # (Re-)open: a failed half-open probe restarts the cooldown
+                # too; only the closed->open edge counts as a new trip.
+                if self._open_until is None:
+                    self._counters["breaker_trips"] += 1
+                self._open_until = self._clock() + self.cooldown
+
+    def record_pool_success(self) -> None:
+        with self._lock:
+            self._consecutive = 0
+            self._open_until = None
+
+    def record_retry(self, shards: int) -> None:
+        with self._lock:
+            self._counters["shard_retries"] += shards
+
+    def record_degradation(self) -> None:
+        with self._lock:
+            self._counters["serial_degradations"] += 1
+
+    def reset(self) -> None:
+        """Forget all history (tests and fresh benchmarks)."""
+        with self._lock:
+            self._consecutive = 0
+            self._open_until = None
+            for key in self._counters:
+                self._counters[key] = 0
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            counters = dict(self._counters)
+            consecutive = self._consecutive
+        counters.update({
+            "state": self.state(),
+            "consecutive_failures": consecutive,
+            "trip_threshold": self.trip_threshold,
+            "cooldown": self.cooldown,
+            "max_pool_restarts": self.retry.max_pool_restarts,
+        })
+        return counters
+
+
+_default_supervisor = PoolSupervisor()
+
+
+def default_supervisor() -> PoolSupervisor:
+    """The process-wide supervisor used when a run supplies none."""
+    return _default_supervisor
+
+
+# --------------------------------------------------------------------------- #
 # The parent-side engine
 # --------------------------------------------------------------------------- #
 
+@dataclass
+class _MergeState:
+    """Merge progress that survives a pool restart.
+
+    The in-order commit is the resumability invariant: exactly the shards
+    ``[0, next_commit)`` have been folded into the caller's context, so a
+    retry only ever resubmits shards that contributed nothing yet, and the
+    merged stream stays byte-identical to serial no matter how many pools
+    died along the way.
+    """
+
+    specs: Sequence[Any]
+    next_commit: int = 0
+    committed: int = 0
+    exhausted_all: bool = True
+    #: Fetched-but-not-yet-committed outcomes (their predecessors are
+    #: missing); preserved across pool restarts so finished work is never
+    #: re-executed.
+    ready: Dict[int, ShardOutcome] = field(default_factory=dict)
+
+    def uncommitted(self) -> List[Tuple[int, Any]]:
+        return [(i, self.specs[i])
+                for i in range(self.next_commit, len(self.specs))
+                if i not in self.ready]
+
+
 def run_sharded(algorithm, context, prepared, parallelism: int,
                 pool: Optional[ProcessPoolExecutor] = None,
-                shard_factor: int = DEFAULT_SHARD_FACTOR) -> bool:
+                shard_factor: int = DEFAULT_SHARD_FACTOR,
+                supervisor: Optional[PoolSupervisor] = None) -> bool:
     """Execute *prepared* across shards and merge deterministically.
 
     Populates *context* (mappings, statistics, streaming callbacks) exactly
@@ -334,9 +492,15 @@ def run_sharded(algorithm, context, prepared, parallelism: int,
     contract: returns whether the search space was exhausted, raising
     :class:`~repro.utils.timing.TimeoutExpired` on deadline expiry.  Falls
     back to the serial path when the plan yields fewer than two shards.
+
+    Worker death is survivable: uncommitted shards are retried on a fresh
+    pool with capped exponential backoff (see :class:`ShardRetryPolicy`),
+    and exhausted retries — or an open circuit breaker — finish the run
+    in-process.  Both paths preserve the byte-identical stream guarantee.
     """
     if parallelism < 1:
         raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+    supervisor = supervisor if supervisor is not None else _default_supervisor
     specs = algorithm._shard_specs(context, prepared,
                                    max(2, parallelism * shard_factor))
     if specs is None:
@@ -345,6 +509,9 @@ def run_sharded(algorithm, context, prepared, parallelism: int,
         # Too few roots to shard.  The specs are still executed (not thrown
         # away): _shard_specs may have consumed the run's random stream (RWB),
         # so re-entering _run_prepared would diverge from serial.
+        return run_specs_serial(algorithm, context, prepared, specs)
+    if not supervisor.allow_pool():
+        # Circuit breaker open: a counted, in-process degraded mode.
         return run_specs_serial(algorithm, context, prepared, specs)
 
     deadline_at = None
@@ -366,70 +533,135 @@ def run_sharded(algorithm, context, prepared, parallelism: int,
         deadline_at=deadline_at,
     )
     token = f"{os.getpid()}:{next(_token_counter)}"
-    blob = pickle.dumps(group, protocol=pickle.HIGHEST_PROTOCOL)
-    if len(blob) > _INLINE_GROUP_LIMIT:
-        fd, sentinel_path = tempfile.mkstemp(prefix="repro-shard-group-",
-                                             suffix=".pkl")
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(blob)
-        transport: GroupTransport = ("file", sentinel_path, sentinel_path)
-    else:
-        # Small groups ship inline; the empty sentinel still gives in-flight
-        # shards the abandonment signal when the parent finishes early.
-        fd, sentinel_path = tempfile.mkstemp(prefix="repro-shard-run-",
-                                             suffix=".live")
-        os.close(fd)
-        transport = ("bytes", blob, sentinel_path)
-
-    owns_shared = pool is None
-    executor = shared_pool() if pool is None else pool
-
-    committed = [0]   # outcomes merged so far, visible to the except path
+    state = _MergeState(specs=specs)
+    sentinel_path: Optional[str] = None
+    retry_pools: List[ProcessPoolExecutor] = []
     try:
-        return _dispatch_and_merge(executor, context, token, transport, specs,
-                                   window=parallelism, committed=committed)
-    except BrokenProcessPool:
-        # A worker died (OOM-killed, hard crash).  If no outcome was merged
-        # yet the run degrades to executing the shards serially in-process —
-        # byte-identical to both the parallel and the serial stream.
-        # Otherwise re-raise: a partially-committed stream must not restart.
-        if owns_shared:
-            _reset_broken_shared_pool(executor)
-        if committed[0]:
-            raise
-        return run_specs_serial(algorithm, context, prepared, specs)
+        # Everything from temp-file creation onward runs under this
+        # try/finally: a failing spill write, a worker exception, a broken
+        # pool, a deadline — every exit path reaches the unlink below.
+        blob = pickle.dumps(group, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(blob) > _INLINE_GROUP_LIMIT:
+            fd, sentinel_path = tempfile.mkstemp(prefix="repro-shard-group-",
+                                                 suffix=".pkl")
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            transport: GroupTransport = ("file", sentinel_path, sentinel_path)
+        else:
+            # Small groups ship inline; the empty sentinel still gives
+            # in-flight shards the abandonment signal when the parent
+            # finishes early.
+            fd, sentinel_path = tempfile.mkstemp(prefix="repro-shard-run-",
+                                                 suffix=".live")
+            os.close(fd)
+            transport = ("bytes", blob, sentinel_path)
+
+        caller_pool = pool
+        executor = shared_pool() if pool is None else pool
+        attempt = 0
+        while True:
+            try:
+                result = _dispatch_and_merge(
+                    executor, context, token, transport,
+                    state.uncommitted(), window=parallelism, state=state)
+                supervisor.record_pool_success()
+                return result
+            except BrokenProcessPool:
+                # A worker died (OOM-killed, hard crash) or the fault
+                # injector simulated one.  The committed prefix is intact;
+                # retire the broken pool and decide: retry or degrade.
+                supervisor.record_pool_failure()
+                if executor is caller_pool:
+                    pass      # caller-owned; its owner replaces broken pools
+                elif executor in retry_pools:
+                    executor.shutdown(wait=False)
+                else:
+                    _reset_broken_shared_pool(executor)
+                attempt += 1
+                remaining_work = state.uncommitted()
+                if (attempt <= supervisor.retry.max_pool_restarts
+                        and supervisor.allow_pool() and remaining_work):
+                    delay = supervisor.retry.backoff(attempt)
+                    budget = context.deadline.remaining
+                    if budget != float("inf"):
+                        delay = min(delay, max(0.0, budget))
+                    if delay > 0:
+                        time.sleep(delay)
+                    context.check_deadline()
+                    supervisor.record_retry(len(remaining_work))
+                    executor = make_pool(parallelism)
+                    retry_pools.append(executor)
+                    continue
+                # Out of restarts (or the breaker opened mid-run): finish
+                # the remaining shards in-process — counted, not silent.
+                supervisor.record_degradation()
+                return _finish_serial(algorithm, context, prepared, state)
     finally:
         # The unlink is also the abandonment signal: discarded still-running
         # shards notice the sentinel vanish and unwind; a discarded pending
         # task that starts afterwards fails to decode the spill, and nobody
         # consumes its future.
-        try:
-            os.unlink(sentinel_path)
-        except OSError:
-            pass
+        if sentinel_path is not None:
+            try:
+                os.unlink(sentinel_path)
+            except OSError:
+                pass
+        for retry_pool in retry_pools:
+            retry_pool.shutdown(wait=False)
+
+
+def _commit_ready(context, state: _MergeState) -> Optional[bool]:
+    """Commit every ready shard whose predecessors are all committed.
+
+    Returns ``False`` when the global result cap was reached (the run's
+    return value), ``None`` to keep going; raises
+    :class:`~repro.utils.timing.TimeoutExpired` when a committed shard hit
+    the shared deadline — exactly where serial execution would stop.
+    """
+    while state.next_commit in state.ready:
+        outcome = state.ready.pop(state.next_commit)
+        state.next_commit += 1
+        state.committed += 1
+        _merge_stats(context.stats, outcome.stats)
+        state.exhausted_all = state.exhausted_all and outcome.exhausted
+        for assignment in outcome.iter_assignments():
+            if context.record_mapping(assignment):
+                return False    # global cap reached, like serial
+        if outcome.timed_out:
+            # Serial stops the instant the deadline fires; mappings from
+            # later shards are discarded so the committed stream stays a
+            # prefix of some serial-order stream.
+            raise TimeoutExpired(
+                f"shard {outcome.index} exceeded the shared search budget")
+    return None
 
 
 def _dispatch_and_merge(executor: ProcessPoolExecutor, context, token: str,
-                        transport: GroupTransport, specs: Sequence[Any],
-                        window: int, committed: List[int]) -> bool:
+                        transport: GroupTransport,
+                        work: Sequence[Tuple[int, Any]],
+                        window: int, state: _MergeState) -> bool:
     """Sliding-window dispatch plus the in-order merge loop.
 
-    ``committed[0]`` counts merged outcomes; the caller's broken-pool
-    recovery may only re-run the specs when it is still zero.
+    ``work`` is the (index, spec) list still owed to the merge — all specs
+    on a first attempt, the uncommitted remainder on a retry.  Progress
+    lands in *state*, which survives a :class:`BrokenProcessPool` unwind.
     """
-    pending: List[Tuple[int, Any]] = [(i, spec) for i, spec in enumerate(specs)]
+    pending: List[Tuple[int, Any]] = list(work)
     pending.reverse()   # pop() from the tail == dispatch in shard order
     in_flight: Dict[Future, int] = {}
-    ready: Dict[int, ShardOutcome] = {}
-    next_commit = 0
-    exhausted_all = True
 
     def submit_next() -> None:
         index, spec = pending.pop()
+        faults.fire("parallel.pool-submit")
         future = executor.submit(_execute_shard, token, transport, index, spec)
         in_flight[future] = index
 
     try:
+        # A retry may arrive with ready outcomes whose predecessors all
+        # committed before the pool broke; commit them before dispatching.
+        verdict = _commit_ready(context, state)
+        if verdict is not None:
+            return verdict
         while pending and len(in_flight) < window:
             submit_next()
         while in_flight:
@@ -442,30 +674,37 @@ def _dispatch_and_merge(executor: ProcessPoolExecutor, context, token: str,
                 continue
             for future in done:
                 index = in_flight.pop(future)
-                ready[index] = future.result()  # re-raises worker exceptions
+                faults.fire("parallel.shard-result")
+                state.ready[index] = future.result()  # re-raises worker errors
                 if pending:
                     submit_next()
-            # Commit every shard whose predecessors are all committed.
-            while next_commit in ready:
-                outcome = ready.pop(next_commit)
-                next_commit += 1
-                committed[0] += 1
-                _merge_stats(context.stats, outcome.stats)
-                exhausted_all = exhausted_all and outcome.exhausted
-                for assignment in outcome.iter_assignments():
-                    if context.record_mapping(assignment):
-                        return False    # global cap reached, like serial
-                if outcome.timed_out:
-                    # Serial stops the instant the deadline fires; mappings
-                    # from later shards are discarded so the committed
-                    # stream stays a prefix of some serial-order stream.
-                    raise TimeoutExpired(
-                        f"shard {outcome.index} exceeded the shared "
-                        f"search budget")
-        return exhausted_all
+            verdict = _commit_ready(context, state)
+            if verdict is not None:
+                return verdict
+        return state.exhausted_all
     finally:
         for future in in_flight:
             future.cancel()
+
+
+def _finish_serial(algorithm, context, prepared, state: _MergeState) -> bool:
+    """Finish a partially-merged run in-process, in shard order.
+
+    Already-fetched outcomes are committed as-is (never re-executed);
+    missing shards run via ``_run_shard``, which records mappings straight
+    into the context — the same order a healthy merge would have produced.
+    """
+    while state.next_commit < len(state.specs):
+        if state.next_commit in state.ready:
+            verdict = _commit_ready(context, state)
+            if verdict is not None:
+                return verdict
+            continue
+        index = state.next_commit
+        state.next_commit += 1
+        if not algorithm._run_shard(context, prepared, state.specs[index]):
+            return False
+    return state.exhausted_all
 
 
 def _merge_stats(target: SearchStats, shard: SearchStats) -> None:

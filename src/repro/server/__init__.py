@@ -21,7 +21,12 @@ from repro.server.admission import (
     Ticket,
 )
 from repro.server.app import EmbeddingServer
-from repro.server.client import AsyncNetEmbedClient, ServerClosedError
+from repro.server.client import (
+    AsyncNetEmbedClient,
+    ConnectionLostError,
+    RetryPolicy,
+    ServerClosedError,
+)
 from repro.server.protocol import (
     MAX_MESSAGE_BYTES,
     PROTOCOL_VERSION,
@@ -42,6 +47,8 @@ __all__ = [
     "Ticket",
     "EmbeddingServer",
     "AsyncNetEmbedClient",
+    "ConnectionLostError",
+    "RetryPolicy",
     "ServerClosedError",
     "MAX_MESSAGE_BYTES",
     "PROTOCOL_VERSION",

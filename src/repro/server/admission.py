@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import faults
 from repro.utils.timing import Deadline
 
 #: The recognised priority classes, most important first.
@@ -273,6 +274,7 @@ class AdmissionController:
         preempt a lower-priority queued ticket; collect those through
         :meth:`take_evicted` and answer them.
         """
+        faults.fire("admission.admit")
         self._offered += 1
         tenant = ticket.tenant
         self._tenant_counters(tenant)["offered"] += 1

@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import OrderedDict
 from typing import Any, Dict, Optional
 
+from repro import faults
 from repro.api.request import Budget
 from repro.server.admission import Shed, Ticket
 from repro.server.protocol import (
@@ -68,6 +70,16 @@ class EmbeddingServer:
         self._connections_open = 0
         self._requests: Dict[str, int] = {}
         self._protocol_errors = 0
+        # Idempotency: completed results by client key (LRU-bounded) plus
+        # in-flight keys, so a retry of a request whose answer was lost on
+        # the wire replays the answer instead of re-executing (and
+        # re-reserving) it.
+        self._idempotency_done: "OrderedDict[str, Dict[str, Any]]" = \
+            OrderedDict()
+        self._idempotency_pending: Dict[str, asyncio.Future] = {}
+        self._idempotency_limit = 1024
+        self._idempotent_hits = 0
+        self._injected_drops = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -189,12 +201,30 @@ class EmbeddingServer:
         elif op == "metrics":
             payload = {"id": message_id, "kind": "metrics",
                        "stats": self.stats()}
+        elif op in ("health", "ready"):
+            payload = {"id": message_id, "kind": "health",
+                       "protocol": PROTOCOL_VERSION,
+                       "status": "draining" if self._stopping else "ok",
+                       "ready": (self._server is not None
+                                 and not self._stopping),
+                       "address": self.address}
         elif op == "embed":
             payload = await self._handle_embed(message)
+            if not self._stopping:
+                # The connection-drop fault site: request-path replies only.
+                # Shutdown-drain answers deliberately bypass injection so
+                # stop() semantics stay fault-plan-independent — a queued
+                # ticket is always answered `shed/server-shutdown`.
+                try:
+                    faults.fire("server.reply")
+                except faults.InjectedConnectionDrop:
+                    self._injected_drops += 1
+                    writer.close()
+                    return
         else:
             payload = {"id": message_id, "kind": "error", "error": "bad-op",
                        "message": f"unknown op {op!r} "
-                                  f"(expected embed/metrics/ping)"}
+                                  f"(expected embed/metrics/ping/health)"}
         await self._safe_write(writer, write_lock, payload)
 
     async def _safe_write(self, writer: asyncio.StreamWriter,
@@ -211,6 +241,51 @@ class EmbeddingServer:
     # ------------------------------------------------------------------ #
 
     async def _handle_embed(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Deduplicate by idempotency key, then admit/execute.
+
+        Successful results are cached per key (LRU-bounded): a client retry
+        whose first attempt executed but lost its answer on the wire gets
+        the recorded result — including its ``reservation_id`` — instead of
+        a second execution and a double reservation.  Sheds and errors are
+        *not* cached; retrying those is exactly what a client should do.
+        """
+        message_id = message.get("id")
+        key = message.get("idempotency_key")
+        if key is None:
+            return await self._execute_embed(message)
+        if not isinstance(key, str) or not key:
+            return {"id": message_id, "kind": "error", "error": "bad-request",
+                    "message": "idempotency_key must be a non-empty string"}
+        cached = self._idempotency_done.get(key)
+        if cached is not None:
+            self._idempotency_done.move_to_end(key)
+            self._idempotent_hits += 1
+            return dict(cached, id=message_id, idempotent_replay=True)
+        pending = self._idempotency_pending.get(key)
+        if pending is not None:
+            # A duplicate racing its original: share the original's answer.
+            self._idempotent_hits += 1
+            payload = await asyncio.shield(pending)
+            return dict(payload, id=message_id, idempotent_replay=True)
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._idempotency_pending[key] = waiter
+        try:
+            payload = await self._execute_embed(message)
+        except BaseException:
+            self._idempotency_pending.pop(key, None)
+            if not waiter.done():
+                waiter.cancel()
+            raise
+        self._idempotency_pending.pop(key, None)
+        if payload.get("kind") == "result":
+            self._idempotency_done[key] = dict(payload)
+            while len(self._idempotency_done) > self._idempotency_limit:
+                self._idempotency_done.popitem(last=False)
+        if not waiter.done():
+            waiter.set_result(dict(payload))
+        return payload
+
+    async def _execute_embed(self, message: Dict[str, Any]) -> Dict[str, Any]:
         message_id = message.get("id")
         try:
             ticket = self._ticket_from(message)
@@ -255,6 +330,7 @@ class EmbeddingServer:
             "timeout": message.get("timeout"),
             "max_results": message.get("max_results"),
             "seed": message.get("seed"),
+            "reserve": bool(message.get("reserve", False)),
         }
         cost_key = (network, algorithm, query.name, query.num_nodes,
                     query.num_edges, constraint, node_constraint)
@@ -317,6 +393,7 @@ class EmbeddingServer:
             max_results=budget.max_results,
             network=fields["network"],
             seed=fields["seed"],
+            reserve=fields["reserve"],
             cache=ticket.cache,
             registry=self.registry.service.algorithms,
         )
@@ -337,6 +414,7 @@ class EmbeddingServer:
             "elapsed_seconds": response.elapsed_seconds,
             "queue_seconds": queue_seconds,
             "cache_allowed": ticket.cache,
+            "reservation_id": getattr(response, "reservation_id", None),
         }
 
     def _shed_payload(self, ticket: Ticket, decision: Shed) -> Dict[str, Any]:
@@ -372,5 +450,8 @@ class EmbeddingServer:
             "connections_open": self._connections_open,
             "requests": dict(self._requests),
             "protocol_errors": self._protocol_errors,
+            "idempotent_hits": self._idempotent_hits,
+            "idempotency_entries": len(self._idempotency_done),
+            "injected_connection_drops": self._injected_drops,
         }
         return stats

@@ -6,13 +6,33 @@ by id, so many may be in flight at once (the open-loop load generators fire
 them without waiting) and responses are routed back to their callers even
 when the server answers out of order — which it does whenever admission
 control reorders by priority.
+
+Failure semantics
+-----------------
+
+The client never leaves a caller hanging.  When the connection dies —
+server crash, injected drop, network partition — every outstanding request
+future fails with a structured :class:`ConnectionLostError`, and any request
+issued afterwards fails fast with the same error instead of waiting for a
+response that can never arrive.  Recovery is explicit and composable:
+
+* :meth:`reconnect` re-establishes the transport (the original ``connect``
+  address is remembered);
+* :meth:`embed` accepts a :class:`RetryPolicy` to do the whole loop —
+  jittered exponential backoff, honouring a shed's ``retry_after`` hint,
+  reconnecting on connection loss — and an ``idempotency_key`` so a retry
+  whose first attempt actually executed (the answer was lost on the wire)
+  replays the recorded result instead of re-executing and double-reserving.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Any, Dict, Optional
+import random
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
 
 from repro.graphs.query import QueryNetwork
 from repro.server.protocol import (
@@ -26,6 +46,54 @@ from repro.server.protocol import (
 
 class ServerClosedError(ConnectionError):
     """The server hung up while requests were still outstanding."""
+
+
+class ConnectionLostError(ServerClosedError):
+    """The connection died with requests in flight (or was already dead).
+
+    Attributes
+    ----------
+    pending:
+        How many request futures were failed by the disconnect that raised
+        this error (0 when the error marks a request issued *after* the
+        connection was already lost).
+    """
+
+    def __init__(self, message: str, pending: int = 0) -> None:
+        super().__init__(message)
+        self.pending = pending
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry/backoff contract for :meth:`AsyncNetEmbedClient.embed`.
+
+    ``delay(attempt)`` is ``min(max_delay, base_delay * 2**(attempt-1))``,
+    multiplied by a seeded jitter in ``[1-jitter, 1+jitter]`` (jitter keeps
+    a reconnecting client herd from re-arriving in lockstep), and never less
+    than the server's ``retry_after`` hint when one was given — the server
+    knows its own queue better than any client-side guess.
+    """
+
+    #: Total attempts, the first one included.
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    #: Relative jitter amplitude (0 = deterministic delays).
+    jitter: float = 0.25
+    #: Also retry ``kind == "error"`` responses (transient server-side
+    #: failures such as an injected engine timeout).  Off by default:
+    #: errors are commonly deterministic (bad request, unknown network).
+    retry_errors: bool = False
+
+    def delay(self, attempt: int, retry_after: Optional[float] = None,
+              rng: Optional[random.Random] = None) -> float:
+        delay = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        if rng is not None and self.jitter > 0:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        if retry_after is not None:
+            delay = max(delay, float(retry_after))
+        return delay
 
 
 class AsyncNetEmbedClient:
@@ -42,12 +110,19 @@ class AsyncNetEmbedClient:
     """
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter) -> None:
+                 writer: asyncio.StreamWriter,
+                 host: Optional[str] = None,
+                 port: Optional[int] = None) -> None:
         self._reader = reader
         self._writer = writer
+        self.host = host
+        self.port = port
         self._ids = itertools.count(1)
         self._pending: Dict[int, asyncio.Future] = {}
+        self._lost: Optional[BaseException] = None
         self._reader_task = asyncio.ensure_future(self._read_loop())
+        self._reconnect_lock = asyncio.Lock()
+        self._reconnects = 0
         self._closed = False
 
     @classmethod
@@ -55,7 +130,17 @@ class AsyncNetEmbedClient:
         """Open a connection to the server at ``host:port``."""
         reader, writer = await asyncio.open_connection(
             host, port, limit=MAX_MESSAGE_BYTES)
-        return cls(reader, writer)
+        return cls(reader, writer, host=host, port=port)
+
+    @property
+    def connection_lost(self) -> Optional[BaseException]:
+        """The error that killed the connection, or ``None`` while healthy."""
+        return self._lost
+
+    @property
+    def reconnects(self) -> int:
+        """How many times :meth:`reconnect` re-established the transport."""
+        return self._reconnects
 
     # ------------------------------------------------------------------ #
     # Requests
@@ -71,13 +156,25 @@ class AsyncNetEmbedClient:
                     seed: Optional[int] = None,
                     tenant: str = "default",
                     priority: str = "standard",
-                    deadline: Optional[float] = None) -> Dict[str, Any]:
+                    deadline: Optional[float] = None,
+                    reserve: bool = False,
+                    idempotency_key: Optional[str] = None,
+                    retry: Optional[RetryPolicy] = None,
+                    rng: Union[None, int, random.Random] = None
+                    ) -> Dict[str, Any]:
         """Submit one embedding request; returns the raw response dict.
 
         ``deadline`` is the total seconds this request may spend —
         queueing included; the server sheds it rather than let it rot in
         the queue.  ``timeout`` is the search budget once running (clamped
         to whatever deadline remains at dispatch).
+
+        With a :class:`RetryPolicy`, connection losses reconnect-and-retry
+        with jittered exponential backoff, sheds carrying a ``retry_after``
+        hint wait at least that long before retrying, and an
+        ``idempotency_key`` (auto-generated when retrying without one)
+        guarantees at-most-once execution across all attempts.  ``rng``
+        seeds the jitter for reproducible schedules.
         """
         message: Dict[str, Any] = {
             "op": "embed",
@@ -103,7 +200,50 @@ class AsyncNetEmbedClient:
             message["seed"] = seed
         if deadline is not None:
             message["deadline"] = deadline
-        return await self.request(message)
+        if reserve:
+            message["reserve"] = True
+        if idempotency_key is None and retry is not None:
+            # Retries without a caller-chosen key still must not re-execute
+            # an attempt whose answer was merely lost on the wire.
+            idempotency_key = f"auto-{uuid.uuid4().hex}"
+        if idempotency_key is not None:
+            message["idempotency_key"] = idempotency_key
+        if retry is None:
+            return await self.request(message)
+        return await self._request_with_retry(message, retry, rng)
+
+    async def _request_with_retry(self, message: Dict[str, Any],
+                                  retry: RetryPolicy,
+                                  rng: Union[None, int, random.Random]
+                                  ) -> Dict[str, Any]:
+        jitter_rng = (random.Random(rng) if isinstance(rng, int)
+                      else rng)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                response = await self.request(message)
+            except ConnectionLostError:
+                if (attempt >= retry.max_attempts or self._closed
+                        or self.host is None):
+                    raise
+                await asyncio.sleep(retry.delay(attempt, rng=jitter_rng))
+                await self.reconnect()
+                continue
+            kind = response.get("kind")
+            if (kind == "shed" and attempt < retry.max_attempts
+                    and response.get("retry_after") is not None):
+                # Sheds without a retry_after hint (expired deadlines,
+                # queue-quota policy) are answers, not transients.
+                await asyncio.sleep(retry.delay(
+                    attempt, retry_after=response["retry_after"],
+                    rng=jitter_rng))
+                continue
+            if (kind == "error" and retry.retry_errors
+                    and attempt < retry.max_attempts):
+                await asyncio.sleep(retry.delay(attempt, rng=jitter_rng))
+                continue
+            return response
 
     async def metrics(self) -> Dict[str, Any]:
         """Fetch the server's metrics document (the stats snapshot)."""
@@ -114,22 +254,77 @@ class AsyncNetEmbedClient:
         """Round-trip a ping (returns the pong with the protocol version)."""
         return await self.request({"op": "ping"})
 
+    async def health(self) -> Dict[str, Any]:
+        """The server's health/readiness document (``status``, ``ready``)."""
+        return await self.request({"op": "health"})
+
     async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one raw protocol message and await its response."""
+        """Send one raw protocol message and await its response.
+
+        Raises :class:`ConnectionLostError` — immediately, never hanging —
+        when the connection is already dead or dies mid-flight.
+        """
         if self._closed:
             raise ServerClosedError("client is closed")
+        if self._lost is not None:
+            raise ConnectionLostError(
+                f"connection is lost ({self._lost}); reconnect() to resume")
         request_id = next(self._ids)
         message = dict(message)
         message["id"] = request_id
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         try:
-            await write_message(self._writer, message)
+            try:
+                await write_message(self._writer, message)
+            except (ConnectionError, OSError) as exc:
+                if future.done() and not future.cancelled():
+                    future.exception()   # consume: this call re-raises below
+                else:
+                    future.cancel()
+                raise ConnectionLostError(
+                    f"connection lost while sending: {exc}") from exc
             return await future
         finally:
             self._pending.pop(request_id, None)
 
     # ------------------------------------------------------------------ #
+
+    async def reconnect(self) -> "AsyncNetEmbedClient":
+        """Re-establish the transport after a connection loss.
+
+        Outstanding requests of the dead connection stay failed — their
+        responses are unrecoverable — but the client object becomes usable
+        again.  Requires the client to have been built via :meth:`connect`
+        (the address is remembered).
+        """
+        if self._closed:
+            raise ServerClosedError("client is closed")
+        if self.host is None or self.port is None:
+            raise ConnectionLostError(
+                "cannot reconnect: this client was built from raw streams "
+                "and has no remembered address")
+        async with self._reconnect_lock:
+            if self._lost is None:
+                return self       # another waiter already reconnected
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            reader, writer = await asyncio.open_connection(
+                self.host, self.port, limit=MAX_MESSAGE_BYTES)
+            self._reader = reader
+            self._writer = writer
+            self._lost = None
+            self._reconnects += 1
+            self._reader_task = asyncio.ensure_future(self._read_loop())
+            return self
 
     async def _read_loop(self) -> None:
         error: BaseException = ServerClosedError("server closed the connection")
@@ -145,9 +340,16 @@ class AsyncNetEmbedClient:
             error = exc
         except asyncio.CancelledError:
             error = ServerClosedError("client closed")
+        # Fail every outstanding request with one structured error; set
+        # the lost flag *first* so a request() racing this loop either
+        # sees the flag or is in _pending and gets failed here — no
+        # interleaving leaves a future unresolved.
+        lost = ConnectionLostError(
+            f"connection lost: {error}", pending=len(self._pending))
+        self._lost = lost
         for future in self._pending.values():
             if not future.done():
-                future.set_exception(error)
+                future.set_exception(lost)
 
     async def close(self) -> None:
         """Close the connection and fail any outstanding requests."""

@@ -26,6 +26,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 import repro.baselines  # noqa: F401 — registers the baselines for by-name use
+from repro import faults
 from repro.api.registry import AlgorithmInfo, AlgorithmRegistry, Capability, default_registry
 from repro.api.request import SearchRequest
 from repro.api.selection import PaperSelectionPolicy, SelectionPolicy
@@ -146,6 +147,36 @@ class NetEmbedService:
         key = network_name or self.registry.default_name
         return self._monitors.get(key) if key else None
 
+    def attach_wal(self, path, recover: bool = True,
+                   fsync_batch: int = 1) -> Dict[str, object]:
+        """Journal reservations to a WAL at *path*, replaying it first.
+
+        When *recover* is true and the file already holds records, the
+        ledger is rebuilt from them (the referenced hosting networks must
+        already be registered) before journalling resumes — this is the
+        server-startup replay path.  Returns the recovery report:
+        ``{"path", "records", "applied", "active", "skipped"}`` (zeros for
+        a fresh log).
+        """
+        from pathlib import Path
+
+        from repro.service.wal import ReservationWAL
+
+        report: Dict[str, object] = {
+            "path": str(path), "records": 0,
+            "applied": {"reserve": 0, "rebind": 0, "release": 0},
+            "active": 0, "skipped": 0,
+        }
+        wal_path = Path(path)
+        if recover and wal_path.exists() and wal_path.stat().st_size > 0:
+            records, skipped = ReservationWAL.read(wal_path)
+            replay = self.reservations.replay(records, self.registry.get)
+            report.update(replay)
+            report["skipped"] = skipped
+        self.reservations.attach_wal(
+            ReservationWAL(wal_path, fsync_batch=fsync_batch))
+        return report
+
     # ------------------------------------------------------------------ #
     # Embedding
     # ------------------------------------------------------------------ #
@@ -160,6 +191,7 @@ class NetEmbedService:
         apply; they are threaded into the execute stage, not baked into the
         cached plan.
         """
+        faults.fire("service.submit")
         network_name, hosting, version = self._resolve_network(spec.network)
         info = self._algorithm_info(spec, hosting)
         request = spec.to_request(hosting, default_timeout=self._default_timeout)
@@ -391,6 +423,9 @@ class NetEmbedService:
             process_pool, self._process_pool = self._process_pool, None
         if process_pool is not None:
             process_pool.shutdown(wait=wait)
+        wal = self.reservations.wal
+        if wal is not None:
+            wal.close()
 
     def __enter__(self) -> "NetEmbedService":
         return self
@@ -432,6 +467,9 @@ class NetEmbedService:
             }
         executor = self._executor
         process_pool = self._process_pool
+        from repro.core.parallel import default_supervisor
+        wal = self.reservations.wal
+        injector = faults.active()
         return {
             "default_timeout": self._default_timeout,
             "plan_cache": self.plans.stats(),
@@ -446,7 +484,11 @@ class NetEmbedService:
                     "created": process_pool is not None,
                     "max_workers": getattr(process_pool, "_max_workers", None),
                 },
+                "supervisor": default_supervisor().stats(),
             },
+            "wal": ({"path": str(wal.path), "fsync_batch": wal.fsync_batch}
+                    if wal is not None else None),
+            "faults": injector.stats() if injector is not None else None,
         }
 
     # ------------------------------------------------------------------ #

@@ -20,7 +20,7 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.constraints import ConstraintExpression
 from repro.core.mapping import Mapping
@@ -74,10 +74,23 @@ class ReservationManager:
     capacity transaction runs under one lock.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, wal=None) -> None:
         self._reservations: Dict[str, Reservation] = {}
         self._counter = itertools.count(1)
         self._lock = threading.RLock()
+        #: Optional :class:`~repro.service.wal.ReservationWAL`; when set,
+        #: every grant/rebind/release is journalled inside this lock so the
+        #: log order equals the ledger order.
+        self._wal = wal
+
+    def attach_wal(self, wal) -> None:
+        """Journal all future mutations to *wal* (see :mod:`repro.service.wal`)."""
+        with self._lock:
+            self._wal = wal
+
+    @property
+    def wal(self):
+        return self._wal
 
     # ------------------------------------------------------------------ #
 
@@ -115,40 +128,71 @@ class ReservationManager:
         """
         demands = dict(demands or {})
         with self._lock:
-            resolved: Dict[NodeId, float] = {}
-            for query_node, hosting_node in mapping.items():
-                demand = float(demands.get(query_node, default_demand))
-                if demand < 0:
-                    raise ReservationError(
-                        f"demand for {query_node!r} must be non-negative, got {demand}")
-                resolved[query_node] = demand
-                available = network.available_capacity(hosting_node, capacity_attribute)
-                if available is None:
-                    raise ReservationError(
-                        f"hosting node {hosting_node!r} declares no "
-                        f"{capacity_attribute!r} capacity")
-                if demand > available + 1e-12:
-                    raise ReservationError(
-                        f"hosting node {hosting_node!r} has {available} "
-                        f"{capacity_attribute!r} left but {query_node!r} demands {demand}")
+            return self._grant(network, network_name, mapping, demands,
+                               default_demand, capacity_attribute,
+                               query, constraint, node_constraint,
+                               reservation_id=None, journal=True)
 
-            # All checks passed: apply the charges.
-            for query_node, hosting_node in mapping.items():
-                network.consume_capacity(hosting_node, resolved[query_node],
-                                         capacity_attribute)
+    def _grant(self, network: HostingNetwork, network_name: str,
+               mapping: Mapping, demands: Dict[NodeId, float],
+               default_demand: float, capacity_attribute: str,
+               query: Optional[QueryNetwork],
+               constraint: Optional[ConstraintExpression],
+               node_constraint: Optional[ConstraintExpression],
+               reservation_id: Optional[str], journal: bool) -> Reservation:
+        """Validate, charge, record and (optionally) journal one grant.
 
-            reservation = Reservation(
-                reservation_id=f"rsv-{next(self._counter):06d}",
-                network_name=network_name,
-                mapping=mapping,
-                demands=resolved,
-                query=query,
-                constraint=constraint,
-                node_constraint=node_constraint,
-                capacity_attribute=capacity_attribute,
-            )
-            self._reservations[reservation.reservation_id] = reservation
-            return reservation
+        Callers hold ``self._lock``.  ``reservation_id`` is forced during
+        WAL replay so recovered tickets keep their original ids;
+        ``journal=False`` suppresses re-logging replayed records.
+        """
+        resolved: Dict[NodeId, float] = {}
+        for query_node, hosting_node in mapping.items():
+            demand = float(demands.get(query_node, default_demand))
+            if demand < 0:
+                raise ReservationError(
+                    f"demand for {query_node!r} must be non-negative, got {demand}")
+            resolved[query_node] = demand
+            available = network.available_capacity(hosting_node, capacity_attribute)
+            if available is None:
+                raise ReservationError(
+                    f"hosting node {hosting_node!r} declares no "
+                    f"{capacity_attribute!r} capacity")
+            if demand > available + 1e-12:
+                raise ReservationError(
+                    f"hosting node {hosting_node!r} has {available} "
+                    f"{capacity_attribute!r} left but {query_node!r} demands {demand}")
+
+        # All checks passed: apply the charges.
+        for query_node, hosting_node in mapping.items():
+            network.consume_capacity(hosting_node, resolved[query_node],
+                                     capacity_attribute)
+
+        reservation = Reservation(
+            reservation_id=(reservation_id if reservation_id is not None
+                            else f"rsv-{next(self._counter):06d}"),
+            network_name=network_name,
+            mapping=mapping,
+            demands=resolved,
+            query=query,
+            constraint=constraint,
+            node_constraint=node_constraint,
+            capacity_attribute=capacity_attribute,
+        )
+        if journal and self._wal is not None:
+            from repro.service.wal import reserve_record
+            try:
+                self._wal.append(reserve_record(reservation))
+            except BaseException:
+                # The grant is not durable: undo the charges so a journal
+                # failure cannot leak capacity that no log record explains.
+                for query_node, hosting_node in mapping.items():
+                    network.release_capacity(hosting_node,
+                                             resolved[query_node],
+                                             capacity_attribute)
+                raise
+        self._reservations[reservation.reservation_id] = reservation
+        return reservation
 
     def rebind(self, reservation_id: str, network: HostingNetwork,
                new_mapping: Mapping) -> Reservation:
@@ -211,6 +255,9 @@ class ReservationManager:
                     network.release_capacity(host, -delta, attribute)
             reservation.mapping = new_mapping
             reservation.rebinds += 1
+            if self._wal is not None:
+                from repro.service.wal import rebind_record
+                self._wal.append(rebind_record(reservation))
             return reservation
 
     def release(self, reservation_id: str, network: HostingNetwork,
@@ -226,6 +273,152 @@ class ReservationManager:
                                          reservation.demands[query_node],
                                          capacity_attribute)
             reservation.active = False
+            if self._wal is not None:
+                from repro.service.wal import release_record
+                self._wal.append(release_record(reservation_id,
+                                                capacity_attribute))
+
+    # ------------------------------------------------------------------ #
+    # WAL replay / snapshot / compaction
+    # ------------------------------------------------------------------ #
+
+    def replay(self, records: Sequence[Dict[str, object]],
+               resolve_network: Callable[[str], HostingNetwork]
+               ) -> Dict[str, object]:
+        """Rebuild the ledger from WAL *records* (see :mod:`repro.service.wal`).
+
+        Must be called on a fresh manager; every record is applied through
+        the same validation paths as the original mutation (charging the
+        resolved hosting networks), so the recovered state — ticket ids,
+        mappings, demands, rebind counts, remaining capacity — matches the
+        pre-crash state byte-for-byte.  Journalling is suspended for the
+        duration so replayed records are not re-logged.
+
+        Returns a report: total records, per-op applied counts, active
+        tickets after replay.
+        """
+        from repro.server.protocol import query_from_payload
+
+        applied = {"reserve": 0, "rebind": 0, "release": 0}
+        with self._lock:
+            if self._reservations:
+                raise ReservationError(
+                    "WAL replay requires an empty reservation ledger")
+            wal, self._wal = self._wal, None
+            try:
+                max_id = 0
+                next_counter = 1
+                for record in records:
+                    op = record.get("op")
+                    if op in ("wal-header",):
+                        continue
+                    if op == "counter":
+                        next_counter = max(next_counter, int(record["next"]))
+                        continue
+                    reservation_id = str(record["id"])
+                    if op == "reserve":
+                        network_name = str(record["network"])
+                        network = resolve_network(network_name)
+                        mapping = Mapping(dict(
+                            (q, h) for q, h in record["mapping"]))
+                        demands = {q: float(d) for q, d in record["demands"]}
+                        query_payload = record.get("query")
+                        constraint = record.get("constraint")
+                        node_constraint = record.get("node_constraint")
+                        self._grant(
+                            network, network_name, mapping, demands,
+                            default_demand=1.0,
+                            capacity_attribute=str(
+                                record.get("capacity_attribute", "capacity")),
+                            query=(query_from_payload(query_payload)
+                                   if query_payload is not None else None),
+                            constraint=(ConstraintExpression(constraint)
+                                        if constraint is not None else None),
+                            node_constraint=(
+                                ConstraintExpression(node_constraint)
+                                if node_constraint is not None else None),
+                            reservation_id=reservation_id, journal=False)
+                        applied["reserve"] += 1
+                    elif op == "rebind":
+                        reservation = self.get(reservation_id)
+                        network = resolve_network(reservation.network_name)
+                        self.rebind(reservation_id, network, Mapping(dict(
+                            (q, h) for q, h in record["mapping"])))
+                        applied["rebind"] += 1
+                    elif op == "release":
+                        reservation = self.get(reservation_id)
+                        network = resolve_network(reservation.network_name)
+                        self.release(reservation_id, network,
+                                     str(record.get("capacity_attribute",
+                                                    "capacity")))
+                        applied["release"] += 1
+                    else:
+                        raise ReservationError(
+                            f"unknown WAL record op {op!r}")
+                    try:
+                        max_id = max(max_id, int(reservation_id.split("-")[-1]))
+                    except ValueError:
+                        pass
+                self._counter = itertools.count(max(max_id + 1, next_counter))
+            finally:
+                self._wal = wal
+            return {
+                "records": len(records),
+                "applied": applied,
+                "active": sum(1 for r in self._reservations.values()
+                              if r.active),
+            }
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """A canonical, JSON-ready dump of the whole ledger.
+
+        Sorted by ticket id with deterministic inner ordering, so two
+        managers hold identical state iff their snapshots serialise to
+        identical bytes (the kill-and-restart acceptance check).
+        """
+        with self._lock:
+            reservations = sorted(self._reservations.values(),
+                                  key=lambda r: r.reservation_id)
+            return [{
+                "id": r.reservation_id,
+                "network": r.network_name,
+                "active": r.active,
+                "mapping": sorted(([str(q), str(h)]
+                                   for q, h in r.mapping.items())),
+                "demands": sorted(([str(q), float(d)]
+                                   for q, d in r.demands.items())),
+                "capacity_attribute": r.capacity_attribute,
+                "rebinds": r.rebinds,
+                "constraint": (r.constraint.source
+                               if r.constraint is not None else None),
+                "node_constraint": (r.node_constraint.source
+                                    if r.node_constraint is not None
+                                    else None),
+                "query": (r.query.name if r.query is not None else None),
+            } for r in reservations]
+
+    def compact_wal(self) -> int:
+        """Rewrite the attached WAL as the current *active* state.
+
+        Rebind chains collapse into the final mapping and released tickets
+        drop out of the log (their lifetime counters are traded for a
+        bounded file); the id counter is preserved so post-compaction
+        grants never reuse a ticket id.  Returns the number of state
+        records written.  Requires an attached WAL.
+        """
+        from repro.service.wal import reserve_record
+
+        with self._lock:
+            if self._wal is None:
+                raise ReservationError("no WAL attached to compact")
+            # Peek the counter without consuming a value.
+            next_value = next(self._counter)
+            self._counter = itertools.count(next_value)
+            records = [reserve_record(r)
+                       for r in sorted(self._reservations.values(),
+                                       key=lambda r: r.reservation_id)
+                       if r.active]
+            return self._wal.compact(records, next_value)
 
     # ------------------------------------------------------------------ #
 

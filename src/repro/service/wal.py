@@ -1,0 +1,233 @@
+"""Crash-safe write-ahead log for :class:`ReservationManager` state.
+
+Reservations are the one piece of serving-tier state that outlives a
+request: capacity charged against the hosting network on behalf of a tenant
+must survive a server crash, or a restart silently double-books hosts.
+This module makes the reservation ledger durable with the smallest possible
+machinery — an append-only JSONL file:
+
+* one JSON object per line, appended *inside* the manager's lock at
+  commit/rebind/release time, so the log order equals the ledger order;
+* ``fsync`` batched every ``fsync_batch`` appends (1 = every commit is
+  durable before the caller learns it succeeded) and forced on close;
+* a torn final line — the classic crash artefact of an append that died
+  mid-write — is detected and skipped on replay, never propagated;
+* :meth:`ReservationWAL.compact` rewrites the log as the live state plus a
+  counter record (atomic via temp file + ``os.replace``), collapsing long
+  rebind chains and dropping released tickets.
+
+Record shapes (all node ids ride as ``[query_node, value]`` pairs, not
+object keys, so integer ids survive the JSON round trip)::
+
+    {"op": "wal-header", "version": 1}
+    {"op": "reserve", "id": "rsv-000001", "network": "...",
+     "mapping": [[q, h], ...], "demands": [[q, d], ...],
+     "capacity_attribute": "capacity", "query": {...}|null,
+     "constraint": "..."|null, "node_constraint": "..."|null}
+    {"op": "rebind", "id": "rsv-000001", "mapping": [[q, h], ...]}
+    {"op": "release", "id": "rsv-000001", "capacity_attribute": "capacity"}
+    {"op": "counter", "next": 7}
+
+Replay applies these through the manager's own validation paths (see
+:meth:`ReservationManager.replay`), so a recovered server reconstructs the
+ledger — mappings, demands, rebind counts, ticket ids — byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+WAL_VERSION = 1
+
+
+class WALError(Exception):
+    """Raised on unreadable/corrupt WAL files or misuse of the log."""
+
+
+class ReservationWAL:
+    """Append-only JSONL journal of reservation mutations.
+
+    Not thread-safe by itself: callers (the :class:`ReservationManager`)
+    append under their own lock, which also guarantees that log order
+    matches ledger order.
+    """
+
+    def __init__(self, path: Union[str, Path], fsync_batch: int = 1) -> None:
+        if fsync_batch < 1:
+            raise WALError(f"fsync_batch must be >= 1, got {fsync_batch}")
+        self.path = Path(path)
+        self.fsync_batch = fsync_batch
+        self._pending_sync = 0
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._file = open(self.path, "ab")
+        if fresh:
+            self._write({"op": "wal-header", "version": WAL_VERSION})
+            self.sync()
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def _write(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, separators=(",", ":"),
+                          sort_keys=True) + "\n"
+        self._file.write(line.encode("utf-8"))
+        self._file.flush()
+        self._pending_sync += 1
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Append one record; fsync when the batch threshold is reached."""
+        if self._file.closed:
+            raise WALError(f"WAL {self.path} is closed")
+        self._write(record)
+        if self._pending_sync >= self.fsync_batch:
+            self.sync()
+
+    def sync(self) -> None:
+        """Force the journal to stable storage."""
+        if self._file.closed:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._pending_sync = 0
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self.sync()
+            self._file.close()
+
+    # ------------------------------------------------------------------ #
+    # Compaction
+    # ------------------------------------------------------------------ #
+
+    def compact(self, records: Iterable[Dict[str, object]],
+                next_counter: int) -> int:
+        """Atomically rewrite the log as ``records`` + a counter record.
+
+        ``records`` is the live state (typically one ``reserve`` record per
+        active reservation, rebind chains already collapsed); released
+        tickets are dropped — compaction trades their lifetime counters for
+        a bounded log.  Returns the number of state records written.
+        """
+        directory = self.path.parent
+        fd, temp_path = tempfile.mkstemp(prefix=self.path.name + ".compact-",
+                                         dir=directory)
+        written = 0
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                def emit(record: Dict[str, object]) -> None:
+                    handle.write(json.dumps(
+                        record, separators=(",", ":"),
+                        sort_keys=True).encode("utf-8") + b"\n")
+                emit({"op": "wal-header", "version": WAL_VERSION,
+                      "compacted": True})
+                for record in records:
+                    emit(record)
+                    written += 1
+                emit({"op": "counter", "next": int(next_counter)})
+                handle.flush()
+                os.fsync(handle.fileno())
+            self.close()
+            os.replace(temp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self._file = open(self.path, "ab")
+        self._pending_sync = 0
+        return written
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def read(path: Union[str, Path]) -> Tuple[List[Dict[str, object]], int]:
+        """Read all records of a WAL file; tolerates a torn final line.
+
+        Returns ``(records, skipped)`` where ``skipped`` is the number of
+        trailing unparseable lines dropped (0 or 1 for a genuine crash; a
+        corrupt line *followed by valid ones* is real corruption and raises
+        :class:`WALError`).
+        """
+        path = Path(path)
+        try:
+            raw = path.read_bytes()
+        except OSError as exc:
+            raise WALError(f"cannot read WAL {path}: {exc}") from exc
+        records: List[Dict[str, object]] = []
+        bad: List[int] = []
+        lines = raw.split(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()
+        for lineno, line in enumerate(lines, start=1):
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if not isinstance(record, dict) or "op" not in record:
+                    raise ValueError("record is not an op object")
+            except (ValueError, UnicodeDecodeError):
+                bad.append(lineno)
+                continue
+            if bad:
+                raise WALError(
+                    f"WAL {path} is corrupt: unparseable line(s) "
+                    f"{bad} followed by valid records")
+            records.append(record)
+        if len(bad) > 1:
+            raise WALError(
+                f"WAL {path} is corrupt: {len(bad)} unparseable lines")
+        if records and records[0].get("op") == "wal-header":
+            version = records[0].get("version")
+            if version != WAL_VERSION:
+                raise WALError(
+                    f"WAL {path} has unsupported version {version!r}")
+        return records, len(bad)
+
+
+# --------------------------------------------------------------------------- #
+# Record builders (shared by the manager's logging and compaction)
+# --------------------------------------------------------------------------- #
+
+def reserve_record(reservation) -> Dict[str, object]:
+    """Encode a :class:`~repro.service.reservation.Reservation` grant."""
+    from repro.server.protocol import network_payload
+
+    return {
+        "op": "reserve",
+        "id": reservation.reservation_id,
+        "network": reservation.network_name,
+        "mapping": [[q, h] for q, h in reservation.mapping.items()],
+        "demands": [[q, d] for q, d in sorted(
+            reservation.demands.items(), key=lambda item: str(item[0]))],
+        "capacity_attribute": reservation.capacity_attribute,
+        "query": (network_payload(reservation.query)
+                  if reservation.query is not None else None),
+        "constraint": (reservation.constraint.source
+                       if reservation.constraint is not None else None),
+        "node_constraint": (reservation.node_constraint.source
+                            if reservation.node_constraint is not None
+                            else None),
+    }
+
+
+def rebind_record(reservation) -> Dict[str, object]:
+    return {
+        "op": "rebind",
+        "id": reservation.reservation_id,
+        "mapping": [[q, h] for q, h in reservation.mapping.items()],
+    }
+
+
+def release_record(reservation_id: str,
+                   capacity_attribute: str) -> Dict[str, object]:
+    return {
+        "op": "release",
+        "id": reservation_id,
+        "capacity_attribute": capacity_attribute,
+    }

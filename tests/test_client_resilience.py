@@ -1,0 +1,479 @@
+"""Client/server resilience: connection loss, retries, idempotency.
+
+Every scenario runs the real protocol over a real loopback socket.  The
+properties under test:
+
+* a dead connection **never leaves a caller hanging** — outstanding
+  futures fail with a structured :class:`ConnectionLostError` and later
+  requests fail fast;
+* :class:`RetryPolicy` reconnects with jittered exponential backoff,
+  honours a shed's ``retry_after`` hint, and — combined with an
+  idempotency key — guarantees at-most-once execution even when the
+  answer (not the request) was lost on the wire;
+* oversized frames get a structured protocol error, not a hang;
+* ``health`` answers without touching admission;
+* shutdown drain answers ``shed/server-shutdown`` even with an active
+  connection-drop fault plan (satellite: stop() semantics are
+  fault-plan-independent).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultSpec
+from repro.server import (
+    AdmissionConfig,
+    AsyncNetEmbedClient,
+    ConnectionLostError,
+    EmbeddingServer,
+    RetryPolicy,
+    ServerConfig,
+    ServiceRegistry,
+    TenantPolicy,
+)
+from repro.server.protocol import MAX_MESSAGE_BYTES
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class StubAlgorithms:
+    def names(self):
+        return ["stub"]
+
+    def __contains__(self, name):
+        return name == "stub"
+
+
+class CountingService:
+    """An engine stub that counts executions (and can block them)."""
+
+    def __init__(self, block: bool = False) -> None:
+        self.release = threading.Event()
+        if not block:
+            self.release.set()
+        self.calls = []
+        self.algorithms = StubAlgorithms()
+
+    def submit(self, spec):
+        self.calls.append(spec)
+        self.release.wait(timeout=10.0)
+        return SimpleNamespace(status=SimpleNamespace(value="ok"),
+                               algorithm_used="stub", network_name="stub-net",
+                               mappings=[], elapsed_seconds=0.0)
+
+    def stats(self):
+        return {"calls": len(self.calls)}
+
+
+def counting_registry(block: bool = False, **admission_kwargs):
+    service = CountingService(block=block)
+    config = ServerConfig(engine_workers=1,
+                          admission=AdmissionConfig(**admission_kwargs))
+    return ServiceRegistry(config=config, service=service), service
+
+
+@pytest.fixture
+def no_active_plan():
+    """Guard: these tests must not leak an installed fault plan."""
+    assert faults.active() is None
+    yield
+    assert faults.active() is None
+
+
+# --------------------------------------------------------------------------- #
+# Connection loss: nobody hangs
+# --------------------------------------------------------------------------- #
+
+class TestConnectionLoss:
+    def test_pending_request_fails_with_structured_error(self):
+        """A server that hangs up mid-request fails the caller immediately."""
+        async def scenario():
+            async def hang_up(reader, writer):
+                await reader.readline()         # swallow the request...
+                writer.close()                  # ...and slam the door
+
+            server = await asyncio.start_server(hang_up, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = await AsyncNetEmbedClient.connect("127.0.0.1", port)
+            with pytest.raises(ConnectionLostError) as excinfo:
+                await client.ping()
+            first = excinfo.value
+            # Requests issued after the loss fail fast, same error type.
+            with pytest.raises(ConnectionLostError) as again:
+                await client.ping()
+            lost_marker = client.connection_lost
+            await client.close()
+            server.close()
+            await server.wait_closed()
+            return first, again.value, lost_marker
+
+        first, second, lost_marker = run(scenario())
+        assert first.pending == 1               # exactly our in-flight request
+        assert second.pending == 0              # issued after the loss
+        assert lost_marker is not None
+
+    def test_concurrent_pending_requests_all_fail(self):
+        async def scenario():
+            async def hang_up(reader, writer):
+                await reader.readline()
+                await reader.readline()
+                writer.close()
+
+            server = await asyncio.start_server(hang_up, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = await AsyncNetEmbedClient.connect("127.0.0.1", port)
+            results = await asyncio.gather(
+                client.ping(), client.ping(), return_exceptions=True)
+            await client.close()
+            server.close()
+            await server.wait_closed()
+            return results
+
+        results = run(scenario())
+        assert len(results) == 2
+        assert all(isinstance(r, ConnectionLostError) for r in results)
+
+    def test_reconnect_restores_service(self, path_query, no_active_plan):
+        registry, engine = counting_registry()
+        plan = FaultPlan.fixed(
+            FaultSpec("server.reply", "connection-drop", hits=(1,)))
+
+        async def scenario():
+            async with EmbeddingServer(registry) as server:
+                async with await AsyncNetEmbedClient.connect(
+                        server.host, server.port) as client:
+                    with faults.injecting(plan):
+                        with pytest.raises(ConnectionLostError):
+                            await client.embed(path_query, algorithm="stub")
+                        await client.reconnect()
+                        pong = await client.ping()
+                    return pong, client.reconnects
+
+        pong, reconnects = run(scenario())
+        assert pong["kind"] == "pong"
+        assert reconnects == 1
+        assert len(engine.calls) == 1           # the work did execute
+
+    def test_reconnect_without_an_address_is_refused(self):
+        async def scenario():
+            async def hang_up(reader, writer):
+                await reader.readline()
+                writer.close()
+
+            server = await asyncio.start_server(hang_up, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            client = AsyncNetEmbedClient(reader, writer)   # raw streams
+            with pytest.raises(ConnectionLostError):
+                await client.ping()
+            with pytest.raises(ConnectionLostError, match="no remembered"):
+                await client.reconnect()
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        run(scenario())
+
+
+# --------------------------------------------------------------------------- #
+# RetryPolicy: backoff math and the full retry loop
+# --------------------------------------------------------------------------- #
+
+class TestRetryPolicy:
+    def test_delay_is_capped_exponential(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(10) == 1.0
+
+    def test_delay_honours_retry_after(self):
+        policy = RetryPolicy(base_delay=0.01, jitter=0.0)
+        assert policy.delay(1, retry_after=0.5) == 0.5
+        assert policy.delay(1, retry_after=0.001) == pytest.approx(0.01)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.25)
+        delays = [policy.delay(1, rng=random.Random(7)) for _ in range(3)]
+        assert delays[0] == delays[1] == delays[2]      # same seed, same delay
+        assert 0.075 <= delays[0] <= 0.125
+
+    def test_retry_reconnects_and_replays_after_a_drop(self, path_query,
+                                                       no_active_plan):
+        """The flagship scenario: the *answer* is lost, the retry must not
+        re-execute — the idempotency key replays the recorded result."""
+        registry, engine = counting_registry()
+        plan = FaultPlan.fixed(
+            FaultSpec("server.reply", "connection-drop", hits=(1,)))
+
+        async def scenario():
+            async with EmbeddingServer(registry) as server:
+                async with await AsyncNetEmbedClient.connect(
+                        server.host, server.port) as client:
+                    with faults.injecting(plan):
+                        response = await client.embed(
+                            path_query, algorithm="stub",
+                            idempotency_key="drop-1",
+                            retry=RetryPolicy(base_delay=0.01), rng=1)
+                    metrics = await client.metrics()
+                    return response, client.reconnects, metrics
+
+        response, reconnects, metrics = run(scenario())
+        assert response["kind"] == "result"
+        assert response["idempotent_replay"] is True
+        assert reconnects == 1
+        assert len(engine.calls) == 1           # at-most-once execution
+        assert metrics["server"]["idempotent_hits"] == 1
+        assert metrics["server"]["injected_connection_drops"] == 1
+
+    def test_retry_honours_shed_retry_after(self, path_query):
+        registry, engine = counting_registry(
+            default_policy=TenantPolicy(rate=20.0, burst=1))
+
+        async def scenario():
+            async with EmbeddingServer(registry) as server:
+                async with await AsyncNetEmbedClient.connect(
+                        server.host, server.port) as client:
+                    first = await client.embed(path_query, algorithm="stub")
+                    second = await client.embed(
+                        path_query, algorithm="stub",
+                        retry=RetryPolicy(base_delay=0.001), rng=2)
+                    metrics = await client.metrics()
+                    return first, second, metrics
+
+        first, second, metrics = run(scenario())
+        assert first["kind"] == "result"
+        assert second["kind"] == "result"       # retried through the shed
+        assert metrics["admission"]["shed"]["tenant-rate"] >= 1
+        assert len(engine.calls) == 2
+
+    def test_sheds_without_retry_after_are_answers(self, path_query):
+        # A dead-on-arrival deadline is shed with no retry_after hint; the
+        # retry loop must hand it back instead of spinning.
+        registry, engine = counting_registry()
+
+        async def scenario():
+            async with EmbeddingServer(registry) as server:
+                async with await AsyncNetEmbedClient.connect(
+                        server.host, server.port) as client:
+                    return await client.embed(
+                        path_query, algorithm="stub", deadline=1e-9,
+                        retry=RetryPolicy(base_delay=0.001), rng=3)
+
+        response = run(scenario())
+        assert response["kind"] == "shed"
+        assert response["reason"] == "deadline-expired"
+        assert not engine.calls
+
+
+# --------------------------------------------------------------------------- #
+# Idempotency dedup on the server
+# --------------------------------------------------------------------------- #
+
+class TestIdempotency:
+    def test_same_key_executes_once(self, path_query):
+        registry, engine = counting_registry()
+
+        async def scenario():
+            async with EmbeddingServer(registry) as server:
+                async with await AsyncNetEmbedClient.connect(
+                        server.host, server.port) as client:
+                    first = await client.embed(path_query, algorithm="stub",
+                                               idempotency_key="once")
+                    second = await client.embed(path_query, algorithm="stub",
+                                                idempotency_key="once")
+                    return first, second
+
+        first, second = run(scenario())
+        assert first["kind"] == second["kind"] == "result"
+        assert "idempotent_replay" not in first
+        assert second["idempotent_replay"] is True
+        assert second["id"] != first["id"]      # replay keeps the new id
+        assert len(engine.calls) == 1
+
+    def test_distinct_keys_execute_separately(self, path_query):
+        registry, engine = counting_registry()
+
+        async def scenario():
+            async with EmbeddingServer(registry) as server:
+                async with await AsyncNetEmbedClient.connect(
+                        server.host, server.port) as client:
+                    await client.embed(path_query, algorithm="stub",
+                                       idempotency_key="a")
+                    await client.embed(path_query, algorithm="stub",
+                                       idempotency_key="b")
+
+        run(scenario())
+        assert len(engine.calls) == 2
+
+    def test_racing_duplicates_share_one_execution(self, path_query):
+        registry, engine = counting_registry(block=True)
+
+        async def scenario():
+            async with EmbeddingServer(registry) as server:
+                async with await AsyncNetEmbedClient.connect(
+                        server.host, server.port) as client:
+                    tasks = [asyncio.ensure_future(
+                        client.embed(path_query, algorithm="stub",
+                                     idempotency_key="race"))
+                        for _ in range(3)]
+                    while not engine.calls:
+                        await asyncio.sleep(0.01)
+                    engine.release.set()
+                    return await asyncio.gather(*tasks)
+
+        responses = run(scenario())
+        assert [r["kind"] for r in responses] == ["result"] * 3
+        assert sum(1 for r in responses
+                   if r.get("idempotent_replay")) == 2
+        assert len(engine.calls) == 1
+
+    def test_invalid_key_is_a_bad_request(self, path_query):
+        registry, engine = counting_registry()
+
+        async def scenario():
+            async with EmbeddingServer(registry) as server:
+                async with await AsyncNetEmbedClient.connect(
+                        server.host, server.port) as client:
+                    from repro.server.protocol import network_payload
+                    return await client.request({
+                        "op": "embed", "query": network_payload(path_query),
+                        "algorithm": "stub", "idempotency_key": 123})
+
+        response = run(scenario())
+        assert response["kind"] == "error"
+        assert response["error"] == "bad-request"
+        assert not engine.calls
+
+    def test_errors_are_not_cached(self, path_query):
+        # A shed is an answer for *that* attempt only: the retry must go
+        # through admission again, not replay the rejection forever.
+        registry, engine = counting_registry(
+            default_policy=TenantPolicy(rate=50.0, burst=1))
+
+        async def scenario():
+            async with EmbeddingServer(registry) as server:
+                async with await AsyncNetEmbedClient.connect(
+                        server.host, server.port) as client:
+                    await client.embed(path_query, algorithm="stub")
+                    shed = await client.embed(path_query, algorithm="stub",
+                                              idempotency_key="again")
+                    await asyncio.sleep(0.05)   # refill the token bucket
+                    replayed = await client.embed(path_query,
+                                                  algorithm="stub",
+                                                  idempotency_key="again")
+                    return shed, replayed
+
+        shed, replayed = run(scenario())
+        assert shed["kind"] == "shed"
+        assert replayed["kind"] == "result"
+        assert "idempotent_replay" not in replayed
+
+
+# --------------------------------------------------------------------------- #
+# Health and oversized frames
+# --------------------------------------------------------------------------- #
+
+class TestHealthAndProtocol:
+    def test_health_answers_ok_and_ready(self):
+        registry, _ = counting_registry()
+
+        async def scenario():
+            async with EmbeddingServer(registry) as server:
+                async with await AsyncNetEmbedClient.connect(
+                        server.host, server.port) as client:
+                    return await client.health()
+
+        health = run(scenario())
+        assert health["kind"] == "health"
+        assert health["status"] == "ok"
+        assert health["ready"] is True
+        assert health["address"]
+
+    def test_oversized_frame_gets_a_structured_error(self):
+        """Satellite: an 8MB+ line over a live socket must produce a
+        protocol error frame and a clean hang-up — never a hang."""
+        registry, engine = counting_registry()
+
+        async def scenario():
+            async with EmbeddingServer(registry) as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port, limit=MAX_MESSAGE_BYTES)
+                frame = (b'{"op": "ping", "pad": "'
+                         + b"x" * (MAX_MESSAGE_BYTES + 1024)
+                         + b'"}\n')
+
+                async def push():
+                    # The server may hang up before the whole frame is
+                    # written; that refusal is part of the contract.
+                    try:
+                        writer.write(frame)
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+
+                push_task = asyncio.ensure_future(push())
+                line = await asyncio.wait_for(reader.readline(), timeout=10)
+                await push_task
+                eof = await reader.readline()
+                writer.close()
+                return line, eof
+
+        line, eof = run(scenario())
+        import json
+        response = json.loads(line)
+        assert response["kind"] == "error"
+        assert response["error"] == "protocol"
+        assert eof == b""                       # the server hung up after
+        assert not engine.calls
+
+
+# --------------------------------------------------------------------------- #
+# Shutdown drain under an active fault plan
+# --------------------------------------------------------------------------- #
+
+class TestShutdownUnderFaults:
+    def test_drain_sheds_server_shutdown_despite_drop_plan(self, path_query,
+                                                           no_active_plan):
+        """stop() answers are exempt from injection: queued work is shed
+        ``server-shutdown`` on the wire even when every request-path reply
+        is scheduled to be dropped."""
+        registry, engine = counting_registry(block=True, max_queue_depth=4)
+        plan = FaultPlan.fixed(
+            FaultSpec("server.reply", "connection-drop",
+                      hits=tuple(range(1, 21))))
+
+        async def scenario():
+            with faults.injecting(plan) as injector:
+                server = await EmbeddingServer(registry).start()
+                client = await AsyncNetEmbedClient.connect(
+                    server.host, server.port)
+                inflight = asyncio.ensure_future(
+                    client.embed(path_query, algorithm="stub"))
+                queued = [asyncio.ensure_future(
+                    client.embed(path_query, algorithm="stub"))
+                    for _ in range(2)]
+                while not engine.calls or registry.admission.queued < 2:
+                    await asyncio.sleep(0.01)
+                engine.release.set()
+                await server.stop()
+                responses = await asyncio.gather(inflight, *queued)
+                await client.close()
+                return responses, injector.stats()
+
+        responses, fired = run(scenario())
+        kinds = sorted(r["kind"] for r in responses)
+        assert kinds == ["result", "shed", "shed"]
+        sheds = [r for r in responses if r["kind"] == "shed"]
+        assert all(r["reason"] == "server-shutdown" for r in sheds)
+        # Not one reply was dropped: the drain path bypasses injection.
+        assert fired["total_fired"] == 0

@@ -1,0 +1,254 @@
+"""Supervised parallel execution under injected faults.
+
+The promises under test (see :mod:`repro.core.parallel`):
+
+* a worker crash mid-merge retries the uncommitted shards on a fresh pool
+  and the merged stream stays **byte-identical** to serial;
+* exhausted retries degrade to in-process execution — counted, observable,
+  and still byte-identical;
+* repeated failures trip the circuit breaker, which short-circuits later
+  runs straight to serial until the cooldown lapses (fake-clock tested);
+* spill temp files are cleaned up on *every* exit path, fault or not.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import random
+import tempfile
+
+import pytest
+
+from repro import faults
+from repro.api import Budget, SearchRequest
+from repro.core import ECF
+from repro.core.parallel import (
+    PoolSupervisor,
+    ShardRetryPolicy,
+    default_supervisor,
+)
+from repro.faults import FaultPlan, FaultSpec, InjectedShardError
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.query import QueryNetwork
+
+WINDOW = "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay"
+
+
+@pytest.fixture(autouse=True)
+def fresh_supervisor():
+    """Each test starts (and leaves) the process-wide supervisor pristine."""
+    default_supervisor().reset()
+    yield
+    default_supervisor().reset()
+
+
+def workload(seed: int = 3):
+    """A deterministic random embedding problem with several shard roots."""
+    rng = random.Random(seed)
+    hosting = HostingNetwork("hosting")
+    num_hosts = 10
+    for i in range(num_hosts):
+        hosting.add_node(f"h{i}", name=f"h{i}")
+    for i in range(num_hosts):
+        for j in range(i + 1, num_hosts):
+            if rng.random() < 0.5:
+                hosting.add_edge(f"h{i}", f"h{j}",
+                                 avgDelay=rng.uniform(5.0, 60.0))
+    query = QueryNetwork("query")
+    for i in range(3):
+        query.add_node(f"q{i}")
+    for i in range(2):
+        query.add_edge(f"q{i}", f"q{i + 1}", minDelay=0.0, maxDelay=55.0)
+    return query, hosting
+
+
+def stream(result) -> str:
+    return repr([m.as_dict() for m in result.mappings])
+
+
+def run_pair(plan: FaultPlan, parallelism: int = 2):
+    """One serial run and one fault-injected parallel run of the workload."""
+    query, hosting = workload()
+    request = SearchRequest.build(query, hosting, constraint=WINDOW,
+                                  budget=Budget())
+    serial = ECF().prepare(request).execute()
+    prepared = ECF().prepare(request)
+    with faults.injecting(plan) as injector:
+        parallel = prepared.execute(parallelism=parallelism)
+        fired = injector.stats()
+    return serial, parallel, fired
+
+
+class TestRetryParity:
+    def test_worker_crash_retries_and_stays_byte_identical(self):
+        plan = FaultPlan.fixed(
+            FaultSpec("parallel.shard-result", "worker-crash", hits=(2,)))
+        serial, parallel, fired = run_pair(plan)
+        assert fired["fired_counts"] == {"worker-crash": 1}
+        assert stream(parallel) == stream(serial)
+        assert parallel.status == serial.status
+        stats = default_supervisor().stats()
+        assert stats["pool_failures"] == 1
+        assert stats["shard_retries"] >= 1
+        assert stats["serial_degradations"] == 0
+        assert stats["state"] == "closed"       # success closed it again
+
+    def test_two_crashes_still_within_the_retry_budget(self):
+        plan = FaultPlan.fixed(
+            FaultSpec("parallel.shard-result", "worker-crash", hits=(1, 4)))
+        serial, parallel, fired = run_pair(plan)
+        assert fired["fired_counts"] == {"worker-crash": 2}
+        assert stream(parallel) == stream(serial)
+        stats = default_supervisor().stats()
+        assert stats["pool_failures"] == 2
+        assert stats["state"] == "closed"
+
+    def test_same_plan_same_outcome(self):
+        """The whole point: a fault run is reproducible, not flaky."""
+        plan = FaultPlan.fixed(
+            FaultSpec("parallel.shard-result", "worker-crash", hits=(2,)))
+        _, first, fired_first = run_pair(plan)
+        default_supervisor().reset()
+        _, second, fired_second = run_pair(plan)
+        assert stream(first) == stream(second)
+        assert fired_first["fired"] == fired_second["fired"]
+
+
+class TestDegradation:
+    def test_exhausted_retries_degrade_to_serial_byte_identically(self):
+        # Every pool submission breaks: the initial attempt and both
+        # restarts fail, the run finishes in-process, and the breaker
+        # (threshold 3) trips.
+        plan = FaultPlan.fixed(
+            FaultSpec("parallel.pool-submit", "pool-broken",
+                      hits=tuple(range(1, 200))))
+        serial, parallel, fired = run_pair(plan)
+        assert fired["fired_counts"]["pool-broken"] == 3
+        assert stream(parallel) == stream(serial)
+        assert parallel.status == serial.status
+        stats = default_supervisor().stats()
+        assert stats["pool_failures"] == 3
+        assert stats["serial_degradations"] == 1
+        assert stats["breaker_trips"] == 1
+        assert stats["state"] == "open"
+
+    def test_open_breaker_short_circuits_the_next_run(self):
+        plan = FaultPlan.fixed(
+            FaultSpec("parallel.pool-submit", "pool-broken",
+                      hits=tuple(range(1, 200))))
+        serial, degraded, _ = run_pair(plan)
+        assert default_supervisor().stats()["state"] == "open"
+        # Second run, no faults installed: refused a pool, ran serial,
+        # and the answer is still identical.
+        query, hosting = workload()
+        request = SearchRequest.build(query, hosting, constraint=WINDOW,
+                                      budget=Budget())
+        short_circuited = ECF().prepare(request).execute(parallelism=2)
+        assert stream(short_circuited) == stream(serial)
+        stats = default_supervisor().stats()
+        assert stats["short_circuits"] >= 1
+        assert stats["pool_failures"] == 3      # no new failures
+
+
+class TestCircuitBreaker:
+    def make(self, cooldown: float = 30.0):
+        clock = {"now": 0.0}
+        supervisor = PoolSupervisor(
+            retry=ShardRetryPolicy(max_pool_restarts=2),
+            trip_threshold=3, cooldown=cooldown,
+            clock=lambda: clock["now"])
+        return supervisor, clock
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        supervisor, clock = self.make()
+        assert supervisor.state() == "closed" and supervisor.allow_pool()
+        for _ in range(3):
+            supervisor.record_pool_failure()
+        assert supervisor.state() == "open"
+        assert not supervisor.allow_pool()
+        stats = supervisor.stats()
+        assert stats["breaker_trips"] == 1 and stats["short_circuits"] == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        supervisor, clock = self.make()
+        supervisor.record_pool_failure()
+        supervisor.record_pool_failure()
+        supervisor.record_pool_success()
+        supervisor.record_pool_failure()
+        assert supervisor.state() == "closed"   # 1 consecutive, not 3
+
+    def test_half_open_probe_success_closes(self):
+        supervisor, clock = self.make(cooldown=30.0)
+        for _ in range(3):
+            supervisor.record_pool_failure()
+        clock["now"] = 31.0
+        assert supervisor.state() == "half-open"
+        assert supervisor.allow_pool()          # the probe goes through
+        supervisor.record_pool_success()
+        assert supervisor.state() == "closed"
+        assert supervisor.stats()["consecutive_failures"] == 0
+
+    def test_failed_probe_reopens_without_a_new_trip(self):
+        supervisor, clock = self.make(cooldown=30.0)
+        for _ in range(3):
+            supervisor.record_pool_failure()
+        clock["now"] = 31.0
+        assert supervisor.allow_pool()
+        supervisor.record_pool_failure()        # the probe failed
+        assert supervisor.state() == "open"     # cooldown restarted
+        assert not supervisor.allow_pool()
+        assert supervisor.stats()["breaker_trips"] == 1
+        clock["now"] = 62.0
+        assert supervisor.state() == "half-open"
+
+    def test_trip_threshold_validated(self):
+        with pytest.raises(ValueError, match="trip_threshold"):
+            PoolSupervisor(trip_threshold=0)
+
+    def test_backoff_is_capped_exponential(self):
+        policy = ShardRetryPolicy(backoff_base=0.05, backoff_cap=1.0)
+        assert policy.backoff(1) == pytest.approx(0.05)
+        assert policy.backoff(2) == pytest.approx(0.10)
+        assert policy.backoff(3) == pytest.approx(0.20)
+        assert policy.backoff(10) == 1.0        # capped
+
+
+class TestSpillCleanup:
+    @staticmethod
+    def spill_files():
+        pattern = os.path.join(tempfile.gettempdir(), "repro-shard-*")
+        return set(glob.glob(pattern))
+
+    def test_no_spill_leak_on_the_happy_path(self, monkeypatch):
+        monkeypatch.setattr("repro.core.parallel._INLINE_GROUP_LIMIT", 0)
+        before = self.spill_files()
+        query, hosting = workload()
+        request = SearchRequest.build(query, hosting, constraint=WINDOW,
+                                      budget=Budget())
+        result = ECF().prepare(request).execute(parallelism=2)
+        assert result.mappings
+        assert self.spill_files() == before
+
+    def test_no_spill_leak_when_a_shard_raises(self, monkeypatch):
+        monkeypatch.setattr("repro.core.parallel._INLINE_GROUP_LIMIT", 0)
+        before = self.spill_files()
+        plan = FaultPlan.fixed(
+            FaultSpec("parallel.shard-result", "shard-exception", hits=(1,)))
+        query, hosting = workload()
+        request = SearchRequest.build(query, hosting, constraint=WINDOW,
+                                      budget=Budget())
+        prepared = ECF().prepare(request)
+        with faults.injecting(plan):
+            with pytest.raises(InjectedShardError):
+                prepared.execute(parallelism=2)
+        assert self.spill_files() == before
+
+    def test_no_spill_leak_across_pool_restarts(self, monkeypatch):
+        monkeypatch.setattr("repro.core.parallel._INLINE_GROUP_LIMIT", 0)
+        before = self.spill_files()
+        plan = FaultPlan.fixed(
+            FaultSpec("parallel.shard-result", "worker-crash", hits=(1,)))
+        serial, parallel, _ = run_pair(plan)
+        assert stream(parallel) == stream(serial)
+        assert self.spill_files() == before
