@@ -1,6 +1,6 @@
 """Command-line interface to the NETEMBED service.
 
-Eight subcommands cover the common workflows::
+The subcommands cover the common workflows::
 
     python -m repro embed --hosting host.graphml --query query.graphml \
         --constraint "rEdge.avgDelay <= vEdge.maxDelay" --algorithm ECF
@@ -18,6 +18,9 @@ Eight subcommands cover the common workflows::
 
     python -m repro generate planetlab --sites 120 --seed 7 --output pl.graphml
 
+    python -m repro partition --hosting host.graphml --attribute region \
+        --query query.graphml --constraint "..."
+
     python -m repro experiment fig8 --seed 1 --timeout 5 --csv fig8.csv
 
 ``embed`` reads both networks from GraphML, runs the requested algorithm and
@@ -32,7 +35,10 @@ reports repair-vs-reembed cost;
 QoS, deadline-aware shedding, and a ``metrics`` endpoint — over a
 registered hosting model (see :mod:`repro.server`);
 ``list-algorithms`` prints the capability registry; ``generate`` materialises
-the synthetic hosting networks used throughout the evaluation; ``experiment``
+the synthetic hosting networks used throughout the evaluation; ``partition``
+shards a hosting network for the cluster tier (see :mod:`repro.cluster`) and
+optionally answers a query through the two-level coarse/fine search;
+``experiment``
 runs one of the figure drivers from :mod:`repro.analysis` and prints the same
 series the paper plots.
 """
@@ -206,6 +212,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSON fault plan installed for the server's "
                             "lifetime (deterministic fault injection; see "
                             "repro.faults.FaultPlan)")
+    serve.add_argument("--partitions", type=int, default=None,
+                       help="serve through the partitioned cluster tier "
+                            "with this many balanced partitions "
+                            "(see repro.cluster)")
+    serve.add_argument("--partition-attribute", default=None,
+                       help="serve through the cluster tier, partitioning "
+                            "by this categorical node attribute "
+                            "(overrides --partitions)")
     serve.add_argument("--json", action="store_true",
                        help="print the final stats snapshot as JSON on exit")
 
@@ -232,6 +246,40 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=None, help="random seed")
     generate.add_argument("--output", type=Path, required=True,
                           help="output GraphML path")
+
+    partition = subparsers.add_parser(
+        "partition", help="shard a hosting network for the cluster tier and "
+                          "optionally answer a query through the two-level "
+                          "search")
+    partition.add_argument("--hosting", required=True, type=Path,
+                           help="GraphML file describing the hosting network")
+    partition.add_argument("--partitions", type=int, default=None,
+                           help="balanced-connected partition count "
+                                "(default: 8 unless --attribute is given)")
+    partition.add_argument("--attribute", default=None,
+                           help="partition by this categorical node attribute "
+                                "(e.g. 'region' or 'zone') instead of "
+                                "balanced slicing")
+    partition.add_argument("--query", type=Path, default=None,
+                           help="optional GraphML query to embed through the "
+                                "cluster coordinator")
+    partition.add_argument("--constraint", default=None,
+                           help="edge constraint expression")
+    partition.add_argument("--node-constraint", default=None,
+                           help="node constraint expression over vNode/rNode")
+    partition.add_argument("--algorithm", default="ECF", choices=algorithm_names,
+                           help="intra-partition algorithm (default: ECF)")
+    partition.add_argument("--timeout", type=float, default=30.0,
+                           help="search budget in seconds (default: 30)")
+    partition.add_argument("--max-results", type=int, default=1,
+                           help="stop after this many embeddings (default: 1)")
+    partition.add_argument("--seed", type=int, default=None,
+                           help="seed for the per-partition searches")
+    partition.add_argument("--no-cross-partition", action="store_true",
+                           help="disable the cross-partition split-and-stitch "
+                                "stage (single-partition placement only)")
+    partition.add_argument("--json", action="store_true",
+                           help="print the partition/search report as JSON")
 
     experiment = subparsers.add_parser(
         "experiment", help="run one of the paper's evaluation experiments")
@@ -592,7 +640,15 @@ def _run_serve(args: argparse.Namespace) -> int:
     config = ServerConfig(default_timeout=args.timeout,
                           engine_workers=args.workers,
                           admission=AdmissionConfig(**admission_kwargs))
-    registry = ServiceRegistry(config)
+    service = None
+    if args.partitions is not None or args.partition_attribute is not None:
+        from repro.cluster import ClusterService
+        service = ClusterService(
+            default_timeout=config.default_timeout,
+            plan_cache_size=config.plan_cache_size,
+            num_partitions=args.partitions if args.partitions else 8,
+            attribute=args.partition_attribute)
+    registry = ServiceRegistry(config, service=service)
     name = registry.service.register_network_from_graphml(args.hosting,
                                                           default=True)
     hosting = registry.models.get(name)
@@ -732,6 +788,66 @@ def _run_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_partition(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterCoordinator
+
+    hosting = read_graphml(args.hosting, cls=HostingNetwork)
+    info = default_registry().get(args.algorithm)
+    coordinator = ClusterCoordinator(
+        hosting, attribute=args.attribute,
+        num_partitions=args.partitions, algorithm=info.create())
+    stats = coordinator.stats()
+    report = {"partition": stats}
+
+    if args.query is not None:
+        query = read_graphml(args.query, cls=QueryNetwork)
+        result = coordinator.embed(
+            query, constraint=args.constraint,
+            node_constraint=args.node_constraint, timeout=args.timeout,
+            max_results=args.max_results, seed=args.seed,
+            cross_partition=not args.no_cross_partition)
+        report["search"] = {
+            "verdict": result.verdict,
+            "found": result.found,
+            "partition": result.partition,
+            "used_cross_partition": result.used_cross_partition,
+            "fragment_assignment": result.fragment_assignment,
+            "partitions_pruned": result.partitions_pruned,
+            "partitions_searched": result.partitions_searched,
+            "coarse_placements_tried": result.coarse_placements_tried,
+            "stitch_checks": result.stitch_checks,
+            "elapsed_seconds": result.elapsed_seconds,
+            "mappings": [{str(q): str(r) for q, r in m.items()}
+                         for m in result.mappings],
+        }
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"{hosting.name}: {stats['partitions']} partitions over "
+              f"{stats['primary_nodes']} nodes "
+              f"(largest {stats['max_partition_nodes']} nodes, "
+              f"boundary {stats['boundary_edges']} edges, "
+              f"quotient {stats['quotient_edges']} super-edges)")
+        for name, size in sorted(stats["partition_nodes"].items()):
+            print(f"  {name}: {size} nodes")
+        if args.query is not None:
+            search = report["search"]
+            where = (" + ".join(sorted(set(search["fragment_assignment"].values())))
+                     if search["fragment_assignment"] else search["partition"])
+            print(f"search: {search['verdict']} via {where or 'n/a'} "
+                  f"({'cross-partition' if search['used_cross_partition'] else 'single partition'}, "
+                  f"{search['partitions_pruned']} pruned, "
+                  f"{search['elapsed_seconds'] * 1000:.1f} ms)")
+            for index, mapping in enumerate(search["mappings"]):
+                rendered = ", ".join(f"{q}->{r}"
+                                     for q, r in sorted(mapping.items()))
+                print(f"  [{index}] {rendered}")
+    if args.query is None:
+        return 0
+    return 0 if report["search"]["verdict"] != "infeasible" else 1
+
+
 def _run_experiment(args: argparse.Namespace) -> int:
     driver = EXPERIMENTS[args.name]
     rows = driver(seed=args.seed, scaled=not args.paper_scale, timeout=args.timeout)
@@ -768,6 +884,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_list_algorithms(args)
     if args.command == "generate":
         return _run_generate(args)
+    if args.command == "partition":
+        return _run_partition(args)
     if args.command == "experiment":
         return _run_experiment(args)
     parser.error(f"unknown command {args.command!r}")   # pragma: no cover

@@ -1,0 +1,75 @@
+"""Partitioned scale-out embedding (paper §VIII's decentralized sketch).
+
+The subsystem shards a large hosting network across partition workers and
+answers embedding requests with a two-level search — coarse placement over a
+contracted quotient graph, then ordinary intra-partition ECF/RWB/LNS — while
+journal-delta replication keeps every worker's bounded replica fresh and the
+PR 5 repair path re-places embeddings stranded by partition loss.
+
+Entry points: :class:`ClusterService` (the drop-in service facade),
+:class:`ClusterCoordinator` (the search engine), :class:`PartitionMap`
+(the sharding), :func:`repair_placement` (cross-partition repair).
+"""
+
+from repro.cluster.partition import (
+    CUT_MAX_ATTR,
+    CUT_MIN_ATTR,
+    UNASSIGNED,
+    PartitionIndex,
+    PartitionMap,
+    PartitionSummary,
+    bfs_order,
+    boundary_network,
+    cut_edges,
+    quotient_graph,
+    summarize_partition,
+)
+from repro.cluster.replica import (
+    DeltaPayload,
+    PartitionReplica,
+    ReplicationStats,
+    StructuralDeltaError,
+    apply_payload,
+    encode_delta,
+    transport_copy,
+)
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    ClusterResult,
+    PartitionOutcome,
+    PartitionUnavailable,
+    PartitionWorker,
+    split_query,
+)
+from repro.cluster.repair import ClusterRepairResult, repair_placement
+from repro.cluster.service import ClusterService
+
+__all__ = [
+    "CUT_MAX_ATTR",
+    "CUT_MIN_ATTR",
+    "UNASSIGNED",
+    "PartitionIndex",
+    "PartitionMap",
+    "PartitionSummary",
+    "bfs_order",
+    "boundary_network",
+    "cut_edges",
+    "quotient_graph",
+    "summarize_partition",
+    "DeltaPayload",
+    "PartitionReplica",
+    "ReplicationStats",
+    "StructuralDeltaError",
+    "apply_payload",
+    "encode_delta",
+    "transport_copy",
+    "ClusterCoordinator",
+    "ClusterResult",
+    "PartitionOutcome",
+    "PartitionUnavailable",
+    "PartitionWorker",
+    "split_query",
+    "ClusterRepairResult",
+    "repair_placement",
+    "ClusterService",
+]

@@ -1,0 +1,371 @@
+"""Partitioning a hosting network into shards, and contracting it.
+
+The scale-out tier (paper §VIII, "decentralized implementation") never lets a
+single worker hold the full hosting view.  This module produces the two
+artifacts everything else in :mod:`repro.cluster` is built from:
+
+* a :class:`PartitionMap` — a named, disjoint, covering assignment of hosting
+  nodes to partitions, built either by balanced connected slicing
+  (:meth:`PartitionMap.balanced`) or from a categorical node attribute
+  (:meth:`PartitionMap.by_attribute`, e.g. the ``region`` attribute of the
+  PlanetLab-like traces);
+* a contracted **quotient graph** (:func:`quotient_graph`) — one super-node
+  per partition carrying aggregate capacity/attribute summaries
+  (:class:`PartitionSummary`), and one super-edge per partition pair that
+  shares at least one hosting edge, carrying the aggregate delay range of
+  the cut.  The coordinator's coarse placement stage searches this graph
+  with the ordinary filter/bitset machinery instead of the full network.
+
+Aggregates are *sound over-approximations*: a query fragment that fails the
+summary screen provably cannot be hosted by that partition, while passing it
+only means "possibly hostable" — the intra-partition search has the final
+word.  That is exactly the filter-matrix contract, lifted one level up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.indexing import NodeIndexer
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.network import Network, NodeId
+
+
+class _MissingAttribute:
+    """Sentinel key for nodes lacking the partition attribute.
+
+    A dedicated non-string singleton cannot collide with ``str(value)`` of
+    any real attribute value (the legacy ``"unassigned"`` string could and
+    did — see ``extensions/distributed.py``).
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<missing attribute>"
+
+    __str__ = __repr__
+
+
+#: The one sentinel instance; ``domains[UNASSIGNED]`` are the nodes without
+#: the partition attribute.
+UNASSIGNED = _MissingAttribute()
+
+
+def bfs_order(network: Network) -> List[NodeId]:
+    """Every node in BFS order, restarting per connected component."""
+    order: List[NodeId] = []
+    seen = set()
+    undirected = network.graph.to_undirected(as_view=True)
+    for start in network.nodes():
+        if start in seen:
+            continue
+        for node in nx.bfs_tree(undirected, start):
+            if node not in seen:
+                order.append(node)
+                seen.add(node)
+    return order
+
+
+@dataclass(frozen=True)
+class PartitionMap:
+    """A disjoint, covering assignment of hosting nodes to named partitions.
+
+    Attributes
+    ----------
+    partitions:
+        Partition name → its hosting nodes (insertion order preserved).
+    assignment:
+        The inverse map, hosting node → partition name.
+    """
+
+    partitions: Mapping[str, Tuple[NodeId, ...]]
+    assignment: Mapping[NodeId, str] = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        parts = {name: tuple(nodes) for name, nodes in self.partitions.items()}
+        if not parts:
+            raise ValueError("a PartitionMap needs at least one partition")
+        assignment: Dict[NodeId, str] = {}
+        for name, nodes in parts.items():
+            for node in nodes:
+                if node in assignment:
+                    raise ValueError(
+                        f"node {node!r} assigned to both {assignment[node]!r} "
+                        f"and {name!r}")
+                assignment[node] = name
+        object.__setattr__(self, "partitions", parts)
+        object.__setattr__(self, "assignment", assignment)
+
+    # -- builders -------------------------------------------------------- #
+
+    @classmethod
+    def balanced(cls, hosting: Network, num_partitions: int,
+                 prefix: str = "part") -> "PartitionMap":
+        """Slice a BFS order into *num_partitions* contiguous chunks.
+
+        Each chunk is connected within the BFS tree of its component, which
+        keeps intra-partition searches meaningful without paying for a true
+        balanced-connected-partition solve (NP-hard).
+        """
+        if num_partitions < 1:
+            raise ValueError(
+                f"num_partitions must be >= 1, got {num_partitions}")
+        order = bfs_order(hosting)
+        if not order:
+            raise ValueError("cannot partition an empty network")
+        chunk = max(1, (len(order) + num_partitions - 1) // num_partitions)
+        count = (len(order) + chunk - 1) // chunk
+        return cls({f"{prefix}{i}": tuple(order[i * chunk:(i + 1) * chunk])
+                    for i in range(count)})
+
+    @classmethod
+    def by_attribute(cls, hosting: Network, attribute: str = "region"
+                     ) -> "PartitionMap":
+        """Group hosting nodes by a categorical node attribute.
+
+        Nodes lacking the attribute land in a partition named after the
+        :data:`UNASSIGNED` sentinel — they are never conflated with nodes
+        whose attribute value happens to be the string ``"unassigned"``.
+        """
+        groups: Dict[Hashable, List[NodeId]] = {}
+        for node in hosting.nodes():
+            value = hosting.get_node_attr(node, attribute)
+            key = UNASSIGNED if value is None else str(value)
+            groups.setdefault(key, []).append(node)
+        return cls({str(key): tuple(nodes) for key, nodes in groups.items()})
+
+    # -- views ----------------------------------------------------------- #
+
+    @property
+    def names(self) -> List[str]:
+        """Partition names in insertion order."""
+        return list(self.partitions)
+
+    def partition_of(self, node: NodeId) -> str:
+        """The partition holding *node* (raises ``KeyError`` if unassigned)."""
+        return self.assignment[node]
+
+    def nodes_of(self, name: str) -> Tuple[NodeId, ...]:
+        """The hosting nodes of one partition."""
+        return self.partitions[name]
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def restricted_to(self, nodes: Iterable[NodeId]) -> "PartitionMap":
+        """The map with membership restricted to *nodes* (same names).
+
+        Used by the structural-resync path: removed hosting nodes drop out
+        of their partition, empty partitions drop out of the map.
+        """
+        keep = set(nodes)
+        parts = {name: tuple(n for n in members if n in keep)
+                 for name, members in self.partitions.items()}
+        return PartitionMap({name: members for name, members in parts.items()
+                             if members})
+
+    def with_nodes_added(self, placements: Mapping[NodeId, str]
+                         ) -> "PartitionMap":
+        """The map with new nodes appended to existing partitions."""
+        parts = {name: list(members)
+                 for name, members in self.partitions.items()}
+        for node, name in placements.items():
+            parts.setdefault(name, []).append(node)
+        return PartitionMap({name: tuple(members)
+                             for name, members in parts.items()})
+
+
+# --------------------------------------------------------------------------- #
+# Aggregate summaries
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class PartitionSummary:
+    """Sound aggregates of one partition, as its replica currently stands.
+
+    ``edge_ranges``/``node_ranges`` map a numeric attribute name to its
+    ``(min, max)`` over the partition's intra edges / nodes; an attribute a
+    partition has no numeric values for is simply absent (= unconstrained,
+    the sound default).
+    """
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    edge_ranges: Mapping[str, Tuple[float, float]]
+    node_ranges: Mapping[str, Tuple[float, float]]
+    #: Sum of the declared ``capacity`` node attribute (0.0 when undeclared).
+    total_capacity: float
+
+    def edge_window_feasible(self, attr: str, low: float, high: float) -> bool:
+        """Whether some intra edge *could* satisfy ``low <= attr <= high``."""
+        span = self.edge_ranges.get(attr)
+        if span is None:
+            return False        # no intra edge carries the attribute at all
+        return span[1] >= low and span[0] <= high
+
+
+def _numeric_ranges(pairs: Iterable[Tuple[str, object]]
+                    ) -> Dict[str, Tuple[float, float]]:
+    ranges: Dict[str, Tuple[float, float]] = {}
+    for attr, value in pairs:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        span = ranges.get(attr)
+        if span is None:
+            ranges[attr] = (value, value)
+        else:
+            ranges[attr] = (min(span[0], value), max(span[1], value))
+    return ranges
+
+
+def summarize_partition(name: str, replica: HostingNetwork) -> PartitionSummary:
+    """Compute the aggregates of one partition from its replica network."""
+    graph = replica.graph
+    edge_pairs = [(attr, value)
+                  for _, _, data in graph.edges(data=True)
+                  for attr, value in data.items()]
+    node_pairs = []
+    capacity = 0.0
+    for _, data in graph.nodes(data=True):
+        for attr, value in data.items():
+            node_pairs.append((attr, value))
+        declared = data.get("capacity")
+        if isinstance(declared, (int, float)) and not isinstance(declared, bool):
+            capacity += float(declared)
+    return PartitionSummary(
+        name=name,
+        num_nodes=replica.num_nodes,
+        num_edges=replica.num_edges,
+        edge_ranges=_numeric_ranges(edge_pairs),
+        node_ranges=_numeric_ranges(node_pairs),
+        total_capacity=capacity,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The contracted quotient graph
+# --------------------------------------------------------------------------- #
+
+#: Super-edge attributes carrying the cut's aggregate delay range; the
+#: coordinator's coarse constraint is written against these names.
+CUT_MIN_ATTR = "cutMinDelay"
+CUT_MAX_ATTR = "cutMaxDelay"
+
+
+def cut_edges(hosting: Network, pmap: PartitionMap
+              ) -> Dict[Tuple[str, str], List[Tuple[NodeId, NodeId]]]:
+    """Hosting edges crossing partitions, keyed by sorted partition pair."""
+    cuts: Dict[Tuple[str, str], List[Tuple[NodeId, NodeId]]] = {}
+    assignment = pmap.assignment
+    for u, v in hosting.edges():
+        pu, pv = assignment.get(u), assignment.get(v)
+        if pu is None or pv is None or pu == pv:
+            continue
+        key = (pu, pv) if pu <= pv else (pv, pu)
+        cuts.setdefault(key, []).append((u, v))
+    return cuts
+
+
+def boundary_network(hosting: HostingNetwork, pmap: PartitionMap,
+                     cuts: Optional[Dict[Tuple[str, str],
+                                         List[Tuple[NodeId, NodeId]]]] = None
+                     ) -> HostingNetwork:
+    """The cut-edge sub-network: boundary nodes plus inter-partition edges.
+
+    This is the only cross-partition structure the coordinator keeps — it is
+    what boundary-consistency stitching checks run against, and it stays
+    small (O(cut), not O(network)).
+    """
+    if cuts is None:
+        cuts = cut_edges(hosting, pmap)
+    boundary = HostingNetwork(name=f"{hosting.name}:boundary")
+    graph = hosting.graph
+    for pair_edges in cuts.values():
+        for u, v in pair_edges:
+            for node in (u, v):
+                if not boundary.has_node(node):
+                    boundary.add_node(node, **dict(graph.nodes[node]))
+            boundary.add_edge(u, v, **dict(graph.edges[u, v]))
+    return boundary
+
+
+def quotient_graph(pmap: PartitionMap,
+                   summaries: Mapping[str, PartitionSummary],
+                   cuts: Mapping[Tuple[str, str], List[Tuple[NodeId, NodeId]]],
+                   boundary: HostingNetwork,
+                   delay_attr: str = "avgDelay",
+                   name: str = "quotient") -> HostingNetwork:
+    """Contract the partitioned network into one super-node per partition.
+
+    Super-node attributes: ``nodes``/``edges`` (partition size),
+    ``capacity`` (sum of declared node capacity), ``intraMinDelay`` /
+    ``intraMaxDelay`` (the intra-edge delay range, when any intra edge
+    carries *delay_attr*).  Super-edge attributes: ``links`` (cut width)
+    plus :data:`CUT_MIN_ATTR`/:data:`CUT_MAX_ATTR` (the cut's delay range).
+    """
+    quotient = HostingNetwork(name=name)
+    for pname in pmap.names:
+        summary = summaries[pname]
+        attrs: Dict[str, object] = {
+            "nodes": summary.num_nodes,
+            "edges": summary.num_edges,
+            "capacity": summary.total_capacity,
+        }
+        span = summary.edge_ranges.get(delay_attr)
+        if span is not None:
+            attrs["intraMinDelay"] = span[0]
+            attrs["intraMaxDelay"] = span[1]
+        quotient.add_node(pname, **attrs)
+    for (pa, pb), pair_edges in sorted(cuts.items()):
+        low = high = None
+        for u, v in pair_edges:
+            value = boundary.get_edge_attr(u, v, delay_attr)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            low = value if low is None else min(low, value)
+            high = value if high is None else max(high, value)
+        attrs = {"links": len(pair_edges)}
+        if low is not None:
+            attrs[CUT_MIN_ATTR] = low
+            attrs[CUT_MAX_ATTR] = high
+        quotient.add_edge(pa, pb, **attrs)
+    return quotient
+
+
+# --------------------------------------------------------------------------- #
+# Bitset screening over partitions
+# --------------------------------------------------------------------------- #
+
+class PartitionIndex:
+    """Bitmask algebra over partition names — the filter idiom, lifted.
+
+    The coarse single-partition screen ANDs one mask per query requirement
+    (size, per-edge delay windows) exactly as the filter matrices AND
+    per-edge candidate masks; decoding ascending bits yields partitions in
+    canonical ``sorted(key=str)`` order.
+    """
+
+    def __init__(self, names: Iterable[str]) -> None:
+        self.indexer = NodeIndexer(names)
+
+    def mask_where(self, predicate) -> int:
+        """The mask of partitions satisfying ``predicate(name)``."""
+        mask = 0
+        for i, name in enumerate(self.indexer.nodes):
+            if predicate(name):
+                mask |= 1 << i
+        return mask
+
+    def names_of(self, mask: int) -> List[str]:
+        """Decode *mask* into partition names, ascending bit order."""
+        return [self.indexer.node_at(i)
+                for i in range(len(self.indexer)) if mask >> i & 1]
+
+    @property
+    def full_mask(self) -> int:
+        return self.indexer.full_mask

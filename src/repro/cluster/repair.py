@@ -1,0 +1,149 @@
+"""Cross-partition re-placement of embeddings after partition loss/churn.
+
+When a partition fails (fault injection, churn taking its hosts down) the
+embeddings it hosted are broken, but the placements in *other* partitions
+are usually still fine.  This module routes the breakage through the
+ordinary repair path (:func:`repro.core.repair.repair_mapping`, PR 5): for
+each healthy candidate partition it assembles a **repair view** — the
+candidate's interior plus the surviving hosts of the mapping and the cut
+edges that connect them — pins every healthy placement, and lets the core
+repair search re-place only the stranded query nodes inside the candidate.
+
+The view is deliberately bounded: ``|candidate partition| + |mapping|``
+nodes, never the full hosting network, so repair keeps the same working-set
+guarantee as the two-level search.  A successful repair therefore *moves
+query nodes between partitions* — the coordinator's fragment assignment is
+updated accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.api.request import coerce_constraint
+from repro.core.mapping import Mapping, validate_mapping
+from repro.core.repair import CandidateFilter, RepairResult, repair_mapping
+from repro.graphs.network import NodeId
+from repro.graphs.query import QueryNetwork
+from repro.utils.timing import Deadline
+
+
+@dataclass
+class ClusterRepairResult:
+    """Outcome of :func:`repair_placement`.
+
+    ``status`` follows :class:`~repro.core.repair.RepairResult`:
+    ``"intact"``, ``"repaired"``, ``"failed"`` or ``"timeout"``.
+    """
+
+    status: str
+    mapping: Optional[Mapping]
+    #: Healthy partitions the repair view was built around, in try order.
+    partitions_tried: List[str] = field(default_factory=list)
+    #: Query node -> partition, for every node of the repaired mapping.
+    fragment_assignment: Dict[NodeId, str] = field(default_factory=dict)
+    #: The core repair outcome of the winning (or last) attempt.
+    core: Optional[RepairResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("intact", "repaired")
+
+    @property
+    def moved(self) -> Dict[NodeId, tuple]:
+        return self.core.moved if self.core is not None else {}
+
+
+def repair_placement(coordinator, query: QueryNetwork, mapping: Mapping,
+                     constraint=None, node_constraint=None,
+                     timeout: Optional[float] = None,
+                     max_rounds: Optional[int] = None,
+                     candidate_ok: Optional[CandidateFilter] = None,
+                     ) -> ClusterRepairResult:
+    """Repair *mapping* against *coordinator*'s partitioned hosting view.
+
+    Hosts inside lost partitions are treated as gone regardless of what the
+    primary still records for them — a partition that cannot be reached
+    cannot host anything.  Stranded query nodes are re-placed into one
+    healthy candidate partition at a time (largest first), with every
+    surviving placement pinned and boundary consistency enforced by the
+    repair view's cut edges.
+
+    Parameters mirror :func:`repro.core.repair.repair_mapping`;
+    *candidate_ok* composes with the per-candidate partition restriction.
+    """
+    expr = coerce_constraint(constraint, default_true=False)
+    node_expr = coerce_constraint(node_constraint, default_true=False)
+    deadline = Deadline(timeout)
+    primary = coordinator.primary
+    assignment = coordinator.partition_map.assignment
+    lost = set(coordinator.lost_partitions)
+
+    # Hosts that survive: mapped hosts that exist on the primary and are not
+    # stranded inside a lost partition.
+    surviving_hosts = [r for r in mapping.hosting_nodes()
+                       if primary.has_node(r)
+                       and assignment.get(r) not in lost]
+
+    if not lost:
+        violations = validate_mapping(mapping, query, primary, expr, node_expr)
+        if not violations:
+            return ClusterRepairResult(
+                status="intact", mapping=mapping,
+                fragment_assignment={q: assignment[r]
+                                     for q, r in mapping.items()})
+
+    healthy = [name for name in coordinator.partition_map.names
+               if name not in lost]
+    healthy.sort(key=lambda p: (-coordinator.summaries[p].num_nodes, p))
+
+    tried: List[str] = []
+    last: Optional[RepairResult] = None
+    status = "failed"
+    for candidate in healthy:
+        if deadline.expired():
+            status = "timeout"
+            break
+        tried.append(candidate)
+        view_nodes = set(coordinator.partition_map.nodes_of(candidate))
+        view_nodes.update(surviving_hosts)
+        # Bounded: candidate interior + the mapping's surviving hosts.  The
+        # induced subnetwork carries exactly the cut edges between them.
+        view = primary.subnetwork(
+            [n for n in view_nodes if primary.has_node(n)],
+            name=f"{primary.name}:repair:{candidate}")
+        allowed = set(coordinator.partition_map.nodes_of(candidate))
+        allowed.update(surviving_hosts)
+
+        def ok(q: NodeId, host: NodeId, _allowed=allowed) -> bool:
+            if host not in _allowed:
+                return False
+            return candidate_ok is None or candidate_ok(q, host)
+
+        result = repair_mapping(
+            query, view, mapping, constraint=expr, node_constraint=node_expr,
+            timeout=_remaining(deadline, timeout), max_rounds=max_rounds,
+            candidate_ok=ok)
+        last = result
+        if result.ok:
+            repaired = result.mapping
+            fragment_assignment = {q: assignment[r]
+                                   for q, r in repaired.items()}
+            return ClusterRepairResult(
+                status=result.status, mapping=repaired,
+                partitions_tried=tried,
+                fragment_assignment=fragment_assignment, core=result)
+        if result.status == "timeout":
+            status = "timeout"
+            break
+    return ClusterRepairResult(status=status, mapping=None,
+                               partitions_tried=tried, core=last)
+
+
+def _remaining(deadline: Deadline, fallback: Optional[float]
+               ) -> Optional[float]:
+    remaining = deadline.remaining
+    if remaining == float("inf"):
+        return fallback
+    return max(remaining, 0.001)

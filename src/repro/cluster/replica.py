@@ -1,0 +1,182 @@
+"""Journal-delta replication between a primary network and its shards.
+
+The coordinator holds the *primary* hosting network (fed by monitors and
+churn); each partition worker holds a *replica* of its slice only.  Keeping
+replicas fresh cannot ship whole networks — a pickled
+:class:`~repro.graphs.network.Network` deliberately resets its mutation
+journal (``__getstate__`` floors the journal at the current epoch), so a
+shipped copy can neither produce nor consume deltas, and re-shipping slices
+wholesale is exactly the full-recompile cost this tier exists to avoid.
+
+Instead the primary's :meth:`~repro.graphs.network.Network.delta_since`
+yields a :class:`~repro.graphs.journal.NetworkDelta` — *which* nodes/edges
+were touched and which attribute names were written — and
+:func:`encode_delta` joins it with the current attribute **values** read
+from the primary into a :class:`DeltaPayload`: a plain, pickleable record
+that survives any transport.  :func:`apply_payload` replays the slice of a
+payload that intersects a replica through the ordinary mutators, so the
+replica's own journal and epoch advance and every compiled artifact on top
+of it (plan caches, filter matrices) patches incrementally as usual.
+
+Structural deltas (topology changes) and journal overflows cannot be
+encoded; those force a full resync of the affected replicas — the bounded
+fallback, counted by :class:`ReplicationStats`.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro import faults
+from repro.graphs.journal import NetworkDelta
+from repro.graphs.network import Network, NodeId
+
+Edge = Tuple[NodeId, NodeId]
+
+
+class StructuralDeltaError(ValueError):
+    """A structural delta reached a value-encoding path; resync instead."""
+
+
+@dataclass(frozen=True)
+class DeltaPayload:
+    """A transport-safe delta: touched subjects plus their current values.
+
+    ``node_attrs``/``edge_attrs`` carry the post-mutation values of exactly
+    the attribute names the journal recorded as written, read from the
+    primary at encode time.  Everything here is plain data — the payload
+    pickles and JSON-encodes without dragging a network along.
+    """
+
+    network_name: str
+    base_epoch: int
+    target_epoch: int
+    node_attrs: Dict[NodeId, Dict[str, object]] = field(default_factory=dict)
+    edge_attrs: Dict[Edge, Dict[str, object]] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return not self.node_attrs and not self.edge_attrs
+
+    def touches(self, replica: Network) -> bool:
+        """Whether any payload subject exists in *replica*."""
+        return (any(replica.has_node(n) for n in self.node_attrs)
+                or any(replica.has_edge(u, v) for u, v in self.edge_attrs))
+
+
+def encode_delta(primary: Network, delta: NetworkDelta) -> DeltaPayload:
+    """Join *delta*'s touch sets with current values from *primary*.
+
+    Raises :class:`StructuralDeltaError` for structural deltas — their touch
+    sets are not meaningful (see :class:`NetworkDelta`) and replicas must
+    resync.
+    """
+    if delta.structural:
+        raise StructuralDeltaError(
+            "structural deltas cannot be value-encoded; resync the replicas")
+    node_attrs: Dict[NodeId, Dict[str, object]] = {}
+    for node, names in delta.touched_node_attrs.items():
+        if not primary.has_node(node):
+            continue
+        node_attrs[node] = {name: primary.get_node_attr(node, name)
+                            for name in sorted(names)}
+    edge_attrs: Dict[Edge, Dict[str, object]] = {}
+    for (u, v), names in delta.touched_edge_attrs.items():
+        if not primary.has_edge(u, v):
+            continue
+        edge_attrs[(u, v)] = {name: primary.get_edge_attr(u, v, name)
+                              for name in sorted(names)}
+    return DeltaPayload(network_name=primary.name,
+                        base_epoch=delta.base_epoch,
+                        target_epoch=delta.target_epoch,
+                        node_attrs=node_attrs, edge_attrs=edge_attrs)
+
+
+def apply_payload(replica: Network, payload: DeltaPayload) -> int:
+    """Replay the slice of *payload* that intersects *replica*.
+
+    Subjects outside the replica (other partitions' nodes/edges) are
+    skipped; applied subjects go through the ordinary mutators so the
+    replica journals its own history.  Returns the number of subjects
+    applied.
+    """
+    applied = 0
+    for node, attrs in payload.node_attrs.items():
+        if replica.has_node(node):
+            replica.update_node(node, **attrs)
+            applied += 1
+    for (u, v), attrs in payload.edge_attrs.items():
+        if replica.has_edge(u, v):
+            replica.update_edge(u, v, **attrs)
+            applied += 1
+    return applied
+
+
+def transport_copy(network: Network) -> Network:
+    """A pickle round-trip of *network* — what a remote worker would hold.
+
+    Run deliberately so replicas carry the serialization semantics of a real
+    multi-host deployment (empty journal floored at the current epoch, no
+    shared structure with the primary), keeping the in-process simulation
+    honest.
+    """
+    return pickle.loads(pickle.dumps(network))
+
+
+@dataclass
+class ReplicationStats:
+    """Counters of the replication channel, reported by ``stats()``."""
+
+    deltas_applied: int = 0
+    subjects_applied: int = 0
+    full_resyncs: int = 0
+    structural_resyncs: int = 0
+    overflow_resyncs: int = 0
+    dropped_connections: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "deltas_applied": self.deltas_applied,
+            "subjects_applied": self.subjects_applied,
+            "full_resyncs": self.full_resyncs,
+            "structural_resyncs": self.structural_resyncs,
+            "overflow_resyncs": self.overflow_resyncs,
+            "dropped_connections": self.dropped_connections,
+        }
+
+
+class PartitionReplica:
+    """One partition's shipped slice of the hosting network.
+
+    The replica is created (and re-created on resync) through
+    :func:`transport_copy`, so it never shares structure with the primary;
+    the bounded working set of a partition worker is exactly this object
+    plus the compiled plans built from it.
+    """
+
+    def __init__(self, name: str, primary: Network,
+                 nodes: Tuple[NodeId, ...]) -> None:
+        self.name = name
+        self.nodes = tuple(nodes)
+        self.network = None  # type: Optional[Network]
+        self.applied_epoch = -1
+        self.available = True
+        self.resync(primary)
+
+    def resync(self, primary: Network) -> None:
+        """Rebuild the replica wholesale from the primary (full recompile)."""
+        slice_net = primary.subnetwork(
+            [n for n in self.nodes if primary.has_node(n)],
+            name=f"{primary.name}:{self.name}")
+        self.network = transport_copy(slice_net)
+        self.applied_epoch = primary.mutation_count
+        self.available = True
+
+    def apply(self, payload: DeltaPayload) -> int:
+        """Apply one payload; the replication fault site fires per replica."""
+        faults.fire("cluster.replicate")
+        applied = apply_payload(self.network, payload)
+        self.applied_epoch = payload.target_epoch
+        return applied

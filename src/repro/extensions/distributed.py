@@ -1,35 +1,31 @@
 """Hierarchical / partitioned embedding (§VIII "decentralized implementation").
 
-"For truly large-scale networks, a complete view of the network may not be
-available to a single domain ... it is desirable in such settings for
-services such as NETEMBED to be implemented in a distributed fashion ...
-We are currently looking into a hierarchical approach."
+.. deprecated::
+    This module predates :mod:`repro.cluster`, which is the real scale-out
+    tier: sharded replicas, a contracted quotient graph for coarse placement,
+    journal-delta replication, and cross-partition split-and-stitch search.
+    :class:`HierarchicalEmbedder` is kept as a thin compatibility shim — its
+    per-domain searches now run through a :class:`repro.cluster.ClusterCoordinator`
+    (so they share the plan cache and partition summaries) and constructing
+    one emits a :class:`DeprecationWarning`.  New code should use
+    :class:`repro.cluster.ClusterCoordinator` or
+    :class:`repro.cluster.ClusterService` directly.
 
-This module simulates that hierarchical approach in-process:
-
-* the hosting network is split into *domains*, either by an existing node
-  attribute (e.g. the ``region`` attribute of the PlanetLab-like trace, or
-  the ``domain`` attribute of transit-stub networks) or by a balanced
-  connected partitioning;
-* each domain runs its own embedding search over its local sub-network only
-  (what a per-domain NETEMBED server would see);
-* the coordinator tries domains in a configurable order and returns the first
-  domain that can host the whole query, falling back to a global search when
-  allowed.
-
-This models the common "place the experiment entirely inside one
-administrative domain" policy; queries that genuinely must span domains
-require the global fallback (and the coordinator reports which happened).
+The legacy semantics are preserved exactly: domains are tried largest-first
+(or in the caller's ``domain_order``), the first domain that can host the
+whole query wins, and queries that genuinely must span domains use the
+global-view fallback (reported as ``winning_domain == "*global*"``).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
-
-import networkx as nx
+from typing import Dict, Hashable, List, Optional, Sequence, Union
 
 from repro.api.request import SearchRequest
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.partition import UNASSIGNED, PartitionMap
 from repro.constraints import ConstraintExpression
 from repro.core.base import EmbeddingAlgorithm
 from repro.core.ecf import ECF
@@ -38,14 +34,30 @@ from repro.graphs.hosting import HostingNetwork
 from repro.graphs.network import NodeId
 from repro.graphs.query import QueryNetwork
 
+__all__ = [
+    "UNASSIGNED",
+    "DomainOutcome",
+    "HierarchicalResult",
+    "HierarchicalEmbedder",
+    "partition_by_attribute",
+    "partition_balanced",
+]
+
 
 def partition_by_attribute(hosting: HostingNetwork, attribute: str = "region"
-                           ) -> Dict[str, List[NodeId]]:
-    """Group hosting nodes by a categorical node attribute."""
-    domains: Dict[str, List[NodeId]] = {}
+                           ) -> Dict[Hashable, List[NodeId]]:
+    """Group hosting nodes by a categorical node attribute.
+
+    Nodes *lacking* the attribute are grouped under the
+    :data:`repro.cluster.UNASSIGNED` sentinel, never under the string
+    ``"unassigned"`` — a node whose attribute value really is the string
+    ``"unassigned"`` (or ``None``) keeps its own group.  (The old behaviour
+    conflated the two, silently merging real values with missing ones.)
+    """
+    domains: Dict[Hashable, List[NodeId]] = {}
     for node in hosting.nodes():
-        value = hosting.get_node_attr(node, attribute)
-        key = str(value) if value is not None else "unassigned"
+        attrs = hosting.node_attrs(node)
+        key: Hashable = str(attrs[attribute]) if attribute in attrs else UNASSIGNED
         domains.setdefault(key, []).append(node)
     return domains
 
@@ -54,34 +66,18 @@ def partition_balanced(hosting: HostingNetwork, num_domains: int
                        ) -> Dict[str, List[NodeId]]:
     """Split the hosting network into *num_domains* roughly equal connected chunks.
 
-    A BFS order from an arbitrary node is sliced into contiguous chunks; each
-    chunk is connected *within the BFS tree*, which is good enough for the
-    simulation (per-domain searches only need the induced subgraph).
+    Delegates to :meth:`repro.cluster.PartitionMap.balanced` (BFS-contiguous
+    chunks); kept for the legacy ``domain<i>`` naming.
     """
-    if num_domains < 1:
-        raise ValueError(f"num_domains must be >= 1, got {num_domains}")
-    nodes = hosting.nodes()
-    if not nodes:
-        return {}
-    order: List[NodeId] = []
-    seen = set()
-    for start in nodes:
-        if start in seen:
-            continue
-        for node in nx.bfs_tree(hosting.graph.to_undirected(as_view=True), start):
-            if node not in seen:
-                order.append(node)
-                seen.add(node)
-    chunk = max(1, (len(order) + num_domains - 1) // num_domains)
-    return {f"domain{i}": order[i * chunk:(i + 1) * chunk]
-            for i in range((len(order) + chunk - 1) // chunk)}
+    pmap = PartitionMap.balanced(hosting, num_domains, prefix="domain")
+    return {name: list(nodes) for name, nodes in pmap.partitions.items()}
 
 
 @dataclass
 class DomainOutcome:
     """Result of trying one domain."""
 
-    domain: str
+    domain: Hashable
     result: EmbeddingResult
 
     @property
@@ -94,7 +90,7 @@ class DomainOutcome:
 class HierarchicalResult:
     """Outcome of a hierarchical embedding attempt."""
 
-    winning_domain: Optional[str]
+    winning_domain: Optional[Hashable]
     result: Optional[EmbeddingResult]
     domain_outcomes: List[DomainOutcome] = field(default_factory=list)
     used_global_fallback: bool = False
@@ -106,7 +102,7 @@ class HierarchicalResult:
 
 
 class HierarchicalEmbedder:
-    """Coordinator for per-domain embedding with optional global fallback.
+    """Deprecated first-fit coordinator, now a shim over :mod:`repro.cluster`.
 
     Parameters
     ----------
@@ -119,47 +115,61 @@ class HierarchicalEmbedder:
         Algorithm used for every per-domain (and fallback) search.
     """
 
-    def __init__(self, hosting: HostingNetwork, domains: Dict[str, Sequence[NodeId]],
+    def __init__(self, hosting: HostingNetwork,
+                 domains: Dict[Hashable, Sequence[NodeId]],
                  algorithm: Optional[EmbeddingAlgorithm] = None) -> None:
+        warnings.warn(
+            "HierarchicalEmbedder is deprecated; use "
+            "repro.cluster.ClusterCoordinator (or ClusterService) for "
+            "partitioned embedding", DeprecationWarning, stacklevel=2)
         if not domains:
             raise ValueError("at least one domain is required")
         self.hosting = hosting
         self._algorithm = algorithm or ECF()
         self._domains = {name: list(nodes) for name, nodes in domains.items()}
-        self._subnetworks: Dict[str, HostingNetwork] = {}
+        # Partition names must be strings for the cluster tier; remember the
+        # original (possibly sentinel) keys so results report them verbatim.
+        self._key_of: Dict[str, Hashable] = {}
+        parts: Dict[str, tuple] = {}
         for name, nodes in self._domains.items():
-            sub = hosting.subnetwork(nodes, name=f"{hosting.name}:{name}")
-            # subnetwork() preserves the class of `hosting`, i.e. HostingNetwork.
-            self._subnetworks[name] = sub  # type: ignore[assignment]
+            pname = str(name)
+            self._key_of[pname] = name
+            parts[pname] = tuple(nodes)
+        self._coordinator = ClusterCoordinator(
+            hosting, partition_map=PartitionMap(parts),
+            algorithm=self._algorithm)
 
     @property
-    def domain_names(self) -> List[str]:
+    def domain_names(self) -> List[Hashable]:
         """All domain names, largest domain first (the default try order)."""
-        return sorted(self._domains, key=lambda d: (-len(self._domains[d]), d))
+        return sorted(self._domains,
+                      key=lambda d: (-len(self._domains[d]), str(d)))
 
-    def domain_network(self, name: str) -> HostingNetwork:
+    def domain_network(self, name: Hashable) -> HostingNetwork:
         """The induced hosting sub-network of a domain."""
-        return self._subnetworks[name]
+        return self._coordinator.workers[str(name)].replica.network
 
     def embed(self, query: QueryNetwork,
               constraint: Optional[Union[str, ConstraintExpression]] = None,
               node_constraint: Optional[Union[str, ConstraintExpression]] = None,
               timeout: Optional[float] = None, max_results: Optional[int] = 1,
-              domain_order: Optional[Sequence[str]] = None,
+              domain_order: Optional[Sequence[Hashable]] = None,
               allow_global_fallback: bool = True) -> HierarchicalResult:
         """Try to embed *query* inside a single domain; optionally fall back globally."""
         outcomes: List[DomainOutcome] = []
         order = list(domain_order) if domain_order is not None else self.domain_names
         for name in order:
-            if name not in self._subnetworks:
+            pname = str(name)
+            if pname not in self._coordinator.workers or name not in self._domains:
                 raise KeyError(f"unknown domain {name!r}")
-            sub = self._subnetworks[name]
-            if sub.num_nodes < query.num_nodes:
+            if len(self._domains[name]) < query.num_nodes:
                 continue
-            result = self._algorithm.request(SearchRequest.build(
-                query, sub, constraint=constraint,
-                node_constraint=node_constraint, timeout=timeout,
-                max_results=max_results))
+            cluster_result = self._coordinator.embed(
+                query, constraint=constraint, node_constraint=node_constraint,
+                timeout=timeout, max_results=max_results,
+                partition_order=[pname], cross_partition=False)
+            result = cluster_result.to_embedding_result(
+                algorithm=self._algorithm.name)
             outcomes.append(DomainOutcome(domain=name, result=result))
             if result.found:
                 return HierarchicalResult(winning_domain=name, result=result,

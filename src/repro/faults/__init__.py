@@ -11,6 +11,7 @@ from repro.faults.injection import (
     InjectedConnectionDrop,
     InjectedEngineTimeout,
     InjectedFault,
+    InjectedPartitionLoss,
     InjectedPoolBreak,
     InjectedShardError,
     InjectedWorkerCrash,
@@ -37,6 +38,7 @@ __all__ = [
     "InjectedConnectionDrop",
     "InjectedEngineTimeout",
     "InjectedFault",
+    "InjectedPartitionLoss",
     "InjectedPoolBreak",
     "InjectedShardError",
     "InjectedWorkerCrash",

@@ -73,6 +73,17 @@ class InjectedConnectionDrop(ConnectionError, InjectedFault):
     """A connection drop injected just before the server replies."""
 
 
+class InjectedPartitionLoss(ConnectionError, InjectedFault):
+    """A partition worker loss injected at a cluster-coordinator site.
+
+    A ``ConnectionError`` subclass: the coordinator treats it exactly like
+    an unreachable worker — the partition is marked unavailable, the request
+    continues on the surviving partitions, and a later
+    :meth:`~repro.cluster.coordinator.ClusterCoordinator.restore` (or
+    :func:`~repro.cluster.repair.repair_placement`) brings it back.
+    """
+
+
 #: kind -> exception factory for the raising fault kinds.
 _RAISERS = {
     "worker-crash": lambda spec, n: InjectedWorkerCrash(
@@ -85,6 +96,8 @@ _RAISERS = {
         f"injected engine timeout at {spec.site} invocation {n}"),
     "connection-drop": lambda spec, n: InjectedConnectionDrop(
         f"injected connection drop at {spec.site} invocation {n}"),
+    "partition-loss": lambda spec, n: InjectedPartitionLoss(
+        f"injected partition loss at {spec.site} invocation {n}"),
 }
 
 

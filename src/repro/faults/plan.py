@@ -45,12 +45,17 @@ SITES: Dict[str, Tuple[str, ...]] = {
     "admission.admit": ("slow-call",),
     # server/app.py — just before a request-path reply is written.
     "server.reply": ("connection-drop", "slow-call"),
+    # cluster/coordinator.py — entry of one partition worker's search.
+    "cluster.partition-search": ("partition-loss", "slow-call"),
+    # cluster/replica.py — applying one replication payload to a replica.
+    "cluster.replicate": ("connection-drop", "slow-call"),
 }
 
 #: All fault kinds any site understands (documentation + validation).
 KINDS: Tuple[str, ...] = (
     "worker-crash", "shard-exception", "slow-call",
     "connection-drop", "engine-timeout", "pool-broken",
+    "partition-loss",
 )
 
 

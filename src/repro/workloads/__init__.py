@@ -21,6 +21,7 @@ from repro.workloads.queries import (
     clique_query_series,
     composite_query,
     composite_query_series,
+    cross_partition_query,
     subgraph_query,
     subgraph_query_series,
 )
@@ -32,6 +33,7 @@ from repro.workloads.suites import (
     build_clique_suite,
     build_composite_suite,
     build_subgraph_suite,
+    federated_planetlab,
     planetlab_host,
 )
 
@@ -53,6 +55,7 @@ __all__ = [
     "clique_query_series",
     "composite_query",
     "composite_query_series",
+    "cross_partition_query",
     "make_globally_infeasible",
     "tighten_random_edges",
     "SUITES",
@@ -60,6 +63,7 @@ __all__ = [
     "SuiteScale",
     "planetlab_host",
     "brite_host",
+    "federated_planetlab",
     "build_subgraph_suite",
     "build_clique_suite",
     "build_composite_suite",

@@ -132,6 +132,108 @@ def subgraph_query_series(hosting: HostingNetwork, sizes: Sequence[int],
 
 
 # --------------------------------------------------------------------------- #
+# Cross-partition queries (scale-out tier)
+# --------------------------------------------------------------------------- #
+
+def cross_partition_query(hosting: HostingNetwork, partitions,
+                          num_nodes: int = 6, slack: float = 0.25,
+                          delay_attr: str = "avgDelay",
+                          rng: RandomSource = None,
+                          relabel: bool = True) -> Workload:
+    """A feasible-by-construction query that *must* span two partitions.
+
+    Samples a simple path in the hosting network whose first half lies in one
+    partition, whose second half lies in another, and whose middle edge is a
+    real cut edge; delay windows wrap the measured delays exactly as
+    :func:`subgraph_query` does, so the identity embedding is feasible — and
+    any embedding into a single partition of the same size is impossible only
+    when the partitions are smaller than the query, which the scale-out tests
+    arrange.  Used by the differential oracle suite and ``bench_scaleout`` to
+    exercise the coordinator's split-and-stitch stage.
+
+    Parameters
+    ----------
+    partitions:
+        Anything with an ``assignment`` mapping (hosting node → partition
+        name), e.g. a :class:`repro.cluster.PartitionMap`, or such a mapping
+        directly.  (Duck-typed to keep :mod:`repro.workloads` free of a
+        :mod:`repro.cluster` dependency.)
+    num_nodes:
+        Total path length; must be an even number >= 4 so the halves are
+        equal (equal halves are what the coordinator's balanced query split
+        reproduces).
+    """
+    if num_nodes < 4 or num_nodes % 2:
+        raise ValueError(
+            f"num_nodes must be an even number >= 4, got {num_nodes}")
+    if slack < 0:
+        raise ValueError(f"slack must be non-negative, got {slack}")
+    assignment = getattr(partitions, "assignment", partitions)
+    rand = as_rng(rng)
+    half = num_nodes // 2
+
+    cut = [(u, v) for u, v in hosting.edges()
+           if assignment.get(u) is not None and assignment.get(v) is not None
+           and assignment[u] != assignment[v]]
+    rand.shuffle(cut)
+    for u, v in cut:
+        left = _simple_path_within(hosting, u, assignment[u], assignment,
+                                   half, rand, banned={v})
+        if left is None:
+            continue
+        right = _simple_path_within(hosting, v, assignment[v], assignment,
+                                    half, rand, banned=set(left))
+        if right is None:
+            continue
+        hosts = list(reversed(left)) + right   # ... -> u -> v -> ...
+        query = QueryNetwork(name=f"{hosting.name}-cross{num_nodes}")
+        for node in hosts:
+            query.add_node(node)
+        for a, b in zip(hosts, hosts[1:]):
+            measured = hosting.get_edge_attr(a, b, delay_attr)
+            if measured is None:
+                measured = hosting.get_edge_attr(b, a, delay_attr)
+            query.add_edge(a, b,
+                           minDelay=round(measured * (1.0 - slack), 3),
+                           maxDelay=round(measured * (1.0 + slack), 3))
+        if relabel:
+            query, _ = relabel_sequential(query, prefix="q")
+        return Workload(query=query, constraint=DELAY_WINDOW_CONSTRAINT,
+                        feasible_by_construction=True,
+                        description=f"cross-partition path N={num_nodes} "
+                                    f"({assignment[u]}|{assignment[v]}) "
+                                    f"slack={slack}")
+    raise ValueError(
+        f"no cut edge of {hosting.name!r} extends to a {half}+{half} "
+        f"cross-partition path; partitions may be too small or disconnected")
+
+
+def _simple_path_within(hosting: HostingNetwork, start, partition,
+                        assignment, length: int, rand,
+                        banned) -> Optional[List]:
+    """DFS for a simple path of *length* nodes inside one partition."""
+    path = [start]
+    used = set(banned) | {start}
+
+    def extend() -> bool:
+        if len(path) == length:
+            return True
+        neighbors = [n for n in hosting.neighbors(path[-1])
+                     if n not in used and assignment.get(n) == partition]
+        rand.shuffle(neighbors)
+        for node in neighbors:
+            path.append(node)
+            used.add(node)
+            if extend():
+                return True
+            path.pop()
+            used.discard(node)
+        return False
+
+    return path if extend() else None
+
+
+# --------------------------------------------------------------------------- #
 # Clique queries (Fig. 13)
 # --------------------------------------------------------------------------- #
 

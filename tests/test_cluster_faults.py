@@ -1,0 +1,139 @@
+"""Partition loss and replication faults through the PR 7 injector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.cluster import ClusterCoordinator, repair_placement
+from repro.core.mapping import validate_mapping
+from repro.faults import FaultPlan, FaultSpec
+from repro.workloads import planetlab_host, subgraph_query
+
+
+@pytest.fixture
+def coordinator():
+    hosting = planetlab_host(48, rng=11)
+    return ClusterCoordinator(hosting, attribute="region")
+
+
+def _by_size(coordinator):
+    """Partition names, largest first."""
+    return sorted(coordinator.partition_map.names,
+                  key=lambda p: (-len(coordinator.partition_map.nodes_of(p)),
+                                 p))
+
+
+class TestPartitionLoss:
+    def test_survivors_answer_after_first_partition_lost(self, coordinator):
+        ordered = _by_size(coordinator)
+        largest, decoy = ordered[0], ordered[1]
+        interior = coordinator.primary.subnetwork(
+            coordinator.partition_map.nodes_of(largest))
+        workload = subgraph_query(interior, 4, rng=3)
+        plan = FaultPlan.fixed(FaultSpec(
+            site="cluster.partition-search", kind="partition-loss",
+            hits=(1,)))
+        with faults.injecting(plan) as injector:
+            # The decoy partition is searched first and eats the fault; the
+            # partition that actually holds the answer must still win.
+            result = coordinator.embed(
+                workload.query, constraint=workload.constraint,
+                partition_order=[decoy, largest], seed=7,
+                cross_partition=False)
+        assert injector.stats()["total_fired"] >= 1
+        assert result.verdict == "feasible"
+        assert result.partition == largest
+        assert result.outcomes[0].partition == decoy
+        assert result.outcomes[0].status == "lost"
+        assert coordinator.lost_partitions == [decoy]
+        # Recovery resyncs from the primary and rejoins the rotation.
+        coordinator.restore(decoy)
+        assert coordinator.lost_partitions == []
+
+    def test_total_loss_degrades_to_unknown(self, coordinator):
+        ordered = _by_size(coordinator)
+        interior = coordinator.primary.subnetwork(
+            coordinator.partition_map.nodes_of(ordered[0]))
+        workload = subgraph_query(interior, 4, rng=3)
+        plan = FaultPlan.fixed(FaultSpec(
+            site="cluster.partition-search", kind="partition-loss",
+            hits=tuple(range(1, 4 * len(ordered) + 1))))
+        with faults.injecting(plan):
+            result = coordinator.embed(
+                workload.query, constraint=workload.constraint,
+                cross_partition=False)
+        # No partition could be reached: not a feasibility proof either way.
+        assert result.verdict == "unknown"
+        assert not result.found
+        assert all(o.status == "lost" for o in result.outcomes)
+        assert set(coordinator.lost_partitions) <= set(ordered)
+        assert coordinator.lost_partitions != []
+
+
+class TestReplicationDrop:
+    def test_connection_drop_forces_full_resync(self):
+        hosting = planetlab_host(30, rng=4)
+        coordinator = ClusterCoordinator(hosting, attribute="region")
+        u, v = hosting.edges()[0]
+        hosting.update_edge(u, v, avgDelay=222.0)
+        plan = FaultPlan.fixed(FaultSpec(
+            site="cluster.replicate", kind="connection-drop", hits=(1,)))
+        with faults.injecting(plan):
+            report = coordinator.refresh()
+        assert report["changed"]
+        stats = coordinator.stats()["replication"]
+        assert stats["dropped_connections"] == 1
+        assert stats["full_resyncs"] >= 1
+        # Whether shipped by delta or rebuilt after the drop, every replica
+        # must equal a fresh slice of the primary.
+        pmap = coordinator.partition_map
+        for name, worker in coordinator.workers.items():
+            fresh = hosting.subnetwork(pmap.nodes_of(name))
+            for a, b in fresh.edges():
+                assert (worker.network.edge_attrs(a, b)
+                        == fresh.edge_attrs(a, b))
+
+
+class TestClusterRepair:
+    def test_lost_partition_triggers_cross_partition_replacement(
+            self, coordinator):
+        ordered = _by_size(coordinator)
+        largest = ordered[0]
+        interior = coordinator.primary.subnetwork(
+            coordinator.partition_map.nodes_of(largest))
+        # Wide windows so a re-placement into another region stays feasible.
+        workload = subgraph_query(interior, 3, slack=2.0, rng=5)
+        result = coordinator.embed(workload.query,
+                                   constraint=workload.constraint, seed=2)
+        assert result.verdict == "feasible"
+        mapping = result.first
+
+        coordinator.mark_lost(largest)
+        repaired = repair_placement(
+            coordinator, workload.query, mapping,
+            constraint=workload.constraint, timeout=30.0)
+        assert repaired.status == "repaired"
+        assert repaired.ok
+        assert largest not in repaired.partitions_tried
+        new_mapping = repaired.mapping
+        assignment = coordinator.partition_map.assignment
+        for host in new_mapping.hosting_nodes():
+            assert assignment[host] != largest
+        assert not validate_mapping(new_mapping, workload.query,
+                                    coordinator.primary, workload.constraint)
+        assert set(repaired.fragment_assignment) == set(workload.query.nodes())
+        assert largest not in set(repaired.fragment_assignment.values())
+
+    def test_intact_mapping_short_circuits(self, coordinator):
+        largest = _by_size(coordinator)[0]
+        interior = coordinator.primary.subnetwork(
+            coordinator.partition_map.nodes_of(largest))
+        workload = subgraph_query(interior, 3, rng=9)
+        result = coordinator.embed(workload.query,
+                                   constraint=workload.constraint, seed=4)
+        assert result.verdict == "feasible"
+        repaired = repair_placement(coordinator, workload.query, result.first,
+                                    constraint=workload.constraint)
+        assert repaired.status == "intact"
+        assert repaired.mapping is result.first

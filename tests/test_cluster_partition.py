@@ -1,0 +1,126 @@
+"""Partition maps, aggregate summaries, boundary and quotient graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    CUT_MAX_ATTR,
+    CUT_MIN_ATTR,
+    UNASSIGNED,
+    PartitionIndex,
+    PartitionMap,
+    boundary_network,
+    cut_edges,
+    quotient_graph,
+    summarize_partition,
+)
+from repro.graphs.hosting import HostingNetwork
+
+
+@pytest.fixture
+def region_map(small_hosting) -> PartitionMap:
+    return PartitionMap.by_attribute(small_hosting, "region")
+
+
+class TestPartitionMap:
+    def test_balanced_covers_all_nodes_disjointly(self, small_hosting):
+        pmap = PartitionMap.balanced(small_hosting, 3)
+        all_nodes = [n for nodes in pmap.partitions.values() for n in nodes]
+        assert sorted(all_nodes) == sorted(small_hosting.nodes())
+        assert len(all_nodes) == len(set(all_nodes))
+        assert len(pmap) == 3
+
+    def test_balanced_rejects_bad_count(self, small_hosting):
+        with pytest.raises(ValueError):
+            PartitionMap.balanced(small_hosting, 0)
+
+    def test_by_attribute_groups(self, small_hosting, region_map):
+        assert set(region_map.names) == {"east", "west"}
+        assert sorted(region_map.nodes_of("east")) == ["a", "b", "d"]
+        assert region_map.partition_of("e") == "west"
+
+    def test_missing_attribute_is_not_the_string_unassigned(self):
+        """A real value "unassigned" and a missing attribute stay separate."""
+        hosting = HostingNetwork("h")
+        hosting.add_node("n1", region="unassigned")
+        hosting.add_node("n2")   # no region at all
+        hosting.add_node("n3", region="east")
+        pmap = PartitionMap.by_attribute(hosting, "region")
+        assert len(pmap) == 3
+        assert pmap.partition_of("n1") == "unassigned"
+        assert pmap.partition_of("n2") == str(UNASSIGNED)
+        assert pmap.partition_of("n1") != pmap.partition_of("n2")
+
+    def test_duplicate_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionMap({"p0": ("a", "b"), "p1": ("b",)})
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionMap({})
+
+    def test_restricted_to_drops_empty_partitions(self, region_map):
+        restricted = region_map.restricted_to(["a", "b", "d"])
+        assert restricted.names == ["east"]
+        assert sorted(restricted.nodes_of("east")) == ["a", "b", "d"]
+
+    def test_with_nodes_added(self, region_map):
+        grown = region_map.with_nodes_added({"g": "east", "h": "north"})
+        assert grown.partition_of("g") == "east"
+        assert grown.partition_of("h") == "north"
+        assert "g" in grown.nodes_of("east")
+
+
+class TestSummaries:
+    def test_edge_window_feasibility(self, small_hosting, region_map):
+        east = small_hosting.subnetwork(region_map.nodes_of("east"))
+        summary = summarize_partition("east", east)
+        # east intra edges: a-b (10ms) and a-d (30ms) on avgDelay.
+        assert summary.num_nodes == 3
+        assert summary.num_edges == 2
+        assert summary.edge_ranges["avgDelay"] == (10.0, 30.0)
+        assert summary.edge_window_feasible("avgDelay", 5.0, 15.0)
+        assert not summary.edge_window_feasible("avgDelay", 40.0, 60.0)
+        # Unknown attribute: nothing in range, so nothing is feasible.
+        assert not summary.edge_window_feasible("loss", 0.0, 1.0)
+
+
+class TestQuotient:
+    def test_cut_edges_and_boundary(self, small_hosting, region_map):
+        cuts = cut_edges(small_hosting, region_map)
+        assert set(cuts) == {("east", "west")}
+        pairs = {tuple(sorted(edge)) for edge in cuts[("east", "west")]}
+        assert pairs == {("b", "c"), ("b", "e"), ("d", "e")}
+        boundary = boundary_network(small_hosting, region_map, cuts)
+        # The boundary holds exactly the cut endpoints and cut edges — it
+        # stays O(cut), never O(network).
+        assert sorted(boundary.nodes()) == ["b", "c", "d", "e"]
+        assert boundary.num_edges == 3
+        assert boundary.get_edge_attr("b", "e", "avgDelay") == 20.0
+
+    def test_quotient_aggregates(self, small_hosting, region_map):
+        cuts = cut_edges(small_hosting, region_map)
+        boundary = boundary_network(small_hosting, region_map, cuts)
+        summaries = {
+            name: summarize_partition(
+                name, small_hosting.subnetwork(region_map.nodes_of(name)))
+            for name in region_map.names}
+        quotient = quotient_graph(region_map, summaries, cuts, boundary)
+        assert sorted(quotient.nodes()) == ["east", "west"]
+        assert quotient.get_node_attr("east", "nodes") == 3
+        assert quotient.get_node_attr("east", "intraMinDelay") == 10.0
+        assert quotient.get_node_attr("east", "intraMaxDelay") == 30.0
+        # Cut delays are 50 (b-c), 20 (b-e), 40 (d-e).
+        assert quotient.get_edge_attr("east", "west", CUT_MIN_ATTR) == 20.0
+        assert quotient.get_edge_attr("east", "west", CUT_MAX_ATTR) == 50.0
+        assert quotient.get_edge_attr("east", "west", "links") == 3
+
+
+class TestPartitionIndex:
+    def test_mask_round_trip(self):
+        index = PartitionIndex(["p0", "p1", "p2"])
+        mask = index.mask_where(lambda name: name != "p1")
+        assert index.names_of(mask) == ["p0", "p2"]
+        assert index.names_of(index.full_mask) == ["p0", "p1", "p2"]
+        assert index.names_of(0) == []

@@ -1,0 +1,173 @@
+"""Journal-delta replication across pickle/process boundaries."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import ClusterCoordinator
+from repro.cluster.replica import (
+    DeltaPayload,
+    PartitionReplica,
+    StructuralDeltaError,
+    apply_payload,
+    encode_delta,
+    transport_copy,
+)
+from repro.workloads import planetlab_host
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+class TestNetworkDeltaTransport:
+    def test_delta_pickles_round_trip(self, small_hosting):
+        epoch = small_hosting.mutation_count
+        small_hosting.update_edge("a", "b", avgDelay=11.0)
+        small_hosting.update_node("c", weight=2)
+        delta = small_hosting.delta_since(epoch)
+        assert delta is not None and delta.attrs_only
+        clone = pickle.loads(pickle.dumps(delta))
+        assert clone.base_epoch == delta.base_epoch
+        assert clone.target_epoch == delta.target_epoch
+        assert clone.structural == delta.structural
+        assert clone.touched_node_attrs == delta.touched_node_attrs
+        assert clone.touched_edge_attrs == delta.touched_edge_attrs
+        assert clone.touches_edge("a", "b")
+        assert clone.touches_node("c")
+
+    def test_transport_copy_floors_journal(self, small_hosting):
+        small_hosting.update_edge("a", "b", avgDelay=12.0)
+        copy = transport_copy(small_hosting)
+        assert copy.mutation_count == small_hosting.mutation_count
+        # History did not travel: deltas from before the copy are
+        # unanswerable, the current epoch yields an empty delta.
+        assert copy.delta_since(0) is None
+        current = copy.delta_since(copy.mutation_count)
+        assert current is not None and current.empty
+        # The copy journals its own future normally.
+        epoch = copy.mutation_count
+        copy.update_edge("a", "b", avgDelay=13.0)
+        delta = copy.delta_since(epoch)
+        assert delta is not None and delta.touches_edge("a", "b")
+
+    def test_encode_refuses_structural_delta(self, small_hosting):
+        epoch = small_hosting.mutation_count
+        small_hosting.add_node("new-node", region="east")
+        delta = small_hosting.delta_since(epoch)
+        assert delta is not None and delta.structural
+        with pytest.raises(StructuralDeltaError):
+            encode_delta(small_hosting, delta)
+
+
+class TestPayloadApplication:
+    def test_payload_slices_to_replica(self, small_hosting):
+        epoch = small_hosting.mutation_count
+        small_hosting.update_edge("a", "b", avgDelay=14.0)   # east intra
+        small_hosting.update_edge("c", "f", avgDelay=16.0)   # west intra
+        small_hosting.update_node("e", weight=3)             # west node
+        payload = encode_delta(small_hosting,
+                               small_hosting.delta_since(epoch))
+        east = transport_copy(small_hosting.subnetwork(["a", "b", "d"]))
+        east_epoch = east.mutation_count
+        assert apply_payload(east, payload) == 1
+        assert east.get_edge_attr("a", "b", "avgDelay") == 14.0
+        assert not east.has_node("e")
+        # Applied through ordinary mutators: the replica journals it.
+        delta = east.delta_since(east_epoch)
+        assert delta is not None and delta.touches_edge("a", "b")
+
+    def test_payload_survives_process_boundary(self, small_hosting, tmp_path):
+        epoch = small_hosting.mutation_count
+        small_hosting.update_edge("a", "b", avgDelay=77.5)
+        payload = encode_delta(small_hosting,
+                               small_hosting.delta_since(epoch))
+        replica = transport_copy(small_hosting.subnetwork(["a", "b", "d"]))
+        replica_path = tmp_path / "replica.pickle"
+        payload_path = tmp_path / "payload.pickle"
+        replica_path.write_bytes(pickle.dumps(replica))
+        payload_path.write_bytes(pickle.dumps(payload))
+        child = (
+            "import pickle, sys\n"
+            "from repro.cluster.replica import apply_payload\n"
+            "replica = pickle.loads(open(sys.argv[1], 'rb').read())\n"
+            "payload = pickle.loads(open(sys.argv[2], 'rb').read())\n"
+            "applied = apply_payload(replica, payload)\n"
+            "print(applied, replica.get_edge_attr('a', 'b', 'avgDelay'))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", child, str(replica_path), str(payload_path)],
+            capture_output=True, text=True, env=env, timeout=60)
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.split() == ["1", "77.5"]
+
+    def test_empty_payload(self, small_hosting):
+        payload = DeltaPayload(network_name=small_hosting.name,
+                               base_epoch=0, target_epoch=0)
+        assert payload.empty
+        assert not payload.touches(small_hosting)
+        assert apply_payload(small_hosting, payload) == 0
+
+
+class TestReplicaElementIdentity:
+    def test_delta_refresh_matches_full_rebuild(self):
+        """After churn + delta refresh, every replica equals a fresh slice.
+
+        This is the element-identity guarantee: incremental journal-delta
+        replication must land replicas in exactly the state a wholesale
+        rebuild from the primary would produce.
+        """
+        hosting = planetlab_host(30, rng=4)
+        coordinator = ClusterCoordinator(hosting, attribute="region")
+        rng_edges = hosting.edges()[:8]
+        for i, (u, v) in enumerate(rng_edges):
+            hosting.update_edge(u, v, avgDelay=50.0 + i)
+        for node in hosting.nodes()[:5]:
+            hosting.update_node(node, load=0.25)
+        report = coordinator.refresh()
+        assert report["mode"] == "delta"
+        pmap = coordinator.partition_map
+        for name, worker in coordinator.workers.items():
+            fresh = hosting.subnetwork(pmap.nodes_of(name))
+            replica = worker.replica.network
+            assert sorted(replica.nodes()) == sorted(fresh.nodes())
+            assert sorted(map(tuple, map(sorted, replica.edges()))) == \
+                sorted(map(tuple, map(sorted, fresh.edges())))
+            for node in fresh.nodes():
+                assert replica.node_attrs(node) == fresh.node_attrs(node)
+            for u, v in fresh.edges():
+                assert replica.edge_attrs(u, v) == fresh.edge_attrs(u, v)
+
+    def test_replica_resync_after_overflow(self):
+        hosting = planetlab_host(20, rng=6)
+        coordinator = ClusterCoordinator(hosting, attribute="region")
+        capacity = hosting.mutation_journal.capacity
+        u, v = hosting.edges()[0]
+        for i in range(capacity + 10):
+            hosting.update_edge(u, v, avgDelay=float(i))
+        report = coordinator.refresh()
+        assert report["mode"] == "overflow-resync"
+        part = coordinator.partition_map.assignment[u]
+        replica = coordinator.workers[part].replica.network
+        if replica.has_edge(u, v):
+            assert replica.get_edge_attr(u, v, "avgDelay") == float(
+                capacity + 9)
+        assert coordinator.stats()["replication"]["overflow_resyncs"] >= 1
+
+
+class TestPartitionReplicaLifecycle:
+    def test_replica_is_isolated_slice(self, small_hosting):
+        replica = PartitionReplica("east", small_hosting, ("a", "b", "d"))
+        assert sorted(replica.network.nodes()) == ["a", "b", "d"]
+        assert replica.applied_epoch == small_hosting.mutation_count
+        # No shared structure: mutating the primary leaves the replica alone.
+        small_hosting.update_edge("a", "b", avgDelay=99.0)
+        assert replica.network.get_edge_attr("a", "b", "avgDelay") != 99.0
+        replica.resync(small_hosting)
+        assert replica.network.get_edge_attr("a", "b", "avgDelay") == 99.0
