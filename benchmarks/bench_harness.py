@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""The trace-driven scenario harness, gated on its honesty invariants.
+
+This benchmark runs a slice of the named scenario matrix
+(:data:`repro.harness.SCENARIOS`) through the shared open-loop driver and
+records the properties that make the harness's numbers trustworthy —
+properties a CI gate can pin exactly, because none of them are wall-clock
+measurements:
+
+* ``trace.byte_identical`` — lowering the same scenario + seed to a trace
+  twice produces **byte-identical** JSONL artifacts (the trace is the
+  experiment; it must be reproducible to the byte);
+* ``replay.outcomes_match`` — replaying one recorded trace twice yields
+  the identical per-request outcome classification (index, kind,
+  shed-reason/status, mapping count);
+* ``honesty.empty_sample_is_null`` — the ``allshed`` scenario (every
+  request scheduled dead on arrival) serves nothing and reports its
+  latency percentiles as ``null``, **not** as a perfect 0.0.  This is the
+  regression test for the zero-sample percentile lie;
+* per-scenario ``accounting.consistent`` and zero protocol errors /
+  request errors for the live scenarios.
+
+The steady scenario's latency percentiles are also reported; the gate
+checks them as *samples* (they must exist and be numeric) rather than as
+ratios, since wall-clock values do not transfer between machines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_harness.py \
+        [--scale smoke|full] [--seed N] [--output PATH] [--csv-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.perf import environment_info, write_bench_json
+from repro.harness import (
+    SCENARIOS,
+    build_trace,
+    classify_outcomes,
+    run_scenario,
+    scenario_summary,
+    write_scenario_artifacts,
+)
+from repro.workloads import write_trace
+
+DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_harness.json"
+
+SCHEMA_VERSION = 1
+
+#: Scenario slices per --scale.  The replay-parity check always runs on
+#: ``steady`` (it serves everything, so its classification is deterministic).
+SCALES: Dict[str, Sequence[str]] = {
+    "smoke": ("steady", "overload", "allshed"),
+    "full": ("steady", "overload", "burst", "diurnal", "churn", "allshed"),
+}
+
+
+def check_trace_determinism(seed: int) -> Dict:
+    """Lower steady twice at the same seed; the JSONL bytes must match."""
+    config = SCENARIOS["steady"]
+    with tempfile.TemporaryDirectory() as tmp:
+        first, second = Path(tmp) / "a.jsonl", Path(tmp) / "b.jsonl"
+        write_trace(build_trace(config, seed), first)
+        write_trace(build_trace(config, seed), second)
+        blob_a, blob_b = first.read_bytes(), second.read_bytes()
+    return {
+        "scenario": config.name,
+        "byte_identical": blob_a == blob_b,
+        "bytes": len(blob_a),
+    }
+
+
+def check_replay_parity(seed: int) -> Dict:
+    """Record one steady trace, replay it twice, compare classifications."""
+    config = SCENARIOS["steady"]
+    trace = build_trace(config, seed)
+    first = run_scenario(config, seed=seed, trace=trace)
+    second = run_scenario(config, seed=seed, trace=trace)
+    labels_a = classify_outcomes(first.outcomes)
+    labels_b = classify_outcomes(second.outcomes)
+    mismatches = sum(1 for a, b in zip(labels_a, labels_b) if a != b)
+    return {
+        "scenario": config.name,
+        "compared": len(labels_a),
+        "mismatches": mismatches,
+        "outcomes_match": (len(labels_a) == len(labels_b)
+                           and mismatches == 0
+                           and len(labels_a) > 0),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke",
+                        help="scenario slice to run (default: smoke)")
+    parser.add_argument("--seed", type=int, default=9,
+                        help="scene + trace RNG seed (default: 9)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"where to write BENCH_harness.json "
+                             f"(default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--csv-dir", type=Path, default=None,
+                        help="also write per-scenario requests.csv/"
+                             "summary.json artifacts under this directory")
+    args = parser.parse_args(argv)
+
+    names = SCALES[args.scale]
+    started = time.strftime("%Y-%m-%dT%H:%M:%S")
+    print(f"harness: scale={args.scale} seed={args.seed} "
+          f"scenarios: {', '.join(names)}")
+
+    summaries: Dict[str, Dict] = {}
+    for name in names:
+        run = run_scenario(SCENARIOS[name], seed=args.seed)
+        summaries[name] = scenario_summary(run)
+        if args.csv_dir is not None:
+            write_scenario_artifacts(run, args.csv_dir)
+        outcomes = summaries[name]["outcomes"]
+        latency = summaries[name]["latency"]
+        p50 = latency["p50_seconds"]
+        print(f"  {name}: {outcomes['offered']} offered -> "
+              f"{outcomes['served']} served / {outcomes['shed']} shed / "
+              f"{outcomes['errors']} error(s), p50 "
+              + ("null" if p50 is None else f"{p50 * 1000:.1f}ms"))
+
+    trace_check = check_trace_determinism(args.seed)
+    replay_check = check_replay_parity(args.seed)
+    allshed = summaries.get("allshed", {})
+    allshed_latency = allshed.get("latency", {})
+    honesty = {
+        "allshed_served": allshed_latency.get("served"),
+        # The headline bugfix: an empty sample must report null percentiles,
+        # never a fabricated 0.0.
+        "empty_sample_is_null": (allshed_latency.get("served") == 0
+                                 and allshed_latency.get("p50_seconds") is None
+                                 and allshed_latency.get("p99_seconds") is None
+                                 and allshed_latency.get("max_seconds") is None),
+    }
+
+    print(f"trace determinism: byte_identical={trace_check['byte_identical']} "
+          f"({trace_check['bytes']} bytes)")
+    print(f"replay parity: {replay_check['compared']} outcomes, "
+          f"{replay_check['mismatches']} mismatches")
+    print(f"honesty: allshed served {honesty['allshed_served']}, "
+          f"empty sample reported as null: {honesty['empty_sample_is_null']}")
+
+    failed = not (trace_check["byte_identical"]
+                  and replay_check["outcomes_match"]
+                  and honesty["empty_sample_is_null"])
+    if failed:
+        print("WARNING: harness honesty invariant violated", file=sys.stderr)
+
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "workload": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "scenarios": list(names),
+            "started": started,
+        },
+        "environment": environment_info(),
+        "scenarios": summaries,
+        "trace": trace_check,
+        "replay": replay_check,
+        "honesty": honesty,
+    }
+    path = write_bench_json(args.output, report)
+    print(f"wrote {path}")
+    return 1 if failed else 0
+
+
+try:                         # pytest is absent in script-only environments
+    from _smoke_marker import smoke as _smoke
+except ImportError:          # pragma: no cover - running outside benchmarks/
+    def _smoke(func):
+        return func
+
+
+@_smoke
+def test_smoke(tmp_path):
+    """Smoke scenario slice + honesty invariants for pytest/CI."""
+    assert main(["--scale", "smoke",
+                 "--output", str(tmp_path / "BENCH_harness.json"),
+                 "--csv-dir", str(tmp_path / "harness")]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,23 +9,31 @@ hide overload by slowing down with the server; an open-loop driver does
 not, which is exactly the regime where an unbounded queue melts down and a
 bounded one sheds.
 
+The replay rides on the shared harness driver (:mod:`repro.harness`), so
+the measurement rules match every other scenario run:
+
+* latency is measured from each request's **scheduled** offset, not from
+  the moment the driver got around to sending it (coordinated-omission
+  fix), and the driver's own lag is reported first-class as
+  ``schedule_slip``;
+* percentiles come from :mod:`repro.analysis.stats` and are ``null`` on an
+  empty sample — a run that served nothing reports *no* latency, never a
+  flattering 0.0.
+
 Two tenants share the server: ``open`` (no rate limit — it sees the bounded
 queue as-is) and ``capped`` (rate-limited, so tenant-level QoS sheds appear
 even on machines fast enough never to fill the queue).  The benchmark
-reports
+reports the latency/slip blocks, the shed rate and its breakdown by
+structured reason, and three deterministic invariants the regression gate
+protects:
 
-* per-request **latency percentiles** (p50/p95/p99) and **throughput**
-  (informational: wall-clock numbers do not transfer between machines);
-* the **shed rate** and its breakdown by structured reason;
-* three deterministic invariants the regression gate protects:
-
-  - ``parity.results_match`` — every accepted response is byte-identical
-    (stringified mappings) to a direct ``NetEmbedService.submit`` of the
-    same spec, so the serving tier adds *no* result drift;
-  - ``accounting.consistent`` — offered == admitted + shed == answered:
-    every scheduled arrival got exactly one structured answer;
-  - ``metrics.consistent`` — the ``metrics`` endpoint's admission counters
-    agree with what the client observed.
+* ``parity.results_match`` — every accepted response is byte-identical
+  (stringified mappings) to a direct ``NetEmbedService.submit`` of the
+  same spec, so the serving tier adds *no* result drift;
+* ``accounting.consistent`` — offered == admitted + shed == answered:
+  every scheduled arrival got exactly one structured answer;
+* ``metrics.consistent`` — the ``metrics`` endpoint's admission counters
+  agree with what the client observed.
 
 Usage::
 
@@ -36,34 +44,25 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import asyncio
 import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis.perf import environment_info, write_bench_json
-from repro.server import (
-    AdmissionConfig,
-    AsyncNetEmbedClient,
-    EmbeddingServer,
-    ServerConfig,
-    ServiceRegistry,
-    TenantPolicy,
-    mapping_payload,
-)
+from repro.analysis.stats import latency_block, slip_block
+from repro.harness import ScenarioConfig, ScenarioRun, run_scenario
+from repro.server import mapping_payload
 from repro.service import NetEmbedService, QuerySpec
-from repro.utils.rng import as_rng
-from repro.workloads import poisson_arrivals, subgraph_query
 
 DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_serving.json"
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -99,89 +98,38 @@ SCALES: Dict[str, ServingScale] = {
 }
 
 
-def build_scene(scale: ServingScale, seed: int):
-    """One deterministic (hosting, workloads) scene — shared by both arms."""
-    from repro.workloads import planetlab_host
-
-    rng = as_rng(seed)
-    hosting = planetlab_host(scale.hosting_nodes, rng=rng)
-    workloads = [subgraph_query(hosting, scale.query_size, slack=scale.slack,
-                                rng=rng)
-                 for _ in range(scale.num_workloads)]
-    return hosting, workloads
-
-
-def percentile(sorted_values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of an already-sorted sample (0 when empty)."""
-    if not sorted_values:
-        return 0.0
-    rank = min(len(sorted_values) - 1,
-               max(0, int(round(fraction * (len(sorted_values) - 1)))))
-    return sorted_values[rank]
+def scenario_config(scale: ServingScale) -> ScenarioConfig:
+    """Lower a --scale onto the shared harness scenario schema."""
+    return ScenarioConfig(
+        name="serving", rate=scale.rate, horizon=scale.horizon,
+        tenants=("open", "capped"), capped_rate=scale.capped_rate,
+        hosting_nodes=scale.hosting_nodes, num_workloads=scale.num_workloads,
+        query_size=scale.query_size, slack=scale.slack,
+        engine_workers=scale.engine_workers, queue_depth=scale.queue_depth,
+        max_results=scale.max_results, deadline=scale.deadline)
 
 
-async def drive_open_loop(scale: ServingScale, seed: int) -> Dict:
-    """Replay one Poisson trace against a live server; returns raw outcomes."""
-    hosting, workloads = build_scene(scale, seed)
-    config = ServerConfig(
-        default_timeout=scale.deadline,
-        engine_workers=scale.engine_workers,
-        admission=AdmissionConfig(
-            max_queue_depth=scale.queue_depth,
-            tenants={"capped": TenantPolicy(rate=scale.capped_rate,
-                                            burst=int(scale.capped_rate))},
-        ),
-    )
-    registry = ServiceRegistry(config)
-    registry.service.register_network(hosting, name="serving-bench")
-
-    trace = list(poisson_arrivals(rate=scale.rate, horizon=scale.horizon,
-                                  tenants=["open", "capped"], rng=seed + 1))
-
-    async with EmbeddingServer(registry) as server:
-        async with await AsyncNetEmbedClient.connect(
-                server.host, server.port) as client:
-
-            async def fire(arrival):
-                await asyncio.sleep(arrival.offset)
-                workload = workloads[arrival.index % len(workloads)]
-                started = time.perf_counter()
-                response = await client.embed(
-                    workload.query, constraint=workload.constraint,
-                    algorithm="ECF", max_results=scale.max_results,
-                    tenant=arrival.tenant, deadline=scale.deadline)
-                return (arrival.index % len(workloads), arrival.tenant,
-                        time.perf_counter() - started, response)
-
-            run_started = time.perf_counter()
-            outcomes = await asyncio.gather(*(fire(a) for a in trace))
-            wall_seconds = time.perf_counter() - run_started
-            metrics = await client.metrics()
-
-    return {"workloads": workloads, "hosting": hosting, "trace": trace,
-            "outcomes": outcomes, "metrics": metrics,
-            "wall_seconds": wall_seconds}
-
-
-def run_parity_check(scale: ServingScale, seed: int, outcomes) -> Dict:
+def run_parity_check(run: ScenarioRun) -> Dict:
     """Accepted server responses must equal direct engine calls, byte for byte."""
-    hosting, workloads = build_scene(scale, seed)
-    service = NetEmbedService(default_timeout=scale.deadline)
+    from repro.harness import build_scene
+
+    hosting, workloads = build_scene(run.config, run.seed)
+    service = NetEmbedService(default_timeout=run.config.deadline)
     service.register_network(hosting, name="serving-bench")
     expected = []
     for workload in workloads:
         response = service.submit(QuerySpec(
             query=workload.query, constraint=workload.constraint,
-            algorithm="ECF", max_results=scale.max_results))
+            algorithm="ECF", max_results=run.config.max_results))
         expected.append([mapping_payload(m) for m in response.mappings])
 
     compared = 0
     mismatches = 0
-    for workload_index, _tenant, _latency, response in outcomes:
-        if response["kind"] != "result":
+    for outcome in run.outcomes:
+        if outcome.kind != "result":
             continue
         compared += 1
-        if response["mappings"] != expected[workload_index]:
+        if outcome.response["mappings"] != expected[outcome.workload]:
             mismatches += 1
     return {
         "workloads": len(workloads),
@@ -191,21 +139,20 @@ def run_parity_check(scale: ServingScale, seed: int, outcomes) -> Dict:
     }
 
 
-def summarise(scale: ServingScale, raw: Dict) -> Dict:
-    """Fold raw outcomes into the report's latency/shed/accounting blocks."""
-    outcomes = raw["outcomes"]
-    metrics = raw["metrics"]
-    served = [o for o in outcomes if o[3]["kind"] == "result"]
-    shed = [o for o in outcomes if o[3]["kind"] == "shed"]
-    errors = [o for o in outcomes if o[3]["kind"] == "error"]
-    latencies = sorted(latency for _, _, latency, _ in served)
+def summarise(scale: ServingScale, run: ScenarioRun) -> Dict:
+    """Fold a raw harness run into the report's latency/shed/accounting blocks."""
+    outcomes = run.outcomes
+    metrics = run.metrics
+    served = [o for o in outcomes if o.kind == "result"]
+    shed = [o for o in outcomes if o.kind == "shed"]
+    errors = [o for o in outcomes if o.kind == "error"]
     reasons: Dict[str, int] = {}
-    for _, _, _, response in shed:
-        reasons[response["reason"]] = reasons.get(response["reason"], 0) + 1
+    for outcome in shed:
+        reasons[outcome.detail] = reasons.get(outcome.detail, 0) + 1
     per_tenant: Dict[str, Dict[str, int]] = {}
-    for _, tenant, _, response in outcomes:
-        bucket = per_tenant.setdefault(tenant, {"served": 0, "shed": 0})
-        bucket["served" if response["kind"] == "result" else "shed"] += 1
+    for outcome in outcomes:
+        bucket = per_tenant.setdefault(outcome.tenant, {"served": 0, "shed": 0})
+        bucket["served" if outcome.kind == "result" else "shed"] += 1
 
     admission = metrics["admission"]
     offered = len(outcomes)
@@ -220,17 +167,12 @@ def summarise(scale: ServingScale, raw: Dict) -> Dict:
         and metrics["service"]["plan_cache"]["misses"] >= 1)
 
     return {
-        "latency": {
-            "served": len(served),
-            "p50_seconds": percentile(latencies, 0.50),
-            "p95_seconds": percentile(latencies, 0.95),
-            "p99_seconds": percentile(latencies, 0.99),
-            "max_seconds": latencies[-1] if latencies else 0.0,
-        },
+        "latency": latency_block(o.latency_seconds for o in served),
+        "schedule_slip": slip_block(o.slip_seconds for o in outcomes),
         "throughput": {
-            "wall_seconds": raw["wall_seconds"],
-            "served_per_second": (len(served) / raw["wall_seconds"]
-                                  if raw["wall_seconds"] > 0 else 0.0),
+            "wall_seconds": run.wall_seconds,
+            "served_per_second": (len(served) / run.wall_seconds
+                                  if run.wall_seconds > 0 else 0.0),
             "offered_per_second": scale.rate,
         },
         "shedding": {
@@ -270,17 +212,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"{scale.horizon}s onto {scale.engine_workers} worker(s), "
           f"queue depth {scale.queue_depth}")
 
-    raw = asyncio.run(drive_open_loop(scale, args.seed))
-    summary = summarise(scale, raw)
-    parity = run_parity_check(scale, args.seed, raw["outcomes"])
+    run = run_scenario(scenario_config(scale), seed=args.seed)
+    summary = summarise(scale, run)
+    parity = run_parity_check(run)
 
     latency = summary["latency"]
     shedding = summary["shedding"]
-    print(f"latency: {latency['served']} served, "
-          f"p50 {latency['p50_seconds'] * 1000:.1f}ms, "
-          f"p99 {latency['p99_seconds'] * 1000:.1f}ms; "
+    slip = summary["schedule_slip"]
+
+    def fmt_ms(value: Optional[float]) -> str:
+        return "n/a (empty sample)" if value is None else f"{value * 1000:.1f}ms"
+
+    print(f"latency (from scheduled offsets): {latency['served']} served, "
+          f"p50 {fmt_ms(latency['p50_seconds'])}, "
+          f"p99 {fmt_ms(latency['p99_seconds'])}; "
           f"throughput {summary['throughput']['served_per_second']:.1f}/s "
           f"against {scale.rate:.1f}/s offered")
+    print(f"schedule slip: max {fmt_ms(slip['max_seconds'])}, "
+          f"total {fmt_ms(slip['total_seconds'])} across {slip['count']} "
+          f"request(s)")
     print(f"shedding: {shedding['shed']}/{shedding['offered']} "
           f"({shedding['shed_rate']:.0%}) — "
           + (", ".join(f"{reason} x{count}"

@@ -15,6 +15,13 @@ report file; each is either
   booleans (mappings found, streams-identical flags).  Any change fails the
   gate, in either direction — a "regression" that *finds more mappings* is
   a correctness bug too.
+* a **sample** metric (``kind="sample"``): a measured value (latency
+  percentile) that must *exist* and be numeric.  Its magnitude is not
+  compared — wall-clock values do not transfer between machines — but a
+  ``null``/missing sample fails the gate even when the baseline lacks the
+  field: "no data" must never read as "no regression".  (Historically an
+  empty latency sample was reported as a perfect 0.0 and sailed through;
+  this kind is the guard against that class of lie.)
 
 Missing candidate files fail the gate (a benchmark silently dropping out of
 CI is itself a regression); missing baseline files are reported and skipped
@@ -46,7 +53,8 @@ class Metric:
     #: Dotted path into the JSON document (list indices allowed, e.g.
     #: ``engines.0.mappings_found``).
     path: str
-    #: "ratio" (tolerance-gated, higher is better) or "exact" (must match).
+    #: "ratio" (tolerance-gated, higher is better), "exact" (must match), or
+    #: "sample" (must exist and be numeric; magnitude uncompared).
     kind: str = "ratio"
     #: Per-metric tolerance override for ratio metrics.  ``None`` uses the
     #: CLI-wide value; metrics whose smoke-scale runs are wall-clock-noisy
@@ -132,6 +140,32 @@ TRACKED: Dict[str, List[Metric]] = {
         Metric("accounting.consistent", kind="exact"),
         Metric("metrics.consistent", kind="exact"),
         Metric("shedding.errors", kind="exact"),
+        # The honest-latency contract: the percentiles must be measured
+        # numbers.  A run that served nothing reports them as null and MUST
+        # fail here — it used to report 0.0 and pass.
+        Metric("latency.p50_seconds", kind="sample"),
+        Metric("latency.p95_seconds", kind="sample"),
+        Metric("latency.p99_seconds", kind="sample"),
+    ],
+    "BENCH_harness.json": [
+        # The scenario harness is gated on its honesty invariants, all of
+        # them deterministic: byte-identical trace lowering, replay parity
+        # of outcome classifications, null (not 0.0) percentiles on the
+        # all-shed scenario, and consistent accounting per live scenario.
+        Metric("trace.byte_identical", kind="exact"),
+        Metric("replay.outcomes_match", kind="exact"),
+        Metric("replay.mismatches", kind="exact"),
+        Metric("honesty.allshed_served", kind="exact"),
+        Metric("honesty.empty_sample_is_null", kind="exact"),
+        Metric("scenarios.steady.accounting.consistent", kind="exact"),
+        Metric("scenarios.steady.outcomes.errors", kind="exact"),
+        Metric("scenarios.steady.server.protocol_errors", kind="exact"),
+        Metric("scenarios.overload.accounting.consistent", kind="exact"),
+        Metric("scenarios.overload.server.protocol_errors", kind="exact"),
+        Metric("scenarios.allshed.accounting.consistent", kind="exact"),
+        Metric("scenarios.steady.latency.p50_seconds", kind="sample"),
+        Metric("scenarios.steady.latency.p95_seconds", kind="sample"),
+        Metric("scenarios.steady.latency.p99_seconds", kind="sample"),
     ],
     "BENCH_scaleout.json": [
         # The scale-out tier is gated on its deterministic guarantees:
@@ -170,6 +204,23 @@ def compare_file(name: str, baseline_dir: Path, candidate_dir: Path,
     for metric in TRACKED[name]:
         base_value = metric.resolve(baseline)
         cand_value = metric.resolve(candidate)
+        if metric.kind == "sample":
+            # Checked before the baseline-absent skip: a sample metric
+            # gates the *candidate* only.  null, missing, non-numeric, or
+            # NaN all fail — an empty sample must never read as healthy.
+            missing = (isinstance(cand_value, bool)
+                       or not isinstance(cand_value, (int, float))
+                       or cand_value != cand_value)
+            if missing:
+                print(f"  {name}: {metric.path} = {cand_value!r} [NO SAMPLE]")
+                failures.append(
+                    f"{name}: {metric.path} has no measured sample "
+                    f"({cand_value!r}) — an empty/missing latency sample "
+                    f"fails the gate, it does not pass it")
+            else:
+                print(f"  {name}: {metric.path} = {cand_value:.6f} "
+                      f"(sample present) [ok]")
+            continue
         if base_value is None:
             print(f"  {name}: {metric.path} absent from baseline — skipped")
             continue
@@ -267,6 +318,27 @@ def test_smoke(tmp_path):
 
     # A missing candidate report is a failure, not a skip.
     (candidate / "BENCH_churn.json").unlink()
+    assert main(["--baseline", str(baseline), "--candidate", str(candidate),
+                 "--tolerance", "0.25"]) == 1
+
+    # Sample metrics: a numeric percentile passes; a null one (empty
+    # sample) fails the gate even though the baseline value is ignored.
+    (candidate / "BENCH_churn.json").write_text(json.dumps(report))
+    serving = {"parity": {"results_match": True, "mismatches": 0},
+               "accounting": {"consistent": True},
+               "metrics": {"consistent": True},
+               "shedding": {"errors": 0},
+               "latency": {"p50_seconds": 0.003, "p95_seconds": 0.009,
+                           "p99_seconds": 0.012}}
+    (baseline / "BENCH_serving.json").write_text(json.dumps(serving))
+    (candidate / "BENCH_serving.json").write_text(json.dumps(serving))
+    assert main(["--baseline", str(baseline), "--candidate", str(candidate),
+                 "--tolerance", "0.25"]) == 0
+
+    starved = json.loads(json.dumps(serving))
+    starved["latency"] = {"p50_seconds": None, "p95_seconds": None,
+                          "p99_seconds": None}
+    (candidate / "BENCH_serving.json").write_text(json.dumps(starved))
     assert main(["--baseline", str(baseline), "--candidate", str(candidate),
                  "--tolerance", "0.25"]) == 1
 

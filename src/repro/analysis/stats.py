@@ -1,0 +1,92 @@
+"""Shared sample statistics for benchmarks and the load-test harness.
+
+This module is the single home of the latency math every benchmark and
+harness scenario reports, hoisted out of ``benchmarks/bench_serving.py``
+where two bugs lived:
+
+* an **empty sample reported 0.0** for every percentile, so a run in which
+  admission shed 100 % of requests printed p50/p95/p99 = 0 s — the best
+  latency ever recorded — and sailed through the regression gate.  Here an
+  empty sample answers ``None`` (JSON ``null``), and
+  ``benchmarks/compare_bench.py`` treats a ``null`` latency metric as a
+  gate *failure*, never a pass.
+* the nearest-rank index used ``int(round(...))``, i.e. banker's rounding
+  (``round(0.5) == 0``), biasing small-sample tail percentiles low.  The
+  percentile here is the textbook **ceil-based nearest rank**: the q-th
+  percentile of n sorted values is the value at rank ``ceil(q · n)``
+  (1-based, clamped to ``[1, n]``) — the smallest sample value such that at
+  least a fraction q of the sample is ≤ it.  It never interpolates and
+  never rounds a tail rank *down*.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "percentile",
+    "latency_block",
+    "slip_block",
+]
+
+
+def percentile(values: Iterable[float], fraction: float) -> Optional[float]:
+    """Ceil-based nearest-rank percentile; ``None`` for an empty sample.
+
+    Parameters
+    ----------
+    values:
+        The sample — any iterable.  Need not be pre-sorted (a sorted copy
+        is taken).
+    fraction:
+        The percentile as a fraction in ``[0, 1]`` (0.95 = p95).
+
+    Returns the element at 1-based rank ``ceil(fraction * len(values))``
+    of the sorted sample (rank 1 for ``fraction = 0``), and ``None`` —
+    never a fabricated 0.0 — when the sample is empty.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    if not ordered:
+        return None
+    rank = min(len(ordered), max(1, math.ceil(fraction * len(ordered))))
+    return ordered[rank - 1]
+
+
+def latency_block(latencies: Iterable[float],
+                  fractions: Sequence[float] = (0.50, 0.95, 0.99)) -> Dict:
+    """The standard latency summary block of a benchmark report.
+
+    ``{"served": n, "p50_seconds": …, "p95_seconds": …, "p99_seconds": …,
+    "mean_seconds": …, "max_seconds": …}`` with every statistic ``None``
+    when the sample is empty — an all-shed run must *look* like one.
+    """
+    sample: List[float] = sorted(latencies)
+    block: Dict[str, object] = {"served": len(sample)}
+    for fraction in fractions:
+        label = f"p{round(fraction * 100):d}_seconds"
+        block[label] = percentile(sample, fraction)
+    block["mean_seconds"] = (sum(sample) / len(sample)) if sample else None
+    block["max_seconds"] = sample[-1] if sample else None
+    return block
+
+
+def slip_block(slips: Iterable[float]) -> Dict:
+    """Summary of per-request schedule slip (actual send − scheduled offset).
+
+    Slip is the open-loop driver's own lag behind the trace schedule.  It is
+    reported first-class because latency is measured from the *scheduled*
+    offset: driver lag inflates the latency numbers (coordinated omission
+    made visible) and this block says how much of that inflation is the
+    driver's fault rather than the server's queue.
+    """
+    sample: List[float] = sorted(slips)
+    return {
+        "count": len(sample),
+        "max_seconds": sample[-1] if sample else None,
+        "mean_seconds": (sum(sample) / len(sample)) if sample else None,
+        "p99_seconds": percentile(sample, 0.99),
+        "total_seconds": sum(sample) if sample else 0.0,
+    }

@@ -12,6 +12,9 @@ The subcommands cover the common workflows::
 
     python -m repro churn --sites 60 --queries 4 --ticks 10
 
+    python -m repro loadtest --scenario steady --scenario overload \
+        --record trace.jsonl --output-dir results/harness
+
     python -m repro serve --hosting host.graphml --port 7478
 
     python -m repro list-algorithms
@@ -31,6 +34,10 @@ service's version-aware plan cache and explains the cache state (hits,
 misses, per-entry statistics, invalidation after monitor ticks);
 ``churn`` drives an embed→tick→repair loop under sparse network churn and
 reports repair-vs-reembed cost;
+``loadtest`` replays recorded arrival traces open-loop against a live
+serving tier across a scenario matrix (steady/overload/burst/diurnal/churn)
+and reports honest latency percentiles — measured from each request's
+*scheduled* offset, ``null`` on an empty sample (see :mod:`repro.harness`);
 ``serve`` runs the asyncio serving tier — admission control, per-tenant
 QoS, deadline-aware shedding, and a ``metrics`` endpoint — over a
 registered hosting model (see :mod:`repro.server`);
@@ -177,6 +184,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload + churn RNG seed (default: 0)")
     churn.add_argument("--json", action="store_true",
                        help="print the scenario report as JSON")
+
+    loadtest = subparsers.add_parser(
+        "loadtest", help="replay trace-driven load scenarios against a live "
+                         "serving tier and report honest latency/shed numbers")
+    loadtest.add_argument("--scenario", action="append", default=None,
+                          metavar="NAME|CONFIG.json",
+                          help="named scenario or JSON config file "
+                               "(repeatable; default: the core matrix "
+                               "steady, overload, burst, diurnal)")
+    loadtest.add_argument("--seed", type=int, default=9,
+                          help="scene + trace RNG seed (default: 9)")
+    loadtest.add_argument("--record", type=Path, default=None,
+                          help="write the scenario's trace to this JSONL "
+                               "artifact (requires exactly one scenario)")
+    loadtest.add_argument("--replay", type=Path, default=None,
+                          help="replay this recorded JSONL trace instead of "
+                               "regenerating one (requires exactly one "
+                               "scenario; the scene is verified against the "
+                               "trace's workload fingerprints)")
+    loadtest.add_argument("--output-dir", type=Path,
+                          default=Path("benchmarks") / "results" / "harness",
+                          help="where per-scenario requests.csv/summary.json "
+                               "and the combined loadtest.json are written "
+                               "(default: benchmarks/results/harness)")
+    loadtest.add_argument("--partitions", type=int, default=None,
+                          help="serve every scenario through the partitioned "
+                               "cluster tier with this many balanced "
+                               "partitions (see repro.cluster)")
+    loadtest.add_argument("--list", action="store_true",
+                          help="list the named scenarios and exit")
+    loadtest.add_argument("--json", action="store_true",
+                          help="print the combined summary document as JSON")
 
     serve = subparsers.add_parser(
         "serve", help="run the asyncio serving tier over a hosting network")
@@ -612,6 +651,107 @@ def _run_churn(args: argparse.Namespace) -> int:
     return 0 if totals["failed"] == 0 and totals["timeout"] == 0 else 1
 
 
+def _run_loadtest(args: argparse.Namespace) -> int:
+    """Replay trace-driven scenarios against a live server and report."""
+    import dataclasses
+
+    from repro.analysis import environment_info
+    from repro.harness import (
+        DEFAULT_MATRIX,
+        SCENARIOS,
+        load_scenario,
+        run_scenario,
+        scenario_summary,
+        write_scenario_artifacts,
+    )
+    from repro.workloads import read_trace, write_trace
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            config = SCENARIOS[name]
+            print(f"{name}: {config.arrival} arrivals, "
+                  f"horizon {config.horizon:g}s")
+        return 0
+
+    sources = list(args.scenario) if args.scenario else list(DEFAULT_MATRIX)
+    if (args.record or args.replay) and len(sources) != 1:
+        print("error: --record/--replay require exactly one --scenario",
+              file=sys.stderr)
+        return 2
+    try:
+        configs = [load_scenario(source) for source in sources]
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.partitions is not None:
+        configs = [dataclasses.replace(config, partitions=args.partitions)
+                   for config in configs]
+
+    replay_trace = None
+    if args.replay is not None:
+        try:
+            replay_trace = read_trace(args.replay)
+        except (ValueError, OSError) as exc:
+            print(f"error: cannot read trace {args.replay}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    summaries = {}
+    exit_code = 0
+    for config in configs:
+        try:
+            run = run_scenario(config, seed=args.seed, trace=replay_trace)
+        except ValueError as exc:
+            print(f"error: scenario {config.name!r}: {exc}", file=sys.stderr)
+            return 2
+        if args.record is not None:
+            write_trace(run.trace, args.record)
+            print(f"recorded {len(run.trace.arrivals)} arrival(s) / "
+                  f"{len(run.trace.departures)} departure(s) to {args.record}")
+        write_scenario_artifacts(run, args.output_dir)
+        summary = scenario_summary(run)
+        summaries[config.name] = summary
+
+        latency = summary["latency"]
+        outcomes = summary["outcomes"]
+        slip = summary["schedule_slip"]
+        healthy = (summary["accounting"]["consistent"]
+                   and outcomes["errors"] == 0
+                   and summary["server"]["protocol_errors"] == 0
+                   and summary["reservations"]["release_failures"] == 0)
+        if not healthy:
+            exit_code = 1
+
+        def _ms(value):
+            return "n/a" if value is None else f"{value * 1000:.1f}ms"
+
+        print(f"{config.name}: {outcomes['offered']} offered -> "
+              f"{outcomes['served']} served / {outcomes['shed']} shed / "
+              f"{outcomes['errors']} error(s); "
+              f"p50 {_ms(latency['p50_seconds'])} "
+              f"p99 {_ms(latency['p99_seconds'])}, "
+              f"slip max {_ms(slip['max_seconds'])}; "
+              f"accounting {'ok' if summary['accounting']['consistent'] else 'INCONSISTENT'}")
+
+    combined = {
+        "schema_version": 1,
+        "seed": args.seed,
+        "scenarios": summaries,
+        "environment": environment_info(),
+    }
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    combined_path = output_dir / "loadtest.json"
+    combined_path.write_text(
+        json.dumps(combined, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    if args.json:
+        print(json.dumps(combined, indent=2, sort_keys=True))
+    else:
+        print(f"wrote per-scenario artifacts and {combined_path}")
+    return exit_code
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     """Run the asyncio serving tier until interrupted (or for --duration)."""
     import asyncio
@@ -876,6 +1016,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_plan(args)
     if args.command == "churn":
         return _run_churn(args)
+    if args.command == "loadtest":
+        return _run_loadtest(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "recover":

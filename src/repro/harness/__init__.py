@@ -1,0 +1,57 @@
+"""Trace-driven load-test harness for the serving and cluster tiers.
+
+The harness is the rig every perf claim about the serving stack runs
+through: a named (or JSON-configured) *scenario* describes an arrival
+process, a scene, and the server's admission knobs; the scenario is
+lowered to a replayable :class:`~repro.workloads.trace.Trace`; and the
+open-loop driver replays that trace against a live
+:class:`~repro.server.app.EmbeddingServer`, measuring every request from
+its **scheduled** offset so driver lag (coordinated omission) inflates the
+latency numbers instead of hiding queueing delay.
+
+* :mod:`repro.harness.scenarios` — scenario configs, the named registry
+  (steady / overload / burst / diurnal / churn / allshed), trace building;
+* :mod:`repro.harness.driver` — the open-loop replay driver and the
+  per-scenario summary (percentiles via :mod:`repro.analysis.stats`,
+  shed/abort breakdowns, schedule slip, accounting invariants);
+* :mod:`repro.harness.report` — per-request CSV rows and the JSON summary
+  documents the CI gate reads.
+"""
+
+from repro.harness.scenarios import (
+    DEFAULT_MATRIX,
+    SCENARIOS,
+    ScenarioConfig,
+    build_scene,
+    build_trace,
+    load_scenario,
+)
+from repro.harness.driver import (
+    RequestOutcome,
+    ScenarioRun,
+    classify_outcomes,
+    replay_open_loop,
+    run_scenario,
+)
+from repro.harness.report import (
+    outcome_rows,
+    scenario_summary,
+    write_scenario_artifacts,
+)
+
+__all__ = [
+    "DEFAULT_MATRIX",
+    "SCENARIOS",
+    "ScenarioConfig",
+    "build_scene",
+    "build_trace",
+    "load_scenario",
+    "RequestOutcome",
+    "ScenarioRun",
+    "classify_outcomes",
+    "replay_open_loop",
+    "run_scenario",
+    "outcome_rows",
+    "scenario_summary",
+    "write_scenario_artifacts",
+]

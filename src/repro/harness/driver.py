@@ -1,0 +1,278 @@
+"""The open-loop trace replay driver and its honest measurements.
+
+The driver replays a recorded :class:`~repro.workloads.trace.Trace`
+against a live :class:`~repro.server.app.EmbeddingServer` (optionally
+fronting the partitioned :class:`~repro.cluster.ClusterService`).  Two
+measurement rules make the numbers honest:
+
+* **Latency is measured from the scheduled offset**, not from the moment
+  the driver actually got around to sending.  An open-loop trace fixes
+  every arrival time in advance; if the driver (or the event loop it
+  shares with the server) falls behind, that lag is queueing delay the
+  load *caused* and must appear in the latency numbers — measuring from
+  dispatch would silently delete it (coordinated omission).  The driver's
+  own lag is additionally reported as first-class **schedule slip**
+  (send − scheduled), so a reader can attribute inflation to the rig.
+* **An empty sample has no percentiles.**  All summary statistics come
+  from :mod:`repro.analysis.stats`, which answers ``None`` — never 0.0 —
+  when nothing was served.
+
+Reservation departures recorded in the trace are released against the
+in-process service at their scheduled offsets, and scenarios with
+``churn_ticks > 0`` perturb the hosting network live during the replay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.harness.scenarios import ScenarioConfig, build_scene, build_trace
+from repro.server import (
+    AdmissionConfig,
+    AsyncNetEmbedClient,
+    EmbeddingServer,
+    ServerConfig,
+    ServiceRegistry,
+    TenantPolicy,
+)
+from repro.utils.rng import as_rng
+from repro.workloads.queries import Workload
+from repro.workloads.trace import Trace, workload_fingerprint
+
+#: Network name the harness registers its scene under.
+NETWORK_NAME = "harness-scene"
+
+
+@dataclass
+class RequestOutcome:
+    """One replayed request: schedule, timing, and the server's answer."""
+
+    index: int
+    workload: int
+    tenant: str
+    scheduled_offset: float
+    #: When the driver actually wrote the request (seconds into the run).
+    send_offset: float
+    #: When the response arrived (seconds into the run).
+    done_offset: float
+    reserve: bool
+    response: Dict[str, Any]
+
+    @property
+    def latency_seconds(self) -> float:
+        """Response time from the *scheduled* arrival, driver lag included."""
+        return self.done_offset - self.scheduled_offset
+
+    @property
+    def slip_seconds(self) -> float:
+        """How late the driver sent this request vs its schedule."""
+        return self.send_offset - self.scheduled_offset
+
+    @property
+    def kind(self) -> str:
+        """``result`` / ``shed`` / ``error``."""
+        return str(self.response.get("kind"))
+
+    @property
+    def detail(self) -> str:
+        """Result status, shed reason, or error code — the outcome label."""
+        if self.kind == "result":
+            return str(self.response.get("status"))
+        if self.kind == "shed":
+            return str(self.response.get("reason"))
+        return str(self.response.get("error"))
+
+    @property
+    def mappings(self) -> int:
+        return len(self.response.get("mappings") or ())
+
+    @property
+    def reservation_id(self) -> Optional[str]:
+        return self.response.get("reservation_id")
+
+
+@dataclass
+class ScenarioRun:
+    """Everything one scenario replay produced (raw, pre-summary)."""
+
+    config: ScenarioConfig
+    seed: int
+    trace: Trace
+    outcomes: List[RequestOutcome]
+    wall_seconds: float
+    metrics: Dict[str, Any]
+    workloads: List[Workload] = field(default_factory=list)
+    released: int = 0
+    release_failures: int = 0
+    churn_ticks_applied: int = 0
+
+
+def classify_outcomes(outcomes: Sequence[RequestOutcome]) -> List[str]:
+    """Per-request outcome classification, for replay-parity comparison.
+
+    Timing-free by construction: trace position, answer kind, detail label
+    and mapping count — the fields two replays of the same trace against
+    the same seeded scene must agree on.
+    """
+    return [f"{o.index}:{o.kind}:{o.detail}:{o.mappings}"
+            for o in sorted(outcomes, key=lambda o: o.index)]
+
+
+def _server_config(config: ScenarioConfig) -> ServerConfig:
+    tenants = {}
+    if config.capped_rate is not None:
+        tenants["capped"] = TenantPolicy(rate=config.capped_rate,
+                                         burst=max(1, int(config.capped_rate)))
+    return ServerConfig(
+        default_timeout=(config.timeout if config.timeout is not None
+                         else config.deadline),
+        engine_workers=config.engine_workers,
+        admission=AdmissionConfig(max_queue_depth=config.queue_depth,
+                                  tenants=tenants),
+    )
+
+
+def _build_registry(config: ScenarioConfig, hosting) -> ServiceRegistry:
+    server_config = _server_config(config)
+    service = None
+    if config.partitions is not None:
+        from repro.cluster import ClusterService
+        service = ClusterService(
+            default_timeout=server_config.default_timeout,
+            plan_cache_size=server_config.plan_cache_size,
+            num_partitions=config.partitions)
+    registry = ServiceRegistry(server_config, service=service)
+    registry.service.register_network(hosting, name=NETWORK_NAME)
+    return registry
+
+
+async def replay_open_loop(trace: Trace, workloads: Sequence[Workload],
+                           registry: ServiceRegistry,
+                           config: ScenarioConfig,
+                           hosting=None, seed: int = 0) -> ScenarioRun:
+    """Replay *trace* open-loop against a freshly started server.
+
+    Every arrival fires at its scheduled offset regardless of whether the
+    server has kept up; departures release their arrival's reservation at
+    their own offsets; churn ticks (when configured) mutate *hosting*
+    between requests.  Returns the raw :class:`ScenarioRun`.
+    """
+    churn = None
+    if config.churn_ticks > 0:
+        if config.partitions is not None:
+            raise ValueError("churn-during-traffic is not supported through "
+                             "the cluster tier yet (churn_ticks requires "
+                             "partitions=None)")
+        from repro.workloads.churn import ChurnConfig, ChurnProcess
+        churn = ChurnProcess(hosting, ChurnConfig(
+            link_fraction=config.churn_link_fraction,
+            node_fraction=config.churn_node_fraction), rng=as_rng(seed + 2))
+
+    run = ScenarioRun(config=config, seed=seed, trace=trace, outcomes=[],
+                      wall_seconds=0.0, metrics={}, workloads=list(workloads))
+    # One future per arrival index resolves to its reservation_id (or None)
+    # so departure tasks can wait for the answer they are releasing.
+    reservation_ready: Dict[int, asyncio.Future] = {}
+
+    async with EmbeddingServer(registry) as server:
+        async with await AsyncNetEmbedClient.connect(
+                server.host, server.port) as client:
+            run_started = time.perf_counter()
+
+            def now() -> float:
+                return time.perf_counter() - run_started
+
+            async def sleep_until(offset: float) -> None:
+                delay = offset - now()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+
+            async def fire(arrival) -> RequestOutcome:
+                await sleep_until(arrival.offset)
+                workload = workloads[arrival.workload]
+                send_offset = now()
+                response = await client.embed(
+                    workload.query, constraint=workload.constraint,
+                    algorithm="ECF", max_results=config.max_results,
+                    tenant=arrival.tenant, deadline=config.deadline,
+                    reserve=arrival.reserve)
+                outcome = RequestOutcome(
+                    index=arrival.index, workload=arrival.workload,
+                    tenant=arrival.tenant,
+                    scheduled_offset=arrival.offset,
+                    send_offset=send_offset, done_offset=now(),
+                    reserve=arrival.reserve, response=response)
+                waiter = reservation_ready.get(arrival.index)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(outcome.reservation_id)
+                return outcome
+
+            async def depart(departure) -> None:
+                waiter = reservation_ready[departure.request_index]
+                await sleep_until(departure.offset)
+                reservation_id = await waiter
+                if reservation_id is None:
+                    return   # the arrival was shed or reserved nothing
+                try:
+                    registry.service.release(reservation_id)
+                    run.released += 1
+                except Exception:  # noqa: BLE001 — counted, not fatal
+                    run.release_failures += 1
+
+            async def churn_loop() -> None:
+                interval = config.horizon / (config.churn_ticks + 1)
+                for tick in range(1, config.churn_ticks + 1):
+                    await sleep_until(tick * interval)
+                    churn.tick()
+                    registry.models.touch(NETWORK_NAME)
+                    run.churn_ticks_applied += 1
+
+            loop = asyncio.get_running_loop()
+            for departure in trace.departures:
+                reservation_ready.setdefault(departure.request_index,
+                                             loop.create_future())
+            tasks = [fire(a) for a in trace.arrivals]
+            side_tasks = [asyncio.ensure_future(depart(d))
+                          for d in trace.departures]
+            if churn is not None:
+                side_tasks.append(asyncio.ensure_future(churn_loop()))
+
+            run.outcomes = list(await asyncio.gather(*tasks))
+            run.wall_seconds = now()
+            for waiter in reservation_ready.values():
+                if not waiter.done():   # arrival never resolved (shouldn't)
+                    waiter.set_result(None)
+            if side_tasks:
+                await asyncio.gather(*side_tasks)
+            run.metrics = await client.metrics()
+    return run
+
+
+def run_scenario(config: ScenarioConfig, seed: int = 0,
+                 trace: Optional[Trace] = None) -> ScenarioRun:
+    """Build the scene, lower (or verify) the trace, and replay it.
+
+    When *trace* is given (a ``--replay`` artifact) its header fingerprints
+    are checked against the regenerated scene — replaying a trace against
+    different queries than it was recorded for raises instead of silently
+    measuring something else.
+    """
+    hosting, workloads = build_scene(config, seed)
+    if trace is None:
+        trace = build_trace(config, seed, workloads=workloads)
+    else:
+        pinned = trace.fingerprints()
+        actual = [workload_fingerprint(w) for w in workloads]
+        if pinned and pinned != actual:
+            raise ValueError(
+                f"trace was recorded against a different scene: header pins "
+                f"workloads {pinned}, scene (seed {seed}) builds {actual}")
+    registry = _build_registry(config, hosting)
+    try:
+        return asyncio.run(replay_open_loop(
+            trace, workloads, registry, config, hosting=hosting, seed=seed))
+    finally:
+        registry.service.shutdown()

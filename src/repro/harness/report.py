@@ -1,0 +1,146 @@
+"""Per-scenario CSV rows and JSON summaries for harness runs.
+
+Each scenario run produces two artifacts under
+``<output_dir>/<scenario>/``:
+
+* ``requests.csv`` — one row per scheduled request: its schedule, honest
+  latency (from the scheduled offset), schedule slip, and outcome
+  classification; the raw material for plots and postmortems;
+* ``summary.json`` — the folded report: latency percentiles (``null`` on
+  an empty sample), throughput, shed/abort breakdowns by reason, schedule
+  slip, reservation lifecycle counts, and the deterministic accounting
+  invariants the CI gate pins.
+
+``repro loadtest`` additionally writes a combined ``loadtest.json`` over
+all scenarios of the invocation (see :mod:`repro.cli`), and
+``benchmarks/bench_harness.py`` folds the same summaries into the gated
+``BENCH_harness.json``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.analysis.reporting import write_csv
+from repro.analysis.stats import latency_block, slip_block
+from repro.harness.driver import ScenarioRun
+
+#: Column order of ``requests.csv``.
+CSV_COLUMNS = (
+    "index", "tenant", "workload", "scheduled_offset", "send_offset",
+    "done_offset", "latency_seconds", "slip_seconds", "kind", "detail",
+    "mappings", "reserve", "reservation_id",
+)
+
+
+def outcome_rows(run: ScenarioRun) -> List[Dict]:
+    """The per-request CSV rows of one run, in trace order."""
+    rows = []
+    for outcome in sorted(run.outcomes, key=lambda o: o.index):
+        rows.append({
+            "index": outcome.index,
+            "tenant": outcome.tenant,
+            "workload": outcome.workload,
+            "scheduled_offset": outcome.scheduled_offset,
+            "send_offset": outcome.send_offset,
+            "done_offset": outcome.done_offset,
+            "latency_seconds": outcome.latency_seconds,
+            "slip_seconds": outcome.slip_seconds,
+            "kind": outcome.kind,
+            "detail": outcome.detail,
+            "mappings": outcome.mappings,
+            "reserve": outcome.reserve,
+            "reservation_id": outcome.reservation_id,
+        })
+    return rows
+
+
+def scenario_summary(run: ScenarioRun) -> Dict:
+    """Fold one raw run into its report document."""
+    outcomes = run.outcomes
+    served = [o for o in outcomes if o.kind == "result"]
+    shed = [o for o in outcomes if o.kind == "shed"]
+    errors = [o for o in outcomes if o.kind == "error"]
+
+    shed_reasons: Dict[str, int] = {}
+    for outcome in shed:
+        shed_reasons[outcome.detail] = shed_reasons.get(outcome.detail, 0) + 1
+    error_reasons: Dict[str, int] = {}
+    for outcome in errors:
+        error_reasons[outcome.detail] = error_reasons.get(outcome.detail, 0) + 1
+    per_tenant: Dict[str, Dict[str, int]] = {}
+    for outcome in outcomes:
+        bucket = per_tenant.setdefault(
+            outcome.tenant, {"served": 0, "shed": 0, "errors": 0})
+        bucket["served" if outcome.kind == "result" else
+               "shed" if outcome.kind == "shed" else "errors"] += 1
+
+    offered = len(outcomes)
+    admission = run.metrics.get("admission", {})
+    server = run.metrics.get("server", {})
+    accounting_ok = (
+        offered == len(run.trace.arrivals)
+        and admission.get("offered") == offered
+        and (admission.get("admitted", 0)
+             + admission.get("shed_total", 0)) == offered
+        and admission.get("completed") == len(served)
+        and not errors)
+    protocol_errors = server.get("protocol_errors", 0)
+
+    reserved = sum(1 for o in served if o.reservation_id is not None)
+    return {
+        "scenario": run.config.name,
+        "seed": run.seed,
+        "config": run.config.describe(),
+        "requests": offered,
+        "latency": latency_block(o.latency_seconds for o in served),
+        "schedule_slip": slip_block(o.slip_seconds for o in outcomes),
+        "throughput": {
+            "wall_seconds": run.wall_seconds,
+            "served_per_second": (len(served) / run.wall_seconds
+                                  if run.wall_seconds > 0 else 0.0),
+            "horizon_seconds": run.config.horizon,
+        },
+        "outcomes": {
+            "offered": offered,
+            "served": len(served),
+            "shed": len(shed),
+            "errors": len(errors),
+            "shed_rate": len(shed) / offered if offered else 0.0,
+            "shed_reasons": shed_reasons,
+            "error_reasons": error_reasons,
+            "per_tenant": per_tenant,
+        },
+        "reservations": {
+            "requested": sum(1 for o in outcomes if o.reserve),
+            "granted": reserved,
+            "released": run.released,
+            "release_failures": run.release_failures,
+        },
+        "churn": {"ticks_applied": run.churn_ticks_applied},
+        "accounting": {"consistent": accounting_ok},
+        "server": {
+            "protocol_errors": protocol_errors,
+            "plan_cache_hits": run.metrics.get("service", {})
+                                          .get("plan_cache", {}).get("hits"),
+            "plan_cache_misses": run.metrics.get("service", {})
+                                            .get("plan_cache", {}).get("misses"),
+        },
+    }
+
+
+def write_scenario_artifacts(run: ScenarioRun,
+                             output_dir: Union[str, Path]) -> Dict[str, Path]:
+    """Write ``requests.csv`` + ``summary.json`` for *run*; returns paths."""
+    import json
+
+    directory = Path(output_dir) / run.config.name
+    directory.mkdir(parents=True, exist_ok=True)
+    csv_path = write_csv(outcome_rows(run), directory / "requests.csv",
+                         columns=CSV_COLUMNS)
+    summary_path = directory / "summary.json"
+    summary_path.write_text(
+        json.dumps(scenario_summary(run), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    return {"requests_csv": csv_path, "summary_json": summary_path}

@@ -1,0 +1,295 @@
+"""Scenario configs for the load-test harness, and their trace lowering.
+
+A :class:`ScenarioConfig` pins everything one load-test run depends on:
+the arrival process (steady Poisson, sustained overload, a burst step, a
+diurnal ramp — the inhomogeneous shapes ride on the Lewis–Shedler thinning
+in :mod:`repro.workloads.arrivals`), the scene (hosting size, workload
+population), the server's admission knobs, and the reservation lifecycle
+mix.  :func:`build_trace` lowers a config + seed to a replayable
+:class:`~repro.workloads.trace.Trace`; the driver never looks at the
+arrival process again — it replays the trace, which is the artifact.
+
+Named scenarios live in :data:`SCENARIOS` at smoke scale (sub-two-second
+horizons, CI-sized scenes).  Larger runs are JSON configs::
+
+    {"extends": "overload", "rate": 120.0, "horizon": 30.0,
+     "hosting_nodes": 296}
+
+loaded with :func:`load_scenario` — any field of :class:`ScenarioConfig`
+overrides the base.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.utils.rng import as_rng
+from repro.workloads.arrivals import (
+    diurnal_rate,
+    inhomogeneous_poisson_arrivals,
+    poisson_arrivals,
+)
+from repro.workloads.queries import Workload, subgraph_query
+from repro.workloads.suites import planetlab_host
+from repro.workloads.trace import Trace, TraceArrival, TraceDeparture, workload_fingerprint
+
+#: Arrival-process shapes a scenario may declare.
+ARRIVAL_KINDS = ("steady", "burst", "diurnal")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One load-test scenario, fully pinned.
+
+    Attributes
+    ----------
+    name:
+        Scenario id (directory and report key).
+    arrival:
+        ``"steady"`` (homogeneous Poisson at :attr:`rate`), ``"burst"``
+        (baseline :attr:`rate` with a step to :attr:`burst_rate` during
+        ``[burst_start, burst_start + burst_duration)``), or ``"diurnal"``
+        (:func:`~repro.workloads.arrivals.diurnal_rate` ramp from
+        :attr:`base_rate` to :attr:`peak_rate` over :attr:`period`).
+    rate, horizon:
+        Offered load (req/s) and trace length (s).
+    rate_max:
+        Thinning envelope override for inhomogeneous arrivals.  ``None``
+        derives the tight envelope (burst/peak rate); setting it *below*
+        the actual peak makes trace building raise — the envelope check in
+        :func:`~repro.workloads.arrivals.inhomogeneous_poisson_arrivals`
+        is the guard that the recorded process is actually Poisson.
+    tenants:
+        Round-robin tenant mix of the trace.
+    capped_rate:
+        Admission rate limit applied to the tenant named ``"capped"``
+        (``None`` = no tenant rate policy).
+    hosting_nodes, num_workloads, query_size, slack:
+        The scene: a PlanetLab-like hosting network and the query
+        population sampled from it.
+    capacity:
+        Per-host reservation capacity stamped onto the scene (required
+        when ``reserve_fraction > 0``; ``None`` = leave hosts as
+        generated, which makes reservations fail).
+    engine_workers, queue_depth, max_results, deadline, timeout:
+        Server-side knobs for the replay (admission bound, per-request
+        deadline/budget).
+    reserve_fraction, lifetime_mean:
+        Fraction of requests that reserve capacity, and the mean of their
+        exponential reservation lifetimes — departures become trace
+        events and are released against the live service during replay.
+    churn_ticks, churn_link_fraction, churn_node_fraction:
+        Sparse attribute churn applied to the hosting network *while the
+        trace replays* (churn-during-traffic), exercising plan
+        invalidation under load.  0 ticks = quiescent network.
+    partitions:
+        Serve through the cluster tier (:class:`repro.cluster.ClusterService`)
+        with this many balanced partitions instead of the single-process
+        service (``None`` = monolithic).
+    """
+
+    name: str
+    arrival: str = "steady"
+    rate: float = 20.0
+    horizon: float = 1.5
+    burst_rate: float = 0.0
+    burst_start: float = 0.0
+    burst_duration: float = 0.0
+    base_rate: float = 0.0
+    peak_rate: float = 0.0
+    period: float = 0.0
+    rate_max: Optional[float] = None
+    tenants: Tuple[str, ...] = ("open", "capped")
+    capped_rate: Optional[float] = None
+    hosting_nodes: int = 24
+    num_workloads: int = 3
+    query_size: int = 5
+    slack: float = 0.30
+    capacity: Optional[float] = None
+    engine_workers: int = 1
+    queue_depth: int = 16
+    max_results: int = 4
+    deadline: float = 10.0
+    timeout: Optional[float] = None
+    reserve_fraction: float = 0.0
+    lifetime_mean: float = 0.5
+    churn_ticks: int = 0
+    churn_link_fraction: float = 0.05
+    churn_node_fraction: float = 0.05
+    partitions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ValueError(f"arrival must be one of {ARRIVAL_KINDS}, "
+                             f"got {self.arrival!r}")
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+        if not 0.0 <= self.reserve_fraction <= 1.0:
+            raise ValueError(f"reserve_fraction must be in [0, 1], "
+                             f"got {self.reserve_fraction}")
+        if self.reserve_fraction > 0 and self.lifetime_mean <= 0:
+            raise ValueError(f"lifetime_mean must be positive, "
+                             f"got {self.lifetime_mean}")
+        if not self.tenants:
+            raise ValueError("tenants must not be empty")
+
+    def rate_fn(self) -> Optional[Callable[[float], float]]:
+        """λ(t) for inhomogeneous scenarios; ``None`` for steady Poisson."""
+        if self.arrival == "steady":
+            return None
+        if self.arrival == "burst":
+            start, stop = self.burst_start, self.burst_start + self.burst_duration
+
+            def step(t: float) -> float:
+                return self.burst_rate if start <= t < stop else self.rate
+
+            return step
+        return diurnal_rate(self.base_rate, self.peak_rate, period=self.period)
+
+    def envelope(self) -> float:
+        """The thinning envelope: declared :attr:`rate_max`, else the peak."""
+        if self.rate_max is not None:
+            return self.rate_max
+        if self.arrival == "burst":
+            return max(self.rate, self.burst_rate)
+        return self.peak_rate
+
+    def describe(self) -> Dict:
+        """The config as plain data (trace headers, report workload blocks)."""
+        payload = dataclasses.asdict(self)
+        payload["tenants"] = list(self.tenants)
+        return payload
+
+
+def _core(name: str, **overrides) -> ScenarioConfig:
+    return ScenarioConfig(name=name, **overrides)
+
+
+#: The named scenario matrix, smoke-sized.  ``steady`` is the baseline the
+#: CI gate pins; ``overload`` offers several times the single worker's
+#: capacity so queue-full sheds appear; ``burst`` is steady with a 10x step
+#: mid-trace; ``diurnal`` ramps night→day→night inside the horizon;
+#: ``churn`` is steady traffic over a network being perturbed live;
+#: ``allshed`` schedules every request dead on arrival (its deadline is
+#: expired before admission) — the scenario that proves the harness reports
+#: an empty latency sample as ``null``, not as a perfect 0.0.
+SCENARIOS: Dict[str, ScenarioConfig] = {
+    config.name: config for config in (
+        _core("steady", rate=16.0, horizon=1.25, capped_rate=4.0),
+        _core("overload", rate=80.0, horizon=1.0, engine_workers=1,
+              queue_depth=8, deadline=2.0, capped_rate=6.0),
+        _core("burst", arrival="burst", rate=8.0, horizon=1.5,
+              burst_rate=80.0, burst_start=0.5, burst_duration=0.4,
+              queue_depth=8, deadline=2.0, capped_rate=6.0),
+        _core("diurnal", arrival="diurnal", base_rate=4.0, peak_rate=48.0,
+              period=1.5, horizon=1.5, queue_depth=12, deadline=2.0,
+              capped_rate=6.0),
+        _core("churn", rate=16.0, horizon=1.5, churn_ticks=3,
+              reserve_fraction=0.25, lifetime_mean=0.4, capacity=4.0),
+        _core("allshed", rate=16.0, horizon=0.75, deadline=1e-6),
+    )
+}
+
+#: The scenarios ``repro loadtest`` runs when none are named.
+DEFAULT_MATRIX: Tuple[str, ...] = ("steady", "overload", "burst", "diurnal")
+
+
+def load_scenario(source: Union[str, Path, Dict]) -> ScenarioConfig:
+    """Resolve a scenario name, JSON config path, or config dict.
+
+    A dict/JSON config may set ``"extends": "<named scenario>"`` to start
+    from a registry entry; every other key overrides the corresponding
+    :class:`ScenarioConfig` field.  Unknown keys raise — a typoed knob must
+    not silently run the default scenario.
+    """
+    if isinstance(source, ScenarioConfig):
+        return source
+    if isinstance(source, str) and source in SCENARIOS:
+        return SCENARIOS[source]
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        if not path.exists():
+            raise ValueError(
+                f"unknown scenario {source!r}: not a registered name "
+                f"({', '.join(sorted(SCENARIOS))}) and no such config file")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path}: scenario config must be a JSON object")
+        source = payload
+    config = dict(source)
+    base_name = config.pop("extends", None)
+    fields = {f.name for f in dataclasses.fields(ScenarioConfig)}
+    unknown = sorted(set(config) - fields)
+    if unknown:
+        raise ValueError(f"unknown scenario field(s): {', '.join(unknown)}")
+    if "tenants" in config:
+        config["tenants"] = tuple(config["tenants"])
+    if base_name is not None:
+        if base_name not in SCENARIOS:
+            raise ValueError(f"extends: unknown base scenario {base_name!r}")
+        return dataclasses.replace(SCENARIOS[base_name], **config)
+    return ScenarioConfig(**config)
+
+
+def build_scene(config: ScenarioConfig, seed: int):
+    """One deterministic (hosting, workloads) scene for *config* + *seed*."""
+    rng = as_rng(seed)
+    hosting = planetlab_host(config.hosting_nodes, rng=rng)
+    workloads: List[Workload] = [
+        subgraph_query(hosting, config.query_size, slack=config.slack, rng=rng)
+        for _ in range(config.num_workloads)]
+    if config.capacity is not None:
+        for node in hosting.nodes():
+            hosting.set_capacity(node, config.capacity)
+    return hosting, workloads
+
+
+def build_trace(config: ScenarioConfig, seed: int,
+                workloads: Optional[List[Workload]] = None) -> Trace:
+    """Lower *config* + *seed* to a replayable trace.
+
+    The trace rng (``seed + 1``) is independent of the scene rng (``seed``)
+    so recording a trace never perturbs the scene it runs against.  When
+    *workloads* is given their fingerprints are pinned in the header; a
+    replay against a regenerated scene verifies them before sending a
+    single request.
+    """
+    if workloads is None:
+        _, workloads = build_scene(config, seed)
+    rng = as_rng(seed + 1)
+    rate_fn = config.rate_fn()
+    if rate_fn is None:
+        arrivals = poisson_arrivals(rate=config.rate, horizon=config.horizon,
+                                    tenants=config.tenants, rng=rng)
+    else:
+        arrivals = inhomogeneous_poisson_arrivals(
+            rate_fn, horizon=config.horizon, rate_max=config.envelope(),
+            tenants=config.tenants, rng=rng)
+
+    trace = Trace(header={
+        "scenario": config.name,
+        "seed": seed,
+        "horizon": config.horizon,
+        "config": config.describe(),
+        "workloads": [workload_fingerprint(w) for w in workloads],
+    })
+    for arrival in arrivals:
+        reserve = (config.reserve_fraction > 0
+                   and rng.random() < config.reserve_fraction)
+        lifetime = None
+        if reserve:
+            lifetime = rng.expovariate(1.0 / config.lifetime_mean)
+            departure_at = arrival.offset + lifetime
+            if departure_at < config.horizon:
+                trace.departures.append(TraceDeparture(
+                    offset=departure_at, request_index=arrival.index))
+        trace.arrivals.append(TraceArrival(
+            offset=arrival.offset, index=arrival.index, tenant=arrival.tenant,
+            workload=arrival.index % len(workloads), reserve=reserve,
+            lifetime=lifetime))
+    trace.departures.sort(key=lambda d: (d.offset, d.request_index))
+    return trace

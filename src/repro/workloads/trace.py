@@ -1,0 +1,217 @@
+"""Replayable arrival traces: the artifact behind the load-test harness.
+
+A :class:`Trace` is the recorded form of one open-loop load scenario —
+every scheduled request arrival (offset, tenant, workload fingerprint,
+whether it reserves, and its reservation lifetime) plus the reservation
+*departure* events derived from those lifetimes.  Traces serialise to
+JSONL with deterministic bytes: recording the same scenario from the same
+seed twice produces byte-identical files, so a trace artifact can be
+committed, diffed, and replayed across process boundaries with confidence
+that the schedule is exactly the one that was measured.
+
+File format (one JSON object per line, keys sorted, no extra whitespace)::
+
+    {"kind":"header","schema":1,"scenario":…,"seed":…,"workloads":[…],…}
+    {"kind":"arrival","index":0,"offset":0.031,"tenant":"open",
+     "workload":0,"reserve":false,"lifetime":null}
+    {"kind":"departure","offset":1.74,"request_index":0}
+    ...
+
+Arrivals appear in offset order, then departures in offset order; the
+replay driver merges both streams by offset.  The header pins the scenario
+parameters and the per-workload query fingerprints so a replay against a
+regenerated scene can verify it is answering the *same* queries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+TRACE_SCHEMA_VERSION = 1
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TraceArrival",
+    "TraceDeparture",
+    "Trace",
+    "workload_fingerprint",
+    "read_trace",
+    "write_trace",
+]
+
+
+@dataclass(frozen=True)
+class TraceArrival:
+    """One scheduled request of a recorded trace.
+
+    Attributes
+    ----------
+    offset:
+        Seconds after the start of the run at which the request fires.
+    index:
+        Position in the trace (0-based, increasing with ``offset``).
+    tenant:
+        Issuing tenant (drives per-tenant QoS on replay).
+    workload:
+        Index into the scenario's workload population (which query spec
+        this request runs).
+    reserve:
+        Whether the request reserves capacity on success.
+    lifetime:
+        Reservation lifetime in seconds (``None`` = no departure recorded;
+        the reservation lives to the end of the run).
+    """
+
+    offset: float
+    index: int
+    tenant: str = "default"
+    workload: int = 0
+    reserve: bool = False
+    lifetime: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class TraceDeparture:
+    """A reservation release scheduled at ``offset`` for one arrival."""
+
+    offset: float
+    request_index: int
+
+
+@dataclass
+class Trace:
+    """A replayable open-loop trace: header + arrivals + departures."""
+
+    header: Dict = field(default_factory=dict)
+    arrivals: List[TraceArrival] = field(default_factory=list)
+    departures: List[TraceDeparture] = field(default_factory=list)
+
+    @property
+    def horizon(self) -> float:
+        """The recorded horizon (falls back to the last scheduled offset)."""
+        declared = self.header.get("horizon")
+        if declared is not None:
+            return float(declared)
+        offsets = ([a.offset for a in self.arrivals]
+                   + [d.offset for d in self.departures])
+        return max(offsets) if offsets else 0.0
+
+    def fingerprints(self) -> List[str]:
+        """The per-workload query fingerprints pinned by the header."""
+        return list(self.header.get("workloads", []))
+
+
+def workload_fingerprint(workload) -> str:
+    """A process-stable fingerprint of one workload's query spec.
+
+    Hashes the query's name, size and edge list together with the
+    constraint source text (``hash()`` is salted per process, so it cannot
+    pin anything across a subprocess replay).  Two scenes built from the
+    same seed produce the same fingerprints; a replay against a different
+    scene fails loudly instead of silently measuring different queries.
+    """
+    query = workload.query
+    edges = sorted((str(a), str(b)) for a, b in query.edges())
+    digest = hashlib.sha256()
+    digest.update(str(query.name).encode("utf-8"))
+    digest.update(f"|{query.num_nodes}|{query.num_edges}|".encode("utf-8"))
+    digest.update(json.dumps(edges).encode("utf-8"))
+    constraint = getattr(workload, "constraint", None)
+    digest.update(str(getattr(constraint, "source", constraint)).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def _dump_line(record: Dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def write_trace(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write *trace* as deterministic JSONL; returns the written path.
+
+    Bytes are a pure function of the trace content: keys sorted, compact
+    separators, ``repr``-exact floats, ``\\n`` line endings.  Same seed ⇒
+    same trace ⇒ byte-identical file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [_dump_line({"kind": "header",
+                         "schema": TRACE_SCHEMA_VERSION, **trace.header})]
+    for arrival in trace.arrivals:
+        lines.append(_dump_line({
+            "kind": "arrival",
+            "offset": arrival.offset,
+            "index": arrival.index,
+            "tenant": arrival.tenant,
+            "workload": arrival.workload,
+            "reserve": arrival.reserve,
+            "lifetime": arrival.lifetime,
+        }))
+    for departure in trace.departures:
+        lines.append(_dump_line({
+            "kind": "departure",
+            "offset": departure.offset,
+            "request_index": departure.request_index,
+        }))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def read_trace(path: Union[str, Path]) -> Trace:
+    """Parse a JSONL trace written by :func:`write_trace`.
+
+    Raises :class:`ValueError` on a missing/foreign header, an unsupported
+    schema version, or an unknown record kind — a trace artifact is a
+    contract, not a best-effort log.
+    """
+    trace = Trace()
+    seen_header = False
+    for line_number, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{line_number}: not valid JSON ({exc})") from exc
+        kind = record.get("kind")
+        if line_number == 1:
+            if kind != "header":
+                raise ValueError(
+                    f"{path}: first record must be the trace header, "
+                    f"got kind={kind!r}")
+            if record.get("schema") != TRACE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"{path}: unsupported trace schema "
+                    f"{record.get('schema')!r} "
+                    f"(this build reads {TRACE_SCHEMA_VERSION})")
+            trace.header = {key: value for key, value in record.items()
+                            if key not in ("kind", "schema")}
+            seen_header = True
+        elif kind == "arrival":
+            trace.arrivals.append(TraceArrival(
+                offset=float(record["offset"]),
+                index=int(record["index"]),
+                tenant=str(record.get("tenant", "default")),
+                workload=int(record.get("workload", 0)),
+                reserve=bool(record.get("reserve", False)),
+                lifetime=(None if record.get("lifetime") is None
+                          else float(record["lifetime"])),
+            ))
+        elif kind == "departure":
+            trace.departures.append(TraceDeparture(
+                offset=float(record["offset"]),
+                request_index=int(record["request_index"]),
+            ))
+        else:
+            raise ValueError(
+                f"{path}:{line_number}: unknown record kind {kind!r}")
+    if not seen_header:
+        raise ValueError(f"{path}: empty trace (no header record)")
+    trace.arrivals.sort(key=lambda a: (a.offset, a.index))
+    trace.departures.sort(key=lambda d: (d.offset, d.request_index))
+    return trace

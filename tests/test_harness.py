@@ -1,0 +1,256 @@
+"""Tests for repro.harness — scenario configs, open-loop driver, reports.
+
+These run live (in-process) servers at tiny scale; each scenario horizon
+is under two seconds, so the suite stays test-tier-sized while covering
+the honest-measurement contract end to end: latency from the scheduled
+offset, null percentiles on empty samples, deterministic accounting, and
+the scenario matrix (steady / overload / burst / diurnal / churn /
+allshed / cluster).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.harness import (
+    DEFAULT_MATRIX,
+    SCENARIOS,
+    ScenarioConfig,
+    build_scene,
+    build_trace,
+    classify_outcomes,
+    load_scenario,
+    run_scenario,
+    scenario_summary,
+    write_scenario_artifacts,
+)
+
+
+def tiny(name: str, **overrides) -> ScenarioConfig:
+    """A sub-second steady scenario for fast end-to-end runs."""
+    base = dict(name=name, rate=12.0, horizon=0.6, hosting_nodes=16,
+                num_workloads=2, query_size=4)
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+class TestScenarioConfig:
+    def test_named_matrix_is_complete(self):
+        assert set(DEFAULT_MATRIX) <= set(SCENARIOS)
+        for name in ("steady", "overload", "burst", "diurnal", "churn",
+                     "allshed"):
+            assert name in SCENARIOS
+
+    def test_unknown_arrival_kind_raises(self):
+        with pytest.raises(ValueError, match="arrival"):
+            ScenarioConfig(name="bad", arrival="lunar")
+
+    def test_nonpositive_horizon_raises(self):
+        with pytest.raises(ValueError, match="horizon"):
+            ScenarioConfig(name="bad", horizon=0.0)
+
+    def test_reserve_fraction_bounds(self):
+        with pytest.raises(ValueError, match="reserve_fraction"):
+            ScenarioConfig(name="bad", reserve_fraction=1.5)
+
+    def test_describe_round_trips_through_load_scenario(self):
+        config = SCENARIOS["burst"]
+        assert load_scenario(config.describe()) == config
+
+
+class TestLoadScenario:
+    def test_by_name(self):
+        assert load_scenario("steady") is SCENARIOS["steady"]
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(ValueError, match="steady"):
+            load_scenario("no-such-scenario")
+
+    def test_json_config_file(self, tmp_path):
+        path = tmp_path / "custom.json"
+        path.write_text(json.dumps({"name": "custom", "rate": 5.0,
+                                    "horizon": 0.5}))
+        config = load_scenario(path)
+        assert config.name == "custom"
+        assert config.rate == 5.0
+
+    def test_extends_named_base(self, tmp_path):
+        path = tmp_path / "bigger.json"
+        path.write_text(json.dumps({"extends": "overload", "rate": 120.0}))
+        config = load_scenario(path)
+        assert config.rate == 120.0
+        assert config.queue_depth == SCENARIOS["overload"].queue_depth
+
+    def test_unknown_field_raises(self, tmp_path):
+        path = tmp_path / "typo.json"
+        path.write_text(json.dumps({"name": "typo", "ratee": 5.0}))
+        with pytest.raises(ValueError, match="ratee"):
+            load_scenario(path)
+
+    def test_extends_unknown_base_raises(self):
+        with pytest.raises(ValueError, match="extends"):
+            load_scenario({"extends": "no-such-base"})
+
+
+class TestTraceLowering:
+    def test_steady_trace_matches_rate_roughly(self):
+        trace = build_trace(SCENARIOS["steady"], seed=2)
+        assert trace.arrivals
+        assert all(0 <= a.offset < SCENARIOS["steady"].horizon
+                   for a in trace.arrivals)
+
+    def test_envelope_violation_raises(self):
+        # A diurnal scenario whose declared envelope sits below the true
+        # peak must fail at trace-lowering time: thinning against a wrong
+        # envelope would record a process that is not Poisson(λ(t)).
+        lying = dataclasses.replace(SCENARIOS["diurnal"], rate_max=10.0)
+        assert lying.peak_rate > 10.0
+        with pytest.raises(ValueError, match="rate_max"):
+            build_trace(lying, seed=2)
+
+    def test_burst_arrivals_cluster_in_burst_window(self):
+        config = SCENARIOS["burst"]
+        trace = build_trace(config, seed=2)
+        start = config.burst_start
+        stop = config.burst_start + config.burst_duration
+        inside = sum(1 for a in trace.arrivals if start <= a.offset < stop)
+        outside = len(trace.arrivals) - inside
+        window = config.burst_duration
+        rest = config.horizon - window
+        assert inside / window > (outside / rest if outside else 0.0)
+
+    def test_tenants_round_robin_from_config(self):
+        trace = build_trace(SCENARIOS["steady"], seed=2)
+        assert {a.tenant for a in trace.arrivals} <= {"open", "capped"}
+
+
+class TestRunScenario:
+    def test_steady_serves_everything(self):
+        run = run_scenario(tiny("t-steady"), seed=3)
+        summary = scenario_summary(run)
+        assert summary["outcomes"]["offered"] == len(run.trace.arrivals)
+        assert summary["outcomes"]["errors"] == 0
+        assert summary["accounting"]["consistent"] is True
+        assert summary["latency"]["p50_seconds"] is not None
+        # Honest latency: measured from the *scheduled* offset, so it is
+        # never smaller than the dispatch-measured time and slip >= 0.
+        for outcome in run.outcomes:
+            assert outcome.latency_seconds >= (
+                outcome.done_offset - outcome.send_offset) - 1e-9
+            assert outcome.slip_seconds >= -1e-9
+
+    def test_allshed_reports_null_percentiles(self):
+        run = run_scenario(tiny("t-allshed", deadline=1e-6), seed=3)
+        summary = scenario_summary(run)
+        assert summary["outcomes"]["served"] == 0
+        assert summary["outcomes"]["shed"] == summary["outcomes"]["offered"]
+        assert summary["latency"]["served"] == 0
+        assert summary["latency"]["p50_seconds"] is None
+        assert summary["latency"]["p99_seconds"] is None
+        assert summary["latency"]["max_seconds"] is None
+        assert summary["accounting"]["consistent"] is True
+
+    def test_capped_tenant_sheds_deterministically(self):
+        run = run_scenario(tiny("t-capped", rate=40.0, capped_rate=3.0),
+                           seed=3)
+        summary = scenario_summary(run)
+        assert summary["outcomes"]["shed_reasons"].get("tenant-rate", 0) > 0
+        assert summary["accounting"]["consistent"] is True
+
+    def test_replay_same_trace_classifies_identically(self):
+        config = tiny("t-replay")
+        trace = build_trace(config, seed=5)
+        first = run_scenario(config, seed=5, trace=trace)
+        second = run_scenario(config, seed=5, trace=trace)
+        assert classify_outcomes(first.outcomes) == \
+            classify_outcomes(second.outcomes)
+
+    def test_replay_against_wrong_scene_raises(self):
+        config = tiny("t-wrong")
+        trace = build_trace(config, seed=5)
+        with pytest.raises(ValueError, match="different scene"):
+            run_scenario(config, seed=6, trace=trace)
+
+    def test_reservations_release_during_replay(self):
+        config = tiny("t-resv", reserve_fraction=0.5, lifetime_mean=0.2,
+                      capacity=4.0, horizon=0.8)
+        run = run_scenario(config, seed=7)
+        summary = scenario_summary(run)
+        assert summary["reservations"]["requested"] > 0
+        assert summary["reservations"]["granted"] > 0
+        assert summary["reservations"]["release_failures"] == 0
+        assert summary["accounting"]["consistent"] is True
+
+    def test_churn_during_traffic(self):
+        config = tiny("t-churn", churn_ticks=2, horizon=0.8)
+        run = run_scenario(config, seed=7)
+        assert run.churn_ticks_applied == 2
+        assert scenario_summary(run)["accounting"]["consistent"] is True
+
+    def test_cluster_path(self):
+        config = tiny("t-cluster", partitions=2)
+        run = run_scenario(config, seed=3)
+        summary = scenario_summary(run)
+        assert summary["outcomes"]["served"] > 0
+        assert summary["accounting"]["consistent"] is True
+
+    def test_churn_through_cluster_rejected(self):
+        config = tiny("t-bad", churn_ticks=1, partitions=2)
+        with pytest.raises(ValueError, match="cluster"):
+            run_scenario(config, seed=3)
+
+
+class TestArtifacts:
+    def test_write_scenario_artifacts(self, tmp_path):
+        run = run_scenario(tiny("t-artifacts"), seed=3)
+        paths = write_scenario_artifacts(run, tmp_path)
+        csv_text = paths["requests_csv"].read_text()
+        assert csv_text.splitlines()[0].startswith("index,tenant,workload")
+        assert len(csv_text.splitlines()) == len(run.outcomes) + 1
+        summary = json.loads(paths["summary_json"].read_text())
+        assert summary["scenario"] == "t-artifacts"
+        assert summary["schedule_slip"]["count"] == len(run.outcomes)
+
+    def test_capacity_stamped_when_configured(self):
+        hosting, _ = build_scene(tiny("t-cap", capacity=3.5), seed=1)
+        node = next(iter(hosting.nodes()))
+        assert hosting.available_capacity(node) == pytest.approx(3.5)
+
+
+class TestCliLoadtest:
+    def test_loadtest_named_scenario(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["loadtest", "--scenario", "allshed", "--seed", "3",
+                     "--output-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "p50 n/a" in out
+        combined = json.loads((tmp_path / "loadtest.json").read_text())
+        assert combined["scenarios"]["allshed"]["latency"]["p50_seconds"] is None
+        assert (tmp_path / "allshed" / "requests.csv").exists()
+
+    def test_loadtest_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["loadtest", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in DEFAULT_MATRIX:
+            assert name in out
+
+    def test_loadtest_record_requires_single_scenario(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["loadtest", "--record", str(tmp_path / "t.jsonl"),
+                     "--scenario", "steady", "--scenario", "allshed",
+                     "--output-dir", str(tmp_path)])
+        assert code == 2
+
+    def test_loadtest_rejects_unknown_scenario(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["loadtest", "--scenario", "nope",
+                     "--output-dir", str(tmp_path)]) == 2

@@ -1,0 +1,108 @@
+"""Tests for repro.analysis.stats — honest summary statistics.
+
+The percentile definition is pinned hard: ceil-based nearest-rank (the
+value at 1-based rank ``ceil(fraction * n)``), and ``None`` — never a
+fabricated 0.0 — on an empty sample.  Both properties regressed once
+(the old serving benchmark rounded half-to-even and returned 0.0 for
+an all-shed run), so these tests are the contract.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.stats import latency_block, percentile, slip_block
+
+
+class TestPercentileEmptySample:
+    def test_empty_returns_none_not_zero(self):
+        assert percentile([], 0.50) is None
+        assert percentile([], 0.99) is None
+
+    def test_empty_generator_returns_none(self):
+        assert percentile(iter(()), 0.95) is None
+
+
+class TestPercentileNearestRank:
+    """Ceil-based nearest-rank, pinned at the sizes that expose rounding."""
+
+    def test_single_sample_is_every_percentile(self):
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 0.50) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+        assert percentile([7.0], 1.0) == 7.0
+
+    def test_two_samples(self):
+        # rank(0.50) = ceil(1.0) = 1 -> the smaller value; anything above
+        # 0.5 lands on rank 2.  Banker's rounding used to send 0.5 to
+        # rank 0-of-1 (the *first* element) via round(0.5) == 0.
+        assert percentile([1.0, 2.0], 0.50) == 1.0
+        assert percentile([1.0, 2.0], 0.51) == 2.0
+        assert percentile([1.0, 2.0], 0.99) == 2.0
+
+    def test_three_samples(self):
+        values = [10.0, 20.0, 30.0]
+        assert percentile(values, 0.333) == 10.0   # ceil(0.999) = 1
+        assert percentile(values, 0.334) == 20.0   # ceil(1.002) = 2
+        assert percentile(values, 0.50) == 20.0
+        assert percentile(values, 0.667) == 30.0   # ceil(2.001) = 3
+        assert percentile(values, 1.0) == 30.0
+
+    def test_hundred_samples(self):
+        values = list(range(1, 101))   # value k at rank k
+        assert percentile(values, 0.50) == 50
+        assert percentile(values, 0.95) == 95
+        assert percentile(values, 0.99) == 99
+        assert percentile(values, 0.999) == 100
+        assert percentile(values, 1.0) == 100
+        assert percentile(values, 0.0) == 1       # rank clamps to 1
+
+    def test_input_order_is_irrelevant(self):
+        assert percentile([3.0, 1.0, 2.0], 0.99) == 3.0
+
+    def test_fraction_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+
+
+class TestLatencyBlock:
+    def test_empty_sample_is_all_none(self):
+        block = latency_block([])
+        assert block["served"] == 0
+        assert block["p50_seconds"] is None
+        assert block["p95_seconds"] is None
+        assert block["p99_seconds"] is None
+        assert block["mean_seconds"] is None
+        assert block["max_seconds"] is None
+
+    def test_populated_sample(self):
+        block = latency_block([0.004, 0.001, 0.002, 0.003])
+        assert block["served"] == 4
+        assert block["p50_seconds"] == 0.002
+        assert block["max_seconds"] == 0.004
+        assert block["mean_seconds"] == pytest.approx(0.0025)
+
+    def test_never_nan(self):
+        block = latency_block([0.001])
+        for value in block.values():
+            if isinstance(value, float):
+                assert not math.isnan(value)
+
+
+class TestSlipBlock:
+    def test_empty(self):
+        block = slip_block([])
+        assert block["count"] == 0
+        assert block["max_seconds"] is None
+        assert block["total_seconds"] == 0.0
+
+    def test_populated(self):
+        block = slip_block([0.001, 0.003, 0.002])
+        assert block["count"] == 3
+        assert block["max_seconds"] == 0.003
+        assert block["total_seconds"] == pytest.approx(0.006)
+        assert block["mean_seconds"] == pytest.approx(0.002)

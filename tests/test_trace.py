@@ -1,0 +1,166 @@
+"""Tests for repro.workloads.trace — replayable JSONL trace artifacts.
+
+The trace is the experiment: it must serialise to deterministic bytes
+(same seed ⇒ byte-identical file), round-trip losslessly, reject malformed
+artifacts loudly, and replay to the identical per-request outcome
+classification even across a process boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.harness import SCENARIOS, build_trace, load_scenario
+from repro.workloads import (
+    TRACE_SCHEMA_VERSION,
+    Trace,
+    TraceArrival,
+    TraceDeparture,
+    read_trace,
+    workload_fingerprint,
+    write_trace,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestDeterministicBytes:
+    def test_same_seed_byte_identical(self, tmp_path):
+        config = SCENARIOS["steady"]
+        first = write_trace(build_trace(config, seed=5), tmp_path / "a.jsonl")
+        second = write_trace(build_trace(config, seed=5), tmp_path / "b.jsonl")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_different_seed_differs(self, tmp_path):
+        config = SCENARIOS["steady"]
+        first = write_trace(build_trace(config, seed=5), tmp_path / "a.jsonl")
+        second = write_trace(build_trace(config, seed=6), tmp_path / "b.jsonl")
+        assert first.read_bytes() != second.read_bytes()
+
+    def test_reserving_scenario_records_departures(self, tmp_path):
+        trace = build_trace(SCENARIOS["churn"], seed=5)
+        assert any(a.reserve for a in trace.arrivals)
+        assert trace.departures
+        # Departures replay strictly within the recorded horizon.
+        assert all(d.offset < trace.horizon for d in trace.departures)
+
+
+class TestRoundTrip:
+    def test_read_back_equals_written(self, tmp_path):
+        config = SCENARIOS["churn"]   # exercises reserve/lifetime/departures
+        trace = build_trace(config, seed=11)
+        path = write_trace(trace, tmp_path / "trace.jsonl")
+        loaded = read_trace(path)
+        assert loaded.arrivals == trace.arrivals
+        assert loaded.departures == trace.departures
+        assert loaded.header["scenario"] == config.name
+        assert loaded.header["seed"] == 11
+        assert loaded.fingerprints() == trace.fingerprints()
+        assert loaded.horizon == pytest.approx(config.horizon)
+
+    def test_rewrite_is_byte_stable(self, tmp_path):
+        trace = build_trace(SCENARIOS["steady"], seed=3)
+        first = write_trace(trace, tmp_path / "a.jsonl")
+        second = write_trace(read_trace(first), tmp_path / "b.jsonl")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_minimal_handwritten_trace(self, tmp_path):
+        trace = Trace(header={"scenario": "adhoc", "seed": 0, "horizon": 2.0},
+                      arrivals=[TraceArrival(offset=0.5, index=0)],
+                      departures=[TraceDeparture(offset=1.5, request_index=0)])
+        loaded = read_trace(write_trace(trace, tmp_path / "t.jsonl"))
+        assert loaded.arrivals[0].tenant == "default"
+        assert loaded.arrivals[0].lifetime is None
+        assert loaded.departures[0].request_index == 0
+
+
+class TestMalformedArtifacts:
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"arrival","offset":0.1,"index":0}\n')
+        with pytest.raises(ValueError, match="header"):
+            read_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty trace"):
+            read_trace(path)
+
+    def test_wrong_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps(
+            {"kind": "header", "schema": TRACE_SCHEMA_VERSION + 1}) + "\n")
+        with pytest.raises(ValueError, match="schema"):
+            read_trace(path)
+
+    def test_unknown_record_kind_rejected(self, tmp_path):
+        path = tmp_path / "alien.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "schema": TRACE_SCHEMA_VERSION})
+            + "\n" + json.dumps({"kind": "telemetry", "offset": 0.1}) + "\n")
+        with pytest.raises(ValueError, match="unknown record kind"):
+            read_trace(path)
+
+    def test_invalid_json_line_rejected(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "schema": TRACE_SCHEMA_VERSION})
+            + "\n{not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_trace(path)
+
+
+class TestFingerprints:
+    def test_stable_across_rebuilds(self):
+        from repro.harness import build_scene
+
+        config = SCENARIOS["steady"]
+        _, first = build_scene(config, seed=7)
+        _, second = build_scene(config, seed=7)
+        assert ([workload_fingerprint(w) for w in first]
+                == [workload_fingerprint(w) for w in second])
+
+    def test_distinguish_different_scenes(self):
+        from repro.harness import build_scene
+
+        config = SCENARIOS["steady"]
+        _, first = build_scene(config, seed=7)
+        _, second = build_scene(config, seed=8)
+        assert ([workload_fingerprint(w) for w in first]
+                != [workload_fingerprint(w) for w in second])
+
+
+class TestSubprocessReplayParity:
+    """A recorded trace replays to the identical outcome classification
+    in a fresh interpreter — the fingerprints are process-stable and
+    nothing about the classification depends on wall-clock timing."""
+
+    def _replay(self, trace_path: Path, out_dir: Path) -> list:
+        env_path = str(REPO_ROOT / "src")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "loadtest",
+             "--scenario", "steady", "--seed", "4",
+             "--replay", str(trace_path), "--output-dir", str(out_dir)],
+            capture_output=True, text=True, cwd=str(REPO_ROOT),
+            env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin",
+                 "HOME": "/tmp"}, timeout=120)
+        assert result.returncode == 0, result.stderr
+        rows = (out_dir / "steady" / "requests.csv").read_text().splitlines()
+        header = rows[0].split(",")
+        picked = [header.index(c) for c in
+                  ("index", "kind", "detail", "mappings")]
+        return [tuple(row.split(",")[i] for i in picked) for row in rows[1:]]
+
+    def test_two_subprocess_replays_classify_identically(self, tmp_path):
+        trace_path = write_trace(build_trace(SCENARIOS["steady"], seed=4),
+                                 tmp_path / "steady.jsonl")
+        first = self._replay(trace_path, tmp_path / "run1")
+        second = self._replay(trace_path, tmp_path / "run2")
+        assert first, "replay produced no outcome rows"
+        assert first == second
