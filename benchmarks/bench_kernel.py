@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""Compiled-kernel perf trajectory: word-array search loops vs. PR 2 bitset.
+
+The kernel refactor moves the ECF/RWB explicit-stack search loops into
+``repro.core.kernel`` — chunked drivers over numpy ``uint64`` word arrays,
+compiled with numba where available and interpreted otherwise — selected by
+``REPRO_KERNEL``.  This benchmark times the *search stage* of a full ECF
+enumeration under the active kernel backend against the legacy loops
+(``REPRO_KERNEL=legacy``, the PR 2 bitset engine), verifies the mapping
+streams and every search counter are byte-identical, and runs a seeded RWB
+stream-identity check on top.  The numbers land in ``BENCH_kernel.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py \
+        [--scale smoke|small|planetlab] [--seed N] [--timeout SECONDS] \
+        [--output PATH]
+
+The parity flags in the report (``parity.streams_identical`` etc.) are
+exact-gated by ``compare_bench.py`` — a kernel that is fast but wrong
+fails CI, not just review.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.perf import (
+    PerfSample,
+    build_report,
+    speedup,
+    write_bench_json,
+)
+from repro.api import Budget, SearchRequest
+from repro.core import ECF, RWB, clear_hosting_compile
+from repro.core import kernel
+from repro.utils.rng import as_rng
+from repro.workloads import SUITES, Workload, build_subgraph_suite, planetlab_host
+from repro.workloads.suites import SuiteScale
+
+DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_kernel.json"
+
+#: Same scales (and window-slack rationale) as bench_perf_core.py, so the
+#: kernel numbers sit on the same workload axis as the PR 2 trajectory.
+SCALES: Dict[str, Tuple[SuiteScale, float]] = {
+    "smoke": (SuiteScale(hosting_nodes=24, query_sizes=(4, 6, 8),
+                         queries_per_size=2), 0.25),
+    "small": (SUITES["fig8"].benchmark, 0.25),
+    "planetlab": (SuiteScale(hosting_nodes=296,
+                             query_sizes=(8, 12, 16, 20, 24),
+                             queries_per_size=2), 0.10),
+}
+
+#: RWB stream check: one seeded single-result run per workload.
+RWB_SEED = 0xC0FFEE
+
+
+@dataclass
+class EngineRun:
+    """One backend's results plus the observables for the parity check."""
+
+    sample: PerfSample
+    streams: List[List[Tuple]]
+    counters: List[Tuple[int, int, int, int]]
+
+
+def build_workload(scale_name: str, seed: int):
+    scale, slack = SCALES[scale_name]
+    rng = as_rng(seed)
+    hosting = planetlab_host(scale.hosting_nodes, rng=rng)
+    workloads = build_subgraph_suite(hosting, scale, slack=slack, rng=rng)
+    return hosting, workloads
+
+
+def run_ecf(backend: str, hosting, workloads: Sequence[Workload],
+            timeout: Optional[float]) -> EngineRun:
+    """Full ECF enumeration of every workload under one kernel backend.
+
+    The hosting compile is cleared per request (the PR 2 convention) so
+    filter-build time stays comparable; the interesting column here is
+    ``search_seconds``, which is all the kernel can change.
+    """
+    results, streams, counters = [], [], []
+    with kernel.forced(backend):
+        for workload in workloads:
+            clear_hosting_compile(hosting)
+            result = ECF().request(SearchRequest.build(
+                workload.query, hosting, constraint=workload.constraint,
+                timeout=timeout))
+            results.append(result)
+            streams.append(
+                [tuple(m.as_dict().items()) for m in result.mappings])
+            counters.append((result.stats.nodes_expanded,
+                             result.stats.candidates_considered,
+                             result.stats.backtracks,
+                             result.stats.constraint_evaluations))
+    label = "ECF-legacy" if backend == "legacy" else f"ECF-kernel-{backend}"
+    return EngineRun(sample=PerfSample.from_results(label, results),
+                     streams=streams, counters=counters)
+
+
+def run_rwb(backend: str, hosting, workloads: Sequence[Workload],
+            timeout: Optional[float]) -> List[List[Tuple]]:
+    """Seeded single-result RWB streams under one backend."""
+    streams = []
+    with kernel.forced(backend):
+        for i, workload in enumerate(workloads):
+            clear_hosting_compile(hosting)
+            result = RWB().prepare(SearchRequest.build(
+                workload.query, hosting, constraint=workload.constraint,
+                budget=Budget(timeout=timeout, max_results=1),
+            )).execute(rng=RWB_SEED + i)
+            streams.append(
+                [tuple(m.as_dict().items()) for m in result.mappings])
+    return streams
+
+
+def format_sample(sample: PerfSample) -> str:
+    return (f"{sample.engine:>18}: total {sample.total_seconds:8.3f}s "
+            f"(search {sample.search_seconds:7.3f}s)  "
+            f"{sample.mappings_found} mappings, "
+            f"{sample.nodes_expanded} expansions, "
+            f"{sample.nodes_per_second:12.0f} nodes/s")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke",
+                        help="workload size (default: smoke)")
+    parser.add_argument("--seed", type=int, default=8,
+                        help="workload RNG seed (default: 8)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="per-query wall-clock budget in seconds")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"where to write BENCH_kernel.json "
+                             f"(default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    backend = kernel.active_backend()
+    if backend == "legacy":
+        print("REPRO_KERNEL=legacy would benchmark the baseline against "
+              "itself; timing the python kernel instead", file=sys.stderr)
+        backend = "python"
+
+    started = time.strftime("%Y-%m-%dT%H:%M:%S")
+    hosting, workloads = build_workload(args.scale, args.seed)
+    print(f"workload: scale={args.scale} seed={args.seed} "
+          f"host={hosting.num_nodes} nodes / {hosting.num_edges} edges, "
+          f"{len(workloads)} queries; kernel backend: {backend}")
+
+    candidate = run_ecf(backend, hosting, workloads, args.timeout)
+    print(format_sample(candidate.sample))
+    baseline = run_ecf("legacy", hosting, workloads, args.timeout)
+    print(format_sample(baseline.sample))
+
+    streams_identical = baseline.streams == candidate.streams
+    counters_identical = baseline.counters == candidate.counters
+    if not streams_identical:
+        raise AssertionError("kernel mapping streams diverged from legacy")
+    if not counters_identical:
+        raise AssertionError("kernel search counters diverged from legacy")
+    print("parity: ECF mapping streams and counters identical")
+
+    rwb_legacy = run_rwb("legacy", hosting, workloads, args.timeout)
+    rwb_kernel = run_rwb(backend, hosting, workloads, args.timeout)
+    rwb_identical = rwb_legacy == rwb_kernel
+    if not rwb_identical:
+        raise AssertionError("seeded RWB streams diverged from legacy")
+    print("parity: seeded RWB streams identical")
+
+    comparison = speedup(baseline.sample, candidate.sample)
+    print(f"speedup: search {comparison['speedup_search']:.2f}x "
+          f"(total {comparison['speedup_total']:.2f}x)")
+
+    report = build_report(
+        [baseline.sample, candidate.sample],
+        workload={
+            "scale": args.scale,
+            "slack": SCALES[args.scale][1],
+            "seed": args.seed,
+            "timeout_seconds": args.timeout,
+            "hosting_nodes": hosting.num_nodes,
+            "hosting_edges": hosting.num_edges,
+            "queries": len(workloads),
+            "query_sizes": sorted({w.num_nodes for w in workloads}),
+            "started": started,
+        },
+        comparison=comparison,
+    )
+    report["kernel"] = kernel.describe() | {"benchmarked_backend": backend}
+    report["parity"] = {
+        "streams_identical": streams_identical,
+        "counters_identical": counters_identical,
+    }
+    report["rwb"] = {
+        "streams_identical": rwb_identical,
+        "seed": RWB_SEED,
+        "queries": len(rwb_kernel),
+    }
+    path = write_bench_json(args.output, report)
+    print(f"wrote {path}")
+    return 0
+
+
+try:                         # pytest is absent in script-only environments
+    from _smoke_marker import smoke as _smoke
+except ImportError:          # pragma: no cover - running outside benchmarks/
+    def _smoke(func):
+        return func
+
+
+@_smoke
+def test_smoke(tmp_path):
+    """Tiny-scale end-to-end run (parity-checked) for pytest/CI."""
+    assert main(["--scale", "smoke",
+                 "--output", str(tmp_path / "BENCH_kernel.json")]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

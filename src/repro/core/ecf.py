@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.registry import Capability, register_algorithm
 from repro.api.request import SearchRequest
+from repro.core import kernel
 from repro.core.base import EmbeddingAlgorithm, SearchContext, placed_neighbor_plan
 from repro.core.filters import FilterMatrices, build_filters
 from repro.core.ordering import ORDERINGS
@@ -227,6 +228,31 @@ class ECF(EmbeddingAlgorithm):
                 assignment: Optional[Dict[NodeId, NodeId]] = None,
                 used_mask: int = 0,
                 start_mask: Optional[int] = None) -> bool:
+        """Depth-first expansion over bitmask candidates.
+
+        Dispatches to the compiled/chunked search kernel when one is active
+        (``REPRO_KERNEL``, see :mod:`repro.core.kernel`) — the kernel
+        reproduces this loop's mapping stream and evaluation counters
+        byte-identically — and otherwise runs the legacy explicit-stack
+        loop below, which remains the parity reference.
+        """
+        plan = kernel.plan_for(filters, order, prior)
+        if plan is not None:
+            return kernel.ecf_search(context, plan, start_depth=start_depth,
+                                     assignment=assignment,
+                                     used_mask=used_mask,
+                                     start_mask=start_mask)
+        return self._search_legacy(context, filters, order, prior,
+                                   start_depth, assignment, used_mask,
+                                   start_mask)
+
+    def _search_legacy(self, context: SearchContext, filters: FilterMatrices,
+                       order: List[NodeId],
+                       prior: Sequence[Tuple[NodeId, ...]],
+                       start_depth: int = 0,
+                       assignment: Optional[Dict[NodeId, NodeId]] = None,
+                       used_mask: int = 0,
+                       start_mask: Optional[int] = None) -> bool:
         """Explicit-stack depth-first expansion over bitmask candidates.
 
         Returns ``False`` iff the search stopped early (result cap).  Per

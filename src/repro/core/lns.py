@@ -256,7 +256,10 @@ class LNS(EmbeddingAlgorithm):
             # the image of each covered neighbour; intersecting adjacency
             # masks before any constraint evaluation is the "lazy" pruning
             # step.
-            candidates_mask = -1
+            # Seeding with the bounded all-hosts mask (rather than -1) keeps
+            # every intermediate value a non-negative, width-limited int —
+            # the same invariant the word-array mask tables rely on.
+            candidates_mask = indexer.full_mask
             for _, host in connecting:
                 candidates_mask &= self._adjacency_mask(context, indexer,
                                                         adjacency_masks, host)

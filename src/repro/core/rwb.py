@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.registry import Capability, register_algorithm
 from repro.api.request import SearchRequest
+from repro.core import kernel
 from repro.core.base import EmbeddingAlgorithm, SearchContext, placed_neighbor_plan
 from repro.core.filters import FilterMatrices, build_filters
 from repro.core.ordering import ORDERINGS
@@ -203,6 +204,16 @@ class RWB(EmbeddingAlgorithm):
         filters = prepared.filters
         order = prepared.order
         node = order[0]
+        plan = kernel.plan_for(filters, order, prepared.prior)
+        if plan is not None:
+            index_of = filters.host_indexer.index_of
+            for offset, host in enumerate(hosts):
+                rng = random.Random(_subtree_seed(base, start + offset))
+                keep_going = self._walk_kernel(context, plan, node, host,
+                                               index_of(host), rng)
+                if not keep_going:
+                    return False
+            return True
         bit_of = filters.host_indexer.bit
         assignment: Dict[NodeId, NodeId] = {}
         for offset, host in enumerate(hosts):
@@ -214,6 +225,72 @@ class RWB(EmbeddingAlgorithm):
             if not keep_going:
                 return False
         return True
+
+    def _walk_kernel(self, context: SearchContext, plan, root_node: NodeId,
+                     root_host: NodeId, root_index: int, rng) -> bool:
+        """Iterative twin of :meth:`_walk` over the kernel's candidate
+        cursor.  Returns ``False`` iff stopped early (result cap).
+
+        The control flow — deadline poll on every node entry (leaves
+        included), expansion/backtrack counting, one ``rng.shuffle`` per
+        non-leaf — replays the recursion exactly; shuffling the *index*
+        list yields the same permutation the legacy walk applies to the
+        decoded node list, because ``random.shuffle`` depends only on the
+        sequence length and the rng state, and ascending index order *is*
+        the decode order.
+        """
+        order = plan.order
+        host_nodes = plan.host_nodes
+        n = plan.n
+        stats = context.stats
+        cursor = kernel.RwbCursor(plan)
+        cursor.place(0, root_index)
+        candidate_lists: List[Optional[List[int]]] = [None] * n
+        next_pos = [0] * n
+        placed = [-1] * n
+        depth = 1
+        entering = True
+        while True:
+            if entering:
+                context.check_deadline()
+                if depth == n:
+                    mapping: Dict[NodeId, NodeId] = {root_node: root_host}
+                    for d in range(1, n):
+                        mapping[order[d]] = host_nodes[placed[d]]
+                    if context.record_mapping(mapping):
+                        return False
+                    depth -= 1
+                    entering = False
+                    continue
+                candidates = cursor.candidates(depth)
+                stats.nodes_expanded += 1
+                stats.candidates_considered += len(candidates)
+                if not candidates:
+                    stats.backtracks += 1
+                    depth -= 1
+                    entering = False
+                    continue
+                rng.shuffle(candidates)
+                candidate_lists[depth] = candidates
+                next_pos[depth] = 0
+                entering = False
+                continue
+            if depth < 1:
+                return True      # the root subtree is exhausted
+            if placed[depth] >= 0:
+                cursor.unplace(depth, placed[depth])
+                placed[depth] = -1
+            position = next_pos[depth]
+            candidates = candidate_lists[depth]
+            if candidates is None or position >= len(candidates):
+                depth -= 1
+                continue
+            next_pos[depth] = position + 1
+            host_index = candidates[position]
+            cursor.place(depth, host_index)
+            placed[depth] = host_index
+            depth += 1
+            entering = True
 
     def _walk(self, context: SearchContext, filters: FilterMatrices,
               order: List[NodeId], prior: Sequence[Tuple[NodeId, ...]],

@@ -1,0 +1,292 @@
+"""The word-array mask backing: encoding, tables, pickling, boundaries.
+
+The kernel refactor re-backs every ``FilterMatrices`` mask as a numpy
+``uint64`` word array behind the existing accessor API.  This suite pins
+the encoding itself (bit *i* lives in word ``i // 64``), the boundary
+cases the word width introduces (exactly 64 hosts, 65, multiples of 64,
+all-zero and all-one words, removals that empty a trailing word), and the
+pickling contract: shipped word tables are private copies, never views
+aliasing the parent's buffers, and compiled-kernel handles never travel.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import warnings
+
+import pytest
+
+from repro.constraints import ConstraintExpression
+from repro.constraints.vectorizer import HAVE_NUMPY, np
+from repro.core import ECF, build_filters
+from repro.core import kernel
+from repro.core.indexing import WORD_BITS, word_count
+from repro.graphs.hosting import HostingNetwork
+from repro.graphs.query import QueryNetwork
+
+if HAVE_NUMPY:
+    from repro.core.words import (WordTable, mask_to_words, pack_masks,
+                                  unpack_masks, words_to_mask)
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY,
+                                reason="word arrays require numpy")
+
+WINDOW = ConstraintExpression(
+    "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay")
+
+
+# --------------------------------------------------------------------------- #
+# Encoding round-trips
+# --------------------------------------------------------------------------- #
+
+class TestWordEncoding:
+    @pytest.mark.parametrize("num_bits", [1, 63, 64, 65, 128, 130])
+    def test_round_trip_structured(self, num_bits):
+        nw = word_count(num_bits)
+        masks = [
+            0,                           # all-zero words
+            (1 << num_bits) - 1,         # all-one (up to width)
+            1,                           # lowest bit
+            1 << (num_bits - 1),         # highest bit
+        ]
+        if num_bits > WORD_BITS:
+            masks += [1 << 63, 1 << 64, (1 << 64) | 1]  # word-boundary bits
+        for mask in masks:
+            row = mask_to_words(mask, nw)
+            assert row.shape == (nw,)
+            assert row.dtype == np.uint64
+            assert words_to_mask(row) == mask
+
+    def test_round_trip_random(self):
+        rng = random.Random(7)
+        for num_bits in (64, 65, 127, 128, 192, 300):
+            nw = word_count(num_bits)
+            for _ in range(50):
+                mask = rng.getrandbits(num_bits)
+                assert words_to_mask(mask_to_words(mask, nw)) == mask
+
+    def test_bit_position_convention(self):
+        # Bit i lives in word i // 64 at in-word position i % 64 — the
+        # little-endian layout the compiled kernels assume.
+        row = mask_to_words(1 << 70, word_count(128))
+        assert row[0] == 0
+        assert int(row[1]) == 1 << (70 - 64)
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ValueError):
+            mask_to_words(-1, 1)
+
+    def test_too_wide_mask_rejected(self):
+        with pytest.raises(OverflowError):
+            mask_to_words(1 << 64, 1)
+
+    def test_pack_unpack(self):
+        masks = {"a": 0, "b": (1 << 65) | 3, "c": 1 << 64}
+        words = pack_masks(masks.values(), word_count(66))
+        assert words.shape == (3, 2)
+        assert unpack_masks(words) == list(masks.values())
+
+    def test_pack_empty(self):
+        words = pack_masks([], word_count(10))
+        assert words.shape == (0, 1)
+        assert unpack_masks(words) == []
+
+
+class TestWordTable:
+    def test_round_trip_preserves_zero_masks_and_order(self):
+        masks = {("q0", "h1"): 5, ("q1", "h0"): 0, ("q2", "h2"): 1 << 64}
+        table = WordTable.from_masks(masks, num_bits=65)
+        assert table.to_masks() == masks
+        assert list(table.to_masks()) == list(masks)  # insertion order kept
+        assert table.mask_of(("q1", "h0")) == 0
+        assert table.row_of(("missing",)) == -1
+
+    def test_updated_rewrites_rows_in_place(self):
+        masks = {"a": 1, "b": 2, "c": 3}
+        table = WordTable.from_masks(masks, num_bits=8)
+        masks2 = {"a": 1, "b": 7, "c": 3}
+        patched = table.updated(masks2, touched={"b"})
+        assert patched.to_masks() == masks2
+        assert table.to_masks() == masks  # original untouched
+
+    def test_updated_key_set_change_falls_back_to_rebuild(self):
+        table = WordTable.from_masks({"a": 1, "b": 2}, num_bits=8)
+        patched = table.updated({"a": 1, "b": 2, "c": 4}, touched={"c"})
+        assert patched.to_masks() == {"a": 1, "b": 2, "c": 4}
+
+    def test_pickle_copies_storage(self):
+        table = WordTable.from_masks({"a": 3, "b": 1 << 64}, num_bits=70)
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone.to_masks() == table.to_masks()
+        assert not np.shares_memory(clone.words, table.words)
+
+
+# --------------------------------------------------------------------------- #
+# Workload helpers
+# --------------------------------------------------------------------------- #
+
+def ring_workload(num_hosts: int, num_query: int = 3):
+    """A hosting ring of *num_hosts* nodes and a path query over it."""
+    hosting = HostingNetwork(f"ring-{num_hosts}")
+    for i in range(num_hosts):
+        hosting.add_node(f"h{i}", name=f"h{i}", osType="linux")
+    for i in range(num_hosts):
+        hosting.add_edge(f"h{i}", f"h{(i + 1) % num_hosts}",
+                         avgDelay=10.0 + (i % 5))
+    query = QueryNetwork("path")
+    for i in range(num_query):
+        query.add_node(f"q{i}")
+    for i in range(num_query - 1):
+        query.add_edge(f"q{i}", f"q{i + 1}", minDelay=5.0, maxDelay=30.0)
+    return query, hosting
+
+
+def search_signature(result):
+    """Everything the byte-identity contract covers, as a comparable value."""
+    return (
+        [list(m.as_dict().items()) for m in result.mappings],
+        result.stats.nodes_expanded,
+        result.stats.candidates_considered,
+        result.stats.backtracks,
+        result.stats.constraint_evaluations,
+    )
+
+
+def ecf_search(query, hosting, backend):
+    with kernel.forced(backend):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return ECF().search(query, hosting, constraint=WINDOW)
+
+
+# --------------------------------------------------------------------------- #
+# Boundary cases around the 64-bit word width
+# --------------------------------------------------------------------------- #
+
+class TestWordBoundaries:
+    @pytest.mark.parametrize("num_hosts", [63, 64, 65, 128])
+    def test_kernel_matches_legacy_at_boundary(self, num_hosts):
+        query, hosting = ring_workload(num_hosts)
+        legacy = ecf_search(query, hosting, "legacy")
+        fast = ecf_search(query, hosting, "python")
+        assert search_signature(legacy) == search_signature(fast)
+        assert legacy.mappings  # the workload is feasible, not vacuous
+
+    @pytest.mark.parametrize("num_hosts", [64, 65])
+    def test_filter_words_round_trip_at_boundary(self, num_hosts):
+        query, hosting = ring_workload(num_hosts)
+        filters = build_filters(query, hosting, WINDOW, None)
+        words = filters.words()
+        assert words.match.num_words == word_count(num_hosts)
+        assert words.match.to_masks() == filters.match_masks
+        assert words.node_candidates.to_masks() == filters.node_candidate_masks
+
+    def test_all_one_and_all_zero_words(self):
+        # A trivially-true constraint makes every candidate mask all-ones
+        # over a 64-host clique row; an unsatisfiable one makes them zero.
+        query, hosting = ring_workload(64)
+        always = build_filters(query, hosting,
+                               ConstraintExpression.always_true(), None)
+        full = (1 << 64) - 1
+        assert any(mask == full
+                   for mask in always.node_candidate_masks.values()) or all(
+            words_to_mask(mask_to_words(mask, 1)) == mask
+            for mask in always.node_candidate_masks.values())
+        never = build_filters(
+            query, hosting,
+            ConstraintExpression("rEdge.avgDelay >= 1000.0"), None)
+        assert all(mask == 0 for mask in never.match_masks.values())
+        # Both extremes survive the word round-trip.
+        for filters in (always, never):
+            assert filters.words().match.to_masks() == filters.match_masks
+
+    def test_node_removal_empties_trailing_word(self):
+        # 65 hosts: h64 is alone in the second word.  Remove it and rebuild;
+        # the shrunken table must stay consistent with the kernel search.
+        query, hosting = ring_workload(65)
+        before = ecf_search(query, hosting, "python")
+        assert before.mappings
+        hosting.remove_node("h64")
+        hosting.add_edge("h63", "h0", avgDelay=10.0)
+        filters = build_filters(query, hosting, WINDOW, None)
+        assert filters.words().match.num_words == word_count(64)
+        legacy = ecf_search(query, hosting, "legacy")
+        fast = ecf_search(query, hosting, "python")
+        assert search_signature(legacy) == search_signature(fast)
+
+
+# --------------------------------------------------------------------------- #
+# Pickling: no aliasing, no compiled handles
+# --------------------------------------------------------------------------- #
+
+class TestPickleHygiene:
+    def test_filters_round_trip(self):
+        query, hosting = ring_workload(65)
+        filters = build_filters(query, hosting, WINDOW, None)
+        filters.words()  # populate the cache that __getstate__ must strip
+        clone = pickle.loads(pickle.dumps(filters))
+        assert clone.match_masks == filters.match_masks
+        assert clone.non_match_masks == filters.non_match_masks
+        assert clone.node_candidate_masks == filters.node_candidate_masks
+        assert clone.node_allowed_masks == filters.node_allowed_masks
+
+    def test_filters_pickle_shares_no_memory(self):
+        query, hosting = ring_workload(65)
+        filters = build_filters(query, hosting, WINDOW, None)
+        parent_words = filters.words()
+        clone = pickle.loads(pickle.dumps(filters))
+        clone_words = clone.words()
+        assert not np.shares_memory(parent_words.match.words,
+                                    clone_words.match.words)
+        assert not np.shares_memory(parent_words.node_candidates.words,
+                                    clone_words.node_candidates.words)
+
+    def test_filters_pickle_drops_kernel_plan(self):
+        from repro.core.base import placed_neighbor_plan
+
+        query, hosting = ring_workload(24)
+        filters = build_filters(query, hosting, WINDOW, None)
+        order = sorted(query.nodes(), key=str)
+        with kernel.forced("python"):
+            plan = kernel.plan_for(filters, order,
+                                   placed_neighbor_plan(query, order))
+        assert plan is not None
+        assert getattr(filters, "_kernel_plan", None) is plan
+        clone = pickle.loads(pickle.dumps(filters))
+        assert getattr(clone, "_kernel_plan", None) is None
+
+    def test_network_pickle_drops_derived_caches(self):
+        query, hosting = ring_workload(24)
+        build_filters(query, hosting, WINDOW, None)  # memoises the compile
+        assert getattr(hosting, "_hosting_compile", None) is not None
+        clone = pickle.loads(pickle.dumps(hosting))
+        assert getattr(clone, "_hosting_compile", None) is None
+
+    def test_register_derived_cache_extends_strip_list(self):
+        from repro.graphs.network import Network
+
+        original = Network._DERIVED_CACHE_ATTRS
+        try:
+            Network.register_derived_cache("_test_cache_attr")
+            assert "_test_cache_attr" in Network._DERIVED_CACHE_ATTRS
+            Network.register_derived_cache("_test_cache_attr")  # idempotent
+            assert Network._DERIVED_CACHE_ATTRS.count("_test_cache_attr") == 1
+            query, hosting = ring_workload(6)
+            hosting._test_cache_attr = object()
+            clone = pickle.loads(pickle.dumps(hosting))
+            assert getattr(clone, "_test_cache_attr", None) is None
+        finally:
+            Network._DERIVED_CACHE_ATTRS = original
+
+    def test_prepared_search_round_trip(self):
+        from repro.api import SearchRequest
+
+        query, hosting = ring_workload(65)
+        request = SearchRequest.build(query, hosting, constraint=WINDOW)
+        plan = ECF().prepare(request)
+        prepared = plan.prepared
+        clone = pickle.loads(pickle.dumps(prepared))
+        assert clone.allowed_masks == prepared.allowed_masks
+        assert clone.adjacency_masks == prepared.adjacency_masks
+        assert clone.order == prepared.order
