@@ -117,11 +117,10 @@ def _resolve(name: str) -> str:
         return name
     if name == "numba":
         if _load_numba() is None:
-            if _NUMBA is None:
-                warnings.warn(
-                    "REPRO_KERNEL=numba requested but the numba kernel is "
-                    "unavailable; falling back to the python kernel",
-                    RuntimeWarning, stacklevel=3)
+            warnings.warn(
+                "REPRO_KERNEL=numba requested but the numba kernel is "
+                "unavailable; falling back to the python kernel",
+                RuntimeWarning, stacklevel=3)
             return "python"
         return "numba"
     # auto: prefer the compiled kernel, silently fall back.
@@ -146,7 +145,12 @@ def active_backend() -> str:
 def set_backend(name: str) -> str:
     """Switch backends at runtime (tests, benchmarks).  Returns the backend
     actually selected — asking for ``numba`` without numba yields
-    ``python`` with a warning, mirroring the env-var path."""
+    ``python`` with a warning, mirroring the env-var path.
+
+    The switch is process-global and unsynchronised: searches already in
+    flight on other threads (``REPRO_SHARD_BACKEND=thread`` shards) read
+    the backend per call and would straddle the flip.  Only switch while
+    no search is running."""
     if name not in _VALID:
         raise ValueError(f"unknown kernel backend {name!r}; "
                          f"expected one of {_VALID}")
@@ -157,7 +161,10 @@ def set_backend(name: str) -> str:
 
 @contextmanager
 def forced(name: str):
-    """Temporarily pin the backend (``legacy`` runs the PR 2 loops)."""
+    """Temporarily pin the backend (``legacy`` runs the PR 2 loops).
+
+    Same caveat as :func:`set_backend`: not safe while searches are in
+    flight on other threads — both the pin and the restore are global."""
     previous = _BACKEND
     set_backend(name)
     try:
@@ -280,7 +287,8 @@ def plan_for(filters, order: Sequence, prior: Sequence) -> Optional[KernelPlan]:
     if _BACKEND == "legacy" or not order:
         return None
     plan = getattr(filters, _PLAN_ATTR, None)
-    if plan is None or plan.order != tuple(order):
+    if (plan is None or plan.order != tuple(order)
+            or plan.prior != tuple(tuple(p) for p in prior)):
         plan = KernelPlan(filters, order, prior)
         try:
             setattr(filters, _PLAN_ATTR, plan)

@@ -142,10 +142,12 @@ class WordTable:
         This is the incremental-patch path: when a churn patch flips a few
         cells, the untouched rows are block-copied and only the touched rows
         are re-encoded.  Falls back to a full rebuild (returns a fresh
-        table) when the key set changed — row identity is not stable across
-        insertions/deletions.
+        table) when the keys changed *in any way, including order* — row
+        ids are assigned from dict enumeration order downstream
+        (``KernelPlan``), and a patch that deletes a key and re-inserts it
+        moves it to the end of the dict without changing the key set.
         """
-        if set(masks.keys()) != set(self.keys):
+        if tuple(masks.keys()) != self.keys:
             return WordTable.from_masks(masks, self.num_bits)
         words = self.words.copy()
         nw = self.num_words

@@ -245,6 +245,24 @@ class TestBackendSelection:
             assert second is not first
             assert second.order == tuple(reordered)
 
+    def test_plan_cache_invalidation_on_prior_change(self):
+        from repro.core import build_filters
+        from repro.core.base import placed_neighbor_plan
+
+        query, hosting = random_workload(7)
+        filters = build_filters(query, hosting, WINDOW, None)
+        order = sorted(query.nodes(), key=str)
+        prior = placed_neighbor_plan(query, order)
+        assert any(prior)   # the workload has placed-neighbour slots
+        with kernel.forced("python"):
+            first = kernel.plan_for(filters, order, prior)
+            # Same order, different prior: the cached plan's cell tables
+            # would be stale — the cache must miss.
+            blank = [tuple()] * len(order)
+            second = kernel.plan_for(filters, order, blank)
+            assert second is not first
+            assert second.prior == tuple(blank)
+
 
 # --------------------------------------------------------------------------- #
 # Patched filters keep their word tables fresh
@@ -273,3 +291,64 @@ class TestPatchedWordParity:
         assert words.match.to_masks() == patched.match_masks
         assert words.non_match.to_masks() == patched.non_match_masks
         assert words.node_candidates.to_masks() == patched.node_candidate_masks
+
+    @staticmethod
+    def _reorder_workload(flip: bool):
+        """Six hosts where h0's only in-window edge swaps under churn."""
+        in_delay, out_delay = 10.0, 1000.0
+        if flip:
+            in_delay, out_delay = out_delay, in_delay
+        hosting = HostingNetwork("hosting")
+        for i in range(6):
+            hosting.add_node(f"h{i}", name=f"h{i}", osType="linux")
+        hosting.add_edge("h0", "h1", avgDelay=in_delay)
+        hosting.add_edge("h0", "h2", avgDelay=out_delay)
+        hosting.add_edge("h1", "h2", avgDelay=10.0)
+        hosting.add_edge("h2", "h3", avgDelay=10.0)
+        hosting.add_edge("h3", "h4", avgDelay=10.0)
+        hosting.add_edge("h4", "h5", avgDelay=10.0)
+        query = QueryNetwork("query")
+        query.add_node("q0")
+        query.add_node("q1")
+        query.add_edge("q0", "q1", minDelay=5.0, maxDelay=30.0)
+        return query, hosting
+
+    def test_patch_reorder_keeps_word_rows_aligned(self):
+        # A patch that empties a cell deletes its key; a later row in the
+        # SAME patch can re-set the cell, re-inserting the key at the end
+        # of the dict — identical key set, different enumeration order.
+        # KernelPlan assigns kernel row ids from dict enumeration order, so
+        # the carried word table must follow the new order exactly or the
+        # numba backend intersects the wrong match masks.
+        from repro.core import build_filters
+        from repro.core.filters import patch_filters
+
+        reordered_any = False
+        for flip in (False, True):
+            query, hosting = self._reorder_workload(flip)
+            filters = build_filters(query, hosting, WINDOW, None)
+            filters.words()     # materialise so the patch carries tables
+            base_order = list(filters.match_masks)
+            epoch = hosting.mutation_count
+            # Swap which h0 edge satisfies the window: h0's cells empty
+            # under one touched row and re-fill under the other.
+            hosting.update_edge("h0", "h1",
+                                avgDelay=1000.0 if not flip else 10.0)
+            hosting.update_edge("h0", "h2",
+                                avgDelay=10.0 if not flip else 1000.0)
+            delta = hosting.delta_since(epoch)
+            assert delta is not None and delta.attrs_only
+            patched = patch_filters(filters, query, hosting, WINDOW, None,
+                                    delta=delta, max_row_fraction=1.0)
+            assert patched is not None
+            reordered_any |= list(patched.match_masks) != base_order
+            words = patched.words()
+            assert tuple(words.match.keys) == tuple(patched.match_masks)
+            assert (list(words.match.to_masks().items())
+                    == list(patched.match_masks.items()))
+            assert (list(words.non_match.to_masks().items())
+                    == list(patched.non_match_masks.items()))
+            rebuilt = build_filters(query, hosting, WINDOW, None)
+            assert patched.match_masks == rebuilt.match_masks
+            assert patched.node_candidate_masks == rebuilt.node_candidate_masks
+        assert reordered_any    # the churn really moved a key's position

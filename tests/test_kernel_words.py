@@ -115,6 +115,19 @@ class TestWordTable:
         patched = table.updated({"a": 1, "b": 2, "c": 4}, touched={"c"})
         assert patched.to_masks() == {"a": 1, "b": 2, "c": 4}
 
+    def test_updated_key_reorder_falls_back_to_rebuild(self):
+        # A patch can empty a cell (its key is deleted) and re-set it later
+        # in the same pass, re-inserting the key at the end of the dict:
+        # identical key *set*, different order.  Row ids downstream
+        # (KernelPlan) come from dict enumeration order, so the fast path
+        # must rebuild rather than carry the stale row order.
+        table = WordTable.from_masks({"a": 1, "b": 2, "c": 3}, num_bits=8)
+        reordered = {"a": 1, "c": 3, "b": 4}   # "b" deleted, re-set at end
+        patched = table.updated(reordered, touched={"b"})
+        assert list(patched.to_masks()) == ["a", "c", "b"]
+        assert patched.to_masks() == reordered
+        assert [patched.row_of(k) for k in reordered] == [0, 1, 2]
+
     def test_pickle_copies_storage(self):
         table = WordTable.from_masks({"a": 3, "b": 1 << 64}, num_bits=70)
         clone = pickle.loads(pickle.dumps(table))
